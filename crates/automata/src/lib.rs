@@ -1,0 +1,426 @@
+//! # cxu-automata — NFAs over label alphabets with a wildcard
+//!
+//! The PTIME conflict-detection algorithms of §4 reduce *matching* of
+//! linear patterns (Definition 7) to regular-language intersection: a
+//! linear pattern `l` denotes the regular expression
+//!
+//! ```text
+//! ℛ(l) = sym(root) · step₁ · step₂ · …        where
+//! stepᵢ = sym(nᵢ)           for a child edge
+//! stepᵢ = (.)* · sym(nᵢ)    for a descendant edge
+//! sym(n) = the node's label, or (.) for *
+//! ```
+//!
+//! and `l, l'` *match strongly* iff `L(ℛ(l)) ∩ L(ℛ(l')) ≠ ∅`, *weakly*
+//! iff `L(ℛ(l)) ∩ L(ℛ(l')·(.)*) ≠ ∅`.
+//!
+//! This crate implements that machinery without depending on the pattern
+//! types: an [`Nfa`] is generic over the symbol type, built from a list of
+//! [`Step`]s. The `(.)` wildcard is first-class (a [`Label::Any`]
+//! transition), so the *effective* alphabet — the symbols of both operands
+//! plus one implicit "fresh" letter — never needs materializing beyond the
+//! product construction in [`Nfa::intersects`].
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A transition label: a concrete symbol or the wildcard `(.)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Label<T> {
+    /// Matches exactly this symbol.
+    Sym(T),
+    /// Matches any symbol (the paper's `(.)`).
+    Any,
+}
+
+/// One step of a linear pattern, in root-to-output order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Step<T> {
+    /// `true` iff the step is reached via a descendant edge, contributing
+    /// a `(.)*` gap before its symbol. The first step's gap is `false` in
+    /// the paper's construction (the root consumes its own symbol), but
+    /// `true` is permitted to express prefixes like `(.)* · a`.
+    pub gap: bool,
+    /// The step's own symbol, or [`Label::Any`] for `*`.
+    pub label: Label<T>,
+}
+
+impl<T> Step<T> {
+    /// A step reached by a child edge.
+    pub fn child(label: Label<T>) -> Step<T> {
+        Step { gap: false, label }
+    }
+
+    /// A step reached by a descendant edge (`(.)*` gap).
+    pub fn descendant(label: Label<T>) -> Step<T> {
+        Step { gap: true, label }
+    }
+}
+
+/// A nondeterministic finite automaton without ε-transitions, over symbols
+/// `T` plus the implicit wildcard.
+#[derive(Clone, Debug)]
+pub struct Nfa<T> {
+    /// trans[q] = outgoing (label, target) pairs.
+    trans: Vec<Vec<(Label<T>, usize)>>,
+    start: usize,
+    accept: Vec<bool>,
+}
+
+impl<T: Copy + Eq + Hash> Nfa<T> {
+    /// Builds the NFA for `ℛ(l)` from the linear steps of `l`.
+    ///
+    /// State `i` means "the first `i` steps have been consumed"; a step
+    /// with `gap == true` adds an `Any` self-loop before its symbol
+    /// transition, realizing `(.)*`.
+    pub fn from_steps(steps: &[Step<T>]) -> Nfa<T> {
+        let n = steps.len();
+        let mut trans: Vec<Vec<(Label<T>, usize)>> = vec![Vec::new(); n + 1];
+        for (i, step) in steps.iter().enumerate() {
+            if step.gap {
+                trans[i].push((Label::Any, i));
+            }
+            trans[i].push((step.label, i + 1));
+        }
+        let mut accept = vec![false; n + 1];
+        accept[n] = true;
+        Nfa {
+            trans,
+            start: 0,
+            accept,
+        }
+    }
+
+    /// Appends `(.)*` to the language: every accepting state gets an `Any`
+    /// self-loop. This turns `ℛ(l')` into `ℛ(l')·(.)*` for weak matching.
+    pub fn with_any_suffix(mut self) -> Nfa<T> {
+        for q in 0..self.trans.len() {
+            if self.accept[q] {
+                self.trans[q].push((Label::Any, q));
+            }
+        }
+        self
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// The concrete symbols mentioned on any transition.
+    pub fn symbols(&self) -> HashSet<T> {
+        self.trans
+            .iter()
+            .flatten()
+            .filter_map(|&(l, _)| match l {
+                Label::Sym(s) => Some(s),
+                Label::Any => None,
+            })
+            .collect()
+    }
+
+    /// Does the automaton accept `word`? (Subset simulation; used by
+    /// tests and by brute-force cross-validation.)
+    pub fn accepts(&self, word: &[T]) -> bool {
+        let mut cur: HashSet<usize> = HashSet::from([self.start]);
+        for &a in word {
+            let mut next = HashSet::new();
+            for &q in &cur {
+                for &(l, to) in &self.trans[q] {
+                    let fires = match l {
+                        Label::Sym(s) => s == a,
+                        Label::Any => true,
+                    };
+                    if fires {
+                        next.insert(to);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            cur = next;
+        }
+        cur.iter().any(|&q| self.accept[q])
+    }
+
+    /// Is `L(self) ∩ L(other)` nonempty?
+    ///
+    /// Product construction with the effective alphabet `Σ_self ∪ Σ_other`
+    /// plus one implicit fresh letter (on which only `Any` transitions
+    /// fire) — the paper's observation that witness labels can be
+    /// restricted to `Σ_{l,l'}` (§4.1), kept honest for wildcard-only
+    /// moves by the extra letter.
+    pub fn intersects(&self, other: &Nfa<T>) -> bool {
+        // Move alphabet: Some(symbol) for named concrete symbols, None
+        // for "a letter neither automaton names".
+        let mut moves: Vec<Option<T>> = self
+            .symbols()
+            .union(&other.symbols())
+            .copied()
+            .map(Some)
+            .collect();
+        moves.push(None);
+
+        let width = other.state_count();
+        let enc = |q1: usize, q2: usize| q1 * width + q2;
+        let mut seen = vec![false; self.state_count() * width];
+        let mut queue = vec![(self.start, other.start)];
+        seen[enc(self.start, other.start)] = true;
+
+        while let Some((q1, q2)) = queue.pop() {
+            if self.accept[q1] && other.accept[q2] {
+                return true;
+            }
+            for &m in &moves {
+                let fires = |l: Label<T>| match (l, m) {
+                    (Label::Any, _) => true,
+                    (Label::Sym(s), Some(a)) => s == a,
+                    (Label::Sym(_), None) => false,
+                };
+                for &(l1, to1) in &self.trans[q1] {
+                    if !fires(l1) {
+                        continue;
+                    }
+                    for &(l2, to2) in &other.trans[q2] {
+                        if !fires(l2) {
+                            continue;
+                        }
+                        if !seen[enc(to1, to2)] {
+                            seen[enc(to1, to2)] = true;
+                            queue.push((to1, to2));
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Is the language empty? (For step-built NFAs it never is, but the
+    /// check is useful for composed automata and for tests.)
+    pub fn is_empty(&self) -> bool {
+        let mut seen = vec![false; self.state_count()];
+        let mut queue = vec![self.start];
+        seen[self.start] = true;
+        while let Some(q) = queue.pop() {
+            if self.accept[q] {
+                return false;
+            }
+            for &(_, to) in &self.trans[q] {
+                if !seen[to] {
+                    seen[to] = true;
+                    queue.push(to);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type S = u32; // test symbol type
+
+    fn steps(spec: &[(bool, Option<S>)]) -> Vec<Step<S>> {
+        spec.iter()
+            .map(|&(gap, l)| Step {
+                gap,
+                label: match l {
+                    Some(s) => Label::Sym(s),
+                    None => Label::Any,
+                },
+            })
+            .collect()
+    }
+
+    // Shorthand: pattern a/b//c over symbols 1,2,3.
+    fn abc_desc() -> Nfa<S> {
+        Nfa::from_steps(&steps(&[
+            (false, Some(1)),
+            (false, Some(2)),
+            (true, Some(3)),
+        ]))
+    }
+
+    #[test]
+    fn accepts_exact_word() {
+        let n = abc_desc();
+        assert!(n.accepts(&[1, 2, 3]));
+        assert!(n.accepts(&[1, 2, 9, 9, 3]));
+        assert!(!n.accepts(&[1, 2]));
+        assert!(!n.accepts(&[1, 3]));
+        assert!(!n.accepts(&[2, 2, 3]));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        // * / * : any two symbols
+        let n = Nfa::from_steps(&steps(&[(false, None), (false, None)]));
+        assert!(n.accepts(&[7, 8]));
+        assert!(!n.accepts(&[7]));
+        assert!(!n.accepts(&[7, 8, 9]));
+    }
+
+    #[test]
+    fn any_suffix() {
+        let n = abc_desc().with_any_suffix();
+        assert!(n.accepts(&[1, 2, 3]));
+        assert!(n.accepts(&[1, 2, 3, 4, 5, 6]));
+        assert!(!n.accepts(&[1, 2]));
+    }
+
+    #[test]
+    fn intersection_basic() {
+        // a/b//c vs a//c : both accept [1,2,3].
+        let x = abc_desc();
+        let y = Nfa::from_steps(&steps(&[(false, Some(1)), (true, Some(3))]));
+        assert!(x.intersects(&y));
+        assert!(y.intersects(&x));
+    }
+
+    #[test]
+    fn intersection_empty_by_labels() {
+        // a/b vs a/c
+        let x = Nfa::from_steps(&steps(&[(false, Some(1)), (false, Some(2))]));
+        let y = Nfa::from_steps(&steps(&[(false, Some(1)), (false, Some(3))]));
+        assert!(!x.intersects(&y));
+    }
+
+    #[test]
+    fn intersection_empty_by_length() {
+        // a/b (length 2) vs a/b/c (length 3): no common word.
+        let x = Nfa::from_steps(&steps(&[(false, Some(1)), (false, Some(2))]));
+        let y = Nfa::from_steps(&steps(&[
+            (false, Some(1)),
+            (false, Some(2)),
+            (false, Some(3)),
+        ]));
+        assert!(!x.intersects(&y));
+        // …but with a (.)* suffix on x they share [1,2,3].
+        assert!(x.clone().with_any_suffix().intersects(&y));
+    }
+
+    #[test]
+    fn wildcard_vs_label() {
+        // a/* vs a/b : intersect at [1,2].
+        let x = Nfa::from_steps(&steps(&[(false, Some(1)), (false, None)]));
+        let y = Nfa::from_steps(&steps(&[(false, Some(1)), (false, Some(2))]));
+        assert!(x.intersects(&y));
+    }
+
+    #[test]
+    fn fresh_letter_needed() {
+        // * vs * : they intersect even though neither names a symbol —
+        // the implicit fresh letter carries the word.
+        let x = Nfa::from_steps(&steps(&[(false, None)]));
+        let y = Nfa::from_steps(&steps(&[(false, None)]));
+        assert!(x.intersects(&y));
+    }
+
+    #[test]
+    fn descendant_gap_flexibility() {
+        // a//b vs a/*/*/b : intersect (gap stretches to length 2).
+        let x = Nfa::from_steps(&steps(&[(false, Some(1)), (true, Some(2))]));
+        let y = Nfa::from_steps(&steps(&[
+            (false, Some(1)),
+            (false, None),
+            (false, None),
+            (false, Some(2)),
+        ]));
+        assert!(x.intersects(&y));
+        // a/b vs a/*/b : no (length mismatch, no gaps).
+        let p = Nfa::from_steps(&steps(&[(false, Some(1)), (false, Some(2))]));
+        let q = Nfa::from_steps(&steps(&[
+            (false, Some(1)),
+            (false, None),
+            (false, Some(2)),
+        ]));
+        assert!(!p.intersects(&q));
+    }
+
+    #[test]
+    fn leading_gap_prefix() {
+        // (.)* a — e.g. the spine of //a.
+        let x = Nfa::from_steps(&steps(&[(true, Some(1))]));
+        assert!(x.accepts(&[1]));
+        assert!(x.accepts(&[5, 6, 1]));
+        assert!(!x.accepts(&[1, 5]));
+    }
+
+    #[test]
+    fn emptiness() {
+        let x = abc_desc();
+        assert!(!x.is_empty());
+        // An automaton with an unreachable accept state.
+        let dead: Nfa<S> = Nfa {
+            trans: vec![vec![], vec![]],
+            start: 0,
+            accept: vec![false, true],
+        };
+        assert!(dead.is_empty());
+    }
+
+    #[test]
+    fn empty_step_list_accepts_empty_word() {
+        let n: Nfa<S> = Nfa::from_steps(&[]);
+        assert!(n.accepts(&[]));
+        assert!(!n.accepts(&[1]));
+    }
+
+    #[test]
+    fn step_constructors() {
+        let c = Step::child(Label::Sym(1u32));
+        assert!(!c.gap);
+        let d: Step<u32> = Step::descendant(Label::Any);
+        assert!(d.gap);
+    }
+
+    #[test]
+    fn intersection_agrees_with_brute_force() {
+        // Cross-validate `intersects` against word enumeration over a
+        // small alphabet, for a family of step specs.
+        let specs: Vec<Vec<(bool, Option<S>)>> = vec![
+            vec![(false, Some(1))],
+            vec![(false, None)],
+            vec![(false, Some(1)), (false, Some(2))],
+            vec![(false, Some(1)), (true, Some(2))],
+            vec![(false, None), (false, Some(2))],
+            vec![(false, Some(1)), (false, None), (false, Some(2))],
+            vec![(false, Some(2)), (true, Some(1))],
+            vec![(true, Some(2))],
+            vec![(false, Some(1)), (true, None)],
+        ];
+        // Words over {1, 2, 99} up to length 5; 99 plays "fresh letter".
+        let alpha = [1u32, 2, 99];
+        let mut words: Vec<Vec<S>> = vec![vec![]];
+        let mut frontier: Vec<Vec<S>> = vec![vec![]];
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for &a in &alpha {
+                    let mut w2 = w.clone();
+                    w2.push(a);
+                    next.push(w2);
+                }
+            }
+            words.extend(next.iter().cloned());
+            frontier = next;
+        }
+        for s1 in &specs {
+            for s2 in &specs {
+                let x = Nfa::from_steps(&steps(s1));
+                let y = Nfa::from_steps(&steps(s2));
+                let brute = words.iter().any(|w| x.accepts(w) && y.accepts(w));
+                assert_eq!(
+                    x.intersects(&y),
+                    brute,
+                    "spec {s1:?} vs {s2:?} (brute over ≤5-letter words)"
+                );
+            }
+        }
+    }
+}

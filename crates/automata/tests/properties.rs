@@ -1,0 +1,94 @@
+//! Property tests: the product intersection agrees with brute-force word
+//! search, and language operations behave algebraically.
+
+use cxu_automata::{Label, Nfa, Step};
+use proptest::prelude::*;
+
+type S = u8;
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step<S>>> {
+    proptest::collection::vec(
+        (proptest::bool::ANY, proptest::option::of(0u8..3)),
+        1..6,
+    )
+    .prop_map(|spec| {
+        spec.into_iter()
+            .map(|(gap, l)| Step {
+                gap,
+                label: match l {
+                    Some(s) => Label::Sym(s),
+                    None => Label::Any,
+                },
+            })
+            .collect()
+    })
+}
+
+/// All words over {0,1,2,9} up to length `max` (9 = fresh letter).
+fn words(max: usize) -> Vec<Vec<S>> {
+    let alpha = [0u8, 1, 2, 9];
+    let mut all: Vec<Vec<S>> = vec![vec![]];
+    let mut frontier: Vec<Vec<S>> = vec![vec![]];
+    for _ in 0..max {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for &a in &alpha {
+                let mut w2 = w.clone();
+                w2.push(a);
+                next.push(w2);
+            }
+        }
+        all.extend(next.iter().cloned());
+        frontier = next;
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Product intersection ⇔ brute-force common word (bounded: words up
+    /// to the sum of both step counts suffice, since gaps only stretch —
+    /// a shortest common word never needs more letters than steps plus
+    /// the other side's steps).
+    #[test]
+    fn intersects_vs_brute(a in arb_steps(), b in arb_steps()) {
+        let x = Nfa::from_steps(&a);
+        let y = Nfa::from_steps(&b);
+        let bound = a.len() + b.len();
+        let brute = words(bound).iter().any(|w| x.accepts(w) && y.accepts(w));
+        prop_assert_eq!(x.intersects(&y), brute, "{:?} vs {:?}", a, b);
+    }
+
+    /// Intersection is symmetric.
+    #[test]
+    fn intersects_symmetric(a in arb_steps(), b in arb_steps()) {
+        let x = Nfa::from_steps(&a);
+        let y = Nfa::from_steps(&b);
+        prop_assert_eq!(x.intersects(&y), y.intersects(&x));
+    }
+
+    /// Every step automaton accepts its own canonical word (each step's
+    /// label, gaps contributing nothing).
+    #[test]
+    fn accepts_own_word(a in arb_steps()) {
+        let x = Nfa::from_steps(&a);
+        let word: Vec<S> = a.iter().map(|s| match s.label {
+            Label::Sym(v) => v,
+            Label::Any => 9,
+        }).collect();
+        prop_assert!(x.accepts(&word));
+        prop_assert!(x.intersects(&x), "self-intersection");
+    }
+
+    /// The (.)* suffix only grows the language.
+    #[test]
+    fn any_suffix_monotone(a in arb_steps(), b in arb_steps()) {
+        let x = Nfa::from_steps(&a);
+        let y = Nfa::from_steps(&b);
+        if x.intersects(&y) {
+            prop_assert!(x.intersects(&y.clone().with_any_suffix()));
+            prop_assert!(x.clone().with_any_suffix().intersects(&y));
+        }
+    }
+}

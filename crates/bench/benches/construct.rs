@@ -1,0 +1,37 @@
+//! E12: constructive witnesses (the Lemma 3/6 (If) directions) — cost of
+//! building-and-verifying a concrete witness vs pattern size, compared
+//! with bare detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxu::core::construct;
+use cxu::prelude::*;
+use cxu::detect;
+use cxu_bench::sized_conflicting_insert_instance;
+use std::hint::black_box;
+
+fn bench_construct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("witness_construct_vs_detect");
+    for &n in &[8usize, 32, 128] {
+        let (r, i) = sized_conflicting_insert_instance(n);
+        let conflicts = detect::read_insert_conflict(&r, &i, Semantics::Node).unwrap();
+        g.bench_with_input(BenchmarkId::new("detect", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    detect::read_insert_conflict(black_box(&r), black_box(&i), Semantics::Node)
+                        .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("construct_verified", n), &n, |b, _| {
+            b.iter(|| {
+                let w = construct::construct_insert_witness(black_box(&r), black_box(&i));
+                assert_eq!(w.is_some(), conflicts);
+                black_box(w)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construct);
+criterion_main!(benches);

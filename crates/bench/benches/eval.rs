@@ -1,0 +1,43 @@
+//! E8: pattern evaluation — the two-pass candidate-set engine vs the
+//! exhaustive embedding enumerator, and linear scaling in document size
+//! (the Core XPath claim the paper cites as [7]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxu::pattern::{embed, eval, xpath};
+use cxu_bench::sized_document;
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let p = xpath::parse("s0[.//s1]//s2[s3]").unwrap();
+    let mut g = c.benchmark_group("eval_engine");
+    for &n in &[50usize, 200, 800] {
+        let t = sized_document(n, 42);
+        g.bench_with_input(BenchmarkId::new("two_pass", n), &n, |b, _| {
+            b.iter(|| black_box(eval::eval(black_box(&p), black_box(&t))))
+        });
+        // The naive engine is exponential in embedding count; keep sizes
+        // modest so the bench terminates.
+        if n <= 200 {
+            g.bench_with_input(BenchmarkId::new("naive_enumeration", n), &n, |b, _| {
+                b.iter(|| black_box(embed::eval_naive(black_box(&p), black_box(&t))))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let p = xpath::parse("s0//s1/s2").unwrap();
+    let mut g = c.benchmark_group("eval_tree_scaling");
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let t = sized_document(n, 7);
+        g.throughput(criterion::Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(eval::eval(black_box(&p), black_box(&t))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E14: incremental read maintenance — updating a cached linear read
+//! after a small insert costs time proportional to the *update*, while
+//! full re-evaluation scales with the document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxu::core::incremental::IncrementalRead;
+use cxu::prelude::*;
+use cxu_bench::sized_document;
+use std::hint::black_box;
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let parse = |s: &str| cxu::pattern::xpath::parse(s).unwrap();
+    let mut g = c.benchmark_group("incremental_insert");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let base = sized_document(n, 21);
+        let read = Read::new(parse("s0//s1/s2"));
+        let ins = Insert::new(parse("s0/s1"), cxu::tree::text::parse("s2").unwrap());
+
+        g.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut t = base.clone();
+                    let inc = IncrementalRead::new(read.clone(), &t).unwrap();
+                    let pairs = ins.apply_indexed(&mut t);
+                    (t, inc, pairs)
+                },
+                |(t, mut inc, pairs)| {
+                    inc.note_insert(&t, &pairs);
+                    black_box(inc.result().len())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("full_reeval", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut t = base.clone();
+                    ins.apply(&mut t);
+                    t
+                },
+                |t| black_box(read.eval(&t).len()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_full);
+criterion_main!(benches);

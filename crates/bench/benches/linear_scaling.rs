@@ -1,0 +1,79 @@
+//! E4 (PTIME side) + E10: the §4 detectors scale polynomially in pattern
+//! size, and the all-prefixes dynamic program beats per-edge NFA
+//! intersection.
+//!
+//! Series reported:
+//! * `read_insert_detect/n`, `read_delete_detect/n` — detection time for
+//!   linear patterns of `n` nodes on both sides (Theorems 1–2);
+//! * `matcher/prefix_dp/n` vs `matcher/per_edge_nfa/n` — the ablation the
+//!   paper's dynamic-programming remark motivates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxu::core::matching;
+use cxu::prelude::*;
+use cxu::detect;
+use cxu_bench::{sized_delete_instance, sized_insert_instance, sized_linear_pattern};
+use std::hint::black_box;
+
+const SIZES: [usize; 4] = [8, 32, 128, 512];
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_insert_detect");
+    for &n in &SIZES {
+        let (r, i) = sized_insert_instance(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    detect::read_insert_conflict(black_box(&r), black_box(&i), Semantics::Node)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("read_delete_detect");
+    for &n in &SIZES {
+        let (r, d) = sized_delete_instance(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    detect::read_delete_conflict(black_box(&r), black_box(&d), Semantics::Node)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_matcher_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matcher");
+    for &n in &[8usize, 32, 128] {
+        let u = sized_linear_pattern(n, 1);
+        let r = sized_linear_pattern(n, 0);
+        // One product pass answering every prefix.
+        g.bench_with_input(BenchmarkId::new("prefix_dp", n), &n, |b, _| {
+            b.iter(|| {
+                let pm = matching::PrefixMatcher::new(black_box(&u), black_box(&r));
+                black_box(pm.weak(pm.read_len()))
+            })
+        });
+        // The naive alternative: a fresh NFA intersection per prefix.
+        g.bench_with_input(BenchmarkId::new("per_edge_nfa", n), &n, |b, _| {
+            b.iter(|| {
+                let k = matching::spine_nodes(&r).len();
+                let mut any = false;
+                for j in 1..=k {
+                    let prefix = matching::read_prefix(&r, j);
+                    any |= matching::match_weak(&u, &prefix);
+                }
+                black_box(any)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_matcher_ablation);
+criterion_main!(benches);

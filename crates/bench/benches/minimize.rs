@@ -1,0 +1,35 @@
+//! E13: pattern minimization (baseline [2]) — cost of the
+//! result-equivalence-checked pruning pass, and its effect measured in
+//! the report binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxu::pattern::minimize::minimize;
+use cxu_bench::sized_branching_pattern;
+use std::hint::black_box;
+
+fn bench_minimize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pattern_minimize");
+    g.sample_size(10);
+    for &n in &[4usize, 6, 8] {
+        let base = sized_branching_pattern(n, 7);
+        // Inject redundancy: duplicate the first off-spine branch.
+        let p = {
+            let mut p = base.clone();
+            let spine = p.path(p.root(), p.output()).unwrap();
+            let branch = p.node_ids().find(|x| !spine.contains(x));
+            if let Some(b) = branch {
+                let sub = p.subpattern(b);
+                let (parent, axis) = p.parent(b).unwrap();
+                p.graft(parent, axis, &sub);
+            }
+            p
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(p.len()), &n, |b, _| {
+            b.iter(|| black_box(minimize(black_box(&p), 1 << 14)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_minimize);
+criterion_main!(benches);

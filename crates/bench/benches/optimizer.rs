@@ -1,0 +1,44 @@
+//! E9: the §1 compiler scenario at benchmark scale — classifying every
+//! (update, later-read) pair of generated pidgin programs with the PTIME
+//! detector. Measures classification throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxu::gen::program::{motion_candidates, random_program, ProgramParams, Stmt};
+use cxu::prelude::*;
+use cxu::detect;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_pair_classification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer_pair_classification");
+    for &len in &[10usize, 40, 160] {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let prog = random_program(
+            &mut rng,
+            &ProgramParams {
+                len,
+                ..ProgramParams::default()
+            },
+        );
+        let pairs = motion_candidates(&prog);
+        g.throughput(criterion::Throughput::Elements(pairs.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                let mut independent = 0usize;
+                for &(ui, ri) in &pairs {
+                    let Stmt::Update(u) = &prog.stmts[ui] else { unreachable!() };
+                    let Stmt::Read(r) = &prog.stmts[ri] else { unreachable!() };
+                    if detect::independent(r, u, Semantics::Tree).unwrap() {
+                        independent += 1;
+                    }
+                }
+                black_box(independent)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pair_classification);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E5: the machinery behind the §5 hardness results — exact tree-pattern
+//! containment cost grows exponentially in the number of descendant edges
+//! (canonical-model count `(w+2)^k`), while the polynomial homomorphism
+//! check stays flat; plus the cost of building reduction instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxu::core::reduction;
+use cxu::pattern::containment;
+use cxu_bench::pattern_with_desc_edges;
+use std::hint::black_box;
+
+fn bench_exact_containment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("containment_model_sweep_vs_desc_edges");
+    g.sample_size(10);
+    for k in [1usize, 2, 3, 4, 5] {
+        // Full canonical-model sweep (no homomorphism shortcut): p has k
+        // descendant edges, the container has star-length 2, so the
+        // sweep visits (2+2)^k models.
+        let p = pattern_with_desc_edges(8, k);
+        let q = cxu::pattern::xpath::parse("c0//*/*/c1").unwrap();
+        let w = q.star_length();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let all = containment::canonical_models(black_box(&p), w, &q.alphabet())
+                    .all(|m| cxu::pattern::eval::matches(&q, &m));
+                black_box(all)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_homomorphism(c: &mut Criterion) {
+    let mut g = c.benchmark_group("containment_homomorphism");
+    for k in [1usize, 3, 5] {
+        let p = pattern_with_desc_edges(8, k);
+        let q = pattern_with_desc_edges(9, k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(containment::homomorphism(black_box(&p), black_box(&q))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduction_construction(c: &mut Criterion) {
+    let p = pattern_with_desc_edges(10, 3);
+    let q = pattern_with_desc_edges(12, 4);
+    c.bench_function("theorem4_instance_construction", |b| {
+        b.iter(|| black_box(reduction::insert_instance(black_box(&p), black_box(&q))))
+    });
+    c.bench_function("theorem6_instance_construction", |b| {
+        b.iter(|| black_box(reduction::delete_instance(black_box(&p), black_box(&q))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exact_containment,
+    bench_homomorphism,
+    bench_reduction_construction
+);
+criterion_main!(benches);

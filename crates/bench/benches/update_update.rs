@@ -1,0 +1,59 @@
+//! E10: update-update commutativity (§6) — witness checking is cheap;
+//! bounded non-commutativity search costs grow with the size bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxu::core::update_update::{commute_on, find_noncommuting_witness, Budget};
+use cxu::prelude::*;
+use cxu_bench::sized_document;
+use std::hint::black_box;
+
+fn pair() -> (Update, Update) {
+    let parse = |s: &str| cxu::pattern::xpath::parse(s).unwrap();
+    let u1 = Update::Insert(Insert::new(
+        parse("s0/s1"),
+        cxu::tree::text::parse("s2").unwrap(),
+    ));
+    let u2 = Update::Delete(Delete::new(parse("s0/s1/s2")).unwrap());
+    (u1, u2)
+}
+
+fn bench_commute_check(c: &mut Criterion) {
+    let (u1, u2) = pair();
+    let mut g = c.benchmark_group("commute_on_document");
+    for &n in &[100usize, 1_000, 5_000] {
+        let t = sized_document(n, 5);
+        g.throughput(criterion::Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(commute_on(black_box(&u1), black_box(&u2), black_box(&t))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_noncommute_search(c: &mut Criterion) {
+    let (u1, u2) = pair();
+    let mut g = c.benchmark_group("noncommute_search");
+    g.sample_size(10);
+    for &max_nodes in &[2usize, 3, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(max_nodes),
+            &max_nodes,
+            |b, &max_nodes| {
+                b.iter(|| {
+                    black_box(find_noncommuting_witness(
+                        black_box(&u1),
+                        black_box(&u2),
+                        Budget {
+                            max_nodes,
+                            max_trees: 10_000_000,
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_commute_check, bench_noncommute_search);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E7: Lemma 1 — checking whether a concrete tree witnesses a conflict is
+//! polynomial (near-linear) in the tree size, for all three semantics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxu::prelude::*;
+use cxu::witness::witnesses_update_conflict;
+use cxu_bench::sized_document;
+use std::hint::black_box;
+
+fn bench_witness_check(c: &mut Criterion) {
+    let parse = |s: &str| cxu::pattern::xpath::parse(s).unwrap();
+    let r = Read::new(parse("s0//s1"));
+    let u = Update::Insert(Insert::new(
+        parse("s0/s2"),
+        cxu::tree::text::parse("s1").unwrap(),
+    ));
+    for sem in Semantics::ALL {
+        let mut g = c.benchmark_group(format!("witness_check_{sem:?}"));
+        for &n in &[100usize, 1_000, 10_000] {
+            let t = sized_document(n, 3);
+            g.throughput(criterion::Throughput::Elements(n as u64));
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(witnesses_update_conflict(
+                        black_box(&r),
+                        black_box(&u),
+                        black_box(&t),
+                        sem,
+                    ))
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_witness_check);
+criterion_main!(benches);

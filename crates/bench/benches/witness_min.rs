@@ -1,0 +1,45 @@
+//! E6: witness minimization (marking + reparenting, §5.1.1) — cost as the
+//! bloated witness grows, with the output size pinned far below the
+//! Lemma 11 bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxu::core::witness_min;
+use cxu::prelude::*;
+use std::hint::black_box;
+
+fn bloated_witness(pad_levels: usize) -> (Read, Update, Tree) {
+    let parse = |s: &str| cxu::pattern::xpath::parse(s).unwrap();
+    let r = Read::new(parse("a//v"));
+    let u = Update::Delete(Delete::new(parse("a//b[q]")).unwrap());
+    let mut chain = String::from("b(q v)");
+    for i in 0..pad_levels {
+        chain = format!("p{i}({chain} noise{i}(x y))", );
+    }
+    let w = cxu::tree::text::parse(&format!("a({chain})")).unwrap();
+    (r, u, w)
+}
+
+fn bench_minimize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("witness_minimize");
+    g.sample_size(20);
+    for &levels in &[4usize, 16, 64] {
+        let (r, u, w) = bloated_witness(levels);
+        g.throughput(criterion::Throughput::Elements(w.live_count() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(w.live_count()), &levels, |b, _| {
+            b.iter(|| {
+                let small = witness_min::minimize(
+                    black_box(&r),
+                    black_box(&u),
+                    black_box(&w),
+                    Semantics::Node,
+                )
+                .expect("witness");
+                black_box(small)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_minimize);
+criterion_main!(benches);

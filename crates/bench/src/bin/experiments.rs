@@ -1,0 +1,629 @@
+//! Regenerates every table in `EXPERIMENTS.md` as markdown on stdout.
+//!
+//! Each section corresponds to an experiment id in `DESIGN.md` §5. The
+//! paper is a theory paper — the "expected" column is the *shape* its
+//! theorems predict (polynomial vs exponential, equal vs different), not
+//! absolute numbers. Run in release mode:
+//!
+//! ```text
+//! cargo run --release -p cxu-bench --bin experiments
+//! ```
+
+use cxu::core::brute::{find_witness, Budget, SearchOutcome};
+use cxu::core::{matching, reduction, update_update, witness_min};
+use cxu::gen::program::{motion_candidates, observe, random_program, ProgramParams, Stmt};
+use cxu::gen::trees::{random_tree, TreeParams};
+use cxu::pattern::{containment, embed, eval};
+use cxu::prelude::*;
+use cxu::tree::enumerate::count_trees;
+use cxu::{detect, witness};
+use cxu_bench::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Median-of-`reps` wall time for `f`.
+fn time<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    let mut samples: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn fmt_dur(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.2} ms", d.as_secs_f64() * 1e3)
+    } else if d.as_micros() >= 1 {
+        format!("{:.1} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{} ns", d.as_nanos())
+    }
+}
+
+fn e3_e4_linear_scaling() {
+    println!("\n## E4a — PTIME detectors: time vs pattern size (Theorems 1–2)\n");
+    println!("| |R| = |U| | read-insert | read-delete | growth |");
+    println!("|---|---|---|---|");
+    let mut prev: Option<f64> = None;
+    for n in [8usize, 32, 128, 512, 2048] {
+        let (ri, ii) = sized_insert_instance(n);
+        let (rd, dd) = sized_delete_instance(n);
+        let t_ins = time(9, || {
+            let _ = detect::read_insert_conflict(&ri, &ii, Semantics::Node).unwrap();
+        });
+        let t_del = time(9, || {
+            let _ = detect::read_delete_conflict(&rd, &dd, Semantics::Node).unwrap();
+        });
+        let cur = t_ins.as_secs_f64();
+        let growth = prev
+            .map(|p| format!("×{:.1} for ×4 size", cur / p))
+            .unwrap_or_else(|| "—".into());
+        prev = Some(cur);
+        println!("| {n} | {} | {} | {growth} |", fmt_dur(t_ins), fmt_dur(t_del));
+    }
+    println!("\nExpected shape: polynomial (the paper proves PTIME; ours is");
+    println!("roughly quadratic in pattern size from the product pass).");
+}
+
+fn e4_crossover() {
+    println!("\n## E4b — exhaustive search vs the PTIME detector (§5 vs §4)\n");
+    let parse = |s: &str| cxu::pattern::xpath::parse(s).unwrap();
+    let r = Read::new(parse("s0[s1][s2]/s3"));
+    let u = Update::Insert(Insert::new(
+        parse("s0[s1]/s2"),
+        cxu::tree::text::parse("s3").unwrap(),
+    ));
+    println!("| witness bound (nodes) | candidate trees | search time |");
+    println!("|---|---|---|");
+    for max_nodes in 2..=6 {
+        let alpha_len = cxu::core::brute::witness_alphabet(&r, &u).len();
+        let cands = count_trees(alpha_len, max_nodes);
+        let t = time(3, || {
+            let _ = find_witness(
+                &r,
+                &u,
+                Semantics::Node,
+                Budget {
+                    max_nodes,
+                    max_trees: 100_000_000,
+                },
+            );
+        });
+        println!("| {max_nodes} | {cands} | {} |", fmt_dur(t));
+    }
+    let r_lin = Read::new(parse("s0/s2/s3"));
+    let t_lin = time(9, || {
+        let _ = detect::read_update_conflict(&r_lin, &u, Semantics::Node).unwrap();
+    });
+    println!("| linear read (PTIME path) | — | {} |", fmt_dur(t_lin));
+    println!("\nExpected shape: exponential growth on the NP path, constant on");
+    println!("the PTIME path — the crossover sits below 4-node witnesses.");
+}
+
+fn e5_reduction() {
+    println!("\n## E5 — Theorems 4/6: conflict ⇔ non-containment, and exact-containment cost\n");
+    // Agreement sweep.
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for seed in 0..200u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let params = cxu::gen::patterns::PatternParams {
+            nodes: 3,
+            alphabet: 2,
+            branch_rate: 0.35,
+            ..Default::default()
+        };
+        let p = cxu::gen::patterns::random_pattern(&mut rng, &params);
+        let q = cxu::gen::patterns::random_pattern(&mut rng, &params);
+        let Some(contained) = containment::contains_within(&p, &q, 1 << 12) else {
+            continue;
+        };
+        let (r, i) = reduction::insert_instance(&p, &q);
+        let conflict = if let Some(t_p) = containment::find_counterexample(&p, &q, 4) {
+            let w = reduction::insert_witness_from_counterexample(&p, &q, &t_p);
+            witness::witnesses_insert_conflict(&r, &i, &w, Semantics::Node)
+        } else {
+            matches!(
+                find_witness(
+                    &r,
+                    &Update::Insert(i),
+                    Semantics::Node,
+                    Budget { max_nodes: 4, max_trees: 200_000 }
+                ),
+                SearchOutcome::Conflict(_)
+            )
+        };
+        total += 1;
+        if conflict != contained {
+            agree += 1;
+        }
+    }
+    println!("Theorem 4 agreement on {total} random pairs: {agree}/{total} (expected: all)\n");
+
+    // Cost of the exact decision procedure without the homomorphism
+    // fast path: sweep every canonical model of p (Miklau–Suciu). With a
+    // star-length-2 container, the count is (2+2)^k = 4^k.
+    println!("| descendant edges k | canonical models | full model sweep | homomorphism |");
+    println!("|---|---|---|---|");
+    for k in 1..=6 {
+        let p = pattern_with_desc_edges(8, k);
+        // Container with star-length 2 ending in p's leaf label.
+        let q = {
+            let leaf = format!("c{}", 7 % 3);
+            cxu::pattern::xpath::parse(&format!("c0//*/*/{leaf}")).unwrap()
+        };
+        let w = q.star_length();
+        let sweep = containment::canonical_models(&p, w, &q.alphabet());
+        let models = sweep.total();
+        let t_exact = time(3, || {
+            let all = containment::canonical_models(&p, w, &q.alphabet())
+                .all(|m| eval::matches(&q, &m));
+            std::hint::black_box(all);
+        });
+        let t_hom = time(9, || {
+            let _ = containment::homomorphism(&p, &q);
+        });
+        println!("| {k} | {models} | {} | {} |", fmt_dur(t_exact), fmt_dur(t_hom));
+    }
+    println!("\nExpected shape: sweep cost ∝ (w+2)^k; homomorphism flat (PTIME but incomplete).");
+}
+
+fn e6_witness_minimization() {
+    println!("\n## E6 — witness minimization (Lemmas 9–11)\n");
+    println!("| case | bloated witness | minimized | Lemma 11 bound |");
+    println!("|---|---|---|---|");
+    let parse = |s: &str| cxu::pattern::xpath::parse(s).unwrap();
+    let cases: Vec<(&str, Read, Update, Tree)> = {
+        let mk_del = |r: &str, d: &str, w: &str| {
+            (
+                Read::new(parse(r)),
+                Update::Delete(Delete::new(parse(d)).unwrap()),
+                cxu::tree::text::parse(w).unwrap(),
+            )
+        };
+        let mk_ins = |r: &str, i: &str, x: &str, w: &str| {
+            (
+                Read::new(parse(r)),
+                Update::Insert(Insert::new(parse(i), cxu::tree::text::parse(x).unwrap())),
+                cxu::tree::text::parse(w).unwrap(),
+            )
+        };
+        let (r1, u1, w1) = mk_ins("x//C", "x/B", "C", "x(B)");
+        let (r2, u2, w2) = mk_del("a//v", "a/b", "a(b(v))");
+        let (r3, u3, w3) = mk_del("a/*/*/v", "a//b", "a(b(m(v)))");
+        vec![
+            ("insert §1", r1, u1, w1),
+            ("delete fig5", r2, u2, w2),
+            ("star-chain", r3, u3, w3),
+        ]
+    };
+    for (name, r, u, seed_witness) in cases {
+        // Bloat the witness with noise at every node.
+        let mut big = seed_witness.clone();
+        let noise = cxu::tree::text::parse("n0(n1(n2) n3(n4 n5))").unwrap();
+        for n in seed_witness.nodes() {
+            big.graft(n, &noise);
+            big.graft(n, &noise);
+        }
+        big.clear_mods();
+        let small = witness_min::minimize(&r, &u, &big, Semantics::Node).expect("witness");
+        let bound = cxu::core::brute::lemma11_bound(&r, &u);
+        println!(
+            "| {name} | {} nodes | {} nodes | {bound} |",
+            big.live_count(),
+            small.live_count()
+        );
+        assert!(witness::witnesses_update_conflict(&r, &u, &small, Semantics::Node));
+    }
+    println!("\nExpected shape: minimized sizes far below |R|·|U|·(k+1).");
+}
+
+fn e7_witness_check() {
+    println!("\n## E7 — Lemma 1: witness checking vs document size\n");
+    let parse = |s: &str| cxu::pattern::xpath::parse(s).unwrap();
+    let r = Read::new(parse("s0//s1"));
+    let u = Update::Insert(Insert::new(
+        parse("s0/s2"),
+        cxu::tree::text::parse("s1").unwrap(),
+    ));
+    println!("| |t| | node | tree | value |");
+    println!("|---|---|---|---|");
+    for n in [100usize, 1_000, 10_000] {
+        let t = sized_document(n, 3);
+        let row: Vec<String> = Semantics::ALL
+            .iter()
+            .map(|&sem| {
+                fmt_dur(time(5, || {
+                    let _ = witness::witnesses_update_conflict(&r, &u, &t, sem);
+                }))
+            })
+            .collect();
+        println!("| {n} | {} | {} | {} |", row[0], row[1], row[2]);
+    }
+    println!("\nExpected shape: near-linear in |t| for all three semantics.");
+}
+
+fn e8_eval() {
+    println!("\n## E8 — evaluation engines (Core XPath claim, [7])\n");
+    // A wildcard chain has Θ(n·depth²)-many embeddings on deep documents:
+    // the naive enumerator materializes all of them, the two-pass engine
+    // only the candidate sets.
+    let p = cxu::pattern::xpath::parse("*//*//*//*").unwrap();
+    println!("| |t| | two-pass | naive enumeration | embeddings |");
+    println!("|---|---|---|---|");
+    for n in [50usize, 100, 200, 400] {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let t = random_tree(
+            &mut rng,
+            &TreeParams { nodes: n, alphabet: 3, deep_bias: 0.8, ..Default::default() },
+        );
+        let t_fast = time(5, || {
+            let _ = eval::eval(&p, &t);
+        });
+        let (t_naive, count) = if n <= 200 {
+            let count = embed::enumerate(&p, &t, usize::MAX).len();
+            let d = time(3, || {
+                let _ = embed::eval_naive(&p, &t);
+            });
+            (fmt_dur(d), count.to_string())
+        } else {
+            ("(skipped)".into(), "—".into())
+        };
+        println!("| {n} | {} | {t_naive} | {count} |", fmt_dur(t_fast));
+    }
+    println!("\nExpected shape: two-pass stays near-linear; naive grows with the");
+    println!("embedding count (superlinear on deep documents).");
+}
+
+fn e9_optimizer() {
+    println!("\n## E9 — §1 compiler scenario: provably reorderable pairs\n");
+    println!("| semantics | pairs | independent | share |");
+    println!("|---|---|---|---|");
+    for sem in [Semantics::Node, Semantics::Tree] {
+        let mut total = 0usize;
+        let mut indep = 0usize;
+        for seed in 0..50u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let prog = random_program(&mut rng, &ProgramParams::default());
+            for (ui, ri) in motion_candidates(&prog) {
+                let Stmt::Update(u) = &prog.stmts[ui] else { unreachable!() };
+                let Stmt::Read(r) = &prog.stmts[ri] else { unreachable!() };
+                total += 1;
+                if detect::independent(r, u, sem).unwrap() {
+                    indep += 1;
+                }
+            }
+        }
+        println!(
+            "| {sem:?} | {total} | {indep} | {:.0}% |",
+            100.0 * indep as f64 / total as f64
+        );
+    }
+    // Observational spot check (tree semantics, adjacent pairs).
+    let mut verified = 0usize;
+    for seed in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let prog = random_program(&mut rng, &ProgramParams::default());
+        let doc = random_tree(
+            &mut SmallRng::seed_from_u64(seed ^ 0xabc),
+            &TreeParams { nodes: 60, alphabet: 3, ..Default::default() },
+        );
+        for (ui, ri) in motion_candidates(&prog) {
+            if ri != ui + 1 {
+                continue;
+            }
+            let Stmt::Update(u) = &prog.stmts[ui] else { unreachable!() };
+            let Stmt::Read(r) = &prog.stmts[ri] else { unreachable!() };
+            if detect::independent(r, u, Semantics::Tree).unwrap() {
+                let mut stmts = prog.stmts.clone();
+                stmts.swap(ui, ri);
+                let swapped = cxu::gen::program::Program { stmts };
+                assert_eq!(observe(&prog, &doc), observe(&swapped, &doc));
+                verified += 1;
+            }
+        }
+    }
+    println!("\nObservational verification of hoists: {verified} pairs, all identical.");
+    println!("Expected shape: node semantics admits more reorderings than tree");
+    println!("semantics (node conflicts ⊆ tree conflicts).");
+}
+
+fn e10_update_update() {
+    println!("\n## E10 — §6 update-update commutativity (value semantics)\n");
+    let parse = |s: &str| cxu::pattern::xpath::parse(s).unwrap();
+    let cases: Vec<(&str, Update, Update)> = vec![
+        (
+            "identical inserts",
+            Update::Insert(Insert::new(parse("a/b"), cxu::tree::text::parse("x").unwrap())),
+            Update::Insert(Insert::new(parse("a/b"), cxu::tree::text::parse("x").unwrap())),
+        ),
+        (
+            "insert enables insert",
+            Update::Insert(Insert::new(parse("a/b"), cxu::tree::text::parse("c").unwrap())),
+            Update::Insert(Insert::new(parse("a/b/c"), cxu::tree::text::parse("q").unwrap())),
+        ),
+        (
+            "delete vs insert inside",
+            Update::Delete(Delete::new(parse("a/b/x")).unwrap()),
+            Update::Insert(Insert::new(parse("a/b"), cxu::tree::text::parse("x").unwrap())),
+        ),
+        (
+            "disjoint",
+            Update::Insert(Insert::new(parse("a/b"), cxu::tree::text::parse("x").unwrap())),
+            Update::Delete(Delete::new(parse("a/c")).unwrap()),
+        ),
+    ];
+    println!("| pair | outcome (bound 5 nodes) |");
+    println!("|---|---|");
+    for (name, u1, u2) in cases {
+        let out = update_update::find_noncommuting_witness(&u1, &u2, Default::default());
+        let verdict = match out {
+            update_update::Outcome::Conflict(w) => {
+                format!("conflict (witness {} nodes)", w.live_count())
+            }
+            update_update::Outcome::NoConflictWithin(n) => format!("commute (≤ {n} nodes)"),
+            update_update::Outcome::BudgetExceeded(_) => "undecided".into(),
+        };
+        println!("| {name} | {verdict} |");
+    }
+    println!("\nExpected: identical inserts commute (§6's requirement); enabling");
+    println!("and delete-inside pairs conflict; disjoint pairs commute.");
+}
+
+fn e11_schema() {
+    println!("\n## E11 — §6 schema-aware refinement\n");
+    use cxu::schema::{ChildSpec, Dtd, SchemaSearchOutcome};
+    let parse = |s: &str| cxu::pattern::xpath::parse(s).unwrap();
+    let dtd = Dtd::new("inventory")
+        .element("inventory", vec![ChildSpec::star("book")])
+        .element(
+            "book",
+            vec![
+                ChildSpec::one("title"),
+                ChildSpec::optional("quantity"),
+                ChildSpec::optional("restock"),
+            ],
+        );
+    let cases = [
+        ("read inv//restock vs insert under book/promo", "inventory//restock", "inventory/book/promo"),
+        ("read inv//restock vs insert under book", "inventory//restock", "inventory/book"),
+    ];
+    println!("| pair | over all trees | over conforming trees |");
+    println!("|---|---|---|");
+    for (name, r_src, i_src) in cases {
+        let r = Read::new(parse(r_src));
+        let u = Update::Insert(Insert::new(
+            parse(i_src),
+            cxu::tree::text::parse("restock").unwrap(),
+        ));
+        let unconstrained = detect::read_update_conflict(&r, &u, Semantics::Node).unwrap();
+        let constrained = match cxu::schema::find_witness_conforming(
+            &r, &u, Semantics::Node, &dtd, 7, 200_000,
+        ) {
+            SchemaSearchOutcome::Conflict(_) => "conflict",
+            SchemaSearchOutcome::NoConflictWithin(_) => "independent",
+            SchemaSearchOutcome::BudgetExceeded => "undecided",
+        };
+        println!(
+            "| {name} | {} | {constrained} |",
+            if unconstrained { "conflict" } else { "independent" }
+        );
+    }
+    println!("\nExpected: the schema kills the <promo> conflict, keeps the real one.");
+}
+
+fn e10b_matcher_ablation() {
+    println!("\n## E10b — matching ablation: all-prefixes DP vs per-edge NFA\n");
+    println!("| |R| | prefix DP | per-edge NFA |");
+    println!("|---|---|---|");
+    for n in [8usize, 32, 128, 512] {
+        let u = sized_linear_pattern(n, 1);
+        let r = sized_linear_pattern(n, 0);
+        let t_dp = time(5, || {
+            let pm = matching::PrefixMatcher::new(&u, &r);
+            let _ = pm.weak(pm.read_len());
+        });
+        let t_nfa = time(3, || {
+            let k = matching::spine_nodes(&r).len();
+            for j in 1..=k {
+                let prefix = matching::read_prefix(&r, j);
+                let _ = matching::match_weak(&u, &prefix);
+            }
+        });
+        println!("| {n} | {} | {} |", fmt_dur(t_dp), fmt_dur(t_nfa));
+    }
+    println!("\nExpected shape: DP ~one pass (quadratic total); per-edge ~cubic.");
+}
+
+fn e12_construct() {
+    println!("\n## E12 — constructive witnesses (Lemmas 3/6, If-directions)\n");
+    use cxu::core::construct;
+    println!("| |R| = |U| | detect | construct + verify | witness size |");
+    println!("|---|---|---|---|");
+    for n in [8usize, 32, 128, 512] {
+        let (r, i) = sized_conflicting_insert_instance(n);
+        let t_detect = time(9, || {
+            let _ = detect::read_insert_conflict(&r, &i, Semantics::Node).unwrap();
+        });
+        let mut size = String::from("—");
+        let t_construct = time(5, || {
+            if let Some(w) = construct::construct_insert_witness(&r, &i) {
+                size = w.live_count().to_string();
+            }
+        });
+        println!(
+            "| {n} | {} | {} | {size} |",
+            fmt_dur(t_detect),
+            fmt_dur(t_construct)
+        );
+    }
+    println!("\nExpected shape: construction stays polynomial; every returned");
+    println!("witness is re-verified with the Lemma 1 checker before return.");
+}
+
+fn e13_minimization() {
+    println!("\n## E13 — pattern minimization as preprocessing (baseline [2])\n");
+    use cxu::pattern::minimize::minimize;
+    // Random patterns with deliberately duplicated branches.
+    let mut total_before = 0usize;
+    let mut total_after = 0usize;
+    let mut cases = 0usize;
+    for seed in 0..40u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let base = cxu::gen::patterns::random_pattern(
+            &mut rng,
+            &cxu::gen::patterns::PatternParams {
+                nodes: 4,
+                alphabet: 2,
+                branch_rate: 0.5,
+                wildcard_rate: 0.1,
+                ..Default::default()
+            },
+        );
+        // Duplicate one branch to inject redundancy.
+        let mut p = base.clone();
+        let spine = p.path(p.root(), p.output()).unwrap();
+        let branch = p.node_ids().find(|n| !spine.contains(n));
+        if let Some(b) = branch {
+            let sub = p.subpattern(b);
+            let (parent, axis) = p.parent(b).unwrap();
+            p.graft(parent, axis, &sub);
+        }
+        let m = minimize(&p, 1 << 14);
+        total_before += p.len();
+        total_after += m.len();
+        cases += 1;
+    }
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| patterns | {cases} (random, one branch duplicated) |");
+    println!(
+        "| mean size before → after | {:.1} → {:.1} nodes |",
+        total_before as f64 / cases as f64,
+        total_after as f64 / cases as f64
+    );
+    // Effect on the NP-side search: Lemma 11 bound shrinks with |U|.
+    let parse = |s: &str| cxu::pattern::xpath::parse(s).unwrap();
+    let r = Read::new(parse("s0[s1][s2]/s3"));
+    let fat = parse("s0[s1][s1][s1[.//s1]]/s2");
+    let slim = minimize(&fat, 1 << 14);
+    let mk = |pat: &Pattern| {
+        Update::Insert(Insert::new(pat.clone(), cxu::tree::text::parse("s3").unwrap()))
+    };
+    println!(
+        "| Lemma 11 bound, redundant update | {} |",
+        cxu::core::brute::lemma11_bound(&r, &mk(&fat))
+    );
+    println!(
+        "| Lemma 11 bound, minimized update ({} → {} nodes) | {} |",
+        fat.len(),
+        slim.len(),
+        cxu::core::brute::lemma11_bound(&r, &mk(&slim))
+    );
+    println!("\nExpected shape: injected redundancy removed; smaller update");
+    println!("patterns shrink the exhaustive-search bound proportionally.");
+}
+
+fn e14_incremental() {
+    println!("\n## E14 — incremental read maintenance vs full re-evaluation\n");
+    use cxu::core::incremental::IncrementalRead;
+    let parse = |s: &str| cxu::pattern::xpath::parse(s).unwrap();
+    println!("| |t| | full re-eval | incremental maintenance |");
+    println!("|---|---|---|");
+    for n in [1_000usize, 10_000, 100_000] {
+        let base = sized_document(n, 21);
+        let read = Read::new(parse("s0//s1/s2"));
+        let ins = Insert::new(parse("s0/s1"), cxu::tree::text::parse("s2").unwrap());
+        // Full path: evaluate from scratch on the updated document.
+        let updated = {
+            let mut t = base.clone();
+            ins.apply(&mut t);
+            t
+        };
+        let t_full = time(5, || {
+            std::hint::black_box(read.eval(&updated).len());
+        });
+        // Incremental path: the update is applied either way (finding its
+        // points is the update's own cost); time only the maintenance of
+        // the cached read result.
+        let t_maintain = {
+            let mut samples = Vec::new();
+            for _ in 0..5 {
+                let mut t = base.clone();
+                let mut inc = IncrementalRead::new(read.clone(), &t).unwrap();
+                let pairs = ins.apply_indexed(&mut t);
+                let t0 = std::time::Instant::now();
+                inc.note_insert(&t, &pairs);
+                samples.push(t0.elapsed());
+                std::hint::black_box(inc.result().len());
+            }
+            samples.sort_unstable();
+            samples[samples.len() / 2]
+        };
+        println!("| {n} | {} | {} |", fmt_dur(t_full), fmt_dur(t_maintain));
+    }
+    println!("\nExpected shape: full re-evaluation grows with |t|; incremental");
+    println!("maintenance is proportional to the update (paths + copies), not |t|.");
+}
+
+fn e15_program_analysis() {
+    println!("\n## E15 — whole-program analysis (§1 compiler, assembled)\n");
+    use cxu::gen::analysis::{conflict_matrix, cse_pairs, eliminate_common_reads, hoistable};
+    use cxu::gen::program::{random_program, ProgramParams};
+    let mut pairs = 0usize;
+    let mut indep = 0usize;
+    let mut hoists = 0usize;
+    let mut cse = 0usize;
+    let mut eliminated = 0usize;
+    let programs = 60usize;
+    for seed in 0..programs as u64 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xe15);
+        let prog = random_program(&mut rng, &ProgramParams::default());
+        let m = conflict_matrix(&prog, Semantics::Tree);
+        pairs += m.len();
+        indep += m.iter().filter(|v| v.independent).count();
+        hoists += hoistable(&prog).len();
+        cse += cse_pairs(&prog).len();
+        eliminated += eliminate_common_reads(&prog).1;
+    }
+    println!("| metric (over {programs} random 10-stmt programs) | value |");
+    println!("|---|---|");
+    println!("| update→read pairs | {pairs} |");
+    println!(
+        "| provably independent (tree semantics) | {indep} ({:.0}%) |",
+        100.0 * indep as f64 / pairs.max(1) as f64
+    );
+    println!("| hoistable reads (adjacent) | {hoists} |");
+    println!("| CSE-reusable read pairs | {cse} |");
+    println!("| reads eliminated by CSE | {eliminated} |");
+    println!("\nExpected shape: a useful fraction of real programs is provably");
+    println!("reorderable/reusable — the paper's motivation quantified.");
+}
+
+fn main() {
+    println!("# Conflicting XML Updates — experiment report");
+    println!("\n(Each section regenerates one table of EXPERIMENTS.md; shapes,");
+    println!("not absolute numbers, are the reproduction target.)");
+    e3_e4_linear_scaling();
+    e4_crossover();
+    e5_reduction();
+    e6_witness_minimization();
+    e7_witness_check();
+    e8_eval();
+    e9_optimizer();
+    e10_update_update();
+    e10b_matcher_ablation();
+    e12_construct();
+    e13_minimization();
+    e14_incremental();
+    e15_program_analysis();
+    e11_schema();
+    println!("\nDone.");
+}

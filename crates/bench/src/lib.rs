@@ -1,0 +1,166 @@
+//! Shared instance builders for the benchmark harness and the
+//! `experiments` report binary. Everything is deterministic (seeded), so
+//! criterion runs and report runs measure the same instances.
+
+use cxu::gen::patterns::{random_pattern, PatternParams};
+use cxu::gen::trees::{random_tree, TreeParams};
+use cxu::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A deterministic linear pattern of exactly `n` nodes: labels cycle
+/// through a small alphabet, every third edge is a descendant edge, every
+/// fifth node a wildcard. Shapes are fixed so scaling curves measure size,
+/// not shape noise.
+pub fn sized_linear_pattern(n: usize, salt: u64) -> Pattern {
+    let lbl = |i: usize| -> Option<Symbol> {
+        if (i + salt as usize) % 5 == 4 {
+            None
+        } else {
+            Some(Symbol::intern(&format!("s{}", (i + salt as usize) % 4)))
+        }
+    };
+    let mut p = Pattern::new(lbl(0));
+    let mut cur = p.root();
+    for i in 1..n.max(1) {
+        let axis = if (i + salt as usize) % 3 == 2 {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        cur = p.add_child(cur, axis, lbl(i));
+    }
+    p.set_output(cur);
+    p
+}
+
+/// A read/insert pair of the given pattern size (both linear).
+pub fn sized_insert_instance(n: usize) -> (Read, Insert) {
+    let r = Read::new(sized_linear_pattern(n, 0));
+    let x = cxu::tree::text::parse("s1(s2 s3)").unwrap();
+    let i = Insert::new(sized_linear_pattern(n, 1), x);
+    (r, i)
+}
+
+/// A read/delete pair of the given pattern size (both linear).
+pub fn sized_delete_instance(n: usize) -> (Read, Delete) {
+    let r = Read::new(sized_linear_pattern(n, 0));
+    let d = Delete::new(sized_linear_pattern(n.max(2), 1))
+        .expect("sized patterns of ≥2 nodes have non-root output");
+    (r, d)
+}
+
+/// A read/insert pair of size `n` that is **guaranteed to conflict**:
+/// the insert's pattern is the read's spine minus its last node, and `X`
+/// is a model of that last node — the §1 situation at scale.
+pub fn sized_conflicting_insert_instance(n: usize) -> (Read, Insert) {
+    let read_pat = sized_linear_pattern(n.max(2), 0);
+    let spine: Vec<_> = read_pat
+        .path(read_pat.root(), read_pat.output())
+        .expect("linear");
+    let ins_pat = read_pat
+        .seq(spine[0], spine[spine.len() - 2])
+        .expect("prefix is a path");
+    let x = read_pat
+        .subpattern(*spine.last().expect("nonempty"))
+        .model_fresh(&[]);
+    (Read::new(read_pat), Insert::new(ins_pat, x))
+}
+
+/// A random document of `n` nodes over the same `s0..s3` alphabet the
+/// sized patterns use, so evaluations actually match.
+pub fn sized_document(n: usize, seed: u64) -> Tree {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    random_tree(
+        &mut rng,
+        &TreeParams {
+            nodes: n,
+            labels: (0..4).map(|i| Symbol::intern(&format!("s{i}"))).collect(),
+            deep_bias: 0.35,
+            ..TreeParams::default()
+        },
+    )
+}
+
+/// A random branching pattern of `n` nodes over the shared alphabet.
+pub fn sized_branching_pattern(n: usize, seed: u64) -> Pattern {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    random_pattern(
+        &mut rng,
+        &PatternParams {
+            nodes: n,
+            labels: (0..4).map(|i| Symbol::intern(&format!("s{i}"))).collect(),
+            branch_rate: 0.4,
+            wildcard_rate: 0.15,
+            descendant_rate: 0.3,
+            ..PatternParams::default()
+        },
+    )
+}
+
+/// A pattern with exactly `k` descendant edges and the rest child edges —
+/// the scaling knob of the exact containment procedure (its canonical
+/// model count is `(w+2)^k`).
+pub fn pattern_with_desc_edges(total_nodes: usize, k: usize) -> Pattern {
+    let mut p = Pattern::new(Some(Symbol::intern("c0")));
+    let mut cur = p.root();
+    for i in 1..total_nodes {
+        let axis = if i <= k { Axis::Descendant } else { Axis::Child };
+        cur = p.add_child(cur, axis, Some(Symbol::intern(&format!("c{}", i % 3))));
+    }
+    p.set_output(cur);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_patterns_have_exact_size() {
+        for n in [1, 2, 10, 100] {
+            assert_eq!(sized_linear_pattern(n, 0).len(), n);
+            assert!(sized_linear_pattern(n, 0).is_linear());
+        }
+    }
+
+    #[test]
+    fn instances_wellformed() {
+        let (r, i) = sized_insert_instance(12);
+        assert!(r.pattern().is_linear());
+        assert_eq!(i.pattern().len(), 12);
+        let (_, d) = sized_delete_instance(12);
+        assert_ne!(d.pattern().output(), d.pattern().root());
+    }
+
+    #[test]
+    fn conflicting_instance_conflicts() {
+        use cxu::detect;
+        use cxu::prelude::Semantics;
+        for n in [2usize, 8, 33] {
+            let (r, i) = sized_conflicting_insert_instance(n);
+            assert!(
+                detect::read_insert_conflict(&r, &i, Semantics::Node).unwrap(),
+                "size {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn desc_edge_count() {
+        let p = pattern_with_desc_edges(8, 3);
+        let descs = p
+            .node_ids()
+            .filter(|&n| p.axis(n) == Some(Axis::Descendant))
+            .count();
+        assert_eq!(descs, 3);
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn documents_match_pattern_alphabet() {
+        let t = sized_document(100, 1);
+        let labels: Vec<&str> = t.alphabet().iter().map(|s| s.as_str()).collect();
+        assert!(labels.iter().all(|l| l.starts_with('s')));
+    }
+}

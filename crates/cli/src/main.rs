@@ -1,0 +1,316 @@
+//! `cxu` — command-line conflict checker for XML update operations.
+//!
+//! ```text
+//! cxu check   --read <xpath> (--insert <xpath> --subtree <term> | --delete <xpath>)
+//!             [--semantics node|tree|value]
+//! cxu witness --read <xpath> (--insert … --subtree … | --delete …) --doc <term|file>
+//!             [--semantics node|tree|value] [--minimize]
+//! cxu eval    --pattern <xpath> --doc <term|file>
+//! cxu contain --sub <xpath> --sup <xpath>
+//! ```
+//!
+//! Documents are given inline in the `a(b c(d))` term syntax, or as a
+//! path to a `.xml` / `.tree` file.
+
+use cxu::core::{brute, witness_min};
+use cxu::pattern::{containment, eval, xpath, Pattern};
+use cxu::prelude::*;
+use cxu::tree::{text, xml};
+use cxu::{detect, witness};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cxu — conflict detection for XML updates (Raghavachari–Shmueli, EDBT'06)
+
+USAGE:
+  cxu check   --read <xpath> --insert <xpath> --subtree <term> [--semantics S]
+  cxu check   --read <xpath> --delete <xpath>                  [--semantics S]
+  cxu witness --read <xpath> --insert <xpath> --subtree <term> --doc <D> [--minimize]
+  cxu witness --read <xpath> --delete <xpath>                  --doc <D> [--minimize]
+  cxu eval    --pattern <xpath> --doc <D>
+  cxu contain --sub <xpath> --sup <xpath>
+  cxu analyze --program <file|source>
+  cxu dot     (--pattern <xpath> | --doc <D>)
+
+  S = node | tree | value        (default: node)
+  D = inline term like 'a(b c)', or a path to a .xml / .tree file
+
+EXAMPLES:
+  cxu check --read 'x//C' --insert 'x/B' --subtree 'C'
+  cxu witness --read 'x//C' --insert 'x/B' --subtree 'C' --doc 'x(B)'
+  cxu eval --pattern 'inventory/book[.//quantity]' --doc inventory.xml
+  cxu contain --sub 'a/b' --sup 'a//b'
+";
+
+struct Args {
+    flags: Vec<(String, String)>,
+    bools: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut bools = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    flags.push((name.to_owned(), argv[i + 1].clone()));
+                    i += 2;
+                } else {
+                    bools.push(name.to_owned());
+                    i += 1;
+                }
+            } else {
+                return Err(format!("unexpected argument: {a}"));
+            }
+        }
+        Ok(Args { flags, bools })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name)
+    }
+}
+
+fn parse_pattern(src: &str) -> Result<Pattern, String> {
+    xpath::parse(src).map_err(|e| format!("bad pattern '{src}': {e}"))
+}
+
+fn parse_doc(src: &str) -> Result<Tree, String> {
+    if std::path::Path::new(src).exists() {
+        let content =
+            std::fs::read_to_string(src).map_err(|e| format!("cannot read {src}: {e}"))?;
+        if src.ends_with(".xml") || content.trim_start().starts_with('<') {
+            xml::parse(&content).map_err(|e| format!("bad XML in {src}: {e}"))
+        } else {
+            text::parse(content.trim()).map_err(|e| format!("bad tree in {src}: {e}"))
+        }
+    } else if src.trim_start().starts_with('<') {
+        xml::parse(src).map_err(|e| format!("bad XML: {e}"))
+    } else {
+        text::parse(src).map_err(|e| format!("bad tree term '{src}': {e}"))
+    }
+}
+
+fn parse_semantics(args: &Args) -> Result<Semantics, String> {
+    match args.get("semantics").unwrap_or("node") {
+        "node" => Ok(Semantics::Node),
+        "tree" => Ok(Semantics::Tree),
+        "value" => Ok(Semantics::Value),
+        other => Err(format!("unknown semantics '{other}' (node|tree|value)")),
+    }
+}
+
+fn parse_update(args: &Args) -> Result<Update, String> {
+    if let Some(ins) = args.get("insert") {
+        let sub = args.require("subtree")?;
+        Ok(Update::Insert(Insert::new(
+            parse_pattern(ins)?,
+            parse_doc(sub)?,
+        )))
+    } else if let Some(del) = args.get("delete") {
+        Delete::new(parse_pattern(del)?)
+            .map(Update::Delete)
+            .map_err(|e| format!("bad delete pattern: {e}"))
+    } else {
+        Err("need --insert <xpath> --subtree <term>, or --delete <xpath>".into())
+    }
+}
+
+fn cmd_check(args: &Args) -> Result<String, String> {
+    let read = Read::new(parse_pattern(args.require("read")?)?);
+    let update = parse_update(args)?;
+    let sem = parse_semantics(args)?;
+    if read.pattern().is_linear() {
+        let conflict = detect::read_update_conflict(&read, &update, sem)
+            .expect("linearity checked");
+        let mut out = format!(
+            "{} ({:?} semantics, PTIME detector, Theorems 1-2)",
+            if conflict { "CONFLICT" } else { "independent" },
+            sem
+        );
+        if conflict {
+            if let Some(ev) = cxu::core::construct::explain(&read, &update, sem) {
+                match ev.edge {
+                    Some(edge) => out.push_str(&format!(
+                        "\n  fired at read edge {edge} ({:?} axis); witness: {}",
+                        ev.axis.expect("edge implies axis"),
+                        text::to_text(&ev.witness)
+                    )),
+                    None => out.push_str(&format!(
+                        "\n  update lands inside a selected subtree; witness: {}",
+                        text::to_text(&ev.witness)
+                    )),
+                }
+            }
+        }
+        Ok(out)
+    } else {
+        // NP path: bounded exhaustive search.
+        let out = brute::find_witness(&read, &update, sem, brute::Budget::default());
+        Ok(match out {
+            brute::SearchOutcome::Conflict(w) => format!(
+                "CONFLICT — witness: {} ({:?} semantics, exhaustive search)",
+                text::to_text(&w),
+                sem
+            ),
+            brute::SearchOutcome::NoConflictWithin(n) => format!(
+                "no conflict witnessed by trees of <= {n} nodes \
+                 (branching read: problem is NP-complete, §5)"
+            ),
+            brute::SearchOutcome::BudgetExceeded(n) => {
+                format!("undecided: {n} candidate trees exceed the search budget")
+            }
+        })
+    }
+}
+
+fn cmd_witness(args: &Args) -> Result<String, String> {
+    let read = Read::new(parse_pattern(args.require("read")?)?);
+    let update = parse_update(args)?;
+    let sem = parse_semantics(args)?;
+    let doc = parse_doc(args.require("doc")?)?;
+    let is_witness = witness::witnesses_update_conflict(&read, &update, &doc, sem);
+    let mut out = format!(
+        "document {} a {:?}-semantics conflict",
+        if is_witness { "WITNESSES" } else { "does not witness" },
+        sem
+    );
+    if is_witness && args.has("minimize") {
+        if let Some(small) = witness_min::minimize(&read, &update, &doc, sem) {
+            out.push_str(&format!(
+                "\nminimized witness ({} → {} nodes): {}",
+                doc.live_count(),
+                small.live_count(),
+                text::to_text(&small)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_eval(args: &Args) -> Result<String, String> {
+    let p = parse_pattern(args.require("pattern")?)?;
+    let doc = parse_doc(args.require("doc")?)?;
+    let hits = eval::eval(&p, &doc);
+    let mut out = format!("{} node(s) selected", hits.len());
+    for n in hits {
+        out.push_str(&format!("\n  {}", text::subtree_to_text(&doc, n)));
+    }
+    Ok(out)
+}
+
+fn cmd_contain(args: &Args) -> Result<String, String> {
+    let p = parse_pattern(args.require("sub")?)?;
+    let q = parse_pattern(args.require("sup")?)?;
+    match containment::contains_within(&p, &q, 1 << 22) {
+        Some(true) => Ok(format!("{p}  ⊆  {q}")),
+        Some(false) => {
+            let cx = containment::find_counterexample(&p, &q, 5)
+                .map(|t| format!(" (counterexample: {})", text::to_text(&t)))
+                .unwrap_or_default();
+            Ok(format!("{p}  ⊄  {q}{cx}"))
+        }
+        None => Err("instance too large for the exact canonical-model procedure".into()),
+    }
+}
+
+fn cmd_dot(args: &Args) -> Result<String, String> {
+    if let Some(src) = args.get("pattern") {
+        let p = parse_pattern(src)?;
+        Ok(cxu::pattern::dot::pattern_to_dot(&p, "pattern"))
+    } else if let Some(src) = args.get("doc") {
+        let t = parse_doc(src)?;
+        Ok(cxu::pattern::dot::tree_to_dot(&t, "doc"))
+    } else {
+        Err("dot needs --pattern <xpath> or --doc <D>".into())
+    }
+}
+
+fn cmd_analyze(args: &Args) -> Result<String, String> {
+    use cxu::gen::analysis::{conflict_matrix, cse_pairs, hoistable};
+    use cxu::gen::parse::{parse_program, to_source};
+    use cxu::gen::program::Stmt;
+
+    let spec = args.require("program")?;
+    let src = if std::path::Path::new(spec).exists() {
+        std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?
+    } else {
+        spec.to_owned()
+    };
+    let program = parse_program(&src).map_err(|e| e.to_string())?;
+
+    let mut out = String::from("program:\n");
+    for (i, line) in to_source(&program).lines().enumerate() {
+        out.push_str(&format!("  {i}: {line}\n"));
+    }
+
+    out.push_str("\nconflict matrix (update → later read):\n");
+    for v in conflict_matrix(&program, Semantics::Node) {
+        let Stmt::Read(r) = &program.stmts[v.read] else { unreachable!() };
+        let u = match &program.stmts[v.update] {
+            Stmt::Update(u) => u,
+            _ => unreachable!(),
+        };
+        out.push_str(&format!(
+            "  stmt {} ({}) vs read {} ({}): {}\n",
+            v.update,
+            u.pattern(),
+            v.read,
+            r.pattern(),
+            if v.independent { "independent" } else { "CONFLICT" }
+        ));
+    }
+
+    let hoists = hoistable(&program);
+    out.push_str(&format!(
+        "\nhoistable reads (tree semantics): {hoists:?}\n"
+    ));
+    let cse = cse_pairs(&program);
+    out.push_str(&format!("CSE-reusable read pairs: {cse:?}\n"));
+    Ok(out)
+}
+
+fn run() -> Result<String, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(USAGE.into());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "check" => cmd_check(&args),
+        "witness" => cmd_witness(&args),
+        "eval" => cmd_eval(&args),
+        "contain" => cmd_contain(&args),
+        "analyze" => cmd_analyze(&args),
+        "dot" => cmd_dot(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.into()),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Integration tests driving the `cxu` binary end to end.
+
+use std::process::{Command, Output};
+
+fn cxu(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cxu"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn check_conflict_linear() {
+    let out = cxu(&["check", "--read", "x//C", "--insert", "x/B", "--subtree", "C"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("CONFLICT"), "{s}");
+    assert!(s.contains("witness"), "evidence shown: {s}");
+}
+
+#[test]
+fn check_independent_linear() {
+    let out = cxu(&["check", "--read", "x//D", "--insert", "x/B", "--subtree", "C"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("independent"));
+}
+
+#[test]
+fn check_delete() {
+    let out = cxu(&["check", "--read", "a/b//v", "--delete", "a/b/u"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("CONFLICT"));
+}
+
+#[test]
+fn check_semantics_flag() {
+    // Node-independent but tree-conflicting pair.
+    let node = cxu(&["check", "--read", "a/b", "--insert", "a/b/c", "--subtree", "x"]);
+    assert!(stdout(&node).contains("independent"));
+    let tree = cxu(&[
+        "check", "--read", "a/b", "--insert", "a/b/c", "--subtree", "x",
+        "--semantics", "tree",
+    ]);
+    assert!(stdout(&tree).contains("CONFLICT"), "{}", stdout(&tree));
+}
+
+#[test]
+fn check_branching_read_uses_search() {
+    let out = cxu(&["check", "--read", "a[b][c]", "--insert", "a[b]", "--subtree", "c"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("CONFLICT") && s.contains("exhaustive"), "{s}");
+}
+
+#[test]
+fn witness_and_minimize() {
+    let out = cxu(&[
+        "witness", "--read", "x//C", "--insert", "x/B", "--subtree", "C",
+        "--doc", "x(B(pad) junk(j1 j2))", "--minimize",
+    ]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("WITNESSES"), "{s}");
+    assert!(s.contains("minimized witness"), "{s}");
+    assert!(s.contains("x(B)"), "{s}");
+}
+
+#[test]
+fn witness_negative() {
+    let out = cxu(&[
+        "witness", "--read", "x//C", "--insert", "x/B", "--subtree", "C",
+        "--doc", "x(D)",
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("does not witness"));
+}
+
+#[test]
+fn eval_inline_term() {
+    let out = cxu(&["eval", "--pattern", "a//b", "--doc", "a(b x(b))"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("2 node(s) selected"));
+}
+
+#[test]
+fn eval_xml_file() {
+    let dir = std::env::temp_dir().join("cxu-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("doc.xml");
+    std::fs::write(&path, "<inv><book><q/></book><book/></inv>").unwrap();
+    let out = cxu(&["eval", "--pattern", "inv/book[q]", "--doc", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("1 node(s) selected"), "{}", stdout(&out));
+}
+
+#[test]
+fn containment_both_ways() {
+    let yes = cxu(&["contain", "--sub", "a/b", "--sup", "a//b"]);
+    assert!(stdout(&yes).contains("⊆"));
+    let no = cxu(&["contain", "--sub", "a//b", "--sup", "a/b"]);
+    let s = stdout(&no);
+    assert!(s.contains("⊄") && s.contains("counterexample"), "{s}");
+}
+
+#[test]
+fn missing_args_fail_cleanly() {
+    let out = cxu(&["check", "--read", "a/b"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--insert"));
+}
+
+#[test]
+fn bad_pattern_reports_position() {
+    let out = cxu(&["check", "--read", "a[", "--delete", "a/b"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad pattern"));
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let help = cxu(&["help"]);
+    assert!(help.status.success());
+    assert!(stdout(&help).contains("USAGE"));
+    let unknown = cxu(&["frobnicate"]);
+    assert!(!unknown.status.success());
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = cxu(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn analyze_inline_program() {
+    let out = cxu(&[
+        "analyze", "--program",
+        "y = read $x//A; insert $x/B, <C/>; z = read $x//C; w = read $x//D",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("CONFLICT"), "{s}");
+    assert!(s.contains("independent"), "{s}");
+}
+
+#[test]
+fn analyze_program_file() {
+    let dir = std::env::temp_dir().join("cxu-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("prog.cxu");
+    std::fs::write(
+        &path,
+        "# restock pipeline\ny = read $x/book/title\ninsert $x/book, restock\nz = read $x/book/title\n",
+    )
+    .unwrap();
+    let out = cxu(&["analyze", "--program", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("CSE-reusable read pairs: [(0, 2)]"), "{s}");
+}
+
+#[test]
+fn analyze_bad_program() {
+    let out = cxu(&["analyze", "--program", "launch the missiles"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("statement 1"));
+}
+
+#[test]
+fn dot_export() {
+    let p = cxu(&["dot", "--pattern", "a[.//c]/b"]);
+    assert!(p.status.success());
+    let s = stdout(&p);
+    assert!(s.starts_with("digraph") && s.contains("style=dashed"), "{s}");
+    let t = cxu(&["dot", "--doc", "a(b c(d))"]);
+    assert!(stdout(&t).matches("->").count() == 3);
+    let neither = cxu(&["dot"]);
+    assert!(!neither.status.success());
+}

@@ -1,0 +1,386 @@
+//! Polynomial-time conflict detection for linear reads (§4).
+//!
+//! The headline algorithms of the paper. The **read** pattern must be
+//! linear (`P^{//,*}`); the update pattern may be *any* pattern in
+//! `P^{//,[],*}` — Lemmas 4 and 8 reduce it to its spine
+//! `SEQ_{ROOT}^{𝒪}` without changing the answer.
+//!
+//! * **read-delete** (Lemma 3, Theorem 1, Corollary 1): a node conflict
+//!   exists iff some edge `(n, n')` of the read satisfies
+//!   * descendant edge: the delete spine and `SEQ_{ROOT(R)}^{n}` match
+//!     *weakly*;
+//!   * child edge: the delete spine and `SEQ_{ROOT(R)}^{n'}` match
+//!     *strongly*.
+//! * **read-insert** (Lemmas 5–8, Theorem 2, Corollary 2): a node
+//!   conflict exists iff some edge `(n, n')` of the read is a *cut edge*:
+//!   * child edge: the insert spine and `SEQ_{ROOT(R)}^{n}` match
+//!     strongly, and `SEQ_{n'}^{𝒪(R)}` embeds into `X` at its root;
+//!   * descendant edge: the insert spine and `SEQ_{ROOT(R)}^{n}` match
+//!     weakly, and `SEQ_{n'}^{𝒪(R)}` embeds into `X` or a subtree of `X`.
+//! * **tree conflicts** (remarks after Theorems 1–2): a node conflict, or
+//!   the update spine weakly matches the whole read (a selected node's
+//!   subtree can be modified).
+//! * **value conflicts**: equivalent to tree conflicts for linear reads
+//!   (Lemma 2 and the §4 remarks).
+//!
+//! All matching questions for all read prefixes are answered by a single
+//! [`PrefixMatcher`] pass, as the paper's dynamic-programming remark
+//! suggests, so detection runs in `O(|R|·|U|·|Σ| + |R|·|X|)`.
+
+use crate::matching::{spine_nodes, PrefixMatcher};
+use cxu_ops::{Delete, Insert, Read, Semantics, Update};
+use cxu_pattern::{eval, Axis};
+use std::fmt;
+
+/// Why a detection request was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectError {
+    /// The PTIME algorithms require the read pattern to be linear; for
+    /// branching reads the problem is NP-complete (§5) — use
+    /// [`crate::brute`].
+    ReadNotLinear,
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::ReadNotLinear => {
+                write!(f, "the PTIME detectors require a linear read pattern (P^{{//,*}})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+/// Does the read conflict with the deletion under `sem`, over **all**
+/// trees? (Definition 4 quantifies over witnesses; this decides existence
+/// without search.) The read must be linear; the delete may branch.
+pub fn read_delete_conflict(
+    r: &Read,
+    d: &Delete,
+    sem: Semantics,
+) -> Result<bool, DetectError> {
+    if !r.pattern().is_linear() {
+        return Err(DetectError::ReadNotLinear);
+    }
+    let read = r.pattern();
+    let spine = d.pattern().spine(); // Lemma 4
+    let pm = PrefixMatcher::new(&spine, read);
+    let nodes = spine_nodes(read);
+    let k = nodes.len();
+
+    let node_conflict = (2..=k).any(|j| {
+        // Edge (n, n') = (nodes[j-2], nodes[j-1]).
+        match read.axis(nodes[j - 1]).expect("non-root spine node") {
+            Axis::Descendant => pm.weak(j - 1),
+            Axis::Child => pm.strong(j),
+        }
+    });
+
+    Ok(match sem {
+        Semantics::Node => node_conflict,
+        // Remark after Theorem 1: tree conflict ⇔ node conflict ∨ the
+        // delete is weakly matched by the full read (a deletion point can
+        // land inside a selected subtree). Value ≡ tree for linear reads
+        // (Lemma 2).
+        Semantics::Tree | Semantics::Value => node_conflict || pm.weak(k),
+    })
+}
+
+/// Does the read conflict with the insertion under `sem`, over all trees
+/// (Definition 3)? The read must be linear; the insert may branch.
+pub fn read_insert_conflict(
+    r: &Read,
+    i: &Insert,
+    sem: Semantics,
+) -> Result<bool, DetectError> {
+    if !r.pattern().is_linear() {
+        return Err(DetectError::ReadNotLinear);
+    }
+    let read = r.pattern();
+    let x = i.subtree();
+    let spine = i.pattern().spine(); // Lemma 8
+    let pm = PrefixMatcher::new(&spine, read);
+    let nodes = spine_nodes(read);
+    let k = nodes.len();
+
+    let node_conflict = (2..=k).any(|j| {
+        let n_prime = nodes[j - 1];
+        let suffix = read
+            .seq(n_prime, read.output())
+            .expect("suffix of the spine is a path");
+        match read.axis(n_prime).expect("non-root spine node") {
+            // Cut-edge conditions (Lemma 6).
+            Axis::Child => pm.strong(j - 1) && eval::can_embed_at(&suffix, x, x.root()),
+            Axis::Descendant => {
+                pm.weak(j - 1) && !eval::embed_anchors(&suffix, x).is_empty()
+            }
+        }
+    });
+
+    Ok(match sem {
+        Semantics::Node => node_conflict,
+        // Remark after Theorem 2, and Lemma 2 for value semantics.
+        Semantics::Tree | Semantics::Value => node_conflict || pm.weak(k),
+    })
+}
+
+/// Unified entry point for any update.
+pub fn read_update_conflict(
+    r: &Read,
+    u: &Update,
+    sem: Semantics,
+) -> Result<bool, DetectError> {
+    match u {
+        Update::Insert(i) => read_insert_conflict(r, i, sem),
+        Update::Delete(d) => read_delete_conflict(r, d, sem),
+    }
+}
+
+/// Pairs for which the detector proves *independence*: reorderable
+/// operations in the compiler sense of §1. Convenience wrapper used by
+/// the optimizer example and benches.
+pub fn independent(r: &Read, u: &Update, sem: Semantics) -> Result<bool, DetectError> {
+    read_update_conflict(r, u, sem).map(|c| !c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_pattern::xpath::parse;
+    use cxu_tree::text;
+
+    fn read(p: &str) -> Read {
+        Read::new(parse(p).unwrap())
+    }
+
+    fn ins(p: &str, x: &str) -> Insert {
+        Insert::new(parse(p).unwrap(), text::parse(x).unwrap())
+    }
+
+    fn del(p: &str) -> Delete {
+        Delete::new(parse(p).unwrap()).unwrap()
+    }
+
+    // ---- read-insert, node semantics ----
+
+    #[test]
+    fn section1_conflict_detected() {
+        // read $x//C vs insert $x/B, <C/> — the paper's motivating pair.
+        let r = read("x//C");
+        let i = ins("x/B", "C");
+        assert!(read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn section1_independence_detected() {
+        // read $x//D vs insert $x/B, <C/> — reorderable.
+        let r = read("x//D");
+        let i = ins("x/B", "C");
+        assert!(!read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn functional_example_no_conflict() {
+        // §1 functional fragment: read $x/*/A vs insert $x/B, <C/> —
+        // the inserted C subtree contains no A, so grandchild reads are
+        // unaffected at the node level… but the C node itself IS a new
+        // grandchild; only reads looking for A are safe.
+        let r = read("x/*/A");
+        let i = ins("x/B", "C");
+        assert!(!read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+        // Reading any grandchild conflicts: the fresh C is one.
+        let r2 = read("x/*/*");
+        assert!(read_insert_conflict(&r2, &i, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn insert_conflict_needs_suffix_in_x() {
+        // read a/b/c, insert <q/> under a/b: the suffix after the cut
+        // edge (c) does not embed in X=q → no node conflict.
+        let r = read("a/b/c");
+        let i = ins("a/b", "q");
+        assert!(!read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+        // With X = c it does.
+        let i2 = ins("a/b", "c");
+        assert!(read_insert_conflict(&r, &i2, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn insert_descendant_edge_reaches_inside_x() {
+        // read a//f, insert X = x(y(f)) under a's b children: f occurs
+        // deep inside X; the descendant edge lets the read reach it.
+        let r = read("a//f");
+        let i = ins("a/b", "x(y(f))");
+        assert!(read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+        // With a child edge a/f the inserted f is too deep.
+        let r2 = read("a/f");
+        assert!(!read_insert_conflict(&r2, &i, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn insert_child_edge_needs_x_root() {
+        // read a/b/f: cut at the child edge (b,f) requires X's *root* to
+        // be f. X = f(g): yes. X = g(f): no.
+        let i_yes = ins("a/b", "f(g)");
+        let i_no = ins("a/b", "g(f)");
+        let r = read("a/b/f");
+        assert!(read_insert_conflict(&r, &i_yes, Semantics::Node).unwrap());
+        assert!(!read_insert_conflict(&r, &i_no, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn insert_prefix_must_match() {
+        // read q/b/c vs insert under x/b — roots differ, no common tree.
+        let r = read("q/b/c");
+        let i = ins("x/b", "c");
+        assert!(!read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn single_node_read_never_node_conflicts() {
+        let r = read("a");
+        assert!(!read_insert_conflict(&r, &ins("a/b", "c"), Semantics::Node).unwrap());
+        assert!(!read_delete_conflict(&r, &del("a/b"), Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn branching_insert_pattern_allowed() {
+        // Corollary 2: insert pattern may branch; only its spine decides.
+        let r = read("a//c");
+        let i = ins("a/b[q][.//w]", "c");
+        assert!(read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn branching_read_rejected() {
+        let r = read("a[q]/b");
+        assert_eq!(
+            read_insert_conflict(&r, &ins("a/b", "c"), Semantics::Node),
+            Err(DetectError::ReadNotLinear)
+        );
+    }
+
+    // ---- read-delete, node semantics ----
+
+    #[test]
+    fn delete_below_read_path_conflicts() {
+        // read a/b//v, delete a/b/u: the deletion point can sit between b
+        // and v (descendant edge) — weak match on prefix a/b.
+        let r = read("a/b//v");
+        let d = del("a/b/u");
+        assert!(read_delete_conflict(&r, &d, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn delete_of_read_target_conflicts() {
+        // Child edge case: deletion point coincides with a read node.
+        let r = read("a/b/c");
+        let d = del("a/b/c");
+        assert!(read_delete_conflict(&r, &d, Semantics::Node).unwrap());
+        let d2 = del("a/b");
+        assert!(read_delete_conflict(&r, &d2, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn delete_disjoint_paths_no_conflict() {
+        let r = read("a/b/c");
+        let d = del("a/x");
+        assert!(!read_delete_conflict(&r, &d, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn delete_wildcard_reaches() {
+        let r = read("a/*/c");
+        let d = del("a/q");
+        // q can be the read's * — strong match on prefix a/* at the child
+        // edge (*, c)? The deletion point q = image of *, and c below is
+        // deleted with it.
+        assert!(read_delete_conflict(&r, &d, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn delete_deeper_than_read_no_node_conflict() {
+        // read a/b, delete a/b/c/d: deletion strictly below every read
+        // result — node sets unchanged.
+        let r = read("a/b");
+        let d = del("a/b/c/d");
+        assert!(!read_delete_conflict(&r, &d, Semantics::Node).unwrap());
+        // …but tree and value semantics see the modified subtree.
+        assert!(read_delete_conflict(&r, &d, Semantics::Tree).unwrap());
+        assert!(read_delete_conflict(&r, &d, Semantics::Value).unwrap());
+    }
+
+    #[test]
+    fn branching_delete_pattern_allowed() {
+        // Corollary 1: delete pattern may branch (spine reduction).
+        let r = read("a/b//v");
+        let d = del("a[z]/b[.//y]/u");
+        assert!(read_delete_conflict(&r, &d, Semantics::Node).unwrap());
+    }
+
+    #[test]
+    fn delete_root_label_mismatch() {
+        let r = read("a/b");
+        let d = del("x/b");
+        assert!(!read_delete_conflict(&r, &d, Semantics::Node).unwrap());
+        // A wildcard root on either side bridges the gap.
+        let d2 = del("*/b");
+        assert!(read_delete_conflict(&r, &d2, Semantics::Node).unwrap());
+    }
+
+    // ---- tree / value semantics ----
+
+    #[test]
+    fn tree_conflict_without_node_conflict_insert() {
+        // read a/b, insert under a/b/c: insertion point strictly below
+        // every read result.
+        let r = read("a/b");
+        let i = ins("a/b/c", "x");
+        assert!(!read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+        assert!(read_insert_conflict(&r, &i, Semantics::Tree).unwrap());
+        assert!(read_insert_conflict(&r, &i, Semantics::Value).unwrap());
+    }
+
+    #[test]
+    fn insert_at_read_target_is_tree_conflict() {
+        // Insertion point can equal the read output: node sets equal, but
+        // the subtree gains a child.
+        let r = read("a/b");
+        let i = ins("a/b", "x");
+        assert!(!read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+        assert!(read_insert_conflict(&r, &i, Semantics::Tree).unwrap());
+    }
+
+    #[test]
+    fn no_tree_conflict_when_paths_disjoint() {
+        let r = read("a/b");
+        let i = ins("a/q", "x");
+        for sem in Semantics::ALL {
+            assert!(!read_insert_conflict(&r, &i, sem).unwrap(), "{sem:?}");
+        }
+    }
+
+    #[test]
+    fn root_read_tree_conflict() {
+        // Reading the root never node-conflicts, but any applicable
+        // update modifies its subtree.
+        let r = read("a");
+        let i = ins("a/b", "x");
+        assert!(read_insert_conflict(&r, &i, Semantics::Tree).unwrap());
+        let i2 = ins("z/b", "x"); // never applies to trees rooted 'a'… but
+                                  // R and I need a COMMON tree: roots a vs z
+        assert!(!read_insert_conflict(&r, &i2, Semantics::Tree).unwrap());
+    }
+
+    #[test]
+    fn update_enum_and_independent() {
+        let r = read("x//D");
+        let u = Update::Insert(ins("x/B", "C"));
+        assert!(independent(&r, &u, Semantics::Node).unwrap());
+        let u2 = Update::Delete(del("x/B"));
+        // Deleting B subtrees can remove D's below them.
+        assert!(!independent(&r, &u2, Semantics::Node).unwrap());
+    }
+}

@@ -1,0 +1,50 @@
+//! # cxu-core — conflict detection for XML updates
+//!
+//! The primary contribution of *Conflicting XML Updates* (Raghavachari &
+//! Shmueli): deciding, **over all trees**, whether a read conflicts with
+//! an update.
+//!
+//! | read pattern | update pattern | complexity | entry point |
+//! |---|---|---|---|
+//! | linear `P^{//,*}` | any `P^{//,[],*}` | PTIME (§4) | [`detect`] |
+//! | branching `P^{//,[],*}` | any | NP-complete (§5) | [`brute`] |
+//!
+//! Supporting machinery:
+//!
+//! * [`matching`] — weak/strong matching of linear patterns
+//!   (Definition 7), via NFA intersection and via the all-prefixes
+//!   dynamic program;
+//! * [`witness_min`] — witness minimization by marking + reparenting
+//!   (Definitions 9–10, Lemmas 9–11);
+//! * [`reduction`] — the NP-hardness reductions from XPath
+//!   non-containment (Theorems 4 and 6);
+//! * [`update_update`] — §6's update-update commutativity conflicts
+//!   (value semantics), an extension the paper sketches.
+//!
+//! ```
+//! use cxu_core::detect;
+//! use cxu_ops::{Insert, Read, Semantics};
+//! use cxu_pattern::xpath;
+//! use cxu_tree::text;
+//!
+//! // §1: `read $x//C` conflicts with `insert $x/B, <C/>` …
+//! let r = Read::new(xpath::parse("x//C").unwrap());
+//! let i = Insert::new(xpath::parse("x/B").unwrap(), text::parse("C").unwrap());
+//! assert!(detect::read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+//!
+//! // … while `read $x//D` is independent of it and may be reordered.
+//! let r2 = Read::new(xpath::parse("x//D").unwrap());
+//! assert!(!detect::read_insert_conflict(&r2, &i, Semantics::Node).unwrap());
+//! ```
+
+pub mod brute;
+pub mod construct;
+pub mod detect;
+pub mod incremental;
+pub mod matching;
+pub mod reduction;
+pub mod update_update;
+pub mod update_update_linear;
+pub mod witness_min;
+
+pub use detect::{read_delete_conflict, read_insert_conflict, read_update_conflict, DetectError};

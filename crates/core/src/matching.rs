@@ -1,0 +1,480 @@
+//! Matching of linear patterns (Definition 7) — the engine of §4.
+//!
+//! Linear patterns `l` and `l'` **match weakly** if some tree embeds both
+//! with `ℰ₁(𝒪(l))` equal to or a descendant of `ℰ₂(𝒪(l'))`; they
+//! **match strongly** if the two output images can coincide. The paper
+//! reduces this to regular-language intersection over the alphabet
+//! `Σ_{l,l'}` (plus, implicitly, one fresh letter):
+//!
+//! * strong:  `L(ℛ(l)) ∩ L(ℛ(l'))       ≠ ∅`
+//! * weak:    `L(ℛ(l)) ∩ L(ℛ(l')·(.)*)  ≠ ∅`
+//!
+//! Two implementations are provided and cross-validated:
+//!
+//! 1. [`match_strong`] / [`match_weak`] — the paper's NFA-product
+//!    construction (via `cxu-automata`);
+//! 2. [`PrefixMatcher`] — the "in practice" dynamic program the paper's
+//!    remark suggests: **one** product-reachability pass that answers the
+//!    strong/weak question for *every* prefix of the read simultaneously,
+//!    which is exactly what the per-edge conditions of Lemmas 3 and 6
+//!    consume.
+
+use cxu_automata::{Label, Nfa, Step};
+use cxu_pattern::{Axis, PNodeId, Pattern};
+use cxu_tree::Symbol;
+
+/// Converts a linear pattern into the step sequence of `ℛ(l)`.
+///
+/// Panics if the pattern is not linear — callers reduce update patterns to
+/// their spines first (Lemmas 4 and 8).
+pub fn to_steps(l: &Pattern) -> Vec<Step<Symbol>> {
+    assert!(l.is_linear(), "to_steps requires a linear pattern");
+    let spine = l
+        .path(l.root(), l.output())
+        .expect("linear pattern output is on the root path");
+    spine
+        .iter()
+        .map(|&n| Step {
+            gap: l.axis(n) == Some(Axis::Descendant),
+            label: match l.label(n) {
+                Some(s) => Label::Sym(s),
+                None => Label::Any,
+            },
+        })
+        .collect()
+}
+
+/// The NFA of `ℛ(l)` for a linear pattern.
+pub fn nfa(l: &Pattern) -> Nfa<Symbol> {
+    Nfa::from_steps(&to_steps(l))
+}
+
+/// Do `l` and `l'` match **strongly**? (Output images can coincide.)
+/// Both patterns must be linear.
+pub fn match_strong(l: &Pattern, l_prime: &Pattern) -> bool {
+    nfa(l).intersects(&nfa(l_prime))
+}
+
+/// Do `l` and `l'` match **weakly**? (`𝒪(l)`'s image can sit at or below
+/// `𝒪(l')`'s.) Both patterns must be linear. Note the asymmetry: `l` is
+/// the side allowed to reach deeper.
+pub fn match_weak(l: &Pattern, l_prime: &Pattern) -> bool {
+    nfa(l).intersects(&nfa(l_prime).with_any_suffix())
+}
+
+/// Answers strong/weak matching of a fixed linear `update` spine against
+/// **every prefix** of a linear `read` in one product-reachability pass.
+///
+/// `strong(j)` ⇔ the update and the length-`j` read prefix match
+/// strongly; `weak(j)` ⇔ weakly (`1 ≤ j ≤ read length`). This is the
+/// all-edges-at-once dynamic program of the paper's remark after
+/// Theorem 1: Lemma 3 and Lemma 6 ask these questions for the prefix
+/// ending at each edge of the read.
+pub struct PrefixMatcher {
+    strong: Vec<bool>,
+    weak: Vec<bool>,
+}
+
+impl PrefixMatcher {
+    /// Runs the product reachability. Both patterns must be linear.
+    pub fn new(update: &Pattern, read: &Pattern) -> PrefixMatcher {
+        let u_steps = to_steps(update);
+        let r_steps = to_steps(read);
+        let m = u_steps.len(); // update states 0..=m, accept = m
+        let k = r_steps.len(); // read states 0..=k; state j = prefix j done
+
+        // Effective alphabet: symbols of both sides plus one fresh letter
+        // (represented as None).
+        let mut moves: Vec<Option<Symbol>> = u_steps
+            .iter()
+            .chain(r_steps.iter())
+            .filter_map(|s| match s.label {
+                Label::Sym(x) => Some(Some(x)),
+                Label::Any => None,
+            })
+            .collect();
+        moves.sort_unstable();
+        moves.dedup();
+        moves.push(None);
+
+        // Product states (i, j): i update steps and j read steps consumed.
+        // Transitions consume one letter in *both* automata; each side may
+        // either advance over its next step or idle on a gap self-loop.
+        let enc = |i: usize, j: usize| i * (k + 1) + j;
+        let mut seen = vec![false; (m + 1) * (k + 1)];
+        let mut queue = vec![(0usize, 0usize)];
+        seen[enc(0, 0)] = true;
+
+        let step_fires = |s: &Step<Symbol>, a: Option<Symbol>| match (s.label, a) {
+            (Label::Any, _) => true,
+            (Label::Sym(x), Some(b)) => x == b,
+            (Label::Sym(_), None) => false,
+        };
+        // A side may *idle* (consume the letter without advancing) only on
+        // the `(.)*` gap that precedes its next step. Note the gap before
+        // step j+1 belongs to the length-(j+1) read prefix, not to the
+        // length-j one — which is fine for reachability (see `strong`
+        // below for where it matters).
+        let u_can_idle = |i: usize| i < m && u_steps[i].gap;
+        let r_can_idle = |j: usize| j < k && r_steps[j].gap;
+
+        while let Some((i, j)) = queue.pop() {
+            for &a in &moves {
+                // Combinations: advance/advance, advance/idle,
+                // idle/advance. (idle/idle revisits the same pair.)
+                let u_next: &[usize] = if i < m && step_fires(&u_steps[i], a) {
+                    &[1]
+                } else {
+                    &[]
+                };
+                let u_idle: &[usize] = if u_can_idle(i) { &[0] } else { &[] };
+                let r_next: &[usize] = if j < k && step_fires(&r_steps[j], a) {
+                    &[1]
+                } else {
+                    &[]
+                };
+                let r_idle: &[usize] = if r_can_idle(j) { &[0] } else { &[] };
+                for &du in u_next.iter().chain(u_idle) {
+                    for &dr in r_next.iter().chain(r_idle) {
+                        let (ni, nj) = (i + du, j + dr);
+                        if !seen[enc(ni, nj)] {
+                            seen[enc(ni, nj)] = true;
+                            queue.push((ni, nj));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Weak(j): the length-j read prefix is fully consumed at some
+        // moment of a word the update can still complete. Any reachable
+        // pair (i, j) suffices: from state i the update's remaining steps
+        // are always satisfiable by fresh letters, and those letters fall
+        // *below* the prefix's endpoint — exactly the `ℛ(l')·(.)*`
+        // extension.
+        let mut weak = vec![false; k + 1];
+        for i in 0..=m {
+            for (j, w) in weak.iter_mut().enumerate() {
+                *w |= seen[enc(i, j)];
+            }
+        }
+
+        // Strong(j): both sides must consume their final symbol on the
+        // *same, last* letter of the word. Reaching (m, j) is not enough:
+        // the read may have consumed its j-th symbol early and idled on
+        // the gap of step j+1 — a gap the length-j prefix does not own.
+        // Once the update is at m it cannot consume further letters (no
+        // trailing loop), so the valid strong runs are exactly those whose
+        // final transition advances (m-1, j-1) → (m, j) on a common
+        // letter.
+        let mut strong = vec![false; k + 1];
+        for j in 1..=k {
+            if m >= 1 && seen[enc(m - 1, j - 1)] {
+                strong[j] = moves
+                    .iter()
+                    .any(|&a| step_fires(&u_steps[m - 1], a) && step_fires(&r_steps[j - 1], a));
+            }
+        }
+
+        PrefixMatcher { strong, weak }
+    }
+
+    /// Strong match of the update against the read prefix of `j` nodes.
+    pub fn strong(&self, j: usize) -> bool {
+        self.strong[j]
+    }
+
+    /// Weak match of the update against the read prefix of `j` nodes.
+    pub fn weak(&self, j: usize) -> bool {
+        self.weak[j]
+    }
+
+    /// The read length `k` (prefixes run `1..=k`).
+    pub fn read_len(&self) -> usize {
+        self.strong.len() - 1
+    }
+}
+
+/// Which flavor of Definition 7 matching a word should witness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MatchKind {
+    /// Output images coincide: the word is accepted by both `ℛ(l)` and
+    /// `ℛ(l')` exactly.
+    Strong,
+    /// `𝒪(l)`'s image sits at or below `𝒪(l')`'s: the word is accepted
+    /// by `ℛ(l)` and by `ℛ(l')·(.)*`.
+    Weak,
+}
+
+/// Produces a concrete label word witnessing that `l` and `l'` match
+/// (Definition 7), or `None` if they do not. The word spells the labels
+/// on the path from the root of a witness tree down to `𝒪(l)`'s image;
+/// for [`MatchKind::Weak`], `𝒪(l')`'s image is the letter at the
+/// returned `anchor` index (0-based), for strong matches it is the last
+/// letter.
+///
+/// This is the constructive content of the §4 algorithms: the (If)
+/// directions of Lemmas 3 and 6 build witness trees around exactly such
+/// words. Wildcard positions materialize as a symbol fresh to both
+/// patterns.
+pub fn match_word(l: &Pattern, l_prime: &Pattern, kind: MatchKind) -> Option<(Vec<Symbol>, usize)> {
+    let u_steps = to_steps(l);
+    let r_steps = to_steps(l_prime);
+    let m = u_steps.len();
+    let k = r_steps.len();
+
+    let mut avoid: Vec<Symbol> = l.alphabet();
+    avoid.extend(l_prime.alphabet());
+    let fresh = Symbol::fresh("w", &avoid);
+
+    let mut moves: Vec<Symbol> = u_steps
+        .iter()
+        .chain(r_steps.iter())
+        .filter_map(|s| match s.label {
+            Label::Sym(x) => Some(x),
+            Label::Any => None,
+        })
+        .collect();
+    moves.sort_unstable();
+    moves.dedup();
+    moves.push(fresh);
+
+    // BFS with parent pointers over product states (i, j).
+    let enc = |i: usize, j: usize| i * (k + 1) + j;
+    let mut parent: Vec<Option<(usize, Symbol)>> = vec![None; (m + 1) * (k + 1)];
+    let mut seen = vec![false; (m + 1) * (k + 1)];
+    seen[enc(0, 0)] = true;
+    let mut queue = std::collections::VecDeque::from([(0usize, 0usize)]);
+
+    let step_fires = |s: &Step<Symbol>, a: Symbol| match s.label {
+        Label::Any => true,
+        Label::Sym(x) => x == a,
+    };
+
+    let mut reach_goal: Option<(usize, usize)> = None;
+    'bfs: while let Some((i, j)) = queue.pop_front() {
+        // Goal tests.
+        match kind {
+            MatchKind::Strong => {
+                if i + 1 == m + 1 && j + 1 == k + 1 {
+                    // (m, k) — but only valid if entered by a double
+                    // advance; we enforce that at enqueue time below.
+                    reach_goal = Some((i, j));
+                    break 'bfs;
+                }
+            }
+            MatchKind::Weak => {
+                if j == k {
+                    // The l' prefix is fully consumed; l completes below.
+                    reach_goal = Some((i, j));
+                    break 'bfs;
+                }
+            }
+        }
+        for &a in &moves {
+            let u_moves: &[usize] = {
+                let adv = i < m && step_fires(&u_steps[i], a);
+                let idle = i < m && u_steps[i].gap;
+                match (adv, idle) {
+                    (true, true) => &[1, 0],
+                    (true, false) => &[1],
+                    (false, true) => &[0],
+                    (false, false) => &[],
+                }
+            };
+            let r_moves: &[usize] = {
+                let adv = j < k && step_fires(&r_steps[j], a);
+                let idle = j < k && r_steps[j].gap;
+                match (adv, idle) {
+                    (true, true) => &[1, 0],
+                    (true, false) => &[1],
+                    (false, true) => &[0],
+                    (false, false) => &[],
+                }
+            };
+            for &du in u_moves {
+                for &dr in r_moves {
+                    let (ni, nj) = (i + du, j + dr);
+                    // For strong matches, (m, k) may only be entered by a
+                    // simultaneous double advance (both consume their
+                    // final symbol on this letter).
+                    if kind == MatchKind::Strong
+                        && ni == m
+                        && nj == k
+                        && !(du == 1 && dr == 1)
+                    {
+                        continue;
+                    }
+                    if !seen[enc(ni, nj)] {
+                        seen[enc(ni, nj)] = true;
+                        parent[enc(ni, nj)] = Some((enc(i, j), a));
+                        queue.push_back((ni, nj));
+                    }
+                }
+            }
+        }
+    }
+
+    let (gi, gj) = reach_goal?;
+    // Reconstruct the word up to the goal state.
+    let mut word = Vec::new();
+    let mut cur = enc(gi, gj);
+    while let Some((prev, a)) = parent[cur] {
+        word.push(a);
+        cur = prev;
+    }
+    word.reverse();
+    let anchor = word.len().saturating_sub(1);
+
+    if kind == MatchKind::Weak {
+        // Complete l on its own: satisfy each remaining step with its own
+        // label (or the fresh symbol for wildcards). Gaps need no filler.
+        for step in &u_steps[gi..] {
+            word.push(match step.label {
+                Label::Sym(x) => x,
+                Label::Any => fresh,
+            });
+        }
+    }
+    Some((word, anchor))
+}
+
+/// Extracts the read prefix `SEQ_{ROOT(R)}^{r_{j-1}}` of `j` nodes as a
+/// pattern — handy for tests and for the one-edge-at-a-time reference
+/// implementation.
+pub fn read_prefix(read: &Pattern, j: usize) -> Pattern {
+    assert!(read.is_linear() && j >= 1);
+    let spine = read.path(read.root(), read.output()).expect("linear");
+    read.seq(spine[0], spine[j - 1]).expect("prefix is a path")
+}
+
+/// The nodes of a linear pattern's spine, root first.
+pub fn spine_nodes(l: &Pattern) -> Vec<PNodeId> {
+    l.path(l.root(), l.output()).expect("linear pattern spine")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_pattern::xpath::parse;
+
+    fn pat(s: &str) -> Pattern {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn strong_same_pattern() {
+        let p = pat("a/b//c");
+        assert!(match_strong(&p, &p));
+    }
+
+    #[test]
+    fn strong_label_clash() {
+        assert!(!match_strong(&pat("a/b"), &pat("a/c")));
+        assert!(!match_strong(&pat("a/b"), &pat("x/b")));
+    }
+
+    #[test]
+    fn strong_length_mismatch() {
+        assert!(!match_strong(&pat("a/b"), &pat("a/b/c")));
+        // Descendant gaps absorb the length difference.
+        assert!(match_strong(&pat("a//b"), &pat("a/x/b")));
+        assert!(match_strong(&pat("a//c"), &pat("a/b/c")));
+    }
+
+    #[test]
+    fn weak_is_one_sided() {
+        // l = a/b/c reaches below l' = a/b: weak yes; the other
+        // direction: l = a/b cannot reach below a/b/c's output.
+        assert!(match_weak(&pat("a/b/c"), &pat("a/b")));
+        assert!(!match_weak(&pat("a/b"), &pat("a/b/c")));
+        // Equal outputs count as weak too.
+        assert!(match_weak(&pat("a/b"), &pat("a/b")));
+    }
+
+    #[test]
+    fn weak_with_wildcards() {
+        assert!(match_weak(&pat("a/*/c"), &pat("a/b")));
+        assert!(!match_weak(&pat("a/x"), &pat("a/y")));
+        // Roots must still agree.
+        assert!(!match_weak(&pat("x//q"), &pat("y")));
+    }
+
+    #[test]
+    fn strong_needs_coincident_outputs() {
+        // a//b vs a/c : outputs b vs c can never coincide…
+        assert!(!match_strong(&pat("a//b"), &pat("a/c")));
+        // …but a//b's output can sit below a/c's: weak.
+        assert!(match_weak(&pat("a//b"), &pat("a/c")));
+    }
+
+    #[test]
+    fn prefix_matcher_agrees_with_per_edge_nfa() {
+        let cases = [
+            ("a/b//c", "a/b/x/c/y"),
+            ("a//b", "a/b/b/b"),
+            ("*//x", "a/b/x"),
+            ("a/*/c", "a/b/c/d"),
+            ("root//p//q", "root/p/z/q/w"),
+            ("a/b", "c/d"),
+            ("a", "a//b"),
+        ];
+        for (u_src, r_src) in cases {
+            let u = pat(u_src);
+            let r = pat(r_src);
+            let pm = PrefixMatcher::new(&u, &r);
+            let k = spine_nodes(&r).len();
+            assert_eq!(pm.read_len(), k);
+            for j in 1..=k {
+                let prefix = read_prefix(&r, j);
+                assert_eq!(
+                    pm.strong(j),
+                    match_strong(&u, &prefix),
+                    "strong({j}) for {u_src} vs {r_src}"
+                );
+                assert_eq!(
+                    pm.weak(j),
+                    match_weak(&u, &prefix),
+                    "weak({j}) for {u_src} vs {r_src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_matcher_star_heavy() {
+        let u = pat("*/*//*");
+        let r = pat("*/*/*/*");
+        let pm = PrefixMatcher::new(&u, &r);
+        for j in 1..=4 {
+            let prefix = read_prefix(&r, j);
+            assert_eq!(pm.strong(j), match_strong(&u, &prefix), "strong({j})");
+            assert_eq!(pm.weak(j), match_weak(&u, &prefix), "weak({j})");
+        }
+    }
+
+    #[test]
+    fn to_steps_shape() {
+        let p = pat("a//*/c");
+        let steps = to_steps(&p);
+        assert_eq!(steps.len(), 3);
+        assert!(!steps[0].gap);
+        assert!(steps[1].gap);
+        assert!(matches!(steps[1].label, Label::Any));
+        assert!(!steps[2].gap);
+    }
+
+    #[test]
+    #[should_panic(expected = "linear")]
+    fn to_steps_rejects_branching() {
+        let _ = to_steps(&pat("a[b]/c"));
+    }
+
+    #[test]
+    fn read_prefix_extraction() {
+        let r = pat("a/b//c");
+        assert!(read_prefix(&r, 1).structurally_eq(&pat("a")));
+        assert!(read_prefix(&r, 2).structurally_eq(&pat("a/b")));
+        assert!(read_prefix(&r, 3).structurally_eq(&pat("a/b//c")));
+    }
+}

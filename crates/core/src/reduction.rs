@@ -1,0 +1,263 @@
+//! The NP-hardness reductions of §5: XPath non-containment → conflict.
+//!
+//! Theorem 4 (read-insert): given patterns `p, p'`, build
+//!
+//! ```text
+//! q_I = α[β[p][γ]] / β[p']      X = γ        q_R = α[β[p'][γ]]
+//! ```
+//!
+//! with `α, β, γ` fresh. Then `READ_{q_R}` and `INSERT_{q_I, X}` have a
+//! node conflict **iff** `p ⊄ p'`.
+//!
+//! Theorem 6 (read-delete): build
+//!
+//! ```text
+//! q_D = α[β[p]] / γ[p']         q_R = α[*[p']]
+//! ```
+//!
+//! Then `READ_{q_R}` and `DELETE_{q_D}` have a node conflict iff
+//! `p ⊄ p'`.
+//!
+//! These constructions power the E5 experiment: they are validated
+//! empirically against the exact containment oracle
+//! (`cxu_pattern::containment`), closing the loop on the paper's
+//! complexity claims.
+
+use cxu_ops::{Delete, Insert, Read};
+use cxu_pattern::{Axis, Pattern};
+use cxu_tree::{Symbol, Tree};
+
+/// Fresh `α, β, γ` relative to both input patterns.
+fn fresh_triple(p: &Pattern, p_prime: &Pattern) -> (Symbol, Symbol, Symbol) {
+    let mut avoid = p.alphabet();
+    avoid.extend(p_prime.alphabet());
+    let a = Symbol::fresh("alpha", &avoid);
+    avoid.push(a);
+    let b = Symbol::fresh("beta", &avoid);
+    avoid.push(b);
+    let g = Symbol::fresh("gamma", &avoid);
+    (a, b, g)
+}
+
+/// Theorem 4's construction: `(R, I)` such that they node-conflict iff
+/// `p ⊄ p'`.
+pub fn insert_instance(p: &Pattern, p_prime: &Pattern) -> (Read, Insert) {
+    let (alpha, beta, gamma) = fresh_triple(p, p_prime);
+
+    // q_I = α[β[p][γ]]/β[p'] — output at the second β.
+    let mut qi = Pattern::new(Some(alpha));
+    let b1 = qi.add_child(qi.root(), Axis::Child, Some(beta));
+    qi.graft(b1, Axis::Child, p);
+    qi.add_child(b1, Axis::Child, Some(gamma));
+    let b2 = qi.add_child(qi.root(), Axis::Child, Some(beta));
+    qi.graft(b2, Axis::Child, p_prime);
+    qi.set_output(b2);
+
+    // q_R = α[β[p'][γ]] — output at the root.
+    let mut qr = Pattern::new(Some(alpha));
+    let b = qr.add_child(qr.root(), Axis::Child, Some(beta));
+    qr.graft(b, Axis::Child, p_prime);
+    qr.add_child(b, Axis::Child, Some(gamma));
+    qr.set_output(qr.root());
+
+    let x = Tree::new(gamma);
+    (Read::new(qr), Insert::new(qi, x))
+}
+
+/// Theorem 6's construction: `(R, D)` such that they node-conflict iff
+/// `p ⊄ p'`.
+pub fn delete_instance(p: &Pattern, p_prime: &Pattern) -> (Read, Delete) {
+    let (alpha, beta, gamma) = fresh_triple(p, p_prime);
+
+    // q_D = α[β[p]]/γ[p'] — output at γ (never the root, so valid).
+    let mut qd = Pattern::new(Some(alpha));
+    let b = qd.add_child(qd.root(), Axis::Child, Some(beta));
+    qd.graft(b, Axis::Child, p);
+    let g = qd.add_child(qd.root(), Axis::Child, Some(gamma));
+    qd.graft(g, Axis::Child, p_prime);
+    qd.set_output(g);
+
+    // q_R = α[*[p']] — output at the root.
+    let mut qr = Pattern::new(Some(alpha));
+    let star = qr.add_child(qr.root(), Axis::Child, None);
+    qr.graft(star, Axis::Child, p_prime);
+    qr.set_output(qr.root());
+
+    let d = Delete::new(qd).expect("output is not the root by construction");
+    (Read::new(qr), d)
+}
+
+/// Builds the Figure 7d witness for the insert reduction from a
+/// containment counterexample `t_p` (a tree matching `p` but not `p'`):
+///
+/// ```text
+/// α( β(t_p γ)  β(𝕄_{p'}) )
+/// ```
+///
+/// Useful for demonstrations: when `p ⊄ p'`, this tree witnesses the
+/// conflict between [`insert_instance`]'s operations.
+pub fn insert_witness_from_counterexample(
+    p: &Pattern,
+    p_prime: &Pattern,
+    t_p: &Tree,
+) -> Tree {
+    let (alpha, beta, gamma) = fresh_triple(p, p_prime);
+    let mut w = Tree::new(alpha);
+    let b1 = w.build_child(w.root(), beta);
+    graft_quiet(&mut w, b1, t_p);
+    w.build_child(b1, gamma);
+    let b2 = w.build_child(w.root(), beta);
+    let model = p_prime.model_fresh(&[alpha, beta, gamma]);
+    graft_quiet(&mut w, b2, &model);
+    w
+}
+
+/// Builds the Figure 8c witness for the delete reduction: `α( β(t_p) γ(𝕄_{p'}) )`.
+pub fn delete_witness_from_counterexample(
+    p: &Pattern,
+    p_prime: &Pattern,
+    t_p: &Tree,
+) -> Tree {
+    let (alpha, beta, gamma) = fresh_triple(p, p_prime);
+    let mut w = Tree::new(alpha);
+    let b = w.build_child(w.root(), beta);
+    graft_quiet(&mut w, b, t_p);
+    let g = w.build_child(w.root(), gamma);
+    let model = p_prime.model_fresh(&[alpha, beta, gamma]);
+    graft_quiet(&mut w, g, &model);
+    w
+}
+
+fn graft_quiet(t: &mut Tree, parent: cxu_tree::NodeId, sub: &Tree) {
+    let root = t.build_child(parent, sub.label(sub.root()));
+    let mut stack = vec![(sub.root(), root)];
+    while let Some((src, dst)) = stack.pop() {
+        for &c in sub.children(src) {
+            let copy = t.build_child(dst, sub.label(c));
+            stack.push((c, copy));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::{find_witness, Budget, SearchOutcome};
+    use cxu_ops::witness::{witnesses_delete_conflict, witnesses_insert_conflict};
+    use cxu_ops::{Semantics, Update};
+    use cxu_pattern::containment;
+    use cxu_pattern::xpath::parse;
+
+    fn pat(s: &str) -> Pattern {
+        parse(s).unwrap()
+    }
+
+    /// Pattern pairs with known containment status.
+    fn battery() -> Vec<(&'static str, &'static str, bool)> {
+        vec![
+            ("a/b", "a//b", true),
+            ("a//b", "a/b", false),
+            ("a/b", "a/*", true),
+            ("a/*", "a/b", false),
+            ("a[b][c]", "a[b]", true),
+            ("a[b]", "a[b][c]", false),
+            ("a/b", "a/b", true),
+            ("a/b", "x/y", false),
+            ("a/*/b", "a//b", true),
+            ("a//b", "a/*/b", false),
+        ]
+    }
+
+    #[test]
+    fn insert_reduction_matches_containment() {
+        for (p_src, q_src, contained) in battery() {
+            let p = pat(p_src);
+            let q = pat(q_src);
+            assert_eq!(containment::contains(&p, &q), contained, "{p_src} ⊆ {q_src}");
+            let (r, i) = insert_instance(&p, &q);
+            if !contained {
+                // Build the Figure 7d witness from a counterexample and
+                // check it witnesses the conflict.
+                let t_p = containment::find_counterexample(&p, &q, 4)
+                    .expect("small counterexample exists for the battery");
+                let w = insert_witness_from_counterexample(&p, &q, &t_p);
+                assert!(
+                    witnesses_insert_conflict(&r, &i, &w, Semantics::Node),
+                    "{p_src} ⊄ {q_src}: constructed witness fails"
+                );
+            } else {
+                // Contained ⇒ no conflict: no small witness may exist.
+                let out = find_witness(
+                    &r,
+                    &Update::Insert(i.clone()),
+                    Semantics::Node,
+                    Budget {
+                        max_nodes: 4,
+                        max_trees: 3_000_000,
+                    },
+                );
+                assert!(
+                    matches!(out, SearchOutcome::NoConflictWithin(_)),
+                    "{p_src} ⊆ {q_src}: unexpected {out:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delete_reduction_matches_containment() {
+        for (p_src, q_src, contained) in battery() {
+            let p = pat(p_src);
+            let q = pat(q_src);
+            let (r, d) = delete_instance(&p, &q);
+            if !contained {
+                let t_p = containment::find_counterexample(&p, &q, 4)
+                    .expect("counterexample exists");
+                let w = delete_witness_from_counterexample(&p, &q, &t_p);
+                assert!(
+                    witnesses_delete_conflict(&r, &d, &w, Semantics::Node),
+                    "{p_src} ⊄ {q_src}: constructed witness fails"
+                );
+            } else {
+                let out = find_witness(
+                    &r,
+                    &Update::Delete(d.clone()),
+                    Semantics::Node,
+                    Budget {
+                        max_nodes: 4,
+                        max_trees: 3_000_000,
+                    },
+                );
+                assert!(
+                    matches!(out, SearchOutcome::NoConflictWithin(_)),
+                    "{p_src} ⊆ {q_src}: unexpected {out:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_outputs_are_wellformed() {
+        let p = pat("a[b]//c");
+        let q = pat("a//c");
+        let (r, i) = insert_instance(&p, &q);
+        assert!(!r.pattern().is_linear());
+        assert_eq!(r.pattern().output(), r.pattern().root());
+        assert_eq!(i.subtree().live_count(), 1);
+        let (r2, d) = delete_instance(&p, &q);
+        assert_eq!(r2.pattern().output(), r2.pattern().root());
+        assert_ne!(d.pattern().output(), d.pattern().root());
+    }
+
+    #[test]
+    fn fresh_symbols_disjoint_from_inputs() {
+        // Patterns that already use "alpha"/"beta"/"gamma" must not clash.
+        let p = pat("alpha/beta");
+        let q = pat("gamma");
+        let (r, i) = insert_instance(&p, &q);
+        // The reduction's root label differs from the input "alpha".
+        let root_label = r.pattern().label(r.pattern().root()).unwrap();
+        assert_ne!(root_label.as_str(), "alpha");
+        let _ = i;
+    }
+}

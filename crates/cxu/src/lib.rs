@@ -1,0 +1,67 @@
+//! # cxu — Conflicting XML Updates
+//!
+//! A from-scratch Rust implementation of
+//! **"Conflicting XML Updates"** (Mukund Raghavachari and Oded Shmueli,
+//! IBM Research Report / EDBT 2006): formal semantics for reads,
+//! insertions, and deletions over XML trees, three conflict semantics,
+//! polynomial-time conflict detection when the read pattern is linear,
+//! and the full NP-side machinery (bounded witness search, witness
+//! minimization, hardness reductions) for branching patterns.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! roof. See the README for the architecture and `EXPERIMENTS.md` for the
+//! reproduction of every figure and theorem.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cxu::prelude::*;
+//!
+//! // Parse a document and two operations.
+//! let doc = cxu::tree::text::parse("x(B A)").unwrap();
+//! let read = Read::new(cxu::pattern::xpath::parse("x//C").unwrap());
+//! let ins = Insert::new(
+//!     cxu::pattern::xpath::parse("x/B").unwrap(),
+//!     cxu::tree::text::parse("C").unwrap(),
+//! );
+//!
+//! // Static question (over ALL documents): can they conflict?
+//! assert!(cxu::detect::read_insert_conflict(&read, &ins, Semantics::Node).unwrap());
+//!
+//! // Dynamic question (Lemma 1): does THIS document witness it?
+//! assert!(cxu::witness::witnesses_insert_conflict(&read, &ins, &doc, Semantics::Node));
+//! ```
+
+/// Tree substrate: labels, arena trees, isomorphism, text and XML I/O.
+pub use cxu_tree as tree;
+
+/// Tree patterns, the XPath fragment, embeddings, evaluation, containment.
+pub use cxu_pattern as pattern;
+
+/// NFAs over label alphabets (the §4 matching machinery).
+pub use cxu_automata as automata;
+
+/// Operation semantics and conflict-witness checking (Lemma 1).
+pub use cxu_ops as ops;
+
+/// Conflict detection: PTIME linear algorithms and the NP side.
+pub use cxu_core as core;
+
+/// Workload generators for benchmarks and property tests.
+pub use cxu_gen as gen;
+
+/// DTDs and schema-aware conflict detection (§6 extension).
+pub use cxu_schema as schema;
+
+/// The PTIME detectors (re-exported from [`core`]).
+pub use cxu_core::detect;
+
+/// Witness checking (re-exported from [`ops`]).
+pub use cxu_ops::witness;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use cxu_ops::{Delete, Insert, Read, Semantics, Update};
+    pub use cxu_pattern::{Axis, Pattern};
+    pub use cxu_tree::{NodeId, Symbol, Tree};
+}

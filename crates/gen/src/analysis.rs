@@ -1,0 +1,240 @@
+//! Whole-program conflict analysis — the §1 compiler, assembled.
+//!
+//! The paper motivates conflict detection with two transformations:
+//! *code motion* (hoist a read above an update it does not conflict
+//! with) and *common subexpression elimination* (reuse an earlier read's
+//! result when no conflicting update intervenes). This module builds
+//! both analyses for [`Program`]s over linear patterns:
+//!
+//! * [`conflict_matrix`] — for every (update, read) pair, whether the
+//!   PTIME detector can prove independence;
+//! * [`hoistable`] — reads that may move above their immediately
+//!   preceding update;
+//! * [`cse_pairs`] — later reads that may reuse an earlier read's result
+//!   because every update in between is provably independent;
+//! * [`eliminate_common_reads`] — applies CSE, returning the rewritten
+//!   program and the number of reads eliminated.
+//!
+//! Reorderings justified here are *tree-semantics* independent: the
+//! cached result is reused **with its subtrees**, so node-set stability
+//! alone (node semantics) would not be sound — exactly the distinction
+//! §3 draws between the two reference-based semantics.
+
+use crate::program::{Program, Stmt};
+use cxu_core::detect;
+use cxu_ops::Semantics;
+
+/// One entry of the conflict matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairVerdict {
+    /// Index of the update statement.
+    pub update: usize,
+    /// Index of the read statement (after the update).
+    pub read: usize,
+    /// `true` iff the detector proves the pair independent under the
+    /// given semantics.
+    pub independent: bool,
+}
+
+/// Classifies every (update, later read) pair. Reads with branching
+/// patterns are conservatively reported as conflicting (the PTIME
+/// detector does not apply; §5 says the exact question is NP-complete).
+pub fn conflict_matrix(p: &Program, sem: Semantics) -> Vec<PairVerdict> {
+    let mut out = Vec::new();
+    for (ui, us) in p.stmts.iter().enumerate() {
+        let Stmt::Update(u) = us else { continue };
+        for (ri, rs) in p.stmts.iter().enumerate().skip(ui + 1) {
+            let Stmt::Read(r) = rs else { continue };
+            let independent = detect::independent(r, u, sem).unwrap_or(false);
+            out.push(PairVerdict {
+                update: ui,
+                read: ri,
+                independent,
+            });
+        }
+    }
+    out
+}
+
+/// Reads that can hoist above the update immediately before them
+/// (tree semantics, so consumers of the read's subtrees stay correct).
+pub fn hoistable(p: &Program) -> Vec<usize> {
+    let mut out = Vec::new();
+    for ri in 1..p.stmts.len() {
+        let (Stmt::Update(u), Stmt::Read(r)) = (&p.stmts[ri - 1], &p.stmts[ri]) else {
+            continue;
+        };
+        if detect::independent(r, u, Semantics::Tree).unwrap_or(false) {
+            out.push(ri);
+        }
+    }
+    out
+}
+
+/// Pairs `(earlier, later)` of read statements with *identical patterns*
+/// where every update between them is provably tree-independent of the
+/// read — the later read may reuse the earlier result.
+pub fn cse_pairs(p: &Program) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..p.stmts.len() {
+        let Stmt::Read(ri) = &p.stmts[i] else { continue };
+        'later: for j in i + 1..p.stmts.len() {
+            let Stmt::Read(rj) = &p.stmts[j] else { continue };
+            if !ri.pattern().structurally_eq(rj.pattern()) {
+                continue;
+            }
+            for stmt in &p.stmts[i + 1..j] {
+                if let Stmt::Update(u) = stmt {
+                    if !detect::independent(rj, u, Semantics::Tree).unwrap_or(false) {
+                        continue 'later;
+                    }
+                }
+            }
+            out.push((i, j));
+        }
+    }
+    out
+}
+
+/// Applies CSE: every read identified by [`cse_pairs`] whose earlier
+/// partner survives is dropped from the program (its consumer would read
+/// the cached binding instead). Returns the rewritten program and the
+/// number of reads eliminated.
+pub fn eliminate_common_reads(p: &Program) -> (Program, usize) {
+    let pairs = cse_pairs(p);
+    let mut dead: Vec<usize> = pairs.iter().map(|&(_, j)| j).collect();
+    dead.sort_unstable();
+    dead.dedup();
+    let stmts = p
+        .stmts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !dead.contains(i))
+        .map(|(_, s)| s.clone())
+        .collect();
+    (Program { stmts }, dead.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::observe;
+    use cxu_ops::{Insert, Read, Update};
+    use cxu_pattern::xpath::parse;
+    use cxu_tree::text;
+
+    fn read(p: &str) -> Stmt {
+        Stmt::Read(Read::new(parse(p).unwrap()))
+    }
+
+    fn ins(p: &str, x: &str) -> Stmt {
+        Stmt::Update(Update::Insert(Insert::new(
+            parse(p).unwrap(),
+            text::parse(x).unwrap(),
+        )))
+    }
+
+    fn prog(stmts: Vec<Stmt>) -> Program {
+        Program { stmts }
+    }
+
+    #[test]
+    fn matrix_matches_section1() {
+        let p = prog(vec![read("x//A"), ins("x/B", "C"), read("x//C"), read("x//D")]);
+        let m = conflict_matrix(&p, Semantics::Node);
+        assert_eq!(m.len(), 2);
+        assert!(!m[0].independent, "x//C conflicts");
+        assert!(m[1].independent, "x//D independent");
+    }
+
+    #[test]
+    fn hoistable_identifies_safe_reads() {
+        let p = prog(vec![ins("x/B", "C"), read("x//D"), read("x//C")]);
+        assert_eq!(hoistable(&p), vec![1]);
+    }
+
+    #[test]
+    fn cse_across_independent_update() {
+        // read x//D; insert C under B; read x//D again — reusable.
+        let p = prog(vec![read("x//D"), ins("x/B", "C"), read("x//D")]);
+        assert_eq!(cse_pairs(&p), vec![(0, 2)]);
+        let (opt, removed) = eliminate_common_reads(&p);
+        assert_eq!(removed, 1);
+        assert_eq!(opt.stmts.len(), 2);
+        // Observations: the surviving read sees what the eliminated one
+        // would have (the doc is observed once instead of twice, with
+        // identical values).
+        let doc = text::parse("x(B D(D))").unwrap();
+        let obs = observe(&p, &doc);
+        assert_eq!(obs[0], obs[1], "CSE-justified reads observe equal values");
+    }
+
+    #[test]
+    fn cse_blocked_by_conflicting_update() {
+        let p = prog(vec![read("x//C"), ins("x/B", "C"), read("x//C")]);
+        assert!(cse_pairs(&p).is_empty());
+        let (_, removed) = eliminate_common_reads(&p);
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn cse_requires_tree_semantics() {
+        // read x/B (node-stable under the insert, but the B subtree gains
+        // a C child): reuse of the subtree value would be wrong, so the
+        // analysis must NOT pair these reads.
+        let p = prog(vec![read("x/B"), ins("x/B", "C"), read("x/B")]);
+        assert!(cse_pairs(&p).is_empty());
+    }
+
+    #[test]
+    fn cse_chain_reuses_earliest() {
+        let p = prog(vec![read("x//D"), read("x//D"), read("x//D")]);
+        let pairs = cse_pairs(&p);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(0, 2)));
+        let (opt, removed) = eliminate_common_reads(&p);
+        assert_eq!(removed, 2);
+        assert_eq!(opt.stmts.len(), 1);
+    }
+
+    #[test]
+    fn cse_observationally_sound_on_random_programs() {
+        use crate::program::{random_program, ProgramParams};
+        use crate::trees::{random_tree, TreeParams};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        for seed in 0..15u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let p = random_program(&mut rng, &ProgramParams::default());
+            let pairs = cse_pairs(&p);
+            if pairs.is_empty() {
+                continue;
+            }
+            let doc = random_tree(
+                &mut SmallRng::seed_from_u64(seed ^ 0xc5e),
+                &TreeParams {
+                    nodes: 50,
+                    alphabet: 3,
+                    ..TreeParams::default()
+                },
+            );
+            let obs = observe(&p, &doc);
+            // Map statement index → observation index.
+            let read_indices: Vec<usize> = p
+                .stmts
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Stmt::Read(_)))
+                .map(|(i, _)| i)
+                .collect();
+            for (i, j) in pairs {
+                let oi = read_indices.iter().position(|&x| x == i).unwrap();
+                let oj = read_indices.iter().position(|&x| x == j).unwrap();
+                assert_eq!(
+                    obs[oi], obs[oj],
+                    "seed {seed}: CSE pair ({i},{j}) observed different values"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Document generators for the paper's motivating scenarios.
+//!
+//! Figure 1 of the paper shows an inventory of books, each with nested
+//! metadata and a `quantity`; the running example inserts `<restock/>`
+//! into low-stock books. [`inventory`] generates documents of that shape
+//! at any scale. [`bibliography`] generates a flatter, citation-style
+//! corpus exercising deeper label variety.
+
+use cxu_tree::Tree;
+use rand::Rng;
+
+/// Parameters for [`inventory`].
+#[derive(Clone, Debug)]
+pub struct InventoryParams {
+    /// Number of `book` elements.
+    pub books: usize,
+    /// Probability that a book's quantity is low (gets a `low` marker
+    /// child under `quantity`, standing in for the paper's `< 10` value
+    /// predicate, which the structural fragment cannot express).
+    pub low_stock_rate: f64,
+    /// Probability that the `quantity` sits under an extra `info` level
+    /// (exercises the `.//quantity` descendant predicate).
+    pub nested_rate: f64,
+}
+
+impl Default for InventoryParams {
+    fn default() -> InventoryParams {
+        InventoryParams {
+            books: 20,
+            low_stock_rate: 0.3,
+            nested_rate: 0.5,
+        }
+    }
+}
+
+/// Generates a Figure 1-style inventory:
+///
+/// ```text
+/// inventory( book( title author quantity(low?) | info(quantity(low?)) )* )
+/// ```
+///
+/// The paper's constraint *C* "books whose quantity descendant is below
+/// 10" becomes the structural pattern `inventory/book[.//quantity/low]`.
+pub fn inventory<R: Rng>(rng: &mut R, params: &InventoryParams) -> Tree {
+    let mut t = Tree::new("inventory");
+    let root = t.root();
+    for _ in 0..params.books {
+        let book = t.build_child(root, "book");
+        t.build_child(book, "title");
+        t.build_child(book, "author");
+        let qparent = if rng.gen_bool(params.nested_rate.clamp(0.0, 1.0)) {
+            t.build_child(book, "info")
+        } else {
+            book
+        };
+        let q = t.build_child(qparent, "quantity");
+        if rng.gen_bool(params.low_stock_rate.clamp(0.0, 1.0)) {
+            t.build_child(q, "low");
+        }
+    }
+    t
+}
+
+/// Generates a bibliography corpus: `bib( article|book ( title, author+,
+/// year, (cite ref*)? )* )`.
+pub fn bibliography<R: Rng>(rng: &mut R, entries: usize) -> Tree {
+    let mut t = Tree::new("bib");
+    let root = t.root();
+    for _ in 0..entries {
+        let kind = if rng.gen_bool(0.5) { "article" } else { "book" };
+        let e = t.build_child(root, kind);
+        t.build_child(e, "title");
+        for _ in 0..rng.gen_range(1..=3) {
+            t.build_child(e, "author");
+        }
+        t.build_child(e, "year");
+        if rng.gen_bool(0.4) {
+            let c = t.build_child(e, "cite");
+            for _ in 0..rng.gen_range(1..=4) {
+                t.build_child(c, "ref");
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_pattern::{eval, xpath};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inventory_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = inventory(
+            &mut rng,
+            &InventoryParams {
+                books: 10,
+                ..InventoryParams::default()
+            },
+        );
+        let books = eval::eval(&xpath::parse("inventory/book").unwrap(), &t);
+        assert_eq!(books.len(), 10);
+        // Every book has a quantity descendant.
+        let qs = eval::eval(&xpath::parse("inventory/book//quantity").unwrap(), &t);
+        assert_eq!(qs.len(), 10);
+    }
+
+    #[test]
+    fn low_stock_rate_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let all_low = inventory(
+            &mut rng,
+            &InventoryParams {
+                books: 5,
+                low_stock_rate: 1.0,
+                ..InventoryParams::default()
+            },
+        );
+        let low = eval::eval(
+            &xpath::parse("inventory/book[.//quantity/low]").unwrap(),
+            &all_low,
+        );
+        assert_eq!(low.len(), 5);
+        let none_low = inventory(
+            &mut rng,
+            &InventoryParams {
+                books: 5,
+                low_stock_rate: 0.0,
+                ..InventoryParams::default()
+            },
+        );
+        let low2 = eval::eval(
+            &xpath::parse("inventory/book[.//quantity/low]").unwrap(),
+            &none_low,
+        );
+        assert!(low2.is_empty());
+    }
+
+    #[test]
+    fn nesting_exercises_descendant_axis() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = inventory(
+            &mut rng,
+            &InventoryParams {
+                books: 8,
+                nested_rate: 1.0,
+                ..InventoryParams::default()
+            },
+        );
+        // With nesting forced, book/quantity (child axis) finds nothing…
+        let direct = eval::eval(&xpath::parse("inventory/book/quantity").unwrap(), &t);
+        assert!(direct.is_empty());
+        // …while the descendant axis finds all of them.
+        let deep = eval::eval(&xpath::parse("inventory/book//quantity").unwrap(), &t);
+        assert_eq!(deep.len(), 8);
+    }
+
+    #[test]
+    fn bibliography_shape() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let t = bibliography(&mut rng, 25);
+        let titles = eval::eval(&xpath::parse("bib/*/title").unwrap(), &t);
+        assert_eq!(titles.len(), 25);
+        let authors = eval::eval(&xpath::parse("bib//author").unwrap(), &t);
+        assert!(authors.len() >= 25);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = InventoryParams::default();
+        let a = inventory(&mut SmallRng::seed_from_u64(7), &p);
+        let b = inventory(&mut SmallRng::seed_from_u64(7), &p);
+        assert_eq!(cxu_tree::text::to_text(&a), cxu_tree::text::to_text(&b));
+    }
+}

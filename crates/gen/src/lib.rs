@@ -1,0 +1,26 @@
+//! # cxu-gen — workload generators
+//!
+//! Deterministic (seeded) generators for the experiment harness:
+//!
+//! * [`trees`] — random unordered labeled trees with controlled size,
+//!   branching, and alphabet;
+//! * [`patterns`] — random tree patterns with controlled wildcard,
+//!   descendant-edge, and branching rates (rate 0 branches = linear
+//!   patterns, the `P^{//,*}` class);
+//! * [`docs`] — the paper's motivating documents: Figure 1-style
+//!   inventories and a bibliography corpus;
+//! * [`program`] — the §1 "pidgin language": straight-line programs of
+//!   reads and updates over a document, used by the compiler-optimization
+//!   experiment (E9);
+//! * [`analysis`] — the §1 compiler itself: conflict matrices, hoistable
+//!   reads, and conflict-checked common subexpression elimination.
+//!
+//! Everything takes an explicit `rand::Rng` so benchmark runs are
+//! reproducible from a seed.
+
+pub mod analysis;
+pub mod docs;
+pub mod parse;
+pub mod patterns;
+pub mod program;
+pub mod trees;

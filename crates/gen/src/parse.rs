@@ -1,0 +1,275 @@
+//! Parser and printer for the paper's pidgin-language surface syntax.
+//!
+//! §1 writes programs like:
+//!
+//! ```text
+//! y = read $x//A;
+//! insert $x/B, <C/>;
+//! z = read $x//C
+//! ```
+//!
+//! This module parses that syntax into a [`Program`] (and prints one
+//! back), so the compiler analyses in [`crate::analysis`] can run on
+//! textual inputs — e.g. via `cxu analyze`. There is a single document
+//! variable (`$x` or any other `$name`; the name is remembered only for
+//! printing). `$x//A` translates to the pattern `*//A`: the variable
+//! denotes the document, whose root may carry any label. Inserted
+//! subtrees accept either `<xml/>` or the `a(b c)` term syntax.
+
+use crate::program::{Program, Stmt};
+use cxu_ops::{Delete, Insert, Read, Update};
+use cxu_pattern::{xpath, Axis, Pattern};
+use cxu_tree::{text, xml, Tree};
+use std::fmt;
+
+/// Error from [`parse_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramParseError {
+    /// 1-based statement number where the error occurred.
+    pub stmt: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ProgramParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "statement {}: {}", self.stmt, self.msg)
+    }
+}
+
+impl std::error::Error for ProgramParseError {}
+
+/// Parses `$var` + XPath-rest into a pattern anchored at a wildcard root.
+fn parse_doc_path(src: &str, stmt: usize) -> Result<Pattern, ProgramParseError> {
+    let err = |msg: String| ProgramParseError { stmt, msg };
+    let src = src.trim();
+    let rest = src
+        .strip_prefix('$')
+        .ok_or_else(|| err(format!("expected a document path like $x//A, got '{src}'")))?;
+    let split = rest
+        .find(['/', '['])
+        .ok_or_else(|| err(format!("document path '{src}' selects nothing")))?;
+    let (_, tail) = rest.split_at(split);
+    // `$x//A` → `*//A`; `$x/B` → `*/B`; `$x[..]...` → predicates on the root.
+    let expr = format!("*{tail}");
+    xpath::parse(&expr).map_err(|e| err(format!("bad path '{src}': {e}")))
+}
+
+fn parse_payload(src: &str, stmt: usize) -> Result<Tree, ProgramParseError> {
+    let src = src.trim();
+    if src.starts_with('<') {
+        xml::parse(src).map_err(|e| ProgramParseError {
+            stmt,
+            msg: format!("bad XML payload: {e}"),
+        })
+    } else {
+        text::parse(src).map_err(|e| ProgramParseError {
+            stmt,
+            msg: format!("bad payload: {e}"),
+        })
+    }
+}
+
+/// Parses a pidgin program. Statements are separated by `;` or newlines;
+/// `#`-comments run to end of line.
+pub fn parse_program(src: &str) -> Result<Program, ProgramParseError> {
+    let mut stmts = Vec::new();
+    let cleaned: String = src
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    for (idx, raw) in cleaned
+        .split([';', '\n'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .enumerate()
+    {
+        let stmt_no = idx + 1;
+        let err = |msg: String| ProgramParseError { stmt: stmt_no, msg };
+        if let Some(rest) = raw.strip_prefix("insert ") {
+            let (path, payload) = rest
+                .split_once(',')
+                .ok_or_else(|| err("insert needs '<path>, <subtree>'".into()))?;
+            let pattern = parse_doc_path(path, stmt_no)?;
+            let subtree = parse_payload(payload, stmt_no)?;
+            stmts.push(Stmt::Update(Update::Insert(Insert::new(pattern, subtree))));
+        } else if let Some(rest) = raw.strip_prefix("delete ") {
+            let pattern = parse_doc_path(rest, stmt_no)?;
+            let del = Delete::new(pattern)
+                .map_err(|e| err(format!("invalid delete: {e}")))?;
+            stmts.push(Stmt::Update(Update::Delete(del)));
+        } else if let Some((_var, rhs)) = raw.split_once('=') {
+            let rhs = rhs.trim();
+            let path = rhs
+                .strip_prefix("read ")
+                .ok_or_else(|| err(format!("expected 'read $…', got '{rhs}'")))?;
+            stmts.push(Stmt::Read(Read::new(parse_doc_path(path, stmt_no)?)));
+        } else if let Some(path) = raw.strip_prefix("read ") {
+            stmts.push(Stmt::Read(Read::new(parse_doc_path(path, stmt_no)?)));
+        } else {
+            return Err(err(format!("unrecognized statement '{raw}'")));
+        }
+    }
+    Ok(Program { stmts })
+}
+
+/// Prints a program back in the pidgin syntax (reads get `y0, y1, …`).
+pub fn to_source(p: &Program) -> String {
+    let mut out = String::new();
+    let mut reads = 0usize;
+    for stmt in &p.stmts {
+        match stmt {
+            Stmt::Read(r) => {
+                out.push_str(&format!("y{reads} = read {}", doc_path(r.pattern())));
+                reads += 1;
+            }
+            Stmt::Update(Update::Insert(i)) => {
+                out.push_str(&format!(
+                    "insert {}, {}",
+                    doc_path(i.pattern()),
+                    text::to_text(i.subtree())
+                ));
+            }
+            Stmt::Update(Update::Delete(d)) => {
+                out.push_str(&format!("delete {}", doc_path(d.pattern())));
+            }
+        }
+        out.push_str(";\n");
+    }
+    out
+}
+
+/// Renders a pattern as `$x`-rooted path where possible: a wildcard root
+/// becomes the variable, otherwise the root label is shown explicitly
+/// (the pattern constrains the document root's label).
+fn doc_path(p: &Pattern) -> String {
+    let rendered = xpath::to_xpath(p);
+    if p.label(p.root()).is_none() && p.children(p.root()).len() == 1 {
+        // `*//A` → `$x//A`; `*/B` → `$x/B`.
+        let child = p.children(p.root())[0];
+        let sep = match p.axis(child) {
+            Some(Axis::Descendant) => "//",
+            _ => "/",
+        };
+        let tail = rendered
+            .strip_prefix('*')
+            .and_then(|r| r.strip_prefix(sep))
+            .unwrap_or(&rendered);
+        format!("$x{sep}{tail}")
+    } else {
+        format!("$x:[{rendered}]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::conflict_matrix;
+    use cxu_ops::Semantics;
+
+    const SECTION1: &str = "\
+        y = read $x//A;\n\
+        insert $x/B, <C/>;\n\
+        z = read $x//C\n";
+
+    #[test]
+    fn parses_section1_program() {
+        let p = parse_program(SECTION1).unwrap();
+        assert_eq!(p.stmts.len(), 3);
+        assert!(matches!(p.stmts[0], Stmt::Read(_)));
+        assert!(matches!(p.stmts[1], Stmt::Update(Update::Insert(_))));
+        // The analysis reproduces §1's verdicts.
+        let m = conflict_matrix(&p, Semantics::Node);
+        assert_eq!(m.len(), 1);
+        assert!(!m[0].independent, "read $x//C conflicts with the insert");
+    }
+
+    #[test]
+    fn variable_path_translation() {
+        let p = parse_program("y = read $doc//A").unwrap();
+        let Stmt::Read(r) = &p.stmts[0] else { panic!() };
+        assert_eq!(r.pattern().to_string(), "*//A");
+        assert!(r.pattern().label(r.pattern().root()).is_none());
+    }
+
+    #[test]
+    fn predicates_in_paths() {
+        let p = parse_program("insert $x/book[.//quantity/low], restock").unwrap();
+        let Stmt::Update(Update::Insert(i)) = &p.stmts[0] else { panic!() };
+        assert_eq!(i.pattern().len(), 4); // *, book, quantity, low
+        assert_eq!(i.subtree().live_count(), 1);
+    }
+
+    #[test]
+    fn payload_formats() {
+        let a = parse_program("insert $x/B, <C><D/></C>").unwrap();
+        let b = parse_program("insert $x/B, C(D)").unwrap();
+        let (Stmt::Update(Update::Insert(ia)), Stmt::Update(Update::Insert(ib))) =
+            (&a.stmts[0], &b.stmts[0])
+        else {
+            panic!()
+        };
+        assert!(cxu_tree::iso::isomorphic(ia.subtree(), ib.subtree()));
+    }
+
+    #[test]
+    fn delete_statements() {
+        let p = parse_program("delete $x/B/C").unwrap();
+        assert!(matches!(p.stmts[0], Stmt::Update(Update::Delete(_))));
+        // Deleting the root is rejected.
+        assert!(parse_program("delete $x").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let src = "# header\n\ny = read $x//A  # trailing\n\n# done\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.stmts.len(), 1);
+    }
+
+    #[test]
+    fn bare_read_without_binding() {
+        let p = parse_program("read $x//A").unwrap();
+        assert!(matches!(p.stmts[0], Stmt::Read(_)));
+    }
+
+    #[test]
+    fn errors_carry_statement_numbers() {
+        let e = parse_program("y = read $x//A; frobnicate $x").unwrap_err();
+        assert_eq!(e.stmt, 2);
+        let e2 = parse_program("insert $x/B").unwrap_err();
+        assert!(e2.msg.contains("insert needs"));
+    }
+
+    #[test]
+    fn roundtrip_through_source() {
+        let p = parse_program(SECTION1).unwrap();
+        let src = to_source(&p);
+        let q = parse_program(&src).unwrap();
+        assert_eq!(p.stmts.len(), q.stmts.len());
+        // Patterns survive structurally.
+        for (a, b) in p.stmts.iter().zip(&q.stmts) {
+            match (a, b) {
+                (Stmt::Read(ra), Stmt::Read(rb)) => {
+                    assert!(ra.pattern().structurally_eq(rb.pattern()))
+                }
+                (Stmt::Update(ua), Stmt::Update(ub)) => {
+                    assert!(ua.pattern().structurally_eq(ub.pattern()))
+                }
+                _ => panic!("statement kinds diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn observational_run_of_parsed_program() {
+        use crate::program::observe;
+        let p = parse_program(SECTION1).unwrap();
+        let doc = text::parse("anyroot(B A)").unwrap();
+        let obs = observe(&p, &doc);
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0], vec!["A"]);
+        assert_eq!(obs[1], vec!["C"]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Random tree patterns over `P^{//,[],*}` and `P^{//,*}`.
+
+use cxu_pattern::{Axis, PNodeId, Pattern};
+use cxu_tree::Symbol;
+use rand::Rng;
+
+/// Shape parameters for [`random_pattern`].
+#[derive(Clone, Debug)]
+pub struct PatternParams {
+    /// Exact number of pattern nodes.
+    pub nodes: usize,
+    /// Number of distinct labels (`l0..`), or an explicit pool.
+    pub alphabet: usize,
+    /// Explicit label pool; overrides `alphabet` when non-empty.
+    pub labels: Vec<Symbol>,
+    /// Probability that a node is the wildcard `*`.
+    pub wildcard_rate: f64,
+    /// Probability that an edge is a descendant (`//`) edge.
+    pub descendant_rate: f64,
+    /// Probability that a new node attaches as a *branch* (off the
+    /// current spine) rather than extending the spine. 0.0 yields linear
+    /// patterns (`P^{//,*}`).
+    pub branch_rate: f64,
+}
+
+impl Default for PatternParams {
+    fn default() -> PatternParams {
+        PatternParams {
+            nodes: 6,
+            alphabet: 3,
+            labels: Vec::new(),
+            wildcard_rate: 0.15,
+            descendant_rate: 0.3,
+            branch_rate: 0.3,
+        }
+    }
+}
+
+impl PatternParams {
+    /// A parameter set that generates linear patterns only.
+    pub fn linear(nodes: usize) -> PatternParams {
+        PatternParams {
+            nodes,
+            branch_rate: 0.0,
+            ..PatternParams::default()
+        }
+    }
+
+    fn pool(&self) -> Vec<Symbol> {
+        if !self.labels.is_empty() {
+            self.labels.clone()
+        } else {
+            (0..self.alphabet.max(1))
+                .map(|i| Symbol::intern(&format!("l{i}")))
+                .collect()
+        }
+    }
+}
+
+/// Generates a random pattern. The output node is the end of the spine
+/// (so `branch_rate == 0` produces members of `P^{//,*}` exactly).
+pub fn random_pattern<R: Rng>(rng: &mut R, params: &PatternParams) -> Pattern {
+    let pool = params.pool();
+    let label = |rng: &mut R| -> Option<Symbol> {
+        if rng.gen_bool(params.wildcard_rate.clamp(0.0, 1.0)) {
+            None
+        } else {
+            Some(pool[rng.gen_range(0..pool.len())])
+        }
+    };
+    let mut p = Pattern::new(label(rng));
+    let mut spine_tip = p.root();
+    let mut all: Vec<PNodeId> = vec![p.root()];
+    for _ in 1..params.nodes.max(1) {
+        let axis = if rng.gen_bool(params.descendant_rate.clamp(0.0, 1.0)) {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        let lbl = label(rng);
+        if rng.gen_bool(params.branch_rate.clamp(0.0, 1.0)) {
+            // Branch off any existing node.
+            let at = all[rng.gen_range(0..all.len())];
+            let n = p.add_child(at, axis, lbl);
+            all.push(n);
+        } else {
+            let n = p.add_child(spine_tip, axis, lbl);
+            spine_tip = n;
+            all.push(n);
+        }
+    }
+    p.set_output(spine_tip);
+    p
+}
+
+/// A random pattern guaranteed valid for deletions (`𝒪(p) ≠ ROOT(p)`):
+/// at least two spine nodes.
+pub fn random_delete_pattern<R: Rng>(rng: &mut R, params: &PatternParams) -> Pattern {
+    let mut params = params.clone();
+    params.nodes = params.nodes.max(2);
+    loop {
+        let p = random_pattern(rng, &params);
+        if p.output() != p.root() {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_node_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for n in [1, 3, 12] {
+            let p = random_pattern(
+                &mut rng,
+                &PatternParams {
+                    nodes: n,
+                    ..PatternParams::default()
+                },
+            );
+            assert_eq!(p.len(), n);
+        }
+    }
+
+    #[test]
+    fn linear_params_give_linear_patterns() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let p = random_pattern(&mut rng, &PatternParams::linear(8));
+            assert!(p.is_linear(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn zero_rates_give_child_only_labeled() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = random_pattern(
+            &mut rng,
+            &PatternParams {
+                nodes: 10,
+                wildcard_rate: 0.0,
+                descendant_rate: 0.0,
+                branch_rate: 0.0,
+                ..PatternParams::default()
+            },
+        );
+        for n in p.node_ids() {
+            assert!(p.label(n).is_some());
+            assert_ne!(p.axis(n), Some(Axis::Descendant));
+        }
+    }
+
+    #[test]
+    fn all_wildcards() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let p = random_pattern(
+            &mut rng,
+            &PatternParams {
+                nodes: 5,
+                wildcard_rate: 1.0,
+                ..PatternParams::default()
+            },
+        );
+        assert!(p.node_ids().all(|n| p.label(n).is_none()));
+        assert!(p.star_length() >= 1);
+    }
+
+    #[test]
+    fn delete_pattern_never_roots_output() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let p = random_delete_pattern(
+                &mut rng,
+                &PatternParams {
+                    nodes: 4,
+                    branch_rate: 0.8,
+                    ..PatternParams::default()
+                },
+            );
+            assert_ne!(p.output(), p.root());
+        }
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let params = PatternParams::default();
+        let a = random_pattern(&mut SmallRng::seed_from_u64(9), &params);
+        let b = random_pattern(&mut SmallRng::seed_from_u64(9), &params);
+        assert!(a.structurally_eq(&b));
+    }
+
+    #[test]
+    fn generated_patterns_evaluate() {
+        // Smoke: every generated pattern embeds into its own model.
+        let mut rng = SmallRng::seed_from_u64(10);
+        for _ in 0..30 {
+            let p = random_pattern(&mut rng, &PatternParams::default());
+            let m = p.model_fresh(&[]);
+            assert!(cxu_pattern::eval::matches(&p, &m), "{p:?}");
+        }
+    }
+}

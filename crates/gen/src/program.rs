@@ -1,0 +1,269 @@
+//! The §1 "pidgin language": straight-line programs over one document.
+//!
+//! The paper motivates conflict detection with compiler transformations:
+//!
+//! ```text
+//! 1  x = ...
+//! 2  y = read $x//A
+//! 3  insert $x/B, <C/>
+//! 4  z = read $x//C
+//! ```
+//!
+//! Line 4 cannot move above line 3; a read of `$x//D` could. This module
+//! models such programs ([`Program`], [`Stmt`]), provides an interpreter
+//! (so transformed programs can be checked observationally), and a
+//! generator of random programs for the E9 experiment: *what fraction of
+//! read/update pairs can a compiler prove independent?*
+
+use crate::patterns::{random_delete_pattern, random_pattern, PatternParams};
+use cxu_ops::{Delete, Insert, Read, Update};
+use cxu_tree::Tree;
+use rand::Rng;
+
+/// One statement of the pidgin language.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `y = read $x/<pattern>` — bind the selected node set.
+    Read(Read),
+    /// `insert $x/<pattern>, <X/>` or `delete $x/<pattern>`.
+    Update(Update),
+}
+
+impl Stmt {
+    /// Is this statement an update?
+    pub fn is_update(&self) -> bool {
+        matches!(self, Stmt::Update(_))
+    }
+}
+
+/// A straight-line program over a single document variable.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Statements in program order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// The observable behaviour of a program on a document: the label
+/// multiset every read returned, in order. (Node ids are not observable
+/// across program transformations — fresh inserts get fresh ids — so the
+/// observation is value-based: the canonical forms of the read results.)
+pub fn observe(program: &Program, doc: &Tree) -> Vec<Vec<String>> {
+    let mut t = doc.clone();
+    let mut out = Vec::new();
+    for stmt in &program.stmts {
+        match stmt {
+            Stmt::Read(r) => {
+                let mut obs: Vec<String> = r
+                    .eval(&t)
+                    .into_iter()
+                    .map(|n| cxu_tree::text::subtree_to_text(&t, n))
+                    .collect();
+                obs.sort_unstable();
+                out.push(obs);
+            }
+            Stmt::Update(u) => {
+                u.apply(&mut t);
+            }
+        }
+    }
+    out
+}
+
+/// Parameters for [`random_program`].
+#[derive(Clone, Debug)]
+pub struct ProgramParams {
+    /// Number of statements.
+    pub len: usize,
+    /// Fraction of statements that are updates.
+    pub update_rate: f64,
+    /// Fraction of updates that are deletions (the rest insert).
+    pub delete_rate: f64,
+    /// Pattern shape shared by all statements.
+    pub pattern: PatternParams,
+}
+
+impl Default for ProgramParams {
+    fn default() -> ProgramParams {
+        ProgramParams {
+            len: 10,
+            update_rate: 0.4,
+            delete_rate: 0.4,
+            pattern: PatternParams::linear(4),
+        }
+    }
+}
+
+/// Generates a random straight-line program.
+pub fn random_program<R: Rng>(rng: &mut R, params: &ProgramParams) -> Program {
+    let mut stmts = Vec::with_capacity(params.len);
+    for _ in 0..params.len {
+        if rng.gen_bool(params.update_rate.clamp(0.0, 1.0)) {
+            if rng.gen_bool(params.delete_rate.clamp(0.0, 1.0)) {
+                let p = random_delete_pattern(rng, &params.pattern);
+                stmts.push(Stmt::Update(Update::Delete(
+                    Delete::new(p).expect("delete pattern generator guarantees output ≠ root"),
+                )));
+            } else {
+                let p = random_pattern(rng, &params.pattern);
+                // Small inserted payloads: one or two nodes from the pool.
+                let labels = params.pattern.pool_labels();
+                let mut x = Tree::new(labels[rng.gen_range(0..labels.len())]);
+                if rng.gen_bool(0.5) {
+                    let r = x.root();
+                    x.build_child(r, labels[rng.gen_range(0..labels.len())]);
+                }
+                stmts.push(Stmt::Update(Update::Insert(Insert::new(p, x))));
+            }
+        } else {
+            let p = random_pattern(rng, &params.pattern);
+            stmts.push(Stmt::Read(Read::new(p)));
+        }
+    }
+    Program { stmts }
+}
+
+/// Helper on [`PatternParams`] exposing the label pool (used by the
+/// program generator to build inserted payloads from the same alphabet).
+trait PoolLabels {
+    fn pool_labels(&self) -> Vec<cxu_tree::Symbol>;
+}
+
+impl PoolLabels for PatternParams {
+    fn pool_labels(&self) -> Vec<cxu_tree::Symbol> {
+        if !self.labels.is_empty() {
+            self.labels.clone()
+        } else {
+            (0..self.alphabet.max(1))
+                .map(|i| cxu_tree::Symbol::intern(&format!("l{i}")))
+                .collect()
+        }
+    }
+}
+
+/// All (read, update) pairs where the read comes *after* the update —
+/// the candidates for hoisting the read above the update (§1's code
+/// motion). Returned as `(update_idx, read_idx)` with indexes into
+/// `program.stmts`.
+pub fn motion_candidates(program: &Program) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (ui, u) in program.stmts.iter().enumerate() {
+        if !u.is_update() {
+            continue;
+        }
+        for (ri, r) in program.stmts.iter().enumerate().skip(ui + 1) {
+            if matches!(r, Stmt::Read(_)) {
+                out.push((ui, ri));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_pattern::xpath::parse;
+    use cxu_tree::text;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn section1_program() -> Program {
+        Program {
+            stmts: vec![
+                Stmt::Read(Read::new(parse("x//A").unwrap())),
+                Stmt::Update(Update::Insert(Insert::new(
+                    parse("x/B").unwrap(),
+                    text::parse("C").unwrap(),
+                ))),
+                Stmt::Read(Read::new(parse("x//C").unwrap())),
+            ],
+        }
+    }
+
+    #[test]
+    fn observe_sees_insert_effects() {
+        let prog = section1_program();
+        let doc = text::parse("x(B A)").unwrap();
+        let obs = observe(&prog, &doc);
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0], vec!["A"]); // read before insert
+        assert_eq!(obs[1], vec!["C"]); // read after insert sees the C
+    }
+
+    #[test]
+    fn observation_detects_illegal_reorder() {
+        // Swapping lines 3 and 4 changes the observation — the conflict
+        // §1 describes.
+        let prog = section1_program();
+        let swapped = Program {
+            stmts: vec![
+                prog.stmts[0].clone(),
+                prog.stmts[2].clone(),
+                prog.stmts[1].clone(),
+            ],
+        };
+        let doc = text::parse("x(B A)").unwrap();
+        assert_ne!(observe(&prog, &doc), observe(&swapped, &doc));
+    }
+
+    #[test]
+    fn legal_reorder_preserves_observation() {
+        // read $x//D commutes with the insert.
+        let prog = Program {
+            stmts: vec![
+                Stmt::Update(Update::Insert(Insert::new(
+                    parse("x/B").unwrap(),
+                    text::parse("C").unwrap(),
+                ))),
+                Stmt::Read(Read::new(parse("x//D").unwrap())),
+            ],
+        };
+        let swapped = Program {
+            stmts: vec![prog.stmts[1].clone(), prog.stmts[0].clone()],
+        };
+        let doc = text::parse("x(B D(D))").unwrap();
+        assert_eq!(observe(&prog, &doc), observe(&swapped, &doc));
+    }
+
+    #[test]
+    fn motion_candidates_enumeration() {
+        let prog = section1_program();
+        // One update (index 1), one read after it (index 2).
+        assert_eq!(motion_candidates(&prog), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn random_program_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let prog = random_program(&mut rng, &ProgramParams::default());
+        assert_eq!(prog.stmts.len(), 10);
+        // Deterministic from the seed.
+        let mut rng2 = SmallRng::seed_from_u64(1);
+        let prog2 = random_program(&mut rng2, &ProgramParams::default());
+        assert_eq!(prog.stmts.len(), prog2.stmts.len());
+    }
+
+    #[test]
+    fn random_programs_run() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let doc = crate::trees::random_tree(
+            &mut rng,
+            &crate::trees::TreeParams {
+                nodes: 60,
+                alphabet: 3,
+                ..Default::default()
+            },
+        );
+        for seed in 0..10 {
+            let mut prng = SmallRng::seed_from_u64(seed);
+            let prog = random_program(&mut prng, &ProgramParams::default());
+            let obs = observe(&prog, &doc);
+            let reads = prog
+                .stmts
+                .iter()
+                .filter(|s| matches!(s, Stmt::Read(_)))
+                .count();
+            assert_eq!(obs.len(), reads);
+        }
+    }
+}

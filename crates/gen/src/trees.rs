@@ -1,0 +1,161 @@
+//! Random unordered labeled trees.
+
+use cxu_tree::{NodeId, Symbol, Tree};
+use rand::Rng;
+
+/// Shape parameters for [`random_tree`].
+#[derive(Clone, Debug)]
+pub struct TreeParams {
+    /// Exact number of nodes.
+    pub nodes: usize,
+    /// Number of distinct labels, drawn as `l0..l{alphabet-1}` (or from
+    /// `labels` if set).
+    pub alphabet: usize,
+    /// Explicit label pool; overrides `alphabet` when non-empty.
+    pub labels: Vec<Symbol>,
+    /// Bias toward depth: with probability `deep_bias` a new node attaches
+    /// under the most recently added node instead of a uniformly random
+    /// one. 0.0 gives uniformly random attachment (shallow, bushy trees);
+    /// values near 1.0 give path-like trees.
+    pub deep_bias: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> TreeParams {
+        TreeParams {
+            nodes: 50,
+            alphabet: 4,
+            labels: Vec::new(),
+            deep_bias: 0.3,
+        }
+    }
+}
+
+impl TreeParams {
+    /// The label pool this parameter set draws from.
+    pub fn pool(&self) -> Vec<Symbol> {
+        if !self.labels.is_empty() {
+            self.labels.clone()
+        } else {
+            (0..self.alphabet.max(1))
+                .map(|i| Symbol::intern(&format!("l{i}")))
+                .collect()
+        }
+    }
+}
+
+/// Generates a random tree by uniform random attachment (with optional
+/// depth bias). Runs in `O(nodes)`.
+pub fn random_tree<R: Rng>(rng: &mut R, params: &TreeParams) -> Tree {
+    let pool = params.pool();
+    let pick = |rng: &mut R| pool[rng.gen_range(0..pool.len())];
+    let mut t = Tree::new(pick(rng));
+    let mut ids: Vec<NodeId> = vec![t.root()];
+    let mut last = t.root();
+    for _ in 1..params.nodes.max(1) {
+        let parent = if rng.gen_bool(params.deep_bias.clamp(0.0, 1.0)) {
+            last
+        } else {
+            ids[rng.gen_range(0..ids.len())]
+        };
+        let label = pick(rng);
+        last = t.build_child(parent, label);
+        ids.push(last);
+    }
+    t
+}
+
+/// A uniformly random node of a tree (live nodes only).
+pub fn random_node<R: Rng>(rng: &mut R, t: &Tree) -> NodeId {
+    let nodes: Vec<NodeId> = t.nodes().collect();
+    nodes[rng.gen_range(0..nodes.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_node_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for n in [1, 2, 10, 200] {
+            let t = random_tree(
+                &mut rng,
+                &TreeParams {
+                    nodes: n,
+                    ..TreeParams::default()
+                },
+            );
+            assert_eq!(t.live_count(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let p = TreeParams::default();
+        let a = random_tree(&mut SmallRng::seed_from_u64(7), &p);
+        let b = random_tree(&mut SmallRng::seed_from_u64(7), &p);
+        assert_eq!(cxu_tree::text::to_text(&a), cxu_tree::text::to_text(&b));
+    }
+
+    #[test]
+    fn alphabet_respected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = random_tree(
+            &mut rng,
+            &TreeParams {
+                nodes: 300,
+                alphabet: 2,
+                ..TreeParams::default()
+            },
+        );
+        assert!(t.alphabet().len() <= 2);
+    }
+
+    #[test]
+    fn deep_bias_increases_height() {
+        let shallow = random_tree(
+            &mut SmallRng::seed_from_u64(5),
+            &TreeParams {
+                nodes: 300,
+                deep_bias: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        let deep = random_tree(
+            &mut SmallRng::seed_from_u64(5),
+            &TreeParams {
+                nodes: 300,
+                deep_bias: 0.95,
+                ..TreeParams::default()
+            },
+        );
+        assert!(deep.height() > shallow.height());
+    }
+
+    #[test]
+    fn explicit_labels() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let labels = vec![Symbol::intern("only")];
+        let t = random_tree(
+            &mut rng,
+            &TreeParams {
+                nodes: 20,
+                labels,
+                ..TreeParams::default()
+            },
+        );
+        assert!(t.nodes().all(|n| t.label(n).as_str() == "only"));
+    }
+
+    #[test]
+    fn random_node_is_live() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let t = random_tree(&mut rng, &TreeParams::default());
+        for _ in 0..20 {
+            assert!(t.is_alive(random_node(&mut rng, &t)));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # cxu-ops — read / insert / delete semantics and witness checking
+//!
+//! Implements §3 of *Conflicting XML Updates*:
+//!
+//! * [`Read`], [`Insert`], [`Delete`] — the three operations, with the
+//!   paper's reference-based mutation semantics: an insertion grafts a
+//!   fresh, id-disjoint copy of `X` at every node selected by its pattern;
+//!   a deletion removes the subtree at every selected node (its pattern's
+//!   output must not be the root, so the result stays a tree);
+//! * [`Semantics`] — the three conflict semantics: **node** conflicts
+//!   (Definitions 3–4), **tree** conflicts, and **value** conflicts
+//!   (Definitions 5–6);
+//! * [`witness`] — Lemma 1: given a candidate tree `t`, decide in
+//!   polynomial time whether `t` witnesses a conflict under each
+//!   semantics.
+//!
+//! ```
+//! use cxu_ops::{Insert, Read, Semantics, witness};
+//! use cxu_pattern::xpath;
+//! use cxu_tree::text;
+//!
+//! // The paper's §1 example: reading $x//C conflicts with inserting
+//! // <C/> under B children, on any tree that has a B child.
+//! let read = Read::new(xpath::parse("x//C").unwrap());
+//! let ins = Insert::new(xpath::parse("x/B").unwrap(), text::parse("C").unwrap());
+//! let t = text::parse("x(B)").unwrap();
+//! assert!(witness::witnesses_insert_conflict(&read, &ins, &t, Semantics::Node));
+//! ```
+
+mod ops;
+pub mod witness;
+
+pub use ops::{Delete, Insert, Read, Update};
+
+/// Which notion of "the read's result changed" a conflict check uses (§3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Semantics {
+    /// Reference-based, node sets: `R(u(t)) ≠ R(t)` as sets of node ids
+    /// (Definitions 3–4). The semantics the paper focuses on.
+    Node,
+    /// Reference-based, subtrees: the returned *trees* must also be
+    /// untouched — a node conflict, or a returned node whose subtree was
+    /// modified, is a tree conflict.
+    Tree,
+    /// Value-based: the sets of returned subtrees must be isomorphic
+    /// (Definitions 5–6) — `⟦p⟧_T(u(t)) ≅ ⟦p⟧_T(t)`.
+    Value,
+}
+
+impl Semantics {
+    /// All three semantics, for exhaustive test sweeps.
+    pub const ALL: [Semantics; 3] = [Semantics::Node, Semantics::Tree, Semantics::Value];
+}

@@ -1,0 +1,306 @@
+//! The three operations of §3 with reference-based (mutating) semantics.
+
+use cxu_pattern::{eval, Pattern, PatternError};
+use cxu_tree::{NodeId, Tree};
+
+/// `READ_p(t) = ⟦p⟧(t)`: projects a set of nodes from a tree.
+#[derive(Clone, Debug)]
+pub struct Read {
+    pattern: Pattern,
+}
+
+impl Read {
+    /// A read over pattern `p ∈ P^{//,[],*}`.
+    pub fn new(pattern: Pattern) -> Read {
+        Read { pattern }
+    }
+
+    /// The read's pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Evaluates the read, returning node ids (sorted, deduplicated).
+    pub fn eval(&self, t: &Tree) -> Vec<NodeId> {
+        eval::eval(&self.pattern, t)
+    }
+
+    /// `⟦p⟧_T(t)`: the returned subtrees as independent trees (used by
+    /// value-semantics comparisons and by callers that want copies).
+    pub fn eval_subtrees(&self, t: &Tree) -> Vec<Tree> {
+        self.eval(t)
+            .into_iter()
+            .map(|n| t.subtree_to_tree(n))
+            .collect()
+    }
+}
+
+/// `INSERT_{p,X}(t)`: grafts a fresh copy of `X` as a child of every node
+/// in `⟦p⟧(t)` (the *insertion points*). If the pattern selects nothing,
+/// the tree is unchanged.
+#[derive(Clone, Debug)]
+pub struct Insert {
+    pattern: Pattern,
+    subtree: Tree,
+}
+
+impl Insert {
+    /// An insertion of `subtree` at every node selected by `pattern`.
+    pub fn new(pattern: Pattern, subtree: Tree) -> Insert {
+        Insert { pattern, subtree }
+    }
+
+    /// The insertion's pattern `p`.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The inserted tree `X`.
+    pub fn subtree(&self) -> &Tree {
+        &self.subtree
+    }
+
+    /// Applies the insertion in place; returns the insertion points.
+    ///
+    /// Per §3, the points are all computed **before** any graft: the
+    /// operation evaluates `p` on `t`, then inserts. (Grafting first could
+    /// otherwise create new matches; the two-phase order makes the
+    /// operation well-defined.)
+    pub fn apply(&self, t: &mut Tree) -> Vec<NodeId> {
+        let points = eval::eval(&self.pattern, t);
+        for &n in &points {
+            t.graft(n, &self.subtree);
+        }
+        points
+    }
+
+    /// Applies to a copy, returning `(I(t), insertion points)`. Node ids
+    /// of the original survive into the copy unchanged.
+    pub fn apply_to_copy(&self, t: &Tree) -> (Tree, Vec<NodeId>) {
+        let mut t2 = t.clone();
+        let points = self.apply(&mut t2);
+        (t2, points)
+    }
+
+    /// Like [`Insert::apply`], but returns `(insertion point, root of the
+    /// grafted copy)` pairs — callers that maintain incremental state
+    /// need to know where each fresh `X_i` landed.
+    pub fn apply_indexed(&self, t: &mut Tree) -> Vec<(NodeId, NodeId)> {
+        let points = cxu_pattern::eval::eval(&self.pattern, t);
+        points
+            .into_iter()
+            .map(|n| (n, t.graft(n, &self.subtree)))
+            .collect()
+    }
+}
+
+/// `DELETE_p(t)`: removes the subtree rooted at every node in `⟦p⟧(t)`
+/// (the *deletion points*). The pattern's output must not be its root —
+/// this keeps the result a tree (§3).
+#[derive(Clone, Debug)]
+pub struct Delete {
+    pattern: Pattern,
+}
+
+impl Delete {
+    /// A deletion over `pattern`; rejects patterns whose output node is
+    /// the root (`𝒪(p) ≠ ROOT(p)` is required by the paper).
+    pub fn new(pattern: Pattern) -> Result<Delete, PatternError> {
+        if pattern.output() == pattern.root() {
+            return Err(PatternError::OutputIsRoot);
+        }
+        Ok(Delete { pattern })
+    }
+
+    /// The deletion's pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Applies the deletion in place; returns the deletion points (which
+    /// are tombstoned afterwards). Points nested under other points are
+    /// removed by the outermost deletion; `remove_subtree` treats the
+    /// inner calls as no-ops.
+    pub fn apply(&self, t: &mut Tree) -> Vec<NodeId> {
+        let points = eval::eval(&self.pattern, t);
+        for &n in &points {
+            t.remove_subtree(n)
+                .expect("deletion point is never the root: 𝒪(p) ≠ ROOT(p)");
+        }
+        points
+    }
+
+    /// Applies to a copy, returning `(D(t), deletion points)`.
+    pub fn apply_to_copy(&self, t: &Tree) -> (Tree, Vec<NodeId>) {
+        let mut t2 = t.clone();
+        let points = self.apply(&mut t2);
+        (t2, points)
+    }
+}
+
+/// An update operation — the paper's two mutators, unified where the
+/// conflict machinery treats them symmetrically.
+#[derive(Clone, Debug)]
+pub enum Update {
+    /// An insertion.
+    Insert(Insert),
+    /// A deletion.
+    Delete(Delete),
+}
+
+impl Update {
+    /// The update's selection pattern.
+    pub fn pattern(&self) -> &Pattern {
+        match self {
+            Update::Insert(i) => i.pattern(),
+            Update::Delete(d) => d.pattern(),
+        }
+    }
+
+    /// Applies the update in place; returns the selected points.
+    pub fn apply(&self, t: &mut Tree) -> Vec<NodeId> {
+        match self {
+            Update::Insert(i) => i.apply(t),
+            Update::Delete(d) => d.apply(t),
+        }
+    }
+
+    /// Applies to a copy.
+    pub fn apply_to_copy(&self, t: &Tree) -> (Tree, Vec<NodeId>) {
+        let mut t2 = t.clone();
+        let points = self.apply(&mut t2);
+        (t2, points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_pattern::xpath::parse;
+    use cxu_tree::text;
+
+    #[test]
+    fn read_returns_node_ids() {
+        let t = text::parse("a(b b c)").unwrap();
+        let r = Read::new(parse("a/b").unwrap());
+        let hits = r.eval(&t);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|&n| t.label(n).as_str() == "b"));
+    }
+
+    #[test]
+    fn read_subtrees() {
+        let t = text::parse("a(b(x) b(y))").unwrap();
+        let r = Read::new(parse("a/b").unwrap());
+        let subs = r.eval_subtrees(&t);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].live_count(), 2);
+    }
+
+    #[test]
+    fn insert_at_every_point() {
+        // The paper's Figure 1 example: restock every low-quantity book.
+        let mut t = text::parse("inv(book(q) book(q) book)").unwrap();
+        let ins = Insert::new(parse("inv/book[q]").unwrap(), text::parse("restock").unwrap());
+        let points = ins.apply(&mut t);
+        assert_eq!(points.len(), 2);
+        let restocked = t
+            .nodes()
+            .filter(|&n| t.label(n).as_str() == "restock")
+            .count();
+        assert_eq!(restocked, 2);
+        assert_eq!(t.live_count(), 6 + 2);
+    }
+
+    #[test]
+    fn insert_copies_are_disjoint() {
+        let mut t = text::parse("a(b b)").unwrap();
+        let ins = Insert::new(parse("a/b").unwrap(), text::parse("x(y)").unwrap());
+        ins.apply(&mut t);
+        let xs: Vec<_> = t.nodes().filter(|&n| t.label(n).as_str() == "x").collect();
+        assert_eq!(xs.len(), 2);
+        assert_ne!(xs[0], xs[1]);
+    }
+
+    #[test]
+    fn insert_no_match_no_change() {
+        let mut t = text::parse("a(b)").unwrap();
+        let before = t.live_count();
+        let ins = Insert::new(parse("a/zzz").unwrap(), text::parse("x").unwrap());
+        let points = ins.apply(&mut t);
+        assert!(points.is_empty());
+        assert_eq!(t.live_count(), before);
+        assert!(t.mod_sites().is_empty());
+    }
+
+    #[test]
+    fn insert_points_computed_before_grafting() {
+        // Inserting <b/> under every a//b must not cascade into the
+        // freshly inserted b's.
+        let mut t = text::parse("a(b)").unwrap();
+        let ins = Insert::new(parse("a//b").unwrap(), text::parse("b").unwrap());
+        let points = ins.apply(&mut t);
+        assert_eq!(points.len(), 1);
+        assert_eq!(t.live_count(), 3);
+    }
+
+    #[test]
+    fn delete_removes_subtrees() {
+        let mut t = text::parse("a(b(x y) c)").unwrap();
+        let del = Delete::new(parse("a/b").unwrap()).unwrap();
+        let points = del.apply(&mut t);
+        assert_eq!(points.len(), 1);
+        assert_eq!(t.live_count(), 2);
+    }
+
+    #[test]
+    fn delete_rejects_root_output() {
+        assert!(Delete::new(parse("a").unwrap()).is_err());
+        assert!(Delete::new(parse("a/b").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn delete_nested_points() {
+        // a//b selects nested b's; outer deletion removes the inner point.
+        let mut t = text::parse("a(b(b))").unwrap();
+        let del = Delete::new(parse("a//b").unwrap()).unwrap();
+        let points = del.apply(&mut t);
+        assert_eq!(points.len(), 2);
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn apply_to_copy_preserves_original() {
+        let t = text::parse("a(b)").unwrap();
+        let ins = Insert::new(parse("a/b").unwrap(), text::parse("c").unwrap());
+        let (t2, points) = ins.apply_to_copy(&t);
+        assert_eq!(t.live_count(), 2);
+        assert_eq!(t2.live_count(), 3);
+        // Shared ids: the insertion point is a node of the original.
+        assert!(t.is_alive(points[0]));
+        assert_eq!(t.label(points[0]), t2.label(points[0]));
+    }
+
+    #[test]
+    fn update_enum_dispatch() {
+        let t = text::parse("a(b)").unwrap();
+        let ins = Update::Insert(Insert::new(
+            parse("a/b").unwrap(),
+            text::parse("c").unwrap(),
+        ));
+        let del = Update::Delete(Delete::new(parse("a/b").unwrap()).unwrap());
+        let (ti, _) = ins.apply_to_copy(&t);
+        let (td, _) = del.apply_to_copy(&t);
+        assert_eq!(ti.live_count(), 3);
+        assert_eq!(td.live_count(), 1);
+    }
+
+    #[test]
+    fn insert_mod_journal_sites_are_points() {
+        let mut t = text::parse("a(b b)").unwrap();
+        let ins = Insert::new(parse("a/b").unwrap(), text::parse("x").unwrap());
+        let points = ins.apply(&mut t);
+        let sites: Vec<_> = t.mod_sites().iter().map(|m| m.site).collect();
+        assert_eq!(sites, points);
+    }
+}

@@ -1,0 +1,206 @@
+//! Lemma 1: polynomial-time witness checking.
+//!
+//! Given a concrete tree `t`, a read `R`, and an update `u`, decide
+//! whether `t` *witnesses* a conflict between `R` and `u` under each of
+//! the three semantics:
+//!
+//! * **node**: `R(u(t)) ≠ R(t)` as sets of node ids;
+//! * **tree**: the node sets differ, or some returned node's subtree was
+//!   modified by the update (the paper's per-node "modified" flag — we
+//!   compute it from the tree's modification journal);
+//! * **value**: `⟦p⟧_T(u(t)) ≇ ⟦p⟧_T(t)` — the *sets* of returned
+//!   subtrees, compared up to labeled-tree isomorphism via AHU canonical
+//!   codes.
+//!
+//! These checks are the verifier inside the NP membership proofs
+//! (Theorems 3 and 5) and the oracle for brute-force conflict search.
+
+use crate::{Delete, Insert, Read, Semantics, Update};
+use cxu_tree::iso::Canonizer;
+use cxu_tree::Tree;
+
+/// Does `t` witness a read-insert conflict (Definitions 3 and 5)?
+pub fn witnesses_insert_conflict(r: &Read, i: &Insert, t: &Tree, sem: Semantics) -> bool {
+    witnesses_update_conflict(r, &Update::Insert(i.clone()), t, sem)
+}
+
+/// Does `t` witness a read-delete conflict (Definitions 4 and 6)?
+pub fn witnesses_delete_conflict(r: &Read, d: &Delete, t: &Tree, sem: Semantics) -> bool {
+    witnesses_update_conflict(r, &Update::Delete(d.clone()), t, sem)
+}
+
+/// Unified witness check for any update.
+pub fn witnesses_update_conflict(r: &Read, u: &Update, t: &Tree, sem: Semantics) -> bool {
+    let before = r.eval(t);
+    // Work on a copy with a clean journal so only *this* update counts as
+    // a modification.
+    let mut t2 = t.clone();
+    t2.clear_mods();
+    u.apply(&mut t2);
+    let after = r.eval(&t2);
+
+    match sem {
+        Semantics::Node => before != after,
+        Semantics::Tree => {
+            before != after || after.iter().any(|&n| t2.subtree_modified(n))
+        }
+        Semantics::Value => {
+            let mut canon = Canonizer::new();
+            let mut codes_before: Vec<_> =
+                before.iter().map(|&n| canon.code(t, n)).collect();
+            let mut codes_after: Vec<_> =
+                after.iter().map(|&n| canon.code(&t2, n)).collect();
+            codes_before.sort_unstable();
+            codes_before.dedup();
+            codes_after.sort_unstable();
+            codes_after.dedup();
+            codes_before != codes_after
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_pattern::xpath::parse;
+    use cxu_tree::text;
+
+    fn read(p: &str) -> Read {
+        Read::new(parse(p).unwrap())
+    }
+
+    fn insert(p: &str, x: &str) -> Insert {
+        Insert::new(parse(p).unwrap(), text::parse(x).unwrap())
+    }
+
+    fn delete(p: &str) -> Delete {
+        Delete::new(parse(p).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn section1_example_conflict() {
+        // read $x//C vs insert $x/B, <C/>: conflicts on x(B).
+        let r = read("x//C");
+        let i = insert("x/B", "C");
+        let w = text::parse("x(B)").unwrap();
+        assert!(witnesses_insert_conflict(&r, &i, &w, Semantics::Node));
+        // …but not on a tree without a B child.
+        let w2 = text::parse("x(D)").unwrap();
+        assert!(!witnesses_insert_conflict(&r, &i, &w2, Semantics::Node));
+    }
+
+    #[test]
+    fn section1_example_no_conflict_read_d() {
+        // read $x//D is untouched by insert $x/B, <C/>.
+        let r = read("x//D");
+        let i = insert("x/B", "C");
+        for w in ["x(B)", "x(B(D))", "x(D(B))"] {
+            let t = text::parse(w).unwrap();
+            assert!(
+                !witnesses_insert_conflict(&r, &i, &t, Semantics::Node),
+                "{w}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_vs_tree_semantics() {
+        // §3: R returns the root; I adds X under a B child. Node: no
+        // conflict (the root id is unchanged). Tree: conflict (the
+        // subtree rooted at the root was modified).
+        let r = read("root");
+        let i = insert("root/B", "X");
+        let w = text::parse("root(B)").unwrap();
+        assert!(!witnesses_insert_conflict(&r, &i, &w, Semantics::Node));
+        assert!(witnesses_insert_conflict(&r, &i, &w, Semantics::Tree));
+        // Value semantics also sees the new X below the returned root.
+        assert!(witnesses_insert_conflict(&r, &i, &w, Semantics::Value));
+    }
+
+    #[test]
+    fn figure3_reference_vs_value() {
+        // Figure 3: D deletes root/delta; R reads root//gamma. With two
+        // isomorphic gamma subtrees (one under delta, one elsewhere),
+        // reference semantics sees a conflict, value semantics does not.
+        let r = read("root//gamma");
+        let d = delete("root/delta");
+        let w = text::parse("root(delta(gamma) keep(gamma))").unwrap();
+        assert!(witnesses_delete_conflict(&r, &d, &w, Semantics::Node));
+        assert!(witnesses_delete_conflict(&r, &d, &w, Semantics::Tree));
+        assert!(!witnesses_delete_conflict(&r, &d, &w, Semantics::Value));
+    }
+
+    #[test]
+    fn value_conflict_when_unique_subtree_deleted() {
+        let r = read("root//gamma");
+        let d = delete("root/delta");
+        // Only one gamma — deleting it changes the value too.
+        let w = text::parse("root(delta(gamma) keep)").unwrap();
+        assert!(witnesses_delete_conflict(&r, &d, &w, Semantics::Value));
+    }
+
+    #[test]
+    fn delete_of_unrelated_subtree_no_conflict() {
+        let r = read("a/b");
+        let d = delete("a/c");
+        let w = text::parse("a(b c)").unwrap();
+        assert!(!witnesses_delete_conflict(&r, &d, &w, Semantics::Node));
+        // Tree semantics: b's subtree untouched → still no conflict.
+        assert!(!witnesses_delete_conflict(&r, &d, &w, Semantics::Tree));
+        assert!(!witnesses_delete_conflict(&r, &d, &w, Semantics::Value));
+    }
+
+    #[test]
+    fn tree_conflict_modified_below_returned_node() {
+        // R returns a/b; I inserts under b's child c: the returned node
+        // set is unchanged but the subtree is modified.
+        let r = read("a/b");
+        let i = insert("a/b/c", "x");
+        let w = text::parse("a(b(c))").unwrap();
+        assert!(!witnesses_insert_conflict(&r, &i, &w, Semantics::Node));
+        assert!(witnesses_insert_conflict(&r, &i, &w, Semantics::Tree));
+        assert!(witnesses_insert_conflict(&r, &i, &w, Semantics::Value));
+    }
+
+    #[test]
+    fn value_no_conflict_isomorphic_replacement() {
+        // Insert adds a second, isomorphic match: node semantics sees a
+        // new id; value semantics sees the same set of subtrees.
+        let r = read("a//m");
+        let i = insert("a/spot", "m");
+        let w = text::parse("a(m spot)").unwrap();
+        assert!(witnesses_insert_conflict(&r, &i, &w, Semantics::Node));
+        assert!(!witnesses_insert_conflict(&r, &i, &w, Semantics::Value));
+    }
+
+    #[test]
+    fn original_tree_untouched_by_check() {
+        let r = read("a//c");
+        let i = insert("a/b", "c");
+        let w = text::parse("a(b)").unwrap();
+        let before = w.live_count();
+        let _ = witnesses_insert_conflict(&r, &i, &w, Semantics::Node);
+        assert_eq!(w.live_count(), before);
+        assert!(w.mod_sites().is_empty());
+    }
+
+    #[test]
+    fn update_enum_entry_point() {
+        let r = read("a//c");
+        let u = Update::Insert(insert("a/b", "c"));
+        let w = text::parse("a(b)").unwrap();
+        assert!(witnesses_update_conflict(&r, &u, &w, Semantics::Node));
+    }
+
+    #[test]
+    fn pre_existing_journal_ignored() {
+        // A tree that was already mutated must not count those earlier
+        // modifications against the update being checked.
+        let r = read("a/b");
+        let i = insert("a/zzz", "x"); // matches nothing
+        let mut w = text::parse("a(b)").unwrap();
+        let b = w.children(w.root())[0];
+        w.graft(b, &text::parse("noise").unwrap()); // journaled mutation
+        assert!(!witnesses_insert_conflict(&r, &i, &w, Semantics::Tree));
+    }
+}

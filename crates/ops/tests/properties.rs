@@ -1,0 +1,160 @@
+//! Property tests for operation semantics and witness checking.
+
+use cxu_ops::witness::witnesses_update_conflict;
+use cxu_ops::{Delete, Insert, Read, Semantics, Update};
+use cxu_pattern::{eval, xpath, Axis, Pattern};
+use cxu_tree::{NodeId, Symbol, Tree};
+use proptest::prelude::*;
+
+/// Structural random tree (ops sits below cxu-gen, so build inline).
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (1usize..20).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..3, n),
+            proptest::collection::vec(proptest::num::u32::ANY, n.saturating_sub(1)),
+        )
+            .prop_map(move |(labels, parents)| {
+                let lbl = |i: usize| Symbol::intern(&format!("o{}", labels[i % labels.len()]));
+                let mut t = Tree::new(lbl(0));
+                let mut ids: Vec<NodeId> = vec![t.root()];
+                for (i, &p) in parents.iter().enumerate() {
+                    let parent = ids[(p as usize) % ids.len()];
+                    ids.push(t.build_child(parent, lbl(i + 1)));
+                }
+                t
+            })
+    })
+}
+
+/// Small random linear pattern over the same alphabet.
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    proptest::collection::vec((0usize..4, proptest::bool::ANY), 1..4).prop_map(|spec| {
+        let lbl = |k: usize| -> Option<Symbol> {
+            if k == 3 {
+                None
+            } else {
+                Some(Symbol::intern(&format!("o{k}")))
+            }
+        };
+        let mut p = Pattern::new(lbl(spec[0].0));
+        let mut cur = p.root();
+        for &(k, desc) in &spec[1..] {
+            let axis = if desc { Axis::Descendant } else { Axis::Child };
+            cur = p.add_child(cur, axis, lbl(k));
+        }
+        p.set_output(cur);
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// INSERT is monotone on reads: R(t) ⊆ R(I(t)) as node-id sets.
+    #[test]
+    fn insert_monotone_for_reads(t in arb_tree(), rp in arb_pattern(), ip in arb_pattern()) {
+        let r = Read::new(rp);
+        let i = Insert::new(ip, Tree::new("o1"));
+        let before = r.eval(&t);
+        let (after_tree, _) = i.apply_to_copy(&t);
+        let after = r.eval(&after_tree);
+        for n in &before {
+            prop_assert!(after.contains(n), "insert removed a read result");
+        }
+    }
+
+    /// DELETE is antitone: R(D(t)) ⊆ R(t).
+    #[test]
+    fn delete_antitone_for_reads(t in arb_tree(), rp in arb_pattern(), dp in arb_pattern()) {
+        prop_assume!(dp.output() != dp.root());
+        let r = Read::new(rp);
+        let d = Delete::new(dp).unwrap();
+        let before = r.eval(&t);
+        let (after_tree, _) = d.apply_to_copy(&t);
+        let after = r.eval(&after_tree);
+        for n in &after {
+            prop_assert!(before.contains(n), "delete created a read result");
+        }
+    }
+
+    /// Node conflicts imply tree conflicts on every concrete witness
+    /// (the §3 hierarchy).
+    #[test]
+    fn node_conflict_implies_tree_conflict(
+        t in arb_tree(),
+        rp in arb_pattern(),
+        up in arb_pattern(),
+        deletion in proptest::bool::ANY,
+    ) {
+        let r = Read::new(rp);
+        let u = if deletion {
+            if up.output() == up.root() { return Ok(()); }
+            Update::Delete(Delete::new(up).unwrap())
+        } else {
+            Update::Insert(Insert::new(up, Tree::new("o2")))
+        };
+        if witnesses_update_conflict(&r, &u, &t, Semantics::Node) {
+            prop_assert!(
+                witnesses_update_conflict(&r, &u, &t, Semantics::Tree),
+                "node conflict without tree conflict"
+            );
+        }
+    }
+
+    /// Value conflicts imply tree conflicts on every concrete witness
+    /// (isomorphism differences require reference differences).
+    #[test]
+    fn value_conflict_implies_tree_conflict(
+        t in arb_tree(),
+        rp in arb_pattern(),
+        up in arb_pattern(),
+    ) {
+        let r = Read::new(rp);
+        let u = Update::Insert(Insert::new(up, Tree::new("o0")));
+        if witnesses_update_conflict(&r, &u, &t, Semantics::Value) {
+            prop_assert!(
+                witnesses_update_conflict(&r, &u, &t, Semantics::Tree),
+                "value conflict without tree conflict"
+            );
+        }
+    }
+
+    /// Applying an insert twice adds twice the material at the first
+    /// application's points — and the points of the second run contain
+    /// the first run's points (monotonicity of the selection).
+    #[test]
+    fn insert_idempotence_structure(t in arb_tree(), ip in arb_pattern()) {
+        let i = Insert::new(ip, Tree::new("o1"));
+        let (t1, p1) = i.apply_to_copy(&t);
+        let (t2, p2) = i.apply_to_copy(&t1);
+        prop_assert!(p2.len() >= p1.len());
+        for n in &p1 {
+            prop_assert!(p2.contains(n));
+        }
+        prop_assert_eq!(t2.live_count(), t1.live_count() + p2.len());
+    }
+
+    /// The witness checker never flags a no-op update (pattern matches
+    /// nothing on this tree).
+    #[test]
+    fn noop_update_never_witnesses(t in arb_tree(), rp in arb_pattern()) {
+        let r = Read::new(rp);
+        let never = xpath::parse("zzz-never/q").unwrap();
+        let u = Update::Insert(Insert::new(never, Tree::new("o0")));
+        for sem in Semantics::ALL {
+            prop_assert!(!witnesses_update_conflict(&r, &u, &t, sem));
+        }
+    }
+
+    /// Evaluation results are always live, sorted, and within the tree.
+    #[test]
+    fn eval_results_wellformed(t in arb_tree(), p in arb_pattern()) {
+        let hits = eval::eval(&p, &t);
+        for w in hits.windows(2) {
+            prop_assert!(w[0] < w[1], "sorted, deduplicated");
+        }
+        for n in &hits {
+            prop_assert!(t.is_alive(*n));
+        }
+    }
+}

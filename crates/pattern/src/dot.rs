@@ -1,0 +1,177 @@
+//! Graphviz (DOT) export for trees and patterns — visualization support
+//! for the CLI and for debugging conflict witnesses.
+//!
+//! Conventions follow the paper's figures: descendant edges are drawn as
+//! double lines (rendered here as `style=dashed` with a `//` label),
+//! output nodes get a thick border (`penwidth=2`), wildcard nodes show
+//! `*`. Deleted (tombstoned) tree nodes are not emitted.
+
+use crate::{Axis, PNodeId, Pattern};
+use cxu_tree::{NodeId, Tree};
+use std::fmt::Write as _;
+
+/// Renders a tree as a DOT digraph named `name`.
+pub fn tree_to_dot(t: &Tree, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  node [shape=ellipse, fontname=\"monospace\"];");
+    for n in t.nodes() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            n.index(),
+            escape(t.label(n).as_str())
+        );
+    }
+    for n in t.nodes() {
+        if let Some(p) = t.parent(n) {
+            let _ = writeln!(out, "  n{} -> n{};", p.index(), n.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a pattern as a DOT digraph: dashed `//` edges, thick-bordered
+/// output node, `*` wildcards.
+pub fn pattern_to_dot(p: &Pattern, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  node [shape=ellipse, fontname=\"monospace\"];");
+    for n in p.node_ids() {
+        let label = p
+            .label(n)
+            .map(|s| escape(s.as_str()))
+            .unwrap_or_else(|| "*".into());
+        let extra = if n == p.output() { ", penwidth=2" } else { "" };
+        let _ = writeln!(out, "  p{} [label=\"{label}\"{extra}];", n.index());
+    }
+    for n in p.node_ids() {
+        if let Some((parent, axis)) = p.parent(n) {
+            let style = match axis {
+                Axis::Child => "",
+                Axis::Descendant => " [style=dashed, label=\"//\"]",
+            };
+            let _ = writeln!(out, "  p{} -> p{}{style};", parent.index(), n.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a tree with an embedding overlay: image nodes of the
+/// embedding are highlighted, and the output image is double-circled —
+/// a Figure 2-style picture.
+pub fn embedding_to_dot(
+    p: &Pattern,
+    t: &Tree,
+    e: &crate::embed::Embedding,
+    name: &str,
+) -> String {
+    let images: Vec<NodeId> = e.images().to_vec();
+    let out_img = e.image(p.output());
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  node [shape=ellipse, fontname=\"monospace\"];");
+    for n in t.nodes() {
+        let mut attrs = String::new();
+        if images.contains(&n) {
+            attrs.push_str(", style=filled, fillcolor=lightgrey");
+        }
+        if n == out_img {
+            attrs.push_str(", shape=doublecircle");
+        }
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"{attrs}];",
+            n.index(),
+            escape(t.label(n).as_str())
+        );
+    }
+    for n in t.nodes() {
+        if let Some(par) = t.parent(n) {
+            let _ = writeln!(out, "  n{} -> n{};", par.index(), n.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) || cleaned.is_empty() {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed;
+    use crate::xpath::parse;
+    use cxu_tree::text;
+
+    #[test]
+    fn tree_dot_structure() {
+        let t = text::parse("a(b c(d))").unwrap();
+        let dot = tree_to_dot(&t, "t");
+        assert!(dot.starts_with("digraph t {"));
+        assert_eq!(dot.matches("->").count(), 3);
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn tree_dot_skips_dead_nodes() {
+        let mut t = text::parse("a(b(c) d)").unwrap();
+        let b = t.children(t.root())[0];
+        t.remove_subtree(b).unwrap();
+        let dot = tree_to_dot(&t, "t");
+        assert!(!dot.contains("label=\"c\""));
+        assert_eq!(dot.matches("->").count(), 1);
+    }
+
+    #[test]
+    fn pattern_dot_conventions() {
+        let p = parse("a[.//c]/b").unwrap();
+        let dot = pattern_to_dot(&p, "fig");
+        assert!(dot.contains("style=dashed"), "descendant edge dashed");
+        assert!(dot.contains("penwidth=2"), "output node thick");
+        let q = parse("*//x").unwrap();
+        let dot2 = pattern_to_dot(&q, "q");
+        assert!(dot2.contains("label=\"*\""));
+    }
+
+    #[test]
+    fn embedding_dot_highlights_images() {
+        let p = parse("a//b").unwrap();
+        let t = text::parse("a(x(b))").unwrap();
+        let e = embed::enumerate(&p, &t, 1).pop().unwrap();
+        let dot = embedding_to_dot(&p, &t, &e, "fig2");
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("fillcolor=lightgrey"));
+    }
+
+    #[test]
+    fn names_sanitized() {
+        let t = text::parse("a").unwrap();
+        let dot = tree_to_dot(&t, "1 weird-name!");
+        assert!(dot.starts_with("digraph g_1_weird_name_ {"));
+    }
+
+    #[test]
+    fn labels_escaped() {
+        let t = text::parse("we\"ird").unwrap();
+        let dot = tree_to_dot(&t, "t");
+        assert!(dot.contains("we\\\"ird"));
+    }
+}

@@ -1,0 +1,409 @@
+//! Embeddings of tree patterns into trees (§2.3) — the semantic ground
+//! truth.
+//!
+//! An embedding is a function `ℰ : NODES_p → NODES_t` that is
+//! root-preserving, label-preserving, and satisfies every child and
+//! descendant edge constraint. This module provides validity checking and
+//! exhaustive enumeration by backtracking. Enumeration is exponential in
+//! the worst case and exists as the **testing oracle** for the production
+//! evaluator in [`crate::eval`]; property tests cross-validate the two.
+
+use crate::{Axis, PNodeId, Pattern};
+use cxu_tree::{NodeId, Tree};
+
+/// A (candidate) embedding: the image of every pattern node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Embedding {
+    map: Vec<NodeId>,
+}
+
+impl Embedding {
+    /// The image `ℰ(n)`.
+    pub fn image(&self, n: PNodeId) -> NodeId {
+        self.map[n.index()]
+    }
+
+    /// The image of the pattern's output node.
+    pub fn output_image(&self, p: &Pattern) -> NodeId {
+        self.image(p.output())
+    }
+
+    /// All images, indexed by pattern-node index.
+    pub fn images(&self) -> &[NodeId] {
+        &self.map
+    }
+}
+
+/// Checks the four embedding conditions of §2.3 for a candidate map.
+pub fn is_valid(p: &Pattern, t: &Tree, e: &Embedding) -> bool {
+    if e.map.len() != p.len() {
+        return false;
+    }
+    // ROOT-PRESERVING
+    if e.image(p.root()) != t.root() {
+        return false;
+    }
+    for n in p.node_ids() {
+        let img = e.image(n);
+        if !t.is_alive(img) {
+            return false;
+        }
+        // LABEL-PRESERVING
+        if let Some(required) = p.label(n) {
+            if t.label(img) != required {
+                return false;
+            }
+        }
+        // EDGE CONSTRAINTS (checked on the child side)
+        if let Some((parent, axis)) = p.parent(n) {
+            let pimg = e.image(parent);
+            let ok = match axis {
+                Axis::Child => t.parent(img) == Some(pimg),
+                Axis::Descendant => t.is_ancestor(pimg, img),
+            };
+            if !ok {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Enumerates embeddings of `p` into `t` by backtracking, up to `limit`
+/// results (`usize::MAX` for all). Exponential worst case — testing only.
+pub fn enumerate(p: &Pattern, t: &Tree, limit: usize) -> Vec<Embedding> {
+    let mut results = Vec::new();
+    if limit == 0 {
+        return results;
+    }
+    // Assign pattern nodes in preorder so every non-root node's parent
+    // image is known when we reach it.
+    let order: Vec<PNodeId> = {
+        let mut po = p.postorder();
+        po.reverse();
+        po
+    };
+    debug_assert_eq!(order[0], p.root());
+    let mut map: Vec<Option<NodeId>> = vec![None; p.len()];
+    assign(p, t, &order, 0, &mut map, &mut results, limit);
+    results
+}
+
+fn assign(
+    p: &Pattern,
+    t: &Tree,
+    order: &[PNodeId],
+    idx: usize,
+    map: &mut Vec<Option<NodeId>>,
+    results: &mut Vec<Embedding>,
+    limit: usize,
+) {
+    if results.len() >= limit {
+        return;
+    }
+    if idx == order.len() {
+        results.push(Embedding {
+            map: map.iter().map(|o| o.expect("complete assignment")).collect(),
+        });
+        return;
+    }
+    let n = order[idx];
+    let label_ok = |u: NodeId| match p.label(n) {
+        Some(required) => t.label(u) == required,
+        None => true,
+    };
+    match p.parent(n) {
+        None => {
+            let r = t.root();
+            if label_ok(r) {
+                map[n.index()] = Some(r);
+                assign(p, t, order, idx + 1, map, results, limit);
+                map[n.index()] = None;
+            }
+        }
+        Some((parent, axis)) => {
+            let pimg = map[parent.index()].expect("preorder: parent already assigned");
+            let candidates: Vec<NodeId> = match axis {
+                Axis::Child => t.children(pimg).to_vec(),
+                Axis::Descendant => t.descendants(pimg).collect(),
+            };
+            for u in candidates {
+                if label_ok(u) {
+                    map[n.index()] = Some(u);
+                    assign(p, t, order, idx + 1, map, results, limit);
+                    map[n.index()] = None;
+                    if results.len() >= limit {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Finds one embedding of `p` into `t` whose output image is `target`,
+/// if any exists. Backtracking with an early output check — used by the
+/// witness-minimization machinery (§5, Definition 9) to extract the
+/// embeddings whose images get *marked*.
+pub fn find_with_output(p: &Pattern, t: &Tree, target: NodeId) -> Option<Embedding> {
+    // Order the pattern nodes so the output is assigned as early as its
+    // ancestors allow: preorder already assigns ancestors first; we prune
+    // by checking the output image the moment it is assigned.
+    let order: Vec<PNodeId> = {
+        let mut po = p.postorder();
+        po.reverse();
+        po
+    };
+    let mut map: Vec<Option<NodeId>> = vec![None; p.len()];
+    if assign_targeted(p, t, &order, 0, &mut map, target) {
+        Some(Embedding {
+            map: map.iter().map(|o| o.expect("complete")).collect(),
+        })
+    } else {
+        None
+    }
+}
+
+fn assign_targeted(
+    p: &Pattern,
+    t: &Tree,
+    order: &[PNodeId],
+    idx: usize,
+    map: &mut Vec<Option<NodeId>>,
+    target: NodeId,
+) -> bool {
+    if idx == order.len() {
+        return true;
+    }
+    let n = order[idx];
+    let label_ok = |u: NodeId| match p.label(n) {
+        Some(required) => t.label(u) == required,
+        None => true,
+    };
+    let try_one = |u: NodeId, map: &mut Vec<Option<NodeId>>| -> bool {
+        if n == p.output() && u != target {
+            return false;
+        }
+        if !label_ok(u) {
+            return false;
+        }
+        map[n.index()] = Some(u);
+        if assign_targeted(p, t, order, idx + 1, map, target) {
+            return true;
+        }
+        map[n.index()] = None;
+        false
+    };
+    match p.parent(n) {
+        None => try_one(t.root(), map),
+        Some((parent, axis)) => {
+            let pimg = map[parent.index()].expect("parent assigned first");
+            match axis {
+                Axis::Child => {
+                    for u in t.children(pimg).to_vec() {
+                        if try_one(u, map) {
+                            return true;
+                        }
+                    }
+                    false
+                }
+                Axis::Descendant => {
+                    let cands: Vec<NodeId> = t.descendants(pimg).collect();
+                    for u in cands {
+                        if try_one(u, map) {
+                            return true;
+                        }
+                    }
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// `⟦p⟧(t)` computed by exhaustive enumeration — the oracle for
+/// [`crate::eval::eval`]. Returns a sorted, deduplicated node set.
+pub fn eval_naive(p: &Pattern, t: &Tree) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = enumerate(p, t, usize::MAX)
+        .iter()
+        .map(|e| e.output_image(p))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Does at least one embedding of `p` into `t` exist?
+pub fn embeds(p: &Pattern, t: &Tree) -> bool {
+    !enumerate(p, t, 1).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::parse;
+    use cxu_tree::text;
+
+    #[test]
+    fn single_node_matches_root_label() {
+        let p = parse("a").unwrap();
+        let t = text::parse("a(b)").unwrap();
+        let es = enumerate(&p, &t, usize::MAX);
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].output_image(&p), t.root());
+        let t2 = text::parse("x(a)").unwrap();
+        assert!(enumerate(&p, &t2, usize::MAX).is_empty(), "root label must match");
+    }
+
+    #[test]
+    fn star_root_matches_anything() {
+        let p = parse("*").unwrap();
+        let t = text::parse("whatever").unwrap();
+        assert!(embeds(&p, &t));
+    }
+
+    #[test]
+    fn child_edge_requires_direct_child() {
+        let p = parse("a/c").unwrap();
+        let t = text::parse("a(b(c))").unwrap();
+        assert!(!embeds(&p, &t));
+        let p2 = parse("a//c").unwrap();
+        assert!(embeds(&p2, &t));
+    }
+
+    #[test]
+    fn descendant_is_proper() {
+        // a//a must find a *proper* descendant labeled a.
+        let p = parse("a//a").unwrap();
+        let t1 = text::parse("a(b)").unwrap();
+        assert!(!embeds(&p, &t1));
+        let t2 = text::parse("a(b(a))").unwrap();
+        assert!(embeds(&p, &t2));
+    }
+
+    #[test]
+    fn multiple_embeddings_distinct_outputs() {
+        let p = parse("a//b").unwrap();
+        let t = text::parse("a(b(b) x(b))").unwrap();
+        assert_eq!(eval_naive(&p, &t).len(), 3);
+    }
+
+    #[test]
+    fn multiple_embeddings_same_output_deduped() {
+        // a[.//x]/b with two x's: two embeddings, one output node.
+        let p = parse("a[.//x]//b").unwrap();
+        let t = text::parse("a(x x b)").unwrap();
+        assert_eq!(enumerate(&p, &t, usize::MAX).len(), 2);
+        assert_eq!(eval_naive(&p, &t).len(), 1);
+    }
+
+    #[test]
+    fn figure2_embedding() {
+        // Figure 2: p = a[.//c]/b[d][*//f] embeds into a tree shaped like
+        // the paper's example.
+        let p = parse("a[.//c]/b[d][*//f]").unwrap();
+        let t = text::parse("a(x(c) b(d g(e(f))))").unwrap();
+        let hits = eval_naive(&p, &t);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(t.label(hits[0]).as_str(), "b");
+    }
+
+    #[test]
+    fn predicate_failure_blocks_match() {
+        let p = parse("a[.//c]/b").unwrap();
+        let t = text::parse("a(b)").unwrap();
+        assert!(!embeds(&p, &t));
+    }
+
+    #[test]
+    fn model_always_embeds() {
+        for src in ["a/b//c", "a[.//c]/b[d][*//f]", "*[x]//*", "//y[z]"] {
+            let p = parse(src).unwrap();
+            let m = p.model_fresh(&[]);
+            assert!(embeds(&p, &m), "pattern {src} must embed into its model");
+        }
+    }
+
+    #[test]
+    fn is_valid_agrees_with_enumerate() {
+        let p = parse("a[c]//b").unwrap();
+        let t = text::parse("a(c b(b))").unwrap();
+        for e in enumerate(&p, &t, usize::MAX) {
+            assert!(is_valid(&p, &t, &e));
+        }
+    }
+
+    #[test]
+    fn is_valid_rejects_bad_maps() {
+        let p = parse("a/b").unwrap();
+        let t = text::parse("a(b c)").unwrap();
+        let good = enumerate(&p, &t, usize::MAX).pop().unwrap();
+        // Tamper: send the output to the c node.
+        let c = t
+            .children(t.root())
+            .iter()
+            .copied()
+            .find(|&n| t.label(n).as_str() == "c")
+            .unwrap();
+        let bad = Embedding {
+            map: vec![good.image(p.root()), c],
+        };
+        assert!(!is_valid(&p, &t, &bad));
+    }
+
+    #[test]
+    fn limit_respected() {
+        let p = parse("a//b").unwrap();
+        let t = text::parse("a(b b b b)").unwrap();
+        assert_eq!(enumerate(&p, &t, 2).len(), 2);
+        assert_eq!(enumerate(&p, &t, 0).len(), 0);
+    }
+
+    #[test]
+    fn find_with_output_hits_each_result() {
+        let p = parse("a//b").unwrap();
+        let t = text::parse("a(b x(b))").unwrap();
+        for target in eval_naive(&p, &t) {
+            let e = find_with_output(&p, &t, target).expect("embedding exists");
+            assert!(is_valid(&p, &t, &e));
+            assert_eq!(e.output_image(&p), target);
+        }
+    }
+
+    #[test]
+    fn find_with_output_respects_target() {
+        let p = parse("a//b").unwrap();
+        let t = text::parse("a(b c)").unwrap();
+        let c = t
+            .children(t.root())
+            .iter()
+            .copied()
+            .find(|&n| t.label(n).as_str() == "c")
+            .unwrap();
+        assert!(find_with_output(&p, &t, c).is_none());
+    }
+
+    #[test]
+    fn find_with_output_branching() {
+        let p = parse("a[.//c]/b[d]").unwrap();
+        let t = text::parse("a(x(c) b(d) b)").unwrap();
+        let hits = eval_naive(&p, &t);
+        assert_eq!(hits.len(), 1);
+        let e = find_with_output(&p, &t, hits[0]).unwrap();
+        assert!(is_valid(&p, &t, &e));
+    }
+
+    #[test]
+    fn embeddings_ignore_dead_nodes() {
+        let p = parse("a//b").unwrap();
+        let mut t = text::parse("a(b x(b))").unwrap();
+        let x = t
+            .children(t.root())
+            .iter()
+            .copied()
+            .find(|&n| t.label(n).as_str() == "x")
+            .unwrap();
+        t.remove_subtree(x).unwrap();
+        assert_eq!(eval_naive(&p, &t).len(), 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! The production evaluator: `⟦p⟧(t)` by two candidate-set passes.
+//!
+//! The paper notes (§3) that its patterns are a subset of *Core XPath*,
+//! evaluable in time linear in `|p|·|t|` [Gottlob–Koch–Pichler]. This
+//! module implements the standard two-pass algorithm for conjunctive tree
+//! patterns:
+//!
+//! 1. **Bottom-up** over the pattern: `cand[n]` = tree nodes `u` such that
+//!    the subpattern rooted at `n` embeds with `n ↦ u` (label compatible,
+//!    and each pattern child reachable via its axis from `u`).
+//! 2. **Top-down**: `feas[n]` = `cand[n]` restricted to nodes whose
+//!    ancestor chain can realize the path from the pattern root (which
+//!    must map to the tree root).
+//!
+//! `⟦p⟧(t) = feas[𝒪(p)]`. Because patterns are trees of conjunctive
+//! constraints, branch satisfiability decomposes per child, so the two
+//! passes are exact (cross-validated against [`crate::embed::eval_naive`]
+//! in tests and property tests).
+
+use crate::{Axis, PNodeId, Pattern};
+use cxu_tree::{NodeId, Tree};
+
+/// Dense node-set bitmaps, one per pattern node, indexed by arena slot.
+struct Table {
+    bits: Vec<Vec<bool>>,
+}
+
+impl Table {
+    fn new(p: &Pattern, t: &Tree) -> Table {
+        Table {
+            bits: vec![vec![false; t.slot_count()]; p.len()],
+        }
+    }
+
+    fn row(&self, n: PNodeId) -> &[bool] {
+        &self.bits[n.index()]
+    }
+
+    fn row_mut(&mut self, n: PNodeId) -> &mut Vec<bool> {
+        &mut self.bits[n.index()]
+    }
+}
+
+/// Computes the bottom-up candidate sets. `cand(n)` holds `u` iff the
+/// subpattern rooted at `n` embeds into `t` with `n ↦ u` (no root
+/// anchoring). Exposed because the conflict algorithms reuse it to answer
+/// "does this suffix embed into X (or a subtree of X)?" (Lemma 6).
+fn candidates(p: &Pattern, t: &Tree) -> Table {
+    let live: Vec<NodeId> = t.nodes().collect();
+    // Tree postorder: reverse preorder works for "children before parents"
+    // only if we reverse a preorder where parents precede children, which
+    // `t.nodes()` guarantees.
+    let tree_post: Vec<NodeId> = {
+        let mut v = live.clone();
+        v.reverse();
+        v
+    };
+
+    let mut table = Table::new(p, t);
+    for n in p.postorder() {
+        // Label screen.
+        let mut row = vec![false; t.slot_count()];
+        match p.label(n) {
+            Some(required) => {
+                for &u in &live {
+                    row[u.index()] = t.label(u) == required;
+                }
+            }
+            None => {
+                for &u in &live {
+                    row[u.index()] = true;
+                }
+            }
+        }
+        // Edge constraints, one pattern child at a time.
+        for &c in p.children(n) {
+            match p.axis(c).expect("pattern child has an axis") {
+                Axis::Child => {
+                    // ok[u] = some tree child of u is in cand[c]
+                    let child_row = table.row(c);
+                    let mut ok = vec![false; t.slot_count()];
+                    for &u in &live {
+                        if child_row[u.index()] {
+                            if let Some(par) = t.parent(u) {
+                                ok[par.index()] = true;
+                            }
+                        }
+                    }
+                    for &u in &live {
+                        row[u.index()] &= ok[u.index()];
+                    }
+                }
+                Axis::Descendant => {
+                    // ok[u] = some proper descendant of u is in cand[c]:
+                    // one pass over the tree postorder.
+                    let child_row = table.row(c);
+                    let mut has_desc = vec![false; t.slot_count()];
+                    for &u in &tree_post {
+                        let mut any = false;
+                        for &v in t.children(u) {
+                            if child_row[v.index()] || has_desc[v.index()] {
+                                any = true;
+                                break;
+                            }
+                        }
+                        has_desc[u.index()] = any;
+                    }
+                    for &u in &live {
+                        row[u.index()] &= has_desc[u.index()];
+                    }
+                }
+            }
+        }
+        *table.row_mut(n) = row;
+    }
+    table
+}
+
+/// `⟦p⟧(t)`: the set of images of the output node over all embeddings.
+/// Sorted and deduplicated.
+pub fn eval(p: &Pattern, t: &Tree) -> Vec<NodeId> {
+    let cand = candidates(p, t);
+    if !cand.row(p.root())[t.root().index()] {
+        return Vec::new();
+    }
+    let live: Vec<NodeId> = t.nodes().collect();
+
+    // Top-down feasibility.
+    let mut feas = Table::new(p, t);
+    feas.row_mut(p.root())[t.root().index()] = true;
+    let preorder: Vec<PNodeId> = {
+        let mut po = p.postorder();
+        po.reverse();
+        po
+    };
+    for &n in &preorder {
+        let Some((parent, axis)) = p.parent(n) else {
+            continue;
+        };
+        let parent_row: Vec<bool> = feas.row(parent).to_vec();
+        let cand_row = cand.row(n);
+        let mut row = vec![false; t.slot_count()];
+        match axis {
+            Axis::Child => {
+                for &u in &live {
+                    if cand_row[u.index()] {
+                        if let Some(par) = t.parent(u) {
+                            row[u.index()] = parent_row[par.index()];
+                        }
+                    }
+                }
+            }
+            Axis::Descendant => {
+                // anc_ok[u] = some proper ancestor of u is feasible for
+                // `parent`: one pass down the tree preorder.
+                let mut anc_ok = vec![false; t.slot_count()];
+                for &u in &live {
+                    if let Some(par) = t.parent(u) {
+                        anc_ok[u.index()] = parent_row[par.index()] || anc_ok[par.index()];
+                    }
+                }
+                for &u in &live {
+                    row[u.index()] = cand_row[u.index()] && anc_ok[u.index()];
+                }
+            }
+        }
+        *feas.row_mut(n) = row;
+    }
+
+    let out_row = feas.row(p.output());
+    let mut result: Vec<NodeId> = live
+        .into_iter()
+        .filter(|u| out_row[u.index()])
+        .collect();
+    result.sort_unstable();
+    result
+}
+
+/// Does any embedding of `p` into `t` exist? (Root anchored at the tree
+/// root, as always.) Cheaper than `!eval(p, t).is_empty()` — skips the
+/// top-down pass.
+pub fn matches(p: &Pattern, t: &Tree) -> bool {
+    candidates(p, t).row(p.root())[t.root().index()]
+}
+
+/// Can the subpattern-with-root semantics embed `p` with **its root
+/// anchored at `anchor`** instead of the tree root? Used by the cut-edge
+/// analysis (Lemma 6): "there is an embedding from `SEQ_{n'}^{𝒪(R)}` to
+/// `X`" anchors at `ROOT(X)`; "…or some subtree of `X`" anchors anywhere.
+pub fn can_embed_at(p: &Pattern, t: &Tree, anchor: NodeId) -> bool {
+    assert!(t.is_alive(anchor), "anchor must be alive");
+    candidates(p, t).row(p.root())[anchor.index()]
+}
+
+/// All nodes where `p` can embed with its root anchored there.
+pub fn embed_anchors(p: &Pattern, t: &Tree) -> Vec<NodeId> {
+    let cand = candidates(p, t);
+    let row = cand.row(p.root());
+    t.nodes().filter(|u| row[u.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::eval_naive;
+    use crate::xpath::parse;
+    use cxu_tree::text;
+
+    fn check(pat: &str, tree: &str) {
+        let p = parse(pat).unwrap();
+        let t = text::parse(tree).unwrap();
+        assert_eq!(
+            eval(&p, &t),
+            eval_naive(&p, &t),
+            "eval vs oracle mismatch for {pat} on {tree}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_basics() {
+        check("a", "a(b c)");
+        check("a", "x");
+        check("a/b", "a(b b c)");
+        check("a//b", "a(b(b) x(b))");
+        check("a/*/c", "a(x(c) y(c) z(d))");
+        check("*", "anything(at all)");
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_branching() {
+        check("a[.//c]/b[d][*//f]", "a(x(c) b(d g(e(f))))");
+        check("a[.//c]/b[d][*//f]", "a(b(d g(e(f))))"); // no c → empty
+        check("a[b][c]", "a(b c)");
+        check("a[b][c]", "a(b)");
+        check("a[b/c]//d", "a(b(c) x(d(d)))");
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_wildcard_chains() {
+        check("*/*/*", "a(b(c(d)) e)");
+        check("*//*", "a(b)");
+        check("*//*", "a");
+    }
+
+    #[test]
+    fn descendant_from_root_is_proper() {
+        let p = parse("a//a").unwrap();
+        let t = text::parse("a").unwrap();
+        assert!(eval(&p, &t).is_empty());
+    }
+
+    #[test]
+    fn matches_agrees_with_eval() {
+        for (pat, tree) in [
+            ("a[b][c]", "a(b c)"),
+            ("a[b][c]", "a(b)"),
+            ("a//b", "a(x(y(b)))"),
+            ("q", "a"),
+        ] {
+            let p = parse(pat).unwrap();
+            let t = text::parse(tree).unwrap();
+            assert_eq!(matches(&p, &t), !eval(&p, &t).is_empty(), "{pat} on {tree}");
+        }
+    }
+
+    #[test]
+    fn can_embed_at_non_root_anchor() {
+        let p = parse("b//c").unwrap();
+        let t = text::parse("a(b(x(c)) b(d))").unwrap();
+        let kids = t.children(t.root());
+        assert!(can_embed_at(&p, &t, kids[0]));
+        assert!(!can_embed_at(&p, &t, kids[1]));
+        assert!(!can_embed_at(&p, &t, t.root()));
+    }
+
+    #[test]
+    fn embed_anchors_lists_all() {
+        let p = parse("b").unwrap();
+        let t = text::parse("a(b x(b) b)").unwrap();
+        assert_eq!(embed_anchors(&p, &t).len(), 3);
+    }
+
+    #[test]
+    fn eval_after_mutation() {
+        let p = parse("a//c").unwrap();
+        let mut t = text::parse("a(b)").unwrap();
+        assert!(eval(&p, &t).is_empty());
+        let b = t.children(t.root())[0];
+        let c_tree = text::parse("c").unwrap();
+        t.graft(b, &c_tree);
+        assert_eq!(eval(&p, &t).len(), 1);
+    }
+
+    #[test]
+    fn eval_skips_dead_nodes() {
+        let p = parse("a//b").unwrap();
+        let mut t = text::parse("a(b x(b b))").unwrap();
+        let x = t
+            .children(t.root())
+            .iter()
+            .copied()
+            .find(|&n| t.label(n).as_str() == "x")
+            .unwrap();
+        t.remove_subtree(x).unwrap();
+        assert_eq!(eval(&p, &t).len(), 1);
+    }
+
+    #[test]
+    fn output_in_predicate_branch() {
+        // Setting the output to a branch node is legal for patterns even
+        // if the XPath surface syntax wouldn't produce it.
+        let mut p = parse("a[b]/c").unwrap();
+        let b = p
+            .children(p.root())
+            .iter()
+            .copied()
+            .find(|&n| p.label(n).map(|s| s.as_str()) == Some("b"))
+            .unwrap();
+        p.set_output(b);
+        let t = text::parse("a(b b c)").unwrap();
+        assert_eq!(eval(&p, &t).len(), 2);
+        assert_eq!(eval_naive(&p, &t).len(), 2);
+    }
+
+    #[test]
+    fn deep_tree_linear_pattern() {
+        // A 300-deep chain; the recursive oracle would be fine too, but
+        // this exercises the iterative passes.
+        let mut s = String::from("leaf");
+        for _ in 0..300 {
+            s = format!("a({s})");
+        }
+        let t = text::parse(&s).unwrap();
+        let p = parse("a//leaf").unwrap();
+        assert_eq!(eval(&p, &t).len(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # cxu-pattern — tree patterns, embeddings, evaluation, containment
+//!
+//! Implements §2 of *Conflicting XML Updates* (Raghavachari & Shmueli):
+//!
+//! * [`Pattern`] — tree patterns over `Σ ∪ {*}` with child and descendant
+//!   edges and a distinguished output node: the class `P^{//,[],*}`, and
+//!   its linear subclass `P^{//,*}` ([`Pattern::is_linear`]);
+//! * [`xpath`] — a parser for the paper's XPath fragment
+//!   `e → e/e | e//e | e[e] | e[.//e] | σ | *` and a pretty-printer back;
+//! * [`embed`] — embeddings (§2.3): validity checking and exhaustive
+//!   enumeration (the testing oracle);
+//! * [`eval`] — the production evaluator: a two-pass candidate-set
+//!   algorithm, the Core-XPath-style engine the paper cites
+//!   (\[7\], Gottlob–Koch–Pichler);
+//! * [`containment`] — tree-pattern containment: a polynomial
+//!   homomorphism check (sound, incomplete) and the exact Miklau–Suciu
+//!   canonical-model procedure, which the §5 NP-hardness reductions are
+//!   validated against.
+//!
+//! ```
+//! use cxu_pattern::{xpath, eval};
+//! use cxu_tree::text;
+//!
+//! // Figure 2 of the paper: a[.//c]/b[d][*//f]
+//! let p = xpath::parse("a[.//c]/b[d][*//f]").unwrap();
+//! let t = text::parse("a(x(c) b(d g(e(f))))").unwrap();
+//! let hits = eval::eval(&p, &t);
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(t.label(hits[0]).as_str(), "b");
+//! ```
+
+pub mod containment;
+pub mod dot;
+pub mod embed;
+pub mod eval;
+pub mod minimize;
+mod pattern;
+pub mod xpath;
+
+pub use pattern::{Axis, PNodeId, Pattern, PatternError};

@@ -1,0 +1,234 @@
+//! Tree-pattern minimization — the paper's cited baseline \[2\]
+//! (Amer-Yahia, Cho, Lakshmanan, Srivastava, *Tree pattern query
+//! minimization*, VLDB J. 2002) as a preprocessing pass for conflict
+//! detection: smaller update patterns mean smaller spines, fewer branch
+//! models, and cheaper NP-side searches.
+//!
+//! The minimizer prunes *redundant branches*: subtrees (never containing
+//! the output node) whose removal leaves a result-equivalent pattern.
+//! Each removal is justified by an exact
+//! [`containment::result_equivalent`] check, so the output is always
+//! equivalent to the input; iterating to a fixpoint removes all
+//! single-branch redundancy (for the star-free fragment this is the
+//! AYCLS notion of minimality; with wildcards global minimality may
+//! require joint removals, which we deliberately do not chase).
+
+use crate::{containment, PNodeId, Pattern};
+
+/// Prunes redundant branches of `p` to a fixpoint. `max_models` bounds
+/// each underlying canonical-model sweep; if any check would exceed it,
+/// the candidate branch is conservatively kept (the result is still
+/// equivalent to `p`, just possibly less minimal).
+pub fn minimize(p: &Pattern, max_models: u128) -> Pattern {
+    let mut cur = p.clone();
+    'outer: loop {
+        let spine: Vec<PNodeId> = cur
+            .path(cur.root(), cur.output())
+            .expect("output reachable from root");
+        // Candidate removals: any node not on the spine, largest-first so
+        // whole redundant branches disappear in one step.
+        let mut candidates: Vec<PNodeId> = cur
+            .node_ids()
+            .filter(|n| !spine.contains(n))
+            .collect();
+        candidates.sort_by_key(|&n| std::cmp::Reverse(subtree_size(&cur, n)));
+        for n in candidates {
+            let pruned = without_subtree(&cur, n);
+            if containment::result_equivalent(&cur, &pruned, max_models) == Some(true) {
+                cur = pruned;
+                continue 'outer;
+            }
+        }
+        return cur;
+    }
+}
+
+fn subtree_size(p: &Pattern, n: PNodeId) -> usize {
+    1 + p.children(n).iter().map(|&c| subtree_size(p, c)).sum::<usize>()
+}
+
+/// Copies `p` without the subtree rooted at `cut` (which must not be an
+/// ancestor-or-self of the output node).
+pub fn without_subtree(p: &Pattern, cut: PNodeId) -> Pattern {
+    assert!(
+        !p.is_ancestor_or_eq(cut, p.output()),
+        "cannot prune the output's path"
+    );
+    let mut out = Pattern::new(p.label(p.root()));
+    let mut map: Vec<Option<PNodeId>> = vec![None; p.len()];
+    map[p.root().index()] = Some(out.root());
+    let mut stack = vec![p.root()];
+    while let Some(src) = stack.pop() {
+        let dst = map[src.index()].expect("parents copied before children");
+        for &c in p.children(src) {
+            if c == cut {
+                continue;
+            }
+            let axis = p.axis(c).expect("child axis");
+            let copy = out.add_child(dst, axis, p.label(c));
+            map[c.index()] = Some(copy);
+            stack.push(c);
+        }
+    }
+    out.set_output(map[p.output().index()].expect("output is never pruned"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::xpath::parse;
+    use cxu_tree::enumerate::enumerate_trees;
+    use cxu_tree::Symbol;
+
+    fn assert_equiv_brute(p: &Pattern, q: &Pattern) {
+        // Evaluation sets agree on every small tree.
+        let mut alpha = p.alphabet();
+        alpha.extend(q.alphabet());
+        alpha.sort_unstable();
+        alpha.dedup();
+        alpha.push(Symbol::fresh("zz", &alpha));
+        for t in enumerate_trees(&alpha, 4) {
+            assert_eq!(
+                eval::eval(p, &t),
+                eval::eval(q, &t),
+                "{p} vs {q} differ on {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_branch_removed() {
+        let p = parse("a[b][b]/c").unwrap();
+        let m = minimize(&p, 1 << 16);
+        assert_eq!(m.len(), 3, "a[b]/c expected, got {m}");
+        assert_equiv_brute(&p, &m);
+    }
+
+    #[test]
+    fn descendant_branch_subsumed_by_child_branch() {
+        // [b] implies [.//b].
+        let p = parse("a[b][.//b]/c").unwrap();
+        let m = minimize(&p, 1 << 16);
+        assert_eq!(m.len(), 3, "{m}");
+        assert_equiv_brute(&p, &m);
+    }
+
+    #[test]
+    fn star_branch_subsumed_by_spine() {
+        // a[*]//d: the spine's descendant step already forces a child.
+        let p = parse("a[*]//d").unwrap();
+        let m = minimize(&p, 1 << 16);
+        assert_eq!(m.len(), 2, "{m}");
+        assert_equiv_brute(&p, &m);
+    }
+
+    #[test]
+    fn nested_redundancy() {
+        // a[b/c][b] : [b] is subsumed by [b/c].
+        let p = parse("a[b/c][b]/d").unwrap();
+        let m = minimize(&p, 1 << 16);
+        assert_eq!(m.len(), 4, "{m}");
+        assert_equiv_brute(&p, &m);
+    }
+
+    #[test]
+    fn irreducible_patterns_untouched() {
+        for src in ["a[b][c]/d", "a[b/c]/d", "a//b", "a[.//x]/y[z]"] {
+            let p = parse(src).unwrap();
+            let m = minimize(&p, 1 << 16);
+            assert_eq!(m.len(), p.len(), "{src} should be minimal, got {m}");
+        }
+    }
+
+    #[test]
+    fn spine_never_pruned() {
+        let p = parse("a[b]/b/b").unwrap(); // branch b duplicates a spine step
+        let m = minimize(&p, 1 << 16);
+        // Branch [b] is implied by the spine's /b: removable.
+        assert_eq!(m.len(), 3, "{m}");
+        assert_eq!(m.to_string(), "a/b/b");
+        assert_equiv_brute(&p, &m);
+    }
+
+    #[test]
+    fn partial_branch_pruning() {
+        // a[b[x][.//x]]/c — inner redundancy within a kept branch.
+        let p = parse("a[b[x][.//x]]/c").unwrap();
+        let m = minimize(&p, 1 << 16);
+        assert_eq!(m.len(), 4, "{m}");
+        assert_equiv_brute(&p, &m);
+    }
+
+    #[test]
+    fn without_subtree_keeps_output() {
+        let p = parse("a[b]/c[d]").unwrap();
+        let b = p
+            .node_ids()
+            .find(|&n| p.label(n).map(|s| s.as_str()) == Some("b"))
+            .unwrap();
+        let q = without_subtree(&p, b);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.label(q.output()).unwrap().as_str(), "c");
+    }
+
+    #[test]
+    #[should_panic(expected = "output")]
+    fn without_subtree_rejects_output_path() {
+        let p = parse("a/b/c").unwrap();
+        let b = p.children(p.root())[0];
+        let _ = without_subtree(&p, b);
+    }
+
+    #[test]
+    fn result_containment_sanity() {
+        use crate::containment::{result_contains, result_equivalent};
+        let p = parse("a/b").unwrap();
+        let q = parse("a//b").unwrap();
+        // Same outputs wherever p matches.
+        assert_eq!(result_contains(&p, &q, 1 << 16), Some(true));
+        assert_eq!(result_contains(&q, &p, 1 << 16), Some(false));
+        // Boolean-equivalent but result-different: outputs at different
+        // depths.
+        let r1 = parse("a/b[c]").unwrap();
+        let r2 = parse("a[b/c]").unwrap();
+        assert_eq!(result_equivalent(&r1, &r2, 1 << 16), Some(false));
+    }
+
+    #[test]
+    fn result_containment_vs_brute() {
+        // Cross-validate result_contains against small-tree sweeps.
+        let pairs = [
+            ("a/b", "a//b"),
+            ("a//b", "a/b"),
+            ("a/b[c]", "a/b"),
+            ("a/b", "a/b[c]"),
+            ("a/*", "a/b"),
+            ("a/b", "a/*"),
+            ("a[x]/b", "a/b"),
+        ];
+        for (ps, qs) in pairs {
+            let p = parse(ps).unwrap();
+            let q = parse(qs).unwrap();
+            let exact = crate::containment::result_contains(&p, &q, 1 << 16).unwrap();
+            // Brute refutation on trees of ≤4 nodes.
+            let mut alpha = p.alphabet();
+            alpha.extend(q.alphabet());
+            alpha.sort_unstable();
+            alpha.dedup();
+            alpha.push(Symbol::fresh("zz", &alpha));
+            let refuted = enumerate_trees(&alpha, 4).iter().any(|t| {
+                let pe = eval::eval(&p, t);
+                let qe = eval::eval(&q, t);
+                pe.iter().any(|n| !qe.contains(n))
+            });
+            if refuted {
+                assert!(!exact, "{ps} ⊑ {qs}: brute refutes but exact accepts");
+            }
+            if exact {
+                assert!(!refuted);
+            }
+        }
+    }
+}

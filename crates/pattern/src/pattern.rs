@@ -1,0 +1,612 @@
+//! Tree patterns: the classes `P^{//,[],*}` and `P^{//,*}` of §2.2.
+//!
+//! A pattern is a tree over `Σ ∪ {*}` whose edges are partitioned into
+//! *child constraints* (`EDGES_/`) and *descendant constraints*
+//! (`EDGES_//`), with one distinguished *output node* `𝒪(p)`. We store the
+//! incoming axis on each non-root node.
+
+use cxu_tree::{Symbol, Tree};
+use std::fmt;
+
+/// Identity of a node within one [`Pattern`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PNodeId(u32);
+
+impl PNodeId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn new(i: usize) -> PNodeId {
+        PNodeId(u32::try_from(i).expect("pattern arena overflow"))
+    }
+}
+
+impl fmt::Debug for PNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The axis of a pattern edge: a child constraint (`/`) or a descendant
+/// constraint (`//`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Axis {
+    /// `EDGES_/(p)`: the images must be in `CHILD(t)`.
+    Child,
+    /// `EDGES_//(p)`: the images must be in `DESC(t)` (proper descendant).
+    Descendant,
+}
+
+#[derive(Clone, Debug)]
+struct PNode {
+    /// `None` encodes the wildcard `*` (which is not in Σ).
+    label: Option<Symbol>,
+    parent: Option<(PNodeId, Axis)>,
+    children: Vec<PNodeId>,
+}
+
+/// Errors from structured pattern operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// `seq(from, to)` requires `from` to be an ancestor-or-self of `to`.
+    NotOnAPath,
+    /// A deletion pattern must satisfy `𝒪(p) ≠ ROOT(p)` (§3).
+    OutputIsRoot,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::NotOnAPath => write!(f, "nodes are not on a root-to-leaf path"),
+            PatternError::OutputIsRoot => {
+                write!(f, "the output node of a deletion pattern must not be the root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A tree pattern `p ∈ P^{//,[],*}` (§2.2): labeled tree over `Σ ∪ {*}`,
+/// edges split into child/descendant constraints, one output node.
+#[derive(Clone)]
+pub struct Pattern {
+    nodes: Vec<PNode>,
+    root: PNodeId,
+    output: PNodeId,
+}
+
+impl Pattern {
+    /// A one-node pattern; `None` is the wildcard. The single node is both
+    /// root and output.
+    pub fn new(label: Option<Symbol>) -> Pattern {
+        Pattern {
+            nodes: vec![PNode {
+                label,
+                parent: None,
+                children: Vec::new(),
+            }],
+            root: PNodeId(0),
+            output: PNodeId(0),
+        }
+    }
+
+    /// Convenience: a one-node pattern labeled `label`.
+    pub fn leaf(label: impl Into<Symbol>) -> Pattern {
+        Pattern::new(Some(label.into()))
+    }
+
+    /// Convenience: a one-node wildcard pattern.
+    pub fn star() -> Pattern {
+        Pattern::new(None)
+    }
+
+    /// Appends a child with the given incoming axis; returns its id.
+    pub fn add_child(
+        &mut self,
+        parent: PNodeId,
+        axis: Axis,
+        label: Option<Symbol>,
+    ) -> PNodeId {
+        let id = PNodeId::new(self.nodes.len());
+        self.nodes.push(PNode {
+            label,
+            parent: Some((parent, axis)),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Root node `ROOT(p)`.
+    pub fn root(&self) -> PNodeId {
+        self.root
+    }
+
+    /// Output node `𝒪(p)`.
+    pub fn output(&self) -> PNodeId {
+        self.output
+    }
+
+    /// Marks `n` as the output node.
+    pub fn set_output(&mut self, n: PNodeId) {
+        assert!(n.index() < self.nodes.len());
+        self.output = n;
+    }
+
+    /// Number of nodes, `|p|`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the pattern is the single root node.
+    pub fn is_empty(&self) -> bool {
+        false // a pattern always has at least its root
+    }
+
+    /// Label of `n`; `None` is the wildcard `*`.
+    pub fn label(&self, n: PNodeId) -> Option<Symbol> {
+        self.nodes[n.index()].label
+    }
+
+    /// Parent of `n` with the incoming axis; `None` for the root.
+    pub fn parent(&self, n: PNodeId) -> Option<(PNodeId, Axis)> {
+        self.nodes[n.index()].parent
+    }
+
+    /// The incoming axis of `n` (`None` for the root).
+    pub fn axis(&self, n: PNodeId) -> Option<Axis> {
+        self.nodes[n.index()].parent.map(|(_, a)| a)
+    }
+
+    /// Children of `n`.
+    pub fn children(&self, n: PNodeId) -> &[PNodeId] {
+        &self.nodes[n.index()].children
+    }
+
+    /// All node ids in arena order (root first).
+    pub fn node_ids(&self) -> impl Iterator<Item = PNodeId> + '_ {
+        (0..self.nodes.len()).map(PNodeId::new)
+    }
+
+    /// Nodes in a postorder (children before parents).
+    pub fn postorder(&self) -> Vec<PNodeId> {
+        let mut pre = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            pre.push(n);
+            stack.extend(self.children(n).iter().copied());
+        }
+        pre.reverse();
+        pre
+    }
+
+    /// Is `a` equal to `b` or an ancestor of `b`?
+    pub fn is_ancestor_or_eq(&self, a: PNodeId, b: PNodeId) -> bool {
+        let mut cur = Some(b);
+        while let Some(n) = cur {
+            if n == a {
+                return true;
+            }
+            cur = self.parent(n).map(|(p, _)| p);
+        }
+        false
+    }
+
+    /// Is this a *linear pattern* (`P^{//,*}`)? Per §2.2: every node has at
+    /// most one outgoing edge and the output node is the leaf.
+    pub fn is_linear(&self) -> bool {
+        self.node_ids().all(|n| self.children(n).len() <= 1)
+            && self.children(self.output).is_empty()
+            && {
+                // With ≤1 child per node and |p| nodes, the unique leaf is
+                // reached by walking down from the root.
+                let mut cur = self.root;
+                while let Some(&c) = self.children(cur).first() {
+                    cur = c;
+                }
+                cur == self.output
+            }
+    }
+
+    /// The distinct Σ-symbols used in the pattern — `Σ_p` (excludes `*`).
+    pub fn alphabet(&self) -> Vec<Symbol> {
+        let mut syms: Vec<Symbol> = self.node_ids().filter_map(|n| self.label(n)).collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+
+    /// `STAR-LENGTH(p)`: the number of nodes in the longest *chain*
+    /// (consecutive child edges) in which every node is labeled `*`.
+    pub fn star_length(&self) -> usize {
+        // f(n) = length of the longest all-* chain starting at n going
+        // down through child edges; defined only for *-labeled n.
+        let mut best = 0usize;
+        let mut f = vec![0usize; self.nodes.len()];
+        for n in self.postorder() {
+            if self.label(n).is_some() {
+                continue;
+            }
+            let down = self
+                .children(n)
+                .iter()
+                .filter(|&&c| self.axis(c) == Some(Axis::Child) && self.label(c).is_none())
+                .map(|&c| f[c.index()])
+                .max()
+                .unwrap_or(0);
+            f[n.index()] = 1 + down;
+            best = best.max(f[n.index()]);
+        }
+        best
+    }
+
+    /// The nodes on the path from `from` down to `to`, inclusive.
+    /// `Err(NotOnAPath)` if `from` is not an ancestor-or-self of `to`.
+    pub fn path(&self, from: PNodeId, to: PNodeId) -> Result<Vec<PNodeId>, PatternError> {
+        let mut rev = vec![to];
+        let mut cur = to;
+        while cur != from {
+            match self.parent(cur) {
+                Some((p, _)) => {
+                    rev.push(p);
+                    cur = p;
+                }
+                None => return Err(PatternError::NotOnAPath),
+            }
+        }
+        rev.reverse();
+        Ok(rev)
+    }
+
+    /// `SEQ_from^to` (§2.2): the linear pattern consisting of the nodes on
+    /// the path from `from` to `to`, with the output at `to`.
+    pub fn seq(&self, from: PNodeId, to: PNodeId) -> Result<Pattern, PatternError> {
+        let path = self.path(from, to)?;
+        let mut out = Pattern::new(self.label(path[0]));
+        let mut cur = out.root();
+        for &n in &path[1..] {
+            let axis = self.axis(n).expect("non-root node on path has an axis");
+            cur = out.add_child(cur, axis, self.label(n));
+        }
+        out.set_output(cur);
+        Ok(out)
+    }
+
+    /// The *spine* `SEQ_{ROOT(p)}^{𝒪(p)}` — the linear pattern the update
+    /// side is reduced to by Lemmas 4 and 8.
+    pub fn spine(&self) -> Pattern {
+        self.seq(self.root, self.output)
+            .expect("output is always reachable from the root")
+    }
+
+    /// `SUBPATTERN_n(p)`: the subtree of `p` rooted at `n`, with `n` as
+    /// both root and output. The root of the result has no incoming axis.
+    pub fn subpattern(&self, n: PNodeId) -> Pattern {
+        let mut out = Pattern::new(self.label(n));
+        let mut stack = vec![(n, out.root())];
+        while let Some((src, dst)) = stack.pop() {
+            for &c in self.children(src) {
+                let axis = self.axis(c).expect("child has incoming axis");
+                let copy = out.add_child(dst, axis, self.label(c));
+                stack.push((c, copy));
+            }
+        }
+        out
+    }
+
+    /// A *model* `𝕄_p` for the pattern (§2.3): the tree with the same
+    /// shape where each `*` is replaced by `star_label` (descendant edges
+    /// become plain edges). Every pattern embeds into its model.
+    pub fn model(&self, star_label: Symbol) -> Tree {
+        let lbl = |n: PNodeId| self.label(n).unwrap_or(star_label);
+        let mut t = Tree::new(lbl(self.root));
+        let mut stack = vec![(self.root, t.root())];
+        while let Some((src, dst)) = stack.pop() {
+            for &c in self.children(src) {
+                let copy = t.build_child(dst, lbl(c));
+                stack.push((c, copy));
+            }
+        }
+        t
+    }
+
+    /// A model using a symbol guaranteed fresh w.r.t. this pattern and
+    /// `also_avoid`.
+    pub fn model_fresh(&self, also_avoid: &[Symbol]) -> Tree {
+        let mut avoid = self.alphabet();
+        avoid.extend_from_slice(also_avoid);
+        self.model(Symbol::fresh("z", &avoid))
+    }
+
+    /// Grafts a copy of pattern `other` under `at` with the given incoming
+    /// axis for `other`'s root; returns the id of the copied root. The
+    /// output marker of `other` is ignored.
+    pub fn graft(&mut self, at: PNodeId, axis: Axis, other: &Pattern) -> PNodeId {
+        let new_root = self.add_child(at, axis, other.label(other.root()));
+        let mut stack = vec![(other.root(), new_root)];
+        let mut map_out = new_root;
+        while let Some((src, dst)) = stack.pop() {
+            if src == other.output() {
+                map_out = dst;
+            }
+            for &c in other.children(src) {
+                let a = other.axis(c).expect("child axis");
+                let copy = self.add_child(dst, a, other.label(c));
+                stack.push((c, copy));
+            }
+        }
+        // Return the image of other's root; stash nothing else. Callers
+        // that care about other's output can use `graft_with_output`.
+        let _ = map_out;
+        new_root
+    }
+
+    /// Like [`Pattern::graft`] but also returns the image of `other`'s
+    /// output node.
+    pub fn graft_with_output(
+        &mut self,
+        at: PNodeId,
+        axis: Axis,
+        other: &Pattern,
+    ) -> (PNodeId, PNodeId) {
+        let new_root = self.add_child(at, axis, other.label(other.root()));
+        let mut out_img = new_root;
+        let mut stack = vec![(other.root(), new_root)];
+        while let Some((src, dst)) = stack.pop() {
+            if src == other.output() {
+                out_img = dst;
+            }
+            for &c in other.children(src) {
+                let a = other.axis(c).expect("child axis");
+                let copy = self.add_child(dst, a, other.label(c));
+                stack.push((c, copy));
+            }
+        }
+        (new_root, out_img)
+    }
+
+    /// Structural equality of two patterns as *unordered* trees, including
+    /// axes, labels, and output position. Used by tests.
+    pub fn structurally_eq(&self, other: &Pattern) -> bool {
+        fn key(p: &Pattern, n: PNodeId) -> String {
+            let mut kids: Vec<String> = p
+                .children(n)
+                .iter()
+                .map(|&c| {
+                    let a = match p.axis(c).unwrap() {
+                        Axis::Child => "/",
+                        Axis::Descendant => "//",
+                    };
+                    format!("{a}{}", key(p, c))
+                })
+                .collect();
+            kids.sort_unstable();
+            let lbl = p
+                .label(n)
+                .map(|s| s.as_str().to_owned())
+                .unwrap_or_else(|| "*".into());
+            let mark = if n == p.output() { "!" } else { "" };
+            format!("{lbl}{mark}({})", kids.join(","))
+        }
+        key(self, self.root()) == key(other, other.root())
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pattern({})", crate::xpath::to_xpath(self))
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::xpath::to_xpath(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Option<Symbol> {
+        Some(Symbol::intern(s))
+    }
+
+    /// a / b // c  (linear), output c
+    fn linear_abc() -> (Pattern, PNodeId, PNodeId, PNodeId) {
+        let mut p = Pattern::new(sym("a"));
+        let a = p.root();
+        let b = p.add_child(a, Axis::Child, sym("b"));
+        let c = p.add_child(b, Axis::Descendant, sym("c"));
+        p.set_output(c);
+        (p, a, b, c)
+    }
+
+    #[test]
+    fn basic_structure() {
+        let (p, a, b, c) = linear_abc();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.root(), a);
+        assert_eq!(p.output(), c);
+        assert_eq!(p.axis(b), Some(Axis::Child));
+        assert_eq!(p.axis(c), Some(Axis::Descendant));
+        assert_eq!(p.axis(a), None);
+        assert_eq!(p.parent(c), Some((b, Axis::Descendant)));
+    }
+
+    #[test]
+    fn linearity() {
+        let (p, a, _, _) = linear_abc();
+        assert!(p.is_linear());
+        let mut q = p.clone();
+        q.add_child(a, Axis::Child, sym("d"));
+        assert!(!q.is_linear(), "branching breaks linearity");
+        // Output not at the leaf also breaks linearity.
+        let (mut r, _, b, _) = linear_abc();
+        r.set_output(b);
+        assert!(!r.is_linear());
+    }
+
+    #[test]
+    fn single_node_is_linear() {
+        assert!(Pattern::star().is_linear());
+        assert!(Pattern::leaf("a").is_linear());
+    }
+
+    #[test]
+    fn star_length_simple() {
+        // a / * / * / b : chain of two *'s
+        let mut p = Pattern::new(sym("a"));
+        let s1 = p.add_child(p.root(), Axis::Child, None);
+        let s2 = p.add_child(s1, Axis::Child, None);
+        let b = p.add_child(s2, Axis::Child, sym("b"));
+        p.set_output(b);
+        assert_eq!(p.star_length(), 2);
+    }
+
+    #[test]
+    fn star_length_broken_by_descendant_edge() {
+        // * // * : two stars but not a chain (descendant edge)
+        let mut p = Pattern::new(None);
+        let s = p.add_child(p.root(), Axis::Descendant, None);
+        p.set_output(s);
+        assert_eq!(p.star_length(), 1);
+    }
+
+    #[test]
+    fn star_length_broken_by_labels() {
+        let (p, _, _, _) = linear_abc();
+        assert_eq!(p.star_length(), 0);
+    }
+
+    #[test]
+    fn star_length_in_branches() {
+        // a[*/*/*]/b — the longest *-chain lives in a predicate
+        let mut p = Pattern::new(sym("a"));
+        let s1 = p.add_child(p.root(), Axis::Child, None);
+        let s2 = p.add_child(s1, Axis::Child, None);
+        let _s3 = p.add_child(s2, Axis::Child, None);
+        let b = p.add_child(p.root(), Axis::Child, sym("b"));
+        p.set_output(b);
+        assert_eq!(p.star_length(), 3);
+    }
+
+    #[test]
+    fn seq_extracts_linear_path() {
+        let (p, a, _, c) = linear_abc();
+        let s = p.seq(a, c).unwrap();
+        assert!(s.is_linear());
+        assert_eq!(s.len(), 3);
+        assert!(s.structurally_eq(&p));
+    }
+
+    #[test]
+    fn seq_rejects_non_path() {
+        let mut p = Pattern::new(sym("a"));
+        let b = p.add_child(p.root(), Axis::Child, sym("b"));
+        let c = p.add_child(p.root(), Axis::Child, sym("c"));
+        assert!(matches!(p.seq(b, c), Err(PatternError::NotOnAPath)));
+    }
+
+    #[test]
+    fn spine_of_branching_pattern() {
+        // a[x]/b[y]//c with output c: spine is a/b//c.
+        let mut p = Pattern::new(sym("a"));
+        p.add_child(p.root(), Axis::Child, sym("x"));
+        let b = p.add_child(p.root(), Axis::Child, sym("b"));
+        p.add_child(b, Axis::Child, sym("y"));
+        let c = p.add_child(b, Axis::Descendant, sym("c"));
+        p.set_output(c);
+        let spine = p.spine();
+        let (expect, _, _, _) = linear_abc();
+        assert!(spine.structurally_eq(&expect));
+    }
+
+    #[test]
+    fn subpattern_copies_subtree() {
+        let mut p = Pattern::new(sym("a"));
+        let b = p.add_child(p.root(), Axis::Child, sym("b"));
+        let c = p.add_child(b, Axis::Descendant, sym("c"));
+        p.add_child(c, Axis::Child, None);
+        p.set_output(c);
+        let sub = p.subpattern(b);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.label(sub.root()), sym("b"));
+        assert_eq!(sub.output(), sub.root());
+    }
+
+    #[test]
+    fn model_replaces_stars() {
+        let mut p = Pattern::new(sym("a"));
+        let s = p.add_child(p.root(), Axis::Descendant, None);
+        p.set_output(s);
+        let m = p.model(Symbol::intern("zz"));
+        assert_eq!(m.live_count(), 2);
+        assert_eq!(m.label(m.children(m.root())[0]).as_str(), "zz");
+    }
+
+    #[test]
+    fn model_fresh_avoids_pattern_alphabet() {
+        let p = Pattern::leaf("z");
+        let m = p.model_fresh(&[]);
+        assert_eq!(m.label(m.root()).as_str(), "z"); // labeled nodes keep labels
+        let q = Pattern::star();
+        let m2 = q.model_fresh(&[Symbol::intern("z")]);
+        assert_ne!(m2.label(m2.root()).as_str(), "z");
+    }
+
+    #[test]
+    fn alphabet_excludes_star() {
+        let mut p = Pattern::new(sym("a"));
+        p.add_child(p.root(), Axis::Child, None);
+        p.add_child(p.root(), Axis::Descendant, sym("a"));
+        let alpha = p.alphabet();
+        assert_eq!(alpha.len(), 1);
+        assert_eq!(alpha[0].as_str(), "a");
+    }
+
+    #[test]
+    fn graft_with_output_tracks_output() {
+        let (mut p, _, b, _) = linear_abc();
+        let (sub_root, sub_out) = {
+            let mut q = Pattern::new(sym("x"));
+            let y = q.add_child(q.root(), Axis::Child, sym("y"));
+            q.set_output(y);
+            p.graft_with_output(b, Axis::Descendant, &q)
+        };
+        assert_eq!(p.label(sub_root), sym("x"));
+        assert_eq!(p.label(sub_out), sym("y"));
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn structural_eq_ignores_child_order() {
+        let mut p = Pattern::new(sym("a"));
+        p.add_child(p.root(), Axis::Child, sym("b"));
+        p.add_child(p.root(), Axis::Descendant, sym("c"));
+        let mut q = Pattern::new(sym("a"));
+        q.add_child(q.root(), Axis::Descendant, sym("c"));
+        q.add_child(q.root(), Axis::Child, sym("b"));
+        assert!(p.structurally_eq(&q));
+    }
+
+    #[test]
+    fn structural_eq_sees_output_position() {
+        let (p, _, b, _) = linear_abc();
+        let mut q = p.clone();
+        q.set_output(b);
+        assert!(!p.structurally_eq(&q));
+    }
+
+    #[test]
+    fn postorder_children_first() {
+        let (p, a, b, c) = linear_abc();
+        let po = p.postorder();
+        let pos = |n: PNodeId| po.iter().position(|&x| x == n).unwrap();
+        assert!(pos(c) < pos(b));
+        assert!(pos(b) < pos(a));
+    }
+}

@@ -1,0 +1,40 @@
+//! Robustness: the parsers must never panic, and must either produce a
+//! well-formed pattern or a positioned error, on arbitrary input.
+
+use cxu_pattern::xpath;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary unicode strings: parse returns, never panics.
+    #[test]
+    fn xpath_parse_total(s in "\\PC*") {
+        let _ = xpath::parse(&s);
+    }
+
+    /// Strings over the grammar's own alphabet stress the interesting
+    /// paths; whenever parsing succeeds, the result is internally
+    /// consistent and re-renderable.
+    #[test]
+    fn xpath_parse_grammar_soup(s in "[a-c/*\\[\\]. ]{0,40}") {
+        if let Ok(p) = xpath::parse(&s) {
+            #[allow(clippy::len_zero)] // Pattern::is_empty is trivially false; ≥1 is the invariant
+            { prop_assert!(p.len() >= 1); }
+            // Output is reachable from the root.
+            prop_assert!(p.path(p.root(), p.output()).is_ok());
+            // Rendering round-trips.
+            let rendered = xpath::to_xpath(&p);
+            let q = xpath::parse(&rendered).expect("rendered form parses");
+            prop_assert!(p.structurally_eq(&q), "{s:?} → {rendered}");
+        }
+    }
+
+    /// Error positions are within the input.
+    #[test]
+    fn xpath_errors_positioned(s in "[a-c/*\\[\\]()%&. ]{0,30}") {
+        if let Err(e) = xpath::parse(&s) {
+            prop_assert!(e.at <= s.len());
+        }
+    }
+}

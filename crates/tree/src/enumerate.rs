@@ -1,0 +1,258 @@
+//! Exhaustive enumeration of unordered labeled trees up to isomorphism.
+//!
+//! The NP-side algorithms of the paper decide conflict existence by
+//! searching for a witness tree of bounded size (Lemma 11 / Theorems 3, 5)
+//! over a bounded alphabet. This module enumerates one representative per
+//! isomorphism class of unordered labeled trees with at most `max_nodes`
+//! nodes over a given alphabet — the search space of that NP guess.
+//!
+//! Canonicity: a tree is generated as a root label plus a *multiset* of
+//! child subtrees; multisets are produced in nondecreasing order of a
+//! canonical index, so each unordered tree appears exactly once. Counts
+//! grow exponentially — callers bound `max_nodes` and alphabet size.
+
+use crate::{NodeId, Symbol, Tree};
+
+/// All unordered labeled trees with `1..=max_nodes` nodes over `alphabet`,
+/// one representative per isomorphism class.
+///
+/// Counts grow fast: with 2 labels there are 2, 4, 14, 52, 214, … trees of
+/// sizes 1, 2, 3, 4, 5 (cf. OEIS A000151 shape counts). Use
+/// [`count_trees`] to pre-check the budget.
+pub fn enumerate_trees(alphabet: &[Symbol], max_nodes: usize) -> Vec<Tree> {
+    Enumerator::new(alphabet, max_nodes).run()
+}
+
+/// Number of trees [`enumerate_trees`] would return, computed without
+/// materializing them.
+pub fn count_trees(alphabet_len: usize, max_nodes: usize) -> u128 {
+    // t[n] = number of classes with exactly n nodes.
+    let mut t = vec![0u128; max_nodes + 1];
+    if max_nodes == 0 {
+        return 0;
+    }
+    t[1] = alphabet_len as u128;
+    for n in 2..=max_nodes {
+        // Multisets over all classes of size < n with sizes summing to n-1.
+        // f(budget, min_size): number of multisets, where classes are
+        // grouped by size and within one size we choose a multiset of
+        // classes. We approximate by dynamic programming over "choose k
+        // items of size s", iterating sizes from large to small.
+        t[n] = alphabet_len as u128 * multisets(&t, n - 1);
+    }
+    t.iter().sum()
+}
+
+/// Number of multisets of trees (classes counted by `t[size]`) with total
+/// size exactly `budget`.
+fn multisets(t: &[u128], budget: usize) -> u128 {
+    // g[s][b] = multisets using classes of size ≤ s with total b.
+    let max_s = budget;
+    let mut g = vec![0u128; budget + 1];
+    g[0] = 1;
+    for s in 1..=max_s {
+        let classes = t[s];
+        if classes == 0 {
+            continue;
+        }
+        let mut next = vec![0u128; budget + 1];
+        for b in 0..=budget {
+            // choose k ≥ 0 subtrees of size s: multiset of k from `classes`
+            let mut k = 0usize;
+            while k * s <= b {
+                let ways = multiset_choose(classes, k as u128);
+                next[b] += ways * g[b - k * s];
+                k += 1;
+            }
+        }
+        g = next;
+    }
+    g[budget]
+}
+
+/// C(n + k - 1, k): multisets of size k from n classes.
+fn multiset_choose(n: u128, k: u128) -> u128 {
+    if k == 0 {
+        return 1;
+    }
+    let mut num: u128 = 1;
+    let mut den: u128 = 1;
+    for i in 0..k {
+        num = num.saturating_mul(n + k - 1 - i);
+        den = den.saturating_mul(i + 1);
+    }
+    num / den
+}
+
+/// Callback receiving one complete multiset choice of (size, index) class
+/// references.
+type Emit<'e> = &'e mut dyn FnMut(&[(usize, usize)]);
+
+struct Enumerator<'a> {
+    alphabet: &'a [Symbol],
+    /// classes[n] = canonical trees with exactly n+1 nodes.
+    classes: Vec<Vec<Tree>>,
+    max_nodes: usize,
+}
+
+impl<'a> Enumerator<'a> {
+    fn new(alphabet: &'a [Symbol], max_nodes: usize) -> Self {
+        Enumerator {
+            alphabet,
+            classes: Vec::new(),
+            max_nodes,
+        }
+    }
+
+    fn run(mut self) -> Vec<Tree> {
+        if self.max_nodes == 0 || self.alphabet.is_empty() {
+            return Vec::new();
+        }
+        // Size 1.
+        self.classes
+            .push(self.alphabet.iter().map(|&s| Tree::new(s)).collect());
+        for n in 2..=self.max_nodes {
+            let mut level: Vec<Tree> = Vec::new();
+            for &root_label in self.alphabet {
+                // Choose a multiset of previously generated classes whose
+                // sizes sum to n-1, in nondecreasing (size, index) order.
+                let mut chosen: Vec<(usize, usize)> = Vec::new();
+                self.fill(n - 1, (1, 0), &mut chosen, &mut |chosen| {
+                    let mut t = Tree::new(root_label);
+                    let root = t.root();
+                    for &(size, idx) in chosen {
+                        graft_built(&mut t, root, &self.classes[size - 1][idx]);
+                    }
+                    level.push(t);
+                });
+            }
+            self.classes.push(level);
+        }
+        self.classes.into_iter().flatten().collect()
+    }
+
+    /// Recursively choose classes with total `budget`, each ≥ `min` in the
+    /// (size, index) order, invoking `emit` on every complete choice.
+    fn fill(
+        &self,
+        budget: usize,
+        min: (usize, usize),
+        chosen: &mut Vec<(usize, usize)>,
+        emit: Emit<'_>,
+    ) {
+        if budget == 0 {
+            emit(chosen);
+            return;
+        }
+        let (min_size, min_idx) = min;
+        for size in min_size..=budget {
+            let start = if size == min_size { min_idx } else { 0 };
+            let level = &self.classes[size - 1];
+            for idx in start..level.len() {
+                chosen.push((size, idx));
+                self.fill(budget - size, (size, idx), chosen, emit);
+                chosen.pop();
+            }
+        }
+    }
+}
+
+/// Grafts without touching the modification journal (these are freshly
+/// built trees, not updated documents).
+fn graft_built(t: &mut Tree, parent: NodeId, sub: &Tree) {
+    let new_root = t.build_child(parent, sub.label(sub.root()));
+    let mut stack = vec![(sub.root(), new_root)];
+    while let Some((src, dst)) = stack.pop() {
+        for &c in sub.children(src) {
+            let copy = t.build_child(dst, sub.label(c));
+            stack.push((c, copy));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iso::Canonizer;
+    use std::collections::HashSet;
+
+    fn syms(labels: &[&str]) -> Vec<Symbol> {
+        labels.iter().map(|&s| Symbol::intern(s)).collect()
+    }
+
+    #[test]
+    fn counts_for_one_label() {
+        // Unlabeled rooted unordered trees: 1, 1, 2, 4, 9, 20 (A000081).
+        let a = syms(&["a"]);
+        assert_eq!(enumerate_trees(&a, 1).len(), 1);
+        assert_eq!(enumerate_trees(&a, 2).len(), 2);
+        assert_eq!(enumerate_trees(&a, 3).len(), 4);
+        assert_eq!(enumerate_trees(&a, 4).len(), 8);
+        assert_eq!(enumerate_trees(&a, 5).len(), 17);
+        // Cumulative: 1+1+2+4+9 = 17. ✓
+    }
+
+    #[test]
+    fn counts_for_two_labels() {
+        let ab = syms(&["a", "b"]);
+        assert_eq!(enumerate_trees(&ab, 1).len(), 2);
+        assert_eq!(enumerate_trees(&ab, 2).len(), 6); // 2 + 2*2
+        let n3 = enumerate_trees(&ab, 3).len();
+        // size-3: root(2) × ({one 2-class}: 4 + {two 1-classes}: C(3,2)=3) = 14
+        assert_eq!(n3, 6 + 14);
+    }
+
+    #[test]
+    fn closed_form_count_matches_enumeration() {
+        for (labels, n) in [(1usize, 5usize), (2, 4), (3, 3)] {
+            let alpha: Vec<Symbol> = (0..labels)
+                .map(|i| Symbol::intern(&format!("cnt{i}")))
+                .collect();
+            assert_eq!(
+                count_trees(labels, n),
+                enumerate_trees(&alpha, n).len() as u128,
+                "labels={labels} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_duplicates_up_to_isomorphism() {
+        let ab = syms(&["a", "b"]);
+        let trees = enumerate_trees(&ab, 4);
+        let mut canon = Canonizer::new();
+        let mut seen = HashSet::new();
+        for t in &trees {
+            assert!(seen.insert(canon.code_tree(t)), "duplicate class: {t:?}");
+        }
+    }
+
+    #[test]
+    fn covers_all_small_trees() {
+        // Every unordered labeled tree with ≤3 nodes over {a,b} must be
+        // isomorphic to an enumerated one.
+        let ab = syms(&["a", "b"]);
+        let trees = enumerate_trees(&ab, 3);
+        let mut canon = Canonizer::new();
+        let codes: HashSet<_> = trees.iter().map(|t| canon.code_tree(t)).collect();
+        for src in ["a", "b", "a(b)", "a(a b)", "b(a(a))", "a(b(b))", "b(b b)"] {
+            let t = crate::text::parse(src).unwrap();
+            assert!(codes.contains(&canon.code_tree(&t)), "missing {src}");
+        }
+    }
+
+    #[test]
+    fn sizes_respect_bound() {
+        let ab = syms(&["a", "b"]);
+        for t in enumerate_trees(&ab, 4) {
+            assert!(t.live_count() <= 4);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(enumerate_trees(&[], 3).is_empty());
+        assert!(enumerate_trees(&syms(&["a"]), 0).is_empty());
+        assert_eq!(count_trees(2, 0), 0);
+    }
+}

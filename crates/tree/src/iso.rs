@@ -1,0 +1,198 @@
+//! Labeled-tree isomorphism via Aho–Hopcroft–Ullman canonical codes.
+//!
+//! The paper's *value-based* conflict semantics (Definitions 1, 5, 6)
+//! compare **sets of trees up to isomorphism**. Lemma 1 notes that "a
+//! slight modification to the algorithm in Aho et al. supports labeled
+//! tree isomorphism detection" in linear time; this module implements that
+//! modification: each subtree is assigned a canonical *code* such that two
+//! subtrees receive the same code iff they are isomorphic as unordered
+//! labeled trees. Codes are interned in a [`Canonizer`], so cross-tree
+//! comparisons are integer comparisons.
+
+use crate::{NodeId, Symbol, Tree};
+use std::collections::HashMap;
+
+/// A canonical code. Equal codes (from the same [`Canonizer`]) ⇔
+/// isomorphic subtrees.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CanonCode(u32);
+
+/// Interns canonical codes for unordered labeled subtrees.
+///
+/// A single canonizer can process any number of trees; codes are only
+/// comparable within one canonizer.
+#[derive(Default)]
+pub struct Canonizer {
+    table: HashMap<(Symbol, Vec<CanonCode>), CanonCode>,
+}
+
+impl Canonizer {
+    /// Creates an empty canonizer.
+    pub fn new() -> Canonizer {
+        Canonizer::default()
+    }
+
+    /// Canonical code of `SUBTREE_n(t)`.
+    pub fn code(&mut self, t: &Tree, n: NodeId) -> CanonCode {
+        assert!(t.is_alive(n), "canonical code of a dead node");
+        // Post-order without recursion: children before parents.
+        let order: Vec<NodeId> = {
+            let mut pre: Vec<NodeId> = t.descendants_or_self(n).collect();
+            pre.reverse();
+            pre
+        };
+        let mut codes: HashMap<NodeId, CanonCode> = HashMap::with_capacity(order.len());
+        for x in order {
+            let mut kid_codes: Vec<CanonCode> =
+                t.children(x).iter().map(|c| codes[c]).collect();
+            kid_codes.sort_unstable();
+            let key = (t.label(x), kid_codes);
+            let next = CanonCode(u32::try_from(self.table.len()).expect("canon overflow"));
+            let code = *self.table.entry(key).or_insert(next);
+            codes.insert(x, code);
+        }
+        codes[&n]
+    }
+
+    /// Canonical code of a whole tree.
+    pub fn code_tree(&mut self, t: &Tree) -> CanonCode {
+        self.code(t, t.root())
+    }
+}
+
+/// Are two trees isomorphic as unordered labeled trees (Definition 1)?
+pub fn isomorphic(a: &Tree, b: &Tree) -> bool {
+    let mut c = Canonizer::new();
+    c.code_tree(a) == c.code_tree(b)
+}
+
+/// Are two subtrees (possibly of different trees) isomorphic?
+pub fn subtrees_isomorphic(ta: &Tree, na: NodeId, tb: &Tree, nb: NodeId) -> bool {
+    let mut c = Canonizer::new();
+    c.code(ta, na) == c.code(tb, nb)
+}
+
+/// Set-isomorphism of two collections of subtrees (the paper's `T ≅ T'`
+/// for sets of trees): there must be a mapping each way sending every tree
+/// to an isomorphic partner. This is equality of the two *sets* of
+/// canonical codes — multiplicities do not matter, exactly as in
+/// Definition 1's set formulation.
+pub fn sets_isomorphic(ta: &Tree, nas: &[NodeId], tb: &Tree, nbs: &[NodeId]) -> bool {
+    let mut c = Canonizer::new();
+    let mut ca: Vec<CanonCode> = nas.iter().map(|&n| c.code(ta, n)).collect();
+    let mut cb: Vec<CanonCode> = nbs.iter().map(|&n| c.code(tb, n)).collect();
+    ca.sort_unstable();
+    ca.dedup();
+    cb.sort_unstable();
+    cb.dedup();
+    ca == cb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::parse;
+
+    #[test]
+    fn identical_trees_isomorphic() {
+        let a = parse("a(b c(d))").unwrap();
+        let b = parse("a(b c(d))").unwrap();
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn sibling_order_irrelevant() {
+        let a = parse("a(b c)").unwrap();
+        let b = parse("a(c b)").unwrap();
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn deep_reordering_irrelevant() {
+        let a = parse("r(x(p q(s)) x(q(s) p))").unwrap();
+        let b = parse("r(x(q(s) p) x(p q(s)))").unwrap();
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_labels_not_isomorphic() {
+        let a = parse("a(b)").unwrap();
+        let b = parse("a(c)").unwrap();
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_shape_not_isomorphic() {
+        let a = parse("a(b(c))").unwrap();
+        let b = parse("a(b c)").unwrap();
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn multiplicity_matters_for_trees() {
+        // As *trees* (bijection between children), a(b b) ≇ a(b).
+        let a = parse("a(b b)").unwrap();
+        let b = parse("a(b)").unwrap();
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn multiplicity_ignored_for_sets() {
+        // As *sets of trees*, {b, b} ≅ {b}: Definition 1 only asks for
+        // mappings in both directions, not a bijection.
+        let t = parse("a(b b c)").unwrap();
+        let kids = t.children(t.root());
+        let (b1, b2, c) = (kids[0], kids[1], kids[2]);
+        assert!(sets_isomorphic(&t, &[b1, b2], &t, &[b1]));
+        assert!(!sets_isomorphic(&t, &[b1, c], &t, &[b2]));
+    }
+
+    #[test]
+    fn subtree_comparison_across_trees() {
+        let a = parse("r(x(p q))").unwrap();
+        let b = parse("s(y x(q p))").unwrap();
+        let na = a.children(a.root())[0];
+        let nb = b
+            .children(b.root())
+            .iter()
+            .copied()
+            .find(|&n| b.label(n).as_str() == "x")
+            .unwrap();
+        assert!(subtrees_isomorphic(&a, na, &b, nb));
+    }
+
+    #[test]
+    fn figure3_value_semantics_example() {
+        // Figure 3 of the paper: deleting one of two isomorphic gamma
+        // subtrees is invisible to value semantics. Here the two subtrees
+        // rooted at the children of the root are isomorphic.
+        let t = parse("root(delta(gamma) other(gamma))").unwrap();
+        let kids = t.children(t.root());
+        let g1 = t.children(kids[0])[0];
+        let g2 = t.children(kids[1])[0];
+        assert!(sets_isomorphic(&t, &[g1, g2], &t, &[g2]));
+    }
+
+    #[test]
+    fn codes_stable_across_calls() {
+        let t = parse("a(b c)").unwrap();
+        let mut c = Canonizer::new();
+        let c1 = c.code_tree(&t);
+        let c2 = c.code_tree(&t);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn large_random_shaped_tree() {
+        // A caterpillar vs its mirror — still isomorphic.
+        let mut left = String::from("a");
+        let mut right = String::from("a");
+        for i in 0..50 {
+            left = format!("n{i}({left} leaf)");
+            right = format!("n{i}(leaf {right})");
+        }
+        let a = parse(&left).unwrap();
+        let b = parse(&right).unwrap();
+        assert!(isomorphic(&a, &b));
+    }
+}

@@ -1,0 +1,41 @@
+//! # cxu-tree — unordered labeled trees
+//!
+//! The data substrate for the *Conflicting XML Updates* reproduction
+//! (Raghavachari & Shmueli, 2005/2006). The paper models an XML document as
+//! an **unordered, unranked tree** whose nodes carry labels drawn from an
+//! infinite alphabet Σ (§2.1 of the paper). This crate provides:
+//!
+//! * [`Symbol`] — interned labels (the alphabet Σ),
+//! * [`Tree`] / [`NodeId`] — an arena-backed tree with **stable node
+//!   identity** across mutation, which is exactly what the paper's
+//!   *reference-based* conflict semantics (Definition 2) compare,
+//! * mutation primitives (`graft`, `remove_subtree`) that record
+//!   *modification sites* so tree-conflict witnesses can be checked in
+//!   linear time (Lemma 1),
+//! * [`iso`] — Aho–Hopcroft–Ullman canonical forms for labeled-tree
+//!   isomorphism (Definition 1), used by the *value-based* semantics,
+//! * [`text`] — a compact `a(b c(d))` term syntax for tests and docs,
+//! * [`xml`] — a minimal element-only XML reader/writer.
+//!
+//! ```
+//! use cxu_tree::text;
+//!
+//! let t = text::parse("inventory(book(title quantity) book(title))").unwrap();
+//! assert_eq!(t.live_count(), 6);
+//! let books: Vec<_> = t
+//!     .children(t.root())
+//!     .iter()
+//!     .filter(|&&c| t.label(c).as_str() == "book")
+//!     .collect();
+//! assert_eq!(books.len(), 2);
+//! ```
+
+pub mod enumerate;
+pub mod iso;
+mod symbol;
+pub mod text;
+mod tree;
+pub mod xml;
+
+pub use symbol::Symbol;
+pub use tree::{ModSite, NodeId, Tree, TreeError};

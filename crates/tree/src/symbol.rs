@@ -1,0 +1,153 @@
+//! Interned node labels — the alphabet Σ.
+//!
+//! The paper draws labels from an infinite alphabet Σ. We intern label
+//! strings process-wide so that label comparison (the hot operation in
+//! pattern evaluation) is a single integer compare. Interned strings are
+//! leaked; the number of distinct labels in any realistic workload is small
+//! and bounded, so this is the standard trade-off (cf. `string-cache`).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned label from the alphabet Σ.
+///
+/// Two `Symbol`s are equal iff their underlying strings are equal. The
+/// wildcard `*` of tree patterns is deliberately **not** a `Symbol`; the
+/// pattern layer represents it as the absence of a label constraint
+/// (`Option<Symbol>`), mirroring the paper's `Σ ∪ {*}` with `* ∉ Σ`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s` and returns its symbol. Idempotent.
+    pub fn intern(s: &str) -> Symbol {
+        let mut i = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = i.map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(i.strings.len()).expect("symbol table overflow");
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        i.strings.push(leaked);
+        i.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The label string this symbol was interned from.
+    pub fn as_str(self) -> &'static str {
+        let i = interner().lock().expect("symbol interner poisoned");
+        i.strings[self.0 as usize]
+    }
+
+    /// A fresh symbol guaranteed to be distinct from every symbol in
+    /// `avoid`. The paper's constructions repeatedly pick "a symbol α not
+    /// used in R or X"; this provides one deterministically.
+    pub fn fresh(hint: &str, avoid: &[Symbol]) -> Symbol {
+        let base = Symbol::intern(hint);
+        if !avoid.contains(&base) {
+            return base;
+        }
+        for n in 0u64.. {
+            let cand = Symbol::intern(&format!("{hint}#{n}"));
+            if !avoid.contains(&cand) {
+                return cand;
+            }
+        }
+        unreachable!("exhausted fresh-symbol candidates")
+    }
+
+    /// The raw interner index (stable within a process run).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a1 = Symbol::intern("a");
+        let a2 = Symbol::intern("a");
+        assert_eq!(a1, a2);
+        assert_eq!(a1.as_str(), "a");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("left"), Symbol::intern("right"));
+    }
+
+    #[test]
+    fn fresh_avoids_collisions() {
+        let a = Symbol::intern("alpha");
+        let f = Symbol::fresh("alpha", &[a]);
+        assert_ne!(f, a);
+        let g = Symbol::fresh("alpha", &[a, f]);
+        assert_ne!(g, a);
+        assert_ne!(g, f);
+    }
+
+    #[test]
+    fn fresh_without_collision_returns_hint() {
+        let f = Symbol::fresh("unique-hint-xyz", &[]);
+        assert_eq!(f.as_str(), "unique-hint-xyz");
+    }
+
+    #[test]
+    fn display_and_from() {
+        let s: Symbol = "book".into();
+        assert_eq!(s.to_string(), "book");
+    }
+
+    #[test]
+    fn interner_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        let s = Symbol::intern(&format!("t{}-{}", i % 2, j));
+                        assert_eq!(s.as_str(), format!("t{}-{}", i % 2, j));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! Arena-backed unordered labeled trees with stable node identity.
+//!
+//! The reference-based conflict semantics of the paper (Definition 2)
+//! compare *node identities* across the execution of update operations:
+//! `NODES_t = NODES_{t'}` and `EDGES_t = EDGES_{t'}`. To make that
+//! comparison meaningful, a [`Tree`] never reuses a [`NodeId`]: deleting a
+//! subtree tombstones its slots, and inserting allocates fresh slots. A
+//! read evaluated before and after an update can therefore compare its two
+//! result sets by id, exactly as `R(t) ≠ R(I(t))` requires.
+
+use crate::Symbol;
+use std::fmt;
+
+/// Identity of a node within one [`Tree`] arena (and its clones).
+///
+/// Ids are stable: they survive arbitrary sequences of insertions and
+/// deletions, and cloning a tree preserves them (the paper's update
+/// semantics "construct a copy of t" whose original nodes are the same
+/// nodes). Ids from unrelated trees must not be mixed; methods that take a
+/// `NodeId` panic if the id is out of range and return well-defined errors
+/// where detectable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Arena index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn new(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("tree arena overflow"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    label: Symbol,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    alive: bool,
+}
+
+/// A place where a mutation changed the tree, recorded for Lemma 1's
+/// linear-time *tree conflict* witness check.
+///
+/// * an insertion at insertion point `u` modifies the subtree of every
+///   ancestor-or-self of `u`;
+/// * a deletion of the subtree rooted at `u` modifies the subtree of every
+///   ancestor-or-self of `parent(u)`.
+///
+/// Both cases are captured by storing the *site* — the surviving node whose
+/// child list changed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModSite {
+    /// The surviving node whose set of children changed.
+    pub site: NodeId,
+}
+
+/// Errors from structured tree operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Attempted to remove the root: the result would not be a tree. The
+    /// paper forbids this by requiring `𝒪(p) ≠ ROOT(p)` for deletions.
+    RemoveRoot,
+    /// Operation on a node that has already been deleted.
+    DeadNode(NodeId),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::RemoveRoot => write!(f, "cannot remove the root of a tree"),
+            TreeError::DeadNode(n) => write!(f, "node {n:?} has been deleted"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// An unordered, unranked labeled tree over interned symbols — the paper's
+/// `t ∈ T_Σ`.
+///
+/// Children are stored in insertion order for determinism, but no API in
+/// this workspace observes sibling order, matching the paper's unordered
+/// model ("the XPath expressions considered in this paper cannot observe
+/// order between siblings").
+#[derive(Clone)]
+pub struct Tree {
+    slots: Vec<Slot>,
+    root: NodeId,
+    live: usize,
+    mods: Vec<ModSite>,
+}
+
+impl Tree {
+    /// A one-node tree whose root carries `label`.
+    pub fn new(label: impl Into<Symbol>) -> Tree {
+        Tree {
+            slots: vec![Slot {
+                label: label.into(),
+                parent: None,
+                children: Vec::new(),
+                alive: true,
+            }],
+            root: NodeId(0),
+            live: 1,
+            mods: Vec::new(),
+        }
+    }
+
+    /// The root node. Always alive.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of live nodes, `|t|` in the paper.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Total number of slots ever allocated (live + tombstoned).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Is `n` still part of the tree?
+    pub fn is_alive(&self, n: NodeId) -> bool {
+        self.slots[n.index()].alive
+    }
+
+    /// Label of `n`. Valid for dead nodes too (labels are immutable).
+    pub fn label(&self, n: NodeId) -> Symbol {
+        self.slots[n.index()].label
+    }
+
+    /// Parent of `n`, `None` for the root.
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.slots[n.index()].parent
+    }
+
+    /// Children of `n` (live nodes only, provided `n` is alive).
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.slots[n.index()].children
+    }
+
+    /// Appends a fresh node labeled `label` as a child of `parent`.
+    ///
+    /// This is the primitive behind tree construction; it **does** record a
+    /// modification site (use [`Tree::build_child`] during initial
+    /// construction if the journal should stay empty — see
+    /// [`Tree::clear_mods`]).
+    pub fn add_child(&mut self, parent: NodeId, label: impl Into<Symbol>) -> NodeId {
+        assert!(self.is_alive(parent), "add_child on dead node");
+        let id = NodeId::new(self.slots.len());
+        self.slots.push(Slot {
+            label: label.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+            alive: true,
+        });
+        self.slots[parent.index()].children.push(id);
+        self.live += 1;
+        self.mods.push(ModSite { site: parent });
+        id
+    }
+
+    /// [`Tree::add_child`] without recording a modification site. Intended
+    /// for building the *initial* document before updates run.
+    pub fn build_child(&mut self, parent: NodeId, label: impl Into<Symbol>) -> NodeId {
+        let id = self.add_child(parent, label);
+        self.mods.pop();
+        id
+    }
+
+    /// Inserts a fresh, id-disjoint copy of `sub` as a child of `parent`,
+    /// returning the id of the copy's root.
+    ///
+    /// This is exactly the paper's `INSERT` step for a single insertion
+    /// point: "Let X_i ≅ X … the set of nodes of each X_i is disjoint from
+    /// NODES_t … add X_i as a child of n_i."
+    pub fn graft(&mut self, parent: NodeId, sub: &Tree) -> NodeId {
+        assert!(self.is_alive(parent), "graft on dead node");
+        let new_root = self.add_child(parent, sub.label(sub.root()));
+        // Breadth-first copy keeps the borrow checker and the journal simple:
+        // only the graft point is a modification site; interior copies are
+        // new nodes whose own subtrees existed in no prior version.
+        let mut stack = vec![(sub.root(), new_root)];
+        while let Some((src, dst)) = stack.pop() {
+            for &c in sub.children(src) {
+                let copy = self.add_child(dst, sub.label(c));
+                self.mods.pop(); // interior copy: not a separate site
+                stack.push((c, copy));
+            }
+        }
+        new_root
+    }
+
+    /// Removes the subtree rooted at `n` (the paper's `DELETE` step for a
+    /// single deletion point). The nodes become tombstones; their ids are
+    /// never reused.
+    pub fn remove_subtree(&mut self, n: NodeId) -> Result<(), TreeError> {
+        if !self.is_alive(n) {
+            // Deleting an already-deleted node is a no-op: the paper's
+            // DELETE removes *all* selected deletion points and a point may
+            // be a descendant of another point.
+            return Ok(());
+        }
+        let parent = self.parent(n).ok_or(TreeError::RemoveRoot)?;
+        let kids = &mut self.slots[parent.index()].children;
+        let pos = kids
+            .iter()
+            .position(|&c| c == n)
+            .expect("child missing from parent list");
+        kids.swap_remove(pos);
+        // Tombstone the whole subtree.
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            let slot = &mut self.slots[x.index()];
+            slot.alive = false;
+            self.live -= 1;
+            stack.extend(slot.children.iter().copied());
+            slot.children.clear();
+        }
+        self.mods.push(ModSite { site: parent });
+        Ok(())
+    }
+
+    /// The modification journal since construction or the last
+    /// [`Tree::clear_mods`].
+    pub fn mod_sites(&self) -> &[ModSite] {
+        &self.mods
+    }
+
+    /// Forgets recorded modification sites. Call after initial document
+    /// construction so that only *updates* count as modifications.
+    pub fn clear_mods(&mut self) {
+        self.mods.clear();
+    }
+
+    /// Has the subtree rooted at `v` been modified by any journaled
+    /// mutation? (Lemma 1's per-node "modified" flag, computed on demand.)
+    ///
+    /// True iff some modification site lies at or below `v`.
+    pub fn subtree_modified(&self, v: NodeId) -> bool {
+        self.mods.iter().any(|m| self.is_ancestor_or_eq(v, m.site))
+    }
+
+    /// Is `a` an ancestor of `b` (strictly above it)?
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = self.parent(b);
+        while let Some(p) = cur {
+            if p == a {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// Is `a` equal to `b` or an ancestor of `b`?
+    pub fn is_ancestor_or_eq(&self, a: NodeId, b: NodeId) -> bool {
+        a == b || self.is_ancestor(a, b)
+    }
+
+    /// Number of edges on the path from the root to `n`.
+    pub fn depth(&self, n: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = self.parent(n);
+        while let Some(p) = cur {
+            d += 1;
+            cur = self.parent(p);
+        }
+        d
+    }
+
+    /// Live nodes in preorder from the root.
+    pub fn nodes(&self) -> Preorder<'_> {
+        self.descendants_or_self(self.root)
+    }
+
+    /// `n` and all its live descendants, preorder.
+    pub fn descendants_or_self(&self, n: NodeId) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: if self.is_alive(n) { vec![n] } else { vec![] },
+        }
+    }
+
+    /// All *proper* live descendants of `n`, preorder.
+    pub fn descendants(&self, n: NodeId) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: if self.is_alive(n) {
+                self.children(n).to_vec()
+            } else {
+                vec![]
+            },
+        }
+    }
+
+    /// Ancestors of `n`, nearest first (excludes `n`).
+    pub fn ancestors(&self, n: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            cur: self.parent(n),
+        }
+    }
+
+    /// Extracts `SUBTREE_n(t)` as an independent tree (fresh arena).
+    pub fn subtree_to_tree(&self, n: NodeId) -> Tree {
+        assert!(self.is_alive(n), "subtree_to_tree on dead node");
+        let mut out = Tree::new(self.label(n));
+        let mut stack = vec![(n, out.root())];
+        while let Some((src, dst)) = stack.pop() {
+            for &c in self.children(src) {
+                let copy = out.build_child(dst, self.label(c));
+                stack.push((c, copy));
+            }
+        }
+        out
+    }
+
+    /// The distinct symbols labeling live nodes — the paper's `Σ_t`.
+    pub fn alphabet(&self) -> Vec<Symbol> {
+        let mut syms: Vec<Symbol> = self.nodes().map(|n| self.label(n)).collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+
+    /// The maximum depth over live nodes (root has depth 0).
+    pub fn height(&self) -> usize {
+        self.nodes().map(|n| self.depth(n)).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tree({})", crate::text::to_text(self))
+    }
+}
+
+/// Preorder traversal over live nodes. See [`Tree::nodes`].
+pub struct Preorder<'t> {
+    tree: &'t Tree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.stack.pop()?;
+        self.stack.extend(self.tree.children(n).iter().copied());
+        Some(n)
+    }
+}
+
+/// Ancestor chain iterator. See [`Tree::ancestors`].
+pub struct Ancestors<'t> {
+    tree: &'t Tree,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.cur?;
+        self.cur = self.tree.parent(n);
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> (Tree, NodeId, NodeId, NodeId) {
+        // a(b(c))
+        let mut t = Tree::new("a");
+        let b = t.build_child(t.root(), "b");
+        let c = t.build_child(b, "c");
+        (t, NodeId(0), b, c)
+    }
+
+    #[test]
+    fn construction_basics() {
+        let (t, a, b, c) = abc();
+        assert_eq!(t.live_count(), 3);
+        assert_eq!(t.root(), a);
+        assert_eq!(t.label(a).as_str(), "a");
+        assert_eq!(t.parent(b), Some(a));
+        assert_eq!(t.parent(a), None);
+        assert_eq!(t.children(b), &[c]);
+        assert!(t.mod_sites().is_empty(), "build_child must not journal");
+    }
+
+    #[test]
+    fn node_ids_survive_deletion() {
+        let (mut t, a, b, c) = abc();
+        t.remove_subtree(b).unwrap();
+        assert!(t.is_alive(a));
+        assert!(!t.is_alive(b));
+        assert!(!t.is_alive(c));
+        assert_eq!(t.live_count(), 1);
+        // Ids are never reused.
+        let d = t.add_child(a, "d");
+        assert_ne!(d, b);
+        assert_ne!(d, c);
+    }
+
+    #[test]
+    fn remove_root_is_an_error() {
+        let (mut t, a, _, _) = abc();
+        assert_eq!(t.remove_subtree(a), Err(TreeError::RemoveRoot));
+    }
+
+    #[test]
+    fn double_delete_is_noop() {
+        let (mut t, _, b, c) = abc();
+        t.remove_subtree(c).unwrap();
+        assert_eq!(t.live_count(), 2);
+        // c is inside the already-deleted region after removing b.
+        t.remove_subtree(b).unwrap();
+        t.remove_subtree(c).unwrap();
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn graft_copies_with_fresh_ids() {
+        let (mut t, a, _, _) = abc();
+        let x = crate::text::parse("x(y z)").unwrap();
+        let before = t.slot_count();
+        let gr = t.graft(a, &x);
+        assert_eq!(t.live_count(), 6);
+        assert_eq!(t.label(gr).as_str(), "x");
+        assert_eq!(t.children(gr).len(), 2);
+        assert!(gr.index() >= before, "grafted nodes use fresh slots");
+        // Grafting twice yields disjoint copies.
+        let gr2 = t.graft(a, &x);
+        assert_ne!(gr, gr2);
+        assert_eq!(t.live_count(), 9);
+    }
+
+    #[test]
+    fn modification_journal_insert() {
+        let (mut t, a, b, _) = abc();
+        t.clear_mods();
+        let x = Tree::new("x");
+        t.graft(b, &x);
+        assert_eq!(t.mod_sites(), &[ModSite { site: b }]);
+        assert!(t.subtree_modified(a), "ancestor sees modification");
+        assert!(t.subtree_modified(b), "insertion point sees modification");
+    }
+
+    #[test]
+    fn modification_journal_delete() {
+        let (mut t, a, b, c) = abc();
+        t.clear_mods();
+        t.remove_subtree(c).unwrap();
+        assert_eq!(t.mod_sites(), &[ModSite { site: b }]);
+        assert!(t.subtree_modified(a));
+        assert!(t.subtree_modified(b));
+    }
+
+    #[test]
+    fn graft_interior_not_separate_sites() {
+        let (mut t, _, b, _) = abc();
+        t.clear_mods();
+        let x = crate::text::parse("x(y(z) w)").unwrap();
+        t.graft(b, &x);
+        assert_eq!(t.mod_sites().len(), 1, "one graft = one site");
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let (t, a, b, c) = abc();
+        assert!(t.is_ancestor(a, c));
+        assert!(t.is_ancestor(a, b));
+        assert!(!t.is_ancestor(c, a));
+        assert!(!t.is_ancestor(b, b));
+        assert!(t.is_ancestor_or_eq(b, b));
+        assert_eq!(t.depth(c), 2);
+        assert_eq!(t.depth(a), 0);
+    }
+
+    #[test]
+    fn traversal_orders() {
+        let t = crate::text::parse("a(b(d e) c)").unwrap();
+        let labels: Vec<&str> = t.nodes().map(|n| t.label(n).as_str()).collect();
+        assert_eq!(labels.len(), 5);
+        assert_eq!(labels[0], "a");
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn descendants_excludes_self() {
+        let (t, a, _, _) = abc();
+        assert_eq!(t.descendants(a).count(), 2);
+        assert_eq!(t.descendants_or_self(a).count(), 3);
+    }
+
+    #[test]
+    fn ancestors_iterator() {
+        let (t, a, b, c) = abc();
+        let up: Vec<_> = t.ancestors(c).collect();
+        assert_eq!(up, vec![b, a]);
+        assert_eq!(t.ancestors(a).count(), 0);
+    }
+
+    #[test]
+    fn subtree_extraction() {
+        let t = crate::text::parse("a(b(d e) c)").unwrap();
+        let b = t.children(t.root())[0];
+        let sub = t.subtree_to_tree(b);
+        assert_eq!(sub.live_count(), 3);
+        assert_eq!(sub.label(sub.root()).as_str(), "b");
+    }
+
+    #[test]
+    fn clone_preserves_identity() {
+        let (t, _, b, _) = abc();
+        let mut t2 = t.clone();
+        assert_eq!(t2.label(b), t.label(b));
+        t2.remove_subtree(b).unwrap();
+        assert!(t.is_alive(b), "clone mutation does not affect original");
+        assert!(!t2.is_alive(b));
+    }
+
+    #[test]
+    fn alphabet_and_height() {
+        let t = crate::text::parse("a(b(a) b)").unwrap();
+        let alpha: Vec<&str> = t.alphabet().iter().map(|s| s.as_str()).collect();
+        assert_eq!(alpha.len(), 2);
+        assert_eq!(t.height(), 2);
+    }
+}

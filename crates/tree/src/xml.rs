@@ -1,0 +1,429 @@
+//! Minimal element-only XML reader and writer.
+//!
+//! The paper's tree model carries only node labels, so this module maps a
+//! (well-formed, element-only) XML document onto a [`Tree`] and back:
+//!
+//! * element names become labels;
+//! * attributes are folded into child nodes labeled `@name=value` (the
+//!   model has no attribute axis, but round-tripping should not lose data);
+//! * non-whitespace text content becomes child nodes labeled `#text=…`
+//!   with XML entities decoded;
+//! * comments and processing instructions are skipped.
+//!
+//! This is a substrate implementation, not a conformant XML parser: it
+//! handles the documents used by the examples, generators, and tests
+//! without pulling in an external XML dependency (which the reproduction
+//! brief flags as thin on this platform).
+
+use crate::{NodeId, Tree};
+use std::fmt;
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError {
+            at: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || "_-.:".contains(c)) {
+            self.bump();
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(&self.src[start..self.pos])
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.eat("<!--") {
+                match self.rest().find("-->") {
+                    Some(i) => self.pos += i + 3,
+                    None => return self.err("unterminated comment"),
+                }
+            } else if self.rest().starts_with("<?") {
+                match self.rest().find("?>") {
+                    Some(i) => self.pos += i + 2,
+                    None => return self.err("unterminated processing instruction"),
+                }
+            } else if self.rest().starts_with("<!DOCTYPE") {
+                match self.rest().find('>') {
+                    Some(i) => self.pos += i + 1,
+                    None => return self.err("unterminated DOCTYPE"),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn decode_entities(s: &str, at: usize) -> Result<String, XmlError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i + 1..];
+        let semi = rest.find(';').ok_or(XmlError {
+            at: at + i,
+            msg: "unterminated entity".into(),
+        })?;
+        let ent = &rest[..semi];
+        out.push(match ent {
+            "lt" => '<',
+            "gt" => '>',
+            "amp" => '&',
+            "quot" => '"',
+            "apos" => '\'',
+            _ => {
+                return Err(XmlError {
+                    at: at + i,
+                    msg: format!("unknown entity &{ent};"),
+                })
+            }
+        });
+        for _ in 0..=semi {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+fn encode_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Parses an element-only XML document into a [`Tree`]. The returned
+/// tree's modification journal is empty.
+pub fn parse(src: &str) -> Result<Tree, XmlError> {
+    let mut lx = Lexer { src, pos: 0 };
+    lx.skip_misc()?;
+    if lx.peek() != Some('<') {
+        return lx.err("expected root element");
+    }
+    let mut tree: Option<Tree> = None;
+    parse_element(&mut lx, &mut tree, None)?;
+    lx.skip_misc()?;
+    if lx.pos != src.len() {
+        return lx.err("trailing content after root element");
+    }
+    Ok(tree.expect("parse_element populates the tree"))
+}
+
+fn attach(tree: &mut Option<Tree>, parent: Option<NodeId>, label: &str) -> NodeId {
+    match (tree.as_mut(), parent) {
+        (Some(t), Some(p)) => t.build_child(p, label),
+        (None, None) => {
+            let t = Tree::new(label);
+            let root = t.root();
+            *tree = Some(t);
+            root
+        }
+        _ => unreachable!("root element parsed exactly once"),
+    }
+}
+
+fn parse_element(
+    lx: &mut Lexer<'_>,
+    tree: &mut Option<Tree>,
+    parent: Option<NodeId>,
+) -> Result<(), XmlError> {
+    assert!(lx.eat("<"));
+    let name = lx.name()?.to_owned();
+    let me = attach(tree, parent, &name);
+
+    // Attributes.
+    loop {
+        lx.skip_ws();
+        match lx.peek() {
+            Some('/') | Some('>') => break,
+            Some(_) => {
+                let aname = lx.name()?.to_owned();
+                lx.skip_ws();
+                if !lx.eat("=") {
+                    return lx.err("expected '=' in attribute");
+                }
+                lx.skip_ws();
+                let quote = match lx.bump() {
+                    Some(q @ ('"' | '\'')) => q,
+                    _ => return lx.err("expected quoted attribute value"),
+                };
+                let start = lx.pos;
+                while lx.peek().is_some_and(|c| c != quote) {
+                    lx.bump();
+                }
+                let raw = &lx.src[start..lx.pos];
+                if lx.bump().is_none() {
+                    return lx.err("unterminated attribute value");
+                }
+                let val = decode_entities(raw, start)?;
+                let t = tree.as_mut().expect("tree exists once root attached");
+                t.build_child(me, format!("@{aname}={val}").as_str());
+            }
+            None => return lx.err("unterminated start tag"),
+        }
+    }
+
+    if lx.eat("/>") {
+        return Ok(());
+    }
+    if !lx.eat(">") {
+        return lx.err("expected '>'");
+    }
+
+    // Content.
+    loop {
+        let text_start = lx.pos;
+        while lx.peek().is_some_and(|c| c != '<') {
+            lx.bump();
+        }
+        let raw = &lx.src[text_start..lx.pos];
+        let text = decode_entities(raw, text_start)?;
+        let trimmed = text.trim();
+        if !trimmed.is_empty() {
+            let t = tree.as_mut().expect("tree exists");
+            t.build_child(me, format!("#text={trimmed}").as_str());
+        }
+        if lx.peek().is_none() {
+            return lx.err("unterminated element content");
+        }
+        if lx.rest().starts_with("</") {
+            lx.eat("</");
+            let end = lx.name()?;
+            if end != name {
+                return lx.err(format!("mismatched end tag: <{name}> closed by </{end}>"));
+            }
+            lx.skip_ws();
+            if !lx.eat(">") {
+                return lx.err("expected '>' in end tag");
+            }
+            return Ok(());
+        }
+        if lx.rest().starts_with("<!--") || lx.rest().starts_with("<?") {
+            lx.skip_misc()?;
+            continue;
+        }
+        parse_element(lx, tree, Some(me))?;
+    }
+}
+
+/// Serializes a tree to XML, reversing the label conventions of [`parse`].
+/// Children are emitted in canonical (sorted) order for stable output.
+pub fn to_xml(t: &Tree) -> String {
+    let mut out = String::new();
+    write_element(t, t.root(), &mut out, 0);
+    out
+}
+
+fn write_element(t: &Tree, n: NodeId, out: &mut String, indent: usize) {
+    let label = t.label(n).as_str();
+    if let Some(text) = label.strip_prefix("#text=") {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        encode_text(text, out);
+        out.push('\n');
+        return;
+    }
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push('<');
+    out.push_str(label);
+
+    // Attributes first, sorted; then remaining children, sorted by
+    // rendered form (stable for the unordered model).
+    let mut attrs: Vec<&str> = Vec::new();
+    let mut kids: Vec<NodeId> = Vec::new();
+    for &c in t.children(n) {
+        let cl = t.label(c).as_str();
+        if let Some(a) = cl.strip_prefix('@') {
+            attrs.push(a);
+        } else {
+            kids.push(c);
+        }
+    }
+    attrs.sort_unstable();
+    for a in attrs {
+        let (name, value) = a.split_once('=').unwrap_or((a, ""));
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        encode_text(value, out);
+        out.push('"');
+    }
+
+    if kids.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push_str(">\n");
+    kids.sort_by_key(|&c| crate::text::subtree_to_text(t, c));
+    for c in kids {
+        write_element(t, c, out, indent + 1);
+    }
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push_str("</");
+    out.push_str(label);
+    out.push_str(">\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text;
+
+    #[test]
+    fn parse_simple_document() {
+        let t = parse("<inventory><book><title/><quantity/></book></inventory>").unwrap();
+        assert_eq!(text::to_text(&t), "inventory(book(quantity title))");
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let t = parse("<a><b/><c><d/></c></a>").unwrap();
+        assert_eq!(t.live_count(), 4);
+    }
+
+    #[test]
+    fn attributes_become_children() {
+        let t = parse(r#"<book isbn="123" lang="en"/>"#).unwrap();
+        let labels: Vec<&str> = t
+            .children(t.root())
+            .iter()
+            .map(|&c| t.label(c).as_str())
+            .collect();
+        assert!(labels.contains(&"@isbn=123"));
+        assert!(labels.contains(&"@lang=en"));
+    }
+
+    #[test]
+    fn text_becomes_children() {
+        let t = parse("<q>7</q>").unwrap();
+        assert_eq!(t.label(t.children(t.root())[0]).as_str(), "#text=7");
+    }
+
+    #[test]
+    fn whitespace_only_text_skipped() {
+        let t = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(t.live_count(), 2);
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let t = parse("<a>x &lt; y &amp; z</a>").unwrap();
+        assert_eq!(
+            t.label(t.children(t.root())[0]).as_str(),
+            "#text=x < y & z"
+        );
+    }
+
+    #[test]
+    fn comments_pi_doctype_skipped() {
+        let t = parse(
+            "<?xml version=\"1.0\"?><!DOCTYPE a><!-- hi --><a><!-- inner --><b/></a>",
+        )
+        .unwrap();
+        assert_eq!(t.live_count(), 2);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let e = parse("<a><b></a></b>").unwrap_err();
+        assert!(e.msg.contains("mismatched"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = r#"<site><book isbn="1"><title>T &amp; U</title></book><book isbn="2"/></site>"#;
+        let t = parse(src).unwrap();
+        let xml = to_xml(&t);
+        let t2 = parse(&xml).unwrap();
+        assert!(crate::iso::isomorphic(&t, &t2), "roundtrip:\n{xml}");
+    }
+
+    #[test]
+    fn figure1_document() {
+        // Figure 1 of the paper, approximated: an inventory of books.
+        let src = "<inventory>\
+                     <book><title/><info><quantity>5</quantity></info></book>\
+                     <book><title/><info><quantity>12</quantity></info></book>\
+                   </inventory>";
+        let t = parse(src).unwrap();
+        assert_eq!(t.children(t.root()).len(), 2);
+        assert_eq!(t.live_count(), 11);
+    }
+}

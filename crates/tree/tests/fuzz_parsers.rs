@@ -1,0 +1,47 @@
+//! Robustness: tree parsers never panic on arbitrary input.
+
+use cxu_tree::{text, xml};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn text_parse_total(s in "\\PC*") {
+        let _ = text::parse(&s);
+    }
+
+    #[test]
+    fn text_parse_grammar_soup(s in "[a-c() ,]{0,40}") {
+        if let Ok(t) = text::parse(&s) {
+            // Well-formed: re-render and re-parse to an isomorphic tree.
+            let rendered = text::to_text(&t);
+            let back = text::parse(&rendered).expect("canonical form parses");
+            prop_assert!(cxu_tree::iso::isomorphic(&t, &back));
+        }
+    }
+
+    #[test]
+    fn xml_parse_total(s in "\\PC*") {
+        let _ = xml::parse(&s);
+    }
+
+    #[test]
+    fn xml_parse_tag_soup(s in "[<>a-b/= \"]{0,40}") {
+        if let Ok(t) = xml::parse(&s) {
+            let rendered = xml::to_xml(&t);
+            let back = xml::parse(&rendered).expect("serialized form parses");
+            prop_assert!(cxu_tree::iso::isomorphic(&t, &back));
+        }
+    }
+
+    #[test]
+    fn error_positions_in_bounds(s in "[<>a-b/=() ]{0,30}") {
+        if let Err(e) = xml::parse(&s) {
+            prop_assert!(e.at <= s.len());
+        }
+        if let Err(e) = text::parse(&s) {
+            prop_assert!(e.at <= s.len());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the tree substrate.
+
+use cxu_tree::enumerate::enumerate_trees;
+use cxu_tree::iso::{isomorphic, Canonizer};
+use cxu_tree::{text, NodeId, Symbol, Tree};
+use proptest::prelude::*;
+
+/// A random tree strategy built structurally (no generator crate here —
+/// cxu-tree sits below cxu-gen).
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    // Encode a tree as (labels, parent choices).
+    (1usize..24).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..3, n),
+            proptest::collection::vec(proptest::num::u32::ANY, n.saturating_sub(1)),
+        )
+            .prop_map(move |(labels, parents)| {
+                let lbl =
+                    |i: usize| Symbol::intern(&format!("p{}", labels[i % labels.len()]));
+                let mut t = Tree::new(lbl(0));
+                let mut ids: Vec<NodeId> = vec![t.root()];
+                for (i, &p) in parents.iter().enumerate() {
+                    let parent = ids[(p as usize) % ids.len()];
+                    ids.push(t.build_child(parent, lbl(i + 1)));
+                }
+                t
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Term-syntax round trip preserves the tree up to isomorphism.
+    #[test]
+    fn text_roundtrip(t in arb_tree()) {
+        let rendered = text::to_text(&t);
+        let back = text::parse(&rendered).unwrap();
+        prop_assert!(isomorphic(&t, &back), "{rendered}");
+        // Canonical form is idempotent.
+        prop_assert_eq!(text::to_text(&back), rendered);
+    }
+
+    /// XML round trip preserves the tree up to isomorphism (labels here
+    /// are XML-name-safe by construction).
+    #[test]
+    fn xml_roundtrip(t in arb_tree()) {
+        let xml = cxu_tree::xml::to_xml(&t);
+        let back = cxu_tree::xml::parse(&xml).unwrap();
+        prop_assert!(isomorphic(&t, &back), "{xml}");
+    }
+
+    /// Deleting a non-root subtree then counting agrees with the size of
+    /// the removed region; ids never come back.
+    #[test]
+    fn delete_accounting(t in arb_tree(), pick in proptest::num::u32::ANY) {
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let victim = nodes[(pick as usize) % nodes.len()];
+        if victim == t.root() { return Ok(()); }
+        let region = t.descendants_or_self(victim).count();
+        let mut t2 = t.clone();
+        t2.remove_subtree(victim).unwrap();
+        prop_assert_eq!(t2.live_count(), t.live_count() - region);
+        prop_assert!(!t2.is_alive(victim));
+        // Adding new nodes never reuses the dead id.
+        let root = t2.root();
+        let fresh = t2.add_child(root, "fresh");
+        prop_assert_ne!(fresh, victim);
+    }
+
+    /// Grafting increases size by the grafted tree's size; the graft is
+    /// isomorphic to its source.
+    #[test]
+    fn graft_accounting(t in arb_tree(), sub in arb_tree(), pick in proptest::num::u32::ANY) {
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let at = nodes[(pick as usize) % nodes.len()];
+        let mut t2 = t.clone();
+        let new_root = t2.graft(at, &sub);
+        prop_assert_eq!(t2.live_count(), t.live_count() + sub.live_count());
+        let copy = t2.subtree_to_tree(new_root);
+        prop_assert!(isomorphic(&copy, &sub));
+    }
+
+    /// Canonical codes identify isomorphism classes: code equality for a
+    /// tree and its canonical-text rebuild; inequality after a label edit.
+    #[test]
+    fn canon_codes(t in arb_tree()) {
+        let mut c = Canonizer::new();
+        let rebuilt = text::parse(&text::to_text(&t)).unwrap();
+        prop_assert_eq!(c.code_tree(&t), c.code_tree(&rebuilt));
+        // Relabel the root with a label not used anywhere.
+        let mut edited_src = String::from("totally-fresh-root");
+        if t.children(t.root()).is_empty() {
+            // a single node tree: trivially different label
+        } else {
+            let body = text::to_text(&t);
+            let open = body.find('(').unwrap();
+            edited_src.push_str(&body[open..]);
+        }
+        let edited = text::parse(&edited_src).unwrap();
+        prop_assert_ne!(c.code_tree(&t), c.code_tree(&edited));
+    }
+
+    /// subtree_modified is monotone along ancestor chains.
+    #[test]
+    fn modification_monotone(t in arb_tree(), pick in proptest::num::u32::ANY) {
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let at = nodes[(pick as usize) % nodes.len()];
+        let mut t2 = t.clone();
+        t2.clear_mods();
+        t2.graft(at, &Tree::new("m"));
+        for n in t2.nodes() {
+            if t2.subtree_modified(n) {
+                if let Some(p) = t2.parent(n) {
+                    prop_assert!(t2.subtree_modified(p), "parent not modified");
+                }
+            }
+        }
+        prop_assert!(t2.subtree_modified(t2.root()));
+    }
+}
+
+/// Enumeration agrees with the closed-form count and contains no
+/// isomorphic duplicates (deterministic, not proptest).
+#[test]
+fn enumeration_exactness() {
+    use cxu_tree::enumerate::count_trees;
+    let alpha: Vec<Symbol> = (0..2).map(|i| Symbol::intern(&format!("e{i}"))).collect();
+    for n in 1..=4 {
+        let trees = enumerate_trees(&alpha, n);
+        assert_eq!(trees.len() as u128, count_trees(2, n), "n={n}");
+        let mut canon = Canonizer::new();
+        let mut codes: Vec<_> = trees.iter().map(|t| canon.code_tree(t)).collect();
+        let before = codes.len();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), before, "duplicates at n={n}");
+    }
+}

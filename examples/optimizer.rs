@@ -1,0 +1,103 @@
+//! The compiler scenario (§1, experiment E9): code motion over pidgin
+//! programs.
+//!
+//! Generates random straight-line programs of reads and updates, uses the
+//! PTIME detector to classify every (update, later-read) pair as
+//! independent or conflicting, then *verifies each classification
+//! observationally*: hoisting an independent read above the update must
+//! not change any read's result on concrete documents.
+//!
+//! Run with: `cargo run --example optimizer`
+
+use cxu::gen::program::{motion_candidates, observe, random_program, Program, ProgramParams, Stmt};
+use cxu::gen::trees::{random_tree, TreeParams};
+use cxu::prelude::*;
+use cxu::detect;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Swap statements `i` and `j` (i < j), modelling the hoist of the read
+/// at `j` to just before the update at `i`. Only valid when nothing
+/// between them is an update (we generate candidates that way below).
+fn hoist(prog: &Program, i: usize, j: usize) -> Program {
+    let mut stmts = prog.stmts.clone();
+    let read = stmts.remove(j);
+    stmts.insert(i, read);
+    Program { stmts }
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let params = ProgramParams {
+        len: 12,
+        update_rate: 0.45,
+        delete_rate: 0.4,
+        ..ProgramParams::default()
+    };
+
+    let mut total_pairs = 0usize;
+    let mut independent_pairs = 0usize;
+    let mut verified = 0usize;
+
+    println!("== §1 compiler scenario: which reads can move above updates? ==\n");
+
+    for prog_idx in 0..20 {
+        let prog = random_program(&mut rng, &params);
+        // Adjacent-only candidates: (update at i, read at i+1) — a hoist
+        // across a single update, the §1 transformation.
+        let candidates: Vec<(usize, usize)> = motion_candidates(&prog)
+            .into_iter()
+            .filter(|&(u, r)| r == u + 1)
+            .collect();
+
+        for (u_idx, r_idx) in candidates {
+            let Stmt::Update(u) = &prog.stmts[u_idx] else { unreachable!() };
+            let Stmt::Read(r) = &prog.stmts[r_idx] else { unreachable!() };
+            total_pairs += 1;
+            // Tree semantics: the observation below renders the returned
+            // *subtrees*, so node-set stability alone is not enough — the
+            // subtrees must be untouched too (§3's tree conflicts).
+            let independent = detect::independent(r, u, Semantics::Tree)
+                .expect("generator produces linear reads");
+            if !independent {
+                continue;
+            }
+            independent_pairs += 1;
+
+            // Observational verification on 5 random documents: the
+            // hoisted program must produce identical read results.
+            let hoisted = hoist(&prog, u_idx, r_idx);
+            for doc_seed in 0..5 {
+                let mut drng = SmallRng::seed_from_u64(1000 * prog_idx + doc_seed);
+                let doc = random_tree(
+                    &mut drng,
+                    &TreeParams {
+                        nodes: 80,
+                        alphabet: 3,
+                        ..TreeParams::default()
+                    },
+                );
+                assert_eq!(
+                    observe(&prog, &doc),
+                    observe(&hoisted, &doc),
+                    "detector said independent but observation changed \
+                     (program {prog_idx}, pair {u_idx}/{r_idx})"
+                );
+                verified += 1;
+            }
+        }
+    }
+
+    println!("programs analysed      : 20");
+    println!("update→read pairs      : {total_pairs}");
+    println!(
+        "provably independent   : {independent_pairs} ({:.0}%)",
+        100.0 * independent_pairs as f64 / total_pairs.max(1) as f64
+    );
+    println!("observational checks   : {verified} (all passed)");
+    println!(
+        "\nEvery pair the detector declared independent was hoisted and\n\
+         re-executed on random documents with identical observations —\n\
+         the §1 code-motion transformation, justified by Theorems 1–2."
+    );
+}

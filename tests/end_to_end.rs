@@ -1,0 +1,165 @@
+//! End-to-end pipelines across every crate: XML in, conflicts out.
+
+use cxu::core::{update_update, witness_min};
+use cxu::gen::docs::{inventory, InventoryParams};
+use cxu::pattern::xpath;
+use cxu::prelude::*;
+use cxu::schema::{ChildSpec, Dtd, SchemaSearchOutcome};
+use cxu::tree::{iso, text, xml};
+use cxu::{detect, witness};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn pat(s: &str) -> Pattern {
+    xpath::parse(s).unwrap()
+}
+
+/// XML → tree → update → XML round trip, with conflict checks along the
+/// way — the full library surface in one flow.
+#[test]
+fn xml_pipeline() {
+    let src = "<inventory>\
+                 <book><title>TAOCP</title><quantity>5</quantity></book>\
+                 <book><title>SICP</title><quantity>50</quantity></book>\
+               </inventory>";
+    let mut doc = xml::parse(src).unwrap();
+    assert_eq!(doc.live_count(), 11); // elements + #text nodes
+
+    // Insert a restock marker into every book that has a quantity.
+    let ins = Insert::new(pat("inventory/book[quantity]"), text::parse("restock").unwrap());
+    // Static conflict question for a follow-up read.
+    let follow_up = Read::new(pat("inventory/book/restock"));
+    assert!(detect::read_insert_conflict(&follow_up, &ins, Semantics::Node).unwrap());
+
+    let points = ins.apply(&mut doc);
+    assert_eq!(points.len(), 2);
+
+    // Serialize and re-parse: isomorphic to the mutated tree.
+    let out = xml::to_xml(&doc);
+    let reparsed = xml::parse(&out).unwrap();
+    assert!(iso::isomorphic(&doc, &reparsed));
+    assert!(out.contains("<restock/>"));
+}
+
+/// Generated inventory + detector + witness checker + minimizer chain.
+#[test]
+fn inventory_conflict_lifecycle() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let doc = inventory(
+        &mut rng,
+        &InventoryParams {
+            books: 12,
+            low_stock_rate: 0.5,
+            nested_rate: 0.6,
+        },
+    );
+    let r = Read::new(pat("inventory//restock"));
+    let u = Update::Insert(Insert::new(
+        pat("inventory/book[.//quantity/low]"),
+        text::parse("restock").unwrap(),
+    ));
+
+    // Static: conflict exists over all trees.
+    assert!(detect::read_update_conflict(&r, &u, Semantics::Node).unwrap());
+    // Dynamic: this document witnesses it iff it has a low-stock book.
+    let has_low = !cxu::pattern::eval::eval(
+        &pat("inventory/book[.//quantity/low]"),
+        &doc,
+    )
+    .is_empty();
+    assert_eq!(
+        witness::witnesses_update_conflict(&r, &u, &doc, Semantics::Node),
+        has_low
+    );
+    // Minimization shrinks the 60-odd-node document to a tiny witness.
+    if has_low {
+        let small = witness_min::minimize(&r, &u, &doc, Semantics::Node).unwrap();
+        assert!(witness::witnesses_update_conflict(&r, &u, &small, Semantics::Node));
+        assert!(small.live_count() < doc.live_count());
+        assert!(small.live_count() <= 8, "minimal witness is tiny: {small:?}");
+    }
+}
+
+/// Schema pipeline: validation, incremental revalidation, and
+/// schema-aware conflict refinement on one DTD.
+#[test]
+fn schema_pipeline() {
+    let dtd = Dtd::new("inventory")
+        .element("inventory", vec![ChildSpec::star("book")])
+        .element(
+            "book",
+            vec![
+                ChildSpec::one("title"),
+                ChildSpec::optional("quantity"),
+                ChildSpec::optional("restock"),
+            ],
+        );
+    let mut doc = text::parse("inventory(book(title quantity) book(title))").unwrap();
+    assert!(dtd.conforms(&doc));
+
+    // A conforming update keeps the document valid (revalidation agrees).
+    let ins = Insert::new(pat("inventory/book[quantity]"), text::parse("restock").unwrap());
+    ins.apply(&mut doc);
+    assert!(dtd.revalidate(&doc).is_empty());
+    assert!(dtd.conforms(&doc));
+
+    // Unconstrained conflict that the schema eliminates.
+    let r = Read::new(pat("inventory//surprise"));
+    let u = Update::Insert(Insert::new(
+        pat("inventory/book/extra"),
+        text::parse("surprise").unwrap(),
+    ));
+    assert!(detect::read_update_conflict(&r, &u, Semantics::Node).unwrap());
+    assert!(matches!(
+        cxu::schema::find_witness_conforming(&r, &u, Semantics::Node, &dtd, 7, 100_000),
+        SchemaSearchOutcome::NoConflictWithin(_)
+    ));
+}
+
+/// Update-update commutativity over a realistic pair: restocking and
+/// pruning empty books interact.
+#[test]
+fn update_update_pipeline() {
+    // u1: delete books without a quantity; u2: restock books with one.
+    let u1 = Update::Delete(Delete::new(pat("inventory/book[title]")).unwrap());
+    let u2 = Update::Insert(Insert::new(
+        pat("inventory/book"),
+        text::parse("restock").unwrap(),
+    ));
+    // Deleting [title] books removes insertion points for u2 *and* u2's
+    // fresh restock children never affect [title] matching: order still
+    // matters? Run the bounded search to find out, then verify whatever
+    // witness it returns.
+    match update_update::find_noncommuting_witness(&u1, &u2, Default::default()) {
+        update_update::Outcome::Conflict(w) => {
+            assert!(!update_update::commute_on(&u1, &u2, &w));
+        }
+        update_update::Outcome::NoConflictWithin(_) => {
+            // Deleting the book removes the restock with it — plausible.
+            // Spot-check commutation on a concrete inventory.
+            let t = text::parse("inventory(book(title) book)").unwrap();
+            assert!(update_update::commute_on(&u1, &u2, &t));
+        }
+        update_update::Outcome::BudgetExceeded(_) => panic!("budget too small"),
+    }
+}
+
+/// The README's headline claims, kept honest.
+#[test]
+fn readme_claims() {
+    // PTIME detection accepts branching updates (Corollaries 1–2).
+    let r = Read::new(pat("catalog//price"));
+    let i = Insert::new(pat("catalog/item[.//sale]"), text::parse("price").unwrap());
+    assert!(detect::read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+    // Branching reads are refused by the PTIME path…
+    let r2 = Read::new(pat("catalog[sale]//price"));
+    assert!(detect::read_insert_conflict(&r2, &i, Semantics::Node).is_err());
+    // …and handled exactly by bounded search.
+    let out = cxu::core::brute::find_witness(
+        &r2,
+        &Update::Insert(i),
+        Semantics::Node,
+        cxu::core::brute::Budget::default(),
+    );
+    assert!(out.decided().is_some());
+}

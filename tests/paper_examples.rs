@@ -1,0 +1,340 @@
+//! Every concrete example, figure, and named claim of the paper,
+//! reproduced end to end against the public API.
+
+use cxu::core::{brute, reduction, witness_min};
+use cxu::pattern::{containment, embed, eval, xpath};
+use cxu::prelude::*;
+use cxu::tree::{iso, text};
+use cxu::{detect, witness};
+
+fn pat(s: &str) -> Pattern {
+    xpath::parse(s).unwrap()
+}
+
+fn doc(s: &str) -> Tree {
+    text::parse(s).unwrap()
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+/// Figure 1 + §1: the restock insertion on the inventory tree.
+#[test]
+fn figure1_restock_insertion() {
+    // Two books, one with low quantity (structural stand-in for `< 10`).
+    let mut t = doc(
+        "inventory(book(title info(quantity(low))) book(title info(quantity)))",
+    );
+    let ins = Insert::new(
+        pat("inventory/book[.//quantity/low]"),
+        doc("restock"),
+    );
+    let points = ins.apply(&mut t);
+    assert_eq!(points.len(), 1, "only the low-stock book is restocked");
+    let restocks = eval::eval(&pat("inventory/book/restock"), &t);
+    assert_eq!(restocks.len(), 1);
+}
+
+// ---------------------------------------------------------------- §1 fragments
+
+/// §1 imperative fragment: read//C vs insert B,<C/> conflict; read//D safe.
+#[test]
+fn section1_imperative_fragment() {
+    let ins = Insert::new(pat("x/B"), doc("C"));
+    let read_c = Read::new(pat("x//C"));
+    let read_d = Read::new(pat("x//D"));
+    assert!(detect::read_insert_conflict(&read_c, &ins, Semantics::Node).unwrap());
+    assert!(!detect::read_insert_conflict(&read_d, &ins, Semantics::Node).unwrap());
+}
+
+/// §1 functional fragment: `read $x/*/A` is untouched by `insert $x/B, <C/>`
+/// — the compiler may replace the re-read with the old value.
+#[test]
+fn section1_functional_fragment() {
+    let ins = Insert::new(pat("x/B"), doc("C"));
+    let read = Read::new(pat("x/*/A"));
+    assert!(!detect::read_insert_conflict(&read, &ins, Semantics::Node).unwrap());
+    // Concrete check on a document with a B child.
+    let t = doc("x(B(A) y(A))");
+    assert!(!witness::witnesses_insert_conflict(&read, &ins, &t, Semantics::Node));
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+/// Figure 2: the pattern a[.//c]/b[d][*//f] and its embedding.
+#[test]
+fn figure2_pattern_and_embedding() {
+    let p = pat("a[.//c]/b[d][*//f]");
+    assert_eq!(p.len(), 6);
+    assert!(!p.is_linear());
+    // A tree shaped like the figure: the b child is selected.
+    let t = doc("a(x(c) b(d g(e(f))))");
+    let hits = eval::eval(&p, &t);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(t.label(hits[0]).as_str(), "b");
+    // The naive enumerator agrees and produces a checkable embedding.
+    let es = embed::enumerate(&p, &t, usize::MAX);
+    assert!(!es.is_empty());
+    for e in &es {
+        assert!(embed::is_valid(&p, &t, e));
+    }
+    // The tree t of Figure 2 is a model for p: drop the branches that
+    // aren't pattern-shaped and check the pattern's own model embeds.
+    let m = p.model_fresh(&[]);
+    assert!(eval::matches(&p, &m));
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+/// Figure 3: the delete that conflicts under reference-based semantics
+/// but not under value-based semantics.
+#[test]
+fn figure3_reference_vs_value_semantics() {
+    let r = Read::new(pat("root//gamma"));
+    let d = Delete::new(pat("root/delta")).unwrap();
+    let w = doc("root(delta(gamma) other(gamma))");
+    assert!(witness::witnesses_delete_conflict(&r, &d, &w, Semantics::Node));
+    assert!(witness::witnesses_delete_conflict(&r, &d, &w, Semantics::Tree));
+    assert!(!witness::witnesses_delete_conflict(&r, &d, &w, Semantics::Value));
+    // The two gamma subtrees are isomorphic — the reason value semantics
+    // is silent.
+    let gammas = eval::eval(&pat("root//gamma"), &w);
+    assert_eq!(gammas.len(), 2);
+    assert!(iso::subtrees_isomorphic(&w, gammas[0], &w, gammas[1]));
+}
+
+// ---------------------------------------------------------------- Definition 3 example
+
+/// §3's node-vs-tree example: R returns the root, I inserts under a B
+/// child — no node conflict, but a tree conflict.
+#[test]
+fn definition3_node_vs_tree_example() {
+    let r = Read::new(pat("root"));
+    let i = Insert::new(pat("root/B"), doc("X"));
+    // Static detection.
+    assert!(!detect::read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+    assert!(detect::read_insert_conflict(&r, &i, Semantics::Tree).unwrap());
+    // Witness-level agreement.
+    let w = doc("root(B)");
+    assert!(!witness::witnesses_insert_conflict(&r, &i, &w, Semantics::Node));
+    assert!(witness::witnesses_insert_conflict(&r, &i, &w, Semantics::Tree));
+}
+
+// ---------------------------------------------------------------- Lemma 2
+
+/// Lemma 2: for linear patterns, tree conflicts and value conflicts
+/// coincide — checked against brute-force search on a battery.
+#[test]
+fn lemma2_tree_equals_value_for_linear() {
+    let cases: Vec<(&str, Update)> = vec![
+        ("a/b", Update::Insert(Insert::new(pat("a/b/c"), doc("x")))),
+        ("a//m", Update::Insert(Insert::new(pat("a/spot"), doc("m")))),
+        ("a/b", Update::Delete(Delete::new(pat("a/b/c")).unwrap())),
+        ("root//gamma", Update::Delete(Delete::new(pat("root/delta")).unwrap())),
+        ("a/b/c", Update::Insert(Insert::new(pat("a/b"), doc("c")))),
+        ("x//D", Update::Insert(Insert::new(pat("x/B"), doc("C")))),
+    ];
+    let budget = brute::Budget {
+        max_nodes: 4,
+        max_trees: 2_000_000,
+    };
+    for (r_src, u) in cases {
+        let r = Read::new(pat(r_src));
+        let tree_c = brute::find_witness(&r, &u, Semantics::Tree, budget)
+            .decided()
+            .unwrap();
+        let value_c = brute::find_witness(&r, &u, Semantics::Value, budget)
+            .decided()
+            .unwrap();
+        assert_eq!(tree_c, value_c, "Lemma 2 violated for {r_src} vs {u:?}");
+        // And the PTIME detector agrees with both.
+        assert_eq!(
+            detect::read_update_conflict(&r, &u, Semantics::Tree).unwrap(),
+            tree_c,
+            "detector vs brute (tree) for {r_src}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- Lemma 3 structure
+
+/// Figure 5 structure: a read-delete conflict through a descendant edge,
+/// with the deletion point strictly between two read nodes.
+#[test]
+fn figure5_read_delete_structure() {
+    // R = a/b//v, D = a/b/u: deletion point u sits on the b→v gap.
+    let r = Read::new(pat("a/b//v"));
+    let d = Delete::new(pat("a/b/u")).unwrap();
+    assert!(detect::read_delete_conflict(&r, &d, Semantics::Node).unwrap());
+    // Concrete witness straight from the figure.
+    let w = doc("a(b(u(v)))");
+    assert!(witness::witnesses_delete_conflict(&r, &d, &w, Semantics::Node));
+}
+
+// ---------------------------------------------------------------- Figure 4 structure
+
+/// Figure 4a structure: a read-insert node conflict whose read suffix
+/// embeds inside the inserted tree X.
+#[test]
+fn figure4_cut_edge_structure() {
+    // R = a//w/f, I = (a/b, X = w(f)): cut at the //-edge, suffix w/f
+    // embeds at X's root.
+    let r = Read::new(pat("a//w/f"));
+    let i = Insert::new(pat("a/b"), doc("w(f)"));
+    assert!(detect::read_insert_conflict(&r, &i, Semantics::Node).unwrap());
+    let w = doc("a(b)");
+    assert!(witness::witnesses_insert_conflict(&r, &i, &w, Semantics::Node));
+}
+
+// ---------------------------------------------------------------- Lemmas 4 & 8
+
+/// Lemmas 4/8: the update side may branch; conflicts agree with the
+/// spine-reduced update.
+#[test]
+fn lemma4_and_8_spine_reduction() {
+    let r = Read::new(pat("a/b//v"));
+    // Branching delete vs its spine.
+    let d_full = Delete::new(pat("a[z]/b[.//y]/u")).unwrap();
+    let d_spine = Delete::new(pat("a/b/u")).unwrap();
+    for sem in Semantics::ALL {
+        assert_eq!(
+            detect::read_delete_conflict(&r, &d_full, sem).unwrap(),
+            detect::read_delete_conflict(&r, &d_spine, sem).unwrap(),
+            "{sem:?}"
+        );
+    }
+    // Branching insert vs its spine.
+    let r2 = Read::new(pat("a//c"));
+    let i_full = Insert::new(pat("a/b[q][.//w]"), doc("c"));
+    let i_spine = Insert::new(pat("a/b"), doc("c"));
+    for sem in Semantics::ALL {
+        assert_eq!(
+            detect::read_insert_conflict(&r2, &i_full, sem).unwrap(),
+            detect::read_insert_conflict(&r2, &i_spine, sem).unwrap(),
+            "{sem:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- Figure 6 / Lemmas 9-11
+
+/// Figure 6: reparenting — a long unmarked chain collapses to k+1 fresh
+/// nodes and the conflict survives (Lemmas 9 and 10).
+#[test]
+fn figure6_reparenting() {
+    let r = Read::new(pat("a//v"));
+    let u = Update::Delete(Delete::new(pat("a//b[q]")).unwrap());
+    let mut chain = String::from("b(q v)");
+    for i in 0..12 {
+        chain = format!("pad{i}({chain})");
+    }
+    let w = doc(&format!("a({chain})"));
+    let small = witness_min::minimize(&r, &u, &w, Semantics::Node).unwrap();
+    assert!(witness::witnesses_update_conflict(&r, &u, &small, Semantics::Node));
+    assert!(small.live_count() < w.live_count());
+    assert!(small.live_count() <= brute::lemma11_bound(&r, &u));
+}
+
+/// Lemma 11: brute-force witnesses for a battery of conflicts are always
+/// within the |R|·|U|·(k+1) bound (they are in fact much smaller).
+#[test]
+fn lemma11_bound_holds_for_found_witnesses() {
+    let cases: Vec<(&str, Update)> = vec![
+        ("x//C", Update::Insert(Insert::new(pat("x/B"), doc("C")))),
+        ("a//v", Update::Delete(Delete::new(pat("a/b")).unwrap())),
+        ("a[b][c]", Update::Insert(Insert::new(pat("a[b]"), doc("c")))),
+    ];
+    for (r_src, u) in cases {
+        let r = Read::new(pat(r_src));
+        let out = brute::find_witness(&r, &u, Semantics::Node, brute::Budget::default());
+        let brute::SearchOutcome::Conflict(w) = out else {
+            panic!("{r_src}: expected conflict");
+        };
+        assert!(w.live_count() <= brute::lemma11_bound(&r, &u));
+    }
+}
+
+// ---------------------------------------------------------------- Theorems 4 & 6
+
+/// Theorem 4 on the paper's own format: conflict ⇔ p ⊄ p', via the
+/// constructed Figure 7d witness.
+#[test]
+fn theorem4_insert_reduction() {
+    let p = pat("a//b");
+    let q = pat("a/b");
+    assert!(!containment::contains(&p, &q));
+    let (r, i) = reduction::insert_instance(&p, &q);
+    let t_p = containment::find_counterexample(&p, &q, 4).unwrap();
+    let w = reduction::insert_witness_from_counterexample(&p, &q, &t_p);
+    assert!(witness::witnesses_insert_conflict(&r, &i, &w, Semantics::Node));
+    // R(W) = ∅ and R(I(W)) = {root}: exactly the proof's shape.
+    assert!(r.eval(&w).is_empty());
+    let (after, _) = i.apply_to_copy(&w);
+    assert_eq!(r.eval(&after), vec![w.root()]);
+}
+
+/// Theorem 6, same drill for deletions, Figure 8c witness.
+#[test]
+fn theorem6_delete_reduction() {
+    let p = pat("a//b");
+    let q = pat("a/b");
+    let (r, d) = reduction::delete_instance(&p, &q);
+    let t_p = containment::find_counterexample(&p, &q, 4).unwrap();
+    let w = reduction::delete_witness_from_counterexample(&p, &q, &t_p);
+    assert!(witness::witnesses_delete_conflict(&r, &d, &w, Semantics::Node));
+    // R(W) = {root}, R(D(W)) = ∅.
+    assert_eq!(r.eval(&w), vec![w.root()]);
+    let (after, _) = d.apply_to_copy(&w);
+    assert!(r.eval(&after).is_empty());
+}
+
+/// Contained pairs yield conflict-free reduced instances (both theorems).
+#[test]
+fn reductions_silent_when_contained() {
+    let battery = [("a/b", "a//b"), ("a[b][c]", "a[b]"), ("a/b", "a/*")];
+    let budget = brute::Budget {
+        max_nodes: 4,
+        max_trees: 3_000_000,
+    };
+    for (p_src, q_src) in battery {
+        let p = pat(p_src);
+        let q = pat(q_src);
+        assert!(containment::contains(&p, &q));
+        let (r, i) = reduction::insert_instance(&p, &q);
+        assert!(matches!(
+            brute::find_witness(&r, &Update::Insert(i), Semantics::Node, budget),
+            brute::SearchOutcome::NoConflictWithin(_)
+        ));
+        let (r2, d) = reduction::delete_instance(&p, &q);
+        assert!(matches!(
+            brute::find_witness(&r2, &Update::Delete(d), Semantics::Node, budget),
+            brute::SearchOutcome::NoConflictWithin(_)
+        ));
+    }
+}
+
+// ---------------------------------------------------------------- §6 remarks
+
+/// §6: identical insertions do not conflict under value semantics.
+#[test]
+fn section6_identical_inserts() {
+    use cxu::core::update_update;
+    let u = Update::Insert(Insert::new(pat("a//b"), doc("x(y)")));
+    assert!(matches!(
+        update_update::find_noncommuting_witness(&u, &u, Default::default()),
+        update_update::Outcome::NoConflictWithin(_)
+    ));
+}
+
+/// §6: the satisfiability-style observation — a read selecting all nodes
+/// conflicts with *every* satisfiable delete that shares its root space.
+#[test]
+fn section6_satisfiability_encoding() {
+    let read_all = Read::new(pat("*//*")); // every non-root node (plus root via */…)
+    for d_src in ["*/q", "a/b/c", "*//x[y]"] {
+        let d = Delete::new(pat(d_src)).unwrap();
+        assert!(
+            detect::read_delete_conflict(&read_all, &d, Semantics::Node).unwrap(),
+            "{d_src} is satisfiable, so it must conflict with a read of all nodes"
+        );
+    }
+}
