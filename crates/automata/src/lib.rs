@@ -334,11 +334,7 @@ mod tests {
         assert!(x.intersects(&y));
         // a/b vs a/*/b : no (length mismatch, no gaps).
         let p = Nfa::from_steps(&steps(&[(false, Some(1)), (false, Some(2))]));
-        let q = Nfa::from_steps(&steps(&[
-            (false, Some(1)),
-            (false, None),
-            (false, Some(2)),
-        ]));
+        let q = Nfa::from_steps(&steps(&[(false, Some(1)), (false, None), (false, Some(2))]));
         assert!(!p.intersects(&q));
     }
 

@@ -1,27 +1,29 @@
 //! Property tests: the product intersection agrees with brute-force word
 //! search, and language operations behave algebraically.
 
+// Gated: needs the external `proptest` crate (see the workspace
+// Cargo.toml note on hermetic builds).
+#![cfg(feature = "proptest")]
+
 use cxu_automata::{Label, Nfa, Step};
 use proptest::prelude::*;
 
 type S = u8;
 
 fn arb_steps() -> impl Strategy<Value = Vec<Step<S>>> {
-    proptest::collection::vec(
-        (proptest::bool::ANY, proptest::option::of(0u8..3)),
-        1..6,
+    proptest::collection::vec((proptest::bool::ANY, proptest::option::of(0u8..3)), 1..6).prop_map(
+        |spec| {
+            spec.into_iter()
+                .map(|(gap, l)| Step {
+                    gap,
+                    label: match l {
+                        Some(s) => Label::Sym(s),
+                        None => Label::Any,
+                    },
+                })
+                .collect()
+        },
     )
-    .prop_map(|spec| {
-        spec.into_iter()
-            .map(|(gap, l)| Step {
-                gap,
-                label: match l {
-                    Some(s) => Label::Sym(s),
-                    None => Label::Any,
-                },
-            })
-            .collect()
-    })
 }
 
 /// All words over {0,1,2,9} up to length `max` (9 = fresh letter).

@@ -1,0 +1,80 @@
+//! cxu-sched: batch conflict-graph analysis — scaling in batch size and
+//! in worker count, plus the memo cache's effect on repeated batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cxu::gen::patterns::PatternParams;
+use cxu::gen::program::{random_program, ProgramParams};
+use cxu::gen::rng::SplitMix64;
+use cxu::sched::{ops_of_program, Op, SchedConfig, Scheduler};
+use std::hint::black_box;
+
+fn batch(len: usize, seed: u64) -> Vec<Op> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let p = random_program(
+        &mut rng,
+        &ProgramParams {
+            len,
+            update_rate: 0.5,
+            delete_rate: 0.4,
+            pattern: PatternParams {
+                nodes: 4,
+                alphabet: 6,
+                branch_rate: 0.0,
+                ..PatternParams::default()
+            },
+        },
+    );
+    ops_of_program(&p)
+}
+
+fn cfg(jobs: usize) -> SchedConfig {
+    SchedConfig {
+        jobs,
+        np_max_trees: 2_000,
+        ..SchedConfig::default()
+    }
+}
+
+/// Wall-clock vs batch size (pairs grow quadratically).
+fn bench_batch_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_batch_size");
+    for &n in &[50usize, 100, 200, 400] {
+        let ops = batch(n, 0xBA5E + n as u64);
+        g.throughput(Throughput::Elements((n * (n - 1) / 2) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Scheduler::new(cfg(1)).run(black_box(&ops))))
+        });
+    }
+    g.finish();
+}
+
+/// Wall-clock vs worker count on a fixed 300-op batch.
+fn bench_workers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_workers");
+    let ops = batch(300, 0x90B5);
+    for &jobs in &[1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, _| {
+            b.iter(|| black_box(Scheduler::new(cfg(jobs)).run(black_box(&ops))))
+        });
+    }
+    g.finish();
+}
+
+/// Cold vs warm scheduler on the same batch: the price the memo cache
+/// removes from steady-state traffic.
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_cache");
+    let ops = batch(200, 0xCAC4E);
+    g.bench_function("cold", |b| {
+        b.iter(|| black_box(Scheduler::new(cfg(1)).run(black_box(&ops))))
+    });
+    g.bench_function("warm", |b| {
+        let mut s = Scheduler::new(cfg(1));
+        s.run(&ops);
+        b.iter(|| black_box(s.run(black_box(&ops))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_size, bench_workers, bench_cache);
+criterion_main!(benches);

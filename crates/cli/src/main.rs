@@ -30,9 +30,11 @@ USAGE:
   cxu eval    --pattern <xpath> --doc <D>
   cxu contain --sub <xpath> --sup <xpath>
   cxu analyze --program <file|source>
+  cxu schedule --program <file|source> [--jobs N] [--semantics S]
+               [--format text|json|dot]
   cxu dot     (--pattern <xpath> | --doc <D>)
 
-  S = node | tree | value        (default: node)
+  S = node | tree | value        (default: node; schedule defaults to value)
   D = inline term like 'a(b c)', or a path to a .xml / .tree file
 
 EXAMPLES:
@@ -40,7 +42,13 @@ EXAMPLES:
   cxu witness --read 'x//C' --insert 'x/B' --subtree 'C' --doc 'x(B)'
   cxu eval --pattern 'inventory/book[.//quantity]' --doc inventory.xml
   cxu contain --sub 'a/b' --sup 'a//b'
+  cxu schedule --program 'y = read $x//A; insert $x/B, C; z = read $x//C'
 ";
+
+/// Flags that never take a value. Every other flag consumes the next
+/// argument verbatim — even one starting with `--`, so values like a
+/// label literally named `--x` parse correctly.
+const BOOL_FLAGS: &[&str] = &["minimize"];
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -54,16 +62,20 @@ impl Args {
         let mut i = 0;
         while i < argv.len() {
             let a = &argv[i];
-            if let Some(name) = a.strip_prefix("--") {
-                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
-                    flags.push((name.to_owned(), argv[i + 1].clone()));
-                    i += 2;
-                } else {
-                    bools.push(name.to_owned());
-                    i += 1;
-                }
-            } else {
+            let Some(name) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument: {a}"));
+            };
+            if let Some((n, v)) = name.split_once('=') {
+                flags.push((n.to_owned(), v.to_owned()));
+                i += 1;
+            } else if BOOL_FLAGS.contains(&name) {
+                bools.push(name.to_owned());
+                i += 1;
+            } else if i + 1 < argv.len() {
+                flags.push((name.to_owned(), argv[i + 1].clone()));
+                i += 2;
+            } else {
+                return Err(format!("flag --{name} requires a value"));
             }
         }
         Ok(Args { flags, bools })
@@ -135,8 +147,8 @@ fn cmd_check(args: &Args) -> Result<String, String> {
     let update = parse_update(args)?;
     let sem = parse_semantics(args)?;
     if read.pattern().is_linear() {
-        let conflict = detect::read_update_conflict(&read, &update, sem)
-            .expect("linearity checked");
+        let conflict =
+            detect::read_update_conflict(&read, &update, sem).expect("linearity checked");
         let mut out = format!(
             "{} ({:?} semantics, PTIME detector, Theorems 1-2)",
             if conflict { "CONFLICT" } else { "independent" },
@@ -186,7 +198,11 @@ fn cmd_witness(args: &Args) -> Result<String, String> {
     let is_witness = witness::witnesses_update_conflict(&read, &update, &doc, sem);
     let mut out = format!(
         "document {} a {:?}-semantics conflict",
-        if is_witness { "WITNESSES" } else { "does not witness" },
+        if is_witness {
+            "WITNESSES"
+        } else {
+            "does not witness"
+        },
         sem
     );
     if is_witness && args.has("minimize") {
@@ -240,18 +256,22 @@ fn cmd_dot(args: &Args) -> Result<String, String> {
     }
 }
 
-fn cmd_analyze(args: &Args) -> Result<String, String> {
-    use cxu::gen::analysis::{conflict_matrix, cse_pairs, hoistable};
-    use cxu::gen::parse::{parse_program, to_source};
-    use cxu::gen::program::Stmt;
-
+fn load_program(args: &Args) -> Result<cxu::gen::program::Program, String> {
     let spec = args.require("program")?;
     let src = if std::path::Path::new(spec).exists() {
         std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?
     } else {
         spec.to_owned()
     };
-    let program = parse_program(&src).map_err(|e| e.to_string())?;
+    cxu::gen::parse::parse_program(&src).map_err(|e| e.to_string())
+}
+
+fn cmd_analyze(args: &Args) -> Result<String, String> {
+    use cxu::gen::analysis::{conflict_matrix, cse_pairs, hoistable};
+    use cxu::gen::parse::to_source;
+    use cxu::gen::program::Stmt;
+
+    let program = load_program(args)?;
 
     let mut out = String::from("program:\n");
     for (i, line) in to_source(&program).lines().enumerate() {
@@ -260,7 +280,9 @@ fn cmd_analyze(args: &Args) -> Result<String, String> {
 
     out.push_str("\nconflict matrix (update → later read):\n");
     for v in conflict_matrix(&program, Semantics::Node) {
-        let Stmt::Read(r) = &program.stmts[v.read] else { unreachable!() };
+        let Stmt::Read(r) = &program.stmts[v.read] else {
+            unreachable!()
+        };
         let u = match &program.stmts[v.update] {
             Stmt::Update(u) => u,
             _ => unreachable!(),
@@ -271,17 +293,140 @@ fn cmd_analyze(args: &Args) -> Result<String, String> {
             u.pattern(),
             v.read,
             r.pattern(),
-            if v.independent { "independent" } else { "CONFLICT" }
+            if v.independent {
+                "independent"
+            } else {
+                "CONFLICT"
+            }
         ));
     }
 
     let hoists = hoistable(&program);
-    out.push_str(&format!(
-        "\nhoistable reads (tree semantics): {hoists:?}\n"
-    ));
+    out.push_str(&format!("\nhoistable reads (tree semantics): {hoists:?}\n"));
     let cse = cse_pairs(&program);
     out.push_str(&format!("CSE-reusable read pairs: {cse:?}\n"));
     Ok(out)
+}
+
+fn cmd_schedule(args: &Args) -> Result<String, String> {
+    use cxu::sched::{ops_of_program, Detector, SchedConfig, Scheduler};
+
+    let program = load_program(args)?;
+    let ops = ops_of_program(&program);
+
+    let mut cfg = SchedConfig {
+        semantics: Semantics::Value,
+        ..SchedConfig::default()
+    };
+    if args.get("semantics").is_some() {
+        cfg.semantics = parse_semantics(args)?;
+    }
+    if let Some(j) = args.get("jobs") {
+        cfg.jobs = j
+            .parse::<usize>()
+            .ok()
+            .filter(|&j| j >= 1)
+            .ok_or_else(|| format!("bad --jobs '{j}' (want a positive integer)"))?;
+    }
+    let out = Scheduler::new(cfg).run(&ops);
+
+    let detector_name = |d: Detector| match d {
+        Detector::Trivial => "trivial",
+        Detector::PtimeLinearRead => "ptime-linear-read",
+        Detector::PtimeLinearUpdates => "ptime-linear-updates",
+        Detector::WitnessSearch => "witness-search",
+        Detector::ConservativeUndecided => "conservative-undecided",
+    };
+
+    match args.get("format").unwrap_or("text") {
+        "text" => {
+            let mut s = String::from("ops:\n");
+            for (i, op) in ops.iter().enumerate() {
+                s.push_str(&format!("  {i}: {op}\n"));
+            }
+            s.push_str("\nconflict edges:\n");
+            let conflicts: Vec<_> = out
+                .graph
+                .edges()
+                .iter()
+                .filter(|e| e.verdict.conflict)
+                .collect();
+            if conflicts.is_empty() {
+                s.push_str("  (none — the whole batch is one round)\n");
+            }
+            for e in conflicts {
+                s.push_str(&format!(
+                    "  {} -- {}  [{}{}]\n",
+                    e.a,
+                    e.b,
+                    detector_name(e.verdict.detector),
+                    if e.cached { ", cached" } else { "" }
+                ));
+            }
+            s.push_str("\nrounds:\n");
+            for (k, round) in out.schedule.rounds.iter().enumerate() {
+                s.push_str(&format!("  {k}: {round:?}\n"));
+            }
+            s.push_str(&format!("\n{}", out.stats));
+            Ok(s)
+        }
+        "json" => {
+            let mut s = String::from("{\n  \"rounds\": [");
+            for (k, round) in out.schedule.rounds.iter().enumerate() {
+                if k > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "[{}]",
+                    round
+                        .iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            s.push_str("],\n  \"conflicts\": [");
+            let mut first = true;
+            for e in out.graph.edges().iter().filter(|e| e.verdict.conflict) {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!(
+                    "\n    {{\"a\": {}, \"b\": {}, \"detector\": \"{}\", \"cached\": {}}}",
+                    e.a,
+                    e.b,
+                    detector_name(e.verdict.detector),
+                    e.cached
+                ));
+            }
+            if !first {
+                s.push_str("\n  ");
+            }
+            let st = &out.stats;
+            s.push_str(&format!(
+                "],\n  \"stats\": {{\"ops\": {}, \"pairs_total\": {}, \"trivial\": {}, \
+                 \"pairs_analyzed\": {}, \"cache_hits\": {}, \"ptime_linear_read\": {}, \
+                 \"ptime_linear_updates\": {}, \"witness_search\": {}, \"conservative\": {}, \
+                 \"conflict_edges\": {}, \"rounds\": {}, \"jobs\": {}}}\n}}",
+                st.ops,
+                st.pairs_total,
+                st.trivial,
+                st.pairs_analyzed,
+                st.cache_hits,
+                st.ptime_linear_read,
+                st.ptime_linear_updates,
+                st.witness_search,
+                st.conservative,
+                st.conflict_edges,
+                st.rounds,
+                st.jobs
+            ));
+            Ok(s)
+        }
+        "dot" => Ok(out.graph.to_dot(&ops, "conflicts")),
+        other => Err(format!("unknown format '{other}' (text|json|dot)")),
+    }
 }
 
 fn run() -> Result<String, String> {
@@ -296,6 +441,7 @@ fn run() -> Result<String, String> {
         "eval" => cmd_eval(&args),
         "contain" => cmd_contain(&args),
         "analyze" => cmd_analyze(&args),
+        "schedule" => cmd_schedule(&args),
         "dot" => cmd_dot(&args),
         "help" | "--help" | "-h" => Ok(USAGE.into()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),

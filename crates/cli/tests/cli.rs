@@ -19,7 +19,15 @@ fn stderr(out: &Output) -> String {
 
 #[test]
 fn check_conflict_linear() {
-    let out = cxu(&["check", "--read", "x//C", "--insert", "x/B", "--subtree", "C"]);
+    let out = cxu(&[
+        "check",
+        "--read",
+        "x//C",
+        "--insert",
+        "x/B",
+        "--subtree",
+        "C",
+    ]);
     assert!(out.status.success());
     let s = stdout(&out);
     assert!(s.contains("CONFLICT"), "{s}");
@@ -28,7 +36,15 @@ fn check_conflict_linear() {
 
 #[test]
 fn check_independent_linear() {
-    let out = cxu(&["check", "--read", "x//D", "--insert", "x/B", "--subtree", "C"]);
+    let out = cxu(&[
+        "check",
+        "--read",
+        "x//D",
+        "--insert",
+        "x/B",
+        "--subtree",
+        "C",
+    ]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("independent"));
 }
@@ -43,18 +59,41 @@ fn check_delete() {
 #[test]
 fn check_semantics_flag() {
     // Node-independent but tree-conflicting pair.
-    let node = cxu(&["check", "--read", "a/b", "--insert", "a/b/c", "--subtree", "x"]);
+    let node = cxu(&[
+        "check",
+        "--read",
+        "a/b",
+        "--insert",
+        "a/b/c",
+        "--subtree",
+        "x",
+    ]);
     assert!(stdout(&node).contains("independent"));
     let tree = cxu(&[
-        "check", "--read", "a/b", "--insert", "a/b/c", "--subtree", "x",
-        "--semantics", "tree",
+        "check",
+        "--read",
+        "a/b",
+        "--insert",
+        "a/b/c",
+        "--subtree",
+        "x",
+        "--semantics",
+        "tree",
     ]);
     assert!(stdout(&tree).contains("CONFLICT"), "{}", stdout(&tree));
 }
 
 #[test]
 fn check_branching_read_uses_search() {
-    let out = cxu(&["check", "--read", "a[b][c]", "--insert", "a[b]", "--subtree", "c"]);
+    let out = cxu(&[
+        "check",
+        "--read",
+        "a[b][c]",
+        "--insert",
+        "a[b]",
+        "--subtree",
+        "c",
+    ]);
     assert!(out.status.success());
     let s = stdout(&out);
     assert!(s.contains("CONFLICT") && s.contains("exhaustive"), "{s}");
@@ -63,8 +102,16 @@ fn check_branching_read_uses_search() {
 #[test]
 fn witness_and_minimize() {
     let out = cxu(&[
-        "witness", "--read", "x//C", "--insert", "x/B", "--subtree", "C",
-        "--doc", "x(B(pad) junk(j1 j2))", "--minimize",
+        "witness",
+        "--read",
+        "x//C",
+        "--insert",
+        "x/B",
+        "--subtree",
+        "C",
+        "--doc",
+        "x(B(pad) junk(j1 j2))",
+        "--minimize",
     ]);
     assert!(out.status.success());
     let s = stdout(&out);
@@ -76,8 +123,15 @@ fn witness_and_minimize() {
 #[test]
 fn witness_negative() {
     let out = cxu(&[
-        "witness", "--read", "x//C", "--insert", "x/B", "--subtree", "C",
-        "--doc", "x(D)",
+        "witness",
+        "--read",
+        "x//C",
+        "--insert",
+        "x/B",
+        "--subtree",
+        "C",
+        "--doc",
+        "x(D)",
     ]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("does not witness"));
@@ -96,9 +150,19 @@ fn eval_xml_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("doc.xml");
     std::fs::write(&path, "<inv><book><q/></book><book/></inv>").unwrap();
-    let out = cxu(&["eval", "--pattern", "inv/book[q]", "--doc", path.to_str().unwrap()]);
+    let out = cxu(&[
+        "eval",
+        "--pattern",
+        "inv/book[q]",
+        "--doc",
+        path.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
-    assert!(stdout(&out).contains("1 node(s) selected"), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("1 node(s) selected"),
+        "{}",
+        stdout(&out)
+    );
 }
 
 #[test]
@@ -143,7 +207,8 @@ fn no_args_prints_usage() {
 #[test]
 fn analyze_inline_program() {
     let out = cxu(&[
-        "analyze", "--program",
+        "analyze",
+        "--program",
         "y = read $x//A; insert $x/B, <C/>; z = read $x//C; w = read $x//D",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -180,9 +245,107 @@ fn dot_export() {
     let p = cxu(&["dot", "--pattern", "a[.//c]/b"]);
     assert!(p.status.success());
     let s = stdout(&p);
-    assert!(s.starts_with("digraph") && s.contains("style=dashed"), "{s}");
+    assert!(
+        s.starts_with("digraph") && s.contains("style=dashed"),
+        "{s}"
+    );
     let t = cxu(&["dot", "--doc", "a(b c(d))"]);
     assert!(stdout(&t).matches("->").count() == 3);
     let neither = cxu(&["dot"]);
     assert!(!neither.status.success());
+}
+
+#[test]
+fn flag_value_starting_with_dashes() {
+    // A label literally named `--x`: the old parser treated the flag as
+    // boolean whenever the next argument started with `--`.
+    let out = cxu(&["dot", "--doc", "--x(b)"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("--x"), "{}", stdout(&out));
+    // Also as an inserted subtree.
+    let w = cxu(&[
+        "witness",
+        "--read",
+        "x//--x",
+        "--insert",
+        "x/B",
+        "--subtree",
+        "--x",
+        "--doc",
+        "x(B)",
+    ]);
+    assert!(w.status.success(), "{}", stderr(&w));
+    assert!(stdout(&w).contains("WITNESSES"), "{}", stdout(&w));
+}
+
+#[test]
+fn flag_equals_value_form() {
+    let out = cxu(&[
+        "check",
+        "--read=a/b",
+        "--insert=a/b/c",
+        "--subtree=x",
+        "--semantics=tree",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("CONFLICT"), "{}", stdout(&out));
+}
+
+#[test]
+fn missing_flag_value_is_an_error() {
+    let out = cxu(&["eval", "--pattern", "a/b", "--doc"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("requires a value"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn schedule_text() {
+    let out = cxu(&[
+        "schedule",
+        "--program",
+        "y = read $x//A; insert $x/B, C; z = read $x//C",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("rounds:"), "{s}");
+    assert!(s.contains("0: [0, 1]"), "{s}");
+    assert!(s.contains("1: [2]"), "{s}");
+    assert!(s.contains("ptime-linear-read"), "{s}");
+}
+
+#[test]
+fn schedule_json_and_dot() {
+    let prog = "y = read $x//A; insert $x/B, C; z = read $x//C";
+    let json = cxu(&[
+        "schedule",
+        "--program",
+        prog,
+        "--format",
+        "json",
+        "--jobs",
+        "2",
+    ]);
+    assert!(json.status.success(), "{}", stderr(&json));
+    let s = stdout(&json);
+    assert!(s.contains("\"rounds\": [[0, 1], [2]]"), "{s}");
+    assert!(s.contains("\"detector\": \"ptime-linear-read\""), "{s}");
+    assert!(s.contains("\"jobs\": 2"), "{s}");
+    let dot = cxu(&["schedule", "--program", prog, "--format", "dot"]);
+    assert!(dot.status.success());
+    let d = stdout(&dot);
+    assert!(d.starts_with("graph conflicts {"), "{d}");
+    assert!(d.contains("n1 -- n2"), "{d}");
+}
+
+#[test]
+fn schedule_rejects_bad_jobs_and_format() {
+    let prog = "insert $x/B, C";
+    let bad_jobs = cxu(&["schedule", "--program", prog, "--jobs", "0"]);
+    assert!(!bad_jobs.status.success());
+    let bad_fmt = cxu(&["schedule", "--program", prog, "--format", "yaml"]);
+    assert!(!bad_fmt.status.success());
 }

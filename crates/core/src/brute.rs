@@ -14,8 +14,8 @@
 //! smaller budget a `Conflict` answer is still definite while
 //! `NoConflictWithin` is only "no witness up to this size".
 
-use cxu_ops::{Read, Semantics, Update};
 use cxu_ops::witness::witnesses_update_conflict;
+use cxu_ops::{Read, Semantics, Update};
 use cxu_tree::enumerate::{count_trees, enumerate_trees};
 use cxu_tree::{Symbol, Tree};
 

@@ -410,7 +410,12 @@ mod tests {
         let u = Update::Insert(ins("a/b/c", "x"));
         let e = explain(&r, &u, Semantics::Tree).expect("tree conflict");
         assert_eq!(e.edge, None);
-        assert!(witnesses_update_conflict(&r, &u, &e.witness, Semantics::Tree));
+        assert!(witnesses_update_conflict(
+            &r,
+            &u,
+            &e.witness,
+            Semantics::Tree
+        ));
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl fmt::Display for DetectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DetectError::ReadNotLinear => {
-                write!(f, "the PTIME detectors require a linear read pattern (P^{{//,*}})")
+                write!(
+                    f,
+                    "the PTIME detectors require a linear read pattern (P^{{//,*}})"
+                )
             }
         }
     }
@@ -56,11 +59,7 @@ impl std::error::Error for DetectError {}
 /// Does the read conflict with the deletion under `sem`, over **all**
 /// trees? (Definition 4 quantifies over witnesses; this decides existence
 /// without search.) The read must be linear; the delete may branch.
-pub fn read_delete_conflict(
-    r: &Read,
-    d: &Delete,
-    sem: Semantics,
-) -> Result<bool, DetectError> {
+pub fn read_delete_conflict(r: &Read, d: &Delete, sem: Semantics) -> Result<bool, DetectError> {
     if !r.pattern().is_linear() {
         return Err(DetectError::ReadNotLinear);
     }
@@ -90,11 +89,7 @@ pub fn read_delete_conflict(
 
 /// Does the read conflict with the insertion under `sem`, over all trees
 /// (Definition 3)? The read must be linear; the insert may branch.
-pub fn read_insert_conflict(
-    r: &Read,
-    i: &Insert,
-    sem: Semantics,
-) -> Result<bool, DetectError> {
+pub fn read_insert_conflict(r: &Read, i: &Insert, sem: Semantics) -> Result<bool, DetectError> {
     if !r.pattern().is_linear() {
         return Err(DetectError::ReadNotLinear);
     }
@@ -113,9 +108,7 @@ pub fn read_insert_conflict(
         match read.axis(n_prime).expect("non-root spine node") {
             // Cut-edge conditions (Lemma 6).
             Axis::Child => pm.strong(j - 1) && eval::can_embed_at(&suffix, x, x.root()),
-            Axis::Descendant => {
-                pm.weak(j - 1) && !eval::embed_anchors(&suffix, x).is_empty()
-            }
+            Axis::Descendant => pm.weak(j - 1) && !eval::embed_anchors(&suffix, x).is_empty(),
         }
     });
 
@@ -127,11 +120,7 @@ pub fn read_insert_conflict(
 }
 
 /// Unified entry point for any update.
-pub fn read_update_conflict(
-    r: &Read,
-    u: &Update,
-    sem: Semantics,
-) -> Result<bool, DetectError> {
+pub fn read_update_conflict(r: &Read, u: &Update, sem: Semantics) -> Result<bool, DetectError> {
     match u {
         Update::Insert(i) => read_insert_conflict(r, i, sem),
         Update::Delete(d) => read_delete_conflict(r, d, sem),

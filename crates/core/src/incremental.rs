@@ -48,7 +48,11 @@ impl IncrementalRead {
         }
         let steps = to_steps(read.pattern());
         let result = read.eval(t);
-        Ok(IncrementalRead { read, steps, result })
+        Ok(IncrementalRead {
+            read,
+            steps,
+            result,
+        })
     }
 
     /// The maintained result set (sorted node ids).
@@ -182,7 +186,10 @@ mod tests {
         assert!(inc.result().is_empty());
         inc.apply_insert(&mut t, &ins("a/b", "x(y(f))"));
         assert_eq!(inc.result().len(), 1);
-        assert_eq!(inc.result(), eval::eval(inc.read().pattern(), &t).as_slice());
+        assert_eq!(
+            inc.result(),
+            eval::eval(inc.read().pattern(), &t).as_slice()
+        );
     }
 
     #[test]
@@ -199,7 +206,10 @@ mod tests {
         let mut inc = IncrementalRead::new(read("a/b/c"), &t).unwrap();
         inc.apply_insert(&mut t, &ins("a/b", "c"));
         assert_eq!(inc.result().len(), 3);
-        assert_eq!(inc.result(), eval::eval(inc.read().pattern(), &t).as_slice());
+        assert_eq!(
+            inc.result(),
+            eval::eval(inc.read().pattern(), &t).as_slice()
+        );
     }
 
     #[test]
@@ -209,7 +219,10 @@ mod tests {
         let mut inc = IncrementalRead::new(read("a//m//f"), &t).unwrap();
         inc.apply_insert(&mut t, &ins("a/x/m/b", "q(w(f))"));
         assert_eq!(inc.result().len(), 1);
-        assert_eq!(inc.result(), eval::eval(inc.read().pattern(), &t).as_slice());
+        assert_eq!(
+            inc.result(),
+            eval::eval(inc.read().pattern(), &t).as_slice()
+        );
     }
 
     #[test]
@@ -219,7 +232,10 @@ mod tests {
         assert_eq!(inc.result().len(), 2);
         inc.apply_delete(&mut t, &del("a/b"));
         assert_eq!(inc.result().len(), 1);
-        assert_eq!(inc.result(), eval::eval(inc.read().pattern(), &t).as_slice());
+        assert_eq!(
+            inc.result(),
+            eval::eval(inc.read().pattern(), &t).as_slice()
+        );
     }
 
     #[test]
@@ -253,7 +269,10 @@ mod tests {
         let mut inc = IncrementalRead::new(read("a/*/*"), &t).unwrap();
         inc.apply_insert(&mut t, &ins("a/b", "anything"));
         assert_eq!(inc.result().len(), 1);
-        assert_eq!(inc.result(), eval::eval(inc.read().pattern(), &t).as_slice());
+        assert_eq!(
+            inc.result(),
+            eval::eval(inc.read().pattern(), &t).as_slice()
+        );
     }
 
     #[test]

@@ -298,11 +298,7 @@ pub fn match_word(l: &Pattern, l_prime: &Pattern, kind: MatchKind) -> Option<(Ve
                     // For strong matches, (m, k) may only be entered by a
                     // simultaneous double advance (both consume their
                     // final symbol on this letter).
-                    if kind == MatchKind::Strong
-                        && ni == m
-                        && nj == k
-                        && !(du == 1 && dr == 1)
-                    {
+                    if kind == MatchKind::Strong && ni == m && nj == k && !(du == 1 && dr == 1) {
                         continue;
                     }
                     if !seen[enc(ni, nj)] {

@@ -96,11 +96,7 @@ pub fn delete_instance(p: &Pattern, p_prime: &Pattern) -> (Read, Delete) {
 ///
 /// Useful for demonstrations: when `p ⊄ p'`, this tree witnesses the
 /// conflict between [`insert_instance`]'s operations.
-pub fn insert_witness_from_counterexample(
-    p: &Pattern,
-    p_prime: &Pattern,
-    t_p: &Tree,
-) -> Tree {
+pub fn insert_witness_from_counterexample(p: &Pattern, p_prime: &Pattern, t_p: &Tree) -> Tree {
     let (alpha, beta, gamma) = fresh_triple(p, p_prime);
     let mut w = Tree::new(alpha);
     let b1 = w.build_child(w.root(), beta);
@@ -113,11 +109,7 @@ pub fn insert_witness_from_counterexample(
 }
 
 /// Builds the Figure 8c witness for the delete reduction: `α( β(t_p) γ(𝕄_{p'}) )`.
-pub fn delete_witness_from_counterexample(
-    p: &Pattern,
-    p_prime: &Pattern,
-    t_p: &Tree,
-) -> Tree {
+pub fn delete_witness_from_counterexample(p: &Pattern, p_prime: &Pattern, t_p: &Tree) -> Tree {
     let (alpha, beta, gamma) = fresh_triple(p, p_prime);
     let mut w = Tree::new(alpha);
     let b = w.build_child(w.root(), beta);
@@ -173,7 +165,11 @@ mod tests {
         for (p_src, q_src, contained) in battery() {
             let p = pat(p_src);
             let q = pat(q_src);
-            assert_eq!(containment::contains(&p, &q), contained, "{p_src} ⊆ {q_src}");
+            assert_eq!(
+                containment::contains(&p, &q),
+                contained,
+                "{p_src} ⊆ {q_src}"
+            );
             let (r, i) = insert_instance(&p, &q);
             if !contained {
                 // Build the Figure 7d witness from a counterexample and
@@ -211,8 +207,8 @@ mod tests {
             let q = pat(q_src);
             let (r, d) = delete_instance(&p, &q);
             if !contained {
-                let t_p = containment::find_counterexample(&p, &q, 4)
-                    .expect("counterexample exists");
+                let t_p =
+                    containment::find_counterexample(&p, &q, 4).expect("counterexample exists");
                 let w = delete_witness_from_counterexample(&p, &q, &t_p);
                 assert!(
                     witnesses_delete_conflict(&r, &d, &w, Semantics::Node),

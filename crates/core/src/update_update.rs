@@ -13,8 +13,8 @@
 //! not to conflict falls out of the isomorphism comparison for free.
 
 use cxu_ops::Update;
-use cxu_tree::{iso, Symbol, Tree};
 use cxu_tree::enumerate::{count_trees, enumerate_trees};
+use cxu_tree::{iso, Symbol, Tree};
 
 /// Do `u1` and `u2` commute on `t` up to isomorphism —
 /// `u₁(u₂(t)) ≅ u₂(u₁(t))`?

@@ -65,16 +65,30 @@ impl Commutativity {
 /// (the general problem is conjectured NP-hard — use
 /// [`crate::update_update::find_noncommuting_witness`]).
 pub fn commutativity(u1: &Update, u2: &Update) -> Option<Commutativity> {
+    commutativity_with_budget(u1, u2, Budget::default())
+}
+
+/// [`commutativity`] with an explicit budget for the last-resort bounded
+/// enumeration. The PTIME cross-conflict analysis and the constructed
+/// witnesses are unaffected; only the fallback search is bounded, so a
+/// small budget trades `Conflict` answers on exotic pairs for fast
+/// `Unknown`s — callers needing throughput (batch scheduling) pick a
+/// small budget and treat `Unknown` conservatively.
+pub fn commutativity_with_budget(
+    u1: &Update,
+    u2: &Update,
+    budget: Budget,
+) -> Option<Commutativity> {
     if !u1.pattern().is_linear() || !u2.pattern().is_linear() {
         return None;
     }
     let r1 = Read::new(u1.pattern().clone());
     let r2 = Read::new(u2.pattern().clone());
 
-    let cross_12 = crate::detect::read_update_conflict(&r1, u2, Semantics::Node)
-        .expect("linearity checked");
-    let cross_21 = crate::detect::read_update_conflict(&r2, u1, Semantics::Node)
-        .expect("linearity checked");
+    let cross_12 =
+        crate::detect::read_update_conflict(&r1, u2, Semantics::Node).expect("linearity checked");
+    let cross_21 =
+        crate::detect::read_update_conflict(&r2, u1, Semantics::Node).expect("linearity checked");
 
     if !cross_12 && !cross_21 {
         // Point-stability argument: both orders select identical points
@@ -120,7 +134,7 @@ pub fn commutativity(u1: &Update, u2: &Update) -> Option<Commutativity> {
     }
 
     // Last resort: bounded enumeration.
-    match find_noncommuting_witness(u1, u2, Budget::default()) {
+    match find_noncommuting_witness(u1, u2, budget) {
         Outcome::Conflict(w) => Some(Commutativity::Conflict(w)),
         _ => Some(Commutativity::Unknown),
     }
@@ -168,7 +182,10 @@ mod tests {
         // insert adds an x below b, never a new a/b match — unless x's
         // root is labeled b!
         let u = ins("a/b", "x");
-        assert!(matches!(commutativity(&u, &u), Some(Commutativity::Commute)));
+        assert!(matches!(
+            commutativity(&u, &u),
+            Some(Commutativity::Commute)
+        ));
     }
 
     #[test]
@@ -267,11 +284,7 @@ mod tests {
             (ins("a/b", "x"), del("a/c")),
             (del("a/b/c"), ins("q//r", "s")),
         ];
-        let probes = [
-            "a(b c)",
-            "a(b(c) c(b))",
-            "a(b(c(d)) c(x) q(r))",
-        ];
+        let probes = ["a(b c)", "a(b(c) c(b))", "a(b(c(d)) c(x) q(r))"];
         for (u1, u2) in pairs {
             if let Some(Commutativity::Commute) = commutativity(&u1, &u2) {
                 for probe in probes {

@@ -81,7 +81,10 @@ fn mark(r: &Read, u: &Update, w: &Tree) -> Option<HashSet<NodeId>> {
             // the deletion selects (Theorem 5's u).
             let points: HashSet<NodeId> = {
                 let mut t2 = w.clone();
-                Update::Delete(d.clone()).apply(&mut t2).into_iter().collect()
+                Update::Delete(d.clone())
+                    .apply(&mut t2)
+                    .into_iter()
+                    .collect()
             };
             let mut chain: Vec<NodeId> = vec![v];
             chain.extend(w.ancestors(v));

@@ -53,6 +53,10 @@ pub use cxu_gen as gen;
 /// DTDs and schema-aware conflict detection (§6 extension).
 pub use cxu_schema as schema;
 
+/// Batch conflict-graph scheduling: memoized pairwise detection,
+/// parallel analysis, conflict-free rounds.
+pub use cxu_sched as sched;
+
 /// The PTIME detectors (re-exported from [`core`]).
 pub use cxu_core::detect;
 

@@ -77,9 +77,13 @@ pub fn hoistable(p: &Program) -> Vec<usize> {
 pub fn cse_pairs(p: &Program) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     for i in 0..p.stmts.len() {
-        let Stmt::Read(ri) = &p.stmts[i] else { continue };
+        let Stmt::Read(ri) = &p.stmts[i] else {
+            continue;
+        };
         'later: for j in i + 1..p.stmts.len() {
-            let Stmt::Read(rj) = &p.stmts[j] else { continue };
+            let Stmt::Read(rj) = &p.stmts[j] else {
+                continue;
+            };
             if !ri.pattern().structurally_eq(rj.pattern()) {
                 continue;
             }
@@ -140,7 +144,12 @@ mod tests {
 
     #[test]
     fn matrix_matches_section1() {
-        let p = prog(vec![read("x//A"), ins("x/B", "C"), read("x//C"), read("x//D")]);
+        let p = prog(vec![
+            read("x//A"),
+            ins("x/B", "C"),
+            read("x//C"),
+            read("x//D"),
+        ]);
         let m = conflict_matrix(&p, Semantics::Node);
         assert_eq!(m.len(), 2);
         assert!(!m[0].independent, "x//C conflicts");
@@ -200,9 +209,8 @@ mod tests {
     #[test]
     fn cse_observationally_sound_on_random_programs() {
         use crate::program::{random_program, ProgramParams};
+        use crate::rng::SplitMix64 as SmallRng;
         use crate::trees::{random_tree, TreeParams};
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
         for seed in 0..15u64 {
             let mut rng = SmallRng::seed_from_u64(seed);
             let p = random_program(&mut rng, &ProgramParams::default());

@@ -6,8 +6,8 @@
 //! at any scale. [`bibliography`] generates a flatter, citation-style
 //! corpus exercising deeper label variety.
 
+use crate::rng::Rng;
 use cxu_tree::Tree;
-use rand::Rng;
 
 /// Parameters for [`inventory`].
 #[derive(Clone, Debug)]
@@ -87,9 +87,8 @@ pub fn bibliography<R: Rng>(rng: &mut R, entries: usize) -> Tree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64 as SmallRng;
     use cxu_pattern::{eval, xpath};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn inventory_shape() {

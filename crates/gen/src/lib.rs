@@ -13,9 +13,12 @@
 //!   reads and updates over a document, used by the compiler-optimization
 //!   experiment (E9);
 //! * [`analysis`] — the §1 compiler itself: conflict matrices, hoistable
-//!   reads, and conflict-checked common subexpression elimination.
+//!   reads, and conflict-checked common subexpression elimination;
+//! * [`rng`] — the in-tree [`rng::SplitMix64`] PRNG every generator is
+//!   driven by (no external `rand` dependency, so the workspace builds
+//!   hermetically).
 //!
-//! Everything takes an explicit `rand::Rng` so benchmark runs are
+//! Everything takes an explicit [`rng::Rng`] so benchmark runs are
 //! reproducible from a seed.
 
 pub mod analysis;
@@ -23,4 +26,5 @@ pub mod docs;
 pub mod parse;
 pub mod patterns;
 pub mod program;
+pub mod rng;
 pub mod trees;

@@ -96,8 +96,7 @@ pub fn parse_program(src: &str) -> Result<Program, ProgramParseError> {
             stmts.push(Stmt::Update(Update::Insert(Insert::new(pattern, subtree))));
         } else if let Some(rest) = raw.strip_prefix("delete ") {
             let pattern = parse_doc_path(rest, stmt_no)?;
-            let del = Delete::new(pattern)
-                .map_err(|e| err(format!("invalid delete: {e}")))?;
+            let del = Delete::new(pattern).map_err(|e| err(format!("invalid delete: {e}")))?;
             stmts.push(Stmt::Update(Update::Delete(del)));
         } else if let Some((_var, rhs)) = raw.split_once('=') {
             let rhs = rhs.trim();
@@ -196,7 +195,9 @@ mod tests {
     #[test]
     fn predicates_in_paths() {
         let p = parse_program("insert $x/book[.//quantity/low], restock").unwrap();
-        let Stmt::Update(Update::Insert(i)) = &p.stmts[0] else { panic!() };
+        let Stmt::Update(Update::Insert(i)) = &p.stmts[0] else {
+            panic!()
+        };
         assert_eq!(i.pattern().len(), 4); // *, book, quantity, low
         assert_eq!(i.subtree().live_count(), 1);
     }

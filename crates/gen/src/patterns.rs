@@ -1,8 +1,8 @@
 //! Random tree patterns over `P^{//,[],*}` and `P^{//,*}`.
 
+use crate::rng::Rng;
 use cxu_pattern::{Axis, PNodeId, Pattern};
 use cxu_tree::Symbol;
-use rand::Rng;
 
 /// Shape parameters for [`random_pattern`].
 #[derive(Clone, Debug)]
@@ -109,8 +109,7 @@ pub fn random_delete_pattern<R: Rng>(rng: &mut R, params: &PatternParams) -> Pat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SplitMix64 as SmallRng;
 
     #[test]
     fn exact_node_count() {

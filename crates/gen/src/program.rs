@@ -16,9 +16,9 @@
 //! read/update pairs can a compiler prove independent?*
 
 use crate::patterns::{random_delete_pattern, random_pattern, PatternParams};
+use crate::rng::Rng;
 use cxu_ops::{Delete, Insert, Read, Update};
 use cxu_tree::Tree;
-use rand::Rng;
 
 /// One statement of the pidgin language.
 #[derive(Clone, Debug)]
@@ -162,10 +162,9 @@ pub fn motion_candidates(program: &Program) -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64 as SmallRng;
     use cxu_pattern::xpath::parse;
     use cxu_tree::text;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn section1_program() -> Program {
         Program {

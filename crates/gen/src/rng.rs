@@ -1,0 +1,165 @@
+//! A small in-tree PRNG, replacing the external `rand` dependency so the
+//! workspace builds hermetically (no network, no vendored crates).
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood, "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014): a 64-bit state advanced
+//! by a Weyl sequence and finalized with two xor-shift-multiply rounds.
+//! It passes BigCrush, is trivially seedable from a `u64`, and — the
+//! property the generators here actually need — is *deterministic and
+//! stable across platforms*, so every benchmark instance and randomized
+//! test reproduces from its seed.
+//!
+//! The [`Rng`] trait mirrors the subset of `rand::Rng` the workspace
+//! used (`gen_bool`, `gen_range` over `usize` ranges), so the generator
+//! modules keep their shape. [`SplitMix64::seed_from_u64`] mirrors
+//! `SeedableRng::seed_from_u64`; old call sites typically just swap
+//! `rand::rngs::SmallRng` for [`SplitMix64`].
+
+/// The random-number interface the workload generators consume.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 explicit mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A uniformly random value from a non-empty range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> usize
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can draw from.
+pub trait SampleRange {
+    /// Draws a uniform sample; panics on an empty range.
+    fn sample<R: Rng>(self, rng: &mut R) -> usize;
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    fn sample<R: Rng>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + uniform_below(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    fn sample<R: Rng>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        lo + uniform_below(rng, (hi - lo + 1) as u64) as usize
+    }
+}
+
+/// Unbiased sample from `[0, n)` by widening multiply with rejection
+/// (Lemire's method).
+fn uniform_below<R: Rng>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (n as u128);
+        let low = m as u64;
+        if low >= n && low < n.wrapping_neg() % n + n {
+            continue; // reject the biased sliver
+        }
+        if low >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// SplitMix64: 64 bits of state, one add + two xor-shift-multiplies per
+/// output. Deterministic and portable.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator. Named to match `rand::SeedableRng` so call
+    /// sites read identically.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values() {
+        // First outputs for seed 1234567, from the SplitMix64 reference
+        // implementation.
+        let mut rng = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let mut buckets = [0usize; 7];
+        for _ in 0..70_000 {
+            buckets[rng.gen_range(0..7)] += 1;
+        }
+        for &b in &buckets {
+            assert!((9_000..11_000).contains(&b), "{buckets:?}");
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Random unordered labeled trees.
 
+use crate::rng::Rng;
 use cxu_tree::{NodeId, Symbol, Tree};
-use rand::Rng;
 
 /// Shape parameters for [`random_tree`].
 #[derive(Clone, Debug)]
@@ -74,8 +74,7 @@ pub fn random_node<R: Rng>(rng: &mut R, t: &Tree) -> NodeId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SplitMix64 as SmallRng;
 
     #[test]
     fn exact_node_count() {

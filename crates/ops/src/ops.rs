@@ -201,7 +201,10 @@ mod tests {
     fn insert_at_every_point() {
         // The paper's Figure 1 example: restock every low-quantity book.
         let mut t = text::parse("inv(book(q) book(q) book)").unwrap();
-        let ins = Insert::new(parse("inv/book[q]").unwrap(), text::parse("restock").unwrap());
+        let ins = Insert::new(
+            parse("inv/book[q]").unwrap(),
+            text::parse("restock").unwrap(),
+        );
         let points = ins.apply(&mut t);
         assert_eq!(points.len(), 2);
         let restocked = t

@@ -41,15 +41,11 @@ pub fn witnesses_update_conflict(r: &Read, u: &Update, t: &Tree, sem: Semantics)
 
     match sem {
         Semantics::Node => before != after,
-        Semantics::Tree => {
-            before != after || after.iter().any(|&n| t2.subtree_modified(n))
-        }
+        Semantics::Tree => before != after || after.iter().any(|&n| t2.subtree_modified(n)),
         Semantics::Value => {
             let mut canon = Canonizer::new();
-            let mut codes_before: Vec<_> =
-                before.iter().map(|&n| canon.code(t, n)).collect();
-            let mut codes_after: Vec<_> =
-                after.iter().map(|&n| canon.code(&t2, n)).collect();
+            let mut codes_before: Vec<_> = before.iter().map(|&n| canon.code(t, n)).collect();
+            let mut codes_after: Vec<_> = after.iter().map(|&n| canon.code(&t2, n)).collect();
             codes_before.sort_unstable();
             codes_before.dedup();
             codes_after.sort_unstable();

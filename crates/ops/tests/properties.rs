@@ -1,5 +1,9 @@
 //! Property tests for operation semantics and witness checking.
 
+// Gated: needs the external `proptest` crate (see the workspace
+// Cargo.toml note on hermetic builds).
+#![cfg(feature = "proptest")]
+
 use cxu_ops::witness::witnesses_update_conflict;
 use cxu_ops::{Delete, Insert, Read, Semantics, Update};
 use cxu_pattern::{eval, xpath, Axis, Pattern};

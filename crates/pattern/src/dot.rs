@@ -6,7 +6,7 @@
 //! output nodes get a thick border (`penwidth=2`), wildcard nodes show
 //! `*`. Deleted (tombstoned) tree nodes are not emitted.
 
-use crate::{Axis, PNodeId, Pattern};
+use crate::{Axis, Pattern};
 use cxu_tree::{NodeId, Tree};
 use std::fmt::Write as _;
 
@@ -62,12 +62,7 @@ pub fn pattern_to_dot(p: &Pattern, name: &str) -> String {
 /// Renders a tree with an embedding overlay: image nodes of the
 /// embedding are highlighted, and the output image is double-circled —
 /// a Figure 2-style picture.
-pub fn embedding_to_dot(
-    p: &Pattern,
-    t: &Tree,
-    e: &crate::embed::Embedding,
-    name: &str,
-) -> String {
+pub fn embedding_to_dot(p: &Pattern, t: &Tree, e: &crate::embed::Embedding, name: &str) -> String {
     let images: Vec<NodeId> = e.images().to_vec();
     let out_img = e.image(p.output());
     let mut out = String::new();
@@ -100,7 +95,13 @@ pub fn embedding_to_dot(
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) || cleaned.is_empty() {
         format!("g_{cleaned}")

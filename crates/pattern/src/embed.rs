@@ -103,7 +103,10 @@ fn assign(
     }
     if idx == order.len() {
         results.push(Embedding {
-            map: map.iter().map(|o| o.expect("complete assignment")).collect(),
+            map: map
+                .iter()
+                .map(|o| o.expect("complete assignment"))
+                .collect(),
         });
         return;
     }
@@ -252,7 +255,10 @@ mod tests {
         assert_eq!(es.len(), 1);
         assert_eq!(es[0].output_image(&p), t.root());
         let t2 = text::parse("x(a)").unwrap();
-        assert!(enumerate(&p, &t2, usize::MAX).is_empty(), "root label must match");
+        assert!(
+            enumerate(&p, &t2, usize::MAX).is_empty(),
+            "root label must match"
+        );
     }
 
     #[test]

@@ -168,10 +168,7 @@ pub fn eval(p: &Pattern, t: &Tree) -> Vec<NodeId> {
     }
 
     let out_row = feas.row(p.output());
-    let mut result: Vec<NodeId> = live
-        .into_iter()
-        .filter(|u| out_row[u.index()])
-        .collect();
+    let mut result: Vec<NodeId> = live.into_iter().filter(|u| out_row[u.index()]).collect();
     result.sort_unstable();
     result
 }

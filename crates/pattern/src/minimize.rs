@@ -27,10 +27,7 @@ pub fn minimize(p: &Pattern, max_models: u128) -> Pattern {
             .expect("output reachable from root");
         // Candidate removals: any node not on the spine, largest-first so
         // whole redundant branches disappear in one step.
-        let mut candidates: Vec<PNodeId> = cur
-            .node_ids()
-            .filter(|n| !spine.contains(n))
-            .collect();
+        let mut candidates: Vec<PNodeId> = cur.node_ids().filter(|n| !spine.contains(n)).collect();
         candidates.sort_by_key(|&n| std::cmp::Reverse(subtree_size(&cur, n)));
         for n in candidates {
             let pruned = without_subtree(&cur, n);
@@ -44,7 +41,11 @@ pub fn minimize(p: &Pattern, max_models: u128) -> Pattern {
 }
 
 fn subtree_size(p: &Pattern, n: PNodeId) -> usize {
-    1 + p.children(n).iter().map(|&c| subtree_size(p, c)).sum::<usize>()
+    1 + p
+        .children(n)
+        .iter()
+        .map(|&c| subtree_size(p, c))
+        .sum::<usize>()
 }
 
 /// Copies `p` without the subtree rooted at `cut` (which must not be an

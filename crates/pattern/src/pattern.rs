@@ -61,7 +61,10 @@ impl fmt::Display for PatternError {
         match self {
             PatternError::NotOnAPath => write!(f, "nodes are not on a root-to-leaf path"),
             PatternError::OutputIsRoot => {
-                write!(f, "the output node of a deletion pattern must not be the root")
+                write!(
+                    f,
+                    "the output node of a deletion pattern must not be the root"
+                )
             }
         }
     }
@@ -104,12 +107,7 @@ impl Pattern {
     }
 
     /// Appends a child with the given incoming axis; returns its id.
-    pub fn add_child(
-        &mut self,
-        parent: PNodeId,
-        axis: Axis,
-        label: Option<Symbol>,
-    ) -> PNodeId {
+    pub fn add_child(&mut self, parent: PNodeId, axis: Axis, label: Option<Symbol>) -> PNodeId {
         let id = PNodeId::new(self.nodes.len());
         self.nodes.push(PNode {
             label,

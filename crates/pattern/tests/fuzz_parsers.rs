@@ -1,6 +1,10 @@
 //! Robustness: the parsers must never panic, and must either produce a
 //! well-formed pattern or a positioned error, on arbitrary input.
 
+// Gated: needs the external `proptest` crate (see the workspace
+// Cargo.toml note on hermetic builds).
+#![cfg(feature = "proptest")]
+
 use cxu_pattern::xpath;
 use proptest::prelude::*;
 

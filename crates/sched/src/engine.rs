@@ -1,0 +1,349 @@
+//! The batch analysis engine: dedup through the interner, serve repeats
+//! from the verdict cache, fan the unique pairs out over worker
+//! threads, and assemble the conflict graph, schedule, and stats.
+
+use crate::graph::{ConflictGraph, Edge};
+use crate::intern::{Interner, OpKey, PairKey};
+use crate::op::{ops_of_program, Op};
+use crate::pairwise::{analyze_pair, Detector, Verdict};
+use crate::rounds::{schedule, Schedule};
+use crate::{SchedConfig, SchedStats};
+use cxu_gen::program::Program;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The result of analyzing one batch.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// The full conflict graph (every pair decided and annotated).
+    pub graph: ConflictGraph,
+    /// The conflict-free round schedule.
+    pub schedule: Schedule,
+    /// Counters for this batch.
+    pub stats: SchedStats,
+}
+
+/// A stateful batch scheduler. The pattern interner and the pairwise
+/// verdict cache persist across batches, so steady traffic with
+/// recurring operation shapes converges to pure cache lookups.
+pub struct Scheduler {
+    cfg: SchedConfig,
+    interner: Interner,
+    cache: HashMap<PairKey, Verdict>,
+}
+
+impl Default for Scheduler {
+    fn default() -> Scheduler {
+        Scheduler::new(SchedConfig::default())
+    }
+}
+
+impl Scheduler {
+    /// A scheduler with the given configuration.
+    pub fn new(cfg: SchedConfig) -> Scheduler {
+        Scheduler {
+            cfg,
+            interner: Interner::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Number of memoized pairwise verdicts.
+    pub fn cached_verdicts(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Analyzes a batch and schedules it into conflict-free rounds.
+    pub fn run(&mut self, ops: &[Op]) -> BatchResult {
+        let (graph, mut stats) = self.analyze(ops);
+        let sched = schedule(&graph);
+        stats.rounds = sched.len();
+        BatchResult {
+            graph,
+            schedule: sched,
+            stats,
+        }
+    }
+
+    /// [`Scheduler::run`] over a pidgin program's statements.
+    pub fn run_program(&mut self, p: &Program) -> BatchResult {
+        self.run(&ops_of_program(p))
+    }
+
+    /// Builds the conflict graph for a batch: intern every op, decide
+    /// every pair (cache first, parallel detectors for the rest).
+    pub fn analyze(&mut self, ops: &[Op]) -> (ConflictGraph, SchedStats) {
+        let n = ops.len();
+        let mut stats = SchedStats {
+            ops: n,
+            pairs_total: n * n.saturating_sub(1) / 2,
+            jobs: self.cfg.jobs.max(1),
+            ..SchedStats::default()
+        };
+
+        let keys: Vec<OpKey> = ops.iter().map(|op| self.interner.intern_op(op)).collect();
+        stats.distinct_shapes = self.interner.distinct_patterns();
+
+        // Partition the pairs: trivially independent, memoized, or new.
+        // Each *distinct* new PairKey is analyzed exactly once; repeats
+        // inside the batch count as cache hits just like cross-batch
+        // repeats — that is the memoization the interner buys.
+        let mut trivial: Vec<(usize, usize, Verdict)> = Vec::new();
+        let mut cached: Vec<(usize, usize, PairKey)> = Vec::new();
+        let mut fresh: Vec<PairKey> = Vec::new();
+        let mut fresh_seen: HashMap<PairKey, ()> = HashMap::new();
+        let mut pending: Vec<(usize, usize, PairKey)> = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                let (ka, kb) = (keys[a], keys[b]);
+                // Identical keys commute with themselves (both orders are
+                // the same sequence), and reads never conflict: no
+                // detector or cache entry needed.
+                if ka == kb || (!ops[a].is_update() && !ops[b].is_update()) {
+                    trivial.push((
+                        a,
+                        b,
+                        Verdict {
+                            conflict: false,
+                            detector: Detector::Trivial,
+                        },
+                    ));
+                    continue;
+                }
+                let pk = PairKey::new(ka, kb);
+                if self.cache.contains_key(&pk) {
+                    cached.push((a, b, pk));
+                } else {
+                    if fresh_seen.insert(pk, ()).is_none() {
+                        fresh.push(pk);
+                    } else {
+                        stats.cache_hits += 1; // batch-local repeat
+                    }
+                    pending.push((a, b, pk));
+                }
+            }
+        }
+        stats.trivial = trivial.len();
+        stats.cache_hits += cached.len();
+        stats.pairs_analyzed = fresh.len();
+
+        // Decide the distinct new pairs in parallel.
+        for (pk, v) in self.analyze_fresh(&fresh) {
+            self.cache.insert(pk, v);
+        }
+
+        // Assemble edges and detector counters.
+        let mut edges: Vec<Edge> = Vec::with_capacity(stats.pairs_total);
+        for (a, b, verdict) in trivial {
+            edges.push(Edge {
+                a,
+                b,
+                verdict,
+                cached: false,
+            });
+        }
+        let mut first_use: HashMap<PairKey, ()> = HashMap::new();
+        for (a, b, pk) in cached.into_iter().chain(pending) {
+            let verdict = self.cache[&pk];
+            // The first batch occurrence of a freshly computed key is the
+            // one that paid for the analysis; everything else was served
+            // from memory.
+            let cached_hit = !fresh_seen.contains_key(&pk) || first_use.insert(pk, ()).is_some();
+            edges.push(Edge {
+                a,
+                b,
+                verdict,
+                cached: cached_hit,
+            });
+        }
+        edges.sort_unstable_by_key(|e| (e.a, e.b));
+        for e in &edges {
+            match e.verdict.detector {
+                Detector::Trivial => {}
+                Detector::PtimeLinearRead => stats.ptime_linear_read += 1,
+                Detector::PtimeLinearUpdates => stats.ptime_linear_updates += 1,
+                Detector::WitnessSearch => stats.witness_search += 1,
+                Detector::ConservativeUndecided => stats.conservative += 1,
+            }
+            if e.verdict.conflict {
+                stats.conflict_edges += 1;
+            }
+        }
+
+        (ConflictGraph::new(n, edges), stats)
+    }
+
+    /// Runs the detectors for each distinct pair key, fanned out over
+    /// `cfg.jobs` scoped threads. Work is handed out through an atomic
+    /// cursor so a stray expensive NP-side pair cannot idle the other
+    /// workers behind a fixed chunking.
+    fn analyze_fresh(&self, fresh: &[PairKey]) -> Vec<(PairKey, Verdict)> {
+        let jobs = self.cfg.jobs.max(1).min(fresh.len().max(1));
+        let work: Vec<(PairKey, &Op, &Op)> = fresh
+            .iter()
+            .map(|&pk| {
+                let a = self
+                    .interner
+                    .representative(pk.lo)
+                    .expect("interned before analysis");
+                let b = self
+                    .interner
+                    .representative(pk.hi)
+                    .expect("interned before analysis");
+                (pk, a, b)
+            })
+            .collect();
+        if jobs <= 1 || work.len() <= 1 {
+            return work
+                .into_iter()
+                .map(|(pk, a, b)| (pk, analyze_pair(a, b, &self.cfg)))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<(PairKey, Verdict)>> = Mutex::new(Vec::with_capacity(work.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let cursor = &cursor;
+                let results = &results;
+                let work = &work;
+                let cfg = &self.cfg;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(pk, a, b)) = work.get(i) else {
+                            break;
+                        };
+                        local.push((pk, analyze_pair(a, b, cfg)));
+                    }
+                    results.lock().expect("results lock").extend(local);
+                });
+            }
+        });
+        results.into_inner().expect("results lock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_gen::parse::parse_program;
+    use cxu_ops::{Insert, Read, Update};
+    use cxu_pattern::xpath::parse;
+    use cxu_tree::text;
+
+    fn read(p: &str) -> Op {
+        Op::Read(Read::new(parse(p).unwrap()))
+    }
+
+    fn ins(p: &str, x: &str) -> Op {
+        Op::Update(Update::Insert(Insert::new(
+            parse(p).unwrap(),
+            text::parse(x).unwrap(),
+        )))
+    }
+
+    #[test]
+    fn section1_batch() {
+        let p = parse_program("y = read $x//A; insert $x/B, C; z = read $x//C").unwrap();
+        let mut s = Scheduler::default();
+        let out = s.run_program(&p);
+        assert_eq!(out.stats.pairs_total, 3);
+        // read//A vs insert: independent; insert vs read//C: conflict;
+        // the two reads: trivial.
+        assert!(out.graph.conflict(1, 2));
+        assert!(!out.graph.conflict(0, 1));
+        assert_eq!(out.stats.trivial, 1);
+        assert_eq!(out.schedule.rounds, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn repeats_hit_the_cache_within_a_batch() {
+        // Ten copies of the same read/update shapes: one real analysis.
+        let mut ops = Vec::new();
+        for _ in 0..5 {
+            ops.push(read("x//C"));
+            ops.push(ins("x/B", "C"));
+        }
+        let mut s = Scheduler::default();
+        let out = s.run(&ops);
+        assert_eq!(out.stats.pairs_total, 45);
+        assert_eq!(out.stats.pairs_analyzed, 1, "one distinct pair shape");
+        assert!(out.stats.cache_hits > 0);
+        // 5 read-read pairs + 10 insert-insert identical pairs = trivial.
+        assert_eq!(out.stats.trivial, 20);
+        assert_eq!(
+            out.stats.pairs_analyzed + out.stats.cache_hits + out.stats.trivial,
+            out.stats.pairs_total
+        );
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let batch = vec![read("x//C"), ins("x/B", "C")];
+        let mut s = Scheduler::default();
+        let first = s.run(&batch);
+        assert_eq!(first.stats.pairs_analyzed, 1);
+        assert_eq!(first.stats.cache_hits, 0);
+        let second = s.run(&batch);
+        assert_eq!(second.stats.pairs_analyzed, 0);
+        assert_eq!(second.stats.cache_hits, 1);
+        // Verdicts are identical either way.
+        assert_eq!(
+            first.graph.edges()[0].verdict,
+            second.graph.edges()[0].verdict
+        );
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        let p = parse_program(
+            "y = read $x//A; insert $x/B, C; z = read $x//C; delete $x/B/C; \
+             w = read $x/B; insert $x/D, E; v = read $x//E",
+        )
+        .unwrap();
+        let cfg1 = SchedConfig {
+            jobs: 1,
+            ..SchedConfig::default()
+        };
+        let cfg4 = SchedConfig {
+            jobs: 4,
+            ..SchedConfig::default()
+        };
+        let out1 = Scheduler::new(cfg1).run_program(&p);
+        let out4 = Scheduler::new(cfg4).run_program(&p);
+        assert_eq!(out1.schedule, out4.schedule);
+        for (e1, e4) in out1.graph.edges().iter().zip(out4.graph.edges()) {
+            assert_eq!((e1.a, e1.b), (e4.a, e4.b));
+            assert_eq!(e1.verdict, e4.verdict);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let mut s = Scheduler::default();
+        let out = s.run(&[]);
+        assert_eq!(out.stats.pairs_total, 0);
+        assert!(out.schedule.is_empty());
+        let out1 = s.run(&[read("a/b")]);
+        assert_eq!(out1.schedule.rounds, vec![vec![0]]);
+    }
+
+    #[test]
+    fn identical_updates_share_a_round() {
+        // Self-feeding insert whose pairwise analysis would be Unknown —
+        // but identical keys are trivially commuting.
+        let ops = vec![ins("a//b", "b"), ins("a//b", "b")];
+        let mut s = Scheduler::default();
+        let out = s.run(&ops);
+        assert!(!out.graph.conflict(0, 1));
+        assert_eq!(out.schedule.len(), 1);
+        assert_eq!(out.stats.trivial, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! The conflict graph: one vertex per batch operation, one edge per
+//! conflicting pair, every edge annotated with the detector that decided
+//! it and whether the verdict came from the memo cache.
+
+use crate::op::Op;
+use crate::pairwise::{Detector, Verdict};
+use std::fmt::Write as _;
+
+/// One decided pair. Present for *every* pair `(a, b)`, `a < b` — both
+/// conflicting and independent — so callers can audit coverage; the
+/// graph's adjacency indexes only the conflicting ones.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Lower operation index.
+    pub a: usize,
+    /// Higher operation index.
+    pub b: usize,
+    /// The decision and its provenance.
+    pub verdict: Verdict,
+    /// Served from the pairwise memo cache (batch-local repeat or a
+    /// previous batch) rather than computed fresh.
+    pub cached: bool,
+}
+
+/// Undirected conflict graph over a batch of `n` operations.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictGraph {
+    n: usize,
+    edges: Vec<Edge>,
+    adj: Vec<Vec<usize>>, // conflicting neighbors only
+}
+
+impl ConflictGraph {
+    /// Builds the graph from decided pairs.
+    pub fn new(n: usize, edges: Vec<Edge>) -> ConflictGraph {
+        let mut adj = vec![Vec::new(); n];
+        for e in &edges {
+            if e.verdict.conflict {
+                adj[e.a].push(e.b);
+                adj[e.b].push(e.a);
+            }
+        }
+        ConflictGraph { n, edges, adj }
+    }
+
+    /// Number of operations (vertices).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// All decided pairs (conflicting and independent).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The conflicting neighbors of operation `i`.
+    pub fn conflicting_neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Do operations `i` and `j` conflict?
+    pub fn conflict(&self, i: usize, j: usize) -> bool {
+        self.adj[i].contains(&j)
+    }
+
+    /// Number of conflicting pairs.
+    pub fn conflict_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.verdict.conflict).count()
+    }
+
+    /// Graphviz rendering: vertices labeled with the operations,
+    /// conflict edges solid (colored by detector), independent pairs
+    /// omitted. Conventions follow `cxu_pattern::dot`.
+    pub fn to_dot(&self, ops: &[Op], name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "graph {} {{", sanitize(name));
+        let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+        for (i, op) in ops.iter().enumerate() {
+            let shape = if op.is_update() { "box" } else { "ellipse" };
+            let _ = writeln!(
+                out,
+                "  n{i} [shape={shape}, label=\"{i}: {}\"];",
+                escape(&op.label())
+            );
+        }
+        for e in &self.edges {
+            if !e.verdict.conflict {
+                continue;
+            }
+            let color = match e.verdict.detector {
+                Detector::Trivial => "black",
+                Detector::PtimeLinearRead => "blue",
+                Detector::PtimeLinearUpdates => "darkgreen",
+                Detector::WitnessSearch => "red",
+                Detector::ConservativeUndecided => "orange",
+            };
+            let style = if e.cached { "dashed" } else { "solid" };
+            let _ = writeln!(
+                out,
+                "  n{} -- n{} [color={color}, style={style}];",
+                e.a, e.b
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "g".into()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use cxu_ops::Read;
+    use cxu_pattern::xpath::parse;
+
+    fn edge(a: usize, b: usize, conflict: bool) -> Edge {
+        Edge {
+            a,
+            b,
+            verdict: Verdict {
+                conflict,
+                detector: Detector::PtimeLinearRead,
+            },
+            cached: false,
+        }
+    }
+
+    #[test]
+    fn adjacency_indexes_conflicts_only() {
+        let g = ConflictGraph::new(
+            3,
+            vec![edge(0, 1, true), edge(0, 2, false), edge(1, 2, true)],
+        );
+        assert!(g.conflict(0, 1));
+        assert!(g.conflict(1, 0));
+        assert!(!g.conflict(0, 2));
+        assert_eq!(g.conflict_count(), 2);
+        assert_eq!(g.conflicting_neighbors(1), &[0, 2]);
+        assert_eq!(g.edges().len(), 3);
+    }
+
+    #[test]
+    fn dot_renders_conflicts() {
+        let ops: Vec<Op> = ["a/b", "a//c"]
+            .iter()
+            .map(|s| Op::Read(Read::new(parse(s).unwrap())))
+            .collect();
+        let g = ConflictGraph::new(2, vec![edge(0, 1, true)]);
+        let dot = g.to_dot(&ops, "conflicts");
+        assert!(dot.starts_with("graph conflicts {"));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("read a/b"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Hash-consing of operation shapes, and the pairwise-verdict cache key.
+//!
+//! Heavy traffic repeats pattern shapes: a production batch of thousands
+//! of operations typically draws from a few dozen templates. The
+//! [`Interner`] maps every pattern (and every inserted payload tree) to a
+//! small integer id via a *canonical form* — a serialization in which
+//! sibling order is sorted away, so any two patterns that are isomorphic
+//! as unordered trees (with marked output and matching axes/labels)
+//! share an id. Conflict semantics are invariant under that isomorphism,
+//! which makes the id a sound cache key: one pairwise detection pays for
+//! every repetition of the same shape pair.
+
+use crate::op::Op;
+use cxu_ops::Update;
+use cxu_pattern::{Axis, PNodeId, Pattern};
+use cxu_tree::{NodeId, Tree};
+use std::collections::HashMap;
+
+/// Interned id of a pattern shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternId(pub u32);
+
+/// Interned id of a payload-tree shape (insert subtrees).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TreeId(pub u32);
+
+/// The kind of an operation, part of its cache key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// A read.
+    Read,
+    /// An insertion (carries a payload id).
+    Insert,
+    /// A deletion.
+    Delete,
+}
+
+/// The canonical identity of an operation: kind + pattern shape +
+/// payload shape. Two ops with equal keys are semantically
+/// interchangeable for every conflict question.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpKey {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Interned selection pattern.
+    pub pattern: PatternId,
+    /// Interned insert payload (None for reads and deletes).
+    pub payload: Option<TreeId>,
+}
+
+/// An unordered pair of [`OpKey`]s — the memo key for pairwise verdicts.
+/// Conflict and commutation are symmetric questions, so the pair is
+/// normalized to `lo <= hi`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PairKey {
+    /// The smaller key.
+    pub lo: OpKey,
+    /// The larger key.
+    pub hi: OpKey,
+}
+
+impl PairKey {
+    /// Normalized constructor.
+    pub fn new(a: OpKey, b: OpKey) -> PairKey {
+        if a <= b {
+            PairKey { lo: a, hi: b }
+        } else {
+            PairKey { lo: b, hi: a }
+        }
+    }
+}
+
+/// Canonical serialization of a pattern: each node renders as
+/// `axis label output? (sorted children)`, so sibling order — which is
+/// meaningless for unordered tree patterns — never splits cache entries.
+pub fn canonical_pattern_key(p: &Pattern) -> String {
+    fn node(p: &Pattern, n: PNodeId, out: &mut String) {
+        match p.axis(n) {
+            Some(Axis::Descendant) => out.push_str("//"),
+            Some(Axis::Child) => out.push('/'),
+            None => {} // root
+        }
+        match p.label(n) {
+            Some(l) => out.push_str(l.as_str()),
+            None => out.push('*'),
+        }
+        if n == p.output() {
+            out.push('!');
+        }
+        let mut kids: Vec<String> = p
+            .children(n)
+            .iter()
+            .map(|&c| {
+                let mut s = String::new();
+                node(p, c, &mut s);
+                s
+            })
+            .collect();
+        if !kids.is_empty() {
+            kids.sort_unstable();
+            out.push('(');
+            for k in kids {
+                out.push_str(&k);
+                out.push(',');
+            }
+            out.push(')');
+        }
+    }
+    let mut s = String::new();
+    node(p, p.root(), &mut s);
+    s
+}
+
+/// Canonical serialization of an unordered tree (payloads): label plus
+/// sorted children — equal strings iff the trees are isomorphic.
+pub fn canonical_tree_key(t: &Tree) -> String {
+    fn node(t: &Tree, n: NodeId, out: &mut String) {
+        out.push_str(t.label(n).as_str());
+        let kids: &[NodeId] = t.children(n);
+        if !kids.is_empty() {
+            let mut rendered: Vec<String> = kids
+                .iter()
+                .map(|&c| {
+                    let mut s = String::new();
+                    node(t, c, &mut s);
+                    s
+                })
+                .collect();
+            rendered.sort_unstable();
+            out.push('(');
+            for k in rendered {
+                out.push_str(&k);
+                out.push(',');
+            }
+            out.push(')');
+        }
+    }
+    let mut s = String::new();
+    node(t, t.root(), &mut s);
+    s
+}
+
+/// Hash-consing interner for pattern and payload shapes. Also keeps one
+/// *representative* [`Op`] per key, so the analysis engine can run
+/// detectors on a concrete operation for any key it encounters.
+#[derive(Default)]
+pub struct Interner {
+    patterns: HashMap<String, PatternId>,
+    trees: HashMap<String, TreeId>,
+    reps: HashMap<OpKey, Op>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns a pattern shape.
+    pub fn intern_pattern(&mut self, p: &Pattern) -> PatternId {
+        let key = canonical_pattern_key(p);
+        let next = PatternId(self.patterns.len() as u32);
+        *self.patterns.entry(key).or_insert(next)
+    }
+
+    /// Interns a payload-tree shape.
+    pub fn intern_tree(&mut self, t: &Tree) -> TreeId {
+        let key = canonical_tree_key(t);
+        let next = TreeId(self.trees.len() as u32);
+        *self.trees.entry(key).or_insert(next)
+    }
+
+    /// Interns an operation, remembering it as the representative for
+    /// its key if the key is new.
+    pub fn intern_op(&mut self, op: &Op) -> OpKey {
+        let key = match op {
+            Op::Read(r) => OpKey {
+                kind: OpKind::Read,
+                pattern: self.intern_pattern(r.pattern()),
+                payload: None,
+            },
+            Op::Update(Update::Insert(i)) => OpKey {
+                kind: OpKind::Insert,
+                pattern: self.intern_pattern(i.pattern()),
+                payload: Some(self.intern_tree(i.subtree())),
+            },
+            Op::Update(Update::Delete(d)) => OpKey {
+                kind: OpKind::Delete,
+                pattern: self.intern_pattern(d.pattern()),
+                payload: None,
+            },
+        };
+        self.reps.entry(key).or_insert_with(|| op.clone());
+        key
+    }
+
+    /// The representative operation for a key interned earlier.
+    pub fn representative(&self, key: OpKey) -> Option<&Op> {
+        self.reps.get(&key)
+    }
+
+    /// Number of distinct pattern shapes seen.
+    pub fn distinct_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Number of distinct payload shapes seen.
+    pub fn distinct_payloads(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_ops::{Insert, Read};
+    use cxu_pattern::xpath::parse;
+    use cxu_tree::text;
+
+    #[test]
+    fn sibling_order_is_canonicalized() {
+        let a = parse("a[b][c]/d").unwrap();
+        let b = parse("a[c][b]/d").unwrap();
+        assert_eq!(canonical_pattern_key(&a), canonical_pattern_key(&b));
+        // …but a different output node is a different shape.
+        let c = parse("a[b][c]").unwrap();
+        assert_ne!(canonical_pattern_key(&a), canonical_pattern_key(&c));
+    }
+
+    #[test]
+    fn axes_and_wildcards_distinguish() {
+        for (x, y) in [("a/b", "a//b"), ("a/b", "a/*"), ("a/b", "x/b")] {
+            assert_ne!(
+                canonical_pattern_key(&parse(x).unwrap()),
+                canonical_pattern_key(&parse(y).unwrap()),
+                "{x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_key_is_isomorphism_invariant() {
+        let a = text::parse("r(x(p q) y)").unwrap();
+        let b = text::parse("r(y x(q p))").unwrap();
+        assert_eq!(canonical_tree_key(&a), canonical_tree_key(&b));
+        let c = text::parse("r(y x(q q))").unwrap();
+        assert_ne!(canonical_tree_key(&a), canonical_tree_key(&c));
+    }
+
+    #[test]
+    fn interner_hash_conses() {
+        let mut it = Interner::new();
+        let r1 = Op::Read(Read::new(parse("a//b").unwrap()));
+        let r2 = Op::Read(Read::new(parse("a//b").unwrap()));
+        let k1 = it.intern_op(&r1);
+        let k2 = it.intern_op(&r2);
+        assert_eq!(k1, k2);
+        assert_eq!(it.distinct_patterns(), 1);
+        assert!(it.representative(k1).is_some());
+    }
+
+    #[test]
+    fn kind_splits_keys() {
+        let mut it = Interner::new();
+        let p = parse("a/b").unwrap();
+        let read = Op::Read(Read::new(p.clone()));
+        let insert = Op::Update(Update::Insert(Insert::new(
+            p.clone(),
+            text::parse("x").unwrap(),
+        )));
+        let k1 = it.intern_op(&read);
+        let k2 = it.intern_op(&insert);
+        assert_ne!(k1, k2);
+        assert_eq!(it.distinct_patterns(), 1, "same pattern shape shared");
+    }
+
+    #[test]
+    fn pair_key_is_unordered() {
+        let mut it = Interner::new();
+        let a = it.intern_op(&Op::Read(Read::new(parse("a/b").unwrap())));
+        let b = it.intern_op(&Op::Read(Read::new(parse("a//b").unwrap())));
+        assert_eq!(PairKey::new(a, b), PairKey::new(b, a));
+    }
+}

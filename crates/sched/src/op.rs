@@ -1,0 +1,94 @@
+//! The batch operation type: a read or an update, as one scheduling unit.
+
+use cxu_gen::program::{Program, Stmt};
+use cxu_ops::{Read, Update};
+use cxu_pattern::Pattern;
+use std::fmt;
+
+/// One operation of a batch — the unit the scheduler places into rounds.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// A read (never mutates; pairs of reads never conflict).
+    Read(Read),
+    /// An insert or delete.
+    Update(Update),
+}
+
+impl Op {
+    /// The operation's selection pattern.
+    pub fn pattern(&self) -> &Pattern {
+        match self {
+            Op::Read(r) => r.pattern(),
+            Op::Update(u) => u.pattern(),
+        }
+    }
+
+    /// Is this operation a mutator?
+    pub fn is_update(&self) -> bool {
+        matches!(self, Op::Update(_))
+    }
+
+    /// A short human-readable label (used by the DOT output).
+    pub fn label(&self) -> String {
+        match self {
+            Op::Read(r) => format!("read {}", r.pattern()),
+            Op::Update(Update::Insert(i)) => format!(
+                "insert {}, {}",
+                i.pattern(),
+                cxu_tree::text::to_text(i.subtree())
+            ),
+            Op::Update(Update::Delete(d)) => format!("delete {}", d.pattern()),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl From<Stmt> for Op {
+    fn from(s: Stmt) -> Op {
+        match s {
+            Stmt::Read(r) => Op::Read(r),
+            Stmt::Update(u) => Op::Update(u),
+        }
+    }
+}
+
+impl From<&Stmt> for Op {
+    fn from(s: &Stmt) -> Op {
+        s.clone().into()
+    }
+}
+
+/// The statements of a pidgin program as a batch of operations, in
+/// program order (index `i` of the result is statement `i`).
+pub fn ops_of_program(p: &Program) -> Vec<Op> {
+    p.stmts.iter().map(Op::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_gen::parse::parse_program;
+
+    #[test]
+    fn program_conversion_preserves_order_and_kind() {
+        let p = parse_program("y = read $x//A; insert $x/B, C; delete $x/B/C").unwrap();
+        let ops = ops_of_program(&p);
+        assert_eq!(ops.len(), 3);
+        assert!(!ops[0].is_update());
+        assert!(ops[1].is_update());
+        assert!(ops[2].is_update());
+    }
+
+    #[test]
+    fn labels_are_printable() {
+        let p = parse_program("insert $x/B, C(D)").unwrap();
+        let ops = ops_of_program(&p);
+        assert!(ops[0].label().starts_with("insert"));
+        assert!(ops[0].label().contains("C(D)"));
+    }
+}

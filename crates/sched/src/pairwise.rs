@@ -1,0 +1,248 @@
+//! Pairwise conflict decisions: routing between the PTIME detectors and
+//! the NP-side fallbacks, with the decision provenance recorded.
+//!
+//! Routing rules (see `DESIGN.md`, "cxu-sched"):
+//!
+//! * **read–read** — never conflicts (reads do not mutate): trivial.
+//! * **identical keys** — an operation always commutes with itself
+//!   (both orders are literally the same sequence): trivial.
+//! * **read–update, linear read** — the §4 PTIME detectors
+//!   ([`cxu_core::detect`]), exact over all trees.
+//! * **read–update, branching read** — NP-complete (§5); bounded
+//!   exhaustive search up to the Lemma 11 witness bound
+//!   ([`cxu_core::brute::decide`]). Exact when the candidate count fits
+//!   the budget, otherwise *conservatively a conflict*.
+//! * **update–update, both linear** — the §6 linear commutativity
+//!   analysis ([`cxu_core::update_update_linear`]); `Unknown` verdicts
+//!   are conservatively conflicts.
+//! * **update–update, branching** — bounded witness search
+//!   ([`cxu_core::update_update::find_noncommuting_witness`]). A found
+//!   witness is a definite conflict; "no witness within budget" is only
+//!   trusted when [`SchedConfig::trust_bounded_search`] is set (there is
+//!   no Lemma 11 analogue for update pairs), otherwise conservative.
+//!
+//! A pair is scheduled concurrently **only** when its verdict is a
+//! proven non-conflict, so every conservative answer costs parallelism,
+//! never correctness.
+
+use crate::op::Op;
+use crate::SchedConfig;
+use cxu_core::update_update::{find_noncommuting_witness, Budget as UuBudget, Outcome};
+use cxu_core::update_update_linear::{commutativity_with_budget, Commutativity};
+use cxu_core::{brute, detect};
+use cxu_ops::{Read, Update};
+
+/// Which detector decided a pair (provenance, surfaced per edge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Detector {
+    /// Read–read, or identical operation keys: no analysis needed.
+    Trivial,
+    /// §4 PTIME read–update detector (Theorems 1–2), exact.
+    PtimeLinearRead,
+    /// §6 linear update–update commutativity analysis, exact when it
+    /// answers Commute/Conflict.
+    PtimeLinearUpdates,
+    /// Bounded NP-side witness search, exact within its budget
+    /// (read–update: up to the Lemma 11 bound).
+    WitnessSearch,
+    /// The detectors could not decide within budget; the pair is
+    /// *assumed* to conflict (sound, never parallelized).
+    ConservativeUndecided,
+}
+
+/// The decision for one pair of operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Verdict {
+    /// Do the two operations conflict (must stay ordered)?
+    pub conflict: bool,
+    /// Which detector produced the answer.
+    pub detector: Detector,
+}
+
+impl Verdict {
+    fn trivial() -> Verdict {
+        Verdict {
+            conflict: false,
+            detector: Detector::Trivial,
+        }
+    }
+
+    fn conservative() -> Verdict {
+        Verdict {
+            conflict: true,
+            detector: Detector::ConservativeUndecided,
+        }
+    }
+}
+
+/// Decides one pair, routing to the cheapest sound detector.
+/// Symmetric: `analyze_pair(a, b, c)` ≡ `analyze_pair(b, a, c)`.
+pub fn analyze_pair(a: &Op, b: &Op, cfg: &SchedConfig) -> Verdict {
+    match (a, b) {
+        (Op::Read(_), Op::Read(_)) => Verdict::trivial(),
+        (Op::Read(r), Op::Update(u)) | (Op::Update(u), Op::Read(r)) => read_update(r, u, cfg),
+        (Op::Update(u1), Op::Update(u2)) => update_update(u1, u2, cfg),
+    }
+}
+
+fn read_update(r: &Read, u: &Update, cfg: &SchedConfig) -> Verdict {
+    if r.pattern().is_linear() {
+        let conflict =
+            detect::read_update_conflict(r, u, cfg.semantics).expect("linearity checked");
+        return Verdict {
+            conflict,
+            detector: Detector::PtimeLinearRead,
+        };
+    }
+    match brute::decide(r, u, cfg.semantics, cfg.np_max_trees) {
+        Some(conflict) => Verdict {
+            conflict,
+            detector: Detector::WitnessSearch,
+        },
+        None => Verdict::conservative(),
+    }
+}
+
+fn update_update(u1: &Update, u2: &Update, cfg: &SchedConfig) -> Verdict {
+    let budget = UuBudget {
+        max_nodes: cfg.np_max_nodes,
+        max_trees: cfg.np_max_trees,
+    };
+    if let Some(c) = commutativity_with_budget(u1, u2, budget) {
+        return match c {
+            Commutativity::Commute => Verdict {
+                conflict: false,
+                detector: Detector::PtimeLinearUpdates,
+            },
+            Commutativity::Conflict(_) => Verdict {
+                conflict: true,
+                detector: Detector::PtimeLinearUpdates,
+            },
+            Commutativity::Unknown => Verdict::conservative(),
+        };
+    }
+    // Branching selection patterns: bounded search only.
+    match find_noncommuting_witness(u1, u2, budget) {
+        Outcome::Conflict(_) => Verdict {
+            conflict: true,
+            detector: Detector::WitnessSearch,
+        },
+        Outcome::NoConflictWithin(_) if cfg.trust_bounded_search => Verdict {
+            conflict: false,
+            detector: Detector::WitnessSearch,
+        },
+        Outcome::NoConflictWithin(_) | Outcome::BudgetExceeded(_) => Verdict::conservative(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_ops::{Delete, Insert, Read};
+    use cxu_pattern::xpath::parse;
+    use cxu_tree::text;
+
+    fn cfg() -> SchedConfig {
+        SchedConfig::default()
+    }
+
+    fn read(p: &str) -> Op {
+        Op::Read(Read::new(parse(p).unwrap()))
+    }
+
+    fn ins(p: &str, x: &str) -> Op {
+        Op::Update(Update::Insert(Insert::new(
+            parse(p).unwrap(),
+            text::parse(x).unwrap(),
+        )))
+    }
+
+    fn del(p: &str) -> Op {
+        Op::Update(Update::Delete(Delete::new(parse(p).unwrap()).unwrap()))
+    }
+
+    #[test]
+    fn reads_never_conflict() {
+        let v = analyze_pair(&read("a//b"), &read("a[x][y]"), &cfg());
+        assert!(!v.conflict);
+        assert_eq!(v.detector, Detector::Trivial);
+    }
+
+    #[test]
+    fn section1_pair_routes_ptime() {
+        let v = analyze_pair(&read("x//C"), &ins("x/B", "C"), &cfg());
+        assert!(v.conflict);
+        assert_eq!(v.detector, Detector::PtimeLinearRead);
+        let v2 = analyze_pair(&read("x//D"), &ins("x/B", "C"), &cfg());
+        assert!(!v2.conflict);
+    }
+
+    #[test]
+    fn symmetric_in_argument_order() {
+        let (r, u) = (read("x//C"), ins("x/B", "C"));
+        assert_eq!(analyze_pair(&r, &u, &cfg()), analyze_pair(&u, &r, &cfg()));
+    }
+
+    #[test]
+    fn branching_read_routes_np_side() {
+        let v = analyze_pair(&read("a[b][c]"), &ins("a[b]", "c"), &cfg());
+        assert!(v.conflict);
+        assert_eq!(v.detector, Detector::WitnessSearch);
+        // Label-disjoint pair small enough for an exact search within
+        // the Lemma 11 bound: independence is proven, not assumed.
+        let v2 = analyze_pair(&read("a[b][c]"), &ins("d", "f"), &cfg());
+        assert!(!v2.conflict);
+        assert_eq!(v2.detector, Detector::WitnessSearch);
+    }
+
+    #[test]
+    fn oversized_np_instance_is_conservative() {
+        let mut c = cfg();
+        c.np_max_trees = 10; // starve the search
+        let v = analyze_pair(&read("a[b]//c//d"), &ins("a//x[y][z]", "w"), &c);
+        assert!(v.conflict);
+        assert_eq!(v.detector, Detector::ConservativeUndecided);
+    }
+
+    #[test]
+    fn linear_updates_route_ptime() {
+        let v = analyze_pair(&ins("a/b", "x"), &ins("a/c", "y"), &cfg());
+        assert!(!v.conflict);
+        assert_eq!(v.detector, Detector::PtimeLinearUpdates);
+        let v2 = analyze_pair(&ins("a/b", "c"), &ins("a/b/c", "q"), &cfg());
+        assert!(v2.conflict);
+        assert_eq!(v2.detector, Detector::PtimeLinearUpdates);
+    }
+
+    #[test]
+    fn disjoint_linear_deletes_commute() {
+        let v = analyze_pair(&del("a/b"), &del("a/c"), &cfg());
+        assert!(!v.conflict);
+        assert_eq!(v.detector, Detector::PtimeLinearUpdates);
+        // Nested deletes commute semantically, but the linear analysis
+        // answers Unknown (cross-conflicts fire, no witness found), so
+        // the scheduler stays conservative.
+        let v2 = analyze_pair(&del("a/b"), &del("a/b/c"), &cfg());
+        assert!(v2.conflict);
+        assert_eq!(v2.detector, Detector::ConservativeUndecided);
+    }
+
+    #[test]
+    fn branching_updates_bounded_search() {
+        // A branching delete pattern forces the NP-side update-update
+        // route. Non-commuting pair: found witness is definite.
+        let v = analyze_pair(&ins("a/b[q]", "c"), &ins("a/b/c", "z"), &cfg());
+        assert_eq!(v.detector, Detector::WitnessSearch);
+        assert!(v.conflict);
+        // A commuting-looking pair is conservative by default…
+        let v2 = analyze_pair(&ins("a/b[q]", "c"), &del("a/z/w"), &cfg());
+        assert_eq!(v2.detector, Detector::ConservativeUndecided);
+        assert!(v2.conflict);
+        // …and trusted only on request.
+        let mut c = cfg();
+        c.trust_bounded_search = true;
+        let v3 = analyze_pair(&ins("a/b[q]", "c"), &del("a/z/w"), &c);
+        assert_eq!(v3.detector, Detector::WitnessSearch);
+        assert!(!v3.conflict);
+    }
+}

@@ -1,0 +1,171 @@
+//! Round scheduling: greedy coloring of the conflict graph into
+//! conflict-free *rounds* that preserve the program order of every
+//! conflicting pair.
+//!
+//! Operation `j` is assigned to round `1 + max{round(i) : i < j,
+//! i conflicts with j}` (round 0 when no earlier conflict). This is the
+//! ASAP level schedule of the conflict DAG; it guarantees:
+//!
+//! * **conflict-free rounds** — two ops sharing a round never conflict
+//!   (had they conflicted, the later one would sit strictly deeper);
+//! * **order safety** — conflicting pairs keep their original relative
+//!   order across rounds, so executing rounds in sequence, with *any*
+//!   order inside a round, is reachable from the serial execution by
+//!   adjacent transpositions of proven-independent pairs only. Each such
+//!   transposition preserves all observations (value semantics), so the
+//!   whole schedule is observationally equivalent to serial execution —
+//!   the property `tests/sched_validation.rs` checks on random programs.
+//!
+//! The round count is optimal for *order-preserving* schedules: every
+//! chain of pairwise-conflicting operations must occupy distinct rounds,
+//! and the ASAP depth equals the longest such chain ending at each op.
+
+use crate::graph::ConflictGraph;
+
+/// A batch schedule: operations grouped into conflict-free rounds,
+/// rounds executed in sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// `rounds[k]` holds the (ascending) original indices of the
+    /// operations running concurrently in round `k`.
+    pub rounds: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    /// Number of rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// True iff the schedule has no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The round each operation landed in (`result[i]` = round of op `i`).
+    pub fn round_of(&self) -> Vec<usize> {
+        let n: usize = self.rounds.iter().map(Vec::len).sum();
+        let mut out = vec![0; n];
+        for (k, round) in self.rounds.iter().enumerate() {
+            for &i in round {
+                out[i] = k;
+            }
+        }
+        out
+    }
+
+    /// One serial execution order compatible with the schedule: rounds
+    /// in sequence, each round's ops in the given intra-round orders.
+    /// `intra` must hold, per round, a permutation of that round's
+    /// positions; use [`Schedule::serial_order`] for the canonical one.
+    pub fn order_with(&self, intra: &[Vec<usize>]) -> Vec<usize> {
+        assert_eq!(intra.len(), self.rounds.len(), "one permutation per round");
+        let mut out = Vec::new();
+        for (round, perm) in self.rounds.iter().zip(intra) {
+            assert_eq!(perm.len(), round.len(), "permutation length mismatch");
+            for &p in perm {
+                out.push(round[p]);
+            }
+        }
+        out
+    }
+
+    /// The canonical execution order: rounds in sequence, ascending
+    /// indices inside each round.
+    pub fn serial_order(&self) -> Vec<usize> {
+        self.rounds.iter().flatten().copied().collect()
+    }
+}
+
+/// Computes the order-preserving ASAP round schedule of a conflict graph.
+pub fn schedule(graph: &ConflictGraph) -> Schedule {
+    let n = graph.len();
+    let mut round = vec![0usize; n];
+    let mut rounds: Vec<Vec<usize>> = Vec::new();
+    for j in 0..n {
+        let mut r = 0;
+        for &i in graph.conflicting_neighbors(j) {
+            if i < j {
+                r = r.max(round[i] + 1);
+            }
+        }
+        round[j] = r;
+        if rounds.len() <= r {
+            rounds.resize_with(r + 1, Vec::new);
+        }
+        rounds[r].push(j);
+    }
+    Schedule { rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ConflictGraph, Edge};
+    use crate::pairwise::{Detector, Verdict};
+
+    fn graph(n: usize, conflicts: &[(usize, usize)]) -> ConflictGraph {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                edges.push(Edge {
+                    a,
+                    b,
+                    verdict: Verdict {
+                        conflict: conflicts.contains(&(a, b)),
+                        detector: Detector::Trivial,
+                    },
+                    cached: false,
+                });
+            }
+        }
+        ConflictGraph::new(n, edges)
+    }
+
+    #[test]
+    fn independent_batch_is_one_round() {
+        let s = schedule(&graph(4, &[]));
+        assert_eq!(s.rounds, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn chain_serializes() {
+        let s = schedule(&graph(3, &[(0, 1), (1, 2)]));
+        assert_eq!(s.rounds, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(s.round_of(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rounds_are_conflict_free_and_order_preserving() {
+        let g = graph(6, &[(0, 2), (1, 2), (2, 5), (3, 4)]);
+        let s = schedule(&g);
+        let round = s.round_of();
+        for e in g.edges() {
+            if e.verdict.conflict {
+                assert!(
+                    round[e.a] < round[e.b],
+                    "conflicting pair ({}, {}) must stay ordered",
+                    e.a,
+                    e.b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_equals_longest_conflict_chain() {
+        // 0—1—2—3 chain plus independent 4: depth 4, op 4 in round 0.
+        let s = schedule(&graph(5, &[(0, 1), (1, 2), (2, 3)]));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.rounds[0], vec![0, 4]);
+    }
+
+    #[test]
+    fn order_with_permutes_within_rounds() {
+        let s = Schedule {
+            rounds: vec![vec![0, 2], vec![1]],
+        };
+        assert_eq!(s.serial_order(), vec![0, 2, 1]);
+        assert_eq!(s.order_with(&[vec![1, 0], vec![0]]), vec![2, 0, 1]);
+    }
+}

@@ -41,22 +41,38 @@ pub struct ChildSpec {
 impl ChildSpec {
     /// `label?` — zero or one.
     pub fn optional(label: impl Into<Symbol>) -> ChildSpec {
-        ChildSpec { label: label.into(), min: 0, max: Some(1) }
+        ChildSpec {
+            label: label.into(),
+            min: 0,
+            max: Some(1),
+        }
     }
 
     /// `label` — exactly one.
     pub fn one(label: impl Into<Symbol>) -> ChildSpec {
-        ChildSpec { label: label.into(), min: 1, max: Some(1) }
+        ChildSpec {
+            label: label.into(),
+            min: 1,
+            max: Some(1),
+        }
     }
 
     /// `label*` — any number.
     pub fn star(label: impl Into<Symbol>) -> ChildSpec {
-        ChildSpec { label: label.into(), min: 0, max: None }
+        ChildSpec {
+            label: label.into(),
+            min: 0,
+            max: None,
+        }
     }
 
     /// `label+` — one or more.
     pub fn plus(label: impl Into<Symbol>) -> ChildSpec {
-        ChildSpec { label: label.into(), min: 1, max: None }
+        ChildSpec {
+            label: label.into(),
+            min: 1,
+            max: None,
+        }
     }
 }
 
@@ -117,7 +133,10 @@ impl Dtd {
     /// A DTD whose document element is `root` (initially all labels are
     /// leaves).
     pub fn new(root: impl Into<Symbol>) -> Dtd {
-        Dtd { root: root.into(), rules: HashMap::new() }
+        Dtd {
+            root: root.into(),
+            rules: HashMap::new(),
+        }
     }
 
     /// Declares (or replaces) the content model of `label`.
@@ -148,8 +167,7 @@ impl Dtd {
             Some(specs) => {
                 for spec in specs {
                     let found = counts.remove(&spec.label).unwrap_or(0);
-                    let ok = found >= spec.min
-                        && spec.max.map_or(true, |mx| found <= mx);
+                    let ok = found >= spec.min && spec.max.map_or(true, |mx| found <= mx);
                     if !ok {
                         out.push(Violation::Occurrence {
                             node: n,
@@ -244,7 +262,19 @@ fn expand(
     // Enumerate per-spec counts. Cap each count by the node budget.
     let budget = max_nodes - t.live_count();
     let mut counts = vec![0usize; specs.len()];
-    enumerate_counts(dtd, t, node, &specs, 0, budget, &mut counts, &frontier, max_nodes, max_trees, out);
+    enumerate_counts(
+        dtd,
+        t,
+        node,
+        &specs,
+        0,
+        budget,
+        &mut counts,
+        &frontier,
+        max_nodes,
+        max_trees,
+        out,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -284,8 +314,17 @@ fn enumerate_counts(
     for c in spec.min..=hi {
         counts[idx] = c;
         enumerate_counts(
-            dtd, t, node, specs, idx + 1, budget - c, counts, frontier, max_nodes,
-            max_trees, out,
+            dtd,
+            t,
+            node,
+            specs,
+            idx + 1,
+            budget - c,
+            counts,
+            frontier,
+            max_nodes,
+            max_trees,
+            out,
         );
     }
 }
@@ -402,12 +441,14 @@ mod tests {
         assert!(dtd.conforms(&t));
         // Insert a second title — breaks the bound; revalidation catches
         // it by looking only at the journaled site.
-        let ins = Insert::new(parse("inventory/book").unwrap(), text::parse("title").unwrap());
+        let ins = Insert::new(
+            parse("inventory/book").unwrap(),
+            text::parse("title").unwrap(),
+        );
         ins.apply(&mut t);
         let vs = dtd.revalidate(&t);
         assert!(
-            vs.iter()
-                .any(|v| matches!(v, Violation::Occurrence { .. })),
+            vs.iter().any(|v| matches!(v, Violation::Occurrence { .. })),
             "{vs:?}"
         );
     }
@@ -432,7 +473,12 @@ mod tests {
         let dtd = inventory_dtd();
         let cases = [
             ("inventory(book(title))", "inventory/book", "quantity", true),
-            ("inventory(book(title quantity))", "inventory/book", "quantity", false),
+            (
+                "inventory(book(title quantity))",
+                "inventory/book",
+                "quantity",
+                false,
+            ),
             ("inventory(book(title))", "inventory", "book(title)", true),
             ("inventory(book(title))", "inventory", "price", false),
         ];
@@ -491,9 +537,7 @@ mod tests {
             text::parse("restock").unwrap(),
         ));
         // Unconstrained: conflict (PTIME detector).
-        assert!(
-            cxu_core::detect::read_update_conflict(&r, &u, Semantics::Node).unwrap()
-        );
+        assert!(cxu_core::detect::read_update_conflict(&r, &u, Semantics::Node).unwrap());
         // Schema-constrained: none within a generous bound.
         let dtd = inventory_dtd();
         match find_witness_conforming(&r, &u, Semantics::Node, &dtd, 7, 100_000) {

@@ -1,8 +1,14 @@
 //! Property tests for the DTD substrate.
 
+// Gated: needs the external `proptest` crate (see the workspace
+// Cargo.toml note on hermetic builds).
+#![cfg(feature = "proptest")]
+
 use cxu_ops::{Insert, Read, Semantics, Update};
 use cxu_pattern::xpath;
-use cxu_schema::{enumerate_conforming, find_witness_conforming, ChildSpec, Dtd, SchemaSearchOutcome};
+use cxu_schema::{
+    enumerate_conforming, find_witness_conforming, ChildSpec, Dtd, SchemaSearchOutcome,
+};
 use cxu_tree::text;
 use proptest::prelude::*;
 

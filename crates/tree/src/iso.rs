@@ -43,8 +43,7 @@ impl Canonizer {
         };
         let mut codes: HashMap<NodeId, CanonCode> = HashMap::with_capacity(order.len());
         for x in order {
-            let mut kid_codes: Vec<CanonCode> =
-                t.children(x).iter().map(|c| codes[c]).collect();
+            let mut kid_codes: Vec<CanonCode> = t.children(x).iter().map(|c| codes[c]).collect();
             kid_codes.sort_unstable();
             let key = (t.label(x), kid_codes);
             let next = CanonCode(u32::try_from(self.table.len()).expect("canon overflow"));

@@ -380,18 +380,13 @@ mod tests {
     #[test]
     fn entities_decoded() {
         let t = parse("<a>x &lt; y &amp; z</a>").unwrap();
-        assert_eq!(
-            t.label(t.children(t.root())[0]).as_str(),
-            "#text=x < y & z"
-        );
+        assert_eq!(t.label(t.children(t.root())[0]).as_str(), "#text=x < y & z");
     }
 
     #[test]
     fn comments_pi_doctype_skipped() {
-        let t = parse(
-            "<?xml version=\"1.0\"?><!DOCTYPE a><!-- hi --><a><!-- inner --><b/></a>",
-        )
-        .unwrap();
+        let t = parse("<?xml version=\"1.0\"?><!DOCTYPE a><!-- hi --><a><!-- inner --><b/></a>")
+            .unwrap();
         assert_eq!(t.live_count(), 2);
     }
 

@@ -1,5 +1,9 @@
 //! Robustness: tree parsers never panic on arbitrary input.
 
+// Gated: needs the external `proptest` crate (see the workspace
+// Cargo.toml note on hermetic builds).
+#![cfg(feature = "proptest")]
+
 use cxu_tree::{text, xml};
 use proptest::prelude::*;
 

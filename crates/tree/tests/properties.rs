@@ -1,5 +1,9 @@
 //! Property tests for the tree substrate.
 
+// Gated: needs the external `proptest` crate (see the workspace
+// Cargo.toml note on hermetic builds).
+#![cfg(feature = "proptest")]
+
 use cxu_tree::enumerate::enumerate_trees;
 use cxu_tree::iso::{isomorphic, Canonizer};
 use cxu_tree::{text, NodeId, Symbol, Tree};
@@ -15,8 +19,7 @@ fn arb_tree() -> impl Strategy<Value = Tree> {
             proptest::collection::vec(proptest::num::u32::ANY, n.saturating_sub(1)),
         )
             .prop_map(move |(labels, parents)| {
-                let lbl =
-                    |i: usize| Symbol::intern(&format!("p{}", labels[i % labels.len()]));
+                let lbl = |i: usize| Symbol::intern(&format!("p{}", labels[i % labels.len()]));
                 let mut t = Tree::new(lbl(0));
                 let mut ids: Vec<NodeId> = vec![t.root()];
                 for (i, &p) in parents.iter().enumerate() {

@@ -13,9 +13,8 @@ use cxu::core::incremental::IncrementalRead;
 use cxu::gen::analysis::{cse_pairs, eliminate_common_reads};
 use cxu::gen::docs::{inventory, InventoryParams};
 use cxu::gen::program::{Program, Stmt};
+use cxu::gen::rng::SplitMix64 as SmallRng;
 use cxu::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {

@@ -13,9 +13,9 @@
 
 use cxu::core::brute::{find_witness, Budget, SearchOutcome};
 use cxu::core::reduction;
+use cxu::detect;
 use cxu::pattern::containment;
 use cxu::prelude::*;
-use cxu::detect;
 use std::time::Instant;
 
 fn main() {
@@ -68,7 +68,10 @@ fn main() {
             "  {p_src:<8} ⊆ {q_src:<8} ? {:<5} | reduced instance conflicts? {:<5} ✓",
             contained, conflict
         );
-        assert_ne!(contained, conflict, "Theorem 4 violated for {p_src} vs {q_src}");
+        assert_ne!(
+            contained, conflict,
+            "Theorem 4 violated for {p_src} vs {q_src}"
+        );
     }
 
     println!("\n-- exhaustive search cost vs witness size bound --\n");

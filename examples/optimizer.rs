@@ -9,12 +9,11 @@
 //!
 //! Run with: `cargo run --example optimizer`
 
+use cxu::detect;
 use cxu::gen::program::{motion_candidates, observe, random_program, Program, ProgramParams, Stmt};
+use cxu::gen::rng::SplitMix64 as SmallRng;
 use cxu::gen::trees::{random_tree, TreeParams};
 use cxu::prelude::*;
-use cxu::detect;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// Swap statements `i` and `j` (i < j), modelling the hoist of the read
 /// at `j` to just before the update at `i`. Only valid when nothing
@@ -51,8 +50,12 @@ fn main() {
             .collect();
 
         for (u_idx, r_idx) in candidates {
-            let Stmt::Update(u) = &prog.stmts[u_idx] else { unreachable!() };
-            let Stmt::Read(r) = &prog.stmts[r_idx] else { unreachable!() };
+            let Stmt::Update(u) = &prog.stmts[u_idx] else {
+                unreachable!()
+            };
+            let Stmt::Read(r) = &prog.stmts[r_idx] else {
+                unreachable!()
+            };
             total_pairs += 1;
             // Tree semantics: the observation below renders the returned
             // *subtrees*, so node-set stability alone is not enough — the

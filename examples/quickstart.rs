@@ -28,8 +28,8 @@ fn main() {
 
     for (src, label) in [("x//C", "read $x//C"), ("x//D", "read $x//D")] {
         let read = Read::new(parse(src));
-        let conflicts = detect::read_insert_conflict(&read, &insert, Semantics::Node)
-            .expect("linear read");
+        let conflicts =
+            detect::read_insert_conflict(&read, &insert, Semantics::Node).expect("linear read");
         println!(
             "{label:<12}: {}",
             if conflicts {
@@ -44,10 +44,7 @@ fn main() {
     println!("\n-- witness check on x(B) --");
     let w = doc("x(B)");
     let read_c = Read::new(parse("x//C"));
-    println!(
-        "R(t)  before insert: {} node(s)",
-        read_c.eval(&w).len()
-    );
+    println!("R(t)  before insert: {} node(s)", read_c.eval(&w).len());
     let (after, points) = insert.apply_to_copy(&w);
     println!(
         "I(t)  inserted at {} point(s); R(I(t)): {} node(s)",
@@ -68,7 +65,10 @@ fn main() {
     let read_g = Read::new(parse("root//gamma"));
     for sem in Semantics::ALL {
         let hit = witness::witnesses_delete_conflict(&read_g, &del, &fig3, sem);
-        println!("  {sem:?} semantics: {}", if hit { "conflict" } else { "no conflict" });
+        println!(
+            "  {sem:?} semantics: {}",
+            if hit { "conflict" } else { "no conflict" }
+        );
     }
     println!(
         "\n(The deleted gamma subtree is isomorphic to the surviving one,\n\

@@ -14,11 +14,10 @@
 //! Run with: `cargo run --example restock`
 
 use cxu::gen::docs::{inventory, InventoryParams};
+use cxu::gen::rng::SplitMix64 as SmallRng;
 use cxu::prelude::*;
 use cxu::schema::{ChildSpec, Dtd, SchemaSearchOutcome};
 use cxu::{detect, witness};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() {
     let parse = |s: &str| cxu::pattern::xpath::parse(s).expect("pattern parses");
@@ -42,7 +41,10 @@ fn main() {
         cxu::tree::text::parse("restock").unwrap(),
     );
     let points = restock.apply(&mut doc);
-    println!("insert <restock/> at low-stock books: {} insertion point(s)", points.len());
+    println!(
+        "insert <restock/> at low-stock books: {} insertion point(s)",
+        points.len()
+    );
     let markers = Read::new(parse("inventory/book/restock")).eval(&doc);
     assert_eq!(markers.len(), points.len());
 
@@ -57,8 +59,7 @@ fn main() {
         ("inventory//low", "low markers"),
     ] {
         let read = Read::new(parse(src));
-        let conflict =
-            detect::read_insert_conflict(&read, &restock, Semantics::Node).unwrap();
+        let conflict = detect::read_insert_conflict(&read, &restock, Semantics::Node).unwrap();
         println!(
             "  read {src:<28} ({what:<20}): {}",
             if conflict { "conflicts" } else { "independent" }
@@ -113,7 +114,14 @@ fn main() {
     ));
     let unconstrained =
         detect::read_update_conflict(&read_any, &bogus_insert, Semantics::Node).unwrap();
-    println!("over all trees        : {}", if unconstrained { "conflict" } else { "independent" });
+    println!(
+        "over all trees        : {}",
+        if unconstrained {
+            "conflict"
+        } else {
+            "independent"
+        }
+    );
     let constrained = cxu::schema::find_witness_conforming(
         &read_any,
         &bogus_insert,

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything here must pass offline, with no
+# network access and no external crates (see DESIGN.md, "Dependency
+# justification"). CI runs this same script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "    (rustfmt not installed; skipped)"
+fi
+
+echo "==> cargo clippy -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "    (clippy not installed; skipped)"
+fi
+
+echo "OK"

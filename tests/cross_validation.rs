@@ -11,15 +11,18 @@
 //! Random structures come from `cxu-gen`, driven by proptest-chosen
 //! seeds, so failures shrink to a seed that reproduces deterministically.
 
+// Gated: needs the external `proptest` crate (see the workspace
+// Cargo.toml note on hermetic builds).
+#![cfg(feature = "proptest")]
+
 use cxu::core::{brute, matching};
+use cxu::detect;
 use cxu::gen::patterns::{random_delete_pattern, random_pattern, PatternParams};
+use cxu::gen::rng::{Rng, SplitMix64 as SmallRng};
 use cxu::gen::trees::{random_tree, TreeParams};
 use cxu::pattern::{containment, embed, eval, Pattern};
 use cxu::prelude::*;
-use cxu::detect;
 use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn small_pattern(seed: u64, branching: bool) -> Pattern {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -476,7 +479,13 @@ fn detectors_handle_large_linear_patterns() {
     let r = Read::new(random_pattern(&mut rng, &PatternParams::linear(200)));
     let i = Insert::new(
         random_pattern(&mut rng, &PatternParams::linear(200)),
-        random_tree(&mut rng, &TreeParams { nodes: 50, ..Default::default() }),
+        random_tree(
+            &mut rng,
+            &TreeParams {
+                nodes: 50,
+                ..Default::default()
+            },
+        ),
     );
     let _ = detect::read_insert_conflict(&r, &i, Semantics::Node).unwrap();
     let d = Delete::new({

@@ -2,13 +2,12 @@
 
 use cxu::core::{update_update, witness_min};
 use cxu::gen::docs::{inventory, InventoryParams};
+use cxu::gen::rng::SplitMix64 as SmallRng;
 use cxu::pattern::xpath;
 use cxu::prelude::*;
 use cxu::schema::{ChildSpec, Dtd, SchemaSearchOutcome};
 use cxu::tree::{iso, text, xml};
 use cxu::{detect, witness};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn pat(s: &str) -> Pattern {
     xpath::parse(s).unwrap()
@@ -26,7 +25,10 @@ fn xml_pipeline() {
     assert_eq!(doc.live_count(), 11); // elements + #text nodes
 
     // Insert a restock marker into every book that has a quantity.
-    let ins = Insert::new(pat("inventory/book[quantity]"), text::parse("restock").unwrap());
+    let ins = Insert::new(
+        pat("inventory/book[quantity]"),
+        text::parse("restock").unwrap(),
+    );
     // Static conflict question for a follow-up read.
     let follow_up = Read::new(pat("inventory/book/restock"));
     assert!(detect::read_insert_conflict(&follow_up, &ins, Semantics::Node).unwrap());
@@ -62,11 +64,8 @@ fn inventory_conflict_lifecycle() {
     // Static: conflict exists over all trees.
     assert!(detect::read_update_conflict(&r, &u, Semantics::Node).unwrap());
     // Dynamic: this document witnesses it iff it has a low-stock book.
-    let has_low = !cxu::pattern::eval::eval(
-        &pat("inventory/book[.//quantity/low]"),
-        &doc,
-    )
-    .is_empty();
+    let has_low =
+        !cxu::pattern::eval::eval(&pat("inventory/book[.//quantity/low]"), &doc).is_empty();
     assert_eq!(
         witness::witnesses_update_conflict(&r, &u, &doc, Semantics::Node),
         has_low
@@ -74,9 +73,17 @@ fn inventory_conflict_lifecycle() {
     // Minimization shrinks the 60-odd-node document to a tiny witness.
     if has_low {
         let small = witness_min::minimize(&r, &u, &doc, Semantics::Node).unwrap();
-        assert!(witness::witnesses_update_conflict(&r, &u, &small, Semantics::Node));
+        assert!(witness::witnesses_update_conflict(
+            &r,
+            &u,
+            &small,
+            Semantics::Node
+        ));
         assert!(small.live_count() < doc.live_count());
-        assert!(small.live_count() <= 8, "minimal witness is tiny: {small:?}");
+        assert!(
+            small.live_count() <= 8,
+            "minimal witness is tiny: {small:?}"
+        );
     }
 }
 
@@ -98,7 +105,10 @@ fn schema_pipeline() {
     assert!(dtd.conforms(&doc));
 
     // A conforming update keeps the document valid (revalidation agrees).
-    let ins = Insert::new(pat("inventory/book[quantity]"), text::parse("restock").unwrap());
+    let ins = Insert::new(
+        pat("inventory/book[quantity]"),
+        text::parse("restock").unwrap(),
+    );
     ins.apply(&mut doc);
     assert!(dtd.revalidate(&doc).is_empty());
     assert!(dtd.conforms(&doc));

@@ -21,13 +21,8 @@ fn doc(s: &str) -> Tree {
 #[test]
 fn figure1_restock_insertion() {
     // Two books, one with low quantity (structural stand-in for `< 10`).
-    let mut t = doc(
-        "inventory(book(title info(quantity(low))) book(title info(quantity)))",
-    );
-    let ins = Insert::new(
-        pat("inventory/book[.//quantity/low]"),
-        doc("restock"),
-    );
+    let mut t = doc("inventory(book(title info(quantity(low))) book(title info(quantity)))");
+    let ins = Insert::new(pat("inventory/book[.//quantity/low]"), doc("restock"));
     let points = ins.apply(&mut t);
     assert_eq!(points.len(), 1, "only the low-stock book is restocked");
     let restocks = eval::eval(&pat("inventory/book/restock"), &t);
@@ -55,7 +50,12 @@ fn section1_functional_fragment() {
     assert!(!detect::read_insert_conflict(&read, &ins, Semantics::Node).unwrap());
     // Concrete check on a document with a B child.
     let t = doc("x(B(A) y(A))");
-    assert!(!witness::witnesses_insert_conflict(&read, &ins, &t, Semantics::Node));
+    assert!(!witness::witnesses_insert_conflict(
+        &read,
+        &ins,
+        &t,
+        Semantics::Node
+    ));
 }
 
 // ---------------------------------------------------------------- Figure 2
@@ -92,9 +92,24 @@ fn figure3_reference_vs_value_semantics() {
     let r = Read::new(pat("root//gamma"));
     let d = Delete::new(pat("root/delta")).unwrap();
     let w = doc("root(delta(gamma) other(gamma))");
-    assert!(witness::witnesses_delete_conflict(&r, &d, &w, Semantics::Node));
-    assert!(witness::witnesses_delete_conflict(&r, &d, &w, Semantics::Tree));
-    assert!(!witness::witnesses_delete_conflict(&r, &d, &w, Semantics::Value));
+    assert!(witness::witnesses_delete_conflict(
+        &r,
+        &d,
+        &w,
+        Semantics::Node
+    ));
+    assert!(witness::witnesses_delete_conflict(
+        &r,
+        &d,
+        &w,
+        Semantics::Tree
+    ));
+    assert!(!witness::witnesses_delete_conflict(
+        &r,
+        &d,
+        &w,
+        Semantics::Value
+    ));
     // The two gamma subtrees are isomorphic — the reason value semantics
     // is silent.
     let gammas = eval::eval(&pat("root//gamma"), &w);
@@ -115,8 +130,18 @@ fn definition3_node_vs_tree_example() {
     assert!(detect::read_insert_conflict(&r, &i, Semantics::Tree).unwrap());
     // Witness-level agreement.
     let w = doc("root(B)");
-    assert!(!witness::witnesses_insert_conflict(&r, &i, &w, Semantics::Node));
-    assert!(witness::witnesses_insert_conflict(&r, &i, &w, Semantics::Tree));
+    assert!(!witness::witnesses_insert_conflict(
+        &r,
+        &i,
+        &w,
+        Semantics::Node
+    ));
+    assert!(witness::witnesses_insert_conflict(
+        &r,
+        &i,
+        &w,
+        Semantics::Tree
+    ));
 }
 
 // ---------------------------------------------------------------- Lemma 2
@@ -129,7 +154,10 @@ fn lemma2_tree_equals_value_for_linear() {
         ("a/b", Update::Insert(Insert::new(pat("a/b/c"), doc("x")))),
         ("a//m", Update::Insert(Insert::new(pat("a/spot"), doc("m")))),
         ("a/b", Update::Delete(Delete::new(pat("a/b/c")).unwrap())),
-        ("root//gamma", Update::Delete(Delete::new(pat("root/delta")).unwrap())),
+        (
+            "root//gamma",
+            Update::Delete(Delete::new(pat("root/delta")).unwrap()),
+        ),
         ("a/b/c", Update::Insert(Insert::new(pat("a/b"), doc("c")))),
         ("x//D", Update::Insert(Insert::new(pat("x/B"), doc("C")))),
     ];
@@ -167,7 +195,12 @@ fn figure5_read_delete_structure() {
     assert!(detect::read_delete_conflict(&r, &d, Semantics::Node).unwrap());
     // Concrete witness straight from the figure.
     let w = doc("a(b(u(v)))");
-    assert!(witness::witnesses_delete_conflict(&r, &d, &w, Semantics::Node));
+    assert!(witness::witnesses_delete_conflict(
+        &r,
+        &d,
+        &w,
+        Semantics::Node
+    ));
 }
 
 // ---------------------------------------------------------------- Figure 4 structure
@@ -182,7 +215,12 @@ fn figure4_cut_edge_structure() {
     let i = Insert::new(pat("a/b"), doc("w(f)"));
     assert!(detect::read_insert_conflict(&r, &i, Semantics::Node).unwrap());
     let w = doc("a(b)");
-    assert!(witness::witnesses_insert_conflict(&r, &i, &w, Semantics::Node));
+    assert!(witness::witnesses_insert_conflict(
+        &r,
+        &i,
+        &w,
+        Semantics::Node
+    ));
 }
 
 // ---------------------------------------------------------------- Lemmas 4 & 8
@@ -229,7 +267,12 @@ fn figure6_reparenting() {
     }
     let w = doc(&format!("a({chain})"));
     let small = witness_min::minimize(&r, &u, &w, Semantics::Node).unwrap();
-    assert!(witness::witnesses_update_conflict(&r, &u, &small, Semantics::Node));
+    assert!(witness::witnesses_update_conflict(
+        &r,
+        &u,
+        &small,
+        Semantics::Node
+    ));
     assert!(small.live_count() < w.live_count());
     assert!(small.live_count() <= brute::lemma11_bound(&r, &u));
 }
@@ -241,7 +284,10 @@ fn lemma11_bound_holds_for_found_witnesses() {
     let cases: Vec<(&str, Update)> = vec![
         ("x//C", Update::Insert(Insert::new(pat("x/B"), doc("C")))),
         ("a//v", Update::Delete(Delete::new(pat("a/b")).unwrap())),
-        ("a[b][c]", Update::Insert(Insert::new(pat("a[b]"), doc("c")))),
+        (
+            "a[b][c]",
+            Update::Insert(Insert::new(pat("a[b]"), doc("c"))),
+        ),
     ];
     for (r_src, u) in cases {
         let r = Read::new(pat(r_src));
@@ -265,7 +311,12 @@ fn theorem4_insert_reduction() {
     let (r, i) = reduction::insert_instance(&p, &q);
     let t_p = containment::find_counterexample(&p, &q, 4).unwrap();
     let w = reduction::insert_witness_from_counterexample(&p, &q, &t_p);
-    assert!(witness::witnesses_insert_conflict(&r, &i, &w, Semantics::Node));
+    assert!(witness::witnesses_insert_conflict(
+        &r,
+        &i,
+        &w,
+        Semantics::Node
+    ));
     // R(W) = ∅ and R(I(W)) = {root}: exactly the proof's shape.
     assert!(r.eval(&w).is_empty());
     let (after, _) = i.apply_to_copy(&w);
@@ -280,7 +331,12 @@ fn theorem6_delete_reduction() {
     let (r, d) = reduction::delete_instance(&p, &q);
     let t_p = containment::find_counterexample(&p, &q, 4).unwrap();
     let w = reduction::delete_witness_from_counterexample(&p, &q, &t_p);
-    assert!(witness::witnesses_delete_conflict(&r, &d, &w, Semantics::Node));
+    assert!(witness::witnesses_delete_conflict(
+        &r,
+        &d,
+        &w,
+        Semantics::Node
+    ));
     // R(W) = {root}, R(D(W)) = ∅.
     assert_eq!(r.eval(&w), vec![w.root()]);
     let (after, _) = d.apply_to_copy(&w);

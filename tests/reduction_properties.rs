@@ -11,11 +11,10 @@
 
 use cxu::core::{brute, reduction};
 use cxu::gen::patterns::{random_pattern, PatternParams};
+use cxu::gen::rng::{Rng, SplitMix64 as SmallRng};
 use cxu::pattern::{containment, eval};
 use cxu::prelude::*;
 use cxu::witness;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn random_pair(seed: u64) -> (Pattern, Pattern) {
     let mut rng = SmallRng::seed_from_u64(seed);
