@@ -410,6 +410,7 @@ fn e11_schema() {
             SchemaSearchOutcome::Conflict(_) => "conflict",
             SchemaSearchOutcome::NoConflictWithin(_) => "independent",
             SchemaSearchOutcome::BudgetExceeded => "undecided",
+            SchemaSearchOutcome::DeadlineExceeded => "timed out",
         };
         println!(
             "| {name} | {} | {constrained} |",

@@ -31,11 +31,14 @@ USAGE:
   cxu contain --sub <xpath> --sup <xpath>
   cxu analyze --program <file|source>
   cxu schedule --program <file|source> [--jobs N] [--semantics S]
-               [--format text|json|dot]
+               [--deadline-ms MS] [--format text|json|dot]
   cxu dot     (--pattern <xpath> | --doc <D>)
 
   S = node | tree | value        (default: node; schedule defaults to value)
   D = inline term like 'a(b c)', or a path to a .xml / .tree file
+  --deadline-ms MS  per-pair time slice: NP-side analyses that outlive it
+                    degrade to conservative conflicts (shown as
+                    \"conservative-deadline\" edges) instead of stalling
 
 EXAMPLES:
   cxu check --read 'x//C' --insert 'x/B' --subtree 'C'
@@ -43,6 +46,7 @@ EXAMPLES:
   cxu eval --pattern 'inventory/book[.//quantity]' --doc inventory.xml
   cxu contain --sub 'a/b' --sup 'a//b'
   cxu schedule --program 'y = read $x//A; insert $x/B, C; z = read $x//C'
+  cxu schedule --program batch.cxu --deadline-ms 50 --format json
 ";
 
 /// Flags that never take a value. Every other flag consumes the next
@@ -147,8 +151,8 @@ fn cmd_check(args: &Args) -> Result<String, String> {
     let update = parse_update(args)?;
     let sem = parse_semantics(args)?;
     if read.pattern().is_linear() {
-        let conflict =
-            detect::read_update_conflict(&read, &update, sem).expect("linearity checked");
+        let conflict = detect::read_update_conflict(&read, &update, sem)
+            .map_err(|e| format!("detector rejected the pair: {e}"))?;
         let mut out = format!(
             "{} ({:?} semantics, PTIME detector, Theorems 1-2)",
             if conflict { "CONFLICT" } else { "independent" },
@@ -156,13 +160,12 @@ fn cmd_check(args: &Args) -> Result<String, String> {
         );
         if conflict {
             if let Some(ev) = cxu::core::construct::explain(&read, &update, sem) {
-                match ev.edge {
-                    Some(edge) => out.push_str(&format!(
-                        "\n  fired at read edge {edge} ({:?} axis); witness: {}",
-                        ev.axis.expect("edge implies axis"),
+                match (ev.edge, ev.axis) {
+                    (Some(edge), Some(axis)) => out.push_str(&format!(
+                        "\n  fired at read edge {edge} ({axis:?} axis); witness: {}",
                         text::to_text(&ev.witness)
                     )),
-                    None => out.push_str(&format!(
+                    _ => out.push_str(&format!(
                         "\n  update lands inside a selected subtree; witness: {}",
                         text::to_text(&ev.witness)
                     )),
@@ -185,6 +188,9 @@ fn cmd_check(args: &Args) -> Result<String, String> {
             ),
             brute::SearchOutcome::BudgetExceeded(n) => {
                 format!("undecided: {n} candidate trees exceed the search budget")
+            }
+            brute::SearchOutcome::DeadlineExceeded => {
+                "undecided: the search deadline expired".into()
             }
         })
     }
@@ -328,6 +334,12 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
             .filter(|&j| j >= 1)
             .ok_or_else(|| format!("bad --jobs '{j}' (want a positive integer)"))?;
     }
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms = ms
+            .parse::<u64>()
+            .map_err(|_| format!("bad --deadline-ms '{ms}' (want milliseconds)"))?;
+        cfg.pair_deadline = Some(std::time::Duration::from_millis(ms));
+    }
     let out = Scheduler::new(cfg).run(&ops);
 
     let detector_name = |d: Detector| match d {
@@ -336,6 +348,9 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
         Detector::PtimeLinearUpdates => "ptime-linear-updates",
         Detector::WitnessSearch => "witness-search",
         Detector::ConservativeUndecided => "conservative-undecided",
+        Detector::ConservativeBudget => "conservative-budget",
+        Detector::ConservativeDeadline => "conservative-deadline",
+        Detector::ConservativePanic => "conservative-panic",
     };
 
     match args.get("format").unwrap_or("text") {
@@ -408,6 +423,7 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
                 "],\n  \"stats\": {{\"ops\": {}, \"pairs_total\": {}, \"trivial\": {}, \
                  \"pairs_analyzed\": {}, \"cache_hits\": {}, \"ptime_linear_read\": {}, \
                  \"ptime_linear_updates\": {}, \"witness_search\": {}, \"conservative\": {}, \
+                 \"degraded_budget\": {}, \"degraded_deadline\": {}, \"degraded_panic\": {}, \
                  \"conflict_edges\": {}, \"rounds\": {}, \"jobs\": {}}}\n}}",
                 st.ops,
                 st.pairs_total,
@@ -418,6 +434,9 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
                 st.ptime_linear_updates,
                 st.witness_search,
                 st.conservative,
+                st.degraded_budget,
+                st.degraded_deadline,
+                st.degraded_panic,
                 st.conflict_edges,
                 st.rounds,
                 st.jobs

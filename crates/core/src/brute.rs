@@ -16,6 +16,7 @@
 
 use cxu_ops::witness::witnesses_update_conflict;
 use cxu_ops::{Read, Semantics, Update};
+use cxu_runtime::{failpoints, Deadline};
 use cxu_tree::enumerate::{count_trees, enumerate_trees};
 use cxu_tree::{Symbol, Tree};
 
@@ -48,6 +49,9 @@ pub enum SearchOutcome {
     NoConflictWithin(usize),
     /// The candidate count exceeded `max_trees`; nothing was decided.
     BudgetExceeded(u128),
+    /// The deadline expired (or the cancel token fired) mid-search;
+    /// nothing was decided.
+    DeadlineExceeded,
 }
 
 impl SearchOutcome {
@@ -56,7 +60,7 @@ impl SearchOutcome {
         match self {
             SearchOutcome::Conflict(_) => Some(true),
             SearchOutcome::NoConflictWithin(_) => Some(false),
-            SearchOutcome::BudgetExceeded(_) => None,
+            SearchOutcome::BudgetExceeded(_) | SearchOutcome::DeadlineExceeded => None,
         }
     }
 }
@@ -86,12 +90,27 @@ pub fn witness_alphabet(r: &Read, u: &Update) -> Vec<Symbol> {
 
 /// Searches for a conflict witness within the budget.
 pub fn find_witness(r: &Read, u: &Update, sem: Semantics, budget: Budget) -> SearchOutcome {
+    find_witness_deadline(r, u, sem, budget, &Deadline::never())
+}
+
+/// [`find_witness`] with a cooperative deadline, polled once per
+/// candidate: overrun past the cutoff is bounded by one witness check.
+pub fn find_witness_deadline(
+    r: &Read,
+    u: &Update,
+    sem: Semantics,
+    budget: Budget,
+    deadline: &Deadline,
+) -> SearchOutcome {
     let alpha = witness_alphabet(r, u);
     let candidates = count_trees(alpha.len(), budget.max_nodes);
-    if candidates > budget.max_trees {
+    if candidates > budget.max_trees || failpoints::fire("brute::search") {
         return SearchOutcome::BudgetExceeded(candidates);
     }
     for t in enumerate_trees(&alpha, budget.max_nodes) {
+        if deadline.poll() {
+            return SearchOutcome::DeadlineExceeded;
+        }
         if witnesses_update_conflict(r, u, &t, sem) {
             return SearchOutcome::Conflict(t);
         }
@@ -103,11 +122,24 @@ pub fn find_witness(r: &Read, u: &Update, sem: Semantics, budget: Budget) -> Sea
 /// if the candidate count exceeds `max_trees` (the instance is too large
 /// to decide exhaustively — as §5 predicts for all but tiny inputs).
 pub fn decide(r: &Read, u: &Update, sem: Semantics, max_trees: u128) -> Option<bool> {
+    decide_outcome(r, u, sem, max_trees, &Deadline::never()).decided()
+}
+
+/// [`decide`] exposing the full outcome (so callers can distinguish a
+/// blown budget from an expired deadline), under a deadline. At the
+/// Lemma 11 bound, `NoConflictWithin` is an exact "no conflict".
+pub fn decide_outcome(
+    r: &Read,
+    u: &Update,
+    sem: Semantics,
+    max_trees: u128,
+    deadline: &Deadline,
+) -> SearchOutcome {
     let budget = Budget {
         max_nodes: lemma11_bound(r, u),
         max_trees,
     };
-    find_witness(r, u, sem, budget).decided()
+    find_witness_deadline(r, u, sem, budget, deadline)
 }
 
 /// [`find_witness`] fanned out over `threads` OS threads with early exit.
@@ -267,6 +299,42 @@ mod tests {
     }
 
     #[test]
+    fn deadline_exceeded_reported() {
+        // An already-expired deadline trips on the first candidate poll,
+        // before any witness check runs.
+        let r = read("a[b][c]");
+        let u = ins("a[b]", "c");
+        let dl = Deadline::after(std::time::Duration::ZERO);
+        let out = find_witness_deadline(&r, &u, Semantics::Node, Budget::default(), &dl);
+        assert!(matches!(out, SearchOutcome::DeadlineExceeded));
+        assert_eq!(out.decided(), None);
+        // An unbounded deadline changes nothing.
+        let out2 = find_witness_deadline(
+            &r,
+            &u,
+            Semantics::Node,
+            Budget::default(),
+            &Deadline::never(),
+        );
+        assert!(matches!(out2, SearchOutcome::Conflict(_)));
+    }
+
+    #[test]
+    fn decide_outcome_distinguishes_budget_from_deadline() {
+        let r = read("a[b]//c//d");
+        let u = ins("a//x[y][z]", "w");
+        // Starved tree budget: BudgetExceeded, not DeadlineExceeded.
+        let out = decide_outcome(&r, &u, Semantics::Node, 10, &Deadline::never());
+        assert!(matches!(out, SearchOutcome::BudgetExceeded(_)));
+        // Room to search but no time: DeadlineExceeded.
+        let small = read("a[b][c]");
+        let ins_small = ins("a[b]", "c");
+        let dl = Deadline::after(std::time::Duration::ZERO);
+        let out2 = decide_outcome(&small, &ins_small, Semantics::Node, 2_000_000, &dl);
+        assert!(matches!(out2, SearchOutcome::DeadlineExceeded));
+    }
+
+    #[test]
     fn lemma11_bound_shape() {
         let r = read("a/*/*/b"); // |R| = 4, star-length 2
         let u = ins("a/q", "w"); // |I| = 2
@@ -370,6 +438,7 @@ mod tests {
                         );
                     }
                     SearchOutcome::BudgetExceeded(_) => panic!("budget too small"),
+                    SearchOutcome::DeadlineExceeded => panic!("no deadline was set"),
                 }
             }
         }

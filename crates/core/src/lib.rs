@@ -37,6 +37,8 @@
 //! assert!(!detect::read_insert_conflict(&r2, &i, Semantics::Node).unwrap());
 //! ```
 
+pub use cxu_runtime as runtime;
+
 pub mod brute;
 pub mod construct;
 pub mod detect;

@@ -13,6 +13,7 @@
 //! not to conflict falls out of the isomorphism comparison for free.
 
 use cxu_ops::Update;
+use cxu_runtime::{failpoints, Deadline};
 use cxu_tree::enumerate::{count_trees, enumerate_trees};
 use cxu_tree::{iso, Symbol, Tree};
 
@@ -55,6 +56,8 @@ pub enum Outcome {
     NoConflictWithin(usize),
     /// Candidate count exceeded the budget.
     BudgetExceeded(u128),
+    /// The deadline expired (or the cancel token fired) mid-search.
+    DeadlineExceeded,
 }
 
 /// The joint alphabet: both patterns, both inserted trees, one fresh.
@@ -74,12 +77,26 @@ fn alphabet(u1: &Update, u2: &Update) -> Vec<Symbol> {
 
 /// Searches for a tree on which `u1` and `u2` fail to commute.
 pub fn find_noncommuting_witness(u1: &Update, u2: &Update, budget: Budget) -> Outcome {
+    find_noncommuting_witness_deadline(u1, u2, budget, &Deadline::never())
+}
+
+/// [`find_noncommuting_witness`] with a cooperative deadline, polled
+/// once per candidate tree.
+pub fn find_noncommuting_witness_deadline(
+    u1: &Update,
+    u2: &Update,
+    budget: Budget,
+    deadline: &Deadline,
+) -> Outcome {
     let alpha = alphabet(u1, u2);
     let n = count_trees(alpha.len(), budget.max_nodes);
-    if n > budget.max_trees {
+    if n > budget.max_trees || failpoints::fire("uu::search") {
         return Outcome::BudgetExceeded(n);
     }
     for t in enumerate_trees(&alpha, budget.max_nodes) {
+        if deadline.poll() {
+            return Outcome::DeadlineExceeded;
+        }
         if !commute_on(u1, u2, &t) {
             return Outcome::Conflict(t);
         }
@@ -202,6 +219,15 @@ mod tests {
             },
         );
         assert!(matches!(out, Outcome::BudgetExceeded(_)));
+    }
+
+    #[test]
+    fn deadline_exceeded() {
+        let u1 = ins("a/b", "x");
+        let u2 = del("a/c");
+        let dl = Deadline::after(std::time::Duration::ZERO);
+        let out = find_noncommuting_witness_deadline(&u1, &u2, Budget::default(), &dl);
+        assert!(matches!(out, Outcome::DeadlineExceeded));
     }
 
     #[test]

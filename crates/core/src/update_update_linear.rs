@@ -31,8 +31,9 @@
 //! [`linear_deletes_always_commute`] and its property test.
 
 use crate::construct;
-use crate::update_update::{commute_on, find_noncommuting_witness, Budget, Outcome};
+use crate::update_update::{commute_on, find_noncommuting_witness_deadline, Budget, Outcome};
 use cxu_ops::{Read, Semantics, Update};
+use cxu_runtime::Deadline;
 use cxu_tree::{Symbol, Tree};
 
 /// Verdict of the static linear commutativity analysis.
@@ -47,6 +48,9 @@ pub enum Commutativity {
     /// verified within the search budget; commutation is *not*
     /// guaranteed.
     Unknown,
+    /// The deadline expired (or the cancel token fired) before the
+    /// analysis finished; commutation is *not* guaranteed.
+    DeadlineExceeded,
 }
 
 impl Commutativity {
@@ -56,7 +60,7 @@ impl Commutativity {
         match self {
             Commutativity::Commute => Some(true),
             Commutativity::Conflict(_) => Some(false),
-            Commutativity::Unknown => None,
+            Commutativity::Unknown | Commutativity::DeadlineExceeded => None,
         }
     }
 }
@@ -78,6 +82,20 @@ pub fn commutativity_with_budget(
     u1: &Update,
     u2: &Update,
     budget: Budget,
+) -> Option<Commutativity> {
+    commutativity_deadline(u1, u2, budget, &Deadline::never())
+}
+
+/// [`commutativity_with_budget`] with a cooperative deadline. The PTIME
+/// cross-conflict checks and witness verification run to completion
+/// (they are polynomial and small); only the last-resort bounded
+/// enumeration polls, returning [`Commutativity::DeadlineExceeded`]
+/// when the cutoff passes.
+pub fn commutativity_deadline(
+    u1: &Update,
+    u2: &Update,
+    budget: Budget,
+    deadline: &Deadline,
 ) -> Option<Commutativity> {
     if !u1.pattern().is_linear() || !u2.pattern().is_linear() {
         return None;
@@ -134,8 +152,9 @@ pub fn commutativity_with_budget(
     }
 
     // Last resort: bounded enumeration.
-    match find_noncommuting_witness(u1, u2, budget) {
+    match find_noncommuting_witness_deadline(u1, u2, budget, deadline) {
         Outcome::Conflict(w) => Some(Commutativity::Conflict(w)),
+        Outcome::DeadlineExceeded => Some(Commutativity::DeadlineExceeded),
         _ => Some(Commutativity::Unknown),
     }
 }
@@ -153,6 +172,7 @@ pub fn linear_deletes_always_commute(d1: &Update, d2: &Update, probe: &Tree) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::update_update::find_noncommuting_witness;
     use cxu_ops::{Delete, Insert};
     use cxu_pattern::xpath::parse;
     use cxu_tree::text;
@@ -202,7 +222,33 @@ mod tests {
                 panic!("identical updates cannot conflict, got witness {w:?}")
             }
             Commutativity::Unknown => {}
+            Commutativity::DeadlineExceeded => panic!("no deadline was set"),
         }
+    }
+
+    #[test]
+    fn deadline_reported_from_fallback_search() {
+        // A pair whose cross checks fire but whose constructed witnesses
+        // don't refute commutation reaches the bounded enumeration; an
+        // expired deadline surfaces from there.
+        let u1 = del("a/b");
+        let u2 = ins("a/b/c", "x");
+        let dl = Deadline::after(std::time::Duration::ZERO);
+        // The pair commutes everywhere (see `delete_of_insert_point`),
+        // so no constructed witness can refute it; with an expired
+        // deadline the fallback search must report the timeout.
+        assert!(matches!(
+            commutativity_deadline(&u1, &u2, Budget::default(), &dl).unwrap(),
+            Commutativity::DeadlineExceeded
+        ));
+        // A commuting pair decides exactly even with no time at all:
+        // the PTIME path never degrades.
+        let c1 = ins("a/b", "x");
+        let c2 = ins("a/c", "y");
+        assert!(matches!(
+            commutativity_deadline(&c1, &c2, Budget::default(), &dl).unwrap(),
+            Commutativity::Commute
+        ));
     }
 
     #[test]

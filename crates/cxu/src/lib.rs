@@ -32,6 +32,10 @@
 //! assert!(cxu::witness::witnesses_insert_conflict(&read, &ins, &doc, Semantics::Node));
 //! ```
 
+/// Robustness runtime: cooperative deadlines, cancellation tokens, and
+/// (feature-gated) deterministic fault injection.
+pub use cxu_runtime as runtime;
+
 /// Tree substrate: labels, arena trees, isomorphism, text and XML I/O.
 pub use cxu_tree as tree;
 

@@ -19,6 +19,7 @@
 //! output nodes are irrelevant here.
 
 use crate::{eval, Axis, PNodeId, Pattern};
+use cxu_runtime::{Deadline, DeadlineExceeded};
 use cxu_tree::{Symbol, Tree};
 
 /// Is there a *homomorphism* from `sup` into `sub`? (Pattern-to-pattern
@@ -186,22 +187,36 @@ impl Iterator for CanonicalModels<'_> {
 /// budget on the number of models examined. Returns `None` if the budget
 /// is exceeded (the instance is too large for the exact test).
 pub fn contains_within(p: &Pattern, p_prime: &Pattern, max_models: u128) -> Option<bool> {
+    contains_within_deadline(p, p_prime, max_models, &Deadline::never())
+        .expect("unbounded deadline never expires")
+}
+
+/// [`contains_within`] with a cooperative deadline, polled once per
+/// canonical model. `Err` means the deadline expired (or the cancel
+/// token fired) before the sweep finished.
+pub fn contains_within_deadline(
+    p: &Pattern,
+    p_prime: &Pattern,
+    max_models: u128,
+    deadline: &Deadline,
+) -> Result<Option<bool>, DeadlineExceeded> {
     // Fast path: a homomorphism proves containment outright.
     if homomorphism(p, p_prime) {
-        return Some(true);
+        return Ok(Some(true));
     }
     let w = p_prime.star_length();
     let models = canonical_models(p, w, &p_prime.alphabet());
     if models.total() > max_models {
-        return None;
+        return Ok(None);
     }
     for m in models {
+        deadline.check()?;
         debug_assert!(eval::matches(p, &m), "p embeds into each of its models");
         if !eval::matches(p_prime, &m) {
-            return Some(false);
+            return Ok(Some(false));
         }
     }
-    Some(true)
+    Ok(Some(true))
 }
 
 /// Exact containment `p ⊆ p'`. Exponential in the number of descendant
@@ -481,6 +496,18 @@ mod tests {
         let q2 = pat("a/e");
         assert_eq!(contains_within(&p, &q2, 2), None, "budget exceeded");
         assert_eq!(contains_within(&p, &q2, 1000), Some(false));
+    }
+
+    #[test]
+    fn contains_within_deadline_trips() {
+        let p = pat("a//b//c//d//e");
+        let q = pat("a/e");
+        let dl = Deadline::after(std::time::Duration::ZERO);
+        // No homomorphism, so the model sweep runs and the deadline trips.
+        assert!(contains_within_deadline(&p, &q, 1000, &dl).is_err());
+        // The homomorphism fast-path is PTIME and never degrades.
+        let q2 = pat("a//e");
+        assert_eq!(contains_within_deadline(&p, &q2, 1000, &dl), Ok(Some(true)));
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Deterministic fault injection at named sites, feature-gated.
+//!
+//! With the `failpoints` feature **off** (the default), [`fire`] is an
+//! inlined `false` constant — call sites in the detectors and the
+//! scheduler compile to nothing. With the feature **on**, a process can
+//! [`arm`] a [`Plan`]: every time execution passes a named site, a
+//! SplitMix64 stream keyed by `(seed, site, per-site hit counter)`
+//! decides whether to inject a panic, a slowdown, or a forced budget
+//! exhaustion. Given a seed and a serial execution, the injected fault
+//! sequence is fully deterministic — which is what lets CI replay a
+//! fixed seed matrix.
+//!
+//! Sites currently wired in:
+//!
+//! | site | crate | faults observed |
+//! |---|---|---|
+//! | `sched::pair`   | cxu-sched  | panic, sleep, exhaust (pre-analysis) |
+//! | `brute::search` | cxu-core   | panic, sleep, exhaust (witness search) |
+//! | `uu::search`    | cxu-core   | panic, sleep, exhaust (commutation search) |
+//! | `schema::search`| cxu-schema | panic, sleep, exhaust (conforming search) |
+
+use std::time::Duration;
+
+/// A fault injected at a site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic at the site (exercises `catch_unwind` isolation).
+    Panic,
+    /// Sleep this long before continuing (exercises deadlines).
+    Sleep(Duration),
+    /// Pretend the search budget is exhausted (exercises degradation).
+    ExhaustBudget,
+}
+
+/// An injection plan: per-mille rates for each fault kind, evaluated
+/// independently at every site hit. Rates are per-mille of all hits;
+/// `panic + sleep + exhaust` must be ≤ 1000 (the rest inject nothing).
+#[derive(Clone, Copy, Debug)]
+pub struct Plan {
+    /// RNG seed — same seed, same serial execution, same faults.
+    pub seed: u64,
+    /// Per-mille of hits that panic.
+    pub panic_per_mille: u32,
+    /// Per-mille of hits that sleep.
+    pub sleep_per_mille: u32,
+    /// Sleep duration for injected slowdowns.
+    pub sleep_ms: u64,
+    /// Per-mille of hits that force budget exhaustion.
+    pub exhaust_per_mille: u32,
+}
+
+impl Default for Plan {
+    fn default() -> Plan {
+        Plan {
+            seed: 0,
+            panic_per_mille: 20,
+            sleep_per_mille: 50,
+            sleep_ms: 5,
+            exhaust_per_mille: 50,
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::{Fault, Plan};
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    struct State {
+        plan: Plan,
+        counters: HashMap<String, u64>,
+    }
+
+    static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn site_hash(site: &str) -> u64 {
+        // FNV-1a, good enough to separate a handful of site names.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in site.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Installs a plan (resetting all site counters).
+    pub fn arm(plan: Plan) {
+        let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(State {
+            plan,
+            counters: HashMap::new(),
+        });
+    }
+
+    /// Removes the active plan; sites stop injecting.
+    pub fn disarm() {
+        let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = None;
+    }
+
+    /// Is a plan active?
+    pub fn is_armed() -> bool {
+        STATE.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+    }
+
+    /// Rolls the fault (if any) for this hit of `site`, advancing the
+    /// site's counter. Does not act on it.
+    pub fn decide(site: &str) -> Option<Fault> {
+        let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+        let state = guard.as_mut()?;
+        let counter = state.counters.entry(site.to_owned()).or_insert(0);
+        let hit = *counter;
+        *counter += 1;
+        let plan = state.plan;
+        drop(guard); // never panic/sleep while holding the lock
+        let roll = splitmix64(plan.seed ^ site_hash(site) ^ hit.wrapping_mul(0x9E37)) % 1000;
+        let roll = roll as u32;
+        if roll < plan.panic_per_mille {
+            Some(Fault::Panic)
+        } else if roll < plan.panic_per_mille + plan.sleep_per_mille {
+            Some(Fault::Sleep(Duration::from_millis(plan.sleep_ms)))
+        } else if roll < plan.panic_per_mille + plan.sleep_per_mille + plan.exhaust_per_mille {
+            Some(Fault::ExhaustBudget)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates the site: panics or sleeps as planned; returns `true`
+    /// iff a forced budget exhaustion was injected.
+    pub fn fire(site: &str) -> bool {
+        match decide(site) {
+            Some(Fault::Panic) => panic!("injected failpoint panic at {site}"),
+            Some(Fault::Sleep(d)) => {
+                std::thread::sleep(d);
+                false
+            }
+            Some(Fault::ExhaustBudget) => true,
+            None => false,
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{arm, decide, disarm, fire, is_armed};
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    use super::{Fault, Plan};
+
+    /// No-op without the `failpoints` feature.
+    pub fn arm(_plan: Plan) {}
+
+    /// No-op without the `failpoints` feature.
+    pub fn disarm() {}
+
+    /// Always `false` without the `failpoints` feature.
+    pub fn is_armed() -> bool {
+        false
+    }
+
+    /// Always `None` without the `failpoints` feature.
+    pub fn decide(_site: &str) -> Option<Fault> {
+        None
+    }
+
+    /// Always `false` without the `failpoints` feature.
+    #[inline(always)]
+    pub fn fire(_site: &str) -> bool {
+        false
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+pub use imp::{arm, decide, disarm, fire, is_armed};
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    // All failpoint state is process-global; keep tests serialized.
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn plan(seed: u64) -> Plan {
+        Plan {
+            seed,
+            panic_per_mille: 0, // keep the unit tests panic-free
+            sleep_per_mille: 0,
+            sleep_ms: 0,
+            exhaust_per_mille: 300,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        arm(plan(42));
+        let first: Vec<Option<Fault>> = (0..100).map(|_| decide("t::site")).collect();
+        arm(plan(42));
+        let second: Vec<Option<Fault>> = (0..100).map(|_| decide("t::site")).collect();
+        disarm();
+        assert_eq!(first, second);
+        assert!(first.iter().any(Option::is_some), "rate 300‰ must fire");
+        assert!(first.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        arm(plan(1));
+        let a: Vec<Option<Fault>> = (0..200).map(|_| decide("t::seed")).collect();
+        arm(plan(2));
+        let b: Vec<Option<Fault>> = (0..200).map(|_| decide("t::seed")).collect();
+        disarm();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn disarmed_is_silent() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        disarm();
+        assert!(!is_armed());
+        assert!((0..100).all(|_| decide("t::off").is_none()));
+        assert!(!fire("t::off"));
+    }
+
+    #[test]
+    fn sites_are_independent_streams() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        arm(plan(7));
+        let a: Vec<Option<Fault>> = (0..200).map(|_| decide("t::a")).collect();
+        let b: Vec<Option<Fault>> = (0..200).map(|_| decide("t::b")).collect();
+        disarm();
+        assert_ne!(a, b, "distinct sites should roll distinct streams");
+    }
+}

@@ -1,0 +1,26 @@
+//! # cxu-runtime — robustness primitives for the detection stack
+//!
+//! The paper's §5 results make worst-case pairwise detection
+//! NP-complete, so a production deployment must survive pathological
+//! inputs without stalling a batch or crashing a worker. This crate
+//! holds the two facilities the rest of the workspace threads through
+//! its expensive searches:
+//!
+//! * [`Deadline`] / [`CancelToken`] — a cheap cooperative handle polled
+//!   inside enumeration loops. A node budget bounds *work*; a deadline
+//!   bounds *wall-clock*; a token lets a caller abandon a batch early.
+//!   Every detector entry point gains a `*_deadline` variant that
+//!   returns a `DeadlineExceeded` outcome instead of running away.
+//! * [`failpoints`] — a deterministic, feature-gated fault-injection
+//!   facility (inject panic / slowdown / forced budget exhaustion at
+//!   named sites, keyed by a seeded RNG), used by the stress suite to
+//!   prove the scheduler degrades instead of aborting.
+//!
+//! The crate has no dependencies and sits below every other workspace
+//! crate, so `cxu-pattern`, `cxu-core`, `cxu-schema`, and `cxu-sched`
+//! can all share the same handle type.
+
+pub mod deadline;
+pub mod failpoints;
+
+pub use deadline::{CancelToken, Deadline, DeadlineExceeded};

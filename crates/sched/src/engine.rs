@@ -5,13 +5,44 @@
 use crate::graph::{ConflictGraph, Edge};
 use crate::intern::{Interner, OpKey, PairKey};
 use crate::op::{ops_of_program, Op};
-use crate::pairwise::{analyze_pair, Detector, Verdict};
+use crate::pairwise::{analyze_pair_deadline, Detector, Verdict};
 use crate::rounds::{schedule, Schedule};
 use crate::{SchedConfig, SchedStats};
 use cxu_gen::program::Program;
+use cxu_runtime::{failpoints, CancelToken, Deadline};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Decides one pair under the engine's robustness envelope: a fresh
+/// per-pair [`Deadline`] (sharing the batch's cancel token, if any), the
+/// `sched::pair` fault-injection site, and — when
+/// [`SchedConfig::catch_panics`] is set — a `catch_unwind` guard that
+/// converts detector panics into conservative-conflict verdicts.
+fn decide_pair(a: &Op, b: &Op, cfg: &SchedConfig, cancel: Option<&CancelToken>) -> Verdict {
+    let mut deadline = match cfg.pair_deadline {
+        Some(slice) => Deadline::after(slice),
+        None => Deadline::never(),
+    };
+    if let Some(token) = cancel {
+        deadline = deadline.with_token(token);
+    }
+    let run = || {
+        if failpoints::fire("sched::pair") {
+            return Verdict::conservative(Detector::ConservativeBudget);
+        }
+        analyze_pair_deadline(a, b, cfg, &deadline)
+    };
+    if !cfg.catch_panics {
+        return run();
+    }
+    // `Op` and `SchedConfig` are plain data (no interior mutability), and
+    // the deadline's poll counter is at worst stale after an unwind, so
+    // observing them across the catch is safe.
+    catch_unwind(AssertUnwindSafe(run))
+        .unwrap_or_else(|_| Verdict::conservative(Detector::ConservativePanic))
+}
 
 /// The result of analyzing one batch.
 #[derive(Debug)]
@@ -61,7 +92,19 @@ impl Scheduler {
 
     /// Analyzes a batch and schedules it into conflict-free rounds.
     pub fn run(&mut self, ops: &[Op]) -> BatchResult {
-        let (graph, mut stats) = self.analyze(ops);
+        self.run_inner(ops, None)
+    }
+
+    /// [`Scheduler::run`] with a cancellation token. Cancelling mid-batch
+    /// makes the remaining undecided pairs degrade to conservative
+    /// conflicts ([`Detector::ConservativeDeadline`]); the batch still
+    /// completes with a valid (more serial) schedule.
+    pub fn run_with_cancel(&mut self, ops: &[Op], cancel: &CancelToken) -> BatchResult {
+        self.run_inner(ops, Some(cancel))
+    }
+
+    fn run_inner(&mut self, ops: &[Op], cancel: Option<&CancelToken>) -> BatchResult {
+        let (graph, mut stats) = self.analyze_inner(ops, cancel);
         let sched = schedule(&graph);
         stats.rounds = sched.len();
         BatchResult {
@@ -79,6 +122,14 @@ impl Scheduler {
     /// Builds the conflict graph for a batch: intern every op, decide
     /// every pair (cache first, parallel detectors for the rest).
     pub fn analyze(&mut self, ops: &[Op]) -> (ConflictGraph, SchedStats) {
+        self.analyze_inner(ops, None)
+    }
+
+    fn analyze_inner(
+        &mut self,
+        ops: &[Op],
+        cancel: Option<&CancelToken>,
+    ) -> (ConflictGraph, SchedStats) {
         let n = ops.len();
         let mut stats = SchedStats {
             ops: n,
@@ -133,9 +184,19 @@ impl Scheduler {
         stats.cache_hits += cached.len();
         stats.pairs_analyzed = fresh.len();
 
-        // Decide the distinct new pairs in parallel.
-        for (pk, v) in self.analyze_fresh(&fresh) {
-            self.cache.insert(pk, v);
+        // Decide the distinct new pairs in parallel. Transient
+        // degradations (expired deadline, cancellation, detector panic)
+        // are *not* memoized — they reflect this batch's resource
+        // envelope, not the pair itself, so a later batch retries them.
+        let mut decided: HashMap<PairKey, Verdict> = HashMap::new();
+        for (pk, v) in self.analyze_fresh(&fresh, cancel) {
+            if !matches!(
+                v.detector,
+                Detector::ConservativeDeadline | Detector::ConservativePanic
+            ) {
+                self.cache.insert(pk, v);
+            }
+            decided.insert(pk, v);
         }
 
         // Assemble edges and detector counters.
@@ -150,7 +211,10 @@ impl Scheduler {
         }
         let mut first_use: HashMap<PairKey, ()> = HashMap::new();
         for (a, b, pk) in cached.into_iter().chain(pending) {
-            let verdict = self.cache[&pk];
+            let verdict = match decided.get(&pk) {
+                Some(&v) => v,
+                None => self.cache[&pk],
+            };
             // The first batch occurrence of a freshly computed key is the
             // one that paid for the analysis; everything else was served
             // from memory.
@@ -170,6 +234,18 @@ impl Scheduler {
                 Detector::PtimeLinearUpdates => stats.ptime_linear_updates += 1,
                 Detector::WitnessSearch => stats.witness_search += 1,
                 Detector::ConservativeUndecided => stats.conservative += 1,
+                Detector::ConservativeBudget => {
+                    stats.conservative += 1;
+                    stats.degraded_budget += 1;
+                }
+                Detector::ConservativeDeadline => {
+                    stats.conservative += 1;
+                    stats.degraded_deadline += 1;
+                }
+                Detector::ConservativePanic => {
+                    stats.conservative += 1;
+                    stats.degraded_panic += 1;
+                }
             }
             if e.verdict.conflict {
                 stats.conflict_edges += 1;
@@ -183,7 +259,11 @@ impl Scheduler {
     /// `cfg.jobs` scoped threads. Work is handed out through an atomic
     /// cursor so a stray expensive NP-side pair cannot idle the other
     /// workers behind a fixed chunking.
-    fn analyze_fresh(&self, fresh: &[PairKey]) -> Vec<(PairKey, Verdict)> {
+    fn analyze_fresh(
+        &self,
+        fresh: &[PairKey],
+        cancel: Option<&CancelToken>,
+    ) -> Vec<(PairKey, Verdict)> {
         let jobs = self.cfg.jobs.max(1).min(fresh.len().max(1));
         let work: Vec<(PairKey, &Op, &Op)> = fresh
             .iter()
@@ -202,7 +282,7 @@ impl Scheduler {
         if jobs <= 1 || work.len() <= 1 {
             return work
                 .into_iter()
-                .map(|(pk, a, b)| (pk, analyze_pair(a, b, &self.cfg)))
+                .map(|(pk, a, b)| (pk, decide_pair(a, b, &self.cfg, cancel)))
                 .collect();
         }
         let cursor = AtomicUsize::new(0);
@@ -220,13 +300,16 @@ impl Scheduler {
                         let Some(&(pk, a, b)) = work.get(i) else {
                             break;
                         };
-                        local.push((pk, analyze_pair(a, b, cfg)));
+                        local.push((pk, decide_pair(a, b, cfg, cancel)));
                     }
-                    results.lock().expect("results lock").extend(local);
+                    results
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .extend(local);
                 });
             }
         });
-        results.into_inner().expect("results lock")
+        results.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -333,6 +416,69 @@ mod tests {
         assert!(out.schedule.is_empty());
         let out1 = s.run(&[read("a/b")]);
         assert_eq!(out1.schedule.rounds, vec![vec![0]]);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_np_pairs_but_still_schedules() {
+        // A branching read forces the NP route; with no time at all it
+        // degrades to a conservative conflict, and the batch still
+        // produces a (more serial) schedule.
+        let ops = vec![read("a[b][c]"), ins("a[b]", "c"), read("x//Q")];
+        let cfg = SchedConfig {
+            pair_deadline: Some(std::time::Duration::ZERO),
+            jobs: 1,
+            ..SchedConfig::default()
+        };
+        let mut s = Scheduler::new(cfg);
+        let out = s.run(&ops);
+        assert!(out.stats.degraded_deadline > 0);
+        assert_eq!(out.stats.rounds, out.schedule.len());
+        // Every op is scheduled exactly once.
+        let mut seen: Vec<usize> = out.schedule.rounds.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn degraded_verdicts_are_not_memoized() {
+        let ops = vec![read("a[b][c]"), ins("a[b]", "c")];
+        let cfg = SchedConfig {
+            pair_deadline: Some(std::time::Duration::ZERO),
+            jobs: 1,
+            ..SchedConfig::default()
+        };
+        let mut s = Scheduler::new(cfg);
+        let first = s.run(&ops);
+        assert_eq!(first.stats.degraded_deadline, 1);
+        assert_eq!(
+            s.cached_verdicts(),
+            0,
+            "a deadline degradation must not poison the cache"
+        );
+        // Re-running re-analyzes the pair instead of serving the stale
+        // conservative answer.
+        let second = s.run(&ops);
+        assert_eq!(second.stats.pairs_analyzed, 1);
+        assert_eq!(second.stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn cancelled_batch_degrades_remaining_pairs() {
+        use cxu_runtime::CancelToken;
+        let token = CancelToken::new();
+        token.cancel(); // cancel before the batch even starts
+        let ops = vec![read("a[b][c]"), ins("a[b]", "c")];
+        let cfg = SchedConfig {
+            jobs: 1,
+            ..SchedConfig::default()
+        };
+        let mut s = Scheduler::new(cfg);
+        let out = s.run_with_cancel(&ops, &token);
+        assert_eq!(out.stats.degraded_deadline, 1);
+        assert!(out.graph.conflict(0, 1), "degraded pair must stay ordered");
+        // Without the token the same pair is decided exactly.
+        let out2 = s.run(&ops);
+        assert_eq!(out2.stats.degraded_deadline, 0);
     }
 
     #[test]

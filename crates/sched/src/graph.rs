@@ -92,17 +92,26 @@ impl ConflictGraph {
             if !e.verdict.conflict {
                 continue;
             }
-            let color = match e.verdict.detector {
-                Detector::Trivial => "black",
-                Detector::PtimeLinearRead => "blue",
-                Detector::PtimeLinearUpdates => "darkgreen",
-                Detector::WitnessSearch => "red",
-                Detector::ConservativeUndecided => "orange",
+            // Conservative edges carry a label naming *why* the verdict
+            // is assumed rather than proven.
+            let (color, reason) = match e.verdict.detector {
+                Detector::Trivial => ("black", None),
+                Detector::PtimeLinearRead => ("blue", None),
+                Detector::PtimeLinearUpdates => ("darkgreen", None),
+                Detector::WitnessSearch => ("red", None),
+                Detector::ConservativeUndecided => ("orange", Some("undecided")),
+                Detector::ConservativeBudget => ("orange", Some("budget")),
+                Detector::ConservativeDeadline => ("purple", Some("deadline")),
+                Detector::ConservativePanic => ("brown", Some("panic")),
             };
             let style = if e.cached { "dashed" } else { "solid" };
+            let label = match reason {
+                Some(r) => format!(", label=\"{r}\", fontcolor={color}"),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "  n{} -- n{} [color={color}, style={style}];",
+                "  n{} -- n{} [color={color}, style={style}{label}];",
                 e.a, e.b
             );
         }
@@ -177,5 +186,37 @@ mod tests {
         assert!(dot.starts_with("graph conflicts {"));
         assert!(dot.contains("n0 -- n1"));
         assert!(dot.contains("read a/b"));
+    }
+
+    #[test]
+    fn dot_labels_conservative_edges_with_reason() {
+        let ops: Vec<Op> = ["a/b", "a//c"]
+            .iter()
+            .map(|s| Op::Read(Read::new(parse(s).unwrap())))
+            .collect();
+        for (det, reason) in [
+            (Detector::ConservativeUndecided, "undecided"),
+            (Detector::ConservativeBudget, "budget"),
+            (Detector::ConservativeDeadline, "deadline"),
+            (Detector::ConservativePanic, "panic"),
+        ] {
+            let g = ConflictGraph::new(
+                2,
+                vec![Edge {
+                    a: 0,
+                    b: 1,
+                    verdict: Verdict {
+                        conflict: true,
+                        detector: det,
+                    },
+                    cached: false,
+                }],
+            );
+            let dot = g.to_dot(&ops, "g");
+            assert!(
+                dot.contains(&format!("label=\"{reason}\"")),
+                "missing {reason} label in {dot}"
+            );
+        }
     }
 }

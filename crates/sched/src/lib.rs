@@ -44,13 +44,16 @@ pub mod pairwise;
 pub mod rounds;
 pub mod validate;
 
+pub use cxu_runtime as runtime;
+pub use cxu_runtime::{CancelToken, Deadline};
 pub use engine::{BatchResult, Scheduler};
 pub use graph::{ConflictGraph, Edge};
 pub use op::{ops_of_program, Op};
-pub use pairwise::{analyze_pair, Detector, Verdict};
+pub use pairwise::{analyze_pair, analyze_pair_deadline, Detector, Verdict};
 pub use rounds::{schedule, Schedule};
 
 use cxu_ops::Semantics;
+use std::time::Duration;
 
 /// Scheduler configuration.
 #[derive(Clone, Copy, Debug)]
@@ -72,6 +75,17 @@ pub struct SchedConfig {
     /// read–update side (Lemma 11), there is no completeness bound, so
     /// trusting it trades soundness for parallelism.
     pub trust_bounded_search: bool,
+    /// Per-pair time slice for the NP-side searches. A pair whose
+    /// analysis outlives its slice degrades to a *conservative conflict*
+    /// ([`pairwise::Detector::ConservativeDeadline`]) instead of
+    /// stalling the batch. `None` (the default) runs unbounded.
+    pub pair_deadline: Option<Duration>,
+    /// Isolate detector panics: a pair whose analysis panics degrades to
+    /// a conservative conflict
+    /// ([`pairwise::Detector::ConservativePanic`]) instead of tearing
+    /// down the scheduler. On by default; disable to let panics
+    /// propagate (e.g. under a debugger).
+    pub catch_panics: bool,
 }
 
 impl Default for SchedConfig {
@@ -84,6 +98,8 @@ impl Default for SchedConfig {
             np_max_nodes: 5,
             np_max_trees: 200_000,
             trust_bounded_search: false,
+            pair_deadline: None,
+            catch_panics: true,
         }
     }
 }
@@ -108,8 +124,17 @@ pub struct SchedStats {
     pub ptime_linear_updates: usize,
     /// Edges decided by bounded NP-side witness search.
     pub witness_search: usize,
-    /// Edges conservatively marked conflicting (budget/Unknown).
+    /// Edges conservatively marked conflicting, for any reason (the sum
+    /// of the `degraded_*` breakdown plus undecidable routes).
     pub conservative: usize,
+    /// Conservative edges caused by candidate-count budget exhaustion.
+    pub degraded_budget: usize,
+    /// Conservative edges caused by an expired pair deadline or a fired
+    /// cancellation token.
+    pub degraded_deadline: usize,
+    /// Conservative edges caused by a detector panic (isolated by the
+    /// engine's `catch_unwind` guard).
+    pub degraded_panic: usize,
     /// Conflicting pairs.
     pub conflict_edges: usize,
     /// Rounds in the resulting schedule.
@@ -132,6 +157,9 @@ impl std::fmt::Display for SchedStats {
         writeln!(f, "  ptime update-update:{}", self.ptime_linear_updates)?;
         writeln!(f, "  witness search:     {}", self.witness_search)?;
         writeln!(f, "  conservative:       {}", self.conservative)?;
+        writeln!(f, "    budget exhausted: {}", self.degraded_budget)?;
+        writeln!(f, "    deadline expired: {}", self.degraded_deadline)?;
+        writeln!(f, "    detector panic:   {}", self.degraded_panic)?;
         writeln!(f, "conflict edges:       {}", self.conflict_edges)?;
         writeln!(f, "rounds:               {}", self.rounds)?;
         writeln!(f, "distinct shapes:      {}", self.distinct_shapes)?;

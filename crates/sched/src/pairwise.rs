@@ -27,10 +27,11 @@
 
 use crate::op::Op;
 use crate::SchedConfig;
-use cxu_core::update_update::{find_noncommuting_witness, Budget as UuBudget, Outcome};
-use cxu_core::update_update_linear::{commutativity_with_budget, Commutativity};
+use cxu_core::update_update::{find_noncommuting_witness_deadline, Budget as UuBudget, Outcome};
+use cxu_core::update_update_linear::{commutativity_deadline, Commutativity};
 use cxu_core::{brute, detect};
 use cxu_ops::{Read, Update};
+use cxu_runtime::Deadline;
 
 /// Which detector decided a pair (provenance, surfaced per edge).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -45,9 +46,32 @@ pub enum Detector {
     /// Bounded NP-side witness search, exact within its budget
     /// (read–update: up to the Lemma 11 bound).
     WitnessSearch,
-    /// The detectors could not decide within budget; the pair is
-    /// *assumed* to conflict (sound, never parallelized).
+    /// The route itself is undecidable within the detectors' theory
+    /// (linear update–update `Unknown`, or an untrusted bounded-search
+    /// "no witness"); the pair is *assumed* to conflict (sound, never
+    /// parallelized).
     ConservativeUndecided,
+    /// The candidate-count budget ran out before the search finished.
+    ConservativeBudget,
+    /// The pair's deadline expired (or its cancel token fired)
+    /// mid-analysis.
+    ConservativeDeadline,
+    /// The detector panicked; the engine's `catch_unwind` guard isolated
+    /// it and assumed a conflict.
+    ConservativePanic,
+}
+
+impl Detector {
+    /// Is this verdict an assumed conflict rather than a proven answer?
+    pub fn is_conservative(self) -> bool {
+        matches!(
+            self,
+            Detector::ConservativeUndecided
+                | Detector::ConservativeBudget
+                | Detector::ConservativeDeadline
+                | Detector::ConservativePanic
+        )
+    }
 }
 
 /// The decision for one pair of operations.
@@ -67,10 +91,12 @@ impl Verdict {
         }
     }
 
-    fn conservative() -> Verdict {
+    /// An assumed conflict with the given (conservative) provenance.
+    pub(crate) fn conservative(detector: Detector) -> Verdict {
+        debug_assert!(detector.is_conservative());
         Verdict {
             conflict: true,
-            detector: Detector::ConservativeUndecided,
+            detector,
         }
     }
 }
@@ -78,14 +104,24 @@ impl Verdict {
 /// Decides one pair, routing to the cheapest sound detector.
 /// Symmetric: `analyze_pair(a, b, c)` ≡ `analyze_pair(b, a, c)`.
 pub fn analyze_pair(a: &Op, b: &Op, cfg: &SchedConfig) -> Verdict {
+    analyze_pair_deadline(a, b, cfg, &Deadline::never())
+}
+
+/// [`analyze_pair`] under a cooperative deadline: the NP-side searches
+/// poll it and, on expiry, the pair degrades to
+/// [`Detector::ConservativeDeadline`]. The PTIME routes never degrade —
+/// they finish long before any reasonable slice.
+pub fn analyze_pair_deadline(a: &Op, b: &Op, cfg: &SchedConfig, deadline: &Deadline) -> Verdict {
     match (a, b) {
         (Op::Read(_), Op::Read(_)) => Verdict::trivial(),
-        (Op::Read(r), Op::Update(u)) | (Op::Update(u), Op::Read(r)) => read_update(r, u, cfg),
-        (Op::Update(u1), Op::Update(u2)) => update_update(u1, u2, cfg),
+        (Op::Read(r), Op::Update(u)) | (Op::Update(u), Op::Read(r)) => {
+            read_update(r, u, cfg, deadline)
+        }
+        (Op::Update(u1), Op::Update(u2)) => update_update(u1, u2, cfg, deadline),
     }
 }
 
-fn read_update(r: &Read, u: &Update, cfg: &SchedConfig) -> Verdict {
+fn read_update(r: &Read, u: &Update, cfg: &SchedConfig, deadline: &Deadline) -> Verdict {
     if r.pattern().is_linear() {
         let conflict =
             detect::read_update_conflict(r, u, cfg.semantics).expect("linearity checked");
@@ -94,21 +130,31 @@ fn read_update(r: &Read, u: &Update, cfg: &SchedConfig) -> Verdict {
             detector: Detector::PtimeLinearRead,
         };
     }
-    match brute::decide(r, u, cfg.semantics, cfg.np_max_trees) {
-        Some(conflict) => Verdict {
-            conflict,
+    match brute::decide_outcome(r, u, cfg.semantics, cfg.np_max_trees, deadline) {
+        brute::SearchOutcome::Conflict(_) => Verdict {
+            conflict: true,
             detector: Detector::WitnessSearch,
         },
-        None => Verdict::conservative(),
+        // The Lemma 11 bound was searched exhaustively: exact.
+        brute::SearchOutcome::NoConflictWithin(_) => Verdict {
+            conflict: false,
+            detector: Detector::WitnessSearch,
+        },
+        brute::SearchOutcome::BudgetExceeded(_) => {
+            Verdict::conservative(Detector::ConservativeBudget)
+        }
+        brute::SearchOutcome::DeadlineExceeded => {
+            Verdict::conservative(Detector::ConservativeDeadline)
+        }
     }
 }
 
-fn update_update(u1: &Update, u2: &Update, cfg: &SchedConfig) -> Verdict {
+fn update_update(u1: &Update, u2: &Update, cfg: &SchedConfig, deadline: &Deadline) -> Verdict {
     let budget = UuBudget {
         max_nodes: cfg.np_max_nodes,
         max_trees: cfg.np_max_trees,
     };
-    if let Some(c) = commutativity_with_budget(u1, u2, budget) {
+    if let Some(c) = commutativity_deadline(u1, u2, budget, deadline) {
         return match c {
             Commutativity::Commute => Verdict {
                 conflict: false,
@@ -118,11 +164,14 @@ fn update_update(u1: &Update, u2: &Update, cfg: &SchedConfig) -> Verdict {
                 conflict: true,
                 detector: Detector::PtimeLinearUpdates,
             },
-            Commutativity::Unknown => Verdict::conservative(),
+            Commutativity::Unknown => Verdict::conservative(Detector::ConservativeUndecided),
+            Commutativity::DeadlineExceeded => {
+                Verdict::conservative(Detector::ConservativeDeadline)
+            }
         };
     }
     // Branching selection patterns: bounded search only.
-    match find_noncommuting_witness(u1, u2, budget) {
+    match find_noncommuting_witness_deadline(u1, u2, budget, deadline) {
         Outcome::Conflict(_) => Verdict {
             conflict: true,
             detector: Detector::WitnessSearch,
@@ -131,7 +180,11 @@ fn update_update(u1: &Update, u2: &Update, cfg: &SchedConfig) -> Verdict {
             conflict: false,
             detector: Detector::WitnessSearch,
         },
-        Outcome::NoConflictWithin(_) | Outcome::BudgetExceeded(_) => Verdict::conservative(),
+        // "No witness within budget" without trust: undecidable route,
+        // not a resource failure.
+        Outcome::NoConflictWithin(_) => Verdict::conservative(Detector::ConservativeUndecided),
+        Outcome::BudgetExceeded(_) => Verdict::conservative(Detector::ConservativeBudget),
+        Outcome::DeadlineExceeded => Verdict::conservative(Detector::ConservativeDeadline),
     }
 }
 
@@ -201,7 +254,47 @@ mod tests {
         c.np_max_trees = 10; // starve the search
         let v = analyze_pair(&read("a[b]//c//d"), &ins("a//x[y][z]", "w"), &c);
         assert!(v.conflict);
-        assert_eq!(v.detector, Detector::ConservativeUndecided);
+        assert_eq!(v.detector, Detector::ConservativeBudget);
+        assert!(v.detector.is_conservative());
+    }
+
+    #[test]
+    fn starved_branching_updates_report_budget() {
+        let mut c = cfg();
+        c.np_max_trees = 5;
+        // Branching update pattern routes NP-side; 5 trees is nowhere
+        // near enough, so the search refuses before enumerating.
+        let v = analyze_pair(&ins("a/b[q]", "c"), &del("a/z/w"), &c);
+        assert!(v.conflict);
+        assert_eq!(v.detector, Detector::ConservativeBudget);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_np_routes_only() {
+        let dl = cxu_runtime::Deadline::after(std::time::Duration::ZERO);
+        // Branching read: NP-side search polls the deadline and trips.
+        let v = analyze_pair_deadline(&read("a[b][c]"), &ins("a[b]", "c"), &cfg(), &dl);
+        assert!(v.conflict);
+        assert_eq!(v.detector, Detector::ConservativeDeadline);
+        // Branching update pair: same degradation.
+        let v2 = analyze_pair_deadline(&ins("a/b[q]", "c"), &del("a/z/w"), &cfg(), &dl);
+        assert_eq!(v2.detector, Detector::ConservativeDeadline);
+        // Linear routes are PTIME and never degrade, even at deadline 0.
+        let v3 = analyze_pair_deadline(&read("x//C"), &ins("x/B", "C"), &cfg(), &dl);
+        assert_eq!(v3.detector, Detector::PtimeLinearRead);
+        let v4 = analyze_pair_deadline(&ins("a/b", "x"), &ins("a/c", "y"), &cfg(), &dl);
+        assert_eq!(v4.detector, Detector::PtimeLinearUpdates);
+        assert!(!v4.conflict);
+    }
+
+    #[test]
+    fn cancel_token_degrades_like_a_deadline() {
+        let token = cxu_runtime::CancelToken::new();
+        token.cancel();
+        let dl = cxu_runtime::Deadline::never().with_token(&token);
+        let v = analyze_pair_deadline(&read("a[b][c]"), &ins("a[b]", "c"), &cfg(), &dl);
+        assert_eq!(v.detector, Detector::ConservativeDeadline);
+        assert!(v.conflict);
     }
 
     #[test]

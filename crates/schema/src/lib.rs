@@ -23,6 +23,7 @@
 
 use cxu_ops::witness::witnesses_update_conflict;
 use cxu_ops::{Read, Semantics, Update};
+use cxu_runtime::{failpoints, Deadline, DeadlineExceeded};
 use cxu_tree::{NodeId, Symbol, Tree};
 use std::collections::HashMap;
 use std::fmt;
@@ -230,14 +231,34 @@ impl Dtd {
 /// Enumerates all conforming trees with at most `max_nodes` nodes, up to
 /// `max_trees` results (exponential — a search substrate, not a sampler).
 pub fn enumerate_conforming(dtd: &Dtd, max_nodes: usize, max_trees: usize) -> Vec<Tree> {
+    enumerate_conforming_deadline(dtd, max_nodes, max_trees, &Deadline::never())
+        .expect("unbounded deadline never expires")
+}
+
+/// [`enumerate_conforming`] with a cooperative deadline, polled once per
+/// expansion step of the search tree.
+pub fn enumerate_conforming_deadline(
+    dtd: &Dtd,
+    max_nodes: usize,
+    max_trees: usize,
+    deadline: &Deadline,
+) -> Result<Vec<Tree>, DeadlineExceeded> {
     let mut out = Vec::new();
     if max_nodes == 0 {
-        return out;
+        return Ok(out);
     }
     let mut t = Tree::new(dtd.root());
     let root = t.root();
-    expand(dtd, &mut t, vec![root], max_nodes, max_trees, &mut out);
-    out
+    expand(
+        dtd,
+        &mut t,
+        vec![root],
+        max_nodes,
+        max_trees,
+        deadline,
+        &mut out,
+    )?;
+    Ok(out)
 }
 
 /// Depth-first expansion: `frontier` holds nodes whose children are not
@@ -249,14 +270,16 @@ fn expand(
     mut frontier: Vec<NodeId>,
     max_nodes: usize,
     max_trees: usize,
+    deadline: &Deadline,
     out: &mut Vec<Tree>,
-) {
+) -> Result<(), DeadlineExceeded> {
     if out.len() >= max_trees {
-        return;
+        return Ok(());
     }
+    deadline.check()?;
     let Some(node) = frontier.pop() else {
         out.push(t.clone());
-        return;
+        return Ok(());
     };
     let specs = dtd.rules.get(&t.label(node)).cloned().unwrap_or_default();
     // Enumerate per-spec counts. Cap each count by the node budget.
@@ -273,8 +296,9 @@ fn expand(
         &frontier,
         max_nodes,
         max_trees,
+        deadline,
         out,
-    );
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -289,10 +313,11 @@ fn enumerate_counts(
     frontier: &[NodeId],
     max_nodes: usize,
     max_trees: usize,
+    deadline: &Deadline,
     out: &mut Vec<Tree>,
-) {
+) -> Result<(), DeadlineExceeded> {
     if out.len() >= max_trees {
-        return;
+        return Ok(());
     }
     if idx == specs.len() {
         // Materialize the chosen children and recurse into the frontier.
@@ -303,13 +328,12 @@ fn enumerate_counts(
                 frontier2.push(t2.build_child(node, spec.label));
             }
         }
-        expand(dtd, &mut t2, frontier2, max_nodes, max_trees, out);
-        return;
+        return expand(dtd, &mut t2, frontier2, max_nodes, max_trees, deadline, out);
     }
     let spec = &specs[idx];
     let hi = spec.max.unwrap_or(usize::MAX).min(budget);
     if spec.min > hi {
-        return; // cannot satisfy within budget
+        return Ok(()); // cannot satisfy within budget
     }
     for c in spec.min..=hi {
         counts[idx] = c;
@@ -324,9 +348,11 @@ fn enumerate_counts(
             frontier,
             max_nodes,
             max_trees,
+            deadline,
             out,
-        );
+        )?;
     }
+    Ok(())
 }
 
 /// Outcome of a schema-constrained conflict search.
@@ -338,6 +364,8 @@ pub enum SchemaSearchOutcome {
     NoConflictWithin(usize),
     /// More than `max_trees` conforming candidates; undecided.
     BudgetExceeded,
+    /// The deadline expired (or the cancel token fired) mid-search.
+    DeadlineExceeded,
 }
 
 /// Searches for a **conforming** conflict witness. Trees that violate the
@@ -352,9 +380,33 @@ pub fn find_witness_conforming(
     max_nodes: usize,
     max_trees: usize,
 ) -> SchemaSearchOutcome {
-    let candidates = enumerate_conforming(dtd, max_nodes, max_trees);
+    find_witness_conforming_deadline(r, u, sem, dtd, max_nodes, max_trees, &Deadline::never())
+}
+
+/// [`find_witness_conforming`] with a cooperative deadline, polled both
+/// during candidate enumeration and per witness check.
+#[allow(clippy::too_many_arguments)]
+pub fn find_witness_conforming_deadline(
+    r: &Read,
+    u: &Update,
+    sem: Semantics,
+    dtd: &Dtd,
+    max_nodes: usize,
+    max_trees: usize,
+    deadline: &Deadline,
+) -> SchemaSearchOutcome {
+    if failpoints::fire("schema::search") {
+        return SchemaSearchOutcome::BudgetExceeded;
+    }
+    let candidates = match enumerate_conforming_deadline(dtd, max_nodes, max_trees, deadline) {
+        Ok(c) => c,
+        Err(DeadlineExceeded) => return SchemaSearchOutcome::DeadlineExceeded,
+    };
     let exhausted = candidates.len() >= max_trees;
     for t in candidates {
+        if deadline.poll() {
+            return SchemaSearchOutcome::DeadlineExceeded;
+        }
         if witnesses_update_conflict(r, u, &t, sem) {
             return SchemaSearchOutcome::Conflict(t);
         }
@@ -544,6 +596,25 @@ mod tests {
             SchemaSearchOutcome::NoConflictWithin(_) => {}
             other => panic!("expected schema to kill the conflict, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_exceeded_reported() {
+        let dtd = inventory_dtd();
+        let r = Read::new(parse("inventory//restock").unwrap());
+        let u = Update::Insert(Insert::new(
+            parse("inventory/book/bogus").unwrap(),
+            text::parse("restock").unwrap(),
+        ));
+        let dl = Deadline::after(std::time::Duration::ZERO);
+        match find_witness_conforming_deadline(&r, &u, Semantics::Node, &dtd, 7, 100_000, &dl) {
+            SchemaSearchOutcome::DeadlineExceeded => {}
+            other => panic!("expected deadline exhaustion, got {other:?}"),
+        }
+        // Enumeration alone also reports expiry (fresh handle: the poll
+        // stride counts per deadline).
+        let dl2 = Deadline::after(std::time::Duration::ZERO);
+        assert!(enumerate_conforming_deadline(&dtd, 5, 10_000, &dl2).is_err());
     }
 
     #[test]

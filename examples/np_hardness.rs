@@ -99,6 +99,7 @@ fn main() {
             SearchOutcome::Conflict(w) => format!("witness of {} nodes", w.live_count()),
             SearchOutcome::NoConflictWithin(_) => "no witness".into(),
             SearchOutcome::BudgetExceeded(n) => format!("budget exceeded ({n} candidates)"),
+            SearchOutcome::DeadlineExceeded => "deadline exceeded".into(),
         };
         println!("    bound {max_nodes} nodes: {verdict:<24} in {dt:?}");
         if matches!(out, SearchOutcome::Conflict(_)) {

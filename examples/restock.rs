@@ -136,6 +136,7 @@ fn main() {
             SchemaSearchOutcome::Conflict(_) => "conflict",
             SchemaSearchOutcome::NoConflictWithin(_) => "independent (schema forbids <promo>)",
             SchemaSearchOutcome::BudgetExceeded => "undecided within budget",
+            SchemaSearchOutcome::DeadlineExceeded => "timed out",
         }
     );
 }

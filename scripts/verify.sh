@@ -11,6 +11,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> failpoints stress suite (seed ${CXU_FAILPOINTS_SEED:-1})"
+cargo test -q -p cxu --features failpoints --test failpoints_stress
+
 echo "==> cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

@@ -123,7 +123,8 @@ proptest! {
                     // Detector may still answer "conflict" if all
                     // witnesses are larger than 4 nodes; nothing to check.
                 }
-                brute::SearchOutcome::BudgetExceeded(_) => {}
+                brute::SearchOutcome::BudgetExceeded(_)
+                | brute::SearchOutcome::DeadlineExceeded => {}
             }
         }
     }

@@ -151,6 +151,7 @@ fn update_update_pipeline() {
             assert!(update_update::commute_on(&u1, &u2, &t));
         }
         update_update::Outcome::BudgetExceeded(_) => panic!("budget too small"),
+        update_update::Outcome::DeadlineExceeded => panic!("no deadline was set"),
     }
 }
 

@@ -1,0 +1,152 @@
+//! Fault-injection stress suite (`--features failpoints`).
+//!
+//! Arms the deterministic failpoint plan and drives ≥ 500 seeded random
+//! programs through the scheduler under a 1 ms pair deadline. Injected
+//! panics, slowdowns, and forced budget exhaustions must never abort a
+//! batch: every program still yields a valid schedule that is
+//! observationally equivalent to serial execution (same interpreter
+//! oracle as `sched_validation.rs`), with the degradations accounted
+//! for in `SchedStats`.
+//!
+//! The base seed comes from `CXU_FAILPOINTS_SEED` (decimal), so CI can
+//! replay a fixed seed matrix; it defaults to 1.
+
+#![cfg(feature = "failpoints")]
+
+use cxu::gen::patterns::PatternParams;
+use cxu::gen::program::{random_program, ProgramParams};
+use cxu::gen::rng::{Rng, SplitMix64};
+use cxu::gen::trees::{random_tree, TreeParams};
+use cxu::runtime::failpoints::{self, Plan};
+use cxu::sched::validate::schedule_preserves_observation;
+use cxu::sched::{SchedConfig, Scheduler};
+use std::time::Duration;
+
+fn base_seed() -> u64 {
+    std::env::var("CXU_FAILPOINTS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// The single stress test: one `#[test]` because the failpoint plan is
+/// process-global state.
+#[test]
+fn scheduler_survives_injected_faults() {
+    // The injected panics are expected and caught; keep them out of the
+    // test output — but let genuine assertion failures print normally.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.contains("injected failpoint panic") {
+            default_hook(info);
+        }
+    }));
+
+    let seed = base_seed();
+    failpoints::arm(Plan {
+        seed,
+        panic_per_mille: 60,
+        sleep_per_mille: 60,
+        sleep_ms: 3,
+        exhaust_per_mille: 80,
+    });
+
+    let cfg = SchedConfig {
+        jobs: 1, // deterministic fault sequence for a given seed
+        pair_deadline: Some(Duration::from_millis(1)),
+        np_max_trees: 300,
+        ..SchedConfig::default()
+    };
+    let params = |branching: bool| ProgramParams {
+        len: 6,
+        update_rate: 0.5,
+        delete_rate: 0.4,
+        pattern: PatternParams {
+            nodes: 3,
+            alphabet: 3,
+            branch_rate: if branching { 0.5 } else { 0.0 },
+            ..PatternParams::default()
+        },
+    };
+
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5EED_FA17);
+    let mut total = cxu::sched::SchedStats::default();
+    for case in 0..500 {
+        let p = random_program(&mut rng, &params(case % 2 == 1));
+        let doc = random_tree(
+            &mut rng,
+            &TreeParams {
+                nodes: 8,
+                alphabet: 3,
+                ..TreeParams::default()
+            },
+        );
+        // A fresh scheduler per program: no cache to soften the faults.
+        let out = Scheduler::new(cfg).run_program(&p);
+
+        // Structural validity: every op exactly once, conflicts ordered.
+        let mut seen = vec![false; p.stmts.len()];
+        for round in &out.schedule.rounds {
+            for (i, &a) in round.iter().enumerate() {
+                assert!(
+                    !std::mem::replace(&mut seen[a], true),
+                    "case {case}: op {a} twice"
+                );
+                for &b in &round[i + 1..] {
+                    assert!(
+                        !out.graph.conflict(a, b),
+                        "case {case}: conflict in a round"
+                    );
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "case {case}: op dropped");
+
+        // Observational soundness, two random intra-round orders.
+        for _ in 0..2 {
+            let intra: Vec<Vec<usize>> = out
+                .schedule
+                .rounds
+                .iter()
+                .map(|r| {
+                    let mut perm: Vec<usize> = (0..r.len()).collect();
+                    for i in (1..perm.len()).rev() {
+                        perm.swap(i, rng.gen_range(0..=i));
+                    }
+                    perm
+                })
+                .collect();
+            assert!(
+                schedule_preserves_observation(&p, &out.schedule, &intra, &doc),
+                "case {case}: faulted schedule broke observational equivalence"
+            );
+        }
+
+        total.degraded_budget += out.stats.degraded_budget;
+        total.degraded_deadline += out.stats.degraded_deadline;
+        total.degraded_panic += out.stats.degraded_panic;
+        total.conservative += out.stats.conservative;
+    }
+    failpoints::disarm();
+    let _ = std::panic::take_hook();
+
+    // The plan actually bit: each degradation class was exercised.
+    assert!(
+        total.degraded_panic > 0,
+        "no injected panic surfaced: {total:?}"
+    );
+    assert!(
+        total.degraded_budget > 0,
+        "no forced exhaustion surfaced: {total:?}"
+    );
+    assert!(
+        total.degraded_deadline > 0,
+        "no deadline degradation surfaced: {total:?}"
+    );
+}
