@@ -1,0 +1,80 @@
+//! Writes `BENCH_SCHED.json`: the deterministic scheduler workload from
+//! `benches/sched.rs`, re-run with the `cxu-obs` registry snapshotted
+//! around each batch so the report gains route/cache/degradation columns
+//! alongside wall time. Run in release mode from this directory:
+//!
+//! ```text
+//! cargo run --release -p cxu-bench --bin sched_metrics > ../../BENCH_SCHED.json
+//! ```
+//!
+//! The same numbers are available without this crate via
+//! `cxu schedule --gen-seed … --format json --metrics json`; this binary
+//! exists so the criterion workload and the recorded JSON describe the
+//! *identical* instances.
+
+use cxu::gen::patterns::PatternParams;
+use cxu::gen::program::{random_program, ProgramParams};
+use cxu::gen::rng::SplitMix64;
+use cxu::sched::{ops_of_program, Op, SchedConfig, Scheduler};
+use std::time::Instant;
+
+fn batch(len: usize, seed: u64) -> Vec<Op> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let p = random_program(
+        &mut rng,
+        &ProgramParams {
+            len,
+            update_rate: 0.5,
+            delete_rate: 0.4,
+            pattern: PatternParams {
+                nodes: 4,
+                alphabet: 6,
+                branch_rate: 0.0,
+                ..PatternParams::default()
+            },
+        },
+    );
+    ops_of_program(&p)
+}
+
+fn cfg(jobs: usize) -> SchedConfig {
+    SchedConfig {
+        jobs,
+        np_max_trees: 2_000,
+        ..SchedConfig::default()
+    }
+}
+
+fn main() {
+    let mut runs = String::new();
+    for (i, &n) in [50usize, 100, 200, 400].iter().enumerate() {
+        let ops = batch(n, 0xBA5E + n as u64);
+        let before = cxu::obs::registry().snapshot();
+        let t0 = Instant::now();
+        let out = Scheduler::new(cfg(1)).run(&ops);
+        let wall_us = t0.elapsed().as_micros();
+        let delta = cxu::obs::registry().snapshot().delta(&before);
+        let st = out.stats;
+        if i > 0 {
+            runs.push_str(",\n");
+        }
+        runs.push_str(&format!(
+            "    {{\"ops\": {}, \"wall_us\": {wall_us}, \
+             \"pairs_total\": {}, \"pairs_analyzed\": {}, \"cache_hits\": {}, \
+             \"conflict_edges\": {}, \"rounds\": {},\n     \"metrics\": {}}}",
+            st.ops,
+            st.pairs_total,
+            st.pairs_analyzed,
+            st.cache_hits,
+            st.conflict_edges,
+            st.rounds,
+            delta.to_json()
+        ));
+    }
+    println!(
+        "{{\n  \"bench\": \"sched\",\n  \"workload\": {{\"update_rate\": 0.5, \
+         \"delete_rate\": 0.4, \"pattern_nodes\": 4, \"alphabet\": 6, \
+         \"branch_rate\": 0.0, \"np_max_trees\": 2000, \"jobs\": 1}},\n  \
+         \"runs\": [\n{runs}\n  ]\n}}"
+    );
+}

@@ -25,28 +25,38 @@ cxu — conflict detection for XML updates (Raghavachari–Shmueli, EDBT'06)
 USAGE:
   cxu check   --read <xpath> --insert <xpath> --subtree <term> [--semantics S]
   cxu check   --read <xpath> --delete <xpath>                  [--semantics S]
+  cxu detect  … (alias of check)
   cxu witness --read <xpath> --insert <xpath> --subtree <term> --doc <D> [--minimize]
   cxu witness --read <xpath> --delete <xpath>                  --doc <D> [--minimize]
   cxu eval    --pattern <xpath> --doc <D>
   cxu contain --sub <xpath> --sup <xpath>
   cxu analyze --program <file|source>
-  cxu schedule --program <file|source> [--jobs N] [--semantics S]
-               [--deadline-ms MS] [--format text|json|dot]
+  cxu schedule (--program <file|source> | --gen-seed N [--gen-len L] [--gen-branch R])
+               [--jobs N] [--semantics S] [--deadline-ms MS]
+               [--format text|json|dot] [--metrics text|json]
   cxu dot     (--pattern <xpath> | --doc <D>)
 
   S = node | tree | value        (default: node; schedule defaults to value)
   D = inline term like 'a(b c)', or a path to a .xml / .tree file
-  --deadline-ms MS  per-pair time slice: NP-side analyses that outlive it
-                    degrade to conservative conflicts (shown as
-                    \"conservative-deadline\" edges) instead of stalling
+  --deadline-ms MS  per-pair time slice (must be > 0): NP-side analyses
+                    that outlive it degrade to conservative conflicts
+                    (shown as \"conservative-deadline\" edges)
+  --metrics M       append the run's metrics delta (counters + latency
+                    histograms) as text, or embed it as a \"metrics\"
+                    object when --format json
+  --trace PATH      write JSONL span/event tracing to PATH (any command)
+  --gen-seed N      generate the batch from a seeded PRNG instead of
+                    --program (deterministic; used by the CI smoke job)
 
 EXAMPLES:
   cxu check --read 'x//C' --insert 'x/B' --subtree 'C'
+  cxu detect --read 'x//C' --insert 'x/B' --subtree 'C' --trace trace.jsonl
   cxu witness --read 'x//C' --insert 'x/B' --subtree 'C' --doc 'x(B)'
   cxu eval --pattern 'inventory/book[.//quantity]' --doc inventory.xml
   cxu contain --sub 'a/b' --sup 'a//b'
   cxu schedule --program 'y = read $x//A; insert $x/B, C; z = read $x//C'
   cxu schedule --program batch.cxu --deadline-ms 50 --format json
+  cxu schedule --gen-seed 42 --gen-len 60 --metrics json
 ";
 
 /// Flags that never take a value. Every other flag consumes the next
@@ -263,6 +273,42 @@ fn cmd_dot(args: &Args) -> Result<String, String> {
 }
 
 fn load_program(args: &Args) -> Result<cxu::gen::program::Program, String> {
+    if let Some(seed) = args.get("gen-seed") {
+        if args.get("program").is_some() {
+            return Err("--program and --gen-seed are mutually exclusive".into());
+        }
+        let seed = seed
+            .parse::<u64>()
+            .map_err(|_| format!("bad --gen-seed '{seed}' (want a u64)"))?;
+        let len = match args.get("gen-len") {
+            Some(l) => l
+                .parse::<usize>()
+                .ok()
+                .filter(|&l| l >= 1)
+                .ok_or_else(|| format!("bad --gen-len '{l}' (want a positive integer)"))?,
+            None => 40,
+        };
+        let branch_rate = match args.get("gen-branch") {
+            Some(r) => r
+                .parse::<f64>()
+                .ok()
+                .filter(|r| (0.0..=1.0).contains(r))
+                .ok_or_else(|| format!("bad --gen-branch '{r}' (want a rate in [0, 1])"))?,
+            None => 0.25,
+        };
+        let mut rng = cxu::gen::rng::SplitMix64::seed_from_u64(seed);
+        let params = cxu::gen::program::ProgramParams {
+            len,
+            pattern: cxu::gen::patterns::PatternParams {
+                nodes: 4,
+                alphabet: 6,
+                branch_rate,
+                ..cxu::gen::patterns::PatternParams::default()
+            },
+            ..cxu::gen::program::ProgramParams::default()
+        };
+        return Ok(cxu::gen::program::random_program(&mut rng, &params));
+    }
     let spec = args.require("program")?;
     let src = if std::path::Path::new(spec).exists() {
         std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?
@@ -337,23 +383,29 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
     if let Some(ms) = args.get("deadline-ms") {
         let ms = ms
             .parse::<u64>()
-            .map_err(|_| format!("bad --deadline-ms '{ms}' (want milliseconds)"))?;
+            .ok()
+            .filter(|&ms| ms >= 1)
+            .ok_or_else(|| {
+                format!(
+                    "bad --deadline-ms '{ms}': want a positive number of milliseconds \
+                     (a zero deadline would instantly degrade every NP-side pair \
+                     to a conservative conflict)"
+                )
+            })?;
         cfg.pair_deadline = Some(std::time::Duration::from_millis(ms));
     }
-    let out = Scheduler::new(cfg).run(&ops);
-
-    let detector_name = |d: Detector| match d {
-        Detector::Trivial => "trivial",
-        Detector::PtimeLinearRead => "ptime-linear-read",
-        Detector::PtimeLinearUpdates => "ptime-linear-updates",
-        Detector::WitnessSearch => "witness-search",
-        Detector::ConservativeUndecided => "conservative-undecided",
-        Detector::ConservativeBudget => "conservative-budget",
-        Detector::ConservativeDeadline => "conservative-deadline",
-        Detector::ConservativePanic => "conservative-panic",
+    let metrics_mode = match args.get("metrics") {
+        None => None,
+        Some(m @ ("text" | "json")) => Some(m),
+        Some(other) => return Err(format!("unknown --metrics '{other}' (text|json)")),
     };
+    let before = cxu::obs::registry().snapshot();
+    let out = Scheduler::new(cfg).run(&ops);
+    let delta = cxu::obs::registry().snapshot().delta(&before);
 
-    match args.get("format").unwrap_or("text") {
+    let detector_name = |d: Detector| d.name();
+
+    let result = match args.get("format").unwrap_or("text") {
         "text" => {
             let mut s = String::from("ops:\n");
             for (i, op) in ops.iter().enumerate() {
@@ -424,7 +476,7 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
                  \"pairs_analyzed\": {}, \"cache_hits\": {}, \"ptime_linear_read\": {}, \
                  \"ptime_linear_updates\": {}, \"witness_search\": {}, \"conservative\": {}, \
                  \"degraded_budget\": {}, \"degraded_deadline\": {}, \"degraded_panic\": {}, \
-                 \"conflict_edges\": {}, \"rounds\": {}, \"jobs\": {}}}\n}}",
+                 \"conflict_edges\": {}, \"rounds\": {}, \"jobs\": {}}}",
                 st.ops,
                 st.pairs_total,
                 st.trivial,
@@ -441,11 +493,26 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
                 st.rounds,
                 st.jobs
             ));
+            if metrics_mode == Some("json") {
+                s.push_str(&format!(",\n  \"metrics\": {}", delta.to_json()));
+            }
+            s.push_str("\n}");
             Ok(s)
         }
         "dot" => Ok(out.graph.to_dot(&ops, "conflicts")),
         other => Err(format!("unknown format '{other}' (text|json|dot)")),
+    };
+    let mut result = result?;
+    match metrics_mode {
+        Some("text") => {
+            result.push_str(&format!("\n\nmetrics (delta for this run):\n{delta}"));
+        }
+        Some("json") if args.get("format").unwrap_or("text") != "json" => {
+            result.push_str(&format!("\n{}", delta.to_json()));
+        }
+        _ => {}
     }
+    Ok(result)
 }
 
 fn run() -> Result<String, String> {
@@ -454,8 +521,12 @@ fn run() -> Result<String, String> {
         return Err(USAGE.into());
     };
     let args = Args::parse(rest)?;
-    match cmd.as_str() {
-        "check" => cmd_check(&args),
+    if let Some(path) = args.get("trace") {
+        cxu::obs::trace::enable_file(std::path::Path::new(path))
+            .map_err(|e| format!("cannot open trace file '{path}': {e}"))?;
+    }
+    let result = match cmd.as_str() {
+        "check" | "detect" => cmd_check(&args),
         "witness" => cmd_witness(&args),
         "eval" => cmd_eval(&args),
         "contain" => cmd_contain(&args),
@@ -464,7 +535,10 @@ fn run() -> Result<String, String> {
         "dot" => cmd_dot(&args),
         "help" | "--help" | "-h" => Ok(USAGE.into()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
-    }
+    };
+    // Flush and close the JSONL sink before the process exits.
+    cxu::obs::trace::disable();
+    result
 }
 
 fn main() -> ExitCode {

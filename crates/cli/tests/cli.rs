@@ -346,6 +346,150 @@ fn schedule_rejects_bad_jobs_and_format() {
     let prog = "insert $x/B, C";
     let bad_jobs = cxu(&["schedule", "--program", prog, "--jobs", "0"]);
     assert!(!bad_jobs.status.success());
+    assert!(
+        stderr(&bad_jobs).contains("positive integer"),
+        "{}",
+        stderr(&bad_jobs)
+    );
     let bad_fmt = cxu(&["schedule", "--program", prog, "--format", "yaml"]);
     assert!(!bad_fmt.status.success());
+}
+
+#[test]
+fn schedule_rejects_zero_deadline() {
+    let out = cxu(&[
+        "schedule",
+        "--program",
+        "insert $x/B, C",
+        "--deadline-ms",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    let e = stderr(&out);
+    assert!(e.contains("--deadline-ms"), "{e}");
+    assert!(e.contains("positive"), "{e}");
+}
+
+#[test]
+fn detect_is_an_alias_of_check() {
+    let out = cxu(&[
+        "detect",
+        "--read",
+        "x//C",
+        "--insert",
+        "x/B",
+        "--subtree",
+        "C",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("CONFLICT"), "{}", stdout(&out));
+}
+
+#[test]
+fn schedule_metrics_text() {
+    let out = cxu(&[
+        "schedule",
+        "--program",
+        "y = read $x//A; insert $x/B, C; z = read $x//C",
+        "--metrics",
+        "text",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("metrics (delta for this run):"), "{s}");
+    assert!(s.contains("sched.route.ptime_linear_read"), "{s}");
+    assert!(s.contains("sched.cache.lookups"), "{s}");
+}
+
+#[test]
+fn schedule_metrics_json_embedded() {
+    let out = cxu(&[
+        "schedule",
+        "--program",
+        "y = read $x//A; insert $x/B, C; z = read $x//C",
+        "--format",
+        "json",
+        "--metrics",
+        "json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("\"metrics\": {\"counters\": {"), "{s}");
+    assert!(s.contains("\"sched.route.ptime_linear_read\": 2"), "{s}");
+    assert!(s.contains("\"histograms\""), "{s}");
+    // Braces balance — the metrics object nests inside the report.
+    let opens = s.matches('{').count();
+    let closes = s.matches('}').count();
+    assert_eq!(opens, closes, "{s}");
+    let bad = cxu(&[
+        "schedule",
+        "--program",
+        "insert $x/B, C",
+        "--metrics",
+        "xml",
+    ]);
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn schedule_gen_seed_is_deterministic() {
+    let run = || {
+        let out = cxu(&[
+            "schedule",
+            "--gen-seed",
+            "7",
+            "--gen-len",
+            "8",
+            "--gen-branch",
+            "0.0",
+            "--format",
+            "json",
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        stdout(&out)
+    };
+    assert_eq!(run(), run());
+    let conflicting = cxu(&[
+        "schedule",
+        "--gen-seed",
+        "7",
+        "--gen-len",
+        "8",
+        "--program",
+        "insert $x/B, C",
+    ]);
+    assert!(!conflicting.status.success());
+    assert!(
+        stderr(&conflicting).contains("mutually exclusive"),
+        "{}",
+        stderr(&conflicting)
+    );
+}
+
+#[test]
+fn trace_writes_jsonl() {
+    let dir = std::env::temp_dir().join("cxu-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let out = cxu(&[
+        "detect",
+        "--read",
+        "x//C",
+        "--insert",
+        "x/B",
+        "--subtree",
+        "C",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let trace = std::fs::read_to_string(&path).unwrap();
+    assert!(!trace.is_empty(), "trace file has events");
+    for line in trace.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    assert!(
+        trace.contains("\"name\": \"core.detect.linear\""),
+        "{trace}"
+    );
 }

@@ -102,6 +102,47 @@ pub fn find_witness_deadline(
     budget: Budget,
     deadline: &Deadline,
 ) -> SearchOutcome {
+    let t0 = std::time::Instant::now();
+    let out = find_witness_deadline_inner(r, u, sem, budget, deadline);
+    cxu_obs::counter!("core.brute.searches").inc();
+    cxu_obs::histogram!("core.brute.ns").record_since(t0);
+    let outcome = match &out {
+        SearchOutcome::Conflict(_) => {
+            cxu_obs::counter!("core.brute.conflict").inc();
+            "conflict"
+        }
+        SearchOutcome::NoConflictWithin(_) => {
+            cxu_obs::counter!("core.brute.no_conflict").inc();
+            "no-conflict"
+        }
+        SearchOutcome::BudgetExceeded(_) => {
+            cxu_obs::counter!("core.brute.budget").inc();
+            "budget"
+        }
+        SearchOutcome::DeadlineExceeded => {
+            cxu_obs::counter!("core.brute.deadline").inc();
+            "deadline"
+        }
+    };
+    if cxu_obs::trace::enabled() {
+        cxu_obs::trace::event(
+            "core.brute.search",
+            &[
+                ("outcome", outcome.into()),
+                ("max_nodes", budget.max_nodes.into()),
+            ],
+        );
+    }
+    out
+}
+
+fn find_witness_deadline_inner(
+    r: &Read,
+    u: &Update,
+    sem: Semantics,
+    budget: Budget,
+    deadline: &Deadline,
+) -> SearchOutcome {
     let alpha = witness_alphabet(r, u);
     let candidates = count_trees(alpha.len(), budget.max_nodes);
     if candidates > budget.max_trees || failpoints::fire("brute::search") {

@@ -120,11 +120,32 @@ pub fn read_insert_conflict(r: &Read, i: &Insert, sem: Semantics) -> Result<bool
 }
 
 /// Unified entry point for any update.
+///
+/// Observability: each call bumps `core.detect.linear` and records its
+/// wall time in `core.detect.linear_ns` (this is the §4 PTIME route the
+/// scheduler prefers, and also the engine the linear update-update
+/// analysis invokes for its cross-conflict checks).
 pub fn read_update_conflict(r: &Read, u: &Update, sem: Semantics) -> Result<bool, DetectError> {
-    match u {
+    let t0 = std::time::Instant::now();
+    let out = match u {
         Update::Insert(i) => read_insert_conflict(r, i, sem),
         Update::Delete(d) => read_delete_conflict(r, d, sem),
+    };
+    cxu_obs::counter!("core.detect.linear").inc();
+    cxu_obs::histogram!("core.detect.linear_ns").record_since(t0);
+    if cxu_obs::trace::enabled() {
+        cxu_obs::trace::event(
+            "core.detect.linear",
+            &[(
+                "conflict",
+                match &out {
+                    Ok(c) => if *c { "true" } else { "false" }.into(),
+                    Err(_) => "error".into(),
+                },
+            )],
+        );
     }
+    out
 }
 
 /// Pairs for which the detector proves *independence*: reorderable

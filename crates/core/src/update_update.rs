@@ -88,6 +88,40 @@ pub fn find_noncommuting_witness_deadline(
     budget: Budget,
     deadline: &Deadline,
 ) -> Outcome {
+    let t0 = std::time::Instant::now();
+    let out = find_noncommuting_witness_inner(u1, u2, budget, deadline);
+    cxu_obs::counter!("core.uu_search.searches").inc();
+    cxu_obs::histogram!("core.uu_search.ns").record_since(t0);
+    let outcome = match &out {
+        Outcome::Conflict(_) => {
+            cxu_obs::counter!("core.uu_search.conflict").inc();
+            "conflict"
+        }
+        Outcome::NoConflictWithin(_) => {
+            cxu_obs::counter!("core.uu_search.no_conflict").inc();
+            "no-conflict"
+        }
+        Outcome::BudgetExceeded(_) => {
+            cxu_obs::counter!("core.uu_search.budget").inc();
+            "budget"
+        }
+        Outcome::DeadlineExceeded => {
+            cxu_obs::counter!("core.uu_search.deadline").inc();
+            "deadline"
+        }
+    };
+    if cxu_obs::trace::enabled() {
+        cxu_obs::trace::event("core.uu_search", &[("outcome", outcome.into())]);
+    }
+    out
+}
+
+fn find_noncommuting_witness_inner(
+    u1: &Update,
+    u2: &Update,
+    budget: Budget,
+    deadline: &Deadline,
+) -> Outcome {
     let alpha = alphabet(u1, u2);
     let n = count_trees(alpha.len(), budget.max_nodes);
     if n > budget.max_trees || failpoints::fire("uu::search") {

@@ -97,6 +97,44 @@ pub fn commutativity_deadline(
     budget: Budget,
     deadline: &Deadline,
 ) -> Option<Commutativity> {
+    let t0 = std::time::Instant::now();
+    let out = commutativity_deadline_inner(u1, u2, budget, deadline);
+    cxu_obs::counter!("core.uu_linear.calls").inc();
+    cxu_obs::histogram!("core.uu_linear.ns").record_since(t0);
+    let outcome = match &out {
+        None => {
+            cxu_obs::counter!("core.uu_linear.nonlinear").inc();
+            "nonlinear"
+        }
+        Some(Commutativity::Commute) => {
+            cxu_obs::counter!("core.uu_linear.commute").inc();
+            "commute"
+        }
+        Some(Commutativity::Conflict(_)) => {
+            cxu_obs::counter!("core.uu_linear.conflict").inc();
+            "conflict"
+        }
+        Some(Commutativity::Unknown) => {
+            cxu_obs::counter!("core.uu_linear.unknown").inc();
+            "unknown"
+        }
+        Some(Commutativity::DeadlineExceeded) => {
+            cxu_obs::counter!("core.uu_linear.deadline").inc();
+            "deadline"
+        }
+    };
+    if cxu_obs::trace::enabled() {
+        cxu_obs::trace::event("core.uu_linear", &[("outcome", outcome.into())]);
+    }
+    out
+}
+
+fn commutativity_deadline_inner(
+    u1: &Update,
+    u2: &Update,
+    budget: Budget,
+    deadline: &Deadline,
+) -> Option<Commutativity> {
     if !u1.pattern().is_linear() || !u2.pattern().is_linear() {
         return None;
     }

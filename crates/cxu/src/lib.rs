@@ -32,6 +32,11 @@
 //! assert!(cxu::witness::witnesses_insert_conflict(&read, &ins, &doc, Semantics::Node));
 //! ```
 
+/// Observability: metrics registry (counters, latency histograms) and
+/// JSONL span/event tracing. See DESIGN.md § Observability for the
+/// metric catalog.
+pub use cxu_obs as obs;
+
 /// Robustness runtime: cooperative deadlines, cancellation tokens, and
 /// (feature-gated) deterministic fault injection.
 pub use cxu_runtime as runtime;

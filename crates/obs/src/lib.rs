@@ -1,0 +1,47 @@
+//! # cxu-obs — observability for the detection stack
+//!
+//! The paper's central dichotomy — PTIME detection when the read is
+//! linear (§4) vs. NP-complete witness search when both sides branch
+//! (§5) — is exactly the split the scheduler exercises per pair, and a
+//! perf claim about the stack is only honest when it says *which route
+//! fired how often*. This crate is the measurement layer every other
+//! workspace crate reports into:
+//!
+//! * [`metrics`] — a global registry of named [`metrics::Counter`]s
+//!   (relaxed atomic u64) and [`metrics::Histogram`]s (fixed log₂
+//!   buckets over u64 samples, typically nanoseconds). Counters are
+//!   always on: an increment is one relaxed atomic add, far below the
+//!   cost of any detector invocation it annotates. Registration is
+//!   lazy and call sites cache their handle through the [`counter!`] /
+//!   [`histogram!`] macros, so the registry lock is touched once per
+//!   site per process.
+//! * [`trace`] — a span/event layer that emits JSONL to a sink when
+//!   enabled. When disabled (the default) every call collapses to a
+//!   single relaxed atomic load; no formatting, no locking, no
+//!   allocation happens.
+//!
+//! The crate has **no dependencies** (the workspace builds hermetically
+//! — no network, no vendored registry) and sits below `cxu-runtime`, so
+//! every layer of the stack can share the same registry.
+//!
+//! ## Conventions
+//!
+//! Metric names are dot-separated `layer.object.verb` strings, e.g.
+//! `sched.cache.hit` or `core.brute.deadline`. Histograms carry a unit
+//! suffix (`*_ns`). The full catalog lives in `DESIGN.md`
+//! ("Observability").
+//!
+//! ```
+//! let c = cxu_obs::counter!("doc.example.hits");
+//! c.inc();
+//! let before = cxu_obs::metrics::registry().snapshot();
+//! c.add(2);
+//! let delta = cxu_obs::metrics::registry().snapshot().delta(&before);
+//! assert_eq!(delta.counter("doc.example.hits"), 2);
+//! ```
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{registry, Counter, Histogram, Snapshot};
+pub use trace::{span, Span};

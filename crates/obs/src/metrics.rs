@@ -1,0 +1,426 @@
+//! The metrics registry: named atomic counters and fixed log₂-bucket
+//! histograms, with deterministic text/JSON snapshots.
+//!
+//! Everything is `'static`: a metric, once registered, lives for the
+//! process (the handles are leaked boxes), so hot paths hold plain
+//! `&'static` references and pay one relaxed atomic op per update. The
+//! registry itself is only locked at registration and snapshot time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh zeroed counter (normally obtained via
+    /// [`Registry::counter`], not constructed directly).
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `b` counts samples whose value
+/// has exactly `b` significant bits, i.e. `v ∈ [2^(b−1), 2^b)`, with
+/// bucket 0 holding zeros. 64 buckets cover the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed log₂-bucket histogram over `u64` samples (typically
+/// nanoseconds). Recording is two relaxed atomic adds plus one for the
+/// bucket; no allocation, no locking.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram (normally obtained via
+    /// [`Registry::histogram`]).
+    pub const fn new() -> Histogram {
+        // `[AtomicU64::new(0); N]` needs a const item to repeat; each
+        // repetition is a fresh atomic, not a shared one.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let b = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records the duration since `start`, in nanoseconds.
+    #[inline]
+    pub fn record_since(&self, start: std::time::Instant) {
+        self.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wraps on overflow; fine for deltas).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.wrapping_sub(earlier.count),
+            sum: self.sum.wrapping_sub(earlier.sum),
+            buckets: std::array::from_fn(|i| self.buckets[i].wrapping_sub(earlier.buckets[i])),
+        }
+    }
+}
+
+/// The global registry of named metrics. Obtain it via [`registry`];
+/// obtain handles via [`crate::counter!`] / [`crate::histogram!`] (which
+/// cache per call site) or [`Registry::counter`] / [`Registry::histogram`].
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+impl Registry {
+    /// The counter named `name`, registering it on first use. The cell
+    /// is leaked deliberately: metrics are a bounded set of named
+    /// statics that live for the process.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+    }
+
+    /// A deterministic (name-sorted) copy of every metric's value.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(&n, c)| (n, c.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(&n, h)| (n, h.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time copy of the whole registry, used for reporting and for
+/// before/after deltas around a measured region.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The counter's value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram's state, `None` when absent.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Metric-wise `self − earlier` (names only in `earlier` drop out:
+    /// a metric that existed before the region and never moved inside
+    /// it still appears, with value 0).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&n, &v)| (n, v.wrapping_sub(earlier.counter(n))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(&n, h)| match earlier.histograms.get(n) {
+                Some(e) => (n, h.delta(e)),
+                None => (n, h.clone()),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Renders as a JSON object:
+    /// `{"counters": {...}, "histograms": {name: {"count", "sum", "mean", "buckets": [[lo, n], ...]}}}`.
+    /// Bucket entries list only non-empty buckets as
+    /// `[lower_bound, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{n}\": {v}"));
+        }
+        s.push_str("}, \"histograms\": {");
+        for (i, (n, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{n}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"buckets\": [",
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+            let mut first = true;
+            for (b, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    s.push_str(", ");
+                }
+                first = false;
+                let lo: u64 = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                s.push_str(&format!("[{lo}, {c}]"));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+impl std::fmt::Display for Snapshot {
+    /// A text table: counters first, then histogram summaries.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0);
+        for (n, v) in &self.counters {
+            writeln!(f, "{n:<width$}  {v}")?;
+        }
+        for (n, h) in &self.histograms {
+            writeln!(
+                f,
+                "{n:<width$}  count={} sum={} mean={}",
+                h.count,
+                h.sum,
+                h.mean()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// A `&'static Counter` for the given name, registered once and cached
+/// per call site (the registry lock is not touched after the first hit).
+///
+/// The name is evaluated **once** per call site — pass a literal, not a
+/// runtime-varying expression (a varying name would silently keep
+/// resolving to whichever counter the site registered first). Branch on
+/// the dynamic value and give each branch its own `counter!` instead.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __CXU_OBS_C: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *__CXU_OBS_C.get_or_init(|| $crate::metrics::registry().counter($name))
+    }};
+}
+
+/// A `&'static Histogram` for the given name, registered once and
+/// cached per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __CXU_OBS_H: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *__CXU_OBS_H.get_or_init(|| $crate::metrics::registry().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registration_is_idempotent() {
+        let a = registry().counter("test.metrics.idem");
+        let b = registry().counter("test.metrics.idem");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        assert_eq!(b.get(), a.get());
+    }
+
+    #[test]
+    fn macro_caches_handle() {
+        let a = crate::counter!("test.metrics.macro");
+        let b = crate::counter!("test.metrics.macro");
+        a.add(3);
+        assert_eq!(b.get(), a.get());
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1: [1, 2)
+        h.record(2); // bucket 2: [2, 4)
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[11], 1);
+        assert_eq!(s.mean(), 206);
+    }
+
+    #[test]
+    fn extreme_samples_stay_in_range() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_region() {
+        let c = registry().counter("test.metrics.delta");
+        c.add(5);
+        let before = registry().snapshot();
+        c.add(7);
+        let h = registry().histogram("test.metrics.delta_ns");
+        h.record(100);
+        let delta = registry().snapshot().delta(&before);
+        assert_eq!(delta.counter("test.metrics.delta"), 7);
+        let hs = &delta.histograms["test.metrics.delta_ns"];
+        assert_eq!(hs.count, 1);
+        assert_eq!(hs.sum, 100);
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let c = registry().counter("test.metrics.json");
+        c.inc();
+        let js = registry().snapshot().to_json();
+        assert!(js.starts_with("{\"counters\": {"));
+        assert!(js.contains("\"test.metrics.json\": "));
+        assert!(js.contains("\"histograms\": {"));
+        assert!(js.ends_with("}}"));
+    }
+
+    #[test]
+    fn counter_sum_by_prefix() {
+        registry().counter("test.prefix.a").add(2);
+        registry().counter("test.prefix.b").add(3);
+        let s = registry().snapshot();
+        assert_eq!(s.counter_sum("test.prefix."), 5);
+    }
+}

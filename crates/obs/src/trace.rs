@@ -1,0 +1,312 @@
+//! Span/event tracing with a JSONL sink.
+//!
+//! The overhead contract: when tracing is disabled (the default), every
+//! [`event`] and [`span`] call is a single relaxed atomic load — no
+//! formatting, no allocation, no lock. Enabling installs a sink (a file
+//! or any `Write + Send`) and every record becomes one JSON object per
+//! line:
+//!
+//! ```text
+//! {"ts_us": 41, "ev": "event", "name": "sched.pair", "route": "witness-search", "conflict": true}
+//! {"ts_us": 98, "ev": "span", "name": "sched.analyze", "dur_us": 57}
+//! ```
+//!
+//! `ts_us` is microseconds since the sink was installed (monotonic).
+//! Spans emit one record *at close*, carrying their duration; there are
+//! no span ids or nesting — the stack is shallow and consumers group by
+//! name. Field values are numbers, booleans, or escaped strings.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// A field value on an event or span record.
+#[derive(Clone, Copy, Debug)]
+pub enum Value<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered with `{}`; NaN/inf render as 0).
+    F64(f64),
+    /// String (JSON-escaped on write).
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Value<'_> {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value<'_> {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value<'_> {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value<'_> {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value<'_> {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value<'_> {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl<'a> From<&'a str> for Value<'a> {
+    fn from(v: &'a str) -> Self {
+        Value::Str(v)
+    }
+}
+
+struct Sink {
+    writer: Mutex<Option<Box<dyn Write + Send>>>,
+    epoch: Mutex<Instant>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(|| Sink {
+        writer: Mutex::new(None),
+        epoch: Mutex::new(Instant::now()),
+    })
+}
+
+/// Is tracing on? One relaxed atomic load — the fast-path check every
+/// instrumentation site performs first.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a sink and turns tracing on. Replaces (and flushes) any
+/// previous sink.
+pub fn enable(writer: Box<dyn Write + Send>) {
+    let s = sink();
+    {
+        let mut w = s.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(old) = w.as_mut() {
+            let _ = old.flush();
+        }
+        *w = Some(writer);
+        *s.epoch.lock().unwrap_or_else(|e| e.into_inner()) = Instant::now();
+    }
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Opens (truncating) `path` and installs it as the JSONL sink.
+pub fn enable_file(path: &std::path::Path) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    enable(Box::new(std::io::BufWriter::new(f)));
+    Ok(())
+}
+
+/// Turns tracing off and flushes + drops the sink.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+    let s = sink();
+    let mut w = s.writer.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(old) = w.as_mut() {
+        let _ = old.flush();
+    }
+    *w = None;
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_record(ev: &str, name: &str, dur_us: Option<u64>, fields: &[(&str, Value<'_>)]) {
+    let s = sink();
+    let ts_us = {
+        let epoch = s.epoch.lock().unwrap_or_else(|e| e.into_inner());
+        epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    };
+    let mut line = format!("{{\"ts_us\": {ts_us}, \"ev\": \"{ev}\", \"name\": \"");
+    escape_into(&mut line, name);
+    line.push('"');
+    if let Some(d) = dur_us {
+        line.push_str(&format!(", \"dur_us\": {d}"));
+    }
+    for (k, v) in fields {
+        line.push_str(", \"");
+        escape_into(&mut line, k);
+        line.push_str("\": ");
+        match v {
+            Value::U64(x) => line.push_str(&x.to_string()),
+            Value::I64(x) => line.push_str(&x.to_string()),
+            Value::F64(x) if x.is_finite() => line.push_str(&x.to_string()),
+            Value::F64(_) => line.push('0'),
+            Value::Bool(x) => line.push_str(if *x { "true" } else { "false" }),
+            Value::Str(x) => {
+                line.push('"');
+                escape_into(&mut line, x);
+                line.push('"');
+            }
+        }
+    }
+    line.push_str("}\n");
+    let mut w = s.writer.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(w) = w.as_mut() {
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+/// Emits one event record (no-op unless [`enabled`]).
+#[inline]
+pub fn event(name: &str, fields: &[(&str, Value<'_>)]) {
+    if !enabled() {
+        return;
+    }
+    write_record("event", name, None, fields);
+}
+
+/// An open span: emits a `span` record with its wall-clock duration
+/// when dropped (only if tracing was enabled when it was opened).
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Closes the span now with extra fields attached to the record.
+    pub fn close_with(mut self, fields: &[(&str, Value<'_>)]) {
+        if let Some(start) = self.start.take() {
+            let dur = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            write_record("span", self.name, Some(dur), fields);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let dur = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            write_record("span", self.name, Some(dur), &[]);
+        }
+    }
+}
+
+/// Opens a span. When tracing is disabled this is the single atomic
+/// load and the returned guard is inert (its drop does nothing).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A Vec<u8> sink shared with the test.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<StdMutex<Vec<u8>>>);
+    impl Write for Buf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Tracing is process-global; serialize the tests that toggle it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: StdMutex<()> = StdMutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn capture<F: FnOnce()>(f: F) -> String {
+        let buf = Buf::default();
+        enable(Box::new(buf.clone()));
+        f();
+        disable();
+        let bytes = buf.0.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn disabled_tracing_emits_nothing() {
+        let _g = lock();
+        // Not enabled here: both calls must be inert.
+        assert!(!enabled());
+        event("test.noop", &[("k", Value::U64(1))]);
+        drop(span("test.noop_span"));
+    }
+
+    #[test]
+    fn events_and_spans_are_jsonl() {
+        let _g = lock();
+        let out = capture(|| {
+            event(
+                "test.ev",
+                &[
+                    ("route", "ptime".into()),
+                    ("n", 3usize.into()),
+                    ("ok", true.into()),
+                ],
+            );
+            span("test.span").close_with(&[("pairs", 7usize.into())]);
+            drop(span("test.span2"));
+        });
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(lines[0].contains("\"ev\": \"event\""));
+        assert!(lines[0].contains("\"route\": \"ptime\""));
+        assert!(lines[0].contains("\"n\": 3"));
+        assert!(lines[0].contains("\"ok\": true"));
+        assert!(lines[1].contains("\"ev\": \"span\""));
+        assert!(lines[1].contains("\"dur_us\": "));
+        assert!(lines[1].contains("\"pairs\": 7"));
+        assert!(lines[2].contains("\"name\": \"test.span2\""));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "JSONL line: {l}");
+        }
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let _g = lock();
+        let out = capture(|| {
+            event("test.esc", &[("s", "a\"b\\c\nd".into())]);
+        });
+        assert!(out.contains(r#""s": "a\"b\\c\nd""#), "{out}");
+    }
+
+    #[test]
+    fn span_opened_while_disabled_stays_inert_after_enable() {
+        let s = span("test.pre"); // tracing off: no start recorded
+        let out = capture(move || drop(s));
+        assert!(out.is_empty(), "{out}");
+    }
+}

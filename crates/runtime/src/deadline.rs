@@ -70,6 +70,9 @@ pub struct Deadline {
     at: Option<Instant>,
     token: Option<CancelToken>,
     polls: Cell<u32>,
+    /// Has this handle already reported its expiry/cancellation to the
+    /// observability layer? Transition events fire once per handle.
+    tripped: Cell<bool>,
 }
 
 impl Default for Deadline {
@@ -85,6 +88,7 @@ impl Deadline {
             at: None,
             token: None,
             polls: Cell::new(0),
+            tripped: Cell::new(false),
         }
     }
 
@@ -99,6 +103,7 @@ impl Deadline {
             at: Some(instant),
             token: None,
             polls: Cell::new(0),
+            tripped: Cell::new(false),
         }
     }
 
@@ -117,16 +122,35 @@ impl Deadline {
 
     /// The full check: cancelled token, or cutoff in the past. Reads
     /// the clock; prefer [`Deadline::poll`] in hot loops.
+    ///
+    /// Observability: every full check bumps `runtime.deadline.checks`;
+    /// the first check that trips bumps `runtime.cancel.observed` or
+    /// `runtime.deadline.expired` (by cause) and emits a
+    /// `runtime.deadline.tripped` trace event. Unbounded handles skip
+    /// all of it.
     pub fn exceeded(&self) -> bool {
-        if let Some(t) = &self.token {
-            if t.is_cancelled() {
-                return true;
+        if self.is_unbounded() {
+            return false;
+        }
+        cxu_obs::counter!("runtime.deadline.checks").inc();
+        let cancelled = self.token.as_ref().is_some_and(|t| t.is_cancelled());
+        let expired = cancelled || matches!(self.at, Some(at) if Instant::now() >= at);
+        if expired && !self.tripped.get() {
+            self.tripped.set(true);
+            if cancelled {
+                cxu_obs::counter!("runtime.cancel.observed").inc();
+            } else {
+                cxu_obs::counter!("runtime.deadline.expired").inc();
             }
+            cxu_obs::trace::event(
+                "runtime.deadline.tripped",
+                &[(
+                    "cause",
+                    if cancelled { "cancel" } else { "deadline" }.into(),
+                )],
+            );
         }
-        match self.at {
-            Some(at) => Instant::now() >= at,
-            None => false,
-        }
+        expired
     }
 
     /// The strided check for hot loops: consults the clock on the

@@ -15,6 +15,27 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Bumps the `sched.route.*` counter matching the deciding detector.
+/// One increment per *analyzed* pair (cache hits never re-enter a
+/// detector, so summing these counters equals `pairs_analyzed` summed
+/// over batches — the invariant `tests/obs_validation.rs` checks).
+fn record_route(v: Verdict) {
+    match v.detector {
+        Detector::Trivial => cxu_obs::counter!("sched.route.trivial").inc(),
+        Detector::PtimeLinearRead => cxu_obs::counter!("sched.route.ptime_linear_read").inc(),
+        Detector::PtimeLinearUpdates => cxu_obs::counter!("sched.route.ptime_linear_updates").inc(),
+        Detector::WitnessSearch => cxu_obs::counter!("sched.route.witness_search").inc(),
+        Detector::ConservativeUndecided => {
+            cxu_obs::counter!("sched.route.conservative_undecided").inc()
+        }
+        Detector::ConservativeBudget => cxu_obs::counter!("sched.route.conservative_budget").inc(),
+        Detector::ConservativeDeadline => {
+            cxu_obs::counter!("sched.route.conservative_deadline").inc()
+        }
+        Detector::ConservativePanic => cxu_obs::counter!("sched.route.conservative_panic").inc(),
+    }
+}
+
 /// Decides one pair under the engine's robustness envelope: a fresh
 /// per-pair [`Deadline`] (sharing the batch's cancel token, if any), the
 /// `sched::pair` fault-injection site, and — when
@@ -28,20 +49,34 @@ fn decide_pair(a: &Op, b: &Op, cfg: &SchedConfig, cancel: Option<&CancelToken>) 
     if let Some(token) = cancel {
         deadline = deadline.with_token(token);
     }
+    let t0 = std::time::Instant::now();
     let run = || {
         if failpoints::fire("sched::pair") {
             return Verdict::conservative(Detector::ConservativeBudget);
         }
         analyze_pair_deadline(a, b, cfg, &deadline)
     };
-    if !cfg.catch_panics {
-        return run();
+    let verdict = if !cfg.catch_panics {
+        run()
+    } else {
+        // `Op` and `SchedConfig` are plain data (no interior mutability), and
+        // the deadline's poll counter is at worst stale after an unwind, so
+        // observing them across the catch is safe.
+        catch_unwind(AssertUnwindSafe(run))
+            .unwrap_or_else(|_| Verdict::conservative(Detector::ConservativePanic))
+    };
+    record_route(verdict);
+    cxu_obs::histogram!("sched.pair_ns").record_since(t0);
+    if cxu_obs::trace::enabled() {
+        cxu_obs::trace::event(
+            "sched.pair",
+            &[
+                ("route", verdict.detector.name().into()),
+                ("conflict", verdict.conflict.into()),
+            ],
+        );
     }
-    // `Op` and `SchedConfig` are plain data (no interior mutability), and
-    // the deadline's poll counter is at worst stale after an unwind, so
-    // observing them across the catch is safe.
-    catch_unwind(AssertUnwindSafe(run))
-        .unwrap_or_else(|_| Verdict::conservative(Detector::ConservativePanic))
+    verdict
 }
 
 /// The result of analyzing one batch.
@@ -85,6 +120,35 @@ impl Scheduler {
         &self.cfg
     }
 
+    /// Replaces the configuration on a live scheduler.
+    ///
+    /// The pairwise verdict cache is keyed by operation-pair shape only,
+    /// so any memoized verdict is implicitly *relative to the config it
+    /// was computed under*: a `ConservativeBudget` verdict reached with
+    /// `np_max_trees = 10` must not survive a raise to 200 000, or the
+    /// pair stays frozen conservative forever. If any verdict-affecting
+    /// field changes (`semantics`, `np_max_nodes`, `np_max_trees`,
+    /// `trust_bounded_search`), the cache is flushed and the next batch
+    /// re-analyzes; resource-envelope fields (`jobs`, `pair_deadline`,
+    /// `catch_panics`) never reach a memoized verdict — deadline and
+    /// panic degradations are excluded from the cache — so changing
+    /// them keeps it.
+    pub fn set_config(&mut self, cfg: SchedConfig) {
+        let invalidates = self.cfg.semantics != cfg.semantics
+            || self.cfg.np_max_nodes != cfg.np_max_nodes
+            || self.cfg.np_max_trees != cfg.np_max_trees
+            || self.cfg.trust_bounded_search != cfg.trust_bounded_search;
+        if invalidates && !self.cache.is_empty() {
+            cxu_obs::counter!("sched.cache.invalidate").add(self.cache.len() as u64);
+            cxu_obs::trace::event(
+                "sched.cache.invalidate",
+                &[("dropped", self.cache.len().into())],
+            );
+            self.cache.clear();
+        }
+        self.cfg = cfg;
+    }
+
     /// Number of memoized pairwise verdicts.
     pub fn cached_verdicts(&self) -> usize {
         self.cache.len()
@@ -105,8 +169,29 @@ impl Scheduler {
 
     fn run_inner(&mut self, ops: &[Op], cancel: Option<&CancelToken>) -> BatchResult {
         let (graph, mut stats) = self.analyze_inner(ops, cancel);
+        let t0 = std::time::Instant::now();
+        let round_span = cxu_obs::span("sched.rounds");
         let sched = schedule(&graph);
+        drop(round_span);
+        cxu_obs::histogram!("sched.rounds_ns").record_since(t0);
         stats.rounds = sched.len();
+        cxu_obs::counter!("sched.batches").inc();
+        if cxu_obs::trace::enabled() {
+            cxu_obs::trace::event(
+                "sched.batch",
+                &[
+                    ("ops", stats.ops.into()),
+                    ("pairs_total", stats.pairs_total.into()),
+                    ("pairs_analyzed", stats.pairs_analyzed.into()),
+                    ("cache_hits", stats.cache_hits.into()),
+                    ("conflict_edges", stats.conflict_edges.into()),
+                    ("degraded_budget", stats.degraded_budget.into()),
+                    ("degraded_deadline", stats.degraded_deadline.into()),
+                    ("degraded_panic", stats.degraded_panic.into()),
+                    ("rounds", stats.rounds.into()),
+                ],
+            );
+        }
         BatchResult {
             graph,
             schedule: sched,
@@ -131,6 +216,8 @@ impl Scheduler {
         cancel: Option<&CancelToken>,
     ) -> (ConflictGraph, SchedStats) {
         let n = ops.len();
+        let t0 = std::time::Instant::now();
+        let analyze_span = cxu_obs::span("sched.analyze");
         let mut stats = SchedStats {
             ops: n,
             pairs_total: n * n.saturating_sub(1) / 2,
@@ -168,12 +255,21 @@ impl Scheduler {
                     continue;
                 }
                 let pk = PairKey::new(ka, kb);
+                // Every non-trivial pair costs one memo lookup; it is a
+                // hit when served from memory (a previous batch, or an
+                // earlier occurrence in this one) and a miss only when
+                // it triggers a fresh analysis — so across any run,
+                // lookups = hits + misses and misses = pairs analyzed.
+                cxu_obs::counter!("sched.cache.lookups").inc();
                 if self.cache.contains_key(&pk) {
+                    cxu_obs::counter!("sched.cache.hits").inc();
                     cached.push((a, b, pk));
                 } else {
                     if fresh_seen.insert(pk, ()).is_none() {
+                        cxu_obs::counter!("sched.cache.misses").inc();
                         fresh.push(pk);
                     } else {
+                        cxu_obs::counter!("sched.cache.hits").inc();
                         stats.cache_hits += 1; // batch-local repeat
                     }
                     pending.push((a, b, pk));
@@ -190,10 +286,12 @@ impl Scheduler {
         // envelope, not the pair itself, so a later batch retries them.
         let mut decided: HashMap<PairKey, Verdict> = HashMap::new();
         for (pk, v) in self.analyze_fresh(&fresh, cancel) {
-            if !matches!(
+            if matches!(
                 v.detector,
                 Detector::ConservativeDeadline | Detector::ConservativePanic
             ) {
+                cxu_obs::counter!("sched.cache.skips").inc();
+            } else {
                 self.cache.insert(pk, v);
             }
             decided.insert(pk, v);
@@ -251,6 +349,18 @@ impl Scheduler {
                 stats.conflict_edges += 1;
             }
         }
+
+        // Edge-level degradation breakdown (counts *edges*, unlike the
+        // per-analysis `sched.route.*` counters: one starved analysis
+        // repeated across a batch degrades many edges).
+        cxu_obs::counter!("sched.degraded.budget").add(stats.degraded_budget as u64);
+        cxu_obs::counter!("sched.degraded.deadline").add(stats.degraded_deadline as u64);
+        cxu_obs::counter!("sched.degraded.panic").add(stats.degraded_panic as u64);
+        cxu_obs::histogram!("sched.analyze_ns").record_since(t0);
+        analyze_span.close_with(&[
+            ("ops", stats.ops.into()),
+            ("pairs_analyzed", stats.pairs_analyzed.into()),
+        ]);
 
         (ConflictGraph::new(n, edges), stats)
     }
@@ -479,6 +589,61 @@ mod tests {
         // Without the token the same pair is decided exactly.
         let out2 = s.run(&ops);
         assert_eq!(out2.stats.degraded_deadline, 0);
+    }
+
+    #[test]
+    fn raising_the_budget_upgrades_conservative_verdicts() {
+        // Regression: budget verdicts ARE memoized (they are a property
+        // of pair + budget, stable while the config stands), so raising
+        // the budget on a reused scheduler must flush them — otherwise
+        // the pair stays frozen in ConservativeBudget forever.
+        let ops = vec![read("a[b][c]"), ins("d", "f")];
+        let starved = SchedConfig {
+            np_max_trees: 10,
+            jobs: 1,
+            ..SchedConfig::default()
+        };
+        let mut s = Scheduler::new(starved);
+        let first = s.run(&ops);
+        assert_eq!(
+            first.graph.edges()[0].verdict.detector,
+            Detector::ConservativeBudget
+        );
+        assert!(first.graph.conflict(0, 1));
+        assert_eq!(s.cached_verdicts(), 1, "budget verdicts are memoized");
+        // Same config: the stale-but-valid verdict is served from cache.
+        let again = s.run(&ops);
+        assert_eq!(again.stats.cache_hits, 1);
+        assert_eq!(again.stats.pairs_analyzed, 0);
+
+        // Raise the budget: the cache must flush and the pair re-analyze
+        // to the exact answer.
+        s.set_config(SchedConfig {
+            jobs: 1,
+            ..SchedConfig::default()
+        });
+        assert_eq!(s.cached_verdicts(), 0, "config change flushes the cache");
+        let third = s.run(&ops);
+        assert_eq!(third.stats.pairs_analyzed, 1);
+        assert_eq!(
+            third.graph.edges()[0].verdict.detector,
+            Detector::WitnessSearch
+        );
+        assert!(
+            !third.graph.conflict(0, 1),
+            "exact search proves independence"
+        );
+
+        // Changing only resource-envelope fields keeps the cache.
+        let mut same_budget = *s.config();
+        same_budget.jobs = 2;
+        same_budget.pair_deadline = Some(std::time::Duration::from_secs(5));
+        s.set_config(same_budget);
+        assert_eq!(
+            s.cached_verdicts(),
+            1,
+            "jobs/deadline change keeps verdicts"
+        );
     }
 
     #[test]

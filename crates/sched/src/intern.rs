@@ -160,14 +160,32 @@ impl Interner {
     pub fn intern_pattern(&mut self, p: &Pattern) -> PatternId {
         let key = canonical_pattern_key(p);
         let next = PatternId(self.patterns.len() as u32);
-        *self.patterns.entry(key).or_insert(next)
+        match self.patterns.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                cxu_obs::counter!("sched.intern.pattern_hit").inc();
+                *e.get()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                cxu_obs::counter!("sched.intern.pattern_new").inc();
+                *e.insert(next)
+            }
+        }
     }
 
     /// Interns a payload-tree shape.
     pub fn intern_tree(&mut self, t: &Tree) -> TreeId {
         let key = canonical_tree_key(t);
         let next = TreeId(self.trees.len() as u32);
-        *self.trees.entry(key).or_insert(next)
+        match self.trees.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                cxu_obs::counter!("sched.intern.tree_hit").inc();
+                *e.get()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                cxu_obs::counter!("sched.intern.tree_new").inc();
+                *e.insert(next)
+            }
+        }
     }
 
     /// Interns an operation, remembering it as the representative for

@@ -62,6 +62,22 @@ pub enum Detector {
 }
 
 impl Detector {
+    /// Stable kebab-case name, used by the CLI, DOT/JSON output, and
+    /// the observability layer (`sched.route.*` counter suffixes use
+    /// the same words with `-` as `_`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Detector::Trivial => "trivial",
+            Detector::PtimeLinearRead => "ptime-linear-read",
+            Detector::PtimeLinearUpdates => "ptime-linear-updates",
+            Detector::WitnessSearch => "witness-search",
+            Detector::ConservativeUndecided => "conservative-undecided",
+            Detector::ConservativeBudget => "conservative-budget",
+            Detector::ConservativeDeadline => "conservative-deadline",
+            Detector::ConservativePanic => "conservative-panic",
+        }
+    }
+
     /// Is this verdict an assumed conflict rather than a proven answer?
     pub fn is_conservative(self) -> bool {
         matches!(

@@ -25,6 +25,13 @@ pub fn enumerate_trees(alphabet: &[Symbol], max_nodes: usize) -> Vec<Tree> {
 
 /// Number of trees [`enumerate_trees`] would return, computed without
 /// materializing them.
+///
+/// Saturates at `u128::MAX`: Lemma 11 bounds like `|R|·|U|·(k+1)` can
+/// reach dozens of nodes, where the exact class count exceeds 2¹²⁸. Any
+/// saturated value still compares `> max_trees` for every practical
+/// budget, so the caller's budget check degrades correctly instead of
+/// overflowing (which used to panic in debug builds and silently wrap
+/// in release builds).
 pub fn count_trees(alphabet_len: usize, max_nodes: usize) -> u128 {
     // t[n] = number of classes with exactly n nodes.
     let mut t = vec![0u128; max_nodes + 1];
@@ -38,13 +45,13 @@ pub fn count_trees(alphabet_len: usize, max_nodes: usize) -> u128 {
         // grouped by size and within one size we choose a multiset of
         // classes. We approximate by dynamic programming over "choose k
         // items of size s", iterating sizes from large to small.
-        t[n] = alphabet_len as u128 * multisets(&t, n - 1);
+        t[n] = (alphabet_len as u128).saturating_mul(multisets(&t, n - 1));
     }
-    t.iter().sum()
+    t.iter().fold(0u128, |acc, &v| acc.saturating_add(v))
 }
 
 /// Number of multisets of trees (classes counted by `t[size]`) with total
-/// size exactly `budget`.
+/// size exactly `budget`. Saturating, like [`count_trees`].
 fn multisets(t: &[u128], budget: usize) -> u128 {
     // g[s][b] = multisets using classes of size ≤ s with total b.
     let max_s = budget;
@@ -61,7 +68,7 @@ fn multisets(t: &[u128], budget: usize) -> u128 {
             let mut k = 0usize;
             while k * s <= b {
                 let ways = multiset_choose(classes, k as u128);
-                next[b] += ways * g[b - k * s];
+                next[b] = next[b].saturating_add(ways.saturating_mul(g[b - k * s]));
                 k += 1;
             }
         }
@@ -70,18 +77,21 @@ fn multisets(t: &[u128], budget: usize) -> u128 {
     g[budget]
 }
 
-/// C(n + k - 1, k): multisets of size k from n classes.
+/// C(n + k - 1, k): multisets of size k from n classes. Returns
+/// `u128::MAX` on overflow — a saturated numerator divided by a
+/// saturated denominator would *undercount*, which could wave an
+/// astronomically large search space past the budget check.
 fn multiset_choose(n: u128, k: u128) -> u128 {
-    if k == 0 {
-        return 1;
-    }
-    let mut num: u128 = 1;
-    let mut den: u128 = 1;
+    // result = result · (n + i) / (i + 1) keeps an exact integer at
+    // every step (it equals C(n + i, i + 1) after step i).
+    let mut c: u128 = 1;
     for i in 0..k {
-        num = num.saturating_mul(n + k - 1 - i);
-        den = den.saturating_mul(i + 1);
+        let Some(x) = c.checked_mul(n.saturating_add(i)) else {
+            return u128::MAX;
+        };
+        c = x / (i + 1);
     }
-    num / den
+    c
 }
 
 /// Callback receiving one complete multiset choice of (size, index) class
@@ -247,6 +257,18 @@ mod tests {
         for t in enumerate_trees(&ab, 4) {
             assert!(t.live_count() <= 4);
         }
+    }
+
+    #[test]
+    fn count_saturates_instead_of_overflowing() {
+        // Lemma-11-sized budgets (|R|·|U|·(k+1) can reach dozens of
+        // nodes) push the exact class count past 2¹²⁸; the counter must
+        // saturate, not wrap or panic.
+        let big = count_trees(10, 80);
+        assert!(big > u128::MAX / 2, "saturated: {big}");
+        // Monotone in both arguments around the saturation region.
+        assert!(count_trees(10, 80) >= count_trees(10, 40));
+        assert!(count_trees(10, 40) >= count_trees(5, 40));
     }
 
     #[test]

@@ -133,6 +133,7 @@ fn decode_entities(s: &str, at: usize) -> Result<String, XmlError> {
             "amp" => '&',
             "quot" => '"',
             "apos" => '\'',
+            _ if ent.starts_with('#') => decode_char_ref(ent, at + i)?,
             _ => {
                 return Err(XmlError {
                     at: at + i,
@@ -147,14 +148,47 @@ fn decode_entities(s: &str, at: usize) -> Result<String, XmlError> {
     Ok(out)
 }
 
+/// Decodes a numeric character reference body (`#65` or `#x41`, the
+/// leading `&` and trailing `;` already stripped). Rejects malformed
+/// digits and codepoints that are not Unicode scalar values (surrogates,
+/// out-of-range) or NUL — those cannot appear in a document at all.
+fn decode_char_ref(ent: &str, at: usize) -> Result<char, XmlError> {
+    let digits = &ent[1..];
+    let code = match digits.strip_prefix(['x', 'X']) {
+        Some(hex) => u32::from_str_radix(hex, 16),
+        None => digits.parse::<u32>(),
+    }
+    .map_err(|_| XmlError {
+        at,
+        msg: format!("malformed numeric character reference &{ent};"),
+    })?;
+    char::from_u32(code).filter(|&c| c != '\0').ok_or(XmlError {
+        at,
+        msg: format!("invalid character reference &{ent}; (U+{code:04X})"),
+    })
+}
+
+/// Escapes text so that [`parse`] recovers it exactly, in element
+/// content and attribute values alike: the five XML specials become
+/// named entities, and control characters plus *leading/trailing*
+/// whitespace become numeric character references (the reader trims
+/// raw edge whitespace before decoding, so only encoded whitespace
+/// survives a roundtrip — exactly the fidelity contract we want for
+/// labels like `#text= x `).
 fn encode_text(s: &str, out: &mut String) {
-    for c in s.chars() {
+    let lead = s.len() - s.trim_start().len();
+    let trail = s.trim_end().len();
+    for (i, c) in s.char_indices() {
         match c {
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
             '&' => out.push_str("&amp;"),
             '"' => out.push_str("&quot;"),
-            _ => out.push(c),
+            '\'' => out.push_str("&apos;"),
+            c if (c as u32) < 0x20 || (c.is_whitespace() && (i < lead || i >= trail)) => {
+                out.push_str(&format!("&#{};", c as u32));
+            }
+            c => out.push(c),
         }
     }
 }
@@ -243,12 +277,17 @@ fn parse_element(
         while lx.peek().is_some_and(|c| c != '<') {
             lx.bump();
         }
+        // Trim the *raw* text before decoding: insignificant markup
+        // whitespace disappears, but whitespace spelled as a character
+        // reference (`&#32;`) is data and survives — this is what makes
+        // `parse(to_xml(t))` exact for labels with edge whitespace.
         let raw = &lx.src[text_start..lx.pos];
-        let text = decode_entities(raw, text_start)?;
-        let trimmed = text.trim();
+        let trimmed = raw.trim();
         if !trimmed.is_empty() {
+            let lead = raw.len() - raw.trim_start().len();
+            let text = decode_entities(trimmed, text_start + lead)?;
             let t = tree.as_mut().expect("tree exists");
-            t.build_child(me, format!("#text={trimmed}").as_str());
+            t.build_child(me, format!("#text={text}").as_str());
         }
         if lx.peek().is_none() {
             return lx.err("unterminated element content");
@@ -408,6 +447,123 @@ mod tests {
         let xml = to_xml(&t);
         let t2 = parse(&xml).unwrap();
         assert!(crate::iso::isomorphic(&t, &t2), "roundtrip:\n{xml}");
+    }
+
+    #[test]
+    fn numeric_char_refs_decoded() {
+        let t = parse("<a>&#65;&#x42;&#x63;</a>").unwrap();
+        assert_eq!(t.label(t.children(t.root())[0]).as_str(), "#text=ABc");
+        let t = parse("<a>&#233;&#x1F600;</a>").unwrap();
+        assert_eq!(
+            t.label(t.children(t.root())[0]).as_str(),
+            "#text=\u{e9}\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn numeric_char_refs_in_attributes() {
+        let t = parse(r#"<a k="&#65;&#32;B"/>"#).unwrap();
+        assert_eq!(t.label(t.children(t.root())[0]).as_str(), "@k=A B");
+    }
+
+    #[test]
+    fn invalid_char_refs_rejected() {
+        for src in [
+            "<a>&#0;</a>",       // NUL
+            "<a>&#xD800;</a>",   // surrogate
+            "<a>&#x110000;</a>", // beyond Unicode
+            "<a>&#;</a>",        // no digits
+            "<a>&#x;</a>",       // no hex digits
+            "<a>&#12a;</a>",     // trailing garbage
+            "<a>&#-3;</a>",      // sign
+            "<a k=\"&#0;\"/>",   // attribute position
+            "<a>&bogus;</a>",    // unknown named entity
+            "<a>&amp</a>",       // unterminated
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(
+                e.msg.contains("character reference") || e.msg.contains("entity"),
+                "{src}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_escaped_char_roundtrips() {
+        for c in ['<', '>', '&', '"', '\'', '\n', '\t', '\r', ' ', '\u{1}'] {
+            for text in [format!("{c}"), format!("{c}mid{c}"), format!("a{c}b")] {
+                let mut t = Tree::new("r");
+                t.build_child(t.root(), format!("#text={text}").as_str());
+                t.build_child(t.root(), format!("@k={text}").as_str());
+                let xml = to_xml(&t);
+                let t2 = parse(&xml).unwrap_or_else(|e| panic!("{text:?}: {e}\n{xml}"));
+                assert!(
+                    crate::iso::isomorphic(&t, &t2),
+                    "char {c:?} text {text:?}:\n{xml}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_whitespace_survives_roundtrip() {
+        let mut t = Tree::new("r");
+        t.build_child(t.root(), "#text= padded ");
+        let xml = to_xml(&t);
+        assert!(xml.contains("&#32;padded&#32;"), "{xml}");
+        let t2 = parse(&xml).unwrap();
+        assert!(crate::iso::isomorphic(&t, &t2), "{xml}");
+    }
+
+    #[test]
+    fn fuzz_roundtrip_seeded() {
+        // SplitMix64, inlined: cxu-tree sits below cxu-gen in the
+        // dependency order, so it carries its own tiny PRNG for tests.
+        struct Sm(u64);
+        impl Sm {
+            fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            }
+            fn below(&mut self, n: usize) -> usize {
+                (self.next() % n as u64) as usize
+            }
+        }
+        const POOL: &[char] = &[
+            '<', '>', '&', '"', '\'', ' ', '\t', '\n', 'x', 'y', '7', '\u{e9}', '\u{3}',
+        ];
+        fn rand_text(rng: &mut Sm) -> String {
+            (0..1 + rng.below(6))
+                .map(|_| POOL[rng.below(POOL.len())])
+                .collect()
+        }
+        fn grow(t: &mut Tree, at: NodeId, depth: usize, rng: &mut Sm) {
+            if rng.below(2) == 0 {
+                let label = format!("@k{}={}", rng.below(3), rand_text(rng));
+                t.build_child(at, label.as_str());
+            }
+            if rng.below(2) == 0 {
+                t.build_child(at, format!("#text={}", rand_text(rng)).as_str());
+            }
+            if depth < 3 {
+                for _ in 0..rng.below(3) {
+                    let c = t.build_child(at, ["a", "b", "c"][rng.below(3)]);
+                    grow(t, c, depth + 1, rng);
+                }
+            }
+        }
+        let mut rng = Sm(0xC0FFEE);
+        for case in 0..200 {
+            let mut t = Tree::new("root");
+            let root = t.root();
+            grow(&mut t, root, 0, &mut rng);
+            let xml = to_xml(&t);
+            let t2 = parse(&xml).unwrap_or_else(|e| panic!("case {case}: {e}\n{xml}"));
+            assert!(crate::iso::isomorphic(&t, &t2), "case {case}:\n{xml}");
+        }
     }
 
     #[test]

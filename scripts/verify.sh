@@ -14,6 +14,27 @@ cargo test -q --workspace
 echo "==> failpoints stress suite (seed ${CXU_FAILPOINTS_SEED:-1})"
 cargo test -q -p cxu --features failpoints --test failpoints_stress
 
+echo "==> metrics smoke (fixed seed, JSON schema + route counters)"
+out=$(./target/release/cxu schedule --gen-seed 42 --gen-len 40 \
+    --format json --metrics json)
+echo "$out" | grep -q '"metrics": {"counters": {' \
+    || { echo "metrics JSON missing 'counters' object"; exit 1; }
+echo "$out" | grep -q '"histograms"' \
+    || { echo "metrics JSON missing 'histograms' object"; exit 1; }
+echo "$out" | grep -q '"sched.route.ptime_linear_read": [1-9]' \
+    || { echo "expected a nonzero PTIME route count"; exit 1; }
+echo "$out" | grep -qE '"sched\.route\.(witness_search|conservative_budget|conservative_undecided)": [1-9]' \
+    || { echo "expected a nonzero NP-side route count"; exit 1; }
+echo "$out" | grep -q '"sched.cache.lookups": [1-9]' \
+    || { echo "expected nonzero cache lookups"; exit 1; }
+# Degenerate flags must be rejected.
+if ./target/release/cxu schedule --gen-seed 1 --jobs 0 >/dev/null 2>&1; then
+    echo "--jobs 0 was accepted"; exit 1
+fi
+if ./target/release/cxu schedule --gen-seed 1 --deadline-ms 0 >/dev/null 2>&1; then
+    echo "--deadline-ms 0 was accepted"; exit 1
+fi
+
 echo "==> cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

@@ -1,0 +1,236 @@
+//! Cross-validation of the `cxu-obs` metrics against the scheduler's
+//! own bookkeeping, over randomized (seeded) program batches.
+//!
+//! The registry is process-global, so every test takes `METRICS_LOCK`
+//! and works on snapshot *deltas*: parallel test threads in this binary
+//! are serialized, and other test binaries are separate processes.
+//!
+//! The identities checked here are the accounting contract documented
+//! in DESIGN.md § Observability:
+//!
+//! * the per-route counters (`sched.route.*`) partition the analyzed
+//!   pairs — their sum equals `SchedStats::pairs_analyzed`;
+//! * cache lookups partition into hits and misses, and every miss is
+//!   exactly one fresh analysis;
+//! * the routes are backed by real detector invocations: each analyzed
+//!   pair is either a linear read-update detection, a brute NP search,
+//!   or an update-update commutativity call (which may itself fall back
+//!   to the bounded search — hence the nested-search counters).
+
+use cxu::gen::patterns::PatternParams;
+use cxu::gen::program::{random_program, Program, ProgramParams};
+use cxu::gen::rng::SplitMix64;
+use cxu::obs;
+use cxu::sched::{ops_of_program, SchedConfig, SchedStats, Scheduler};
+use std::sync::{Mutex, MutexGuard};
+
+static METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A config whose NP-side budget is small enough for tests: searches
+/// either finish or degrade to `ConservativeBudget` quickly, and both
+/// outcomes are part of the accounting being validated.
+fn test_config() -> SchedConfig {
+    SchedConfig {
+        np_max_trees: 300,
+        ..SchedConfig::default()
+    }
+}
+
+fn batch(seed: u64, len: usize, branch_rate: f64) -> Program {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let params = ProgramParams {
+        len,
+        pattern: PatternParams {
+            nodes: 4,
+            alphabet: 5,
+            branch_rate,
+            ..PatternParams::default()
+        },
+        ..ProgramParams::default()
+    };
+    random_program(&mut rng, &params)
+}
+
+fn route_sum(delta: &obs::Snapshot) -> u64 {
+    delta.counter_sum("sched.route.")
+}
+
+#[test]
+fn route_counters_sum_to_pairs_analyzed() {
+    let _guard = lock();
+    let before = obs::registry().snapshot();
+    let mut total = SchedStats::default();
+    for seed in 1..=6u64 {
+        let ops = ops_of_program(&batch(seed, 12, 0.3));
+        let out = Scheduler::new(test_config()).run(&ops);
+        total.pairs_analyzed += out.stats.pairs_analyzed;
+        total.cache_hits += out.stats.cache_hits;
+        total.witness_search += out.stats.witness_search;
+        total.ptime_linear_read += out.stats.ptime_linear_read;
+        total.ptime_linear_updates += out.stats.ptime_linear_updates;
+        total.conservative += out.stats.conservative;
+    }
+    let d = obs::registry().snapshot().delta(&before);
+
+    assert!(total.pairs_analyzed > 0, "batches exercised the analyzer");
+    assert_eq!(route_sum(&d), total.pairs_analyzed as u64);
+    assert_eq!(
+        d.counter("sched.route.ptime_linear_read"),
+        total.ptime_linear_read as u64
+    );
+    assert_eq!(
+        d.counter("sched.route.ptime_linear_updates"),
+        total.ptime_linear_updates as u64
+    );
+    assert_eq!(
+        d.counter("sched.route.witness_search"),
+        total.witness_search as u64
+    );
+    assert_eq!(
+        d.counter("sched.route.conservative_undecided")
+            + d.counter("sched.route.conservative_budget")
+            + d.counter("sched.route.conservative_deadline")
+            + d.counter("sched.route.conservative_panic"),
+        total.conservative as u64
+    );
+}
+
+#[test]
+fn cache_lookups_partition_into_hits_and_misses() {
+    let _guard = lock();
+    let before = obs::registry().snapshot();
+    let mut analyzed = 0u64;
+    let mut hits = 0u64;
+    for seed in 10..=14u64 {
+        let ops = ops_of_program(&batch(seed, 14, 0.2));
+        // One scheduler, same batch twice: the second pass must be pure
+        // cache traffic.
+        let mut sched = Scheduler::new(test_config());
+        let first = sched.run(&ops);
+        let mid = obs::registry().snapshot();
+        let second = sched.run(&ops);
+        let d2 = obs::registry().snapshot().delta(&mid);
+        assert_eq!(
+            second.stats.pairs_analyzed, 0,
+            "seed {seed}: repeat batch is fully memoized"
+        );
+        assert_eq!(route_sum(&d2), 0, "seed {seed}: no new analyses");
+        assert_eq!(d2.counter("sched.cache.misses"), 0, "seed {seed}");
+        assert_eq!(
+            d2.counter("sched.cache.hits"),
+            second.stats.cache_hits as u64,
+            "seed {seed}"
+        );
+        analyzed += (first.stats.pairs_analyzed + second.stats.pairs_analyzed) as u64;
+        hits += (first.stats.cache_hits + second.stats.cache_hits) as u64;
+    }
+    let d = obs::registry().snapshot().delta(&before);
+    assert_eq!(
+        d.counter("sched.cache.lookups"),
+        d.counter("sched.cache.hits") + d.counter("sched.cache.misses"),
+        "hits + misses partition the lookups"
+    );
+    assert_eq!(
+        d.counter("sched.cache.misses"),
+        analyzed,
+        "miss == fresh analysis"
+    );
+    assert_eq!(d.counter("sched.cache.hits"), hits);
+}
+
+#[test]
+fn routes_are_backed_by_detector_invocations() {
+    let _guard = lock();
+    let before = obs::registry().snapshot();
+    let mut analyzed = 0u64;
+    for seed in 20..=25u64 {
+        let ops = ops_of_program(&batch(seed, 12, 0.4));
+        let out = Scheduler::new(test_config()).run(&ops);
+        analyzed += out.stats.pairs_analyzed as u64;
+    }
+    let d = obs::registry().snapshot().delta(&before);
+
+    // Every analyzed pair maps to exactly one top-level detector call:
+    // linear read-update detection, a brute read-update search, or an
+    // update-update commutativity call.
+    assert_eq!(
+        d.counter("sched.route.ptime_linear_read")
+            + d.counter("core.brute.searches")
+            + d.counter("core.uu_linear.calls"),
+        analyzed,
+        "detector invocations account for every analyzed pair\n{d}"
+    );
+
+    // Outcome counters partition each detector's invocations.
+    assert_eq!(
+        d.counter("core.brute.searches"),
+        d.counter("core.brute.conflict")
+            + d.counter("core.brute.no_conflict")
+            + d.counter("core.brute.budget")
+            + d.counter("core.brute.deadline"),
+    );
+    assert_eq!(
+        d.counter("core.uu_search.searches"),
+        d.counter("core.uu_search.conflict")
+            + d.counter("core.uu_search.no_conflict")
+            + d.counter("core.uu_search.budget")
+            + d.counter("core.uu_search.deadline"),
+    );
+    assert_eq!(
+        d.counter("core.uu_linear.calls"),
+        d.counter("core.uu_linear.nonlinear")
+            + d.counter("core.uu_linear.commute")
+            + d.counter("core.uu_linear.conflict")
+            + d.counter("core.uu_linear.unknown")
+            + d.counter("core.uu_linear.deadline"),
+    );
+
+    // The linear detector also serves the update-update cross-conflict
+    // checks, so it runs at least once per ptime-linear-read route.
+    assert!(
+        d.counter("core.detect.linear") >= d.counter("sched.route.ptime_linear_read"),
+        "{d}"
+    );
+
+    // No deadline was configured and nothing panicked.
+    assert_eq!(d.counter("sched.route.conservative_deadline"), 0);
+    assert_eq!(d.counter("sched.route.conservative_panic"), 0);
+
+    // Latency histograms move with their counters.
+    let h = d
+        .histogram("sched.pair_ns")
+        .expect("pair histogram recorded");
+    assert_eq!(h.count, analyzed);
+}
+
+#[test]
+fn histograms_and_stats_agree_on_batch_structure() {
+    let _guard = lock();
+    let before = obs::registry().snapshot();
+    let ops = ops_of_program(&batch(99, 16, 0.25));
+    let out = Scheduler::new(test_config()).run(&ops);
+    let d = obs::registry().snapshot().delta(&before);
+
+    assert_eq!(d.counter("sched.batches"), 1);
+    assert_eq!(
+        out.stats.pairs_total,
+        out.stats.trivial + out.stats.pairs_analyzed + out.stats.cache_hits,
+        "stats partition the pair universe"
+    );
+    assert_eq!(
+        d.counter("sched.degraded.budget"),
+        out.stats.degraded_budget as u64
+    );
+    assert_eq!(
+        d.counter("sched.degraded.deadline"),
+        out.stats.degraded_deadline as u64
+    );
+    let analyze = d.histogram("sched.analyze_ns").expect("analyze histogram");
+    assert_eq!(analyze.count, 1);
+    let rounds = d.histogram("sched.rounds_ns").expect("rounds histogram");
+    assert_eq!(rounds.count, 1);
+}
