@@ -1,0 +1,689 @@
+//! Compiled linear-pattern automata: the §4 chain NFAs lowered **once**
+//! into a compact, allocation-free representation.
+//!
+//! Every NFA built by [`Nfa::from_steps`](crate::Nfa::from_steps) has a
+//! rigid shape: state `i` carries at most an `Any` self-loop (when step
+//! `i` follows a `(.)*` gap) and one advance transition on step `i`'s
+//! label. A [`Chain`] stores exactly that — one gap bit and one interned
+//! symbol id per step — plus symbol-indexed bitmasks, so subset
+//! simulation and product-emptiness run on `u64` words instead of
+//! `HashSet<usize>` frontiers.
+//!
+//! The product construction exploits the chain shape completely: from a
+//! product state `(i, j)` the only successors are
+//!
+//! * `(i+1, j+1)` when the two step labels are *compatible* (either is
+//!   `(.)`, or they are the same symbol) — both sides consume the letter;
+//! * `(i+1, j)` when side B idles on a gap self-loop while A advances;
+//! * `(i, j+1)` when side A idles on a gap self-loop while B advances.
+//!
+//! All edges are monotone in `(i, j)`, so emptiness is one forward pass
+//! over rows `i = 0..=m` with the reachable `j`-set of each row held in a
+//! single `u64` (for B chains of ≤ 64 states; longer chains spill to
+//! `Vec<u64>` rows). No move alphabet is ever materialized — the paper's
+//! `Σ_{l,l'}`-plus-fresh-letter observation is folded into the
+//! compatibility test: two steps share a letter iff one is `(.)` (the
+//! fresh letter serves) or their symbols coincide.
+
+use crate::{Label, Step};
+
+/// Interned symbol id standing for the `(.)` wildcard. Real symbol ids
+/// (e.g. `cxu_tree::Symbol::index`) never reach `u32::MAX` — the symbol
+/// interner would exhaust memory long before.
+pub const ANY_SYM: u32 = u32::MAX;
+
+/// Do two step labels fire on a common letter? (`(.)` pairs with
+/// anything — including the implicit fresh letter — and concrete symbols
+/// only with themselves.)
+#[inline]
+fn compat(a: u32, b: u32) -> bool {
+    a == ANY_SYM || b == ANY_SYM || a == b
+}
+
+/// Symbol-indexed transition masks over a chain's step indices: bit `i`
+/// of `fires(a)` means step `i` consumes letter `a`.
+#[derive(Clone, Debug)]
+enum Table {
+    /// Chains of ≤ 63 steps (≤ 64 states): plain `u64` masks.
+    Small {
+        /// Bit `i` ⇔ step `i` is preceded by a `(.)*` gap (state `i`
+        /// has an `Any` self-loop).
+        gap: u64,
+        /// Bit `i` ⇔ step `i`'s label is `(.)`.
+        any: u64,
+        /// Sorted `(symbol, mask)` rows for the concrete symbols.
+        syms: Vec<(u32, u64)>,
+    },
+    /// Spillover for longer chains: the same masks as word vectors.
+    Large {
+        gap: Vec<u64>,
+        any: Vec<u64>,
+        syms: Vec<(u32, Vec<u64>)>,
+    },
+}
+
+/// A linear pattern's `ℛ(l)` chain, compiled once: gap bits + interned
+/// symbol ids + symbol-indexed transition masks.
+#[derive(Clone, Debug)]
+pub struct Chain {
+    gaps: Vec<bool>,
+    labels: Vec<u32>,
+    table: Table,
+}
+
+/// Words needed for one bit per item.
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64).max(1)
+}
+
+#[inline]
+fn get_bit(v: &[u64], i: usize) -> bool {
+    v[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+impl Chain {
+    /// Compiles a step sequence, interning symbols through `sym_id`.
+    /// `sym_id` must be injective and never return [`ANY_SYM`].
+    pub fn from_steps<T: Copy>(steps: &[Step<T>], mut sym_id: impl FnMut(T) -> u32) -> Chain {
+        let ids: Vec<(bool, u32)> = steps
+            .iter()
+            .map(|s| {
+                (
+                    s.gap,
+                    match s.label {
+                        Label::Sym(t) => sym_id(t),
+                        Label::Any => ANY_SYM,
+                    },
+                )
+            })
+            .collect();
+        Chain::from_ids(&ids)
+    }
+
+    /// Compiles from `(gap, symbol-id)` pairs directly.
+    pub fn from_ids(steps: &[(bool, u32)]) -> Chain {
+        let gaps: Vec<bool> = steps.iter().map(|&(g, _)| g).collect();
+        let labels: Vec<u32> = steps.iter().map(|&(_, l)| l).collect();
+        let n = steps.len();
+        let table = if n <= 63 {
+            let mut gap = 0u64;
+            let mut any = 0u64;
+            let mut syms: Vec<(u32, u64)> = Vec::new();
+            for (i, &(g, l)) in steps.iter().enumerate() {
+                if g {
+                    gap |= 1 << i;
+                }
+                if l == ANY_SYM {
+                    any |= 1 << i;
+                } else {
+                    match syms.binary_search_by_key(&l, |&(s, _)| s) {
+                        Ok(p) => syms[p].1 |= 1 << i,
+                        Err(p) => syms.insert(p, (l, 1 << i)),
+                    }
+                }
+            }
+            Table::Small { gap, any, syms }
+        } else {
+            let w = words_for(n);
+            let mut gap = vec![0u64; w];
+            let mut any = vec![0u64; w];
+            let mut syms: Vec<(u32, Vec<u64>)> = Vec::new();
+            for (i, &(g, l)) in steps.iter().enumerate() {
+                let (word, bit) = (i / 64, 1u64 << (i % 64));
+                if g {
+                    gap[word] |= bit;
+                }
+                if l == ANY_SYM {
+                    any[word] |= bit;
+                } else {
+                    match syms.binary_search_by_key(&l, |(s, _)| *s) {
+                        Ok(p) => syms[p].1[word] |= bit,
+                        Err(p) => {
+                            let mut m = vec![0u64; w];
+                            m[word] |= bit;
+                            syms.insert(p, (l, m));
+                        }
+                    }
+                }
+            }
+            Table::Large { gap, any, syms }
+        };
+        Chain {
+            gaps,
+            labels,
+            table,
+        }
+    }
+
+    /// Number of steps (the automaton has `len() + 1` states).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Is this the empty chain (accepting only the empty word)?
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Is step `i` preceded by a `(.)*` gap? (Equivalently: does the
+    /// pattern reach node `i+1` via a descendant edge?)
+    pub fn gap(&self, i: usize) -> bool {
+        self.gaps[i]
+    }
+
+    /// Step `i`'s interned symbol id ([`ANY_SYM`] for `(.)`).
+    pub fn label(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// Mask of all step indices (small tables only).
+    #[inline]
+    fn all_small(&self) -> u64 {
+        match self.len() {
+            0 => 0,
+            n => !0u64 >> (64 - n),
+        }
+    }
+
+    #[inline]
+    fn gap_small(&self) -> u64 {
+        match &self.table {
+            Table::Small { gap, .. } => *gap,
+            Table::Large { .. } => unreachable!("small accessor on large table"),
+        }
+    }
+
+    /// Mask of steps consuming concrete letter `a` (small tables only).
+    #[inline]
+    fn fires_small(&self, a: u32) -> u64 {
+        debug_assert_ne!(a, ANY_SYM, "words carry concrete symbols only");
+        match &self.table {
+            Table::Small { any, syms, .. } => {
+                any | match syms.binary_search_by_key(&a, |&(s, _)| s) {
+                    Ok(p) => syms[p].1,
+                    Err(_) => 0,
+                }
+            }
+            Table::Large { .. } => unreachable!("small accessor on large table"),
+        }
+    }
+
+    /// Mask of B-steps whose label is compatible with step label `la`
+    /// of the other side (small tables only): the diagonal-edge mask of
+    /// the product construction.
+    #[inline]
+    fn diag_small(&self, la: u32) -> u64 {
+        if la == ANY_SYM {
+            self.all_small()
+        } else {
+            self.fires_small(la)
+        }
+    }
+
+    /// Does the chain accept `word` (a sequence of interned symbol ids)?
+    /// Bit-parallel subset simulation: zero allocation for chains of
+    /// ≤ 64 states.
+    pub fn accepts(&self, word: &[u32]) -> bool {
+        let n = self.len();
+        if n <= 63 {
+            let gap = self.gap_small();
+            let mut cur: u64 = 1;
+            for &a in word {
+                cur = (cur & gap) | ((cur & self.fires_small(a)) << 1);
+                if cur == 0 {
+                    return false;
+                }
+            }
+            cur & (1u64 << n) != 0
+        } else {
+            self.accepts_large(word)
+        }
+    }
+
+    fn accepts_large(&self, word: &[u32]) -> bool {
+        let (gap, any, syms) = match &self.table {
+            Table::Large { gap, any, syms } => (gap, any, syms),
+            Table::Small { .. } => unreachable!("large accessor on small table"),
+        };
+        let n = self.len();
+        // State bits 0..=n: one more bit than the step masks cover.
+        let w = words_for(n + 1);
+        let mut cur = vec![0u64; w];
+        let mut next = vec![0u64; w];
+        cur[0] = 1;
+        for &a in word {
+            let sym = syms
+                .binary_search_by_key(&a, |(s, _)| *s)
+                .ok()
+                .map(|p| &syms[p].1);
+            let mut carry = 0u64;
+            let mut alive = 0u64;
+            for i in 0..w {
+                let g = gap.get(i).copied().unwrap_or(0);
+                let f = any.get(i).copied().unwrap_or(0)
+                    | sym.and_then(|m| m.get(i).copied()).unwrap_or(0);
+                let adv = cur[i] & f;
+                next[i] = (cur[i] & g) | (adv << 1) | carry;
+                carry = adv >> 63;
+                alive |= next[i];
+            }
+            std::mem::swap(&mut cur, &mut next);
+            if alive == 0 {
+                return false;
+            }
+        }
+        get_bit(&cur, n)
+    }
+
+    /// Is `L(self) ∩ L(other)` nonempty? (Strong matching.)
+    ///
+    /// Neither chain has trailing loops, so any common word's final
+    /// letter must advance both sides into accept: nonempty iff the
+    /// product state `(m−1, k−1)` is reachable and the two final step
+    /// labels are compatible. Zero allocation when `other.len() ≤ 63`.
+    pub fn intersects(&self, other: &Chain) -> bool {
+        let (m, k) = (self.len(), other.len());
+        if m == 0 || k == 0 {
+            return m == 0 && k == 0;
+        }
+        if !compat(self.labels[m - 1], other.labels[k - 1]) {
+            return false;
+        }
+        if k <= 63 {
+            self.reach_small(other).penult & (1u64 << (k - 1)) != 0
+        } else {
+            get_bit(&self.reach_large(other).penult, k - 1)
+        }
+    }
+
+    /// Is `L(self) ∩ L(other · (.)*)` nonempty? (Weak matching: `self`
+    /// may keep consuming letters after `other` accepts.)
+    pub fn intersects_weak(&self, other: &Chain) -> bool {
+        let (m, k) = (self.len(), other.len());
+        if m == 0 {
+            // The empty chain accepts only ε, which `other·(.)*`
+            // contains iff `other` is empty too.
+            return k == 0;
+        }
+        if k <= 63 {
+            self.reach_small(other).col_or & (1u64 << k) != 0
+        } else {
+            get_bit(&self.reach_large(other).col_or, k)
+        }
+    }
+
+    /// Strong/weak answers for **every** prefix of `read` against `self`
+    /// in one pass — the compiled form of the paper's all-edges-at-once
+    /// dynamic program (the `PrefixMatcher`).
+    ///
+    /// `weak[j]` ⇔ `L(self) ∩ L(readⱼ · (.)*) ≠ ∅` and `strong[j]` ⇔
+    /// `L(self) ∩ L(readⱼ) ≠ ∅`, where `readⱼ` is the length-`j` prefix
+    /// chain, for `0 ≤ j ≤ read.len()`.
+    pub fn prefix_match(&self, read: &Chain) -> PrefixMatch {
+        let (m, k) = (self.len(), read.len());
+        let mut weak = vec![false; k + 1];
+        let mut strong = vec![false; k + 1];
+        if m == 0 {
+            // ε intersects readⱼ (·(.)* or not) iff j = 0.
+            weak[0] = true;
+            strong[0] = true;
+            return PrefixMatch { weak, strong };
+        }
+        if k <= 63 {
+            let r = self.reach_small(read);
+            for (j, w) in weak.iter_mut().enumerate() {
+                *w = r.col_or & (1u64 << j) != 0;
+            }
+            for (j, s) in strong.iter_mut().enumerate().skip(1) {
+                *s = r.penult & (1u64 << (j - 1)) != 0
+                    && compat(self.labels[m - 1], read.labels[j - 1]);
+            }
+        } else {
+            let r = self.reach_large(read);
+            for (j, w) in weak.iter_mut().enumerate() {
+                *w = get_bit(&r.col_or, j);
+            }
+            for (j, s) in strong.iter_mut().enumerate().skip(1) {
+                *s = get_bit(&r.penult, j - 1) && compat(self.labels[m - 1], read.labels[j - 1]);
+            }
+        }
+        PrefixMatch { weak, strong }
+    }
+
+    /// Product reachability of `self` (A, rows `i = 0..=m`) × `other`
+    /// (B, columns `j = 0..=k`), `k ≤ 63`. Returns the OR of all rows
+    /// (weak answers per column) and row `m−1` (strong answers). Runs
+    /// entirely in registers.
+    #[inline]
+    fn reach_small(&self, other: &Chain) -> Reach<u64> {
+        let (m, k) = (self.len(), other.len());
+        debug_assert!(m >= 1 && k <= 63);
+        let colmask: u64 = !0u64 >> (63 - k); // bits 0..=k
+        let b_idle = other.gap_small(); // B states with an Any self-loop
+        let mut row: u64 = 1; // start: (0, 0)
+        let mut col_or: u64 = 0;
+        let mut penult: u64 = 0;
+        for i in 0..=m {
+            if i < m && self.gaps[i] && row != 0 {
+                // A idles on its gap while B advances: reachability
+                // smears to every higher column of this row.
+                row = (!0u64 << row.trailing_zeros()) & colmask;
+            }
+            col_or |= row;
+            if i + 1 == m {
+                penult = row;
+            }
+            if i == m || row == 0 {
+                break;
+            }
+            // Diagonal (both advance on a compatible letter) and
+            // vertical (A advances while B idles on a gap) edges feed
+            // row i+1.
+            row = ((row & other.diag_small(self.labels[i])) << 1) | (row & b_idle);
+        }
+        Reach { col_or, penult }
+    }
+
+    /// The same forward pass with `Vec<u64>` rows, for B chains wider
+    /// than 63 steps.
+    fn reach_large(&self, other: &Chain) -> Reach<Vec<u64>> {
+        let (m, k) = (self.len(), other.len());
+        debug_assert!(m >= 1 && k >= 64);
+        let (b_gap, b_any, b_syms) = match &other.table {
+            Table::Large { gap, any, syms } => (gap, any, syms),
+            Table::Small { .. } => unreachable!("large reach needs a large B table"),
+        };
+        let w = words_for(k + 1);
+        let mut row = vec![0u64; w];
+        row[0] = 1;
+        let mut col_or = vec![0u64; w];
+        let mut penult = vec![0u64; w];
+        let mut diag = vec![0u64; w];
+        for i in 0..=m {
+            if i < m && self.gaps[i] {
+                smear_up(&mut row, k);
+            }
+            for (c, r) in col_or.iter_mut().zip(&row) {
+                *c |= r;
+            }
+            if i + 1 == m {
+                penult.copy_from_slice(&row);
+            }
+            if i == m || row.iter().all(|&x| x == 0) {
+                break;
+            }
+            // Diagonal mask for A's step label against every B step.
+            let la = self.labels[i];
+            if la == ANY_SYM {
+                for (word, d) in diag.iter_mut().enumerate() {
+                    *d = match ((word + 1) * 64).cmp(&k) {
+                        std::cmp::Ordering::Greater if word * 64 >= k => 0,
+                        std::cmp::Ordering::Greater => !0u64 >> (64 - (k % 64)),
+                        _ => !0,
+                    };
+                }
+            } else {
+                let sym = b_syms
+                    .binary_search_by_key(&la, |(s, _)| *s)
+                    .ok()
+                    .map(|p| &b_syms[p].1);
+                for (word, d) in diag.iter_mut().enumerate() {
+                    *d = b_any.get(word).copied().unwrap_or(0)
+                        | sym.and_then(|s| s.get(word).copied()).unwrap_or(0);
+                }
+            }
+            let mut carry = 0u64;
+            for word in 0..w {
+                let adv = row[word] & diag[word];
+                row[word] =
+                    (adv << 1) | carry | (row[word] & b_gap.get(word).copied().unwrap_or(0));
+                carry = adv >> 63;
+            }
+        }
+        Reach { col_or, penult }
+    }
+
+    /// The pre-filter summary: facts holding for **every** word of
+    /// `L(ℛ(l))`, cheap to intersect per pair at schedule time.
+    pub fn summary(&self) -> Summary {
+        let min_depth = self.len() as u32;
+        let max_depth = if self.gaps.iter().any(|&g| g) {
+            None
+        } else {
+            Some(min_depth)
+        };
+        let mut required: Vec<u32> = self
+            .labels
+            .iter()
+            .copied()
+            .filter(|&l| l != ANY_SYM)
+            .collect();
+        required.sort_unstable();
+        required.dedup();
+        let p = self.gaps.iter().position(|&g| g).unwrap_or(self.len());
+        let rigid = self.labels[..p].to_vec();
+        Summary {
+            min_depth,
+            max_depth,
+            required,
+            rigid,
+        }
+    }
+}
+
+/// Reachability extract: per-column OR over all rows (weak answers) and
+/// row `m−1` (strong answers pair it with the final-step compatibility).
+struct Reach<R> {
+    col_or: R,
+    penult: R,
+}
+
+/// Sets every bit above the lowest set bit, trimmed to columns `0..=k` —
+/// the multi-word in-row gap smear.
+fn smear_up(row: &mut [u64], k: usize) {
+    let Some(first) = row.iter().position(|&x| x != 0) else {
+        return;
+    };
+    row[first] |= !0u64 << row[first].trailing_zeros();
+    for x in row.iter_mut().skip(first + 1) {
+        *x = !0;
+    }
+    let (w, rem) = (k / 64, k % 64);
+    for (i, x) in row.iter_mut().enumerate() {
+        if i > w {
+            *x = 0;
+        } else if i == w {
+            *x &= !0u64 >> (63 - rem);
+        }
+    }
+}
+
+/// Per-prefix strong/weak matching results (see [`Chain::prefix_match`]).
+pub struct PrefixMatch {
+    /// `weak[j]` for prefix lengths `0..=read.len()`.
+    pub weak: Vec<bool>,
+    /// `strong[j]` for prefix lengths `0..=read.len()`.
+    pub strong: Vec<bool>,
+}
+
+/// Facts true of every word in a chain's language — the batch
+/// pre-filter's per-operation digest, computed once at intern time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// Every accepted word has at least this many letters.
+    pub min_depth: u32,
+    /// Upper bound on word length; `None` when a `(.)*` gap makes the
+    /// language unbounded in depth.
+    pub max_depth: Option<u32>,
+    /// Concrete symbols present in **every** accepted word (the chain's
+    /// non-wildcard step labels), sorted and deduplicated.
+    pub required: Vec<u32>,
+    /// The *rigid prefix*: step labels before the first gap. Position
+    /// `t` of every accepted word is exactly `rigid[t]` (or free when
+    /// `rigid[t]` is [`ANY_SYM`]).
+    pub rigid: Vec<u32>,
+}
+
+impl Summary {
+    /// Is the chain gap-free (every accepted word has exactly
+    /// `min_depth` letters)?
+    pub fn is_rigid(&self) -> bool {
+        self.max_depth.is_some()
+    }
+}
+
+/// Do the two rigid prefixes *clash* — some position demanding two
+/// different concrete symbols? A clash at position `t` empties every
+/// common language the §4 detectors consult for these two chains (all
+/// prefix pairs covering position `t`, strong or weak), which is the
+/// pre-filter's soundness core: see `DESIGN.md` § Performance.
+pub fn rigid_clash(a: &Summary, b: &Summary) -> bool {
+    a.rigid
+        .iter()
+        .zip(&b.rigid)
+        .any(|(&x, &y)| x != ANY_SYM && y != ANY_SYM && x != y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Nfa;
+
+    fn chain(spec: &[(bool, Option<u32>)]) -> Chain {
+        let ids: Vec<(bool, u32)> = spec
+            .iter()
+            .map(|&(g, l)| (g, l.unwrap_or(ANY_SYM)))
+            .collect();
+        Chain::from_ids(&ids)
+    }
+
+    fn nfa(spec: &[(bool, Option<u32>)]) -> Nfa<u32> {
+        let steps: Vec<Step<u32>> = spec
+            .iter()
+            .map(|&(g, l)| Step {
+                gap: g,
+                label: match l {
+                    Some(s) => Label::Sym(s),
+                    None => Label::Any,
+                },
+            })
+            .collect();
+        Nfa::from_steps(&steps)
+    }
+
+    #[test]
+    fn accepts_matches_nfa() {
+        let spec = [(false, Some(1)), (false, Some(2)), (true, Some(3))];
+        let c = chain(&spec);
+        let n = nfa(&spec);
+        for w in [
+            vec![1u32, 2, 3],
+            vec![1, 2, 9, 9, 3],
+            vec![1, 2],
+            vec![1, 3],
+            vec![2, 2, 3],
+            vec![],
+        ] {
+            assert_eq!(c.accepts(&w), n.accepts(&w), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn intersects_basic() {
+        let x = chain(&[(false, Some(1)), (false, Some(2)), (true, Some(3))]);
+        let y = chain(&[(false, Some(1)), (true, Some(3))]);
+        assert!(x.intersects(&y));
+        assert!(y.intersects(&x));
+        let a = chain(&[(false, Some(1)), (false, Some(2))]);
+        let b = chain(&[(false, Some(1)), (false, Some(3))]);
+        assert!(!a.intersects(&b));
+        // Wildcard-only chains intersect via the fresh letter.
+        let s = chain(&[(false, None)]);
+        assert!(s.intersects(&chain(&[(false, None)])));
+    }
+
+    #[test]
+    fn weak_is_one_sided() {
+        let abc = chain(&[(false, Some(1)), (false, Some(2)), (false, Some(3))]);
+        let ab = chain(&[(false, Some(1)), (false, Some(2))]);
+        assert!(abc.intersects_weak(&ab));
+        assert!(!ab.intersects_weak(&abc));
+        assert!(ab.intersects_weak(&ab));
+    }
+
+    #[test]
+    fn empty_chain_edge_cases() {
+        let e = Chain::from_ids(&[]);
+        let a = chain(&[(false, Some(1))]);
+        assert!(e.accepts(&[]));
+        assert!(!e.accepts(&[1]));
+        assert!(e.intersects(&e));
+        assert!(!e.intersects(&a));
+        assert!(!a.intersects(&e));
+        assert!(e.intersects_weak(&e));
+        assert!(!e.intersects_weak(&a));
+        // a ∩ ε·(.)* : the empty prefix is consumed at the start; `a`
+        // completes below it.
+        assert!(a.intersects_weak(&e));
+    }
+
+    #[test]
+    fn summary_and_rigid_clash() {
+        let c = chain(&[(false, Some(1)), (false, None), (true, Some(3))]);
+        let s = c.summary();
+        assert_eq!(s.min_depth, 3);
+        assert_eq!(s.max_depth, None);
+        assert!(!s.is_rigid());
+        assert_eq!(s.required, vec![1, 3]);
+        assert_eq!(s.rigid, vec![1, ANY_SYM]);
+        let d = chain(&[(false, Some(2)), (false, Some(5))]).summary();
+        assert!(d.is_rigid());
+        assert!(rigid_clash(&s, &d), "roots 1 vs 2");
+        let w = chain(&[(false, None), (false, Some(5))]).summary();
+        assert!(!rigid_clash(&s, &w), "wildcard root never clashes");
+        let deep = chain(&[(false, Some(1)), (false, Some(7))]).summary();
+        assert!(!rigid_clash(&s, &deep), "ANY at position 1 absorbs 7");
+    }
+
+    #[test]
+    fn large_chain_spillover() {
+        // 70 steps force the Vec<u64> path on both sides.
+        let spec: Vec<(bool, Option<u32>)> = (0..70).map(|i| (i % 7 == 3, Some(i % 5))).collect();
+        let c = chain(&spec);
+        let n = nfa(&spec);
+        let word: Vec<u32> = (0..70).map(|i| i % 5).collect();
+        assert_eq!(c.accepts(&word), n.accepts(&word));
+        assert!(c.intersects(&c), "satisfiable chain self-intersects");
+        assert!(c.intersects_weak(&c));
+        // Root symbol clash against a short chain (large A, small B) and
+        // the flipped orientation (small A, large B).
+        let clash = chain(&[(false, Some(9)), (true, Some(9))]);
+        assert!(!c.intersects(&clash));
+        assert!(!clash.intersects(&c));
+        assert!(!clash.intersects_weak(&c));
+    }
+
+    #[test]
+    fn prefix_match_columns() {
+        // self = 1/(.)*·3 against read = 1/2/3/4.
+        let u = chain(&[(false, Some(1)), (true, Some(3))]);
+        let r = chain(&[
+            (false, Some(1)),
+            (false, Some(2)),
+            (false, Some(3)),
+            (false, Some(4)),
+        ]);
+        let pm = u.prefix_match(&r);
+        // strong[j]: a common word must end on u's final 3, and u's words
+        // have ≥ 2 letters — only the prefix 1/2/3 (j = 3) matches.
+        let strong = [false, false, true, false];
+        for (j, &want) in strong.iter().enumerate() {
+            assert_eq!(pm.strong[j + 1], want, "strong[{}]", j + 1);
+        }
+        // weak[j]: u's output can always land at or below the prefix
+        // endpoint — e.g. 1·2·3·4·3 completes u below prefix 1/2/3/4.
+        for j in 1..=4 {
+            assert!(pm.weak[j], "weak[{j}]");
+        }
+    }
+}

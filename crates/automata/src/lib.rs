@@ -24,6 +24,8 @@
 use std::collections::HashSet;
 use std::hash::Hash;
 
+pub mod compiled;
+
 /// A transition label: a concrete symbol or the wildcard `(.)`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Label<T> {
@@ -122,9 +124,12 @@ impl<T: Copy + Eq + Hash> Nfa<T> {
     /// Does the automaton accept `word`? (Subset simulation; used by
     /// tests and by brute-force cross-validation.)
     pub fn accepts(&self, word: &[T]) -> bool {
+        // Two scratch frontiers reused across the whole word: clear +
+        // swap instead of a fresh allocation per letter.
         let mut cur: HashSet<usize> = HashSet::from([self.start]);
+        let mut next: HashSet<usize> = HashSet::new();
         for &a in word {
-            let mut next = HashSet::new();
+            next.clear();
             for &q in &cur {
                 for &(l, to) in &self.trans[q] {
                     let fires = match l {
@@ -139,7 +144,7 @@ impl<T: Copy + Eq + Hash> Nfa<T> {
             if next.is_empty() {
                 return false;
             }
-            cur = next;
+            std::mem::swap(&mut cur, &mut next);
         }
         cur.iter().any(|&q| self.accept[q])
     }
@@ -153,13 +158,17 @@ impl<T: Copy + Eq + Hash> Nfa<T> {
     /// moves by the extra letter.
     pub fn intersects(&self, other: &Nfa<T>) -> bool {
         // Move alphabet: Some(symbol) for named concrete symbols, None
-        // for "a letter neither automaton names".
-        let mut moves: Vec<Option<T>> = self
-            .symbols()
-            .union(&other.symbols())
-            .copied()
-            .map(Some)
-            .collect();
+        // for "a letter neither automaton names". Collected once into a
+        // single Vec straight from the transition tables (no interim
+        // HashSets); the tables are tiny, so linear-scan dedup wins.
+        let mut moves: Vec<Option<T>> = Vec::new();
+        for &(l, _) in self.trans.iter().chain(other.trans.iter()).flatten() {
+            if let Label::Sym(s) = l {
+                if !moves.contains(&Some(s)) {
+                    moves.push(Some(s));
+                }
+            }
+        }
         moves.push(None);
 
         let width = other.state_count();

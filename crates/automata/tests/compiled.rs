@@ -1,0 +1,222 @@
+//! Cross-validation: the compiled bitset [`Chain`] agrees with the
+//! legacy explicit-state [`Nfa`] on acceptance, strong/weak
+//! intersection, and the prefix-column matcher — over deterministic
+//! seeded random patterns, including chains past the 63-step small-path
+//! limit (exercising the `Vec<u64>` spillover).
+//!
+//! Always-on (no external dependency): a proptest variant of the same
+//! properties lives in the feature-gated module at the bottom.
+
+use cxu_automata::compiled::{Chain, ANY_SYM};
+use cxu_automata::{Label, Nfa, Step};
+
+/// SplitMix64 — deterministic, dependency-free PRNG for seeded cases.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const ALPHABET: u32 = 3;
+/// A letter outside every generated pattern — the paper's fresh letter.
+const FRESH: u32 = 9;
+
+fn random_ids(rng: &mut SplitMix64, len: usize) -> Vec<(bool, u32)> {
+    (0..len)
+        .map(|_| {
+            let gap = rng.below(2) == 0;
+            let label = if rng.below(4) == 0 {
+                ANY_SYM
+            } else {
+                rng.below(ALPHABET as u64) as u32
+            };
+            (gap, label)
+        })
+        .collect()
+}
+
+fn random_word(rng: &mut SplitMix64, max_len: usize) -> Vec<u32> {
+    let len = rng.below(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.below(5) == 0 {
+                FRESH
+            } else {
+                rng.below(ALPHABET as u64) as u32
+            }
+        })
+        .collect()
+}
+
+fn nfa_of(ids: &[(bool, u32)]) -> Nfa<u32> {
+    let steps: Vec<Step<u32>> = ids
+        .iter()
+        .map(|&(gap, l)| Step {
+            gap,
+            label: if l == ANY_SYM {
+                Label::Any
+            } else {
+                Label::Sym(l)
+            },
+        })
+        .collect();
+    Nfa::from_steps(&steps)
+}
+
+fn check_pair(ids_a: &[(bool, u32)], ids_b: &[(bool, u32)]) {
+    let (ca, cb) = (Chain::from_ids(ids_a), Chain::from_ids(ids_b));
+    let (na, nb) = (nfa_of(ids_a), nfa_of(ids_b));
+    assert_eq!(
+        ca.intersects(&cb),
+        na.intersects(&nb),
+        "strong: {ids_a:?} vs {ids_b:?}"
+    );
+    assert_eq!(
+        ca.intersects_weak(&cb),
+        na.intersects(&nb.clone().with_any_suffix()),
+        "weak: {ids_a:?} vs {ids_b:?}"
+    );
+    assert_eq!(
+        cb.intersects_weak(&ca),
+        nb.intersects(&na.with_any_suffix()),
+        "weak flipped: {ids_b:?} vs {ids_a:?}"
+    );
+}
+
+#[test]
+fn accepts_agrees_with_nfa_seeded() {
+    let mut rng = SplitMix64(0xC0FF_EE00);
+    for _ in 0..400 {
+        let len = 1 + rng.below(8) as usize;
+        let ids = random_ids(&mut rng, len);
+        let (chain, nfa) = (Chain::from_ids(&ids), nfa_of(&ids));
+        for _ in 0..40 {
+            let w = random_word(&mut rng, ids.len() + 3);
+            assert_eq!(
+                chain.accepts(&w),
+                nfa.accepts(&w),
+                "accepts: {ids:?} on {w:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn intersections_agree_with_nfa_seeded() {
+    let mut rng = SplitMix64(0xBA5E_BA11);
+    for _ in 0..600 {
+        let la = 1 + rng.below(7) as usize;
+        let a = random_ids(&mut rng, la);
+        let lb = 1 + rng.below(7) as usize;
+        let b = random_ids(&mut rng, lb);
+        check_pair(&a, &b);
+    }
+}
+
+#[test]
+fn empty_chains_agree_with_nfa() {
+    let mut rng = SplitMix64(0x0);
+    let empty: Vec<(bool, u32)> = Vec::new();
+    check_pair(&empty, &empty);
+    for _ in 0..50 {
+        let lb = 1 + rng.below(6) as usize;
+        let b = random_ids(&mut rng, lb);
+        check_pair(&empty, &b);
+    }
+}
+
+/// Chains past 63 steps leave the single-`u64` fast path; the `Vec<u64>`
+/// spillover must agree with the NFA the same way, including mixed
+/// small-vs-large products.
+#[test]
+fn large_chain_spillover_agrees_with_nfa() {
+    let mut rng = SplitMix64(0xD15C_0B16);
+    for round in 0..12 {
+        let big_len = 64 + rng.below(30) as usize;
+        let a = random_ids(&mut rng, big_len);
+        // Alternate the partner between small and large.
+        let b_len = if round % 2 == 0 {
+            1 + rng.below(6) as usize
+        } else {
+            64 + rng.below(20) as usize
+        };
+        let b = random_ids(&mut rng, b_len);
+        check_pair(&a, &b);
+
+        let (chain, nfa) = (Chain::from_ids(&a), nfa_of(&a));
+        for _ in 0..10 {
+            let w = random_word(&mut rng, big_len + 4);
+            assert_eq!(chain.accepts(&w), nfa.accepts(&w), "large accepts");
+        }
+    }
+}
+
+/// `prefix_match` columns equal one NFA product per read prefix:
+/// `weak[j] ⇔ L(u) ∩ L(r[..j]·(.)*) ≠ ∅` and
+/// `strong[j] ⇔ L(u) ∩ L(r[..j]) ≠ ∅`.
+#[test]
+fn prefix_match_agrees_with_per_prefix_nfa() {
+    let mut rng = SplitMix64(0xFACE_FEED);
+    for _ in 0..200 {
+        let lu = 1 + rng.below(6) as usize;
+        let u = random_ids(&mut rng, lu);
+        let lr = 1 + rng.below(6) as usize;
+        let r = random_ids(&mut rng, lr);
+        let pm = Chain::from_ids(&u).prefix_match(&Chain::from_ids(&r));
+        let nu = nfa_of(&u);
+        for j in 0..=r.len() {
+            let prefix = nfa_of(&r[..j]);
+            assert_eq!(
+                pm.strong[j],
+                nu.intersects(&prefix),
+                "strong[{j}]: {u:?} vs {r:?}"
+            );
+            assert_eq!(
+                pm.weak[j],
+                nu.intersects(&prefix.with_any_suffix()),
+                "weak[{j}]: {u:?} vs {r:?}"
+            );
+        }
+    }
+}
+
+// Gated: needs the external `proptest` crate (see the workspace
+// Cargo.toml note on hermetic builds).
+#[cfg(feature = "proptest")]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_ids(max: usize) -> impl Strategy<Value = Vec<(bool, u32)>> {
+        proptest::collection::vec((proptest::bool::ANY, proptest::option::of(0u32..3)), 0..max)
+            .prop_map(|spec| {
+                spec.into_iter()
+                    .map(|(gap, l)| (gap, l.unwrap_or(ANY_SYM)))
+                    .collect()
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn compiled_matches_nfa(a in arb_ids(8), b in arb_ids(8)) {
+            check_pair(&a, &b);
+        }
+
+        #[test]
+        fn compiled_matches_nfa_spillover(a in arb_ids(80), b in arb_ids(80)) {
+            check_pair(&a, &b);
+        }
+    }
+}

@@ -1,16 +1,18 @@
-//! Writes `BENCH_SCHED.json`: the deterministic scheduler workload from
-//! `benches/sched.rs`, re-run with the `cxu-obs` registry snapshotted
-//! around each batch so the report gains route/cache/degradation columns
-//! alongside wall time. Run in release mode from this directory:
+//! Metrics-instrumented run of the deterministic scheduler workload from
+//! `benches/sched.rs`: the `cxu-obs` registry is snapshotted around each
+//! batch so the report gains route/cache/degradation columns alongside
+//! wall time. Run in release mode from this directory:
 //!
 //! ```text
-//! cargo run --release -p cxu-bench --bin sched_metrics > ../../BENCH_SCHED.json
+//! cargo run --release -p cxu-bench --bin sched_metrics > sched_metrics.json
 //! ```
 //!
-//! The same numbers are available without this crate via
-//! `cxu schedule --gen-seed … --format json --metrics json`; this binary
-//! exists so the criterion workload and the recorded JSON describe the
-//! *identical* instances.
+//! The committed `BENCH_SCHED.json` artifact is produced by the
+//! workspace-internal `cxu-bench sched` binary instead (see
+//! `scripts/bench.sh`), which covers the same `mixed` workload plus a
+//! read-dominated `linear` profile; this binary exists so the criterion
+//! workload and a recorded metrics JSON can describe the *identical*
+//! instances.
 
 use cxu::gen::patterns::PatternParams;
 use cxu::gen::program::{random_program, ProgramParams};
@@ -61,11 +63,15 @@ fn main() {
         runs.push_str(&format!(
             "    {{\"ops\": {}, \"wall_us\": {wall_us}, \
              \"pairs_total\": {}, \"pairs_analyzed\": {}, \"cache_hits\": {}, \
+             \"prefilter_skips\": {}, \"compile_hits\": {}, \"compile_misses\": {}, \
              \"conflict_edges\": {}, \"rounds\": {},\n     \"metrics\": {}}}",
             st.ops,
             st.pairs_total,
             st.pairs_analyzed,
             st.cache_hits,
+            st.prefilter_skips,
+            delta.counter("automata.compile.hit"),
+            delta.counter("automata.compile.miss"),
             st.conflict_edges,
             st.rounds,
             delta.to_json()

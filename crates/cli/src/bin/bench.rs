@@ -1,0 +1,226 @@
+//! `cxu-bench` — hermetic perf measurements for the bench artifacts.
+//!
+//! Unlike `crates/bench` (criterion, excluded from the workspace so the
+//! default build stays offline), this binary uses only workspace crates
+//! and wall-clock timing, so CI can produce `BENCH_AUTOMATA.json` and
+//! `BENCH_SCHED.json` on a fixed seed with no network access:
+//!
+//! ```text
+//! cxu-bench automata > BENCH_AUTOMATA.json
+//! cxu-bench sched    > BENCH_SCHED.json
+//! ```
+//!
+//! `scripts/bench.sh` wraps both invocations.
+
+use cxu::gen::patterns::{random_pattern, PatternParams};
+use cxu::gen::program::{random_program, ProgramParams};
+use cxu::gen::rng::SplitMix64;
+use cxu::sched::{ops_of_program, Op, SchedConfig, Scheduler};
+use std::time::Instant;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    match mode.as_str() {
+        "automata" => bench_automata(),
+        "sched" => bench_sched(),
+        _ => {
+            eprintln!("usage: cxu-bench <automata|sched>");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Median-of-runs ns/op for `f` over `iters` iterations.
+fn time_ns<F: FnMut() -> bool>(iters: u32, mut f: F) -> f64 {
+    let mut samples = [0f64; 5];
+    for s in samples.iter_mut() {
+        let t0 = Instant::now();
+        let mut acc = false;
+        for _ in 0..iters {
+            acc ^= f();
+        }
+        let dt = t0.elapsed().as_nanos() as f64 / iters as f64;
+        // Keep the side effect alive without printing it.
+        std::hint::black_box(acc);
+        *s = dt;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[2]
+}
+
+/// Intersection-emptiness microbench: the legacy `Nfa` product (per-call
+/// lowering + `HashSet` unions, as the pre-compilation engine ran it)
+/// against the compiled bitset product over cached chains.
+fn bench_automata() {
+    use cxu::core::matching::{compile, nfa};
+
+    let seed = 0xA07A_u64;
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let params = PatternParams {
+        nodes: 4,
+        alphabet: 6,
+        branch_rate: 0.0,
+        ..PatternParams::default()
+    };
+    let pats: Vec<_> = (0..32).map(|_| random_pattern(&mut rng, &params)).collect();
+    let pairs: Vec<(usize, usize)> = (0..pats.len())
+        .flat_map(|i| (i + 1..pats.len()).map(move |j| (i, j)))
+        .collect();
+
+    // Before: lower both patterns and run the HashSet-based product, per
+    // call — the shape of the old PTIME hot path.
+    let mut k = 0usize;
+    let legacy_ns = time_ns(200, || {
+        let (i, j) = pairs[k % pairs.len()];
+        k += 1;
+        nfa(&pats[i]).intersects(&nfa(&pats[j]))
+    });
+
+    // After: compile once, run the allocation-free bitset product.
+    let chains: Vec<_> = pats.iter().map(compile).collect();
+    let mut k2 = 0usize;
+    let compiled_ns = time_ns(2000, || {
+        let (i, j) = pairs[k2 % pairs.len()];
+        k2 += 1;
+        chains[i].intersects(&chains[j])
+    });
+    let mut k3 = 0usize;
+    let compiled_weak_ns = time_ns(2000, || {
+        let (i, j) = pairs[k3 % pairs.len()];
+        k3 += 1;
+        chains[i].intersects_weak(&chains[j])
+    });
+
+    println!(
+        "{{\n  \"bench\": \"automata\",\n  \"seed\": {seed},\n  \
+         \"workload\": {{\"patterns\": {}, \"pattern_nodes\": 4, \"alphabet\": 6, \
+         \"branch_rate\": 0.0}},\n  \
+         \"intersects_ns_per_op\": {{\n    \"legacy_nfa\": {legacy_ns:.1},\n    \
+         \"compiled\": {compiled_ns:.1},\n    \
+         \"compiled_weak\": {compiled_weak_ns:.1},\n    \
+         \"speedup\": {:.2}\n  }}\n}}",
+        pats.len(),
+        legacy_ns / compiled_ns
+    );
+}
+
+/// A fixed-seed scheduling workload profile. Patterns are always linear
+/// (`branch_rate` 0): the point of the trajectory is the §4 PTIME path.
+struct Profile {
+    /// Profile name in the report.
+    name: &'static str,
+    /// Per-statement probability of an update (vs a read).
+    update_rate: f64,
+    /// Label pool size (larger → fewer accidentally-overlapping pairs).
+    alphabet: usize,
+    /// Base seed; each size adds its op count.
+    seed: u64,
+}
+
+/// `mixed` mirrors the `crates/bench` criterion workload (same sizes,
+/// seeds, and config) — update-heavy, so overlapping update pairs route
+/// a large share of the time into the NP-side bounded searches.
+/// `linear` is read-dominated: pair decisions stay on the §4 PTIME
+/// read–update detector and the batch pre-filter, the paths this crate's
+/// compiled automata accelerate.
+const PROFILES: [Profile; 2] = [
+    Profile {
+        name: "mixed",
+        update_rate: 0.5,
+        alphabet: 6,
+        seed: 0xBA5E,
+    },
+    Profile {
+        name: "linear",
+        update_rate: 0.2,
+        alphabet: 8,
+        seed: 0x11EA6,
+    },
+];
+
+fn batch(len: usize, profile: &Profile) -> Vec<Op> {
+    let mut rng = SplitMix64::seed_from_u64(profile.seed + len as u64);
+    let p = random_program(
+        &mut rng,
+        &ProgramParams {
+            len,
+            update_rate: profile.update_rate,
+            delete_rate: 0.4,
+            pattern: PatternParams {
+                nodes: 4,
+                alphabet: profile.alphabet,
+                branch_rate: 0.0,
+                ..PatternParams::default()
+            },
+        },
+    );
+    ops_of_program(&p)
+}
+
+/// Deterministic scheduler runs with the `cxu-obs` registry snapshotted
+/// around each batch, so the report carries the route mix (pre-filter
+/// skips, compile cache hits/misses) and latency columns next to the
+/// raw metrics blob.
+fn bench_sched() {
+    let mut profiles = String::new();
+    for (pi, profile) in PROFILES.iter().enumerate() {
+        let mut runs = String::new();
+        for (i, &n) in [50usize, 100, 200, 400].iter().enumerate() {
+            let ops = batch(n, profile);
+            let before = cxu::obs::registry().snapshot();
+            let t0 = Instant::now();
+            let out = Scheduler::new(SchedConfig {
+                jobs: 1,
+                np_max_trees: 2_000,
+                ..SchedConfig::default()
+            })
+            .run(&ops);
+            let wall_us = t0.elapsed().as_micros();
+            let delta = cxu::obs::registry().snapshot().delta(&before);
+            let st = out.stats;
+            let pair = delta.histogram("sched.pair_ns");
+            let (pair_count, pair_sum, pair_mean) = pair
+                .map(|h| (h.count, h.sum, h.mean()))
+                .unwrap_or((0, 0, 0));
+            if i > 0 {
+                runs.push_str(",\n");
+            }
+            runs.push_str(&format!(
+                "      {{\"ops\": {}, \"wall_us\": {wall_us}, \
+                 \"pairs_total\": {}, \"trivial\": {}, \"pairs_analyzed\": {}, \
+                 \"cache_hits\": {}, \"prefilter_skips\": {}, \
+                 \"compile_hits\": {}, \"compile_misses\": {}, \
+                 \"conflict_edges\": {}, \"rounds\": {}, \
+                 \"pair_ns_mean\": {pair_mean}, \"pair_ns_sum\": {pair_sum}, \
+                 \"pair_ns_count\": {pair_count},\n       \
+                 \"metrics\": {}}}",
+                st.ops,
+                st.pairs_total,
+                st.trivial,
+                st.pairs_analyzed,
+                st.cache_hits,
+                st.prefilter_skips,
+                delta.counter("automata.compile.hit"),
+                delta.counter("automata.compile.miss"),
+                st.conflict_edges,
+                st.rounds,
+                delta.to_json()
+            ));
+        }
+        if pi > 0 {
+            profiles.push_str(",\n");
+        }
+        profiles.push_str(&format!(
+            "    {{\"profile\": \"{}\", \"update_rate\": {}, \"alphabet\": {}, \
+             \"seed\": {},\n     \
+             \"runs\": [\n{runs}\n    ]}}",
+            profile.name, profile.update_rate, profile.alphabet, profile.seed
+        ));
+    }
+    println!(
+        "{{\n  \"bench\": \"sched\",\n  \"workload\": {{\"delete_rate\": 0.4, \
+         \"pattern_nodes\": 4, \"branch_rate\": 0.0, \
+         \"np_max_trees\": 2000, \"jobs\": 1}},\n  \
+         \"profiles\": [\n{profiles}\n  ]\n}}"
+    );
+}

@@ -473,7 +473,8 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
             let st = &out.stats;
             s.push_str(&format!(
                 "],\n  \"stats\": {{\"ops\": {}, \"pairs_total\": {}, \"trivial\": {}, \
-                 \"pairs_analyzed\": {}, \"cache_hits\": {}, \"ptime_linear_read\": {}, \
+                 \"pairs_analyzed\": {}, \"cache_hits\": {}, \"prefilter_skips\": {}, \
+                 \"ptime_linear_read\": {}, \
                  \"ptime_linear_updates\": {}, \"witness_search\": {}, \"conservative\": {}, \
                  \"degraded_budget\": {}, \"degraded_deadline\": {}, \"degraded_panic\": {}, \
                  \"conflict_edges\": {}, \"rounds\": {}, \"jobs\": {}}}",
@@ -482,6 +483,7 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
                 st.trivial,
                 st.pairs_analyzed,
                 st.cache_hits,
+                st.prefilter_skips,
                 st.ptime_linear_read,
                 st.ptime_linear_updates,
                 st.witness_search,

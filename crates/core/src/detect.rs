@@ -28,8 +28,10 @@
 //! suggests, so detection runs in `O(|R|·|U|·|Σ| + |R|·|X|)`.
 
 use crate::matching::{spine_nodes, PrefixMatcher};
+use cxu_automata::compiled::Chain;
 use cxu_ops::{Delete, Insert, Read, Semantics, Update};
-use cxu_pattern::{eval, Axis};
+use cxu_pattern::{eval, Axis, Pattern};
+use cxu_tree::Tree;
 use std::fmt;
 
 /// Why a detection request was refused.
@@ -63,9 +65,14 @@ pub fn read_delete_conflict(r: &Read, d: &Delete, sem: Semantics) -> Result<bool
     if !r.pattern().is_linear() {
         return Err(DetectError::ReadNotLinear);
     }
-    let read = r.pattern();
     let spine = d.pattern().spine(); // Lemma 4
-    let pm = PrefixMatcher::new(&spine, read);
+    let pm = PrefixMatcher::new(&spine, r.pattern());
+    Ok(delete_conflict_with(&pm, r.pattern(), sem))
+}
+
+/// The Lemma 3 / Theorem 1 edge conditions over a prebuilt prefix
+/// matcher — shared by the per-call and compiled entry points.
+fn delete_conflict_with(pm: &PrefixMatcher, read: &Pattern, sem: Semantics) -> bool {
     let nodes = spine_nodes(read);
     let k = nodes.len();
 
@@ -77,14 +84,14 @@ pub fn read_delete_conflict(r: &Read, d: &Delete, sem: Semantics) -> Result<bool
         }
     });
 
-    Ok(match sem {
+    match sem {
         Semantics::Node => node_conflict,
         // Remark after Theorem 1: tree conflict ⇔ node conflict ∨ the
         // delete is weakly matched by the full read (a deletion point can
         // land inside a selected subtree). Value ≡ tree for linear reads
         // (Lemma 2).
         Semantics::Tree | Semantics::Value => node_conflict || pm.weak(k),
-    })
+    }
 }
 
 /// Does the read conflict with the insertion under `sem`, over all trees
@@ -93,10 +100,14 @@ pub fn read_insert_conflict(r: &Read, i: &Insert, sem: Semantics) -> Result<bool
     if !r.pattern().is_linear() {
         return Err(DetectError::ReadNotLinear);
     }
-    let read = r.pattern();
-    let x = i.subtree();
     let spine = i.pattern().spine(); // Lemma 8
-    let pm = PrefixMatcher::new(&spine, read);
+    let pm = PrefixMatcher::new(&spine, r.pattern());
+    Ok(insert_conflict_with(&pm, r.pattern(), i.subtree(), sem))
+}
+
+/// The Lemma 6 / Theorem 2 cut-edge conditions over a prebuilt prefix
+/// matcher — shared by the per-call and compiled entry points.
+fn insert_conflict_with(pm: &PrefixMatcher, read: &Pattern, x: &Tree, sem: Semantics) -> bool {
     let nodes = spine_nodes(read);
     let k = nodes.len();
 
@@ -112,11 +123,11 @@ pub fn read_insert_conflict(r: &Read, i: &Insert, sem: Semantics) -> Result<bool
         }
     });
 
-    Ok(match sem {
+    match sem {
         Semantics::Node => node_conflict,
         // Remark after Theorem 2, and Lemma 2 for value semantics.
         Semantics::Tree | Semantics::Value => node_conflict || pm.weak(k),
-    })
+    }
 }
 
 /// Unified entry point for any update.
@@ -126,11 +137,42 @@ pub fn read_insert_conflict(r: &Read, i: &Insert, sem: Semantics) -> Result<bool
 /// scheduler prefers, and also the engine the linear update-update
 /// analysis invokes for its cross-conflict checks).
 pub fn read_update_conflict(r: &Read, u: &Update, sem: Semantics) -> Result<bool, DetectError> {
-    let t0 = std::time::Instant::now();
-    let out = match u {
+    instrumented(|| match u {
         Update::Insert(i) => read_insert_conflict(r, i, sem),
         Update::Delete(d) => read_delete_conflict(r, d, sem),
-    };
+    })
+}
+
+/// [`read_update_conflict`] over pre-compiled chains: `rc` is the read's
+/// compiled `ℛ(l)` chain and `uc` the compiled chain of the update's
+/// *spine* (Lemmas 4 and 8). The scheduler's interner caches both, so the
+/// hot path skips pattern lowering entirely — the prefix matcher runs
+/// straight off the bitset tables. Same instrumentation as the per-call
+/// entry point (`core.detect.linear{,_ns}`).
+pub fn read_update_conflict_compiled(
+    r: &Read,
+    rc: &Chain,
+    u: &Update,
+    uc: &Chain,
+    sem: Semantics,
+) -> Result<bool, DetectError> {
+    instrumented(|| {
+        if !r.pattern().is_linear() {
+            return Err(DetectError::ReadNotLinear);
+        }
+        let pm = PrefixMatcher::from_chains(uc, rc);
+        Ok(match u {
+            Update::Insert(i) => insert_conflict_with(&pm, r.pattern(), i.subtree(), sem),
+            Update::Delete(_) => delete_conflict_with(&pm, r.pattern(), sem),
+        })
+    })
+}
+
+/// Shared `core.detect.linear` counter/histogram/trace wrapper for the
+/// PTIME read-update detectors.
+fn instrumented(f: impl FnOnce() -> Result<bool, DetectError>) -> Result<bool, DetectError> {
+    let t0 = std::time::Instant::now();
+    let out = f();
     cxu_obs::counter!("core.detect.linear").inc();
     cxu_obs::histogram!("core.detect.linear_ns").record_since(t0);
     if cxu_obs::trace::enabled() {

@@ -19,6 +19,7 @@
 //!    which is exactly what the per-edge conditions of Lemmas 3 and 6
 //!    consume.
 
+use cxu_automata::compiled::Chain;
 use cxu_automata::{Label, Nfa, Step};
 use cxu_pattern::{Axis, PNodeId, Pattern};
 use cxu_tree::Symbol;
@@ -49,17 +50,30 @@ pub fn nfa(l: &Pattern) -> Nfa<Symbol> {
     Nfa::from_steps(&to_steps(l))
 }
 
+/// Compiles a linear pattern's `ℛ(l)` chain once, into the bitset form
+/// (`cxu_automata::compiled`) the hot paths simulate with `u64` words.
+/// Symbols are interned by their global [`Symbol::index`].
+pub fn compile(l: &Pattern) -> Chain {
+    Chain::from_steps(&to_steps(l), |s: Symbol| s.index())
+}
+
+/// Compiles the spine of an arbitrary (possibly branching) update
+/// pattern — the linear reduction of Lemmas 4 and 8.
+pub fn compile_spine(l: &Pattern) -> Chain {
+    compile(&l.spine())
+}
+
 /// Do `l` and `l'` match **strongly**? (Output images can coincide.)
 /// Both patterns must be linear.
 pub fn match_strong(l: &Pattern, l_prime: &Pattern) -> bool {
-    nfa(l).intersects(&nfa(l_prime))
+    compile(l).intersects(&compile(l_prime))
 }
 
 /// Do `l` and `l'` match **weakly**? (`𝒪(l)`'s image can sit at or below
 /// `𝒪(l')`'s.) Both patterns must be linear. Note the asymmetry: `l` is
 /// the side allowed to reach deeper.
 pub fn match_weak(l: &Pattern, l_prime: &Pattern) -> bool {
-    nfa(l).intersects(&nfa(l_prime).with_any_suffix())
+    compile(l).intersects_weak(&compile(l_prime))
 }
 
 /// Answers strong/weak matching of a fixed linear `update` spine against
@@ -76,107 +90,38 @@ pub struct PrefixMatcher {
 }
 
 impl PrefixMatcher {
-    /// Runs the product reachability. Both patterns must be linear.
+    /// Compiles both patterns and runs the product reachability. Both
+    /// patterns must be linear. Hot paths that already hold compiled
+    /// chains (the scheduler's interner cache) use
+    /// [`PrefixMatcher::from_chains`] instead and skip the compilation.
     pub fn new(update: &Pattern, read: &Pattern) -> PrefixMatcher {
-        let u_steps = to_steps(update);
-        let r_steps = to_steps(read);
-        let m = u_steps.len(); // update states 0..=m, accept = m
-        let k = r_steps.len(); // read states 0..=k; state j = prefix j done
+        PrefixMatcher::from_chains(&compile(update), &compile(read))
+    }
 
-        // Effective alphabet: symbols of both sides plus one fresh letter
-        // (represented as None).
-        let mut moves: Vec<Option<Symbol>> = u_steps
-            .iter()
-            .chain(r_steps.iter())
-            .filter_map(|s| match s.label {
-                Label::Sym(x) => Some(Some(x)),
-                Label::Any => None,
-            })
-            .collect();
-        moves.sort_unstable();
-        moves.dedup();
-        moves.push(None);
-
-        // Product states (i, j): i update steps and j read steps consumed.
-        // Transitions consume one letter in *both* automata; each side may
-        // either advance over its next step or idle on a gap self-loop.
-        let enc = |i: usize, j: usize| i * (k + 1) + j;
-        let mut seen = vec![false; (m + 1) * (k + 1)];
-        let mut queue = vec![(0usize, 0usize)];
-        seen[enc(0, 0)] = true;
-
-        let step_fires = |s: &Step<Symbol>, a: Option<Symbol>| match (s.label, a) {
-            (Label::Any, _) => true,
-            (Label::Sym(x), Some(b)) => x == b,
-            (Label::Sym(_), None) => false,
-        };
-        // A side may *idle* (consume the letter without advancing) only on
-        // the `(.)*` gap that precedes its next step. Note the gap before
-        // step j+1 belongs to the length-(j+1) read prefix, not to the
-        // length-j one — which is fine for reachability (see `strong`
-        // below for where it matters).
-        let u_can_idle = |i: usize| i < m && u_steps[i].gap;
-        let r_can_idle = |j: usize| j < k && r_steps[j].gap;
-
-        while let Some((i, j)) = queue.pop() {
-            for &a in &moves {
-                // Combinations: advance/advance, advance/idle,
-                // idle/advance. (idle/idle revisits the same pair.)
-                let u_next: &[usize] = if i < m && step_fires(&u_steps[i], a) {
-                    &[1]
-                } else {
-                    &[]
-                };
-                let u_idle: &[usize] = if u_can_idle(i) { &[0] } else { &[] };
-                let r_next: &[usize] = if j < k && step_fires(&r_steps[j], a) {
-                    &[1]
-                } else {
-                    &[]
-                };
-                let r_idle: &[usize] = if r_can_idle(j) { &[0] } else { &[] };
-                for &du in u_next.iter().chain(u_idle) {
-                    for &dr in r_next.iter().chain(r_idle) {
-                        let (ni, nj) = (i + du, j + dr);
-                        if !seen[enc(ni, nj)] {
-                            seen[enc(ni, nj)] = true;
-                            queue.push((ni, nj));
-                        }
-                    }
-                }
-            }
+    /// Runs the product reachability over pre-compiled chains — one
+    /// bitset forward pass, no per-call lowering and no move-alphabet
+    /// materialization (see `cxu_automata::compiled` for why `Σ_{l,l'}`
+    /// plus the fresh letter collapses into a per-step compatibility
+    /// test).
+    ///
+    /// Weak(j): the length-j read prefix is fully consumed at some
+    /// moment of a word the update can still complete — any reachable
+    /// product pair (i, j) suffices, since the update's remaining steps
+    /// are always satisfiable by fresh letters falling *below* the
+    /// prefix's endpoint (the `ℛ(l')·(.)*` extension).
+    ///
+    /// Strong(j): both sides consume their final symbol on the *same,
+    /// last* letter — reaching (m, j) is not enough, because the read
+    /// may have consumed its j-th symbol early and idled on the gap of
+    /// step j+1, a gap the length-j prefix does not own. The compiled
+    /// pass therefore checks (m−1, j−1) reachability plus final-step
+    /// compatibility.
+    pub fn from_chains(update: &Chain, read: &Chain) -> PrefixMatcher {
+        let pm = update.prefix_match(read);
+        PrefixMatcher {
+            strong: pm.strong,
+            weak: pm.weak,
         }
-
-        // Weak(j): the length-j read prefix is fully consumed at some
-        // moment of a word the update can still complete. Any reachable
-        // pair (i, j) suffices: from state i the update's remaining steps
-        // are always satisfiable by fresh letters, and those letters fall
-        // *below* the prefix's endpoint — exactly the `ℛ(l')·(.)*`
-        // extension.
-        let mut weak = vec![false; k + 1];
-        for i in 0..=m {
-            for (j, w) in weak.iter_mut().enumerate() {
-                *w |= seen[enc(i, j)];
-            }
-        }
-
-        // Strong(j): both sides must consume their final symbol on the
-        // *same, last* letter of the word. Reaching (m, j) is not enough:
-        // the read may have consumed its j-th symbol early and idled on
-        // the gap of step j+1 — a gap the length-j prefix does not own.
-        // Once the update is at m it cannot consume further letters (no
-        // trailing loop), so the valid strong runs are exactly those whose
-        // final transition advances (m-1, j-1) → (m, j) on a common
-        // letter.
-        let mut strong = vec![false; k + 1];
-        for j in 1..=k {
-            if m >= 1 && seen[enc(m - 1, j - 1)] {
-                strong[j] = moves
-                    .iter()
-                    .any(|&a| step_fires(&u_steps[m - 1], a) && step_fires(&r_steps[j - 1], a));
-            }
-        }
-
-        PrefixMatcher { strong, weak }
     }
 
     /// Strong match of the update against the read prefix of `j` nodes.

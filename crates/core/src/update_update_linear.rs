@@ -32,6 +32,7 @@
 
 use crate::construct;
 use crate::update_update::{commute_on, find_noncommuting_witness_deadline, Budget, Outcome};
+use cxu_automata::compiled::Chain;
 use cxu_ops::{Read, Semantics, Update};
 use cxu_runtime::Deadline;
 use cxu_tree::{Symbol, Tree};
@@ -97,8 +98,35 @@ pub fn commutativity_deadline(
     budget: Budget,
     deadline: &Deadline,
 ) -> Option<Commutativity> {
+    commutativity_instrumented(u1, u2, None, budget, deadline)
+}
+
+/// [`commutativity_deadline`] over pre-compiled chains: `c1`/`c2` are the
+/// compiled `ℛ(p)` chains of the two (linear) selection patterns. For a
+/// linear update the pattern *is* its own spine, so each chain serves
+/// both as the read chain and as the update-spine chain of the two cross
+/// checks — no per-call lowering. Instrumentation is identical to the
+/// per-call entry point (`core.uu_linear.*`).
+pub fn commutativity_deadline_compiled(
+    u1: &Update,
+    u2: &Update,
+    c1: &Chain,
+    c2: &Chain,
+    budget: Budget,
+    deadline: &Deadline,
+) -> Option<Commutativity> {
+    commutativity_instrumented(u1, u2, Some((c1, c2)), budget, deadline)
+}
+
+fn commutativity_instrumented(
+    u1: &Update,
+    u2: &Update,
+    chains: Option<(&Chain, &Chain)>,
+    budget: Budget,
+    deadline: &Deadline,
+) -> Option<Commutativity> {
     let t0 = std::time::Instant::now();
-    let out = commutativity_deadline_inner(u1, u2, budget, deadline);
+    let out = commutativity_deadline_inner(u1, u2, chains, budget, deadline);
     cxu_obs::counter!("core.uu_linear.calls").inc();
     cxu_obs::histogram!("core.uu_linear.ns").record_since(t0);
     let outcome = match &out {
@@ -132,6 +160,7 @@ pub fn commutativity_deadline(
 fn commutativity_deadline_inner(
     u1: &Update,
     u2: &Update,
+    chains: Option<(&Chain, &Chain)>,
     budget: Budget,
     deadline: &Deadline,
 ) -> Option<Commutativity> {
@@ -141,10 +170,20 @@ fn commutativity_deadline_inner(
     let r1 = Read::new(u1.pattern().clone());
     let r2 = Read::new(u2.pattern().clone());
 
-    let cross_12 =
-        crate::detect::read_update_conflict(&r1, u2, Semantics::Node).expect("linearity checked");
-    let cross_21 =
-        crate::detect::read_update_conflict(&r2, u1, Semantics::Node).expect("linearity checked");
+    let (cross_12, cross_21) = match chains {
+        Some((c1, c2)) => (
+            crate::detect::read_update_conflict_compiled(&r1, c1, u2, c2, Semantics::Node)
+                .expect("linearity checked"),
+            crate::detect::read_update_conflict_compiled(&r2, c2, u1, c1, Semantics::Node)
+                .expect("linearity checked"),
+        ),
+        None => (
+            crate::detect::read_update_conflict(&r1, u2, Semantics::Node)
+                .expect("linearity checked"),
+            crate::detect::read_update_conflict(&r2, u1, Semantics::Node)
+                .expect("linearity checked"),
+        ),
+    };
 
     if !cross_12 && !cross_21 {
         // Point-stability argument: both orders select identical points

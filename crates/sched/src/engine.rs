@@ -3,9 +3,9 @@
 //! threads, and assemble the conflict graph, schedule, and stats.
 
 use crate::graph::{ConflictGraph, Edge};
-use crate::intern::{Interner, OpKey, PairKey};
+use crate::intern::{Interner, OpInfo, OpKey, PairKey};
 use crate::op::{ops_of_program, Op};
-use crate::pairwise::{analyze_pair_deadline, Detector, Verdict};
+use crate::pairwise::{analyze_pair_info, prefilter_no_conflict, Detector, Verdict};
 use crate::rounds::{schedule, Schedule};
 use crate::{SchedConfig, SchedStats};
 use cxu_gen::program::Program;
@@ -22,6 +22,9 @@ use std::sync::Mutex;
 fn record_route(v: Verdict) {
     match v.detector {
         Detector::Trivial => cxu_obs::counter!("sched.route.trivial").inc(),
+        Detector::PrefilterNoConflict => {
+            cxu_obs::counter!("sched.route.prefilter_no_conflict").inc()
+        }
         Detector::PtimeLinearRead => cxu_obs::counter!("sched.route.ptime_linear_read").inc(),
         Detector::PtimeLinearUpdates => cxu_obs::counter!("sched.route.ptime_linear_updates").inc(),
         Detector::WitnessSearch => cxu_obs::counter!("sched.route.witness_search").inc(),
@@ -41,7 +44,14 @@ fn record_route(v: Verdict) {
 /// `sched::pair` fault-injection site, and — when
 /// [`SchedConfig::catch_panics`] is set — a `catch_unwind` guard that
 /// converts detector panics into conservative-conflict verdicts.
-fn decide_pair(a: &Op, b: &Op, cfg: &SchedConfig, cancel: Option<&CancelToken>) -> Verdict {
+fn decide_pair(
+    a: &Op,
+    ia: Option<&OpInfo>,
+    b: &Op,
+    ib: Option<&OpInfo>,
+    cfg: &SchedConfig,
+    cancel: Option<&CancelToken>,
+) -> Verdict {
     let mut deadline = match cfg.pair_deadline {
         Some(slice) => Deadline::after(slice),
         None => Deadline::never(),
@@ -54,7 +64,7 @@ fn decide_pair(a: &Op, b: &Op, cfg: &SchedConfig, cancel: Option<&CancelToken>) 
         if failpoints::fire("sched::pair") {
             return Verdict::conservative(Detector::ConservativeBudget);
         }
-        analyze_pair_deadline(a, b, cfg, &deadline)
+        analyze_pair_info(a, ia, b, ib, cfg, &deadline)
     };
     let verdict = if !cfg.catch_panics {
         run()
@@ -77,6 +87,37 @@ fn decide_pair(a: &Op, b: &Op, cfg: &SchedConfig, cancel: Option<&CancelToken>) 
         );
     }
     verdict
+}
+
+/// Debug-only oracle behind the pre-filter's `debug_assert!`: re-derives
+/// a skipped pair's verdict with the full detectors and returns true iff
+/// they agree the pair cannot conflict. Deliberately calls the
+/// *uninstrumented* `read_delete_conflict` / `read_insert_conflict`
+/// entry points — routing through the instrumented `read_update_conflict`
+/// wrapper here would inflate the `core.detect.linear` counters that
+/// `tests/obs_validation.rs` ties to the scheduler's route mix. For
+/// update–update pairs this mirrors `commutativity_deadline`'s cross
+/// checks: each update read back as a pattern under `Node` semantics
+/// against the other update; both silent ⇒ commute.
+fn prefilter_cross_check(a: &Op, b: &Op, sem: cxu_ops::Semantics) -> bool {
+    use cxu_core::detect::{read_delete_conflict, read_insert_conflict};
+    use cxu_ops::{Read, Semantics, Update};
+    fn silent(r: &Read, u: &Update, sem: Semantics) -> bool {
+        let fired = match u {
+            Update::Insert(i) => read_insert_conflict(r, i, sem),
+            Update::Delete(d) => read_delete_conflict(r, d, sem),
+        };
+        matches!(fired, Ok(false))
+    }
+    match (a, b) {
+        (Op::Read(_), Op::Read(_)) => true,
+        (Op::Read(r), Op::Update(u)) | (Op::Update(u), Op::Read(r)) => silent(r, u, sem),
+        (Op::Update(u1), Op::Update(u2)) => {
+            let r1 = Read::new(u1.pattern().clone());
+            let r2 = Read::new(u2.pattern().clone());
+            silent(&r1, u2, Semantics::Node) && silent(&r2, u1, Semantics::Node)
+        }
+    }
 }
 
 /// The result of analyzing one batch.
@@ -184,6 +225,7 @@ impl Scheduler {
                     ("pairs_total", stats.pairs_total.into()),
                     ("pairs_analyzed", stats.pairs_analyzed.into()),
                     ("cache_hits", stats.cache_hits.into()),
+                    ("prefilter_skips", stats.prefilter_skips.into()),
                     ("conflict_edges", stats.conflict_edges.into()),
                     ("degraded_budget", stats.degraded_budget.into()),
                     ("degraded_deadline", stats.degraded_deadline.into()),
@@ -236,6 +278,7 @@ impl Scheduler {
         let mut cached: Vec<(usize, usize, PairKey)> = Vec::new();
         let mut fresh: Vec<PairKey> = Vec::new();
         let mut fresh_seen: HashMap<PairKey, ()> = HashMap::new();
+        let mut prefiltered: Vec<(PairKey, Verdict)> = Vec::new();
         let mut pending: Vec<(usize, usize, PairKey)> = Vec::new();
         for a in 0..n {
             for b in a + 1..n {
@@ -258,8 +301,9 @@ impl Scheduler {
                 // Every non-trivial pair costs one memo lookup; it is a
                 // hit when served from memory (a previous batch, or an
                 // earlier occurrence in this one) and a miss only when
-                // it triggers a fresh analysis — so across any run,
-                // lookups = hits + misses and misses = pairs analyzed.
+                // it triggers a fresh analysis or a pre-filter skip — so
+                // across any run, lookups = hits + misses and misses =
+                // pairs analyzed + pairs prefiltered.
                 cxu_obs::counter!("sched.cache.lookups").inc();
                 if self.cache.contains_key(&pk) {
                     cxu_obs::counter!("sched.cache.hits").inc();
@@ -267,7 +311,30 @@ impl Scheduler {
                 } else {
                     if fresh_seen.insert(pk, ()).is_none() {
                         cxu_obs::counter!("sched.cache.misses").inc();
-                        fresh.push(pk);
+                        // Sound batch pre-filter: intern-time summaries
+                        // that provably preclude any embedding overlap
+                        // discharge the pair with no detector at all. The
+                        // decision still counts as one `sched.pair_ns`
+                        // sample: the histogram covers every distinct
+                        // pair decided this batch, filtered or analyzed.
+                        let t_pair = std::time::Instant::now();
+                        let (ia, ib) = (self.interner.info(ka), self.interner.info(kb));
+                        if prefilter_no_conflict(&ops[a], ia, &ops[b], ib, self.cfg.semantics) {
+                            let v = Verdict {
+                                conflict: false,
+                                detector: Detector::PrefilterNoConflict,
+                            };
+                            record_route(v);
+                            cxu_obs::histogram!("sched.pair_ns").record_since(t_pair);
+                            debug_assert!(
+                                prefilter_cross_check(&ops[a], &ops[b], self.cfg.semantics),
+                                "prefilter skipped a pair the full detector finds conflicting"
+                            );
+                            stats.prefilter_skips += 1;
+                            prefiltered.push((pk, v));
+                        } else {
+                            fresh.push(pk);
+                        }
                     } else {
                         cxu_obs::counter!("sched.cache.hits").inc();
                         stats.cache_hits += 1; // batch-local repeat
@@ -284,7 +351,14 @@ impl Scheduler {
         // degradations (expired deadline, cancellation, detector panic)
         // are *not* memoized — they reflect this batch's resource
         // envelope, not the pair itself, so a later batch retries them.
+        // Pre-filter verdicts ARE memoized: they are exact properties of
+        // the pair shape (under the current semantics, and a semantics
+        // change flushes the cache via `set_config`).
         let mut decided: HashMap<PairKey, Verdict> = HashMap::new();
+        for (pk, v) in prefiltered {
+            self.cache.insert(pk, v);
+            decided.insert(pk, v);
+        }
         for (pk, v) in self.analyze_fresh(&fresh, cancel) {
             if matches!(
                 v.detector,
@@ -328,6 +402,7 @@ impl Scheduler {
         for e in &edges {
             match e.verdict.detector {
                 Detector::Trivial => {}
+                Detector::PrefilterNoConflict => {}
                 Detector::PtimeLinearRead => stats.ptime_linear_read += 1,
                 Detector::PtimeLinearUpdates => stats.ptime_linear_updates += 1,
                 Detector::WitnessSearch => stats.witness_search += 1,
@@ -375,7 +450,14 @@ impl Scheduler {
         cancel: Option<&CancelToken>,
     ) -> Vec<(PairKey, Verdict)> {
         let jobs = self.cfg.jobs.max(1).min(fresh.len().max(1));
-        let work: Vec<(PairKey, &Op, &Op)> = fresh
+        type WorkItem<'s> = (
+            PairKey,
+            &'s Op,
+            Option<&'s OpInfo>,
+            &'s Op,
+            Option<&'s OpInfo>,
+        );
+        let work: Vec<WorkItem<'_>> = fresh
             .iter()
             .map(|&pk| {
                 let a = self
@@ -386,13 +468,19 @@ impl Scheduler {
                     .interner
                     .representative(pk.hi)
                     .expect("interned before analysis");
-                (pk, a, b)
+                (
+                    pk,
+                    a,
+                    self.interner.info(pk.lo),
+                    b,
+                    self.interner.info(pk.hi),
+                )
             })
             .collect();
         if jobs <= 1 || work.len() <= 1 {
             return work
                 .into_iter()
-                .map(|(pk, a, b)| (pk, decide_pair(a, b, &self.cfg, cancel)))
+                .map(|(pk, a, ia, b, ib)| (pk, decide_pair(a, ia, b, ib, &self.cfg, cancel)))
                 .collect();
         }
         let cursor = AtomicUsize::new(0);
@@ -407,10 +495,10 @@ impl Scheduler {
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(pk, a, b)) = work.get(i) else {
+                        let Some(&(pk, a, ia, b, ib)) = work.get(i) else {
                             break;
                         };
-                        local.push((pk, decide_pair(a, b, cfg, cancel)));
+                        local.push((pk, decide_pair(a, ia, b, ib, cfg, cancel)));
                     }
                     results
                         .lock()

@@ -96,6 +96,9 @@ impl ConflictGraph {
             // is assumed rather than proven.
             let (color, reason) = match e.verdict.detector {
                 Detector::Trivial => ("black", None),
+                // Unreachable here (prefilter verdicts are never
+                // conflicts), but kept total for exhaustiveness.
+                Detector::PrefilterNoConflict => ("black", None),
                 Detector::PtimeLinearRead => ("blue", None),
                 Detector::PtimeLinearUpdates => ("darkgreen", None),
                 Detector::WitnessSearch => ("red", None),

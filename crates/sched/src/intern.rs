@@ -11,9 +11,12 @@
 //! every repetition of the same shape pair.
 
 use crate::op::Op;
+use cxu_automata::compiled::{Chain, Summary};
+use cxu_core::matching;
 use cxu_ops::Update;
 use cxu_pattern::{Axis, PNodeId, Pattern};
 use cxu_tree::{NodeId, Tree};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Interned id of a pattern shape.
@@ -140,14 +143,41 @@ pub fn canonical_tree_key(t: &Tree) -> String {
     s
 }
 
+/// Per-key compiled form, built **once** at intern time and reused by
+/// every pair the key participates in:
+///
+/// * for a read, the compiled `ℛ(l)` chain of its (linear) pattern;
+/// * for an update, the compiled chain of its **spine** (the linear
+///   reduction of Lemmas 4 and 8), which for a linear update equals the
+///   pattern itself.
+///
+/// `summary` digests the chain for the batch pre-filter (depth interval,
+/// rigid prefix, required symbols).
+#[derive(Clone, Debug)]
+pub struct OpInfo {
+    /// Compiled chain (read pattern, or update spine).
+    pub chain: Chain,
+    /// Pre-filter digest of `chain`.
+    pub summary: Summary,
+    /// Is the *full* pattern linear? (For updates the spine is always
+    /// linear, but the PTIME update-update route additionally needs the
+    /// whole pattern linear.)
+    pub linear: bool,
+}
+
 /// Hash-consing interner for pattern and payload shapes. Also keeps one
 /// *representative* [`Op`] per key, so the analysis engine can run
-/// detectors on a concrete operation for any key it encounters.
+/// detectors on a concrete operation for any key it encounters, and the
+/// compiled-automaton cache ([`OpInfo`]): a pattern appearing in k pairs
+/// is compiled once, not k times.
 #[derive(Default)]
 pub struct Interner {
     patterns: HashMap<String, PatternId>,
     trees: HashMap<String, TreeId>,
     reps: HashMap<OpKey, Op>,
+    /// `None` = the op is a read with a branching pattern (uncompilable:
+    /// the PTIME machinery does not apply to it).
+    infos: HashMap<OpKey, Option<OpInfo>>,
 }
 
 impl Interner {
@@ -209,7 +239,43 @@ impl Interner {
             },
         };
         self.reps.entry(key).or_insert_with(|| op.clone());
+        if let Entry::Vacant(slot) = self.infos.entry(key) {
+            cxu_obs::counter!("automata.compile.miss").inc();
+            let info = match op {
+                // Reads compile only when linear — a branching read is
+                // outside the §4 fragment and routes to the NP search.
+                Op::Read(r) if r.pattern().is_linear() => {
+                    let chain = matching::compile(r.pattern());
+                    let summary = chain.summary();
+                    Some(OpInfo {
+                        chain,
+                        summary,
+                        linear: true,
+                    })
+                }
+                Op::Read(_) => None,
+                // Updates always compile their spine (Lemmas 4 and 8).
+                Op::Update(u) => {
+                    let chain = matching::compile_spine(u.pattern());
+                    let summary = chain.summary();
+                    Some(OpInfo {
+                        chain,
+                        summary,
+                        linear: u.pattern().is_linear(),
+                    })
+                }
+            };
+            slot.insert(info);
+        } else {
+            cxu_obs::counter!("automata.compile.hit").inc();
+        }
         key
+    }
+
+    /// The compiled form for a key interned earlier. Outer `None`: key
+    /// never interned. Inner `None`: branching read, uncompilable.
+    pub fn info(&self, key: OpKey) -> Option<&OpInfo> {
+        self.infos.get(&key).and_then(|i| i.as_ref())
     }
 
     /// The representative operation for a key interned earlier.

@@ -48,8 +48,12 @@ pub use cxu_runtime as runtime;
 pub use cxu_runtime::{CancelToken, Deadline};
 pub use engine::{BatchResult, Scheduler};
 pub use graph::{ConflictGraph, Edge};
+pub use intern::OpInfo;
 pub use op::{ops_of_program, Op};
-pub use pairwise::{analyze_pair, analyze_pair_deadline, Detector, Verdict};
+pub use pairwise::{
+    analyze_pair, analyze_pair_deadline, analyze_pair_info, prefilter_no_conflict, Detector,
+    Verdict,
+};
 pub use rounds::{schedule, Schedule};
 
 use cxu_ops::Semantics;
@@ -118,6 +122,9 @@ pub struct SchedStats {
     /// Pairs served from the memo cache (within-batch repeats and
     /// previous batches).
     pub cache_hits: usize,
+    /// Distinct pair keys discharged by the sound batch pre-filter
+    /// (proven non-conflicts that never entered a detector).
+    pub prefilter_skips: usize,
     /// Edges decided by the §4 PTIME read–update detector.
     pub ptime_linear_read: usize,
     /// Edges decided by the §6 linear update–update analysis.
@@ -152,6 +159,7 @@ impl std::fmt::Display for SchedStats {
         writeln!(f, "  trivial:            {}", self.trivial)?;
         writeln!(f, "  analyzed:           {}", self.pairs_analyzed)?;
         writeln!(f, "  cache hits:         {}", self.cache_hits)?;
+        writeln!(f, "  prefilter skips:    {}", self.prefilter_skips)?;
         writeln!(f, "detectors (by edge):")?;
         writeln!(f, "  ptime read-update:  {}", self.ptime_linear_read)?;
         writeln!(f, "  ptime update-update:{}", self.ptime_linear_updates)?;

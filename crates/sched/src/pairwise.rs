@@ -25,12 +25,16 @@
 //! proven non-conflict, so every conservative answer costs parallelism,
 //! never correctness.
 
+use crate::intern::OpInfo;
 use crate::op::Op;
 use crate::SchedConfig;
+use cxu_automata::compiled::rigid_clash;
 use cxu_core::update_update::{find_noncommuting_witness_deadline, Budget as UuBudget, Outcome};
-use cxu_core::update_update_linear::{commutativity_deadline, Commutativity};
+use cxu_core::update_update_linear::{
+    commutativity_deadline, commutativity_deadline_compiled, Commutativity,
+};
 use cxu_core::{brute, detect};
-use cxu_ops::{Read, Update};
+use cxu_ops::{Read, Semantics, Update};
 use cxu_runtime::Deadline;
 
 /// Which detector decided a pair (provenance, surfaced per edge).
@@ -38,6 +42,12 @@ use cxu_runtime::Deadline;
 pub enum Detector {
     /// Read–read, or identical operation keys: no analysis needed.
     Trivial,
+    /// Skipped by the sound batch pre-filter: the per-op summaries
+    /// (rigid prefixes / depth intervals, computed at intern time)
+    /// provably preclude any embedding overlap, so the pair is a
+    /// **proven** non-conflict — no detector ever ran. See
+    /// [`prefilter_no_conflict`].
+    PrefilterNoConflict,
     /// §4 PTIME read–update detector (Theorems 1–2), exact.
     PtimeLinearRead,
     /// §6 linear update–update commutativity analysis, exact when it
@@ -68,6 +78,7 @@ impl Detector {
     pub fn name(self) -> &'static str {
         match self {
             Detector::Trivial => "trivial",
+            Detector::PrefilterNoConflict => "prefilter-no-conflict",
             Detector::PtimeLinearRead => "ptime-linear-read",
             Detector::PtimeLinearUpdates => "ptime-linear-updates",
             Detector::WitnessSearch => "witness-search",
@@ -128,13 +139,143 @@ pub fn analyze_pair(a: &Op, b: &Op, cfg: &SchedConfig) -> Verdict {
 /// [`Detector::ConservativeDeadline`]. The PTIME routes never degrade —
 /// they finish long before any reasonable slice.
 pub fn analyze_pair_deadline(a: &Op, b: &Op, cfg: &SchedConfig, deadline: &Deadline) -> Verdict {
+    analyze_pair_info(a, None, b, None, cfg, deadline)
+}
+
+/// [`analyze_pair_deadline`] with the interner's cached compiled forms.
+/// When the relevant chains are available the PTIME routes run on the
+/// bitset product directly — no per-pair pattern lowering; with `None`
+/// infos the legacy per-call paths are used. Verdicts are identical
+/// either way (the compiled matcher is cross-validated against the NFA
+/// oracle in `core::matching` and `automata/tests/compiled.rs`).
+pub fn analyze_pair_info(
+    a: &Op,
+    ia: Option<&OpInfo>,
+    b: &Op,
+    ib: Option<&OpInfo>,
+    cfg: &SchedConfig,
+    deadline: &Deadline,
+) -> Verdict {
     match (a, b) {
         (Op::Read(_), Op::Read(_)) => Verdict::trivial(),
-        (Op::Read(r), Op::Update(u)) | (Op::Update(u), Op::Read(r)) => {
-            read_update(r, u, cfg, deadline)
-        }
-        (Op::Update(u1), Op::Update(u2)) => update_update(u1, u2, cfg, deadline),
+        (Op::Read(r), Op::Update(u)) => read_update_info(r, ia, u, ib, cfg, deadline),
+        (Op::Update(u), Op::Read(r)) => read_update_info(r, ib, u, ia, cfg, deadline),
+        (Op::Update(u1), Op::Update(u2)) => update_update_info(u1, ia, u2, ib, cfg, deadline),
     }
+}
+
+/// Can the pair be skipped without running **any** detector? Sound: a
+/// `true` answer proves non-conflict under `sem` on every tree.
+///
+/// Two rules, both factoring through the §4 reduction (conflicts require
+/// a prefix of the read chain and the update's spine chain to match
+/// strongly or weakly — see DESIGN.md § Performance for the full
+/// argument):
+///
+/// * **Rigid clash** — some position `t` lies before the first `(.)* `
+///   gap of *both* chains and carries two different concrete symbols.
+///   Every word of one language has symbol `x` at position `t`, every
+///   word of the other has `y ≠ x`, so all the prefix languages the
+///   detectors consult are disjoint. Applies to read–update with a
+///   linear read (the update may branch: Lemmas 4/8 reduce it to its
+///   spine) and to update–update with both patterns linear (the §6
+///   cross-checks are two Node-semantics read–update questions).
+/// * **Depth gap** (read–update, Node semantics only) — a gap-free read
+///   is shorter than the update spine's minimum depth: every strong
+///   prefix match is ruled out by length alone, and Node semantics
+///   consults weak matches only on descendant edges, of which a gap-free
+///   read has none.
+///
+/// `debug_assert` cross-checks in the engine plus the seeded
+/// `prefilter_validation` suite verify the predicate against the full
+/// detectors.
+pub fn prefilter_no_conflict(
+    a: &Op,
+    ia: Option<&OpInfo>,
+    b: &Op,
+    ib: Option<&OpInfo>,
+    sem: Semantics,
+) -> bool {
+    match (a, b) {
+        // Read–read pairs are trivially non-conflicting; the engine's
+        // trivial route owns them.
+        (Op::Read(_), Op::Read(_)) => false,
+        (Op::Read(_), Op::Update(_)) => read_update_prefilter(ia, ib, sem),
+        (Op::Update(_), Op::Read(_)) => read_update_prefilter(ib, ia, sem),
+        (Op::Update(_), Op::Update(_)) => match (ia, ib) {
+            // Both-linear only: the soundness argument runs through the
+            // §6 cross-checks, which exist only for linear patterns.
+            (Some(x), Some(y)) if x.linear && y.linear => rigid_clash(&x.summary, &y.summary),
+            _ => false,
+        },
+    }
+}
+
+fn read_update_prefilter(read: Option<&OpInfo>, upd: Option<&OpInfo>, sem: Semantics) -> bool {
+    // A read's info exists iff its pattern is linear; branching reads
+    // route to the NP search, where the prefilter does not apply.
+    let (Some(r), Some(u)) = (read, upd) else {
+        return false;
+    };
+    if rigid_clash(&r.summary, &u.summary) {
+        return true;
+    }
+    sem == Semantics::Node && r.summary.is_rigid() && r.summary.min_depth < u.summary.min_depth
+}
+
+fn read_update_info(
+    r: &Read,
+    ri: Option<&OpInfo>,
+    u: &Update,
+    ui: Option<&OpInfo>,
+    cfg: &SchedConfig,
+    deadline: &Deadline,
+) -> Verdict {
+    if let (Some(ri), Some(ui)) = (ri, ui) {
+        let conflict =
+            detect::read_update_conflict_compiled(r, &ri.chain, u, &ui.chain, cfg.semantics)
+                .expect("a read's compiled info implies a linear read");
+        return Verdict {
+            conflict,
+            detector: Detector::PtimeLinearRead,
+        };
+    }
+    read_update(r, u, cfg, deadline)
+}
+
+fn update_update_info(
+    u1: &Update,
+    i1: Option<&OpInfo>,
+    u2: &Update,
+    i2: Option<&OpInfo>,
+    cfg: &SchedConfig,
+    deadline: &Deadline,
+) -> Verdict {
+    if let (Some(i1), Some(i2)) = (i1, i2) {
+        if i1.linear && i2.linear {
+            let budget = UuBudget {
+                max_nodes: cfg.np_max_nodes,
+                max_trees: cfg.np_max_trees,
+            };
+            let c = commutativity_deadline_compiled(u1, u2, &i1.chain, &i2.chain, budget, deadline)
+                .expect("linearity checked via OpInfo");
+            return match c {
+                Commutativity::Commute => Verdict {
+                    conflict: false,
+                    detector: Detector::PtimeLinearUpdates,
+                },
+                Commutativity::Conflict(_) => Verdict {
+                    conflict: true,
+                    detector: Detector::PtimeLinearUpdates,
+                },
+                Commutativity::Unknown => Verdict::conservative(Detector::ConservativeUndecided),
+                Commutativity::DeadlineExceeded => {
+                    Verdict::conservative(Detector::ConservativeDeadline)
+                }
+            };
+        }
+    }
+    update_update(u1, u2, cfg, deadline)
 }
 
 fn read_update(r: &Read, u: &Update, cfg: &SchedConfig, deadline: &Deadline) -> Verdict {

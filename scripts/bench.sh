@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates the committed bench artifacts on fixed seeds. Offline,
+# deterministic workloads (only the timings vary run to run); CI's
+# bench-artifacts job runs this same script and uploads the output.
+#
+#   BENCH_AUTOMATA.json  intersection-emptiness microbench: legacy Nfa
+#                        product vs the compiled bitset product.
+#   BENCH_SCHED.json     end-to-end scheduler batches, two profiles
+#                        (mixed / linear) at sizes 50..400, with the
+#                        route mix and pair-latency columns.
+#
+# See EXPERIMENTS.md, "Compiled automata and the batch pre-filter",
+# for how to read the numbers (and which are NP-search-noise-prone).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p cxu-cli" >&2
+cargo build --release -p cxu-cli
+
+echo "==> cxu-bench automata > BENCH_AUTOMATA.json" >&2
+./target/release/cxu-bench automata > BENCH_AUTOMATA.json
+
+echo "==> cxu-bench sched > BENCH_SCHED.json" >&2
+./target/release/cxu-bench sched > BENCH_SCHED.json
+
+echo "done: BENCH_AUTOMATA.json BENCH_SCHED.json" >&2

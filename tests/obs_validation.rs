@@ -69,6 +69,7 @@ fn route_counters_sum_to_pairs_analyzed() {
         let out = Scheduler::new(test_config()).run(&ops);
         total.pairs_analyzed += out.stats.pairs_analyzed;
         total.cache_hits += out.stats.cache_hits;
+        total.prefilter_skips += out.stats.prefilter_skips;
         total.witness_search += out.stats.witness_search;
         total.ptime_linear_read += out.stats.ptime_linear_read;
         total.ptime_linear_updates += out.stats.ptime_linear_updates;
@@ -77,7 +78,16 @@ fn route_counters_sum_to_pairs_analyzed() {
     let d = obs::registry().snapshot().delta(&before);
 
     assert!(total.pairs_analyzed > 0, "batches exercised the analyzer");
-    assert_eq!(route_sum(&d), total.pairs_analyzed as u64);
+    // Pre-filter skips are decided (and routed) without a detector, so
+    // the route counters cover analyzed + prefiltered pairs.
+    assert_eq!(
+        route_sum(&d),
+        (total.pairs_analyzed + total.prefilter_skips) as u64
+    );
+    assert_eq!(
+        d.counter("sched.route.prefilter_no_conflict"),
+        total.prefilter_skips as u64
+    );
     assert_eq!(
         d.counter("sched.route.ptime_linear_read"),
         total.ptime_linear_read as u64
@@ -105,6 +115,7 @@ fn cache_lookups_partition_into_hits_and_misses() {
     let before = obs::registry().snapshot();
     let mut analyzed = 0u64;
     let mut hits = 0u64;
+    let mut prefiltered = 0u64;
     for seed in 10..=14u64 {
         let ops = ops_of_program(&batch(seed, 14, 0.2));
         // One scheduler, same batch twice: the second pass must be pure
@@ -118,6 +129,10 @@ fn cache_lookups_partition_into_hits_and_misses() {
             second.stats.pairs_analyzed, 0,
             "seed {seed}: repeat batch is fully memoized"
         );
+        assert_eq!(
+            second.stats.prefilter_skips, 0,
+            "seed {seed}: prefilter verdicts are memoized, repeats are cache hits"
+        );
         assert_eq!(route_sum(&d2), 0, "seed {seed}: no new analyses");
         assert_eq!(d2.counter("sched.cache.misses"), 0, "seed {seed}");
         assert_eq!(
@@ -127,6 +142,7 @@ fn cache_lookups_partition_into_hits_and_misses() {
         );
         analyzed += (first.stats.pairs_analyzed + second.stats.pairs_analyzed) as u64;
         hits += (first.stats.cache_hits + second.stats.cache_hits) as u64;
+        prefiltered += (first.stats.prefilter_skips + second.stats.prefilter_skips) as u64;
     }
     let d = obs::registry().snapshot().delta(&before);
     assert_eq!(
@@ -136,8 +152,8 @@ fn cache_lookups_partition_into_hits_and_misses() {
     );
     assert_eq!(
         d.counter("sched.cache.misses"),
-        analyzed,
-        "miss == fresh analysis"
+        analyzed + prefiltered,
+        "miss == fresh analysis or prefilter skip"
     );
     assert_eq!(d.counter("sched.cache.hits"), hits);
 }
@@ -147,10 +163,12 @@ fn routes_are_backed_by_detector_invocations() {
     let _guard = lock();
     let before = obs::registry().snapshot();
     let mut analyzed = 0u64;
+    let mut prefiltered = 0u64;
     for seed in 20..=25u64 {
         let ops = ops_of_program(&batch(seed, 12, 0.4));
         let out = Scheduler::new(test_config()).run(&ops);
         analyzed += out.stats.pairs_analyzed as u64;
+        prefiltered += out.stats.prefilter_skips as u64;
     }
     let d = obs::registry().snapshot().delta(&before);
 
@@ -200,11 +218,12 @@ fn routes_are_backed_by_detector_invocations() {
     assert_eq!(d.counter("sched.route.conservative_deadline"), 0);
     assert_eq!(d.counter("sched.route.conservative_panic"), 0);
 
-    // Latency histograms move with their counters.
+    // Latency histograms move with their counters: every distinct pair
+    // decision — analyzed or prefilter-skipped — is one sample.
     let h = d
         .histogram("sched.pair_ns")
         .expect("pair histogram recorded");
-    assert_eq!(h.count, analyzed);
+    assert_eq!(h.count, analyzed + prefiltered);
 }
 
 #[test]
@@ -218,7 +237,10 @@ fn histograms_and_stats_agree_on_batch_structure() {
     assert_eq!(d.counter("sched.batches"), 1);
     assert_eq!(
         out.stats.pairs_total,
-        out.stats.trivial + out.stats.pairs_analyzed + out.stats.cache_hits,
+        out.stats.trivial
+            + out.stats.pairs_analyzed
+            + out.stats.cache_hits
+            + out.stats.prefilter_skips,
         "stats partition the pair universe"
     );
     assert_eq!(
@@ -233,4 +255,30 @@ fn histograms_and_stats_agree_on_batch_structure() {
     assert_eq!(analyze.count, 1);
     let rounds = d.histogram("sched.rounds_ns").expect("rounds histogram");
     assert_eq!(rounds.count, 1);
+}
+
+#[test]
+fn compile_cache_hits_and_misses_partition_interns() {
+    let _guard = lock();
+    let before = obs::registry().snapshot();
+    let ops = ops_of_program(&batch(7, 18, 0.2));
+    let mut sched = Scheduler::new(test_config());
+    sched.run(&ops);
+    let mid = obs::registry().snapshot();
+    let d1 = mid.delta(&before);
+
+    // Every interned op is exactly one compile-cache probe: a miss the
+    // first time its shape is seen, a hit on every repeat.
+    assert_eq!(
+        d1.counter("automata.compile.miss") + d1.counter("automata.compile.hit"),
+        ops.len() as u64,
+        "one probe per op"
+    );
+    assert!(d1.counter("automata.compile.miss") > 0);
+
+    // Re-running the identical batch interns the same shapes: pure hits.
+    sched.run(&ops);
+    let d2 = obs::registry().snapshot().delta(&mid);
+    assert_eq!(d2.counter("automata.compile.miss"), 0, "no new shapes");
+    assert_eq!(d2.counter("automata.compile.hit"), ops.len() as u64);
 }

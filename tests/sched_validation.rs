@@ -178,6 +178,21 @@ fn graph_agrees_with_direct_detectors() {
             assert!(!edge.verdict.conflict);
             continue;
         }
+        if edge.verdict.detector == Detector::PrefilterNoConflict {
+            // The direct routing layer never takes the engine's batch
+            // pre-filter route, so detectors differ by construction —
+            // but the answers must agree: prefiltered means provably
+            // conflict-free.
+            assert!(!edge.verdict.conflict);
+            assert!(
+                !analyze_pair(&ops[0], &ops[1], &cfg).conflict,
+                "prefilter disagrees with direct routing on {:?} / {:?}",
+                ops[0],
+                ops[1]
+            );
+            compared += 1;
+            continue;
+        }
         assert_eq!(
             edge.verdict,
             analyze_pair(&ops[0], &ops[1], &cfg),
@@ -258,7 +273,10 @@ fn repeated_shapes_hit_the_cache() {
     );
     assert!(out.stats.pairs_analyzed <= pool.len() * (pool.len() - 1) / 2);
     assert_eq!(
-        out.stats.trivial + out.stats.cache_hits + out.stats.pairs_analyzed,
+        out.stats.trivial
+            + out.stats.cache_hits
+            + out.stats.pairs_analyzed
+            + out.stats.prefilter_skips,
         out.stats.pairs_total
     );
 }
