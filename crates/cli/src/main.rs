@@ -35,9 +35,14 @@ USAGE:
                [--jobs N] [--semantics S] [--deadline-ms MS]
                [--format text|json|dot] [--metrics text|json]
   cxu dot     (--pattern <xpath> | --doc <D>)
+  cxu serve   [--addr A] [--workers N] [--queue-depth N] [--deadline-ms MS]
+  cxu loadgen --addr A [--connections N] [--duration-ms MS] [--requests N]
+              [--seed N] [--profile linear|mixed] [--semantics S]
+              [--deadline-ms MS] [--delay-ms MS] [--validate] [--out FILE]
 
-  S = node | tree | value        (default: node; schedule defaults to value)
+  S = node | tree | value        (default: node; schedule/serve default to value)
   D = inline term like 'a(b c)', or a path to a .xml / .tree file
+  --program -  reads the program from stdin (also works for --doc)
   --deadline-ms MS  per-pair time slice (must be > 0): NP-side analyses
                     that outlive it degrade to conservative conflicts
                     (shown as \"conservative-deadline\" edges)
@@ -57,12 +62,16 @@ EXAMPLES:
   cxu schedule --program 'y = read $x//A; insert $x/B, C; z = read $x//C'
   cxu schedule --program batch.cxu --deadline-ms 50 --format json
   cxu schedule --gen-seed 42 --gen-len 60 --metrics json
+  echo 'y = read $x//A; insert $x/B, C' | cxu schedule --program -
+  cxu serve --addr 127.0.0.1:7878 --workers 4 --queue-depth 64 --deadline-ms 100
+  cxu loadgen --addr 127.0.0.1:7878 --connections 8 --duration-ms 1500 \\
+              --validate --out BENCH_SERVE.json
 ";
 
 /// Flags that never take a value. Every other flag consumes the next
 /// argument verbatim — even one starting with `--`, so values like a
 /// label literally named `--x` parse correctly.
-const BOOL_FLAGS: &[&str] = &["minimize"];
+const BOOL_FLAGS: &[&str] = &["minimize", "validate"];
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -115,7 +124,25 @@ fn parse_pattern(src: &str) -> Result<Pattern, String> {
     xpath::parse(src).map_err(|e| format!("bad pattern '{src}': {e}"))
 }
 
+/// Reads all of stdin; `-` in a file-accepting position means "here".
+fn read_stdin() -> Result<String, String> {
+    use std::io::Read as _;
+    let mut s = String::new();
+    std::io::stdin()
+        .read_to_string(&mut s)
+        .map_err(|e| format!("cannot read stdin: {e}"))?;
+    Ok(s)
+}
+
 fn parse_doc(src: &str) -> Result<Tree, String> {
+    if src == "-" {
+        let content = read_stdin()?;
+        return if content.trim_start().starts_with('<') {
+            xml::parse(&content).map_err(|e| format!("bad XML on stdin: {e}"))
+        } else {
+            text::parse(content.trim()).map_err(|e| format!("bad tree on stdin: {e}"))
+        };
+    }
     if std::path::Path::new(src).exists() {
         let content =
             std::fs::read_to_string(src).map_err(|e| format!("cannot read {src}: {e}"))?;
@@ -310,7 +337,9 @@ fn load_program(args: &Args) -> Result<cxu::gen::program::Program, String> {
         return Ok(cxu::gen::program::random_program(&mut rng, &params));
     }
     let spec = args.require("program")?;
-    let src = if std::path::Path::new(spec).exists() {
+    let src = if spec == "-" {
+        read_stdin()?
+    } else if std::path::Path::new(spec).exists() {
         std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?
     } else {
         spec.to_owned()
@@ -517,6 +546,213 @@ fn cmd_schedule(args: &Args) -> Result<String, String> {
     Ok(result)
 }
 
+/// Set by the C signal handler; polled by the watcher thread. A handler
+/// may only do async-signal-safe work, and a relaxed store is exactly
+/// that.
+static SIGNAL_SEEN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn note_signal(_signum: i32) {
+    SIGNAL_SEEN.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Routes SIGINT (2) and SIGTERM (15) into [`SIGNAL_SEEN`] via libc's
+/// `signal`, declared directly so the binary stays dependency-free.
+fn install_signal_hooks() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(2, note_signal);
+        signal(15, note_signal);
+    }
+}
+
+/// A thread that turns the first SIGINT/SIGTERM into a graceful
+/// [`cxu::serve::ServerHandle::shutdown`]. `finish` reaps it once the
+/// server has drained on its own (e.g. via the `shutdown` route).
+struct SignalWatcher {
+    done: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl SignalWatcher {
+    fn spawn(server: cxu::serve::ServerHandle) -> SignalWatcher {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        install_signal_hooks();
+        let done = std::sync::Arc::new(AtomicBool::new(false));
+        let done_flag = std::sync::Arc::clone(&done);
+        let thread = std::thread::spawn(move || loop {
+            if SIGNAL_SEEN.load(Ordering::Relaxed) {
+                server.shutdown();
+                return;
+            }
+            if done_flag.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+        SignalWatcher { done, thread }
+    }
+
+    fn finish(self) {
+        self.done.store(true, std::sync::atomic::Ordering::Release);
+        let _ = self.thread.join();
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<String, String> {
+    use cxu::serve::{ServeConfig, Server};
+
+    let mut cfg = ServeConfig::default();
+    if let Some(w) = args.get("workers") {
+        cfg.workers = w
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or_else(|| format!("bad --workers '{w}' (want a positive integer)"))?;
+    }
+    if let Some(q) = args.get("queue-depth") {
+        cfg.queue_depth = q
+            .parse::<usize>()
+            .ok()
+            .filter(|&q| q >= 1)
+            .ok_or_else(|| format!("bad --queue-depth '{q}' (want a positive integer)"))?;
+    }
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms = ms
+            .parse::<u64>()
+            .ok()
+            .filter(|&ms| ms >= 1)
+            .ok_or_else(|| {
+                format!("bad --deadline-ms '{ms}' (want a positive number of milliseconds)")
+            })?;
+        cfg.default_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let server = Server::bind(cfg, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+
+    // Announce readiness before blocking in the accept loop, so scripts
+    // can `grep` the line (it carries the resolved port for `:0`).
+    println!("cxu-serve listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let watcher = SignalWatcher::spawn(server.handle());
+    let summary = server.run().map_err(|e| format!("server error: {e}"))?;
+    watcher.finish();
+    Ok(format!(
+        "drained after {} connection(s): accepted {} = completed {} \
+         + rejected_overload {} + failed {}",
+        summary.connections,
+        summary.accepted,
+        summary.completed,
+        summary.rejected_overload,
+        summary.failed
+    ))
+}
+
+fn cmd_loadgen(args: &Args) -> Result<String, String> {
+    use cxu::serve::{loadgen, LoadConfig, LoadProfile};
+
+    let mut cfg = LoadConfig {
+        addr: args.require("addr")?.to_owned(),
+        validate: args.has("validate"),
+        ..LoadConfig::default()
+    };
+    if args.get("semantics").is_some() {
+        cfg.semantics = parse_semantics(args)?;
+    } else {
+        cfg.semantics = Semantics::Value;
+    }
+    if let Some(c) = args.get("connections") {
+        cfg.connections = c
+            .parse::<usize>()
+            .ok()
+            .filter(|&c| c >= 1)
+            .ok_or_else(|| format!("bad --connections '{c}' (want a positive integer)"))?;
+    }
+    if let Some(ms) = args.get("duration-ms") {
+        let ms = ms
+            .parse::<u64>()
+            .ok()
+            .filter(|&ms| ms >= 1)
+            .ok_or_else(|| {
+                format!("bad --duration-ms '{ms}' (want a positive number of milliseconds)")
+            })?;
+        cfg.duration = std::time::Duration::from_millis(ms);
+    }
+    if let Some(r) = args.get("requests") {
+        cfg.requests_per_conn = Some(
+            r.parse::<u64>()
+                .ok()
+                .filter(|&r| r >= 1)
+                .ok_or_else(|| format!("bad --requests '{r}' (want a positive integer)"))?,
+        );
+    }
+    if let Some(s) = args.get("seed") {
+        cfg.seed = s
+            .parse::<u64>()
+            .map_err(|_| format!("bad --seed '{s}' (want a u64)"))?;
+    }
+    if let Some(p) = args.get("profile") {
+        cfg.profile = LoadProfile::from_name(p)?;
+    }
+    if let Some(ms) = args.get("deadline-ms") {
+        cfg.deadline_ms = Some(
+            ms.parse::<u64>()
+                .ok()
+                .filter(|&ms| ms >= 1)
+                .ok_or_else(|| {
+                    format!("bad --deadline-ms '{ms}' (want a positive number of milliseconds)")
+                })?,
+        );
+    }
+    if let Some(ms) = args.get("delay-ms") {
+        cfg.delay_ms = ms
+            .parse::<u64>()
+            .map_err(|_| format!("bad --delay-ms '{ms}' (want milliseconds)"))?;
+    }
+    if let Some(n) = args.get("pool-len") {
+        cfg.pool_len = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 2)
+            .ok_or_else(|| format!("bad --pool-len '{n}' (want an integer >= 2)"))?;
+    }
+
+    let report = loadgen::run(&cfg)?;
+    let json = report.to_json();
+    let out = if let Some(path) = args.get("out") {
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        format!(
+            "wrote {path}\nsent {} | completed {} ({:.0} req/s) | overloaded {} ({:.1}%) \
+             | failed {}\nlatency p50 {} us, p99 {} us, max {} us\
+             \nvalidated {} distinct pair(s)",
+            report.sent,
+            report.completed,
+            report.throughput_rps(),
+            report.overloaded,
+            100.0 * report.rejection_rate(),
+            report.failed,
+            report.p50_us,
+            report.p99_us,
+            report.max_us,
+            report.checked_pairs,
+        )
+    } else {
+        json
+    };
+    if cfg.validate && report.disagreements > 0 {
+        return Err(format!(
+            "{out}\nverdict disagreements: {} (server vs in-process oracle)",
+            report.disagreements
+        ));
+    }
+    Ok(out)
+}
+
 fn run() -> Result<String, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -534,6 +770,8 @@ fn run() -> Result<String, String> {
         "contain" => cmd_contain(&args),
         "analyze" => cmd_analyze(&args),
         "schedule" => cmd_schedule(&args),
+        "serve" => cmd_serve(&args),
+        "loadgen" => cmd_loadgen(&args),
         "dot" => cmd_dot(&args),
         "help" | "--help" | "-h" => Ok(USAGE.into()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),

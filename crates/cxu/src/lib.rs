@@ -66,6 +66,10 @@ pub use cxu_schema as schema;
 /// parallel analysis, conflict-free rounds.
 pub use cxu_sched as sched;
 
+/// The serving layer: NDJSON-over-TCP conflict-detection daemon with
+/// bounded-queue admission control, plus the seeded load generator.
+pub use cxu_serve as serve;
+
 /// The PTIME detectors (re-exported from [`core`]).
 pub use cxu_core::detect;
 

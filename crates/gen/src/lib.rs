@@ -16,15 +16,20 @@
 //!   reads, and conflict-checked common subexpression elimination;
 //! * [`rng`] — the in-tree [`rng::SplitMix64`] PRNG every generator is
 //!   driven by (no external `rand` dependency, so the workspace builds
-//!   hermetically).
+//!   hermetically);
+//! * [`json`] / [`wire`] — a dependency-free JSON value type and the
+//!   round-trippable op/program wire schema shared by `cxu serve` and
+//!   `cxu loadgen`.
 //!
 //! Everything takes an explicit [`rng::Rng`] so benchmark runs are
 //! reproducible from a seed.
 
 pub mod analysis;
 pub mod docs;
+pub mod json;
 pub mod parse;
 pub mod patterns;
 pub mod program;
 pub mod rng;
 pub mod trees;
+pub mod wire;

@@ -1,0 +1,207 @@
+//! Round-trippable JSON wire schema for ops and programs.
+//!
+//! Until now the repo's JSON was emit-only (CLI reports, bench files).
+//! The serving layer needs the opposite direction too: `cxu serve`
+//! receives operations *as* JSON and `cxu loadgen` renders generated
+//! programs *to* JSON, and the two must agree exactly. This module
+//! defines that schema on top of [`crate::json`]:
+//!
+//! ```json
+//! {"kind": "read",   "pattern": "*//A"}
+//! {"kind": "insert", "pattern": "*/B[C]", "subtree": "C(D,E)"}
+//! {"kind": "delete", "pattern": "a/b"}
+//! ```
+//!
+//! Patterns travel in the paper fragment's surface syntax
+//! ([`cxu_pattern::xpath`]), inserted payloads in the compact tree text
+//! form ([`cxu_tree::text`]). Both renderers are documented to re-parse
+//! to structurally-equal values, which gives the schema its round-trip
+//! property: `stmt_from_json(stmt_to_json(s))` is equivalent to `s`
+//! (checked by the seeded property test below and exposed to callers as
+//! [`program_eq`]). Equivalence is structural — pattern node identity
+//! and predicate-chain spelling may normalize — which is exactly the
+//! granularity at which every detector in the stack operates.
+
+use crate::json::Json;
+use crate::program::{Program, Stmt};
+use cxu_ops::{Delete, Insert, Read, Update};
+use cxu_pattern::xpath;
+use cxu_tree::{iso, text};
+use std::fmt;
+
+/// Error decoding a wire-schema value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn werr(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+/// Encodes one statement as a wire-schema object.
+pub fn stmt_to_json(s: &Stmt) -> Json {
+    match s {
+        Stmt::Read(r) => Json::obj(vec![
+            ("kind", Json::str("read")),
+            ("pattern", Json::str(xpath::to_xpath(r.pattern()))),
+        ]),
+        Stmt::Update(Update::Insert(i)) => Json::obj(vec![
+            ("kind", Json::str("insert")),
+            ("pattern", Json::str(xpath::to_xpath(i.pattern()))),
+            ("subtree", Json::str(text::to_text(i.subtree()))),
+        ]),
+        Stmt::Update(Update::Delete(d)) => Json::obj(vec![
+            ("kind", Json::str("delete")),
+            ("pattern", Json::str(xpath::to_xpath(d.pattern()))),
+        ]),
+    }
+}
+
+/// Decodes one wire-schema object back into a statement.
+pub fn stmt_from_json(v: &Json) -> Result<Stmt, WireError> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| werr("op is missing string field 'kind'"))?;
+    let pattern_src = v
+        .get("pattern")
+        .and_then(Json::as_str)
+        .ok_or_else(|| werr("op is missing string field 'pattern'"))?;
+    let pattern =
+        xpath::parse(pattern_src).map_err(|e| werr(format!("bad pattern {pattern_src:?}: {e}")))?;
+    match kind {
+        "read" => Ok(Stmt::Read(Read::new(pattern))),
+        "insert" => {
+            let subtree_src = v
+                .get("subtree")
+                .and_then(Json::as_str)
+                .ok_or_else(|| werr("insert op is missing string field 'subtree'"))?;
+            let subtree = text::parse(subtree_src)
+                .map_err(|e| werr(format!("bad subtree {subtree_src:?}: {e}")))?;
+            Ok(Stmt::Update(Update::Insert(Insert::new(pattern, subtree))))
+        }
+        "delete" => {
+            let d = Delete::new(pattern)
+                .map_err(|e| werr(format!("bad delete pattern {pattern_src:?}: {e}")))?;
+            Ok(Stmt::Update(Update::Delete(d)))
+        }
+        other => Err(werr(format!(
+            "unknown op kind {other:?} (expected read | insert | delete)"
+        ))),
+    }
+}
+
+/// Encodes a program as a wire-schema array of op objects.
+pub fn program_to_json(p: &Program) -> Json {
+    Json::Arr(p.stmts.iter().map(stmt_to_json).collect())
+}
+
+/// Decodes a wire-schema array back into a program.
+pub fn program_from_json(v: &Json) -> Result<Program, WireError> {
+    let items = v
+        .as_arr()
+        .ok_or_else(|| werr("program must be a JSON array of ops"))?;
+    let mut stmts = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        stmts.push(stmt_from_json(item).map_err(|e| werr(format!("op {i}: {}", e.0)))?);
+    }
+    Ok(Program { stmts })
+}
+
+/// Structural equivalence of statements at wire granularity: same kind,
+/// structurally equal patterns, isomorphic inserted subtrees.
+pub fn stmt_eq(a: &Stmt, b: &Stmt) -> bool {
+    match (a, b) {
+        (Stmt::Read(x), Stmt::Read(y)) => x.pattern().structurally_eq(y.pattern()),
+        (Stmt::Update(Update::Insert(x)), Stmt::Update(Update::Insert(y))) => {
+            x.pattern().structurally_eq(y.pattern()) && iso::isomorphic(x.subtree(), y.subtree())
+        }
+        (Stmt::Update(Update::Delete(x)), Stmt::Update(Update::Delete(y))) => {
+            x.pattern().structurally_eq(y.pattern())
+        }
+        _ => false,
+    }
+}
+
+/// Structural equivalence of programs (pointwise [`stmt_eq`]).
+pub fn program_eq(a: &Program, b: &Program) -> bool {
+    a.stmts.len() == b.stmts.len()
+        && a.stmts
+            .iter()
+            .zip(b.stmts.iter())
+            .all(|(x, y)| stmt_eq(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::PatternParams;
+    use crate::program::{random_program, ProgramParams};
+    use crate::rng::SplitMix64;
+
+    fn roundtrip(p: &Program) {
+        let encoded = program_to_json(p).to_string();
+        let decoded =
+            program_from_json(&Json::parse(&encoded).expect("writer output parses")).unwrap();
+        assert!(
+            program_eq(p, &decoded),
+            "wire roundtrip changed the program: {encoded}"
+        );
+    }
+
+    /// Property: `from_json(to_json(p)) == p` on seeded random programs,
+    /// across linear and branching pattern shapes.
+    #[test]
+    fn seeded_programs_roundtrip() {
+        for seed in [1u64, 7, 42, 1234, 0xC0FFEE, 20260806] {
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            for branch_rate in [0.0, 0.35] {
+                let mut pattern = PatternParams::linear(5);
+                pattern.branch_rate = branch_rate;
+                pattern.alphabet = 6;
+                let params = ProgramParams {
+                    len: 24,
+                    update_rate: 0.5,
+                    delete_rate: 0.4,
+                    pattern,
+                };
+                roundtrip(&random_program(&mut rng, &params));
+            }
+        }
+    }
+
+    #[test]
+    fn known_shapes_roundtrip() {
+        let src = "y = read $x//A; insert $x/B, C; z = read $x//C; delete $x/B/C";
+        let p = crate::parse::parse_program(src).unwrap();
+        roundtrip(&p);
+        // Spot-check the encoded form is the documented schema.
+        let enc = program_to_json(&p);
+        let first = &enc.as_arr().unwrap()[0];
+        assert_eq!(first.get("kind").and_then(Json::as_str), Some("read"));
+        assert!(first.get("pattern").is_some());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_ops() {
+        for bad in [
+            r#"{"pattern": "a/b"}"#,                     // missing kind
+            r#"{"kind": "read"}"#,                       // missing pattern
+            r#"{"kind": "insert", "pattern": "a/b"}"#,   // missing subtree
+            r#"{"kind": "delete", "pattern": "a"}"#,     // delete of the root
+            r#"{"kind": "frobnicate", "pattern": "a"}"#, // unknown kind
+            r#"{"kind": "read", "pattern": "a//"}"#,     // unparsable pattern
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(stmt_from_json(&v).is_err(), "{bad} should be rejected");
+        }
+        assert!(program_from_json(&Json::parse("{}").unwrap()).is_err());
+    }
+}

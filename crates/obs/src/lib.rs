@@ -8,13 +8,14 @@
 //! workspace crate reports into:
 //!
 //! * [`metrics`] — a global registry of named [`metrics::Counter`]s
-//!   (relaxed atomic u64) and [`metrics::Histogram`]s (fixed log₂
-//!   buckets over u64 samples, typically nanoseconds). Counters are
-//!   always on: an increment is one relaxed atomic add, far below the
-//!   cost of any detector invocation it annotates. Registration is
-//!   lazy and call sites cache their handle through the [`counter!`] /
-//!   [`histogram!`] macros, so the registry lock is touched once per
-//!   site per process.
+//!   (relaxed atomic u64), [`metrics::Gauge`]s (two-way atomic i64
+//!   levels, e.g. in-flight requests), and [`metrics::Histogram`]s
+//!   (fixed log₂ buckets over u64 samples, typically nanoseconds).
+//!   Counters are always on: an increment is one relaxed atomic add,
+//!   far below the cost of any detector invocation it annotates.
+//!   Registration is lazy and call sites cache their handle through
+//!   the [`counter!`] / [`gauge!`] / [`histogram!`] macros, so the
+//!   registry lock is touched once per site per process.
 //! * [`trace`] — a span/event layer that emits JSONL to a sink when
 //!   enabled. When disabled (the default) every call collapses to a
 //!   single relaxed atomic load; no formatting, no locking, no
@@ -43,5 +44,5 @@
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{registry, Counter, Histogram, Snapshot};
+pub use metrics::{registry, Counter, Gauge, Histogram, Snapshot};
 pub use trace::{span, Span};

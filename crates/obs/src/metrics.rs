@@ -7,7 +7,7 @@
 //! registry itself is only locked at registration and snapshot time.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// A monotonically increasing event counter.
@@ -40,6 +40,53 @@ impl Counter {
     /// The current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A level that moves both ways (in-flight requests, queue depth).
+/// Unlike a [`Counter`], a gauge reports a *state*, not a rate: snapshot
+/// deltas keep the later level instead of subtracting.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh zeroed gauge (normally obtained via [`Registry::gauge`]).
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the level outright.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -146,6 +193,7 @@ impl HistogramSnapshot {
 #[derive(Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
 }
 
@@ -157,6 +205,13 @@ impl Registry {
         let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
         map.entry(name)
             .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Gauge::new())))
     }
 
     /// The histogram named `name`, registering it on first use.
@@ -175,6 +230,13 @@ impl Registry {
             .iter()
             .map(|(&n, c)| (n, c.get()))
             .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(&n, g)| (n, g.get()))
+            .collect();
         let histograms = self
             .histograms
             .lock()
@@ -184,6 +246,7 @@ impl Registry {
             .collect();
         Snapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -195,6 +258,8 @@ impl Registry {
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<&'static str, i64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
 }
@@ -203,6 +268,11 @@ impl Snapshot {
     /// The counter's value, 0 when absent.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge's level, 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// The histogram's state, `None` when absent.
@@ -221,7 +291,8 @@ impl Snapshot {
 
     /// Metric-wise `self − earlier` (names only in `earlier` drop out:
     /// a metric that existed before the region and never moved inside
-    /// it still appears, with value 0).
+    /// it still appears, with value 0). Gauges are *levels*, not rates,
+    /// so the delta keeps the later snapshot's level unchanged.
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         let counters = self
             .counters
@@ -238,17 +309,25 @@ impl Snapshot {
             .collect();
         Snapshot {
             counters,
+            gauges: self.gauges.clone(),
             histograms,
         }
     }
 
     /// Renders as a JSON object:
-    /// `{"counters": {...}, "histograms": {name: {"count", "sum", "mean", "buckets": [[lo, n], ...]}}}`.
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name: {"count", "sum", "mean", "buckets": [[lo, n], ...]}}}`.
     /// Bucket entries list only non-empty buckets as
     /// `[lower_bound, count]` pairs.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"counters\": {");
         for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{n}\": {v}"));
+        }
+        s.push_str("}, \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 s.push_str(", ");
             }
@@ -285,16 +364,20 @@ impl Snapshot {
 }
 
 impl std::fmt::Display for Snapshot {
-    /// A text table: counters first, then histogram summaries.
+    /// A text table: counters, then gauges, then histogram summaries.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let width = self
             .counters
             .keys()
+            .chain(self.gauges.keys())
             .chain(self.histograms.keys())
             .map(|n| n.len())
             .max()
             .unwrap_or(0);
         for (n, v) in &self.counters {
+            writeln!(f, "{n:<width$}  {v}")?;
+        }
+        for (n, v) in &self.gauges {
             writeln!(f, "{n:<width$}  {v}")?;
         }
         for (n, h) in &self.histograms {
@@ -330,6 +413,17 @@ macro_rules! counter {
         static __CXU_OBS_C: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
             ::std::sync::OnceLock::new();
         *__CXU_OBS_C.get_or_init(|| $crate::metrics::registry().counter($name))
+    }};
+}
+
+/// A `&'static Gauge` for the given name, registered once and cached
+/// per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __CXU_OBS_G: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        *__CXU_OBS_G.get_or_init(|| $crate::metrics::registry().gauge($name))
     }};
 }
 
@@ -414,6 +508,42 @@ mod tests {
         assert!(js.contains("\"test.metrics.json\": "));
         assert!(js.contains("\"histograms\": {"));
         assert!(js.ends_with("}}"));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = registry().gauge("test.metrics.gauge");
+        let h = crate::gauge!("test.metrics.gauge");
+        assert!(std::ptr::eq(g, h));
+        g.inc();
+        g.add(4);
+        g.dec();
+        assert_eq!(h.get(), 4);
+        g.set(-2);
+        assert_eq!(registry().snapshot().gauge("test.metrics.gauge"), -2);
+        g.set(0);
+    }
+
+    #[test]
+    fn gauge_delta_keeps_level() {
+        let g = registry().gauge("test.metrics.gauge_level");
+        g.set(3);
+        let before = registry().snapshot();
+        g.add(2);
+        let delta = registry().snapshot().delta(&before);
+        // A gauge is a level: the delta reports where it IS, not how
+        // far it moved.
+        assert_eq!(delta.gauge("test.metrics.gauge_level"), 5);
+        g.set(0);
+    }
+
+    #[test]
+    fn json_snapshot_includes_gauges() {
+        registry().gauge("test.metrics.gauge_json").set(7);
+        let js = registry().snapshot().to_json();
+        assert!(js.contains("\"gauges\": {"));
+        assert!(js.contains("\"test.metrics.gauge_json\": 7"));
+        registry().gauge("test.metrics.gauge_json").set(0);
     }
 
     #[test]

@@ -59,12 +59,27 @@ fn decide_pair(
     if let Some(token) = cancel {
         deadline = deadline.with_token(token);
     }
+    decide_pair_at(a, ia, b, ib, cfg, &deadline)
+}
+
+/// [`decide_pair`] against a caller-supplied deadline instead of a fresh
+/// per-pair slice — the serving path hands in the *request* deadline so
+/// one slow pair degrades at exactly the moment the client stops
+/// waiting.
+fn decide_pair_at(
+    a: &Op,
+    ia: Option<&OpInfo>,
+    b: &Op,
+    ib: Option<&OpInfo>,
+    cfg: &SchedConfig,
+    deadline: &Deadline,
+) -> Verdict {
     let t0 = std::time::Instant::now();
     let run = || {
         if failpoints::fire("sched::pair") {
             return Verdict::conservative(Detector::ConservativeBudget);
         }
-        analyze_pair_info(a, ia, b, ib, cfg, &deadline)
+        analyze_pair_info(a, ia, b, ib, cfg, deadline)
     };
     let verdict = if !cfg.catch_panics {
         run()
@@ -118,6 +133,17 @@ fn prefilter_cross_check(a: &Op, b: &Op, sem: cxu_ops::Semantics) -> bool {
             silent(&r1, u2, Semantics::Node) && silent(&r2, u1, Semantics::Node)
         }
     }
+}
+
+/// The outcome of a single-pair check ([`Scheduler::check_pair`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairDecision {
+    /// The verdict (conflict flag + deciding detector).
+    pub verdict: Verdict,
+    /// Whether the verdict was served from the memo cache rather than
+    /// computed by a detector on this call. Trivial pairs report
+    /// `false`: they never touch the cache in either direction.
+    pub cached: bool,
 }
 
 /// The result of analyzing one batch.
@@ -193,6 +219,70 @@ impl Scheduler {
     /// Number of memoized pairwise verdicts.
     pub fn cached_verdicts(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Decides one pair under a caller-supplied deadline — the serving
+    /// hot path (`check` route): no graph, no rounds, no thread fan-out,
+    /// just interner + memo cache + one detector invocation.
+    ///
+    /// Cache discipline matches the batch path exactly: every
+    /// non-trivial pair costs one `sched.cache.lookups`; hits are served
+    /// from memory; misses run the sound pre-filter then the detectors;
+    /// exact and budget verdicts are memoized while transient
+    /// degradations (expired deadline, panic) are skipped
+    /// (`sched.cache.skips`) so a later call retries them.
+    pub fn check_pair(&mut self, a: &Op, b: &Op, deadline: &Deadline) -> PairDecision {
+        let ka = self.interner.intern_op(a);
+        let kb = self.interner.intern_op(b);
+        // Identical keys commute with themselves; reads never conflict.
+        if ka == kb || (!a.is_update() && !b.is_update()) {
+            return PairDecision {
+                verdict: Verdict {
+                    conflict: false,
+                    detector: Detector::Trivial,
+                },
+                cached: false,
+            };
+        }
+        let pk = PairKey::new(ka, kb);
+        cxu_obs::counter!("sched.cache.lookups").inc();
+        if let Some(&verdict) = self.cache.get(&pk) {
+            cxu_obs::counter!("sched.cache.hits").inc();
+            return PairDecision {
+                verdict,
+                cached: true,
+            };
+        }
+        cxu_obs::counter!("sched.cache.misses").inc();
+        let (ia, ib) = (self.interner.info(ka), self.interner.info(kb));
+        let t_pair = std::time::Instant::now();
+        let verdict = if prefilter_no_conflict(a, ia, b, ib, self.cfg.semantics) {
+            let v = Verdict {
+                conflict: false,
+                detector: Detector::PrefilterNoConflict,
+            };
+            record_route(v);
+            cxu_obs::histogram!("sched.pair_ns").record_since(t_pair);
+            debug_assert!(
+                prefilter_cross_check(a, b, self.cfg.semantics),
+                "prefilter skipped a pair the full detector finds conflicting"
+            );
+            v
+        } else {
+            decide_pair_at(a, ia, b, ib, &self.cfg, deadline)
+        };
+        if matches!(
+            verdict.detector,
+            Detector::ConservativeDeadline | Detector::ConservativePanic
+        ) {
+            cxu_obs::counter!("sched.cache.skips").inc();
+        } else {
+            self.cache.insert(pk, verdict);
+        }
+        PairDecision {
+            verdict,
+            cached: false,
+        }
     }
 
     /// Analyzes a batch and schedules it into conflict-free rounds.
@@ -732,6 +822,73 @@ mod tests {
             1,
             "jobs/deadline change keeps verdicts"
         );
+    }
+
+    #[test]
+    fn check_pair_matches_batch_verdicts() {
+        let ops = vec![
+            read("x//C"),
+            ins("x/B", "C"),
+            read("a[b][c]"),
+            ins("d", "f"),
+        ];
+        let mut batch = Scheduler::new(SchedConfig {
+            jobs: 1,
+            ..SchedConfig::default()
+        });
+        let out = batch.run(&ops);
+        let mut single = Scheduler::new(SchedConfig {
+            jobs: 1,
+            ..SchedConfig::default()
+        });
+        let deadline = Deadline::never();
+        for e in out.graph.edges() {
+            let d = single.check_pair(&ops[e.a], &ops[e.b], &deadline);
+            assert_eq!(
+                d.verdict, e.verdict,
+                "pair ({}, {}) disagrees with the batch path",
+                e.a, e.b
+            );
+        }
+    }
+
+    #[test]
+    fn check_pair_memoizes_and_reports_cache_provenance() {
+        let mut s = Scheduler::default();
+        let (a, b) = (read("x//C"), ins("x/B", "C"));
+        let deadline = Deadline::never();
+        let first = s.check_pair(&a, &b, &deadline);
+        assert!(!first.cached);
+        assert!(first.verdict.conflict);
+        let second = s.check_pair(&a, &b, &deadline);
+        assert!(second.cached, "second call must be a cache hit");
+        assert_eq!(second.verdict, first.verdict);
+        // Order-normalized key: the swapped pair hits the same entry.
+        let swapped = s.check_pair(&b, &a, &deadline);
+        assert!(swapped.cached);
+        // Trivial pairs never touch the cache.
+        let rr = s.check_pair(&read("p/q"), &read("r//s"), &deadline);
+        assert_eq!(rr.verdict.detector, Detector::Trivial);
+        assert!(!rr.cached);
+    }
+
+    #[test]
+    fn check_pair_deadline_degradations_are_not_memoized() {
+        let mut s = Scheduler::new(SchedConfig {
+            jobs: 1,
+            ..SchedConfig::default()
+        });
+        let (a, b) = (read("a[b][c]"), ins("a[b]", "c"));
+        let expired = Deadline::after(std::time::Duration::ZERO);
+        let starved = s.check_pair(&a, &b, &expired);
+        assert_eq!(starved.verdict.detector, Detector::ConservativeDeadline);
+        assert!(starved.verdict.conflict, "degraded pair stays ordered");
+        assert_eq!(s.cached_verdicts(), 0);
+        // With time, the same pair is decided exactly and memoized.
+        let exact = s.check_pair(&a, &b, &Deadline::never());
+        assert!(!exact.cached);
+        assert_ne!(exact.verdict.detector, Detector::ConservativeDeadline);
+        assert_eq!(s.cached_verdicts(), 1);
     }
 
     #[test]

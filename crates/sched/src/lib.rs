@@ -46,7 +46,7 @@ pub mod validate;
 
 pub use cxu_runtime as runtime;
 pub use cxu_runtime::{CancelToken, Deadline};
-pub use engine::{BatchResult, Scheduler};
+pub use engine::{BatchResult, PairDecision, Scheduler};
 pub use graph::{ConflictGraph, Edge};
 pub use intern::OpInfo;
 pub use op::{ops_of_program, Op};

@@ -1,0 +1,49 @@
+//! # cxu-serve — the conflict-detection daemon
+//!
+//! The paper casts conflict detection as the check a transaction
+//! processor runs *online*, before interleaving concurrent XML updates
+//! (§1, §3). This crate is that online layer: a long-running TCP
+//! server exposing the sched/runtime/obs stack to clients, plus the
+//! seeded closed-loop load generator that drives it.
+//!
+//! Hermetic by construction: `std::net` + `std::thread` only — no
+//! tokio, no serde (the wire format is [`cxu_gen::json`]).
+//!
+//! ## Wire protocol
+//!
+//! Newline-delimited JSON both ways: one request object per line, one
+//! response object per line, in order, per connection. Routes:
+//!
+//! * `check` — one operation pair under any semantics → verdict;
+//! * `schedule` — a batch of operations → conflict-free rounds;
+//! * `metrics` — the process-wide [`cxu_obs`] snapshot;
+//! * `health` — liveness plus queue/in-flight levels;
+//! * `shutdown` — begin graceful shutdown (equivalent to SIGTERM).
+//!
+//! The full grammar lives in `DESIGN.md` ("Serving") and in
+//! [`proto`]'s docs.
+//!
+//! ## Admission control and degradation
+//!
+//! Work is pulled from a **bounded** queue by a fixed worker pool. A
+//! request that arrives when the queue is full is answered
+//! `overloaded` immediately — the server never buffers without bound,
+//! so overload shows up as explicit rejections at the client, not as
+//! silently growing latency. Admitted requests carry a deadline that
+//! is threaded into the detectors as a [`cxu_runtime::Deadline`]: a
+//! pair that cannot be decided in time degrades to the scheduler's
+//! conservative verdicts instead of stalling the connection. Worker
+//! panics are caught per request ([`std::panic::catch_unwind`] plus
+//! the `serve::request` failpoint site for injecting them).
+//!
+//! Accounting identity, checked by `tests/serve_validation.rs`:
+//! `serve.accepted == serve.completed + serve.rejected_overload +
+//! serve.failed`.
+
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use loadgen::{LoadConfig, LoadProfile, LoadReport};
+pub use proto::{Request, Route};
+pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};

@@ -1,0 +1,490 @@
+//! Seeded closed-loop load generator.
+//!
+//! Replays a generated operation pool against a running server at a
+//! target concurrency: `connections` client threads, each with its own
+//! socket, each sending one `check` request at a time and waiting for
+//! the response (closed loop — offered load adapts to service rate, so
+//! the measured throughput is the sustained one, not an open-loop
+//! fantasy). The pool and the request sequence derive from one seed:
+//! same seed, same workload.
+//!
+//! After the run, when `validate` is set, every distinct pair that got
+//! a non-degraded server verdict is re-checked against an in-process
+//! [`Scheduler`] with the same semantics; a disagreement between two
+//! *exact* verdicts is a correctness failure (degraded verdicts are
+//! resource-envelope answers and legitimately differ). The CI
+//! `serve-smoke` job asserts `disagreements == 0`.
+
+use cxu_gen::json::Json;
+use cxu_gen::patterns::PatternParams;
+use cxu_gen::program::{random_program, ProgramParams};
+use cxu_gen::rng::{Rng, SplitMix64};
+use cxu_gen::wire;
+use cxu_ops::Semantics;
+use cxu_sched::{ops_of_program, Deadline, Op, SchedConfig, Scheduler};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Workload shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadProfile {
+    /// Linear patterns only (`branch_rate = 0`): every pair stays on
+    /// the PTIME detectors — the throughput profile.
+    Linear,
+    /// A quarter of pattern nodes branch: a mix of PTIME and NP-side
+    /// pairs — the degradation profile.
+    Mixed,
+}
+
+impl LoadProfile {
+    /// The profile name as spelled on the CLI and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadProfile::Linear => "linear",
+            LoadProfile::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    pub fn from_name(s: &str) -> Result<LoadProfile, String> {
+        match s {
+            "linear" => Ok(LoadProfile::Linear),
+            "mixed" => Ok(LoadProfile::Mixed),
+            other => Err(format!("unknown profile {other:?} (linear|mixed)")),
+        }
+    }
+
+    fn branch_rate(self) -> f64 {
+        match self {
+            LoadProfile::Linear => 0.0,
+            LoadProfile::Mixed => 0.25,
+        }
+    }
+}
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Wall-clock run budget.
+    pub duration: Duration,
+    /// Optional per-connection request cap (whichever stop criterion
+    /// hits first ends that connection's loop).
+    pub requests_per_conn: Option<u64>,
+    /// Workload seed.
+    pub seed: u64,
+    /// Workload shape.
+    pub profile: LoadProfile,
+    /// Semantics sent with every request.
+    pub semantics: Semantics,
+    /// Per-request deadline override (`deadline_ms` field), if any.
+    pub deadline_ms: Option<u64>,
+    /// Artificial worker-side delay per request (overload testing).
+    pub delay_ms: u64,
+    /// Re-check verdicts against an in-process scheduler after the run.
+    pub validate: bool,
+    /// Operations in the generated pool.
+    pub pool_len: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: String::new(),
+            connections: 8,
+            duration: Duration::from_millis(1500),
+            requests_per_conn: None,
+            seed: 42,
+            profile: LoadProfile::Linear,
+            semantics: Semantics::Value,
+            deadline_ms: None,
+            delay_ms: 0,
+            validate: false,
+            pool_len: 60,
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// `ok: true` responses.
+    pub completed: u64,
+    /// `overloaded` rejections.
+    pub overloaded: u64,
+    /// Any other failure (errors, short reads, disconnects).
+    pub failed: u64,
+    /// Wall-clock time from first send to last response.
+    pub elapsed: Duration,
+    /// Completed-response latency percentiles, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: u64,
+    /// Distinct pairs re-checked during validation.
+    pub checked_pairs: usize,
+    /// Exact-vs-exact verdict mismatches found by validation.
+    pub disagreements: usize,
+    /// Echo of the run parameters.
+    pub seed: u64,
+    /// Echo: connections used.
+    pub connections: usize,
+    /// Echo: profile name.
+    pub profile: &'static str,
+}
+
+impl LoadReport {
+    /// Completed requests per second of elapsed time.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of sent requests rejected by admission control.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.sent > 0 {
+            self.overloaded as f64 / self.sent as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the `BENCH_SERVE.json` document.
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("bench", Json::str("serve")),
+            ("profile", Json::str(self.profile)),
+            ("seed", Json::from(self.seed)),
+            ("connections", Json::from(self.connections)),
+            (
+                "duration_ms",
+                Json::from(self.elapsed.as_millis().min(u64::MAX as u128) as u64),
+            ),
+            ("sent", Json::from(self.sent)),
+            ("completed", Json::from(self.completed)),
+            ("overloaded", Json::from(self.overloaded)),
+            ("failed", Json::from(self.failed)),
+            ("throughput_rps", Json::from(self.throughput_rps())),
+            ("rejection_rate", Json::from(self.rejection_rate())),
+            (
+                "latency_us",
+                Json::obj(vec![
+                    ("p50", Json::from(self.p50_us)),
+                    ("p99", Json::from(self.p99_us)),
+                    ("max", Json::from(self.max_us)),
+                    ("mean", Json::from(self.mean_us)),
+                ]),
+            ),
+            ("checked_pairs", Json::from(self.checked_pairs)),
+            ("disagreements", Json::from(self.disagreements)),
+        ])
+        .to_string()
+    }
+}
+
+fn sem_name(s: Semantics) -> &'static str {
+    match s {
+        Semantics::Node => "node",
+        Semantics::Tree => "tree",
+        Semantics::Value => "value",
+    }
+}
+
+/// One connection's tallies, merged after the join.
+#[derive(Default)]
+struct ConnResult {
+    sent: u64,
+    completed: u64,
+    overloaded: u64,
+    failed: u64,
+    latencies_us: Vec<u64>,
+    /// `(i, j, conflict)` for non-degraded `ok` verdicts, by pool index.
+    observations: Vec<(usize, usize, bool)>,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs the workload and gathers the report.
+pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    // The pool is generated once from the seed; each connection derives
+    // its own request stream from seed ⊕ connection index.
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
+    let mut pattern = PatternParams::linear(4);
+    pattern.alphabet = 6;
+    pattern.branch_rate = cfg.profile.branch_rate();
+    let params = ProgramParams {
+        len: cfg.pool_len.max(2),
+        update_rate: 0.5,
+        delete_rate: 0.4,
+        pattern,
+    };
+    let program = random_program(&mut rng, &params);
+    let ops: Vec<Op> = ops_of_program(&program);
+    let op_json: Vec<String> = program
+        .stmts
+        .iter()
+        .map(|s| wire::stmt_to_json(s).to_string())
+        .collect();
+
+    // Probe the address once before spawning the fleet, for a clean
+    // error instead of `connections` copies of it.
+    TcpStream::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+
+    let t0 = Instant::now();
+    let end = t0 + cfg.duration;
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections.max(1))
+            .map(|c| {
+                let op_json = &op_json;
+                scope.spawn(move || connection_loop(cfg, c as u64, op_json, end))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut report = LoadReport {
+        elapsed,
+        seed: cfg.seed,
+        connections: cfg.connections.max(1),
+        profile: cfg.profile.name(),
+        ..LoadReport::default()
+    };
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut observations: Vec<(usize, usize, bool)> = Vec::new();
+    for r in results {
+        report.sent += r.sent;
+        report.completed += r.completed;
+        report.overloaded += r.overloaded;
+        report.failed += r.failed;
+        latencies.extend(r.latencies_us);
+        observations.extend(r.observations);
+    }
+    latencies.sort_unstable();
+    report.p50_us = percentile(&latencies, 0.50);
+    report.p99_us = percentile(&latencies, 0.99);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+    report.mean_us = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / latencies.len() as u64
+    };
+
+    if cfg.validate {
+        let (checked, disagreements) = validate(&ops, &observations, cfg.semantics);
+        report.checked_pairs = checked;
+        report.disagreements = disagreements;
+    }
+    Ok(report)
+}
+
+/// One client thread: connect, fire `check` requests for random
+/// distinct pool pairs, tally responses.
+fn connection_loop(cfg: &LoadConfig, conn: u64, op_json: &[String], end: Instant) -> ConnResult {
+    let mut out = ConnResult::default();
+    let Ok(stream) = TcpStream::connect(&cfg.addr) else {
+        out.failed += 1;
+        return out;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            out.failed += 1;
+            return out;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let n = op_json.len();
+    let mut extras = String::new();
+    extras.push_str(&format!(", \"semantics\": \"{}\"", sem_name(cfg.semantics)));
+    if let Some(ms) = cfg.deadline_ms {
+        extras.push_str(&format!(", \"deadline_ms\": {ms}"));
+    }
+    if cfg.delay_ms > 0 {
+        extras.push_str(&format!(", \"delay_ms\": {}", cfg.delay_ms));
+    }
+    let mut line = String::new();
+    let mut req = String::new();
+    while Instant::now() < end {
+        if let Some(cap) = cfg.requests_per_conn {
+            if out.sent >= cap {
+                break;
+            }
+        }
+        let i = rng.gen_range(0..n);
+        let mut j = rng.gen_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        req.clear();
+        req.push_str("{\"route\": \"check\", \"id\": ");
+        req.push_str(&out.sent.to_string());
+        req.push_str(", \"a\": ");
+        req.push_str(&op_json[i]);
+        req.push_str(", \"b\": ");
+        req.push_str(&op_json[j]);
+        req.push_str(&extras);
+        req.push_str("}\n");
+        let t_req = Instant::now();
+        out.sent += 1;
+        if writer.write_all(req.as_bytes()).is_err() {
+            out.failed += 1;
+            break;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(len) if len > 0 => {}
+            _ => {
+                out.failed += 1;
+                break;
+            }
+        }
+        let Ok(v) = Json::parse(line.trim_end()) else {
+            out.failed += 1;
+            continue;
+        };
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => {
+                out.completed += 1;
+                out.latencies_us
+                    .push(t_req.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                if cfg.validate && v.get("degraded").and_then(Json::as_bool) == Some(false) {
+                    if let Some(conflict) = v.get("conflict").and_then(Json::as_bool) {
+                        out.observations.push((i, j, conflict));
+                    }
+                }
+            }
+            _ => {
+                if v.get("error").and_then(Json::as_str) == Some("overloaded") {
+                    out.overloaded += 1;
+                } else {
+                    out.failed += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Re-checks every distinct observed pair against an in-process
+/// scheduler. Returns `(checked, disagreements)`.
+fn validate(
+    ops: &[Op],
+    observations: &[(usize, usize, bool)],
+    semantics: Semantics,
+) -> (usize, usize) {
+    let mut by_pair: HashMap<(usize, usize), bool> = HashMap::new();
+    let mut disagreements = 0;
+    for &(i, j, conflict) in observations {
+        let key = (i.min(j), i.max(j));
+        if let Some(&earlier) = by_pair.get(&key) {
+            if earlier != conflict {
+                // The server contradicted itself across repeats of the
+                // same pair — count it without needing the oracle.
+                disagreements += 1;
+            }
+            continue;
+        }
+        by_pair.insert(key, conflict);
+    }
+    let mut local = Scheduler::new(SchedConfig {
+        semantics,
+        jobs: 1,
+        ..SchedConfig::default()
+    });
+    let deadline = Deadline::never();
+    for (&(i, j), &server_conflict) in &by_pair {
+        let d = local.check_pair(&ops[i], &ops[j], &deadline);
+        if !d.verdict.detector.is_conservative() && d.verdict.conflict != server_conflict {
+            disagreements += 1;
+        }
+    }
+    (by_pair.len(), disagreements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_names_roundtrip() {
+        for p in [LoadProfile::Linear, LoadProfile::Mixed] {
+            assert_eq!(LoadProfile::from_name(p.name()).unwrap(), p);
+        }
+        assert!(LoadProfile::from_name("warp").is_err());
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = LoadReport {
+            sent: 10,
+            completed: 8,
+            overloaded: 2,
+            elapsed: Duration::from_secs(2),
+            p50_us: 100,
+            p99_us: 900,
+            max_us: 1000,
+            mean_us: 200,
+            seed: 42,
+            connections: 4,
+            profile: "linear",
+            ..LoadReport::default()
+        };
+        let v = Json::parse(&report.to_json()).unwrap();
+        assert_eq!(v.get("bench").and_then(Json::as_str), Some("serve"));
+        assert_eq!(v.get("completed").and_then(Json::as_u64), Some(8));
+        assert_eq!(v.get("throughput_rps").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(v.get("rejection_rate").and_then(Json::as_f64), Some(0.2));
+        let lat = v.get("latency_us").unwrap();
+        assert_eq!(lat.get("p99").and_then(Json::as_u64), Some(900));
+    }
+
+    #[test]
+    fn validation_counts_disagreements() {
+        let program =
+            cxu_gen::parse::parse_program("y = read $x//C; insert $x/B, C; z = read $x//Q")
+                .unwrap();
+        let ops = ops_of_program(&program);
+        // Pair (0, 1) conflicts, pair (1, 2) does not.
+        let obs = vec![(0, 1, true), (1, 2, false)];
+        assert_eq!(validate(&ops, &obs, Semantics::Value), (2, 0));
+        let wrong = vec![(0, 1, false), (2, 1, true), (1, 0, true)];
+        // (0,1) lied once and then contradicted itself; (1,2) lied.
+        assert_eq!(validate(&ops, &wrong, Semantics::Value), (2, 3));
+    }
+}

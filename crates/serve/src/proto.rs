@@ -1,0 +1,316 @@
+//! Wire protocol: request parsing and response rendering.
+//!
+//! One JSON object per line in both directions. Requests:
+//!
+//! ```json
+//! {"route": "check", "a": {"kind": "read", "pattern": "*//A"},
+//!  "b": {"kind": "insert", "pattern": "*/B", "subtree": "C"},
+//!  "id": 7, "semantics": "value", "deadline_ms": 50}
+//! {"route": "schedule", "ops": [ ...op objects... ], "semantics": "value"}
+//! {"route": "metrics"}
+//! {"route": "health"}
+//! {"route": "shutdown"}
+//! ```
+//!
+//! Optional fields on every request: `id` (echoed verbatim in the
+//! response so clients can pipeline), `semantics`
+//! (`node | tree | value`, default `value` — the scheduler's
+//! observational-equivalence semantics), `deadline_ms` (overrides the
+//! server's default request deadline), and `delay_ms` (an artificial
+//! worker-side sleep before processing, simulating downstream work —
+//! kept in the protocol so overload and drain behaviour can be tested
+//! deterministically).
+//!
+//! Responses always carry `"ok"`. Success: `{"ok": true, "route": ...,
+//! ...payload}`. Failure: `{"ok": false, "error": "overloaded" |
+//! "bad-request" | "internal" | "shutting-down", "detail": "..."}`.
+//! Ops travel in the [`cxu_gen::wire`] schema (patterns in the paper
+//! fragment's XPath surface syntax, payload trees in compact text
+//! form).
+
+use cxu_gen::json::Json;
+use cxu_gen::wire;
+use cxu_ops::Semantics;
+use cxu_sched::{Op, PairDecision, SchedStats};
+
+/// Maximum accepted request line, in bytes. Defends the parser against
+/// a client streaming an unbounded line.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// What a request asks for.
+#[derive(Clone, Debug)]
+pub enum Route {
+    /// Decide one operation pair.
+    Check {
+        /// First operation.
+        a: Box<Op>,
+        /// Second operation.
+        b: Box<Op>,
+    },
+    /// Schedule a batch into conflict-free rounds.
+    Schedule {
+        /// The batch, in program order.
+        ops: Vec<Op>,
+    },
+    /// Metrics snapshot.
+    Metrics,
+    /// Liveness probe.
+    Health,
+    /// Begin graceful shutdown.
+    Shutdown,
+}
+
+impl Route {
+    /// The route name as it appears on the wire.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Route::Check { .. } => "check",
+            Route::Schedule { .. } => "schedule",
+            Route::Metrics => "metrics",
+            Route::Health => "health",
+            Route::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// The requested route.
+    pub route: Route,
+    /// Conflict semantics for this request.
+    pub semantics: Semantics,
+    /// Per-request deadline override, milliseconds from receipt.
+    pub deadline_ms: Option<u64>,
+    /// Artificial worker-side delay (load-test aid; see module docs).
+    pub delay_ms: u64,
+}
+
+fn parse_semantics(v: &Json) -> Result<Semantics, String> {
+    match v.get("semantics").and_then(Json::as_str).unwrap_or("value") {
+        "node" => Ok(Semantics::Node),
+        "tree" => Ok(Semantics::Tree),
+        "value" => Ok(Semantics::Value),
+        other => Err(format!("unknown semantics {other:?} (node|tree|value)")),
+    }
+}
+
+fn parse_op(v: &Json, field: &str) -> Result<Op, String> {
+    let stmt = wire::stmt_from_json(v).map_err(|e| format!("field '{field}': {e}"))?;
+    Ok(Op::from(stmt))
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line).map_err(|e| e.to_string())?;
+    let route_name = v
+        .get("route")
+        .and_then(Json::as_str)
+        .ok_or("request is missing string field 'route'")?;
+    let route = match route_name {
+        "check" => {
+            let a = v.get("a").ok_or("check request is missing field 'a'")?;
+            let b = v.get("b").ok_or("check request is missing field 'b'")?;
+            Route::Check {
+                a: Box::new(parse_op(a, "a")?),
+                b: Box::new(parse_op(b, "b")?),
+            }
+        }
+        "schedule" => {
+            let items = v
+                .get("ops")
+                .and_then(Json::as_arr)
+                .ok_or("schedule request is missing array field 'ops'")?;
+            let mut ops = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                ops.push(parse_op(item, &format!("ops[{i}]"))?);
+            }
+            Route::Schedule { ops }
+        }
+        "metrics" => Route::Metrics,
+        "health" => Route::Health,
+        "shutdown" => Route::Shutdown,
+        other => {
+            return Err(format!(
+                "unknown route {other:?} (check|schedule|metrics|health|shutdown)"
+            ))
+        }
+    };
+    Ok(Request {
+        id: v.get("id").and_then(Json::as_u64),
+        route,
+        semantics: parse_semantics(&v)?,
+        deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
+        delay_ms: v.get("delay_ms").and_then(Json::as_u64).unwrap_or(0),
+    })
+}
+
+fn base(id: Option<u64>, ok: bool) -> Vec<(String, Json)> {
+    let mut members = Vec::new();
+    if let Some(id) = id {
+        members.push(("id".to_owned(), Json::from(id)));
+    }
+    members.push(("ok".to_owned(), Json::Bool(ok)));
+    members
+}
+
+/// Renders an error response (no trailing newline).
+pub fn render_error(id: Option<u64>, code: &str, detail: &str) -> String {
+    let mut members = base(id, false);
+    members.push(("error".to_owned(), Json::str(code)));
+    if !detail.is_empty() {
+        members.push(("detail".to_owned(), Json::str(detail)));
+    }
+    Json::Obj(members).to_string()
+}
+
+/// Renders a `check` response.
+pub fn render_check(id: Option<u64>, d: &PairDecision) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str("check")));
+    members.push(("conflict".to_owned(), Json::Bool(d.verdict.conflict)));
+    members.push(("detector".to_owned(), Json::str(d.verdict.detector.name())));
+    members.push(("cached".to_owned(), Json::Bool(d.cached)));
+    members.push((
+        "degraded".to_owned(),
+        Json::Bool(d.verdict.detector.is_conservative()),
+    ));
+    Json::Obj(members).to_string()
+}
+
+/// Renders a `schedule` response.
+pub fn render_schedule(id: Option<u64>, rounds: &[Vec<usize>], stats: &SchedStats) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str("schedule")));
+    members.push((
+        "rounds".to_owned(),
+        Json::Arr(
+            rounds
+                .iter()
+                .map(|r| Json::Arr(r.iter().map(|&i| Json::from(i)).collect()))
+                .collect(),
+        ),
+    ));
+    members.push((
+        "stats".to_owned(),
+        Json::obj(vec![
+            ("ops", Json::from(stats.ops)),
+            ("pairs_total", Json::from(stats.pairs_total)),
+            ("pairs_analyzed", Json::from(stats.pairs_analyzed)),
+            ("cache_hits", Json::from(stats.cache_hits)),
+            ("prefilter_skips", Json::from(stats.prefilter_skips)),
+            ("conflict_edges", Json::from(stats.conflict_edges)),
+            ("conservative", Json::from(stats.conservative)),
+            ("degraded_deadline", Json::from(stats.degraded_deadline)),
+            ("degraded_panic", Json::from(stats.degraded_panic)),
+            ("rounds", Json::from(stats.rounds)),
+        ]),
+    ));
+    Json::Obj(members).to_string()
+}
+
+/// Renders a `metrics` response. The registry snapshot's own JSON is
+/// re-parsed and embedded as a value (it is machine-shaped by
+/// construction; re-parsing keeps this module free of string splicing).
+pub fn render_metrics(id: Option<u64>, snapshot_json: &str) -> String {
+    let metrics = Json::parse(snapshot_json).unwrap_or(Json::Null);
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str("metrics")));
+    members.push(("metrics".to_owned(), metrics));
+    Json::Obj(members).to_string()
+}
+
+/// Renders a `health` response.
+pub fn render_health(
+    id: Option<u64>,
+    uptime_ms: u64,
+    in_flight: i64,
+    queued: usize,
+    shutting_down: bool,
+) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str("health")));
+    members.push((
+        "status".to_owned(),
+        Json::str(if shutting_down { "draining" } else { "ok" }),
+    ));
+    members.push(("uptime_ms".to_owned(), Json::from(uptime_ms)));
+    members.push(("in_flight".to_owned(), Json::from(in_flight)));
+    members.push(("queued".to_owned(), Json::from(queued)));
+    Json::Obj(members).to_string()
+}
+
+/// Renders the `shutdown` acknowledgement.
+pub fn render_shutdown(id: Option<u64>) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str("shutdown")));
+    members.push(("status".to_owned(), Json::str("draining")));
+    Json::Obj(members).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_check_request() {
+        let line = r#"{"route": "check", "id": 9, "semantics": "node", "deadline_ms": 25,
+                       "a": {"kind": "read", "pattern": "*//A"},
+                       "b": {"kind": "insert", "pattern": "*/B", "subtree": "C(D)"}}"#;
+        let req = parse_request(&line.replace('\n', " ")).unwrap();
+        assert_eq!(req.id, Some(9));
+        assert_eq!(req.semantics, Semantics::Node);
+        assert_eq!(req.deadline_ms, Some(25));
+        assert!(matches!(req.route, Route::Check { .. }));
+    }
+
+    #[test]
+    fn parses_schedule_and_admin_requests() {
+        let req =
+            parse_request(r#"{"route": "schedule", "ops": [{"kind": "read", "pattern": "a/b"}]}"#)
+                .unwrap();
+        match req.route {
+            Route::Schedule { ops } => assert_eq!(ops.len(), 1),
+            other => panic!("wrong route {other:?}"),
+        }
+        assert_eq!(req.semantics, Semantics::Value, "default semantics");
+        for name in ["metrics", "health", "shutdown"] {
+            let req = parse_request(&format!(r#"{{"route": "{name}"}}"#)).unwrap();
+            assert_eq!(req.route.name(), name);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"route": "warp"}"#,
+            r#"{"route": "check", "a": {"kind": "read", "pattern": "a"}}"#,
+            r#"{"route": "check", "a": 1, "b": 2}"#,
+            r#"{"route": "schedule"}"#,
+            r#"{"route": "check", "semantics": "quantum",
+                "a": {"kind": "read", "pattern": "a"},
+                "b": {"kind": "read", "pattern": "b"}}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let err = render_error(Some(3), "overloaded", "queue full");
+        let v = Json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
+        assert!(!err.contains('\n'));
+
+        let health = render_health(None, 12, 1, 0, false);
+        let v = Json::parse(&health).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(v.get("id").is_none());
+    }
+}

@@ -1,0 +1,684 @@
+//! The daemon: bounded-queue worker pool, admission control, graceful
+//! shutdown.
+//!
+//! Thread layout: one acceptor (the caller of [`Server::run`]), one
+//! thread per connection (reads lines, performs admission, writes
+//! responses), and a fixed pool of `workers` detector threads pulling
+//! from one **bounded** queue. Connection threads never run detectors;
+//! worker threads never touch sockets — the queue and per-request
+//! response slots are the only coupling, so a slow pair on one
+//! connection cannot stall another connection's reads.
+//!
+//! Admission: a `check`/`schedule` request is queued only if the queue
+//! has room; otherwise the client gets `overloaded` on the spot.
+//! `health`, `metrics`, and `shutdown` are answered inline on the
+//! connection thread — a health probe must succeed precisely when the
+//! server is overloaded.
+//!
+//! Shutdown (`shutdown` route, [`ServerHandle::shutdown`], or the CLI's
+//! signal hook): the acceptor stops accepting and closes the queue;
+//! workers drain every already-admitted job; connection threads deliver
+//! those responses, then close. New work arriving during the drain is
+//! answered `shutting-down`.
+
+use crate::proto::{self, Request, Route};
+use cxu_ops::Semantics;
+use cxu_runtime::{failpoints, Deadline};
+use cxu_sched::{SchedConfig, Scheduler};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Detector worker threads (≥ 1).
+    pub workers: usize,
+    /// Bounded queue depth; a request arriving when `queue_depth` jobs
+    /// are already waiting is rejected `overloaded` (≥ 1).
+    pub queue_depth: usize,
+    /// Default per-request deadline (overridable per request with
+    /// `deadline_ms`). `None` runs unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Base scheduler configuration. `semantics` is overridden per
+    /// request; `pair_deadline` is derived from the request deadline.
+    pub sched: SchedConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            default_deadline: Some(Duration::from_millis(100)),
+            sched: SchedConfig {
+                // Single-pair checks run on the worker thread itself;
+                // batch fan-out inside one request would oversubscribe
+                // the pool.
+                jobs: 1,
+                // A latency-oriented budget for the NP-side searches.
+                // The batch default (200 000 trees) can burn hundreds of
+                // milliseconds on one exotic update–update pair; under a
+                // request deadline that degrades to conservative-deadline,
+                // which is *never memoized* — so the server would re-pay
+                // the full search on every repeat of the pair. A small
+                // budget exhausts in single-digit milliseconds and lands
+                // on conservative-undecided, which is memoized and still
+                // sound (degraded, so clients can see it was not exact).
+                np_max_trees: 5_000,
+                ..SchedConfig::default()
+            },
+        }
+    }
+}
+
+/// Totals for one server lifetime, returned by [`Server::run`].
+/// Satisfies `accepted == completed + rejected_overload + failed`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections served.
+    pub connections: u64,
+    /// Complete request lines received.
+    pub accepted: u64,
+    /// Requests answered `ok: true`.
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub rejected_overload: u64,
+    /// Requests that failed for any other reason (bad request, internal
+    /// error, shutdown race).
+    pub failed: u64,
+}
+
+/// One admitted unit of work.
+struct Job {
+    req: Request,
+    received: Instant,
+    deadline: Option<Instant>,
+    slot: Arc<Slot>,
+}
+
+/// Where a worker deposits the response for a waiting connection thread.
+struct Slot {
+    resp: Mutex<Option<String>>,
+    cond: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            resp: Mutex::new(None),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, s: String) {
+        let mut guard = self.resp.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(s);
+        self.cond.notify_one();
+    }
+
+    fn wait(&self) -> String {
+        let mut guard = self.resp.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(s) = guard.take() {
+                return s;
+            }
+            guard = self.cond.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+enum PushError {
+    Full,
+    Closed,
+}
+
+/// The bounded job queue. `close` flips `closed` and wakes everyone;
+/// `pop` keeps handing out already-admitted jobs until the queue is
+/// empty *and* closed — that is the drain guarantee.
+struct Queue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    depth: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl Queue {
+    fn new(depth: usize) -> Queue {
+        Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    fn try_push(&self, job: Job) -> Result<(), PushError> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.jobs.len() >= self.depth {
+            return Err(PushError::Full);
+        }
+        st.jobs.push_back(job);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        self.cond.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
+    }
+}
+
+fn sem_index(s: Semantics) -> usize {
+    match s {
+        Semantics::Node => 0,
+        Semantics::Tree => 1,
+        Semantics::Value => 2,
+    }
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct Shared {
+    cfg: ServeConfig,
+    start: Instant,
+    shutdown: AtomicBool,
+    queue: Queue,
+    /// One scheduler per semantics: the pairwise memo cache is relative
+    /// to the semantics it was computed under, so the three caches must
+    /// not mix. Interners and compiled-chain caches still converge
+    /// because the automata layer's compile cache is process-wide.
+    scheds: [Mutex<Scheduler>; 3],
+    connections: AtomicU64,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl Shared {
+    fn sched_for(&self, sem: Semantics) -> &Mutex<Scheduler> {
+        &self.scheds[sem_index(sem)]
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// A handle for requesting graceful shutdown from another thread (the
+/// CLI's signal hook, a test harness).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin graceful shutdown: stop accepting, drain in-flight work.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, or port `0` for an
+    /// ephemeral port) without starting the loops.
+    pub fn bind(cfg: ServeConfig, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let mk = |sem: Semantics| {
+            Mutex::new(Scheduler::new(SchedConfig {
+                semantics: sem,
+                ..cfg.sched
+            }))
+        };
+        let shared = Arc::new(Shared {
+            queue: Queue::new(cfg.queue_depth),
+            scheds: [
+                mk(Semantics::Node),
+                mk(Semantics::Tree),
+                mk(Semantics::Value),
+            ],
+            cfg,
+            start: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until shutdown, then drains and joins every
+    /// thread the server started. No thread outlives this call.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        let Server { listener, shared } = self;
+        listener.set_nonblocking(true)?;
+
+        let mut workers = Vec::with_capacity(shared.cfg.workers.max(1));
+        for _ in 0..shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shared.shutting_down() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    cxu_obs::counter!("serve.connections").inc();
+                    let shared = Arc::clone(&shared);
+                    conns.push(std::thread::spawn(move || {
+                        handle_connection(stream, &shared)
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    conns.retain(|h| !h.is_finished());
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    shared.begin_shutdown();
+                    shared.queue.close();
+                    for h in workers.drain(..).chain(conns.drain(..)) {
+                        let _ = h.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        // Drain: stop accepting (drop the listener), let workers finish
+        // every admitted job, then let connection threads deliver the
+        // responses and notice the flag.
+        drop(listener);
+        shared.queue.close();
+        for h in workers {
+            let _ = h.join();
+        }
+        for h in conns {
+            let _ = h.join();
+        }
+        // The CLI disables (and thereby flushes) the trace sink after
+        // this returns; the event marks the drain as complete.
+        if cxu_obs::trace::enabled() {
+            cxu_obs::trace::event(
+                "serve.shutdown",
+                &[(
+                    "accepted",
+                    (shared.accepted.load(Ordering::Relaxed) as usize).into(),
+                )],
+            );
+        }
+
+        Ok(ServeSummary {
+            connections: shared.connections.load(Ordering::Relaxed),
+            accepted: shared.accepted.load(Ordering::Relaxed),
+            completed: shared.completed.load(Ordering::Relaxed),
+            rejected_overload: shared.rejected.load(Ordering::Relaxed),
+            failed: shared.failed.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Counts one request outcome (the accounting identity's right side).
+enum Outcome {
+    Completed,
+    RejectedOverload,
+    Failed,
+}
+
+fn tally(shared: &Shared, o: Outcome) {
+    match o {
+        Outcome::Completed => {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            cxu_obs::counter!("serve.completed").inc();
+        }
+        Outcome::RejectedOverload => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            cxu_obs::counter!("serve.rejected_overload").inc();
+        }
+        Outcome::Failed => {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+            cxu_obs::counter!("serve.failed").inc();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let resp = process_job(shared, &job);
+        job.slot.fill(resp);
+    }
+}
+
+/// Decides one admitted job on a worker thread. Panics (real or
+/// injected at the `serve::request` site) are caught here: the request
+/// fails, the worker survives.
+fn process_job(shared: &Shared, job: &Job) -> String {
+    if job.req.delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(job.req.delay_ms));
+    }
+    let run = || -> Result<String, String> {
+        if failpoints::fire("serve::request") {
+            return Err("injected budget exhaustion".to_owned());
+        }
+        let deadline = match job.deadline {
+            Some(at) => Deadline::at(at),
+            None => Deadline::never(),
+        };
+        match &job.req.route {
+            Route::Check { a, b } => {
+                let mut sched = shared
+                    .sched_for(job.req.semantics)
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                let d = sched.check_pair(a, b, &deadline);
+                drop(sched);
+                cxu_obs::histogram!("serve.check_ns").record_since(job.received);
+                Ok(proto::render_check(job.req.id, &d))
+            }
+            Route::Schedule { ops } => {
+                let mut sched = shared
+                    .sched_for(job.req.semantics)
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                // Budget the batch with the request's remaining time as
+                // the per-pair slice — a resource-envelope change, so
+                // the memo cache survives (`Scheduler::set_config`).
+                let mut cfg = *sched.config();
+                cfg.pair_deadline = match job.deadline {
+                    Some(at) => Some(at.saturating_duration_since(Instant::now())),
+                    None => shared.cfg.sched.pair_deadline,
+                };
+                sched.set_config(cfg);
+                let out = sched.run(ops);
+                drop(sched);
+                cxu_obs::histogram!("serve.schedule_ns").record_since(job.received);
+                Ok(proto::render_schedule(
+                    job.req.id,
+                    &out.schedule.rounds,
+                    &out.stats,
+                ))
+            }
+            // Admin routes are answered inline on the connection thread
+            // and never enter the queue.
+            Route::Metrics | Route::Health | Route::Shutdown => {
+                Err("admin route reached the worker pool".to_owned())
+            }
+        }
+    };
+    let result = catch_unwind(AssertUnwindSafe(run)).unwrap_or_else(|_| {
+        cxu_obs::counter!("serve.panics").inc();
+        Err("request panicked (isolated)".to_owned())
+    });
+    match result {
+        Ok(resp) => {
+            tally(shared, Outcome::Completed);
+            resp
+        }
+        Err(detail) => {
+            tally(shared, Outcome::Failed);
+            proto::render_error(job.req.id, "internal", &detail)
+        }
+    }
+}
+
+/// Serves one connection: resumable line reads under a poll timeout
+/// (partial bytes persist across timeouts), admission per request,
+/// in-order responses.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut stream = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return, // client closed
+            Ok(n) => {
+                pending.extend_from_slice(&buf[..n]);
+                // Serve every complete line; keep the remainder.
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=pos).collect();
+                    if !serve_line(&line[..pos], &mut stream, shared) {
+                        return;
+                    }
+                }
+                if pending.len() > proto::MAX_LINE_BYTES {
+                    shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    cxu_obs::counter!("serve.accepted").inc();
+                    tally(shared, Outcome::Failed);
+                    let resp = proto::render_error(None, "bad-request", "request line too long");
+                    let _ = write_line(&mut stream, &resp);
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutting_down() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, resp: &str) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(resp.len() + 1);
+    out.extend_from_slice(resp.as_bytes());
+    out.push(b'\n');
+    stream.write_all(&out)
+}
+
+/// Handles one complete request line. Returns false when the connection
+/// should close (write failure).
+fn serve_line(line: &[u8], stream: &mut TcpStream, shared: &Shared) -> bool {
+    let received = Instant::now();
+    shared.accepted.fetch_add(1, Ordering::Relaxed);
+    cxu_obs::counter!("serve.accepted").inc();
+    cxu_obs::gauge!("serve.in_flight").inc();
+    let resp = respond(line, received, shared);
+    cxu_obs::gauge!("serve.in_flight").dec();
+    cxu_obs::histogram!("serve.request_ns").record_since(received);
+    write_line(stream, &resp).is_ok()
+}
+
+fn respond(line: &[u8], received: Instant, shared: &Shared) -> String {
+    let text = match std::str::from_utf8(line) {
+        Ok(t) => t,
+        Err(_) => {
+            tally(shared, Outcome::Failed);
+            return proto::render_error(None, "bad-request", "request line is not UTF-8");
+        }
+    };
+    let req = match proto::parse_request(text) {
+        Ok(r) => r,
+        Err(e) => {
+            tally(shared, Outcome::Failed);
+            return proto::render_error(None, "bad-request", &e);
+        }
+    };
+    match &req.route {
+        // Admin routes bypass the queue: they must answer precisely
+        // when the pool is saturated.
+        Route::Health => {
+            tally(shared, Outcome::Completed);
+            proto::render_health(
+                req.id,
+                shared.start.elapsed().as_millis().min(u64::MAX as u128) as u64,
+                cxu_obs::gauge!("serve.in_flight").get(),
+                shared.queue.len(),
+                shared.shutting_down(),
+            )
+        }
+        Route::Metrics => {
+            tally(shared, Outcome::Completed);
+            proto::render_metrics(req.id, &cxu_obs::registry().snapshot().to_json())
+        }
+        Route::Shutdown => {
+            tally(shared, Outcome::Completed);
+            let resp = proto::render_shutdown(req.id);
+            shared.begin_shutdown();
+            resp
+        }
+        Route::Check { .. } | Route::Schedule { .. } => {
+            let deadline_ms = req.deadline_ms.map(Duration::from_millis);
+            let deadline = deadline_ms
+                .or(shared.cfg.default_deadline)
+                .map(|d| received + d);
+            let slot = Slot::new();
+            let id = req.id;
+            let job = Job {
+                req,
+                received,
+                deadline,
+                slot: Arc::clone(&slot),
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => slot.wait(), // the worker tallies the outcome
+                Err(PushError::Full) => {
+                    tally(shared, Outcome::RejectedOverload);
+                    proto::render_error(id, "overloaded", "queue full")
+                }
+                Err(PushError::Closed) => {
+                    tally(shared, Outcome::Failed);
+                    proto::render_error(id, "shutting-down", "server is draining")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_gen::json::Json;
+    use std::io::BufRead;
+
+    fn roundtrip(stream: &mut TcpStream, req: &str) -> Json {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        Json::parse(line.trim_end()).unwrap()
+    }
+
+    #[test]
+    fn smoke_check_and_shutdown() {
+        let server = Server::bind(ServeConfig::default(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.run().unwrap());
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        let req = r#"{"route": "check", "id": 1,
+                "a": {"kind": "read", "pattern": "*//C"},
+                "b": {"kind": "insert", "pattern": "*/B", "subtree": "C"}}"#
+            .replace('\n', " ");
+        let v = roundtrip(&mut c, &req);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("conflict").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(1));
+
+        let v = roundtrip(&mut c, r#"{"route": "health"}"#);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+
+        let v = roundtrip(&mut c, r#"{"route": "shutdown"}"#);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+        drop(c);
+        let summary = t.join().unwrap();
+        assert_eq!(summary.connections, 1);
+        assert_eq!(
+            summary.accepted,
+            summary.completed + summary.rejected_overload + summary.failed
+        );
+        assert_eq!(summary.failed, 0);
+    }
+
+    #[test]
+    fn bad_requests_fail_without_closing_the_connection() {
+        let server = Server::bind(ServeConfig::default(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let t = std::thread::spawn(move || server.run().unwrap());
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        let v = roundtrip(&mut c, "this is not json");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("bad-request"));
+
+        // The same connection still serves good requests afterwards.
+        let v = roundtrip(&mut c, r#"{"route": "health"}"#);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+
+        handle.shutdown();
+        drop(c);
+        let summary = t.join().unwrap();
+        assert_eq!(summary.failed, 1);
+        assert_eq!(
+            summary.accepted,
+            summary.completed + summary.rejected_overload + summary.failed
+        );
+    }
+}

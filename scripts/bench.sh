@@ -8,6 +8,10 @@
 #   BENCH_SCHED.json     end-to-end scheduler batches, two profiles
 #                        (mixed / linear) at sizes 50..400, with the
 #                        route mix and pair-latency columns.
+#   BENCH_SERVE.json     cxu-serve under a seeded closed-loop load
+#                        (4 workers, 8 connections, linear profile):
+#                        sustained throughput, p50/p99 latency,
+#                        rejection rate, validated verdicts.
 #
 # See EXPERIMENTS.md, "Compiled automata and the batch pre-filter",
 # for how to read the numbers (and which are NP-search-noise-prone).
@@ -23,4 +27,21 @@ echo "==> cxu-bench automata > BENCH_AUTOMATA.json" >&2
 echo "==> cxu-bench sched > BENCH_SCHED.json" >&2
 ./target/release/cxu-bench sched > BENCH_SCHED.json
 
-echo "done: BENCH_AUTOMATA.json BENCH_SCHED.json" >&2
+echo "==> cxu serve + loadgen > BENCH_SERVE.json" >&2
+serve_log=$(mktemp)
+./target/release/cxu serve --addr 127.0.0.1:0 --workers 4 > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never announced its address" >&2; cat "$serve_log" >&2; exit 1; }
+./target/release/cxu loadgen --addr "$addr" --connections 8 --duration-ms 2000 \
+    --seed 42 --profile linear --validate --out BENCH_SERVE.json >&2
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+rm -f "$serve_log"
+
+echo "done: BENCH_AUTOMATA.json BENCH_SCHED.json BENCH_SERVE.json" >&2

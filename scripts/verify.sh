@@ -14,6 +14,9 @@ cargo test -q --workspace
 echo "==> failpoints stress suite (seed ${CXU_FAILPOINTS_SEED:-1})"
 cargo test -q -p cxu --features failpoints --test failpoints_stress
 
+echo "==> serve validation suite (failpoints build: panic isolation)"
+cargo test -q -p cxu --features failpoints --test serve_validation
+
 echo "==> metrics smoke (fixed seed, JSON schema + route counters)"
 out=$(./target/release/cxu schedule --gen-seed 42 --gen-len 40 \
     --format json --metrics json)
@@ -34,6 +37,51 @@ fi
 if ./target/release/cxu schedule --gen-seed 1 --deadline-ms 0 >/dev/null 2>&1; then
     echo "--deadline-ms 0 was accepted"; exit 1
 fi
+
+echo "==> serve smoke (ephemeral port, seeded loadgen, validated verdicts)"
+serve_log=$(mktemp)
+serve_bench=$(mktemp)
+./target/release/cxu serve --addr 127.0.0.1:0 --workers 4 > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never announced its address"; cat "$serve_log"; exit 1; }
+# --validate makes loadgen exit nonzero on any verdict disagreement.
+./target/release/cxu loadgen --addr "$addr" --connections 4 --duration-ms 1000 \
+    --profile linear --validate --out "$serve_bench" >/dev/null
+grep -q '"disagreements": 0' "$serve_bench" \
+    || { echo "loadgen reported verdict disagreements"; cat "$serve_bench"; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "server exited nonzero after SIGTERM"; cat "$serve_log"; exit 1; }
+grep -q 'drained after' "$serve_log" \
+    || { echo "server did not report a clean drain"; cat "$serve_log"; exit 1; }
+
+echo "==> serve overload (queue depth 1: burst must bounce, server must drain)"
+./target/release/cxu serve --addr 127.0.0.1:0 --workers 1 --queue-depth 1 \
+    > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never announced its address"; cat "$serve_log"; exit 1; }
+./target/release/cxu loadgen --addr "$addr" --connections 8 --duration-ms 800 \
+    --delay-ms 20 --out "$serve_bench" >/dev/null
+grep -qE '"overloaded": [1-9]' "$serve_bench" \
+    || { echo "overload burst produced no 'overloaded' rejections"; cat "$serve_bench"; exit 1; }
+grep -q '"failed": 0' "$serve_bench" \
+    || { echo "overload burst produced hard failures"; cat "$serve_bench"; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "overloaded server exited nonzero after SIGTERM"; cat "$serve_log"; exit 1; }
+grep -q 'drained after' "$serve_log" \
+    || { echo "overloaded server did not report a clean drain"; cat "$serve_log"; exit 1; }
+rm -f "$serve_log" "$serve_bench"
 
 echo "==> cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then

@@ -1,0 +1,330 @@
+//! End-to-end validation of `cxu-serve` over real sockets: verdict
+//! agreement with the in-process scheduler, admission control under a
+//! saturated queue, the graceful-shutdown drain guarantee, and (with
+//! `--features failpoints`) panic isolation inside the worker pool.
+//!
+//! Every test binds an ephemeral port and serializes on one mutex: the
+//! metrics registry and the failpoint plan are process-global, so
+//! concurrent servers would blur each other's counters and faults.
+
+use cxu::gen::json::Json;
+use cxu::gen::patterns::PatternParams;
+use cxu::gen::program::{random_program, Program, ProgramParams};
+use cxu::gen::rng::SplitMix64;
+use cxu::gen::wire;
+use cxu::prelude::Semantics;
+use cxu::sched::{ops_of_program, Deadline, Op, SchedConfig, Scheduler};
+use cxu::serve::{ServeConfig, ServeSummary, Server, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn start(
+    cfg: ServeConfig,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<ServeSummary>,
+) {
+    let server = Server::bind(cfg, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server closed the connection mid-exchange");
+        Json::parse(line.trim_end()).expect("response is JSON")
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn assert_identity(s: &ServeSummary) {
+    assert_eq!(
+        s.accepted,
+        s.completed + s.rejected_overload + s.failed,
+        "accounting identity violated: {s:?}"
+    );
+}
+
+/// A seeded pool with both PTIME and exotic (budget-bound) pairs.
+fn pool(seed: u64, len: usize) -> (Program, Vec<Op>, Vec<String>) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut pattern = PatternParams::linear(4);
+    pattern.alphabet = 6;
+    pattern.branch_rate = 0.15;
+    let params = ProgramParams {
+        len,
+        update_rate: 0.5,
+        delete_rate: 0.4,
+        pattern,
+    };
+    let program = random_program(&mut rng, &params);
+    let ops = ops_of_program(&program);
+    let op_json: Vec<String> = program
+        .stmts
+        .iter()
+        .map(|s| wire::stmt_to_json(s).to_string())
+        .collect();
+    (program, ops, op_json)
+}
+
+const CHECK_A: &str = r#"{"route": "check", "a": {"kind": "read", "pattern": "*//C"}, "b": {"kind": "insert", "pattern": "*/B", "subtree": "C"}"#;
+
+fn delayed_check(delay_ms: u64, id: u64) -> String {
+    format!(r#"{CHECK_A}, "delay_ms": {delay_ms}, "id": {id}}}"#)
+}
+
+/// (a) Every verdict the server hands out agrees with an in-process
+/// scheduler running the *same* configuration, for both the `check` and
+/// the `schedule` routes.
+#[test]
+fn server_verdicts_agree_with_in_process_scheduler() {
+    let _g = lock();
+    let cfg = ServeConfig::default();
+    let local_cfg = SchedConfig {
+        semantics: Semantics::Value,
+        ..cfg.sched
+    };
+    let (addr, _handle, join) = start(cfg);
+    let mut c = Client::connect(addr);
+
+    let (_program, ops, op_json) = pool(7, 16);
+    let mut local = Scheduler::new(local_cfg);
+    let never = Deadline::never();
+    let mut checked = 0usize;
+    for i in 0..ops.len() {
+        for j in (i + 1)..ops.len() {
+            // A deadline far beyond any detector's budgeted runtime:
+            // degradations, if any, are budget ones — deterministic and
+            // identical on both sides.
+            let req = format!(
+                r#"{{"route": "check", "id": {checked}, "deadline_ms": 60000, "a": {}, "b": {}}}"#,
+                op_json[i], op_json[j]
+            );
+            let v = c.roundtrip(&req);
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+            assert_eq!(v.get("id").and_then(Json::as_u64), Some(checked as u64));
+            let server_conflict = v.get("conflict").and_then(Json::as_bool).unwrap();
+            let server_degraded = v.get("degraded").and_then(Json::as_bool).unwrap();
+
+            let d = local.check_pair(&ops[i], &ops[j], &never);
+            assert_eq!(
+                server_degraded,
+                d.verdict.detector.is_conservative(),
+                "degradation mismatch on pair ({i}, {j}): server {v:?}, local {d:?}"
+            );
+            assert_eq!(
+                server_conflict, d.verdict.conflict,
+                "verdict mismatch on pair ({i}, {j}): server {v:?}, local {d:?}"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, ops.len() * (ops.len() - 1) / 2);
+
+    // The schedule route: same rounds as an in-process run.
+    let batch = format!(
+        r#"{{"route": "schedule", "deadline_ms": 60000, "ops": [{}]}}"#,
+        op_json.join(", ")
+    );
+    let v = c.roundtrip(&batch);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    let server_rounds: Vec<Vec<u64>> = v
+        .get("rounds")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|r| {
+            r.as_arr()
+                .unwrap()
+                .iter()
+                .map(|i| i.as_u64().unwrap())
+                .collect()
+        })
+        .collect();
+    let local_out = local.run(&ops);
+    let local_rounds: Vec<Vec<u64>> = local_out
+        .schedule
+        .rounds
+        .iter()
+        .map(|r| r.iter().map(|&i| i as u64).collect())
+        .collect();
+    assert_eq!(server_rounds, local_rounds);
+    let stats = v.get("stats").unwrap();
+    assert_eq!(
+        stats.get("ops").and_then(Json::as_u64),
+        Some(ops.len() as u64)
+    );
+
+    // Metrics route exposes the serve.* catalog.
+    let v = c.roundtrip(r#"{"route": "metrics"}"#);
+    let counters = v.get("metrics").and_then(|m| m.get("counters")).unwrap();
+    assert!(counters.get("serve.accepted").and_then(Json::as_u64) >= Some(1));
+
+    let v = c.roundtrip(r#"{"route": "shutdown"}"#);
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    drop(c);
+    let summary = join.join().unwrap();
+    assert_identity(&summary);
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.rejected_overload, 0);
+}
+
+/// (b) A full queue answers `overloaded` immediately — it does not hang
+/// the client, and the server keeps serving.
+#[test]
+fn full_queue_rejects_overloaded_without_hanging() {
+    let _g = lock();
+    let (addr, handle, join) = start(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+
+    // Occupy the single worker …
+    let mut busy = Client::connect(addr);
+    busy.send(&delayed_check(400, 1));
+    std::thread::sleep(Duration::from_millis(100));
+    // … and the single queue slot.
+    let mut queued = Client::connect(addr);
+    queued.send(&delayed_check(400, 2));
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The third request must bounce on the spot.
+    let mut burst = Client::connect(addr);
+    let t0 = Instant::now();
+    let v = burst.roundtrip(&delayed_check(0, 3));
+    let elapsed = t0.elapsed();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{v:?}");
+    assert_eq!(v.get("error").and_then(Json::as_str), Some("overloaded"));
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "overload rejection took {elapsed:?}; admission control must not queue-wait"
+    );
+
+    // The admitted requests still complete.
+    for c in [&mut busy, &mut queued] {
+        let v = c.recv();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    }
+    handle.shutdown();
+    drop((busy, queued, burst));
+    let summary = join.join().unwrap();
+    assert_identity(&summary);
+    assert_eq!(summary.rejected_overload, 1);
+    assert_eq!(summary.completed, 2);
+}
+
+/// (c) Graceful shutdown drains in-flight work: a request admitted
+/// before the shutdown still gets its real answer.
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let _g = lock();
+    let (addr, _handle, join) = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+
+    let mut slow = Client::connect(addr);
+    slow.send(&delayed_check(300, 9));
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Shutdown arrives while the delayed request is mid-flight.
+    let mut admin = Client::connect(addr);
+    let v = admin.roundtrip(r#"{"route": "shutdown"}"#);
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+
+    // The in-flight request is answered, not dropped.
+    let v = slow.recv();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    assert_eq!(v.get("conflict").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("id").and_then(Json::as_u64), Some(9));
+
+    drop((slow, admin));
+    let summary = join.join().unwrap();
+    assert_identity(&summary);
+    assert_eq!(summary.completed, 2, "delayed check + shutdown ack");
+    assert_eq!(summary.failed, 0);
+}
+
+/// (d) An injected detector panic fails one request and leaves the
+/// worker pool alive (`--features failpoints`).
+#[cfg(feature = "failpoints")]
+#[test]
+fn injected_panics_fail_requests_but_not_the_pool() {
+    use cxu::runtime::failpoints::{self, Plan};
+
+    let _g = lock();
+    let (addr, _handle, join) = start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr);
+
+    failpoints::arm(Plan {
+        seed: 1,
+        panic_per_mille: 1000,
+        sleep_per_mille: 0,
+        sleep_ms: 0,
+        exhaust_per_mille: 0,
+    });
+    let mut failed = 0;
+    for id in 0..6 {
+        let v = c.roundtrip(&delayed_check(0, id));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{v:?}");
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("internal"));
+        failed += 1;
+    }
+    failpoints::disarm();
+
+    // The pool survived every panic: the next request succeeds.
+    let v = c.roundtrip(&delayed_check(0, 99));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    assert_eq!(v.get("conflict").and_then(Json::as_bool), Some(true));
+
+    let v = c.roundtrip(r#"{"route": "shutdown"}"#);
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    drop(c);
+    let summary = join.join().unwrap();
+    assert_identity(&summary);
+    assert_eq!(summary.failed, failed);
+    assert!(summary.completed >= 2);
+}
