@@ -37,8 +37,9 @@ USAGE:
   cxu dot     (--pattern <xpath> | --doc <D>)
   cxu serve   [--addr A] [--workers N] [--queue-depth N] [--deadline-ms MS]
   cxu loadgen --addr A [--connections N] [--duration-ms MS] [--requests N]
-              [--seed N] [--profile linear|mixed] [--semantics S]
-              [--deadline-ms MS] [--delay-ms MS] [--validate] [--out FILE]
+              [--seed N] [--profile linear|mixed|store] [--semantics S]
+              [--deadline-ms MS] [--delay-ms MS] [--docs N]
+              [--validate] [--out FILE]
 
   S = node | tree | value        (default: node; schedule/serve default to value)
   D = inline term like 'a(b c)', or a path to a .xml / .tree file
@@ -52,6 +53,10 @@ USAGE:
   --trace PATH      write JSONL span/event tracing to PATH (any command)
   --gen-seed N      generate the batch from a seeded PRNG instead of
                     --program (deterministic; used by the CI smoke job)
+  --profile store   loadgen races concurrent editors over shared
+                    documents via doc_put (stale bases auto-merge when
+                    the detectors prove commutation); --docs sets how
+                    many documents the editors share (default 4)
 
 EXAMPLES:
   cxu check --read 'x//C' --insert 'x/B' --subtree 'C'
@@ -66,6 +71,8 @@ EXAMPLES:
   cxu serve --addr 127.0.0.1:7878 --workers 4 --queue-depth 64 --deadline-ms 100
   cxu loadgen --addr 127.0.0.1:7878 --connections 8 --duration-ms 1500 \\
               --validate --out BENCH_SERVE.json
+  cxu loadgen --addr 127.0.0.1:7878 --profile store --docs 4 \\
+              --validate --out BENCH_STORE.json
 ";
 
 /// Flags that never take a value. Every other flag consumes the next
@@ -720,13 +727,20 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
             .filter(|&n| n >= 2)
             .ok_or_else(|| format!("bad --pool-len '{n}' (want an integer >= 2)"))?;
     }
+    if let Some(n) = args.get("docs") {
+        cfg.docs = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --docs '{n}' (want a positive integer)"))?;
+    }
 
     let report = loadgen::run(&cfg)?;
     let json = report.to_json();
     let out = if let Some(path) = args.get("out") {
         std::fs::write(path, format!("{json}\n"))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
-        format!(
+        let mut summary = format!(
             "wrote {path}\nsent {} | completed {} ({:.0} req/s) | overloaded {} ({:.1}%) \
              | failed {}\nlatency p50 {} us, p99 {} us, max {} us\
              \nvalidated {} distinct pair(s)",
@@ -740,7 +754,16 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
             report.p99_us,
             report.max_us,
             report.checked_pairs,
-        )
+        );
+        if report.profile == "store" {
+            let s = &report.store;
+            summary.push_str(&format!(
+                "\nstore: created {} | applied {} | merged {} | branched {} \
+                 | rejected {} | noop {}",
+                s.created, s.applied, s.merged, s.branched, s.rejected, s.noop
+            ));
+        }
+        summary
     } else {
         json
     };

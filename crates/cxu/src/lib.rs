@@ -66,6 +66,11 @@ pub use cxu_schema as schema;
 /// parallel analysis, conflict-free rounds.
 pub use cxu_sched as sched;
 
+/// Multi-version document store: per-document revision trees with
+/// deterministic winners, MVCC puts, and commutativity-aware
+/// auto-merge backed by the pairwise detectors.
+pub use cxu_store as store;
+
 /// The serving layer: NDJSON-over-TCP conflict-detection daemon with
 /// bounded-queue admission control, plus the seeded load generator.
 pub use cxu_serve as serve;

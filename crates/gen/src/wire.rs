@@ -98,6 +98,21 @@ pub fn stmt_from_json(v: &Json) -> Result<Stmt, WireError> {
     }
 }
 
+/// Encodes an update (insert or delete) as a wire-schema object — the
+/// same schema as [`stmt_to_json`], which never produces `"read"` here.
+pub fn update_to_json(u: &Update) -> Json {
+    stmt_to_json(&Stmt::Update(u.clone()))
+}
+
+/// Decodes a wire-schema object into an update, rejecting reads: the
+/// document-store put path only accepts mutations.
+pub fn update_from_json(v: &Json) -> Result<Update, WireError> {
+    match stmt_from_json(v)? {
+        Stmt::Update(u) => Ok(u),
+        Stmt::Read(_) => Err(werr("expected an update op, got a read")),
+    }
+}
+
 /// Encodes a program as a wire-schema array of op objects.
 pub fn program_to_json(p: &Program) -> Json {
     Json::Arr(p.stmts.iter().map(stmt_to_json).collect())

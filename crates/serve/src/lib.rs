@@ -16,7 +16,13 @@
 //!
 //! * `check` — one operation pair under any semantics → verdict;
 //! * `schedule` — a batch of operations → conflict-free rounds;
-//! * `metrics` — the process-wide [`cxu_obs`] snapshot;
+//! * `doc_put` / `doc_get` / `doc_delete` / `doc_changes` — the
+//!   multi-version document store ([`cxu_store`]): MVCC puts with
+//!   commutativity-aware auto-merge, winner reads, tombstones, and the
+//!   monotonic changes feed;
+//! * `metrics` — this server's [`cxu_obs`] activity (counters and
+//!   histograms as deltas against the bind-time baseline, gauges as
+//!   current levels);
 //! * `health` — liveness plus queue/in-flight levels;
 //! * `shutdown` — begin graceful shutdown (equivalent to SIGTERM).
 //!
@@ -44,6 +50,6 @@ pub mod loadgen;
 pub mod proto;
 pub mod server;
 
-pub use loadgen::{LoadConfig, LoadProfile, LoadReport};
+pub use loadgen::{LoadConfig, LoadProfile, LoadReport, StoreTallies};
 pub use proto::{Request, Route};
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};

@@ -19,9 +19,11 @@ use cxu_gen::json::Json;
 use cxu_gen::patterns::PatternParams;
 use cxu_gen::program::{random_program, ProgramParams};
 use cxu_gen::rng::{Rng, SplitMix64};
+use cxu_gen::trees::{random_tree, TreeParams};
 use cxu_gen::wire;
 use cxu_ops::Semantics;
 use cxu_sched::{ops_of_program, Deadline, Op, SchedConfig, Scheduler};
+use cxu_tree::text;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -36,6 +38,10 @@ pub enum LoadProfile {
     /// A quarter of pattern nodes branch: a mix of PTIME and NP-side
     /// pairs — the degradation profile.
     Mixed,
+    /// Concurrent editors racing `doc_put` against shared documents
+    /// with (deliberately) stale base revisions — the document-store
+    /// profile. Measures auto-merge vs. branch vs. reject rates.
+    Store,
 }
 
 impl LoadProfile {
@@ -44,6 +50,7 @@ impl LoadProfile {
         match self {
             LoadProfile::Linear => "linear",
             LoadProfile::Mixed => "mixed",
+            LoadProfile::Store => "store",
         }
     }
 
@@ -52,7 +59,8 @@ impl LoadProfile {
         match s {
             "linear" => Ok(LoadProfile::Linear),
             "mixed" => Ok(LoadProfile::Mixed),
-            other => Err(format!("unknown profile {other:?} (linear|mixed)")),
+            "store" => Ok(LoadProfile::Store),
+            other => Err(format!("unknown profile {other:?} (linear|mixed|store)")),
         }
     }
 
@@ -60,6 +68,10 @@ impl LoadProfile {
         match self {
             LoadProfile::Linear => 0.0,
             LoadProfile::Mixed => 0.25,
+            // Mostly-linear update patterns keep most merge checks on
+            // the exact PTIME detectors while still exercising the
+            // conservative-verdict-must-branch rung now and then.
+            LoadProfile::Store => 0.15,
         }
     }
 }
@@ -90,6 +102,9 @@ pub struct LoadConfig {
     pub validate: bool,
     /// Operations in the generated pool.
     pub pool_len: usize,
+    /// Shared documents in the `store` profile (ignored elsewhere).
+    /// Fewer documents ⇒ more editors per document ⇒ staler bases.
+    pub docs: usize,
 }
 
 impl Default for LoadConfig {
@@ -106,6 +121,7 @@ impl Default for LoadConfig {
             delay_ms: 0,
             validate: false,
             pool_len: 60,
+            docs: 4,
         }
     }
 }
@@ -131,16 +147,65 @@ pub struct LoadReport {
     pub max_us: u64,
     /// Mean latency, microseconds.
     pub mean_us: u64,
-    /// Distinct pairs re-checked during validation.
+    /// Distinct pairs re-checked during validation (for the `store`
+    /// profile: documents and feed pages cross-checked).
     pub checked_pairs: usize,
-    /// Exact-vs-exact verdict mismatches found by validation.
+    /// Exact-vs-exact verdict mismatches found by validation (for the
+    /// `store` profile: changes-feed / winner consistency failures).
     pub disagreements: usize,
+    /// Store profile: `doc_put` outcomes by result, as reported by the
+    /// server (`created` counts resurrections too).
+    pub store: StoreTallies,
     /// Echo of the run parameters.
     pub seed: u64,
     /// Echo: connections used.
     pub connections: usize,
     /// Echo: profile name.
     pub profile: &'static str,
+}
+
+/// `doc_put` / `doc_delete` outcome tallies (store profile).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreTallies {
+    /// `result: "created"` responses (creations and resurrections).
+    pub created: u64,
+    /// `result: "applied"` — uncontended fast-path puts.
+    pub applied: u64,
+    /// `result: "noop"` — idempotent replays.
+    pub noop: u64,
+    /// `result: "merged"` — stale base, provably commuting.
+    pub merged: u64,
+    /// `result: "branched"` — stale base, conflicting or unproven.
+    pub branched: u64,
+    /// `result: "rejected"` — answered rejections (tombstoned winner,
+    /// unknown revision, and similar).
+    pub rejected: u64,
+}
+
+impl StoreTallies {
+    fn total(&self) -> u64 {
+        self.created + self.applied + self.noop + self.merged + self.branched + self.rejected
+    }
+
+    fn add(&mut self, other: &StoreTallies) {
+        self.created += other.created;
+        self.applied += other.applied;
+        self.noop += other.noop;
+        self.merged += other.merged;
+        self.branched += other.branched;
+        self.rejected += other.rejected;
+    }
+
+    fn record(&mut self, result: &str) {
+        match result {
+            "created" => self.created += 1,
+            "applied" => self.applied += 1,
+            "noop" => self.noop += 1,
+            "merged" => self.merged += 1,
+            "branched" => self.branched += 1,
+            _ => self.rejected += 1,
+        }
+    }
 }
 
 impl LoadReport {
@@ -163,10 +228,20 @@ impl LoadReport {
         }
     }
 
-    /// Renders the `BENCH_SERVE.json` document.
+    /// Renders the `BENCH_SERVE.json` document — or `BENCH_STORE.json`
+    /// when the run used the `store` profile, in which case the extra
+    /// `store` object breaks completed puts down by outcome and gives
+    /// the headline merge / branch / reject rates.
     pub fn to_json(&self) -> String {
-        Json::obj(vec![
-            ("bench", Json::str("serve")),
+        let mut members = vec![
+            (
+                "bench",
+                Json::str(if self.profile == "store" {
+                    "store"
+                } else {
+                    "serve"
+                }),
+            ),
             ("profile", Json::str(self.profile)),
             ("seed", Json::from(self.seed)),
             ("connections", Json::from(self.connections)),
@@ -191,7 +266,36 @@ impl LoadReport {
             ),
             ("checked_pairs", Json::from(self.checked_pairs)),
             ("disagreements", Json::from(self.disagreements)),
-        ])
+        ];
+        if self.profile == "store" {
+            let s = &self.store;
+            let total = s.total();
+            let stale = s.merged + s.branched;
+            let rate = |n: u64, d: u64| if d > 0 { n as f64 / d as f64 } else { 0.0 };
+            members.push((
+                "store",
+                Json::obj(vec![
+                    ("puts", Json::from(total)),
+                    ("created", Json::from(s.created)),
+                    ("applied", Json::from(s.applied)),
+                    ("noop", Json::from(s.noop)),
+                    ("merged", Json::from(s.merged)),
+                    ("branched", Json::from(s.branched)),
+                    ("rejected", Json::from(s.rejected)),
+                    // Of the puts that arrived with a stale base, how
+                    // many the detectors proved safe to merge.
+                    ("merge_rate", Json::from(rate(s.merged, stale))),
+                    ("branch_rate", Json::from(rate(s.branched, stale))),
+                    ("reject_rate", Json::from(rate(s.rejected, total))),
+                ]),
+            ));
+        }
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
         .to_string()
     }
 }
@@ -214,6 +318,8 @@ struct ConnResult {
     latencies_us: Vec<u64>,
     /// `(i, j, conflict)` for non-degraded `ok` verdicts, by pool index.
     observations: Vec<(usize, usize, bool)>,
+    /// Store-profile outcome tallies.
+    store: StoreTallies,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -226,6 +332,9 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 
 /// Runs the workload and gathers the report.
 pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    if cfg.profile == LoadProfile::Store {
+        return run_store(cfg);
+    }
     // The pool is generated once from the seed; each connection derives
     // its own request stream from seed ⊕ connection index.
     let mut rng = SplitMix64::seed_from_u64(cfg.seed);
@@ -301,6 +410,394 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     Ok(report)
 }
 
+/// A line-oriented NDJSON client (setup and validation passes of the
+/// store profile; the editor loops splice strings inline instead).
+struct LineClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl LineClient {
+    fn connect(addr: &str) -> Result<LineClient, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?;
+        Ok(LineClient {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn roundtrip(&mut self, req: &str) -> Result<Json, String> {
+        self.writer
+            .write_all(req.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(|e| format!("write: {e}"))?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {}
+            other => return Err(format!("read: {other:?}")),
+        }
+        Json::parse(line.trim_end()).map_err(|e| format!("bad response line: {e}"))
+    }
+}
+
+/// The store-profile run: seeded concurrent editors racing `doc_put`
+/// against `cfg.docs` shared documents. Each editor tracks the winner
+/// revision it last saw per document and uses it as `base_rev` — under
+/// concurrency that view is naturally stale, which is precisely the
+/// workload the auto-merge rung exists for.
+fn run_store(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
+    let mut pattern = PatternParams::linear(4);
+    pattern.alphabet = 6;
+    pattern.branch_rate = cfg.profile.branch_rate();
+    let params = ProgramParams {
+        len: cfg.pool_len.max(2),
+        // Update-only: the put path rejects reads at the parser.
+        update_rate: 1.0,
+        delete_rate: 0.3,
+        pattern,
+    };
+    let program = random_program(&mut rng, &params);
+    let op_json: Vec<String> = program
+        .stmts
+        .iter()
+        .map(|s| wire::stmt_to_json(s).to_string())
+        .collect();
+
+    let extras = request_extras(cfg);
+    let docs = cfg.docs.max(1);
+
+    // Setup pass: create the shared documents, collecting their initial
+    // revisions. The document trees share the update pool's label
+    // alphabet, so patterns actually touch them.
+    let tparams = TreeParams {
+        nodes: 12,
+        alphabet: 6,
+        ..TreeParams::default()
+    };
+    let mut setup = LineClient::connect(&cfg.addr)?;
+    let mut init_revs: Vec<String> = Vec::with_capacity(docs);
+    for d in 0..docs {
+        let content = text::to_text(&random_tree(&mut rng, &tparams));
+        let v = setup.roundtrip(&format!(
+            "{{\"route\": \"doc_put\", \"doc\": \"doc-{d}\", \"content\": \"{content}\"{extras}}}"
+        ))?;
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("setup put for doc-{d} failed: {v}"));
+        }
+        let rev = v
+            .get("rev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("setup put for doc-{d} returned no rev"))?;
+        init_revs.push(rev.to_owned());
+    }
+
+    let t0 = Instant::now();
+    let end = t0 + cfg.duration;
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections.max(1))
+            .map(|c| {
+                let op_json = &op_json;
+                let init_revs = &init_revs;
+                scope.spawn(move || store_editor_loop(cfg, c as u64, op_json, init_revs, end))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut report = LoadReport {
+        elapsed,
+        seed: cfg.seed,
+        connections: cfg.connections.max(1),
+        profile: cfg.profile.name(),
+        ..LoadReport::default()
+    };
+    let mut latencies: Vec<u64> = Vec::new();
+    for r in results {
+        report.sent += r.sent;
+        report.completed += r.completed;
+        report.overloaded += r.overloaded;
+        report.failed += r.failed;
+        report.store.add(&r.store);
+        latencies.extend(r.latencies_us);
+    }
+    latencies.sort_unstable();
+    report.p50_us = percentile(&latencies, 0.50);
+    report.p99_us = percentile(&latencies, 0.99);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+    report.mean_us = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / latencies.len() as u64
+    };
+
+    if cfg.validate {
+        let (checked, disagreements) = validate_store(cfg, &extras)?;
+        report.checked_pairs = checked;
+        report.disagreements = disagreements;
+    }
+    Ok(report)
+}
+
+fn request_extras(cfg: &LoadConfig) -> String {
+    let mut extras = String::new();
+    extras.push_str(&format!(", \"semantics\": \"{}\"", sem_name(cfg.semantics)));
+    if let Some(ms) = cfg.deadline_ms {
+        extras.push_str(&format!(", \"deadline_ms\": {ms}"));
+    }
+    if cfg.delay_ms > 0 {
+        extras.push_str(&format!(", \"delay_ms\": {}", cfg.delay_ms));
+    }
+    extras
+}
+
+/// One editor thread: race `doc_put`s (and occasional `doc_delete`s)
+/// against the shared documents, updating the local view of each
+/// document's winner from the server's own responses.
+fn store_editor_loop(
+    cfg: &LoadConfig,
+    conn: u64,
+    op_json: &[String],
+    init_revs: &[String],
+    end: Instant,
+) -> ConnResult {
+    let mut out = ConnResult::default();
+    let Ok(mut client) = LineClient::connect(&cfg.addr) else {
+        out.failed += 1;
+        return out;
+    };
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let extras = request_extras(cfg);
+    let docs = init_revs.len();
+    let mut revs: Vec<String> = init_revs.to_vec();
+    // Content used to resurrect a document this editor finds deleted.
+    let tparams = TreeParams {
+        nodes: 8,
+        alphabet: 6,
+        ..TreeParams::default()
+    };
+    let resurrect = text::to_text(&random_tree(&mut rng, &tparams));
+    let n = op_json.len();
+    let mut req = String::new();
+    while Instant::now() < end {
+        if let Some(cap) = cfg.requests_per_conn {
+            if out.sent >= cap {
+                break;
+            }
+        }
+        let d = rng.gen_range(0..docs);
+        req.clear();
+        req.push_str("{\"route\": ");
+        if rng.gen_bool(0.05) {
+            // Occasional whole-document delete: exercises tombstones,
+            // the reject rung (edits against the tombstone), and
+            // resurrection below.
+            req.push_str("\"doc_delete\", \"doc\": \"doc-");
+            req.push_str(&d.to_string());
+            req.push_str("\", \"rev\": \"");
+            req.push_str(&revs[d]);
+            req.push('"');
+        } else {
+            req.push_str("\"doc_put\", \"doc\": \"doc-");
+            req.push_str(&d.to_string());
+            req.push_str("\", \"base_rev\": \"");
+            req.push_str(&revs[d]);
+            req.push_str("\", \"op\": ");
+            req.push_str(&op_json[rng.gen_range(0..n)]);
+        }
+        req.push_str(&extras);
+        req.push('}');
+        let t_req = Instant::now();
+        out.sent += 1;
+        let v = match client.roundtrip(&req) {
+            Ok(v) => v,
+            Err(_) => {
+                out.failed += 1;
+                break;
+            }
+        };
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => {
+                out.completed += 1;
+                out.latencies_us
+                    .push(t_req.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                let result = v.get("result").and_then(Json::as_str).unwrap_or("rejected");
+                out.store.record(result);
+                if let Some(w) = v.get("winner").and_then(Json::as_str) {
+                    revs[d] = w.to_owned();
+                }
+                let deleted_winner = v.get("winner_deleted").and_then(Json::as_bool) == Some(true);
+                if result == "rejected" || deleted_winner {
+                    // Refresh the local view; resurrect if the document
+                    // is gone (every editor may try — creation is
+                    // idempotent for identical content, and a racing
+                    // different-content create is just a rejection).
+                    out.sent += 1;
+                    let refresh = if deleted_winner {
+                        format!(
+                            "{{\"route\": \"doc_put\", \"doc\": \"doc-{d}\", \"content\": \"{resurrect}\"{extras}}}"
+                        )
+                    } else {
+                        format!("{{\"route\": \"doc_get\", \"doc\": \"doc-{d}\"{extras}}}")
+                    };
+                    match client.roundtrip(&refresh) {
+                        Ok(r) => {
+                            out.completed += 1;
+                            if let Some(result) = r.get("result").and_then(Json::as_str) {
+                                out.store.record(result);
+                            }
+                            if let Some(w) = r
+                                .get("winner")
+                                .or_else(|| r.get("rev"))
+                                .and_then(Json::as_str)
+                            {
+                                revs[d] = w.to_owned();
+                            }
+                        }
+                        Err(_) => {
+                            out.failed += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => {
+                if v.get("error").and_then(Json::as_str) == Some("overloaded") {
+                    out.overloaded += 1;
+                } else {
+                    out.failed += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The store profile's `--validate` pass, over the live server:
+/// changes-feed monotonicity, one entry per document, winner agreement
+/// with `doc_get`, and cursor replay (mid-stream resume and
+/// limit-paging both reconstruct the same suffix). Returns
+/// `(checks, disagreements)`.
+fn validate_store(cfg: &LoadConfig, extras: &str) -> Result<(usize, usize), String> {
+    let mut client = LineClient::connect(&cfg.addr)?;
+    let mut checked = 0usize;
+    let mut bad = 0usize;
+
+    let full = client.roundtrip(&format!("{{\"route\": \"doc_changes\"{extras}}}"))?;
+    let entries = full
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("doc_changes returned no results array")?
+        .to_vec();
+    let seq_of = |e: &Json| e.get("seq").and_then(Json::as_u64).unwrap_or(0);
+
+    // Monotonicity and per-document uniqueness.
+    checked += 1;
+    if !entries.windows(2).all(|w| seq_of(&w[0]) < seq_of(&w[1])) {
+        bad += 1;
+    }
+    checked += 1;
+    let mut seen = std::collections::HashSet::new();
+    if !entries
+        .iter()
+        .all(|e| seen.insert(e.get("doc").and_then(Json::as_str).unwrap_or("").to_owned()))
+    {
+        bad += 1;
+    }
+
+    // Every feed row names the document's current winner.
+    for e in &entries {
+        let doc = e.get("doc").and_then(Json::as_str).unwrap_or("");
+        let g = client.roundtrip(&format!(
+            "{{\"route\": \"doc_get\", \"doc\": \"{doc}\"{extras}}}"
+        ))?;
+        checked += 1;
+        let feed_rev = e.get("rev").and_then(Json::as_str);
+        let feed_del = e.get("deleted").and_then(Json::as_bool);
+        if g.get("found").and_then(Json::as_bool) != Some(true)
+            || g.get("rev").and_then(Json::as_str) != feed_rev
+            || g.get("deleted").and_then(Json::as_bool) != feed_del
+        {
+            bad += 1;
+        }
+    }
+
+    // Cursor replay from the middle of the feed.
+    if let Some(mid) = entries.get(entries.len() / 2).map(&seq_of) {
+        let tail = client.roundtrip(&format!(
+            "{{\"route\": \"doc_changes\", \"since\": {mid}{extras}}}"
+        ))?;
+        let tail = tail
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or("doc_changes returned no results array")?
+            .to_vec();
+        let expect: Vec<&Json> = entries.iter().filter(|e| seq_of(e) > mid).collect();
+        checked += 1;
+        if tail.len() != expect.len()
+            || tail
+                .iter()
+                .zip(&expect)
+                .any(|(a, b)| a.to_string() != b.to_string())
+        {
+            bad += 1;
+        }
+    }
+
+    // Limit-paging reconstructs the full feed.
+    let mut cursor = 0u64;
+    let mut paged: Vec<Json> = Vec::new();
+    loop {
+        let page = client.roundtrip(&format!(
+            "{{\"route\": \"doc_changes\", \"since\": {cursor}, \"limit\": 1{extras}}}"
+        ))?;
+        let rows = page
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or("doc_changes returned no results array")?
+            .to_vec();
+        if rows.is_empty() {
+            break;
+        }
+        paged.extend(rows);
+        let next = page
+            .get("last_seq")
+            .and_then(Json::as_u64)
+            .unwrap_or(cursor);
+        if next <= cursor {
+            bad += 1;
+            break;
+        }
+        cursor = next;
+        if paged.len() > entries.len() + 1 {
+            // The feed moved under us (it should not: editors stopped)
+            // or paging is broken; either way stop and flag it.
+            bad += 1;
+            break;
+        }
+    }
+    checked += 1;
+    if paged.len() != entries.len()
+        || paged
+            .iter()
+            .zip(&entries)
+            .any(|(a, b)| a.to_string() != b.to_string())
+    {
+        bad += 1;
+    }
+
+    Ok((checked, bad))
+}
+
 /// One client thread: connect, fire `check` requests for random
 /// distinct pool pairs, tally responses.
 fn connection_loop(cfg: &LoadConfig, conn: u64, op_json: &[String], end: Instant) -> ConnResult {
@@ -321,14 +818,7 @@ fn connection_loop(cfg: &LoadConfig, conn: u64, op_json: &[String], end: Instant
     let mut reader = BufReader::new(stream);
     let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let n = op_json.len();
-    let mut extras = String::new();
-    extras.push_str(&format!(", \"semantics\": \"{}\"", sem_name(cfg.semantics)));
-    if let Some(ms) = cfg.deadline_ms {
-        extras.push_str(&format!(", \"deadline_ms\": {ms}"));
-    }
-    if cfg.delay_ms > 0 {
-        extras.push_str(&format!(", \"delay_ms\": {}", cfg.delay_ms));
-    }
+    let extras = request_extras(cfg);
     let mut line = String::new();
     let mut req = String::new();
     while Instant::now() < end {

@@ -7,6 +7,12 @@
 //!  "b": {"kind": "insert", "pattern": "*/B", "subtree": "C"},
 //!  "id": 7, "semantics": "value", "deadline_ms": 50}
 //! {"route": "schedule", "ops": [ ...op objects... ], "semantics": "value"}
+//! {"route": "doc_put", "doc": "d1", "content": "a(b c)"}
+//! {"route": "doc_put", "doc": "d1", "base_rev": "1-89ab...",
+//!  "op": {"kind": "insert", "pattern": "a/b", "subtree": "x"}}
+//! {"route": "doc_get", "doc": "d1", "conflicts": true}
+//! {"route": "doc_delete", "doc": "d1", "rev": "2-cdef..."}
+//! {"route": "doc_changes", "since": 0, "limit": 100}
 //! {"route": "metrics"}
 //! {"route": "health"}
 //! {"route": "shutdown"}
@@ -32,6 +38,8 @@ use cxu_gen::json::Json;
 use cxu_gen::wire;
 use cxu_ops::Semantics;
 use cxu_sched::{Op, PairDecision, SchedStats};
+use cxu_store::{ChangeEntry, GetResult, PutOutcome, PutPayload, RevId, StoreError};
+use cxu_tree::text;
 
 /// Maximum accepted request line, in bytes. Defends the parser against
 /// a client streaming an unbounded line.
@@ -52,6 +60,40 @@ pub enum Route {
         /// The batch, in program order.
         ops: Vec<Op>,
     },
+    /// Put a revision into the document store.
+    DocPut {
+        /// Document id.
+        doc: String,
+        /// Base revision; absent for creations.
+        base_rev: Option<RevId>,
+        /// Content or operation payload.
+        payload: Box<PutPayload>,
+    },
+    /// Read a document (winner or named revision).
+    DocGet {
+        /// Document id.
+        doc: String,
+        /// Specific revision, or the winner when absent.
+        rev: Option<RevId>,
+        /// Include the open-conflict leaves in the response.
+        conflicts: bool,
+    },
+    /// Tombstone a document at a revision.
+    DocDelete {
+        /// Document id.
+        doc: String,
+        /// The revision being deleted (always required: a delete of
+        /// "whatever is current" is exactly the lost-update race the
+        /// store exists to prevent).
+        rev: RevId,
+    },
+    /// The store-wide changes feed from a cursor.
+    DocChanges {
+        /// Exclusive lower bound: entries with `seq > since`.
+        since: u64,
+        /// Page-size cap.
+        limit: Option<usize>,
+    },
     /// Metrics snapshot.
     Metrics,
     /// Liveness probe.
@@ -66,6 +108,10 @@ impl Route {
         match self {
             Route::Check { .. } => "check",
             Route::Schedule { .. } => "schedule",
+            Route::DocPut { .. } => "doc_put",
+            Route::DocGet { .. } => "doc_get",
+            Route::DocDelete { .. } => "doc_delete",
+            Route::DocChanges { .. } => "doc_changes",
             Route::Metrics => "metrics",
             Route::Health => "health",
             Route::Shutdown => "shutdown",
@@ -102,6 +148,47 @@ fn parse_op(v: &Json, field: &str) -> Result<Op, String> {
     Ok(Op::from(stmt))
 }
 
+fn parse_doc(v: &Json) -> Result<String, String> {
+    v.get("doc")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| "doc_* request is missing string field 'doc'".to_owned())
+}
+
+fn parse_rev(v: &Json, field: &str) -> Result<Option<RevId>, String> {
+    match v.get(field) {
+        None => Ok(None),
+        Some(r) => {
+            let s = r
+                .as_str()
+                .ok_or_else(|| format!("field '{field}' must be a revision string"))?;
+            s.parse()
+                .map(Some)
+                .map_err(|e| format!("field '{field}': {e}"))
+        }
+    }
+}
+
+/// Parses a `doc_put` body: exactly one of `content` (compact tree
+/// text) or `op` (wire-schema update object; needs `base_rev`).
+fn parse_put_payload(v: &Json) -> Result<PutPayload, String> {
+    match (v.get("content"), v.get("op")) {
+        (Some(_), Some(_)) => Err("doc_put takes 'content' or 'op', not both".to_owned()),
+        (None, None) => Err("doc_put is missing field 'content' or 'op'".to_owned()),
+        (Some(c), None) => {
+            let src = c
+                .as_str()
+                .ok_or("field 'content' must be a tree in compact text form")?;
+            let tree = text::parse(src).map_err(|e| format!("bad content {src:?}: {e}"))?;
+            Ok(PutPayload::Content(tree))
+        }
+        (None, Some(o)) => {
+            let u = wire::update_from_json(o).map_err(|e| format!("field 'op': {e}"))?;
+            Ok(PutPayload::Op(u))
+        }
+    }
+}
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = Json::parse(line).map_err(|e| e.to_string())?;
@@ -129,12 +216,46 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Route::Schedule { ops }
         }
+        "doc_put" => {
+            let doc = parse_doc(&v)?;
+            let base_rev = parse_rev(&v, "base_rev")?;
+            let payload = parse_put_payload(&v)?;
+            if base_rev.is_none() && matches!(payload, PutPayload::Op(_)) {
+                return Err("doc_put with 'op' requires 'base_rev'".to_owned());
+            }
+            Route::DocPut {
+                doc,
+                base_rev,
+                payload: Box::new(payload),
+            }
+        }
+        "doc_get" => Route::DocGet {
+            doc: parse_doc(&v)?,
+            rev: parse_rev(&v, "rev")?,
+            conflicts: v
+                .get("conflicts")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        },
+        "doc_delete" => {
+            let doc = parse_doc(&v)?;
+            let rev = parse_rev(&v, "rev")?
+                .ok_or("doc_delete requires string field 'rev'")?;
+            Route::DocDelete { doc, rev }
+        }
+        "doc_changes" => Route::DocChanges {
+            since: v.get("since").and_then(Json::as_u64).unwrap_or(0),
+            limit: v
+                .get("limit")
+                .and_then(Json::as_u64)
+                .map(|l| l.min(usize::MAX as u64) as usize),
+        },
         "metrics" => Route::Metrics,
         "health" => Route::Health,
         "shutdown" => Route::Shutdown,
         other => {
             return Err(format!(
-                "unknown route {other:?} (check|schedule|metrics|health|shutdown)"
+                "unknown route {other:?} (check|schedule|doc_put|doc_get|doc_delete|doc_changes|metrics|health|shutdown)"
             ))
         }
     };
@@ -208,6 +329,93 @@ pub fn render_schedule(id: Option<u64>, rounds: &[Vec<usize>], stats: &SchedStat
             ("rounds", Json::from(stats.rounds)),
         ]),
     ));
+    Json::Obj(members).to_string()
+}
+
+/// Renders a successful `doc_put` / `doc_delete` response.
+pub fn render_doc_put(id: Option<u64>, route: &str, doc: &str, out: &PutOutcome) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str(route)));
+    members.push(("doc".to_owned(), Json::str(doc)));
+    members.push(("result".to_owned(), Json::str(out.result.name())));
+    members.push(("rev".to_owned(), Json::str(out.rev.to_string())));
+    members.push(("winner".to_owned(), Json::str(out.winner.to_string())));
+    members.push(("winner_deleted".to_owned(), Json::Bool(out.winner_deleted)));
+    members.push(("seq".to_owned(), Json::from(out.seq)));
+    members.push(("checked_pairs".to_owned(), Json::from(out.checked_pairs)));
+    Json::Obj(members).to_string()
+}
+
+/// Renders a store rejection. Rejections are *answers* about document
+/// state — `ok` stays true and `result` is `"rejected"`, keeping
+/// `ok: false` for transport and internal failures only.
+pub fn render_doc_rejected(id: Option<u64>, route: &str, doc: &str, err: &StoreError) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str(route)));
+    members.push(("doc".to_owned(), Json::str(doc)));
+    members.push(("result".to_owned(), Json::str("rejected")));
+    members.push(("reason".to_owned(), Json::str(err.code())));
+    members.push(("detail".to_owned(), Json::str(err.to_string())));
+    Json::Obj(members).to_string()
+}
+
+/// Renders a successful `doc_get` response.
+pub fn render_doc_get(id: Option<u64>, doc: &str, out: &GetResult) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str("doc_get")));
+    members.push(("doc".to_owned(), Json::str(doc)));
+    members.push(("found".to_owned(), Json::Bool(true)));
+    members.push(("rev".to_owned(), Json::str(out.rev.to_string())));
+    members.push(("deleted".to_owned(), Json::Bool(out.deleted)));
+    if let Some(t) = &out.content {
+        members.push(("content".to_owned(), Json::str(text::to_text(t))));
+    }
+    if !out.conflicts.is_empty() {
+        members.push((
+            "conflicts".to_owned(),
+            Json::Arr(
+                out.conflicts
+                    .iter()
+                    .map(|r| Json::str(r.to_string()))
+                    .collect(),
+            ),
+        ));
+    }
+    members.push(("seq".to_owned(), Json::from(out.seq)));
+    Json::Obj(members).to_string()
+}
+
+/// Renders a `doc_get` miss (`found: false`, with the reason).
+pub fn render_doc_not_found(id: Option<u64>, doc: &str, err: &StoreError) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str("doc_get")));
+    members.push(("doc".to_owned(), Json::str(doc)));
+    members.push(("found".to_owned(), Json::Bool(false)));
+    members.push(("reason".to_owned(), Json::str(err.code())));
+    Json::Obj(members).to_string()
+}
+
+/// Renders a `doc_changes` page.
+pub fn render_doc_changes(id: Option<u64>, entries: &[ChangeEntry], last_seq: u64) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str("doc_changes")));
+    members.push((
+        "results".to_owned(),
+        Json::Arr(
+            entries
+                .iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("seq", Json::from(e.seq)),
+                        ("doc", Json::str(e.doc.clone())),
+                        ("rev", Json::str(e.rev.to_string())),
+                        ("deleted", Json::Bool(e.deleted)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    members.push(("last_seq".to_owned(), Json::from(last_seq)));
     Json::Obj(members).to_string()
 }
 

@@ -22,9 +22,11 @@
 //! answered `shutting-down`.
 
 use crate::proto::{self, Request, Route};
+use cxu_obs::Snapshot;
 use cxu_ops::Semantics;
 use cxu_runtime::{failpoints, Deadline};
-use cxu_sched::{SchedConfig, Scheduler};
+use cxu_sched::{Op, SchedConfig, Scheduler};
+use cxu_store::{Store, StoreConfig, StoreError};
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -47,6 +49,8 @@ pub struct ServeConfig {
     /// Base scheduler configuration. `semantics` is overridden per
     /// request; `pair_deadline` is derived from the request deadline.
     pub sched: SchedConfig,
+    /// Document store configuration (admission bound, merge retries).
+    pub store: StoreConfig,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +76,7 @@ impl Default for ServeConfig {
                 np_max_trees: 5_000,
                 ..SchedConfig::default()
             },
+            store: StoreConfig::default(),
         }
     }
 }
@@ -223,6 +228,13 @@ struct Shared {
     /// not mix. Interners and compiled-chain caches still converge
     /// because the automata layer's compile cache is process-wide.
     scheds: [Mutex<Scheduler>; 3],
+    /// The document store behind the `doc_*` routes.
+    store: Store,
+    /// Registry snapshot taken at bind time. The metrics route reports
+    /// the delta against it: counters and histograms as this server's
+    /// own activity, gauges as current levels — so two servers in one
+    /// process (tests, embedding) no longer see each other's counts.
+    baseline: Snapshot,
     connections: AtomicU64,
     accepted: AtomicU64,
     completed: AtomicU64,
@@ -282,6 +294,8 @@ impl Server {
                 mk(Semantics::Tree),
                 mk(Semantics::Value),
             ],
+            store: Store::new(cfg.store),
+            baseline: cxu_obs::registry().snapshot(),
             cfg,
             start: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -458,6 +472,59 @@ fn process_job(shared: &Shared, job: &Job) -> String {
                     &out.stats,
                 ))
             }
+            Route::DocPut {
+                doc,
+                base_rev,
+                payload,
+            } => {
+                // The merge rung consults the routed detectors; each
+                // pair takes the request-semantics scheduler lock for
+                // exactly one `check_pair` (the store holds no lock of
+                // its own while this closure runs).
+                let mut check = |a: &Op, b: &Op| {
+                    let mut sched = shared
+                        .sched_for(job.req.semantics)
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    sched.check_pair(a, b, &deadline)
+                };
+                let out = shared
+                    .store
+                    .put(doc, *base_rev, (**payload).clone(), &mut check);
+                cxu_obs::histogram!("serve.doc_put_ns").record_since(job.received);
+                Ok(match out {
+                    Ok(o) => proto::render_doc_put(job.req.id, "doc_put", doc, &o),
+                    Err(e) => proto::render_doc_rejected(job.req.id, "doc_put", doc, &e),
+                })
+            }
+            Route::DocDelete { doc, rev } => {
+                let out = shared.store.delete(doc, *rev);
+                cxu_obs::histogram!("serve.doc_put_ns").record_since(job.received);
+                Ok(match out {
+                    Ok(o) => proto::render_doc_put(job.req.id, "doc_delete", doc, &o),
+                    Err(e) => proto::render_doc_rejected(job.req.id, "doc_delete", doc, &e),
+                })
+            }
+            Route::DocGet {
+                doc,
+                rev,
+                conflicts,
+            } => {
+                let out = shared.store.get(doc, *rev, *conflicts);
+                cxu_obs::histogram!("serve.doc_get_ns").record_since(job.received);
+                Ok(match out {
+                    Ok(o) => proto::render_doc_get(job.req.id, doc, &o),
+                    Err(e @ (StoreError::NotFound(_) | StoreError::UnknownRev(_))) => {
+                        proto::render_doc_not_found(job.req.id, doc, &e)
+                    }
+                    Err(e) => proto::render_doc_rejected(job.req.id, "doc_get", doc, &e),
+                })
+            }
+            Route::DocChanges { since, limit } => {
+                let (entries, last_seq) = shared.store.changes(*since, *limit);
+                cxu_obs::histogram!("serve.doc_get_ns").record_since(job.received);
+                Ok(proto::render_doc_changes(job.req.id, &entries, last_seq))
+            }
             // Admin routes are answered inline on the connection thread
             // and never enter the queue.
             Route::Metrics | Route::Health | Route::Shutdown => {
@@ -475,6 +542,20 @@ fn process_job(shared: &Shared, job: &Job) -> String {
             resp
         }
         Err(detail) => {
+            // A document mutation that died (panic, injected fault)
+            // before the store could answer still counts in the store
+            // partition: `store.puts` moves together with
+            // `store.put.failed`, preserving the identity
+            // `puts == applied + merged + branched + rejected + noop +
+            // failed` (the store itself tallies only at success or
+            // rejection, never on an unwound put).
+            if matches!(
+                job.req.route,
+                Route::DocPut { .. } | Route::DocDelete { .. }
+            ) {
+                cxu_obs::counter!("store.puts").inc();
+                cxu_obs::counter!("store.put.failed").inc();
+            }
             tally(shared, Outcome::Failed);
             proto::render_error(job.req.id, "internal", &detail)
         }
@@ -572,7 +653,12 @@ fn respond(line: &[u8], received: Instant, shared: &Shared) -> String {
         }
         Route::Metrics => {
             tally(shared, Outcome::Completed);
-            proto::render_metrics(req.id, &cxu_obs::registry().snapshot().to_json())
+            // Counters and histograms report this server's activity
+            // (delta against the bind-time baseline); gauges report
+            // current levels, refreshed for the store just now.
+            shared.store.set_gauges();
+            let snap = cxu_obs::registry().snapshot().delta(&shared.baseline);
+            proto::render_metrics(req.id, &snap.to_json())
         }
         Route::Shutdown => {
             tally(shared, Outcome::Completed);
@@ -580,7 +666,12 @@ fn respond(line: &[u8], received: Instant, shared: &Shared) -> String {
             shared.begin_shutdown();
             resp
         }
-        Route::Check { .. } | Route::Schedule { .. } => {
+        Route::Check { .. }
+        | Route::Schedule { .. }
+        | Route::DocPut { .. }
+        | Route::DocGet { .. }
+        | Route::DocDelete { .. }
+        | Route::DocChanges { .. } => {
             let deadline_ms = req.deadline_ms.map(Duration::from_millis);
             let deadline = deadline_ms
                 .or(shared.cfg.default_deadline)

@@ -1,0 +1,30 @@
+//! `cxu-store`: a multi-version document store whose merge policy is
+//! the paper's conflict detectors.
+//!
+//! Documents are named; every edit mints an immutable revision in a
+//! per-document [`RevTree`] (the CouchDB shape: generation-hash ids,
+//! tombstones, deterministic winner). What the detectors add is the
+//! step past mere conflict *preservation*: a put against a stale base
+//! revision is checked pairwise against the updates that intervened,
+//! and when every pair **provably commutes** the edit is replayed on
+//! the current winner — one head, no sibling — instead of branching.
+//! Conflicting or merely-unproven (conservative) verdicts branch, which
+//! is always sound because both revisions survive and the winner rule
+//! keeps every replica agreeing on the current version in the meantime.
+//!
+//! The crate is transport-agnostic: `cxu-serve` exposes it over NDJSON
+//! (`doc_put` / `doc_get` / `doc_delete` / `doc_changes`), but the API
+//! here is plain Rust — [`Store::put`] takes the detector callback as a
+//! closure so callers choose the scheduler, routing, and deadline
+//! discipline.
+
+pub mod rev;
+pub mod revtree;
+pub mod store;
+
+pub use rev::{RevId, RevParseError};
+pub use revtree::{RevNode, RevTree};
+pub use store::{
+    ChangeEntry, GetResult, PairCheck, PutOutcome, PutPayload, PutResult, Store, StoreConfig,
+    StoreError,
+};

@@ -1,0 +1,174 @@
+//! Revision identifiers: `generation-hash`, in the CouchDB idiom.
+//!
+//! A revision id is derived, not assigned: `gen` is one more than the
+//! parent's generation (1 for a fresh document), and `hash` is a
+//! 64-bit FNV-1a digest of `(parent id, payload, deleted flag)`. Two
+//! replicas committing the *same* edit against the *same* parent mint
+//! the *same* id — which is what makes puts idempotent and winner
+//! selection independent of arrival order.
+//!
+//! The textual form is `"{gen}-{hash:016x}"`. Because the hash prints
+//! as a fixed-width lowercase hex string, lexicographic comparison of
+//! the hash text coincides with numeric comparison of the `u64` — the
+//! winner rule's "lexicographically greater hash" tie-break is the
+//! plain integer ordering used here.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A revision identifier: generation counter plus content hash.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RevId {
+    /// Distance from the document's first revision (first = 1).
+    pub generation: u64,
+    /// FNV-1a digest of `(parent, payload, deleted)`.
+    pub hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(state: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *state ^= u64::from(b);
+        *state = state.wrapping_mul(FNV_PRIME);
+    }
+}
+
+impl RevId {
+    /// Derives the id of the revision produced by committing `payload`
+    /// (a canonical text rendering of the edit — see
+    /// [`crate::store::Store`]) against `parent`. `deleted` marks
+    /// tombstones, which must not collide with a live revision of
+    /// otherwise identical provenance.
+    pub fn derive(parent: Option<&RevId>, payload: &str, deleted: bool) -> RevId {
+        let mut h = FNV_OFFSET;
+        match parent {
+            Some(p) => fnv1a(&mut h, p.to_string().as_bytes()),
+            None => fnv1a(&mut h, b"(root)"),
+        }
+        fnv1a(&mut h, &[0]);
+        fnv1a(&mut h, payload.as_bytes());
+        fnv1a(&mut h, &[u8::from(deleted)]);
+        RevId {
+            generation: parent.map_or(1, |p| p.generation + 1),
+            hash: h,
+        }
+    }
+}
+
+impl fmt::Display for RevId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{:016x}", self.generation, self.hash)
+    }
+}
+
+/// Error parsing a revision id from its wire form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RevParseError(pub String);
+
+impl fmt::Display for RevParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad revision id: {}", self.0)
+    }
+}
+
+impl std::error::Error for RevParseError {}
+
+impl FromStr for RevId {
+    type Err = RevParseError;
+
+    fn from_str(s: &str) -> Result<RevId, RevParseError> {
+        let (gen_part, hash_part) = s
+            .split_once('-')
+            .ok_or_else(|| RevParseError(format!("{s:?} is not of the form <gen>-<hash>")))?;
+        let generation: u64 = gen_part
+            .parse()
+            .map_err(|_| RevParseError(format!("{s:?} has a non-numeric generation")))?;
+        if generation == 0 {
+            return Err(RevParseError(format!("{s:?} has generation 0")));
+        }
+        if hash_part.len() != 16 {
+            return Err(RevParseError(format!("{s:?} hash is not 16 hex digits")));
+        }
+        let hash = u64::from_str_radix(hash_part, 16)
+            .map_err(|_| RevParseError(format!("{s:?} has a non-hex hash")))?;
+        Ok(RevId { generation, hash })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic_and_parent_sensitive() {
+        let a = RevId::derive(None, "content\0x(y)", false);
+        let b = RevId::derive(None, "content\0x(y)", false);
+        assert_eq!(a, b, "same edit, same id");
+        assert_eq!(a.generation, 1);
+
+        let c = RevId::derive(Some(&a), "update\0ins", false);
+        assert_eq!(c.generation, 2);
+        assert_ne!(c.hash, a.hash);
+        let d = RevId::derive(Some(&c), "update\0ins", false);
+        assert_ne!(c, d, "same edit under a different parent differs");
+    }
+
+    #[test]
+    fn tombstones_do_not_collide_with_live_revisions() {
+        let root = RevId::derive(None, "content\0x", false);
+        let live = RevId::derive(Some(&root), "p", false);
+        let dead = RevId::derive(Some(&root), "p", true);
+        assert_ne!(live, dead);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let root = RevId::derive(None, "seed", false);
+        for rev in [
+            root,
+            RevId::derive(Some(&root), "a", false),
+            RevId {
+                generation: 7,
+                hash: 0x00ff,
+            },
+        ] {
+            let text = rev.to_string();
+            assert_eq!(text.parse::<RevId>().unwrap(), rev, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_ids() {
+        for bad in [
+            "",
+            "1",
+            "-abc",
+            "x-0000000000000000",
+            "0-0000000000000000",
+            "1-xyz",
+            "1-00ff",              // not 16 digits
+            "1-00000000000000000", // 17 digits
+        ] {
+            assert!(bad.parse::<RevId>().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn hex_text_ordering_matches_numeric_ordering() {
+        let lo = RevId {
+            generation: 3,
+            hash: 0x0123,
+        };
+        let hi = RevId {
+            generation: 3,
+            hash: 0xff00_0000_0000_0000,
+        };
+        assert!(hi.hash > lo.hash);
+        assert!(
+            hi.to_string() > lo.to_string(),
+            "fixed-width hex is order-preserving"
+        );
+    }
+}

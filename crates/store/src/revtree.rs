@@ -1,0 +1,267 @@
+//! Per-document revision trees and the deterministic winner rule.
+//!
+//! Every named document is a tree of revisions (not to be confused with
+//! the XML trees the revisions *contain*). Concurrent edits against the
+//! same base become sibling revisions; the current version of the
+//! document is the **winner** leaf, chosen by a rule that depends only
+//! on the set of revisions present — never on arrival order — so every
+//! replica that holds the same revisions agrees on the winner:
+//!
+//! 1. a non-deleted leaf beats a deleted (tombstone) leaf;
+//! 2. among equals, the higher generation wins (the longer edit
+//!    history);
+//! 3. among equals, the lexicographically greater hash wins (an
+//!    arbitrary but universal tie-break; see [`crate::rev`] for why
+//!    text and numeric order coincide).
+//!
+//! Insertion tolerates any order, including children before parents —
+//! a parent referenced by an edge counts as an interior node even
+//! before (or without) its own arrival. That property is what the
+//! permutation tests in `tests/store_validation.rs` pin down.
+
+use crate::rev::RevId;
+use cxu_ops::Update;
+use cxu_tree::Tree;
+use std::collections::{HashMap, HashSet};
+
+/// One revision: its place in the tree plus what it carries.
+#[derive(Clone, Debug)]
+pub struct RevNode {
+    /// Parent revision; `None` for a document's first revision.
+    pub parent: Option<RevId>,
+    /// Tombstone flag.
+    pub deleted: bool,
+    /// The document content at this revision (`None` for tombstones).
+    pub content: Option<Tree>,
+    /// The update that produced this revision from its parent, when the
+    /// revision was made by `doc_put` of an operation. Creations, full
+    /// replacements, and tombstones carry `None` — a merge cannot
+    /// reason across them, so chains containing such links never
+    /// auto-merge (see [`crate::store::Store`]).
+    pub op: Option<Update>,
+    /// Store-wide sequence number at commit time (0 for revisions
+    /// inserted directly, e.g. in tests).
+    pub seq: u64,
+}
+
+/// A document's revision tree.
+#[derive(Clone, Debug, Default)]
+pub struct RevTree {
+    nodes: HashMap<RevId, RevNode>,
+    /// Revisions referenced as a parent by at least one edge. Kept
+    /// separately from `nodes` so insertion order cannot matter: an
+    /// edge may name a parent that has not arrived (yet).
+    interior: HashSet<RevId>,
+}
+
+impl RevTree {
+    /// An empty revision tree.
+    pub fn new() -> RevTree {
+        RevTree::default()
+    }
+
+    /// Inserts a revision. Returns `false` (and changes nothing) if the
+    /// id is already present — insertion is idempotent, which is what
+    /// makes replayed puts no-ops.
+    pub fn insert(&mut self, rev: RevId, node: RevNode) -> bool {
+        if self.nodes.contains_key(&rev) {
+            return false;
+        }
+        if let Some(parent) = node.parent {
+            self.interior.insert(parent);
+        }
+        self.nodes.insert(rev, node);
+        true
+    }
+
+    /// Whether `rev` is present.
+    pub fn contains(&self, rev: &RevId) -> bool {
+        self.nodes.contains_key(rev)
+    }
+
+    /// The revision's node, if present.
+    pub fn get(&self, rev: &RevId) -> Option<&RevNode> {
+        self.nodes.get(rev)
+    }
+
+    /// Number of revisions.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree holds no revisions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `rev` is a leaf (present and not a parent of anything).
+    pub fn is_leaf(&self, rev: &RevId) -> bool {
+        self.nodes.contains_key(rev) && !self.interior.contains(rev)
+    }
+
+    /// All leaves, sorted by `(generation, hash)` for deterministic
+    /// iteration.
+    pub fn leaves(&self) -> Vec<RevId> {
+        let mut out: Vec<RevId> = self
+            .nodes
+            .keys()
+            .filter(|r| !self.interior.contains(r))
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The winner leaf under the three-rule ordering, or `None` when
+    /// the tree is empty. Deterministic in the revision *set*: any
+    /// insertion order yields the same answer.
+    pub fn winner(&self) -> Option<RevId> {
+        self.nodes
+            .iter()
+            .filter(|(r, _)| !self.interior.contains(r))
+            .max_by_key(|(r, n)| (!n.deleted, r.generation, r.hash))
+            .map(|(r, _)| *r)
+    }
+
+    /// The live leaves that lost: every non-deleted leaf except the
+    /// winner, sorted. These are the document's open conflicts.
+    pub fn conflicts(&self) -> Vec<RevId> {
+        let winner = self.winner();
+        let mut out: Vec<RevId> = self
+            .nodes
+            .iter()
+            .filter(|(r, n)| !n.deleted && !self.interior.contains(r) && Some(**r) != winner)
+            .map(|(r, _)| *r)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The revisions strictly between `ancestor` (exclusive) and
+    /// `descendant` (inclusive), oldest first, or `None` when
+    /// `ancestor` is not an ancestor of `descendant` (or either id is
+    /// unknown).
+    pub fn chain(&self, ancestor: &RevId, descendant: &RevId) -> Option<Vec<RevId>> {
+        if !self.nodes.contains_key(ancestor) {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut at = *descendant;
+        loop {
+            if at == *ancestor {
+                path.reverse();
+                return Some(path);
+            }
+            let node = self.nodes.get(&at)?;
+            path.push(at);
+            at = node.parent?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bare(parent: Option<RevId>, deleted: bool) -> RevNode {
+        RevNode {
+            parent,
+            deleted,
+            content: None,
+            op: None,
+            seq: 0,
+        }
+    }
+
+    fn rev(parent: Option<&RevId>, payload: &str, deleted: bool) -> RevId {
+        RevId::derive(parent, payload, deleted)
+    }
+
+    #[test]
+    fn live_leaf_beats_deeper_tombstone() {
+        let mut t = RevTree::new();
+        let root = rev(None, "seed", false);
+        let live = rev(Some(&root), "a", false);
+        let dead_mid = rev(Some(&root), "b", false);
+        let dead = rev(Some(&dead_mid), "b2", true);
+        t.insert(root, bare(None, false));
+        t.insert(live, bare(Some(root), false));
+        t.insert(dead_mid, bare(Some(root), false));
+        t.insert(dead, bare(Some(dead_mid), true));
+        // The tombstone has generation 3 > 2 but rule 1 outranks it.
+        assert_eq!(t.winner(), Some(live));
+        assert!(t.conflicts().is_empty());
+    }
+
+    #[test]
+    fn all_deleted_falls_back_to_deepest_tombstone() {
+        let mut t = RevTree::new();
+        let root = rev(None, "seed", false);
+        let d1 = rev(Some(&root), "x", true);
+        let mid = rev(Some(&root), "y", false);
+        let d2 = rev(Some(&mid), "y2", true);
+        t.insert(root, bare(None, false));
+        t.insert(d1, bare(Some(root), true));
+        t.insert(mid, bare(Some(root), false));
+        t.insert(d2, bare(Some(mid), true));
+        let w = t.winner().unwrap();
+        assert_eq!(w, d2, "higher generation among tombstones");
+        assert!(t.get(&w).unwrap().deleted);
+    }
+
+    #[test]
+    fn same_generation_ties_break_by_hash() {
+        let mut t = RevTree::new();
+        let root = rev(None, "seed", false);
+        let a = rev(Some(&root), "left", false);
+        let b = rev(Some(&root), "right", false);
+        t.insert(root, bare(None, false));
+        t.insert(a, bare(Some(root), false));
+        t.insert(b, bare(Some(root), false));
+        let expect = if a.hash > b.hash { a } else { b };
+        let loser = if a.hash > b.hash { b } else { a };
+        assert_eq!(t.winner(), Some(expect));
+        assert_eq!(t.conflicts(), vec![loser]);
+    }
+
+    #[test]
+    fn insertion_is_idempotent_and_order_free() {
+        let mut fwd = RevTree::new();
+        let mut rev_order = RevTree::new();
+        let root = rev(None, "seed", false);
+        let child = rev(Some(&root), "c", false);
+        assert!(fwd.insert(root, bare(None, false)));
+        assert!(fwd.insert(child, bare(Some(root), false)));
+        assert!(
+            !fwd.insert(child, bare(Some(root), false)),
+            "replay is a no-op"
+        );
+        // Child arrives before its parent: same leaves, same winner.
+        assert!(rev_order.insert(child, bare(Some(root), false)));
+        assert_eq!(
+            rev_order.winner(),
+            Some(child),
+            "parent edge already counts"
+        );
+        assert!(rev_order.insert(root, bare(None, false)));
+        assert_eq!(fwd.winner(), rev_order.winner());
+        assert_eq!(fwd.leaves(), rev_order.leaves());
+    }
+
+    #[test]
+    fn chain_walks_ancestry_oldest_first() {
+        let mut t = RevTree::new();
+        let r1 = rev(None, "seed", false);
+        let r2 = rev(Some(&r1), "a", false);
+        let r3 = rev(Some(&r2), "b", false);
+        let side = rev(Some(&r1), "s", false);
+        t.insert(r1, bare(None, false));
+        t.insert(r2, bare(Some(r1), false));
+        t.insert(r3, bare(Some(r2), false));
+        t.insert(side, bare(Some(r1), false));
+        assert_eq!(t.chain(&r1, &r3), Some(vec![r2, r3]));
+        assert_eq!(t.chain(&r1, &r1), Some(vec![]));
+        assert_eq!(t.chain(&r2, &side), None, "not an ancestor");
+        assert_eq!(t.chain(&r3, &r2), None, "wrong direction");
+    }
+}

@@ -12,6 +12,11 @@
 #                        (4 workers, 8 connections, linear profile):
 #                        sustained throughput, p50/p99 latency,
 #                        rejection rate, validated verdicts.
+#   BENCH_STORE.json     the document store under racing editors
+#                        (6 connections, 3 shared documents, stale
+#                        bases on purpose): merge/branch/reject rates
+#                        and put latency, with the changes feed and
+#                        winners validated after the run.
 #
 # See EXPERIMENTS.md, "Compiled automata and the batch pre-filter",
 # for how to read the numbers (and which are NP-search-noise-prone).
@@ -44,4 +49,21 @@ kill -TERM "$serve_pid"
 wait "$serve_pid"
 rm -f "$serve_log"
 
-echo "done: BENCH_AUTOMATA.json BENCH_SCHED.json BENCH_SERVE.json" >&2
+echo "==> cxu serve + loadgen --profile store > BENCH_STORE.json" >&2
+serve_log=$(mktemp)
+./target/release/cxu serve --addr 127.0.0.1:0 --workers 4 > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never announced its address" >&2; cat "$serve_log" >&2; exit 1; }
+./target/release/cxu loadgen --addr "$addr" --connections 6 --docs 3 \
+    --duration-ms 2000 --seed 42 --profile store --validate --out BENCH_STORE.json >&2
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+rm -f "$serve_log"
+
+echo "done: BENCH_AUTOMATA.json BENCH_SCHED.json BENCH_SERVE.json BENCH_STORE.json" >&2

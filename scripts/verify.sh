@@ -83,6 +83,40 @@ grep -q 'drained after' "$serve_log" \
     || { echo "overloaded server did not report a clean drain"; cat "$serve_log"; exit 1; }
 rm -f "$serve_log" "$serve_bench"
 
+echo "==> store smoke (racing editors on shared docs, validated feed and winners)"
+./target/release/cxu serve --addr 127.0.0.1:0 --workers 4 > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never announced its address"; cat "$serve_log"; exit 1; }
+# --validate replays the changes feed after the run: strict sequence
+# monotonicity, one row per document, a mid-feed cursor replay, limit-1
+# paging, and a doc_get winner cross-check per row.
+./target/release/cxu loadgen --addr "$addr" --connections 6 --docs 3 \
+    --duration-ms 1200 --seed 7 --profile store --validate --out "$serve_bench" >/dev/null
+grep -q '"bench": "store"' "$serve_bench" \
+    || { echo "store bench missing its marker"; cat "$serve_bench"; exit 1; }
+grep -q '"disagreements": 0' "$serve_bench" \
+    || { echo "store validation found feed/winner disagreements"; cat "$serve_bench"; exit 1; }
+grep -qE '"puts": [1-9]' "$serve_bench" \
+    || { echo "store bench recorded no puts"; cat "$serve_bench"; exit 1; }
+# SIGTERM with puts still in flight: admitted work must drain, and the
+# editors must see clean connection closes, not hangs.
+./target/release/cxu loadgen --addr "$addr" --connections 6 --docs 3 \
+    --duration-ms 3000 --seed 8 --profile store >/dev/null 2>&1 &
+load_pid=$!
+sleep 0.5
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "store server exited nonzero after SIGTERM"; cat "$serve_log"; exit 1; }
+grep -q 'drained after' "$serve_log" \
+    || { echo "store server did not report a clean drain"; cat "$serve_log"; exit 1; }
+wait "$load_pid" || true
+rm -f "$serve_log" "$serve_bench"
+
 echo "==> cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

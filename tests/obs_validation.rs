@@ -18,10 +18,12 @@
 //!   to the bounded search — hence the nested-search counters).
 
 use cxu::gen::patterns::PatternParams;
-use cxu::gen::program::{random_program, Program, ProgramParams};
+use cxu::gen::program::{random_program, Program, ProgramParams, Stmt};
 use cxu::gen::rng::SplitMix64;
+use cxu::gen::trees::{random_tree, TreeParams};
 use cxu::obs;
-use cxu::sched::{ops_of_program, SchedConfig, SchedStats, Scheduler};
+use cxu::sched::{ops_of_program, Deadline, Op, SchedConfig, SchedStats, Scheduler};
+use cxu::store::{PutPayload, PutResult, Store, StoreConfig};
 use std::sync::{Mutex, MutexGuard};
 
 static METRICS_LOCK: Mutex<()> = Mutex::new(());
@@ -255,6 +257,168 @@ fn histograms_and_stats_agree_on_batch_structure() {
     assert_eq!(analyze.count, 1);
     let rounds = d.histogram("sched.rounds_ns").expect("rounds histogram");
     assert_eq!(rounds.count, 1);
+}
+
+/// The store-side accounting contract (DESIGN.md § Document store):
+/// every put is tallied in exactly one partition bucket —
+/// `store.puts == applied + merged + branched + rejected + noop +
+/// failed` — and the gauges report the store's real levels. `failed`
+/// is owned by the serving layer (a put that dies before an answer
+/// exists), so for an in-process store it must stay zero.
+#[test]
+fn store_put_counters_partition_the_puts() {
+    let _guard = lock();
+    let before = obs::registry().snapshot();
+
+    let store = Store::new(StoreConfig::default());
+    let mut sched = Scheduler::new(test_config());
+    let deadline = Deadline::never();
+    let mut check = |a: &Op, b: &Op| sched.check_pair(a, b, &deadline);
+
+    // An update pool over the same alphabet as the documents, so merge
+    // checks see patterns that actually touch the trees.
+    let mut rng = SplitMix64::seed_from_u64(0x0B5);
+    let pool: Vec<_> = random_program(
+        &mut rng,
+        &ProgramParams {
+            len: 24,
+            update_rate: 1.0,
+            delete_rate: 0.35,
+            pattern: PatternParams {
+                nodes: 4,
+                alphabet: 6,
+                branch_rate: 0.2,
+                ..PatternParams::default()
+            },
+        },
+    )
+    .stmts
+    .into_iter()
+    .map(|s| match s {
+        Stmt::Update(u) => u,
+        Stmt::Read(_) => unreachable!("update_rate is 1.0"),
+    })
+    .collect();
+    let tparams = TreeParams {
+        nodes: 10,
+        alphabet: 6,
+        ..TreeParams::default()
+    };
+
+    // A seeded workload that deliberately hits every bucket.
+    let mut expect_puts = 0u64;
+    let mut buckets = [0u64; 4]; // applied, noop, merged, branched
+    let mut rejected = 0u64;
+    let mut tally = |r: &Result<cxu::store::PutOutcome, cxu::store::StoreError>| match r {
+        Ok(o) => match o.result {
+            PutResult::Created | PutResult::Applied => buckets[0] += 1,
+            PutResult::Noop => buckets[1] += 1,
+            PutResult::Merged => buckets[2] += 1,
+            PutResult::Branched => buckets[3] += 1,
+        },
+        Err(_) => rejected += 1,
+    };
+    for d in 0..8usize {
+        let doc = format!("obs-{d}");
+        let tree = random_tree(&mut rng, &tparams);
+        let created = store.put(&doc, None, PutPayload::Content(tree), &mut check);
+        expect_puts += 1;
+        tally(&created);
+        let base = created.as_ref().unwrap().rev;
+
+        // An edit at the head (fast path), then the identical put
+        // replayed: same base + same payload mint the same revision id,
+        // so the replay is a noop.
+        let u0 = pool[d % pool.len()].clone();
+        let r = store.put(&doc, Some(base), PutPayload::Op(u0.clone()), &mut check);
+        expect_puts += 1;
+        assert!(
+            matches!(r.as_ref().unwrap().result, PutResult::Applied),
+            "{r:?}"
+        );
+        tally(&r);
+        let r = store.put(&doc, Some(base), PutPayload::Op(u0), &mut check);
+        expect_puts += 1;
+        assert!(
+            matches!(r.as_ref().unwrap().result, PutResult::Noop),
+            "{r:?}"
+        );
+        tally(&r);
+
+        // Create over a live winner: rejected.
+        let tree = random_tree(&mut rng, &tparams);
+        let r = store.put(&doc, None, PutPayload::Content(tree), &mut check);
+        expect_puts += 1;
+        assert!(r.is_err(), "create over live winner must be rejected");
+        tally(&r);
+
+        // Two more ops against the now-stale base: each lands merged
+        // or branched, per the detectors.
+        for k in 0..2usize {
+            let u = pool[(d + 7 * k + 1) % pool.len()].clone();
+            let r = store.put(&doc, Some(base), PutPayload::Op(u), &mut check);
+            expect_puts += 1;
+            tally(&r);
+        }
+
+        // An unknown base revision: rejected.
+        let bogus = "9-0123456789abcdef".parse().unwrap();
+        let u = pool[(d + 3) % pool.len()].clone();
+        let r = store.put(&doc, Some(bogus), PutPayload::Op(u), &mut check);
+        expect_puts += 1;
+        assert!(r.is_err(), "unknown rev must be rejected");
+        tally(&r);
+    }
+    // Tombstone one document, then try to edit it: rejected.
+    let winner = store.get("obs-0", None, false).unwrap().rev;
+    let r = store.delete("obs-0", winner);
+    expect_puts += 1;
+    tally(&r);
+    let u = pool[0].clone();
+    let r = store.put("obs-0", Some(r.unwrap().rev), PutPayload::Op(u), &mut check);
+    expect_puts += 1;
+    assert!(r.is_err(), "edit on tombstone must be rejected");
+    tally(&r);
+
+    store.set_gauges();
+    let d = obs::registry().snapshot().delta(&before);
+
+    // The partition identity, with the workload's own bookkeeping as
+    // the reference. In-process, nothing can die mid-put: failed == 0.
+    assert_eq!(d.counter("store.puts"), expect_puts);
+    assert_eq!(
+        d.counter("store.puts"),
+        d.counter("store.put.applied")
+            + d.counter("store.put.merged")
+            + d.counter("store.put.branched")
+            + d.counter("store.put.rejected")
+            + d.counter("store.put.noop")
+            + d.counter("store.put.failed"),
+        "put buckets partition the puts\n{d}"
+    );
+    assert_eq!(d.counter("store.put.failed"), 0);
+    assert_eq!(d.counter("store.put.applied"), buckets[0]);
+    assert_eq!(d.counter("store.put.noop"), buckets[1]);
+    assert_eq!(d.counter("store.put.merged"), buckets[2]);
+    assert_eq!(d.counter("store.put.branched"), buckets[3]);
+    assert_eq!(d.counter("store.put.rejected"), rejected);
+    assert!(
+        rejected >= 17,
+        "three deliberate rejects per doc + tombstone edit"
+    );
+    assert!(
+        buckets[2] + buckets[3] > 0,
+        "stale-base puts exercised the merge rung"
+    );
+    assert_eq!(d.counter("store.deletes"), 1);
+
+    // Histograms move with the counters: one sample per answered put.
+    let h = d.histogram("store.put_ns").expect("put histogram");
+    assert_eq!(h.count, expect_puts);
+
+    // Gauges are levels, not deltas: they equal the store's real sizes.
+    assert_eq!(d.gauge("store.docs"), store.docs_len() as i64);
+    assert_eq!(d.gauge("store.revisions"), store.revisions_len() as i64);
 }
 
 #[test]

@@ -1,0 +1,584 @@
+//! End-to-end validation of the document store (`cxu-store` behind
+//! `cxu-serve`):
+//!
+//! * **Replica-order independence** — applying the same revision set to
+//!   a [`RevTree`] in any permutation yields the same winner, leaves,
+//!   and conflict list (the property that makes the winner rule a
+//!   replica-agreement rule and not an arrival-order accident).
+//! * **Changes-feed discipline** — strictly monotonic sequences, one
+//!   row per document, and cursors that replay exactly the suffix.
+//! * **Serial equivalence over sockets** — ≥500 seeded rounds of two
+//!   clients racing `doc_put` against the same base revision. Whenever
+//!   the local detectors (same configuration as the server's) say the
+//!   pair provably commutes in both orders, the store must end with a
+//!   single merged head isomorphic to a serial order of the two
+//!   updates; whenever both orders conflict (or degrade), it must end
+//!   branched with the deterministic hash-max winner. Zero
+//!   disagreements tolerated.
+//! * **Metrics isolation** — a second server's `metrics` route starts
+//!   from zero for counters even though the registry is process-global
+//!   (the per-server baseline-delta fix).
+//!
+//! Serialized on one mutex: metrics are process-global and every test
+//! binds its own server.
+
+use cxu::gen::json::Json;
+use cxu::gen::patterns::PatternParams;
+use cxu::gen::program::{random_program, ProgramParams, Stmt};
+use cxu::gen::rng::{Rng, SplitMix64};
+use cxu::gen::trees::{random_tree, TreeParams};
+use cxu::gen::wire;
+use cxu::ops::Update;
+use cxu::prelude::*;
+use cxu::sched::{Deadline, Op, SchedConfig, Scheduler};
+use cxu::serve::{ServeConfig, ServeSummary, Server, ServerHandle};
+use cxu::store::{PutPayload, RevId, RevNode, RevTree, Store, StoreConfig};
+use cxu::tree::{iso, text};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Barrier, Mutex};
+use std::time::Duration;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn start(
+    cfg: ServeConfig,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<ServeSummary>,
+) {
+    let server = Server::bind(cfg, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp).expect("recv");
+        assert!(n > 0, "server closed the connection mid-exchange");
+        Json::parse(resp.trim_end()).expect("response is JSON")
+    }
+}
+
+fn bare(parent: Option<RevId>, deleted: bool) -> RevNode {
+    RevNode {
+        parent,
+        deleted,
+        content: None,
+        op: None,
+        seq: 0,
+    }
+}
+
+/// A random revision set: a well-formed tree (every parent present)
+/// with random tombstones — what a replica might hold after syncing.
+fn random_rev_set(rng: &mut SplitMix64) -> Vec<(RevId, RevNode)> {
+    let mut nodes: Vec<(RevId, RevNode)> = Vec::new();
+    let root = RevId::derive(None, "seed", false);
+    nodes.push((root, bare(None, false)));
+    let extra = rng.gen_range(3..24);
+    for k in 0..extra {
+        let parent = nodes[rng.gen_range(0..nodes.len())].0;
+        let deleted = rng.gen_bool(0.25);
+        let rev = RevId::derive(Some(&parent), &format!("edit-{k}"), deleted);
+        if nodes.iter().all(|(r, _)| *r != rev) {
+            nodes.push((rev, bare(Some(parent), deleted)));
+        }
+    }
+    nodes
+}
+
+fn shuffle<T>(rng: &mut SplitMix64, v: &mut [T]) {
+    for i in (1..v.len()).rev() {
+        v.swap(i, rng.gen_range(0..i + 1));
+    }
+}
+
+/// Winner, leaves, and conflicts depend only on the revision *set*:
+/// every insertion permutation of the same set agrees.
+#[test]
+fn winner_is_independent_of_insertion_order() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let reference_set = random_rev_set(&mut rng);
+
+        let mut reference = RevTree::new();
+        for (rev, node) in &reference_set {
+            assert!(reference.insert(*rev, node.clone()));
+        }
+        let winner = reference.winner().expect("nonempty");
+        // Rule 1: a tombstone only wins when every leaf is a tombstone.
+        if reference.get(&winner).unwrap().deleted {
+            assert!(
+                reference
+                    .leaves()
+                    .iter()
+                    .all(|r| reference.get(r).unwrap().deleted),
+                "seed {seed}: tombstone won over a live leaf"
+            );
+        }
+
+        for round in 0..5 {
+            let mut permuted = reference_set.clone();
+            shuffle(&mut rng, &mut permuted);
+            let mut tree = RevTree::new();
+            for (rev, node) in &permuted {
+                assert!(tree.insert(*rev, node.clone()), "seed {seed} round {round}");
+            }
+            assert_eq!(tree.winner(), Some(winner), "seed {seed} round {round}");
+            assert_eq!(
+                tree.leaves(),
+                reference.leaves(),
+                "seed {seed} round {round}"
+            );
+            assert_eq!(
+                tree.conflicts(),
+                reference.conflicts(),
+                "seed {seed} round {round}"
+            );
+        }
+    }
+}
+
+fn sched_check<'a>(
+    sched: &'a mut Scheduler,
+) -> impl FnMut(&Op, &Op) -> cxu::sched::PairDecision + 'a {
+    let deadline = Deadline::never();
+    move |a: &Op, b: &Op| sched.check_pair(a, b, &deadline)
+}
+
+/// The changes feed is strictly monotonic, deduplicated per document,
+/// and cursors replay exactly the suffix — including across updates
+/// that move a document to a later slot.
+#[test]
+fn changes_feed_is_monotonic_with_exact_cursor_replay() {
+    let _g = lock(); // Store::put tallies into the process-global registry.
+    let store = Store::new(StoreConfig::default());
+    let mut sched = Scheduler::new(SchedConfig {
+        jobs: 1,
+        ..SchedConfig::default()
+    });
+    let mut check = sched_check(&mut sched);
+
+    let mut rng = SplitMix64::seed_from_u64(11);
+    let tparams = TreeParams {
+        alphabet: 6,
+        nodes: 10,
+        ..TreeParams::default()
+    };
+    let mut revs = Vec::new();
+    for d in 0..6 {
+        let t = random_tree(&mut rng, &tparams);
+        let out = store
+            .put(&format!("d{d}"), None, PutPayload::Content(t), &mut check)
+            .unwrap();
+        revs.push(out.rev);
+    }
+    // Touch a couple of documents again (replacement at the winner):
+    // their rows must move to the tail of the feed.
+    for &d in &[1usize, 3] {
+        let t = random_tree(&mut rng, &tparams);
+        store
+            .put(
+                &format!("d{d}"),
+                Some(revs[d]),
+                PutPayload::Content(t),
+                &mut check,
+            )
+            .unwrap();
+    }
+
+    let (all, last) = store.changes(0, None);
+    assert_eq!(all.len(), 6, "one row per document");
+    assert!(all.windows(2).all(|w| w[0].seq < w[1].seq), "monotonic");
+    assert_eq!(all[4].doc, "d1");
+    assert_eq!(all[5].doc, "d3");
+    assert_eq!(last, store.current_seq());
+
+    // Every suffix cursor replays exactly the rows after it.
+    for i in 0..all.len() {
+        let (tail, _) = store.changes(all[i].seq, None);
+        assert_eq!(&tail[..], &all[i + 1..], "cursor at row {i}");
+    }
+    // Limit-paging walks the same rows.
+    let mut cursor = 0;
+    let mut paged = Vec::new();
+    loop {
+        let (page, next) = store.changes(cursor, Some(2));
+        if page.is_empty() {
+            break;
+        }
+        paged.extend(page);
+        assert!(next > cursor, "paging cursor must advance");
+        cursor = next;
+    }
+    assert_eq!(paged, all);
+}
+
+/// An update-only op pool sharing the document alphabet.
+fn update_pool(seed: u64, len: usize) -> Vec<Update> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut pattern = PatternParams::linear(4);
+    pattern.alphabet = 6;
+    pattern.branch_rate = 0.15;
+    let params = ProgramParams {
+        len,
+        update_rate: 1.0,
+        delete_rate: 0.35,
+        pattern,
+    };
+    random_program(&mut rng, &params)
+        .stmts
+        .into_iter()
+        .map(|s| match s {
+            Stmt::Update(u) => u,
+            Stmt::Read(_) => unreachable!("update_rate is 1.0"),
+        })
+        .collect()
+}
+
+/// ≥500 seeded rounds of two clients racing `doc_put` against the same
+/// base revision, cross-checked against the in-process detectors.
+#[test]
+fn racing_puts_merge_iff_provably_commuting_with_deterministic_winners() {
+    let _g = lock();
+    let cfg = ServeConfig::default();
+    let sched_cfg = SchedConfig {
+        semantics: Semantics::Value,
+        ..cfg.sched
+    };
+    let (addr, _handle, join) = start(cfg);
+    let mut setup = Client::connect(addr);
+
+    let pool = update_pool(0xD0C5, 48);
+    let pool_json: Vec<String> = pool
+        .iter()
+        .map(|u| wire::update_to_json(u).to_string())
+        .collect();
+    // The server routes every pair through the same discipline; with a
+    // never-deadline locally, the only degradations left on either side
+    // are budget ones — deterministic and identical by configuration.
+    let mut local = Scheduler::new(sched_cfg);
+    let never = Deadline::never();
+
+    let tparams = TreeParams {
+        alphabet: 6,
+        nodes: 10,
+        ..TreeParams::default()
+    };
+
+    let mut merged_rounds = 0usize;
+    let mut branched_rounds = 0usize;
+    let mut mixed_rounds = 0usize;
+    let mut disagreements = Vec::new();
+    const ROUNDS: u64 = 500;
+
+    for seed in 0..ROUNDS {
+        let mut rng = SplitMix64::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 7);
+        let base_tree = random_tree(&mut rng, &tparams);
+        let doc = format!("race-{seed}");
+        let v = setup.roundtrip(&format!(
+            "{{\"route\": \"doc_put\", \"doc\": \"{doc}\", \"content\": \"{}\"}}",
+            text::to_text(&base_tree)
+        ));
+        assert_eq!(
+            v.get("result").and_then(Json::as_str),
+            Some("created"),
+            "{v:?}"
+        );
+        let base_rev = v.get("rev").and_then(Json::as_str).unwrap().to_owned();
+
+        // Two distinct updates (distinct wire forms ⇒ distinct revs).
+        let (i, j) = loop {
+            let i = rng.gen_range(0..pool.len());
+            let j = rng.gen_range(0..pool.len());
+            if pool_json[i] != pool_json[j] {
+                break (i, j);
+            }
+        };
+
+        // Race them from two connections through a barrier.
+        let barrier = Barrier::new(2);
+        let reqs = [&pool_json[i], &pool_json[j]].map(|op| {
+            format!(
+                "{{\"route\": \"doc_put\", \"doc\": \"{doc}\", \"base_rev\": \"{base_rev}\", \
+                 \"op\": {op}, \"deadline_ms\": 60000}}"
+            )
+        });
+        let [v1, v2] = std::thread::scope(|scope| {
+            let handles = reqs.each_ref().map(|req| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    barrier.wait();
+                    c.roundtrip(req)
+                })
+            });
+            handles.map(|h| h.join().expect("racer thread"))
+        });
+
+        for v in [&v1, &v2] {
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+        }
+        let results: Vec<&str> = [&v1, &v2]
+            .iter()
+            .map(|v| v.get("result").and_then(Json::as_str).unwrap())
+            .collect();
+        // Exactly one fast-path apply; the other merged or branched.
+        assert_eq!(
+            results.iter().filter(|r| **r == "applied").count(),
+            1,
+            "seed {seed}: {results:?}"
+        );
+
+        // Predict from the local detectors, in both orders (the server
+        // checked whichever order the race produced).
+        let (a, b) = (Op::Update(pool[i].clone()), Op::Update(pool[j].clone()));
+        let dab = local.check_pair(&a, &b, &never);
+        let dba = local.check_pair(&b, &a, &never);
+        let exact_commute = |d: &cxu::sched::PairDecision| {
+            !d.verdict.conflict && !d.verdict.detector.is_conservative()
+        };
+        let no_merge = |d: &cxu::sched::PairDecision| {
+            d.verdict.conflict || d.verdict.detector.is_conservative()
+        };
+
+        let g = setup.roundtrip(&format!(
+            "{{\"route\": \"doc_get\", \"doc\": \"{doc}\", \"conflicts\": true}}"
+        ));
+        let winner_rev: RevId = g
+            .get("rev")
+            .and_then(Json::as_str)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let winner_tree = text::parse(g.get("content").and_then(Json::as_str).unwrap()).unwrap();
+        let n_conflicts = g
+            .get("conflicts")
+            .and_then(Json::as_arr)
+            .map_or(0, |a| a.len());
+
+        if exact_commute(&dab) && exact_commute(&dba) {
+            // Provably commuting in both orders: single merged head,
+            // isomorphic to a serial order of the two updates.
+            merged_rounds += 1;
+            let (t_ij, _) = pool[j].apply_to_copy(&pool[i].apply_to_copy(&base_tree).0);
+            let (t_ji, _) = pool[i].apply_to_copy(&pool[j].apply_to_copy(&base_tree).0);
+            if !(results.contains(&"merged")
+                && n_conflicts == 0
+                && winner_rev.generation == 3
+                && (iso::isomorphic(&winner_tree, &t_ij) || iso::isomorphic(&winner_tree, &t_ji)))
+            {
+                disagreements.push(format!(
+                    "seed {seed}: commuting pair did not merge cleanly \
+                     (results {results:?}, conflicts {n_conflicts}, winner {winner_rev})"
+                ));
+            }
+        } else if no_merge(&dab) && no_merge(&dba) {
+            // Conflicting (or unprovable) in both orders: branch, and
+            // the winner is the hash-max sibling regardless of arrival.
+            branched_rounds += 1;
+            let r1: RevId = v1
+                .get("rev")
+                .and_then(Json::as_str)
+                .unwrap()
+                .parse()
+                .unwrap();
+            let r2: RevId = v2
+                .get("rev")
+                .and_then(Json::as_str)
+                .unwrap()
+                .parse()
+                .unwrap();
+            let (expect, winner_op) = if (r1.generation, r1.hash) > (r2.generation, r2.hash) {
+                (r1, &pool[i])
+            } else {
+                (r2, &pool[j])
+            };
+            let (t_expect, _) = winner_op.apply_to_copy(&base_tree);
+            if !(results.contains(&"branched")
+                && n_conflicts == 1
+                && winner_rev == expect
+                && iso::isomorphic(&winner_tree, &t_expect))
+            {
+                disagreements.push(format!(
+                    "seed {seed}: conflicting pair did not branch to the \
+                     deterministic winner (results {results:?}, conflicts \
+                     {n_conflicts}, winner {winner_rev}, expected {expect})"
+                ));
+            }
+        } else {
+            // Order-dependent verdicts: the outcome legitimately depends
+            // on which put landed first; the structural invariants above
+            // (one fast path, winner readable) still held.
+            mixed_rounds += 1;
+        }
+    }
+
+    assert!(
+        disagreements.is_empty(),
+        "{} disagreement(s) over {ROUNDS} rounds:\n{}",
+        disagreements.len(),
+        disagreements.join("\n")
+    );
+    assert!(
+        merged_rounds > 0 && branched_rounds > 0,
+        "workload must exercise both rungs: merged {merged_rounds}, \
+         branched {branched_rounds}, mixed {mixed_rounds}"
+    );
+
+    let v = setup.roundtrip(r#"{"route": "shutdown"}"#);
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    drop(setup);
+    let summary = join.join().unwrap();
+    assert_eq!(
+        summary.accepted,
+        summary.completed + summary.rejected_overload + summary.failed
+    );
+    assert_eq!(summary.failed, 0);
+}
+
+/// Two servers in one process do not see each other's counters: the
+/// metrics route reports per-server deltas (the satellite fix), while
+/// gauges stay levels.
+#[test]
+fn metrics_route_is_isolated_per_server() {
+    let _g = lock();
+
+    // Server A does store work, then drains completely.
+    let (addr_a, _ha, join_a) = start(ServeConfig::default());
+    let mut ca = Client::connect(addr_a);
+    let v = ca.roundtrip(r#"{"route": "doc_put", "doc": "a", "content": "x(y z)"}"#);
+    assert_eq!(v.get("result").and_then(Json::as_str), Some("created"));
+    let m = ca.roundtrip(r#"{"route": "metrics"}"#);
+    let counters = m.get("metrics").and_then(|m| m.get("counters")).unwrap();
+    assert_eq!(counters.get("store.puts").and_then(Json::as_u64), Some(1));
+    ca.roundtrip(r#"{"route": "shutdown"}"#);
+    drop(ca);
+    join_a.join().unwrap();
+
+    // Server B binds after A's activity: its counters start at zero,
+    // and its store gauges report its own (empty) levels.
+    let (addr_b, _hb, join_b) = start(ServeConfig::default());
+    let mut cb = Client::connect(addr_b);
+    let m = cb.roundtrip(r#"{"route": "metrics"}"#);
+    let metrics = m.get("metrics").unwrap();
+    let counters = metrics.get("counters").unwrap();
+    assert_eq!(
+        counters
+            .get("store.puts")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        0,
+        "server B inherited server A's counters: {m}"
+    );
+    assert_eq!(
+        counters
+            .get("serve.completed")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        1,
+        "B sees exactly its own metrics request, none of A's completions"
+    );
+    let gauges = metrics.get("gauges").unwrap();
+    assert_eq!(
+        gauges.get("store.docs").and_then(Json::as_u64).unwrap_or(0),
+        0,
+        "gauges are levels; B's store is empty"
+    );
+    cb.roundtrip(r#"{"route": "shutdown"}"#);
+    drop(cb);
+    join_b.join().unwrap();
+}
+
+/// Tombstone discipline over the wire: delete needs the current rev,
+/// edits against the tombstone are rejected (not failed), and a
+/// base-less content put resurrects.
+#[test]
+fn tombstones_and_resurrection_over_the_wire() {
+    let _g = lock();
+    let (addr, _handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(addr);
+
+    let v = c.roundtrip(r#"{"route": "doc_put", "doc": "t", "content": "a(b c)"}"#);
+    let rev = v.get("rev").and_then(Json::as_str).unwrap().to_owned();
+
+    let v = c.roundtrip(&format!(
+        r#"{{"route": "doc_delete", "doc": "t", "rev": "{rev}"}}"#
+    ));
+    assert_eq!(v.get("result").and_then(Json::as_str), Some("applied"));
+    assert_eq!(v.get("winner_deleted").and_then(Json::as_bool), Some(true));
+    let tomb = v.get("rev").and_then(Json::as_str).unwrap().to_owned();
+
+    // Reads see the tombstone; edits against it are *rejected* answers.
+    let v = c.roundtrip(r#"{"route": "doc_get", "doc": "t"}"#);
+    assert_eq!(v.get("deleted").and_then(Json::as_bool), Some(true));
+    assert!(v.get("content").is_none());
+    let v = c.roundtrip(
+        &format!(
+            r#"{{"route": "doc_put", "doc": "t", "base_rev": "{tomb}",
+            "op": {{"kind": "insert", "pattern": "a/b", "subtree": "q"}}}}"#
+        )
+        .replace('\n', " "),
+    );
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    assert_eq!(v.get("result").and_then(Json::as_str), Some("rejected"));
+    assert_eq!(v.get("reason").and_then(Json::as_str), Some("conflict"));
+
+    // Resurrection extends the tombstone's history.
+    let v = c.roundtrip(r#"{"route": "doc_put", "doc": "t", "content": "a(z)"}"#);
+    assert_eq!(v.get("result").and_then(Json::as_str), Some("created"));
+    let re: RevId = v
+        .get("rev")
+        .and_then(Json::as_str)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(re.generation, 3);
+
+    // Unknown documents and unknown revisions are found: false, and a
+    // malformed revision id is a bad request (parse-time, not queued).
+    let v = c.roundtrip(r#"{"route": "doc_get", "doc": "missing"}"#);
+    assert_eq!(v.get("found").and_then(Json::as_bool), Some(false));
+    assert_eq!(v.get("reason").and_then(Json::as_str), Some("not-found"));
+    let v = c.roundtrip(r#"{"route": "doc_put", "doc": "t", "base_rev": "bogus", "content": "a"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(v.get("error").and_then(Json::as_str), Some("bad-request"));
+
+    c.roundtrip(r#"{"route": "shutdown"}"#);
+    drop(c);
+    let summary = join.join().unwrap();
+    assert_eq!(
+        summary.accepted,
+        summary.completed + summary.rejected_overload + summary.failed
+    );
+    // The malformed base_rev is the only failure.
+    assert_eq!(summary.failed, 1);
+}
