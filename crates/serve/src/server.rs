@@ -232,8 +232,16 @@ struct Shared {
     store: Store,
     /// Registry snapshot taken at bind time. The metrics route reports
     /// the delta against it: counters and histograms as this server's
-    /// own activity, gauges as current levels — so two servers in one
-    /// process (tests, embedding) no longer see each other's counts.
+    /// own activity, gauges as current levels — so a server started
+    /// after another finishes reports only its own counts.
+    ///
+    /// Known limitation: the registry is process-global, so this
+    /// isolation holds for *sequential* servers only. Two servers
+    /// serving concurrently in one process see each other's increments
+    /// in their deltas, and their gauge refreshes race. Exact
+    /// per-server metrics under overlap needs a per-instance registry
+    /// namespace; until then, embedders wanting exact numbers must not
+    /// overlap server lifetimes in a process.
     baseline: Snapshot,
     connections: AtomicU64,
     accepted: AtomicU64,

@@ -2,14 +2,18 @@
 //!
 //! A revision id is derived, not assigned: `gen` is one more than the
 //! parent's generation (1 for a fresh document), and `hash` is a
-//! 64-bit FNV-1a digest of `(parent id, payload, deleted flag)`. Two
-//! replicas committing the *same* edit against the *same* parent mint
-//! the *same* id — which is what makes puts idempotent and winner
-//! selection independent of arrival order.
+//! 128-bit SipHash-2-4 digest of `(parent id, payload, deleted flag)`.
+//! Two replicas committing the *same* edit against the *same* parent
+//! mint the *same* id — which is what makes puts idempotent and winner
+//! selection independent of arrival order. The digest is 128 bits wide
+//! so that a collision between two *different* edits against the same
+//! parent (which would silently drop the second edit as a replay) needs
+//! a ~2^64-work birthday search rather than the trivially constructible
+//! collisions of a 64-bit FNV.
 //!
-//! The textual form is `"{gen}-{hash:016x}"`. Because the hash prints
+//! The textual form is `"{gen}-{hash:032x}"`. Because the hash prints
 //! as a fixed-width lowercase hex string, lexicographic comparison of
-//! the hash text coincides with numeric comparison of the `u64` — the
+//! the hash text coincides with numeric comparison of the `u128` — the
 //! winner rule's "lexicographically greater hash" tie-break is the
 //! plain integer ordering used here.
 
@@ -21,18 +25,77 @@ use std::str::FromStr;
 pub struct RevId {
     /// Distance from the document's first revision (first = 1).
     pub generation: u64,
-    /// FNV-1a digest of `(parent, payload, deleted)`.
-    pub hash: u64,
+    /// SipHash-2-4 128-bit digest of `(parent, payload, deleted)`.
+    pub hash: u128,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Fixed key for revision-id derivation. The key is a protocol
+/// constant, not a secret: every replica must derive identical ids.
+const REV_KEY: (u64, u64) = (0x6378_755f_7265_7631, 0x7369_7068_6173_6832);
 
-fn fnv1a(state: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *state ^= u64::from(b);
-        *state = state.wrapping_mul(FNV_PRIME);
+#[inline]
+fn sipround(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13) ^ v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16) ^ v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21) ^ v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17) ^ v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+/// The keyed initial state shared by both output widths.
+fn sip_init(key: (u64, u64)) -> [u64; 4] {
+    [
+        key.0 ^ 0x736f_6d65_7073_6575,
+        key.1 ^ 0x646f_7261_6e64_6f6d,
+        key.0 ^ 0x6c79_6765_6e65_7261,
+        key.1 ^ 0x7465_6462_7974_6573,
+    ]
+}
+
+/// Absorbs `data` (with the standard `len << 56` final-word padding)
+/// into `v` with two compression rounds per word.
+fn sip_absorb(v: &mut [u64; 4], data: &[u8]) {
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("exact chunk"));
+        v[3] ^= m;
+        sipround(v);
+        sipround(v);
+        v[0] ^= m;
     }
+    let rest = chunks.remainder();
+    let mut last = [0u8; 8];
+    last[..rest.len()].copy_from_slice(rest);
+    last[7] = data.len() as u8; // length mod 256 in the top byte
+    let m = u64::from_le_bytes(last);
+    v[3] ^= m;
+    sipround(v);
+    sipround(v);
+    v[0] ^= m;
+}
+
+/// SipHash-2-4 with 128-bit output (the reference `siphash` with
+/// `outlen = 16`), over `data` under `key`.
+pub(crate) fn siphash24_128(key: (u64, u64), data: &[u8]) -> u128 {
+    let mut v = sip_init(key);
+    v[1] ^= 0xee; // 128-bit output variant
+    sip_absorb(&mut v, data);
+    v[2] ^= 0xee;
+    for _ in 0..4 {
+        sipround(&mut v);
+    }
+    let lo = v[0] ^ v[1] ^ v[2] ^ v[3];
+    v[1] ^= 0xdd;
+    for _ in 0..4 {
+        sipround(&mut v);
+    }
+    let hi = v[0] ^ v[1] ^ v[2] ^ v[3];
+    (u128::from(hi) << 64) | u128::from(lo)
 }
 
 impl RevId {
@@ -42,24 +105,24 @@ impl RevId {
     /// tombstones, which must not collide with a live revision of
     /// otherwise identical provenance.
     pub fn derive(parent: Option<&RevId>, payload: &str, deleted: bool) -> RevId {
-        let mut h = FNV_OFFSET;
+        let mut buf = Vec::with_capacity(payload.len() + 48);
         match parent {
-            Some(p) => fnv1a(&mut h, p.to_string().as_bytes()),
-            None => fnv1a(&mut h, b"(root)"),
+            Some(p) => buf.extend_from_slice(p.to_string().as_bytes()),
+            None => buf.extend_from_slice(b"(root)"),
         }
-        fnv1a(&mut h, &[0]);
-        fnv1a(&mut h, payload.as_bytes());
-        fnv1a(&mut h, &[u8::from(deleted)]);
+        buf.push(0);
+        buf.extend_from_slice(payload.as_bytes());
+        buf.push(u8::from(deleted));
         RevId {
             generation: parent.map_or(1, |p| p.generation + 1),
-            hash: h,
+            hash: siphash24_128(REV_KEY, &buf),
         }
     }
 }
 
 impl fmt::Display for RevId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}-{:016x}", self.generation, self.hash)
+        write!(f, "{}-{:032x}", self.generation, self.hash)
     }
 }
 
@@ -88,10 +151,10 @@ impl FromStr for RevId {
         if generation == 0 {
             return Err(RevParseError(format!("{s:?} has generation 0")));
         }
-        if hash_part.len() != 16 {
-            return Err(RevParseError(format!("{s:?} hash is not 16 hex digits")));
+        if hash_part.len() != 32 {
+            return Err(RevParseError(format!("{s:?} hash is not 32 hex digits")));
         }
-        let hash = u64::from_str_radix(hash_part, 16)
+        let hash = u128::from_str_radix(hash_part, 16)
             .map_err(|_| RevParseError(format!("{s:?} has a non-hex hash")))?;
         Ok(RevId { generation, hash })
     }
@@ -100,6 +163,45 @@ impl FromStr for RevId {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// SipHash-2-4 with the classic 64-bit output, sharing
+    /// [`sip_init`]/[`sip_absorb`]/[`sipround`] with the 128-bit
+    /// production path — so the paper's test vector below pins down the
+    /// round function and the message padding for both widths.
+    fn siphash24_64(key: (u64, u64), data: &[u8]) -> u64 {
+        let mut v = sip_init(key);
+        sip_absorb(&mut v, data);
+        v[2] ^= 0xff;
+        for _ in 0..4 {
+            sipround(&mut v);
+        }
+        v[0] ^ v[1] ^ v[2] ^ v[3]
+    }
+
+    #[test]
+    fn siphash_core_matches_the_paper_vector() {
+        // Appendix A of the SipHash paper (Aumasson & Bernstein 2012):
+        // key = 00 01 … 0f, message = 00 01 … 0e (15 bytes),
+        // SipHash-2-4 output = 0xa129ca6149be45e5.
+        let key = (0x0706_0504_0302_0100, 0x0f0e_0d0c_0b0a_0908);
+        let msg: Vec<u8> = (0u8..15).collect();
+        assert_eq!(siphash24_64(key, &msg), 0xa129_ca61_49be_45e5);
+    }
+
+    #[test]
+    fn siphash_128_separates_close_inputs() {
+        // The 128-bit variant differs from the 64-bit one only by the
+        // documented init/finalization tweaks; sanity-check dispersion
+        // and width on top of the shared-core vector above.
+        let key = (1, 2);
+        let a = siphash24_128(key, b"abc");
+        let b = siphash24_128(key, b"abd");
+        let c = siphash24_128(key, b"abc\0");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, siphash24_128(key, b"abc"), "deterministic");
+        assert!(a > u128::from(u64::MAX) || b > u128::from(u64::MAX));
+    }
 
     #[test]
     fn derivation_is_deterministic_and_parent_sensitive() {
@@ -145,11 +247,11 @@ mod tests {
             "",
             "1",
             "-abc",
-            "x-0000000000000000",
-            "0-0000000000000000",
+            "x-00000000000000000000000000000000",
+            "0-00000000000000000000000000000000",
             "1-xyz",
-            "1-00ff",              // not 16 digits
-            "1-00000000000000000", // 17 digits
+            "1-0000000000000000",                  // 16 digits: the old width
+            "1-000000000000000000000000000000000", // 33 digits
         ] {
             assert!(bad.parse::<RevId>().is_err(), "{bad:?} should be rejected");
         }
@@ -163,7 +265,7 @@ mod tests {
         };
         let hi = RevId {
             generation: 3,
-            hash: 0xff00_0000_0000_0000,
+            hash: 0xff00_0000_0000_0000_0000_0000_0000_0000,
         };
         assert!(hi.hash > lo.hash);
         assert!(

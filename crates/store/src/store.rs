@@ -36,6 +36,15 @@
 //! are *answers*, not failures, and the caller (cxu-serve) reports them
 //! as such.
 //!
+//! Before any rung runs, a **replay** of an already-committed
+//! `(base_rev, payload)` resolves to a noop at the originally minted
+//! revision. Fast-path and branch commits are found by deriving the id
+//! from the base; auto-merged commits minted their id from the
+//! then-winner, so each document keeps an alias map from the
+//! base-derived id to the merged rev — without it, a retried merged
+//! put would re-enter the merge rung, prove the op commutes with
+//! itself, and apply the edit twice.
+//!
 //! # Locking
 //!
 //! One mutex guards the whole store; detector calls run **outside** it
@@ -227,6 +236,13 @@ struct DocState {
     revs: RevTree,
     /// The document's latest sequence number (its changes-feed slot).
     seq: u64,
+    /// Replay aliases for auto-merged puts. A merged put mints its
+    /// revision from the *winner*, so the id a replay would derive from
+    /// the client's `base_rev` is not in the tree; this map sends that
+    /// base-derived id to the rev the merge actually minted. Fast-path
+    /// and branch commits need no entry — their minted id *is* the
+    /// base-derived one, which the tree lookup already catches.
+    merge_aliases: HashMap<RevId, RevId>,
 }
 
 struct Inner {
@@ -382,6 +398,12 @@ impl Store {
             return self.create(doc_id, payload, &payload_str);
         };
 
+        // Idempotence anchor: the id this put would mint if committed
+        // directly at its base. Fast-path and branch commits mint
+        // exactly this id; merged commits record it as an alias. Either
+        // way, a replay of the same (base, payload) resolves here.
+        let replay = RevId::derive(Some(&base), &payload_str, deleted);
+
         let mut attempts = 0usize;
         let mut checked_total = 0usize;
         loop {
@@ -397,13 +419,22 @@ impl Store {
             }
             let winner = doc.revs.winner().expect("known documents are nonempty");
 
-            // Idempotence: the same edit against the same base mints
-            // the same revision id, whether it would have landed on the
-            // fast path or as a branch.
-            let replay = RevId::derive(Some(&base), &payload_str, deleted);
-            if doc.revs.contains(&replay) {
+            // Idempotence: the same edit against the same base is a
+            // noop at the originally minted rev, whether it first
+            // landed on the fast path, as a branch — or as a merge,
+            // whose minted rev hangs off the then-winner and is reached
+            // through the alias map. Re-running a merged put through
+            // the detectors instead would re-apply it: the op commutes
+            // with itself, so the merge rung cannot tell a replay from
+            // a fresh edit.
+            let prior = if doc.revs.contains(&replay) {
+                Some(replay)
+            } else {
+                doc.merge_aliases.get(&replay).copied()
+            };
+            if let Some(prior) = prior {
                 return Ok(PutOutcome {
-                    rev: replay,
+                    rev: prior,
                     winner,
                     winner_deleted: doc.revs.get(&winner).expect("winner exists").deleted,
                     result: PutResult::Noop,
@@ -446,6 +477,7 @@ impl Store {
                 _ => unreachable!("merge rung only plans for operation payloads"),
             };
             let check = check.as_deref_mut().expect("merge rung requires a checker");
+            let round_start = checked_total;
             let mut provably_commutes = true;
             for iv in &intervening {
                 let d = check(&Op::Update(iv.clone()), &my_op);
@@ -455,7 +487,11 @@ impl Store {
                     break;
                 }
             }
-            cxu_obs::counter!("store.merge.checked_pairs").add(checked_total as u64);
+            // Only this round's pairs: `checked_total` carries over
+            // across winner-moved retries, and re-adding it would
+            // double-count the earlier rounds.
+            cxu_obs::counter!("store.merge.checked_pairs")
+                .add((checked_total - round_start) as u64);
 
             let mut inner = self.lock();
             let doc = inner
@@ -516,6 +552,12 @@ impl Store {
                     op: Some(op),
                 },
             );
+            inner
+                .docs
+                .get_mut(doc_id)
+                .expect("just committed")
+                .merge_aliases
+                .insert(replay, rev);
             let doc = inner.docs.get(doc_id).expect("just committed");
             let w = doc.revs.winner().expect("nonempty");
             return Ok(PutOutcome {
@@ -590,6 +632,7 @@ impl Store {
                     DocState {
                         revs: RevTree::new(),
                         seq: 0,
+                        merge_aliases: HashMap::new(),
                     },
                 );
                 None
@@ -670,6 +713,22 @@ impl Store {
             }
         };
         let rev = RevId::derive(Some(&at), payload_str, deleted);
+        if doc.revs.contains(&rev) {
+            // An identical put committed while the merge rung had the
+            // store unlocked (the fast path holds the lock from its
+            // replay check to its commit, so only the post-detector
+            // branch fallbacks can race here). Same (base, payload) ⇒
+            // same rev: a replay, not a new commit.
+            let w = doc.revs.winner().expect("nonempty");
+            return Ok(PutOutcome {
+                rev,
+                winner: w,
+                winner_deleted: doc.revs.get(&w).expect("winner exists").deleted,
+                result: PutResult::Noop,
+                seq: doc.seq,
+                checked_pairs,
+            });
+        }
         let seq = inner.commit(
             doc_id,
             rev,
@@ -933,6 +992,60 @@ mod tests {
                 g.content.as_ref().unwrap(),
                 &text::parse("a(b(x) c(y))").unwrap()
             ));
+        });
+    }
+
+    #[test]
+    fn replaying_a_merged_put_is_a_noop_at_the_merged_rev() {
+        // Regression: the retry-after-dropped-response case. A merged
+        // put mints its rev from the winner, not the client's base; a
+        // replay must still be detected (via the alias map) instead of
+        // re-running the merge rung — the op commutes with itself, so
+        // the detectors would happily apply it a second time.
+        let store = Store::default();
+        with_sched(|check| {
+            let c = store.put("d", None, content("a(b c)"), check).unwrap();
+            store
+                .put(
+                    "d",
+                    Some(c.rev),
+                    PutPayload::Op(insert_op("a/b", "x")),
+                    check,
+                )
+                .unwrap();
+            let merged = store
+                .put(
+                    "d",
+                    Some(c.rev),
+                    PutPayload::Op(insert_op("a/c", "y")),
+                    check,
+                )
+                .unwrap();
+            assert_eq!(merged.result, PutResult::Merged);
+
+            let seq_before = store.current_seq();
+            let retry = store
+                .put(
+                    "d",
+                    Some(c.rev),
+                    PutPayload::Op(insert_op("a/c", "y")),
+                    check,
+                )
+                .unwrap();
+            assert_eq!(retry.result, PutResult::Noop);
+            assert_eq!(retry.rev, merged.rev, "the originally minted rev");
+            assert_eq!(retry.winner, merged.winner);
+            assert_eq!(store.current_seq(), seq_before, "nothing committed");
+
+            let g = store.get("d", None, true).unwrap();
+            assert!(g.conflicts.is_empty());
+            assert!(
+                iso::isomorphic(
+                    g.content.as_ref().unwrap(),
+                    &text::parse("a(b(x) c(y))").unwrap()
+                ),
+                "the edit applied exactly once"
+            );
         });
     }
 

@@ -362,7 +362,7 @@ fn store_put_counters_partition_the_puts() {
         }
 
         // An unknown base revision: rejected.
-        let bogus = "9-0123456789abcdef".parse().unwrap();
+        let bogus = "9-0123456789abcdef0123456789abcdef".parse().unwrap();
         let u = pool[(d + 3) % pool.len()].clone();
         let r = store.put(&doc, Some(bogus), PutPayload::Op(u), &mut check);
         expect_puts += 1;
