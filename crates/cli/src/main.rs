@@ -36,10 +36,17 @@ USAGE:
                [--format text|json|dot] [--metrics text|json]
   cxu dot     (--pattern <xpath> | --doc <D>)
   cxu serve   [--addr A] [--workers N] [--queue-depth N] [--deadline-ms MS]
+              [--data-dir DIR] [--fsync always|interval|never]
+              [--fsync-interval-ms MS] [--snapshot-every N]
+              [--read-timeout-ms MS] [--max-line-bytes N]
   cxu loadgen --addr A [--connections N] [--duration-ms MS] [--requests N]
               [--seed N] [--profile linear|mixed|store] [--semantics S]
               [--deadline-ms MS] [--delay-ms MS] [--docs N]
+              [--retries N] [--backoff-ms MS]
               [--validate] [--out FILE]
+  cxu crashtest --data-dir DIR [--cycles N] [--editors N] [--docs N] [--seed N]
+              [--min-uptime-ms MS] [--max-uptime-ms MS] [--out FILE]
+              [--server-bin PATH]
 
   S = node | tree | value        (default: node; schedule/serve default to value)
   D = inline term like 'a(b c)', or a path to a .xml / .tree file
@@ -57,6 +64,19 @@ USAGE:
                     documents via doc_put (stale bases auto-merge when
                     the detectors prove commutation); --docs sets how
                     many documents the editors share (default 4)
+  --data-dir DIR    serve persists the store in DIR (checksummed WAL +
+                    snapshots) and recovers it on startup; doc_put acks
+                    only after the record is durable per --fsync
+                    (always = fsync per record, interval = periodic,
+                    never = OS-buffered)
+  --retries N       loadgen resends overloaded/transport-failed requests
+                    up to N times with jittered exponential backoff
+                    starting at --backoff-ms (safe because doc_put
+                    replay is idempotent)
+  crashtest         SIGKILLs a real `cxu serve --data-dir` child at
+                    seeded random points under editor load, restarts it,
+                    and fails on any acked-but-lost write, phantom
+                    revision, or changes-feed inconsistency
 
 EXAMPLES:
   cxu check --read 'x//C' --insert 'x/B' --subtree 'C'
@@ -73,6 +93,8 @@ EXAMPLES:
               --validate --out BENCH_SERVE.json
   cxu loadgen --addr 127.0.0.1:7878 --profile store --docs 4 \\
               --validate --out BENCH_STORE.json
+  cxu serve --addr 127.0.0.1:7878 --data-dir ./data --fsync always
+  cxu crashtest --data-dir ./crashdata --cycles 100 --seed 42 --out CRASH.json
 ";
 
 /// Flags that never take a value. Every other flag consumes the next
@@ -609,8 +631,48 @@ impl SignalWatcher {
 
 fn cmd_serve(args: &Args) -> Result<String, String> {
     use cxu::serve::{ServeConfig, Server};
+    use cxu::store::FsyncPolicy;
 
     let mut cfg = ServeConfig::default();
+    if let Some(dir) = args.get("data-dir") {
+        cfg.data_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(f) = args.get("fsync") {
+        cfg.fsync = FsyncPolicy::parse(f)
+            .ok_or_else(|| format!("bad --fsync '{f}' (always|interval|never)"))?;
+    }
+    if let Some(ms) = args.get("fsync-interval-ms") {
+        let ms = ms
+            .parse::<u64>()
+            .ok()
+            .filter(|&ms| ms >= 1)
+            .ok_or_else(|| {
+                format!("bad --fsync-interval-ms '{ms}' (want a positive number of milliseconds)")
+            })?;
+        cfg.fsync = FsyncPolicy::Interval(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = args.get("snapshot-every") {
+        cfg.snapshot_every = n
+            .parse::<u64>()
+            .map_err(|_| format!("bad --snapshot-every '{n}' (want a record count; 0 disables)"))?;
+    }
+    if let Some(ms) = args.get("read-timeout-ms") {
+        let ms = ms
+            .parse::<u64>()
+            .map_err(|_| format!("bad --read-timeout-ms '{ms}' (want milliseconds; 0 disables)"))?;
+        cfg.read_timeout = if ms == 0 {
+            None
+        } else {
+            Some(std::time::Duration::from_millis(ms))
+        };
+    }
+    if let Some(n) = args.get("max-line-bytes") {
+        cfg.max_line_bytes = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 64)
+            .ok_or_else(|| format!("bad --max-line-bytes '{n}' (want an integer >= 64)"))?;
+    }
     if let Some(w) = args.get("workers") {
         cfg.workers = w
             .parse::<usize>()
@@ -639,6 +701,11 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     let server = Server::bind(cfg, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
 
+    // The recovery report precedes the readiness line so harnesses can
+    // parse both in one stdout pass.
+    if let Some(report) = server.recovery_report() {
+        println!("cxu-serve recovered {}", report.to_json());
+    }
     // Announce readiness before blocking in the accept loop, so scripts
     // can `grep` the line (it carries the resolved port for `:0`).
     println!("cxu-serve listening on {local}");
@@ -734,6 +801,20 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
             .filter(|&n| n >= 1)
             .ok_or_else(|| format!("bad --docs '{n}' (want a positive integer)"))?;
     }
+    if let Some(n) = args.get("retries") {
+        cfg.retries = n
+            .parse::<u32>()
+            .map_err(|_| format!("bad --retries '{n}' (want an attempt count; 0 disables)"))?;
+    }
+    if let Some(ms) = args.get("backoff-ms") {
+        cfg.backoff_ms = ms
+            .parse::<u64>()
+            .ok()
+            .filter(|&ms| ms >= 1)
+            .ok_or_else(|| {
+                format!("bad --backoff-ms '{ms}' (want a positive number of milliseconds)")
+            })?;
+    }
 
     let report = loadgen::run(&cfg)?;
     let json = report.to_json();
@@ -742,7 +823,7 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         let mut summary = format!(
             "wrote {path}\nsent {} | completed {} ({:.0} req/s) | overloaded {} ({:.1}%) \
-             | failed {}\nlatency p50 {} us, p99 {} us, max {} us\
+             | failed {} | retries {}\nlatency p50 {} us, p99 {} us, max {} us\
              \nvalidated {} distinct pair(s)",
             report.sent,
             report.completed,
@@ -750,6 +831,7 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
             report.overloaded,
             100.0 * report.rejection_rate(),
             report.failed,
+            report.retries,
             report.p50_us,
             report.p99_us,
             report.max_us,
@@ -776,6 +858,87 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_crashtest(args: &Args) -> Result<String, String> {
+    use cxu::serve::{crash, CrashConfig};
+
+    let server_bin = match args.get("server-bin") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?,
+    };
+    let data_dir = std::path::PathBuf::from(args.require("data-dir")?);
+    let mut cfg = CrashConfig::new(server_bin, data_dir);
+    if let Some(n) = args.get("cycles") {
+        cfg.cycles = n
+            .parse::<u32>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --cycles '{n}' (want a positive integer)"))?;
+    }
+    if let Some(n) = args.get("editors") {
+        cfg.editors = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --editors '{n}' (want a positive integer)"))?;
+    }
+    if let Some(n) = args.get("docs") {
+        cfg.docs = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --docs '{n}' (want a positive integer)"))?;
+    }
+    if let Some(s) = args.get("seed") {
+        cfg.seed = s
+            .parse::<u64>()
+            .map_err(|_| format!("bad --seed '{s}' (want a u64)"))?;
+    }
+    if let Some(ms) = args.get("min-uptime-ms") {
+        cfg.min_uptime_ms = ms
+            .parse::<u64>()
+            .map_err(|_| format!("bad --min-uptime-ms '{ms}' (want milliseconds)"))?;
+    }
+    if let Some(ms) = args.get("max-uptime-ms") {
+        cfg.max_uptime_ms = ms
+            .parse::<u64>()
+            .ok()
+            .filter(|&ms| ms > cfg.min_uptime_ms)
+            .ok_or_else(|| {
+                format!("bad --max-uptime-ms '{ms}' (want milliseconds > --min-uptime-ms)")
+            })?;
+    }
+
+    let report = crash::run(&cfg)?;
+    let json = report.to_json();
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let summary = format!(
+        "{} cycle(s): acked {} (minted {}) | checked {} | lost {} | phantoms {} \
+         | torn recoveries {} | replayed {} record(s), final seq {}",
+        report.cycles,
+        report.acked,
+        report.minted,
+        report.checked,
+        report.lost,
+        report.phantoms,
+        report.torn_recoveries,
+        report.replayed_records,
+        report.recovered_seq,
+    );
+    if report.ok() {
+        Ok(format!(
+            "{summary}\ndurability holds: every acked write survived"
+        ))
+    } else {
+        Err(format!(
+            "{summary}\nDURABILITY VIOLATIONS:\n  {}",
+            report.violations.join("\n  ")
+        ))
+    }
+}
+
 fn run() -> Result<String, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -795,6 +958,7 @@ fn run() -> Result<String, String> {
         "schedule" => cmd_schedule(&args),
         "serve" => cmd_serve(&args),
         "loadgen" => cmd_loadgen(&args),
+        "crashtest" => cmd_crashtest(&args),
         "dot" => cmd_dot(&args),
         "help" | "--help" | "-h" => Ok(USAGE.into()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),

@@ -18,6 +18,14 @@
 //! | `brute::search` | cxu-core   | panic, sleep, exhaust (witness search) |
 //! | `uu::search`    | cxu-core   | panic, sleep, exhaust (commutation search) |
 //! | `schema::search`| cxu-schema | panic, sleep, exhaust (conforming search) |
+//! | `serve::request`| cxu-serve  | panic, sleep (worker request handling) |
+//! | `store::wal::append` | cxu-store | exhaust ⇒ injected append error |
+//! | `store::wal::short_write` | cxu-store | exhaust ⇒ half-written frame, log poisoned |
+//! | `store::wal::sync` | cxu-store | exhaust ⇒ injected fsync error |
+//!
+//! The `store::wal::*` sites reinterpret `ExhaustBudget` as "the disk
+//! failed here" — the WAL turns the roll into an I/O error (and, for
+//! `short_write`, a genuinely torn tail) instead of a budget verdict.
 
 use std::time::Duration;
 

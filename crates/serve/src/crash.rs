@@ -1,0 +1,579 @@
+//! Kill-9 crash-injection harness for the durable document store.
+//!
+//! The headline durability claim (DESIGN.md §9) is *prefix
+//! consistency*: after a crash, the recovered store is exactly the
+//! state at some prefix of the WAL that includes **every write the
+//! server acknowledged** — acked revisions survive, nothing the log
+//! never recorded materializes, and the winner rule is unchanged.
+//! This module checks that claim the only way it can honestly be
+//! checked: by killing a real server process with SIGKILL at seeded
+//! random points under live editor load and restarting it from its
+//! data directory, many times over, against a ledger of acknowledged
+//! commits kept on the client side of the socket.
+//!
+//! Per cycle:
+//!
+//! 1. spawn `<bin> serve --data-dir D --fsync always` as a child
+//!    process and read the announced address (and, from the second
+//!    cycle on, the recovery report) off its stdout;
+//! 2. **validate** the recovered state against the ledger — every
+//!    acked revision readable via `doc_get rev=`, no phantom
+//!    revisions beyond the in-flight bound, changes feed strictly
+//!    monotonic with the recovered `seq` covering every acked seq,
+//!    winner agreeing with the client-side revision ordering;
+//! 3. run seeded editor threads pushing `doc_put`/`doc_delete`
+//!    against shared documents, appending each acknowledged response
+//!    to the ledger;
+//! 4. after a seeded random uptime, SIGKILL the child mid-load.
+//!
+//! The phantom bound is exact, not heuristic: editors send one
+//! request at a time, so a crash can strand at most one
+//! durable-but-unacked commit per editor — after `k` kills the
+//! recovered revision count may exceed the acked mint count by at
+//! most `editors × k`.
+
+use crate::loadgen::LineClient;
+use cxu_gen::json::Json;
+use cxu_gen::patterns::PatternParams;
+use cxu_gen::program::{random_program, ProgramParams};
+use cxu_gen::rng::{Rng, SplitMix64};
+use cxu_gen::wire;
+use cxu_store::RevId;
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`run`].
+#[derive(Clone, Debug)]
+pub struct CrashConfig {
+    /// The server binary (a `cxu` CLI build; the harness invokes
+    /// `<bin> serve …`).
+    pub server_bin: PathBuf,
+    /// Data directory shared by every server incarnation.
+    pub data_dir: PathBuf,
+    /// Number of kill/restart cycles.
+    pub cycles: u32,
+    /// Concurrent editor threads per cycle.
+    pub editors: usize,
+    /// Shared documents the editors race over.
+    pub docs: usize,
+    /// Seed for uptimes, editor streams, and the op pool.
+    pub seed: u64,
+    /// Uptime before the SIGKILL is drawn from this range (ms).
+    pub min_uptime_ms: u64,
+    /// Upper end of the uptime range (ms).
+    pub max_uptime_ms: u64,
+}
+
+impl CrashConfig {
+    /// Defaults for everything but the binary and data dir.
+    pub fn new(server_bin: PathBuf, data_dir: PathBuf) -> CrashConfig {
+        CrashConfig {
+            server_bin,
+            data_dir,
+            cycles: 100,
+            editors: 4,
+            docs: 3,
+            seed: 0,
+            min_uptime_ms: 40,
+            max_uptime_ms: 250,
+        }
+    }
+}
+
+/// What the harness observed; [`CrashReport::ok`] is the verdict.
+#[derive(Debug, Default)]
+pub struct CrashReport {
+    /// Kill/restart cycles completed.
+    pub cycles: u32,
+    /// Acknowledged commits in the ledger (including noop resolutions).
+    pub acked: u64,
+    /// Distinct revisions the acks minted (the survival set).
+    pub minted: u64,
+    /// Validation probes issued across all recoveries.
+    pub checked: u64,
+    /// Acked revisions missing after a recovery. Must be 0.
+    pub lost: u64,
+    /// Recovered revisions beyond the in-flight bound. Must be 0.
+    pub phantoms: u64,
+    /// Changes-feed / winner-rule / seq violations. Must be empty.
+    pub violations: Vec<String>,
+    /// Revisions in the final recovered store.
+    pub recovered_revisions: u64,
+    /// Sequence number of the final recovered store.
+    pub recovered_seq: u64,
+    /// WAL records replayed, summed over all recoveries.
+    pub replayed_records: u64,
+    /// Recoveries that truncated a torn tail (crash hit mid-append).
+    pub torn_recoveries: u64,
+}
+
+impl CrashReport {
+    /// The durability verdict: no acked write lost, no phantom
+    /// revision, no consistency violation.
+    pub fn ok(&self) -> bool {
+        self.lost == 0 && self.phantoms == 0 && self.violations.is_empty()
+    }
+
+    /// Machine-readable report (the CI artifact).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ok", Json::Bool(self.ok())),
+            ("cycles", Json::from(u64::from(self.cycles))),
+            ("acked", Json::from(self.acked)),
+            ("minted", Json::from(self.minted)),
+            ("checked", Json::from(self.checked)),
+            ("lost", Json::from(self.lost)),
+            ("phantoms", Json::from(self.phantoms)),
+            (
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| Json::str(v.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("recovered_revisions", Json::from(self.recovered_revisions)),
+            ("recovered_seq", Json::from(self.recovered_seq)),
+            ("replayed_records", Json::from(self.replayed_records)),
+            ("torn_recoveries", Json::from(self.torn_recoveries)),
+        ])
+    }
+}
+
+/// One acknowledged commit, as the client saw it.
+#[derive(Clone, Debug)]
+struct Acked {
+    doc: String,
+    rev: String,
+    /// Did this ack mint a new revision (`created`/`applied`/
+    /// `merged`/`branched`/`deleted`) or resolve to an existing one
+    /// (`noop`)?
+    minted: bool,
+    seq: u64,
+}
+
+/// A server child whose stdout has been parsed up to the readiness
+/// line. Dropping it SIGKILLs the process (the harness's whole point
+/// is that this is safe).
+struct Server {
+    child: Child,
+    addr: String,
+    recovery: Option<Json>,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_server(cfg: &CrashConfig) -> Result<Server, String> {
+    let mut child = Command::new(&cfg.server_bin)
+        .arg("serve")
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg("2")
+        .arg("--queue-depth")
+        .arg("128")
+        .arg("--data-dir")
+        .arg(&cfg.data_dir)
+        .arg("--fsync")
+        .arg("always")
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", cfg.server_bin.display()))?;
+    let stdout = child.stdout.take().ok_or("child stdout not captured")?;
+    let mut reader = BufReader::new(stdout);
+    let mut addr = None;
+    let mut recovery = None;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut line = String::new();
+    while Instant::now() < deadline {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // child died before announcing
+            Ok(_) => {}
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("reading server stdout: {e}"));
+            }
+        }
+        if let Some(json) = line.trim().strip_prefix("cxu-serve recovered ") {
+            recovery = Json::parse(json).ok();
+        } else if let Some(a) = line.trim().strip_prefix("cxu-serve listening on ") {
+            addr = Some(a.to_owned());
+            break;
+        }
+    }
+    // Keep draining stdout so the child never blocks on a full pipe
+    // (it prints a drain summary on graceful exit).
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    match addr {
+        Some(addr) => Ok(Server {
+            child,
+            addr,
+            recovery,
+        }),
+        None => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err("server never announced its address".into())
+        }
+    }
+}
+
+/// Client-side copy of the store's winner rule: live beats deleted,
+/// then higher generation, then higher hash. The harness re-derives
+/// it from the wire revision strings on purpose — agreement between
+/// two independent implementations is the check.
+fn beats(a: &str, b: &str) -> bool {
+    let parse = |s: &str| -> (u64, String) {
+        match s.split_once('-') {
+            Some((g, h)) => (g.parse().unwrap_or(0), h.to_owned()),
+            None => (0, s.to_owned()),
+        }
+    };
+    parse(a) > parse(b)
+}
+
+fn push_violation(report: &mut CrashReport, msg: String) {
+    if report.violations.len() < 12 {
+        report.violations.push(msg);
+    }
+}
+
+/// Probes a freshly recovered server against the ledger.
+fn validate_recovery(
+    addr: &str,
+    ledger: &[Acked],
+    kills_so_far: u64,
+    cfg: &CrashConfig,
+    recovery: Option<&Json>,
+    report: &mut CrashReport,
+) -> Result<(), String> {
+    let mut client = LineClient::connect(addr)?;
+
+    // 1. Survival: every acked revision is still readable by name.
+    let distinct: HashSet<(&str, &str)> = ledger
+        .iter()
+        .map(|a| (a.doc.as_str(), a.rev.as_str()))
+        .collect();
+    for (doc, rev) in &distinct {
+        let v = client.roundtrip(&format!(
+            "{{\"route\": \"doc_get\", \"doc\": \"{doc}\", \"rev\": \"{rev}\"}}"
+        ))?;
+        report.checked += 1;
+        let found = v.get("ok").and_then(Json::as_bool) == Some(true)
+            && v.get("found").and_then(Json::as_bool) != Some(false);
+        if !found {
+            report.lost += 1;
+            push_violation(report, format!("acked {doc}@{rev} lost after recovery"));
+        }
+    }
+
+    // 2. Phantoms: the recovery report's revision count may exceed
+    // the acked mints only by the stranded in-flight bound.
+    if let Some(r) = recovery {
+        let revisions = r.get("revisions").and_then(Json::as_u64).unwrap_or(0);
+        let seq = r.get("seq").and_then(Json::as_u64).unwrap_or(0);
+        report.recovered_revisions = revisions;
+        report.recovered_seq = seq;
+        report.replayed_records += r
+            .get("replayed_records")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if r.get("torn_bytes").and_then(Json::as_u64).unwrap_or(0) > 0 {
+            report.torn_recoveries += 1;
+        }
+        let minted: u64 = ledger.iter().filter(|a| a.minted).count() as u64;
+        let bound = minted + cfg.editors as u64 * kills_so_far;
+        report.checked += 1;
+        if revisions > bound {
+            report.phantoms += revisions - bound;
+            push_violation(
+                report,
+                format!("{revisions} recovered revisions exceed the bound {bound}"),
+            );
+        }
+        let max_acked_seq = ledger.iter().map(|a| a.seq).max().unwrap_or(0);
+        report.checked += 1;
+        if seq < max_acked_seq {
+            push_violation(
+                report,
+                format!("recovered seq {seq} below acked seq {max_acked_seq}"),
+            );
+        }
+    }
+
+    // 3. Changes feed: strictly monotonic, one entry per document,
+    // winner in agreement with doc_get and the client-side ordering.
+    let changes = client.roundtrip("{\"route\": \"doc_changes\"}")?;
+    let entries = changes
+        .get("results")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::to_vec)
+        .unwrap_or_default();
+    let mut last_seq = 0u64;
+    let mut seen_docs: HashSet<String> = HashSet::new();
+    for e in &entries {
+        report.checked += 1;
+        let seq = e.get("seq").and_then(Json::as_u64).unwrap_or(0);
+        let doc = e.get("doc").and_then(Json::as_str).unwrap_or("").to_owned();
+        if seq <= last_seq {
+            push_violation(report, format!("changes seq {seq} not increasing"));
+        }
+        last_seq = seq;
+        if !seen_docs.insert(doc.clone()) {
+            push_violation(report, format!("doc {doc} appears twice in changes"));
+        }
+        let feed_rev = e.get("rev").and_then(Json::as_str).unwrap_or("").to_owned();
+        let g = client.roundtrip(&format!(
+            "{{\"route\": \"doc_get\", \"doc\": \"{doc}\", \"conflicts\": true}}"
+        ))?;
+        let winner = g.get("rev").and_then(Json::as_str).unwrap_or("").to_owned();
+        if winner != feed_rev {
+            push_violation(
+                report,
+                format!("doc {doc}: changes rev {feed_rev} != winner {winner}"),
+            );
+        }
+        if RevId::from_str(&winner).is_err() {
+            push_violation(report, format!("doc {doc}: unparsable winner {winner:?}"));
+        }
+        for c in g.get("conflicts").and_then(Json::as_arr).unwrap_or(&[]) {
+            report.checked += 1;
+            let loser = c.as_str().unwrap_or("");
+            if !beats(&winner, loser) {
+                push_violation(
+                    report,
+                    format!("doc {doc}: winner {winner} does not beat live leaf {loser}"),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One editor thread: races `doc_put`s (with occasional deletes and
+/// resurrections) until the stop flag or the socket dies under it.
+/// Returns the commits the *server acknowledged* — the set the next
+/// recovery must preserve.
+fn editor_loop(
+    addr: &str,
+    seed: u64,
+    docs: usize,
+    op_json: &[String],
+    stop: &AtomicBool,
+) -> Vec<Acked> {
+    let mut acked = Vec::new();
+    let Ok(mut client) = LineClient::connect(addr) else {
+        return acked;
+    };
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let n = op_json.len();
+    // Each editor starts blind: fetch winners lazily, tolerate races.
+    let mut revs: Vec<Option<String>> = vec![None; docs];
+    while !stop.load(Ordering::Relaxed) {
+        let d = rng.gen_range(0..docs);
+        let req = match &revs[d] {
+            None => format!("{{\"route\": \"doc_get\", \"doc\": \"doc-{d}\"}}"),
+            Some(rev) if rng.gen_bool(0.04) => {
+                format!("{{\"route\": \"doc_delete\", \"doc\": \"doc-{d}\", \"rev\": \"{rev}\"}}")
+            }
+            Some(rev) => format!(
+                "{{\"route\": \"doc_put\", \"doc\": \"doc-{d}\", \"base_rev\": \"{rev}\", \
+                 \"op\": {}, \"semantics\": \"value\"}}",
+                op_json[rng.gen_range(0..n)]
+            ),
+        };
+        let Ok(v) = client.roundtrip(&req) else {
+            break; // the kill landed
+        };
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            continue; // overloaded — just retry another draw
+        }
+        let route = v.get("route").and_then(Json::as_str).unwrap_or("");
+        if route == "doc_get" {
+            revs[d] = v.get("rev").and_then(Json::as_str).map(str::to_owned);
+            continue;
+        }
+        let result = v.get("result").and_then(Json::as_str).unwrap_or("rejected");
+        let deleted_winner = v.get("winner_deleted").and_then(Json::as_bool) == Some(true);
+        if result == "rejected" || deleted_winner {
+            // Stale view (or tombstoned doc): resurrect with fresh
+            // content — itself a ledgered commit if acked.
+            let Ok(r) = client.roundtrip(&format!(
+                "{{\"route\": \"doc_put\", \"doc\": \"doc-{d}\", \"content\": \"r{seed}(a b)\"}}"
+            )) else {
+                break;
+            };
+            if r.get("ok").and_then(Json::as_bool) == Some(true) {
+                if let (Some(rev), Some(res)) = (
+                    r.get("rev").and_then(Json::as_str),
+                    r.get("result").and_then(Json::as_str),
+                ) {
+                    if res != "rejected" {
+                        acked.push(Acked {
+                            doc: format!("doc-{d}"),
+                            rev: rev.to_owned(),
+                            minted: res != "noop",
+                            seq: r.get("seq").and_then(Json::as_u64).unwrap_or(0),
+                        });
+                        revs[d] = r
+                            .get("winner")
+                            .or_else(|| r.get("rev"))
+                            .and_then(Json::as_str)
+                            .map(str::to_owned);
+                    } else {
+                        revs[d] = None;
+                    }
+                }
+            }
+            continue;
+        }
+        if let Some(rev) = v.get("rev").and_then(Json::as_str) {
+            acked.push(Acked {
+                doc: format!("doc-{d}"),
+                rev: rev.to_owned(),
+                minted: result != "noop",
+                seq: v.get("seq").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
+        revs[d] = v.get("winner").and_then(Json::as_str).map(str::to_owned);
+    }
+    acked
+}
+
+/// Runs the full harness. `Err` is an environmental failure (cannot
+/// spawn or reach the server); durability verdicts live in the
+/// returned report.
+pub fn run(cfg: &CrashConfig) -> Result<CrashReport, String> {
+    std::fs::create_dir_all(&cfg.data_dir)
+        .map_err(|e| format!("cannot create {}: {e}", cfg.data_dir.display()))?;
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
+
+    // A small update pool shared by all editors, as in the loadgen
+    // store profile.
+    let mut pattern = PatternParams::linear(4);
+    pattern.alphabet = 6;
+    let params = ProgramParams {
+        len: 12,
+        update_rate: 1.0,
+        delete_rate: 0.3,
+        pattern,
+    };
+    let program = random_program(&mut rng, &params);
+    let op_json: Vec<String> = program
+        .stmts
+        .iter()
+        .map(|s| wire::stmt_to_json(s).to_string())
+        .collect();
+
+    let mut report = CrashReport::default();
+    let mut ledger: Vec<Acked> = Vec::new();
+
+    for cycle in 0..cfg.cycles {
+        let server = spawn_server(cfg)?;
+
+        if cycle == 0 {
+            // Seed the shared documents; these creates are ledgered
+            // acks like any other.
+            let mut client = LineClient::connect(&server.addr)?;
+            for d in 0..cfg.docs {
+                let v = client.roundtrip(&format!(
+                    "{{\"route\": \"doc_put\", \"doc\": \"doc-{d}\", \"content\": \"s{d}(a b c)\"}}"
+                ))?;
+                if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                    return Err(format!("setup put for doc-{d} failed: {v}"));
+                }
+                if let Some(rev) = v.get("rev").and_then(Json::as_str) {
+                    ledger.push(Acked {
+                        doc: format!("doc-{d}"),
+                        rev: rev.to_owned(),
+                        minted: true,
+                        seq: v.get("seq").and_then(Json::as_u64).unwrap_or(0),
+                    });
+                }
+            }
+        } else {
+            validate_recovery(
+                &server.addr,
+                &ledger,
+                u64::from(cycle),
+                cfg,
+                server.recovery.as_ref(),
+                &mut report,
+            )?;
+        }
+
+        // Editors race until the kill lands.
+        let stop = Arc::new(AtomicBool::new(false));
+        let uptime = Duration::from_millis(
+            cfg.min_uptime_ms
+                + rng.gen_range(0..(cfg.max_uptime_ms - cfg.min_uptime_ms).max(1) as usize) as u64,
+        );
+        let cycle_acks: Vec<Vec<Acked>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..cfg.editors.max(1))
+                .map(|e| {
+                    let addr = server.addr.clone();
+                    let stop = Arc::clone(&stop);
+                    let op_json = &op_json;
+                    let seed = cfg.seed
+                        ^ u64::from(cycle).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (e as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+                    scope.spawn(move || editor_loop(&addr, seed, cfg.docs, op_json, &stop))
+                })
+                .collect();
+            std::thread::sleep(uptime);
+            drop(server); // SIGKILL, mid-load
+            stop.store(true, Ordering::Relaxed);
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_default())
+                .collect()
+        });
+        for acks in cycle_acks {
+            ledger.extend(acks);
+        }
+        report.cycles = cycle + 1;
+    }
+
+    // Final incarnation: validate once more, then shut down cleanly.
+    let server = spawn_server(cfg)?;
+    validate_recovery(
+        &server.addr,
+        &ledger,
+        u64::from(cfg.cycles),
+        cfg,
+        server.recovery.as_ref(),
+        &mut report,
+    )?;
+    let mut client = LineClient::connect(&server.addr)?;
+    let _ = client.roundtrip("{\"route\": \"shutdown\"}");
+
+    report.acked = ledger.len() as u64;
+    report.minted = ledger
+        .iter()
+        .filter(|a| a.minted)
+        .map(|a| (a.doc.clone(), a.rev.clone()))
+        .collect::<HashSet<_>>()
+        .len() as u64;
+    Ok(report)
+}

@@ -46,10 +46,12 @@
 //! `serve.accepted == serve.completed + serve.rejected_overload +
 //! serve.failed`.
 
+pub mod crash;
 pub mod loadgen;
 pub mod proto;
 pub mod server;
 
+pub use crash::{CrashConfig, CrashReport};
 pub use loadgen::{LoadConfig, LoadProfile, LoadReport, StoreTallies};
 pub use proto::{Request, Route};
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};

@@ -105,6 +105,14 @@ pub struct LoadConfig {
     /// Shared documents in the `store` profile (ignored elsewhere).
     /// Fewer documents ⇒ more editors per document ⇒ staler bases.
     pub docs: usize,
+    /// Retry budget per request: `overloaded` answers and transport
+    /// errors back off and resend up to this many times (0 = today's
+    /// fail-fast behavior). Safe end to end because a resent `doc_put`
+    /// replays idempotently server-side.
+    pub retries: u32,
+    /// Base backoff before the first retry; attempt `n` waits
+    /// `base × 2ⁿ` plus a seeded jitter of up to one base.
+    pub backoff_ms: u64,
 }
 
 impl Default for LoadConfig {
@@ -122,6 +130,8 @@ impl Default for LoadConfig {
             validate: false,
             pool_len: 60,
             docs: 4,
+            retries: 0,
+            backoff_ms: 25,
         }
     }
 }
@@ -133,10 +143,14 @@ pub struct LoadReport {
     pub sent: u64,
     /// `ok: true` responses.
     pub completed: u64,
-    /// `overloaded` rejections.
+    /// `overloaded` rejections (final, after any retries).
     pub overloaded: u64,
-    /// Any other failure (errors, short reads, disconnects).
+    /// Any other failure (errors, short reads, disconnects), final.
     pub failed: u64,
+    /// Attempts that were retried after backoff. Each retried attempt
+    /// also counts in `sent`, so
+    /// `sent == completed + overloaded + failed + retries`.
+    pub retries: u64,
     /// Wall-clock time from first send to last response.
     pub elapsed: Duration,
     /// Completed-response latency percentiles, microseconds.
@@ -253,6 +267,7 @@ impl LoadReport {
             ("completed", Json::from(self.completed)),
             ("overloaded", Json::from(self.overloaded)),
             ("failed", Json::from(self.failed)),
+            ("retries", Json::from(self.retries)),
             ("throughput_rps", Json::from(self.throughput_rps())),
             ("rejection_rate", Json::from(self.rejection_rate())),
             (
@@ -315,6 +330,7 @@ struct ConnResult {
     completed: u64,
     overloaded: u64,
     failed: u64,
+    retries: u64,
     latencies_us: Vec<u64>,
     /// `(i, j, conflict)` for non-degraded `ok` verdicts, by pool index.
     observations: Vec<(usize, usize, bool)>,
@@ -389,6 +405,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         report.completed += r.completed;
         report.overloaded += r.overloaded;
         report.failed += r.failed;
+        report.retries += r.retries;
         latencies.extend(r.latencies_us);
         observations.extend(r.observations);
     }
@@ -411,14 +428,14 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
 }
 
 /// A line-oriented NDJSON client (setup and validation passes of the
-/// store profile; the editor loops splice strings inline instead).
-struct LineClient {
+/// store profile, and the crash harness's probes).
+pub(crate) struct LineClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
 impl LineClient {
-    fn connect(addr: &str) -> Result<LineClient, String> {
+    pub(crate) fn connect(addr: &str) -> Result<LineClient, String> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
@@ -431,7 +448,7 @@ impl LineClient {
         })
     }
 
-    fn roundtrip(&mut self, req: &str) -> Result<Json, String> {
+    pub(crate) fn roundtrip(&mut self, req: &str) -> Result<Json, String> {
         self.writer
             .write_all(req.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
@@ -442,6 +459,84 @@ impl LineClient {
             other => return Err(format!("read: {other:?}")),
         }
         Json::parse(line.trim_end()).map_err(|e| format!("bad response line: {e}"))
+    }
+}
+
+/// A [`LineClient`] with bounded retry: an `overloaded` answer or a
+/// transport error sleeps a jittered exponential backoff and resends
+/// (reconnecting first for transport errors), up to `retries` times.
+/// The end-to-end safety argument is the store's replay idempotence: a
+/// resent `doc_put` whose original actually committed resolves to a
+/// noop at the originally minted revision, never a second apply.
+struct RetryClient {
+    addr: String,
+    client: Option<LineClient>,
+    retries: u32,
+    backoff: Duration,
+    /// Attempts that were retried (each also counted as sent).
+    retried: u64,
+}
+
+impl RetryClient {
+    fn connect(cfg: &LoadConfig) -> Result<RetryClient, String> {
+        Ok(RetryClient {
+            addr: cfg.addr.clone(),
+            client: Some(LineClient::connect(&cfg.addr)?),
+            retries: cfg.retries,
+            backoff: Duration::from_millis(cfg.backoff_ms.max(1)),
+            retried: 0,
+        })
+    }
+
+    fn sleep_before(&self, attempt: u32, rng: &mut SplitMix64) {
+        let exp = self.backoff * (1u32 << (attempt - 1).min(6));
+        let base_ms = self.backoff.as_millis().max(1) as usize;
+        let jitter = Duration::from_millis(rng.gen_range(0..base_ms) as u64);
+        std::thread::sleep(exp + jitter);
+    }
+
+    /// Sends one request, retrying per policy. `sent` is bumped for
+    /// every attempt (the caller already counted the first one).
+    /// `Err` means the transport died with the budget exhausted.
+    fn roundtrip(
+        &mut self,
+        req: &str,
+        rng: &mut SplitMix64,
+        sent: &mut u64,
+    ) -> Result<Json, String> {
+        let mut attempt = 0u32;
+        loop {
+            let resp = match self.client.as_mut() {
+                Some(c) => c.roundtrip(req),
+                None => Err("not connected".to_owned()),
+            };
+            match resp {
+                Ok(v) => {
+                    let overloaded = v.get("ok").and_then(Json::as_bool) != Some(true)
+                        && v.get("error").and_then(Json::as_str) == Some("overloaded");
+                    if overloaded && attempt < self.retries {
+                        attempt += 1;
+                        self.retried += 1;
+                        *sent += 1;
+                        self.sleep_before(attempt, rng);
+                        continue;
+                    }
+                    return Ok(v);
+                }
+                Err(e) => {
+                    self.client = None;
+                    if attempt < self.retries {
+                        attempt += 1;
+                        self.retried += 1;
+                        *sent += 1;
+                        self.sleep_before(attempt, rng);
+                        self.client = LineClient::connect(&self.addr).ok();
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
 }
 
@@ -527,6 +622,7 @@ fn run_store(cfg: &LoadConfig) -> Result<LoadReport, String> {
         report.completed += r.completed;
         report.overloaded += r.overloaded;
         report.failed += r.failed;
+        report.retries += r.retries;
         report.store.add(&r.store);
         latencies.extend(r.latencies_us);
     }
@@ -571,7 +667,7 @@ fn store_editor_loop(
     end: Instant,
 ) -> ConnResult {
     let mut out = ConnResult::default();
-    let Ok(mut client) = LineClient::connect(&cfg.addr) else {
+    let Ok(mut client) = RetryClient::connect(cfg) else {
         out.failed += 1;
         return out;
     };
@@ -618,7 +714,7 @@ fn store_editor_loop(
         req.push('}');
         let t_req = Instant::now();
         out.sent += 1;
-        let v = match client.roundtrip(&req) {
+        let v = match client.roundtrip(&req, &mut rng, &mut out.sent) {
             Ok(v) => v,
             Err(_) => {
                 out.failed += 1;
@@ -649,7 +745,7 @@ fn store_editor_loop(
                     } else {
                         format!("{{\"route\": \"doc_get\", \"doc\": \"doc-{d}\"{extras}}}")
                     };
-                    match client.roundtrip(&refresh) {
+                    match client.roundtrip(&refresh, &mut rng, &mut out.sent) {
                         Ok(r) => {
                             out.completed += 1;
                             if let Some(result) = r.get("result").and_then(Json::as_str) {
@@ -679,6 +775,7 @@ fn store_editor_loop(
             }
         }
     }
+    out.retries = client.retried;
     out
 }
 
@@ -802,24 +899,13 @@ fn validate_store(cfg: &LoadConfig, extras: &str) -> Result<(usize, usize), Stri
 /// distinct pool pairs, tally responses.
 fn connection_loop(cfg: &LoadConfig, conn: u64, op_json: &[String], end: Instant) -> ConnResult {
     let mut out = ConnResult::default();
-    let Ok(stream) = TcpStream::connect(&cfg.addr) else {
+    let Ok(mut client) = RetryClient::connect(cfg) else {
         out.failed += 1;
         return out;
     };
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let mut writer = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => {
-            out.failed += 1;
-            return out;
-        }
-    };
-    let mut reader = BufReader::new(stream);
     let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let n = op_json.len();
     let extras = request_extras(cfg);
-    let mut line = String::new();
     let mut req = String::new();
     while Instant::now() < end {
         if let Some(cap) = cfg.requests_per_conn {
@@ -840,24 +926,15 @@ fn connection_loop(cfg: &LoadConfig, conn: u64, op_json: &[String], end: Instant
         req.push_str(", \"b\": ");
         req.push_str(&op_json[j]);
         req.push_str(&extras);
-        req.push_str("}\n");
+        req.push('}');
         let t_req = Instant::now();
         out.sent += 1;
-        if writer.write_all(req.as_bytes()).is_err() {
-            out.failed += 1;
-            break;
-        }
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(len) if len > 0 => {}
-            _ => {
+        let v = match client.roundtrip(&req, &mut rng, &mut out.sent) {
+            Ok(v) => v,
+            Err(_) => {
                 out.failed += 1;
                 break;
             }
-        }
-        let Ok(v) = Json::parse(line.trim_end()) else {
-            out.failed += 1;
-            continue;
         };
         match v.get("ok").and_then(Json::as_bool) {
             Some(true) => {
@@ -879,6 +956,7 @@ fn connection_loop(cfg: &LoadConfig, conn: u64, op_json: &[String], end: Instant
             }
         }
     }
+    out.retries = client.retried;
     out
 }
 

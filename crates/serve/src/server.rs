@@ -26,11 +26,12 @@ use cxu_obs::Snapshot;
 use cxu_ops::Semantics;
 use cxu_runtime::{failpoints, Deadline};
 use cxu_sched::{Op, SchedConfig, Scheduler};
-use cxu_store::{Store, StoreConfig, StoreError};
+use cxu_store::{DurabilityConfig, FsyncPolicy, Store, StoreConfig, StoreError};
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -51,6 +52,24 @@ pub struct ServeConfig {
     pub sched: SchedConfig,
     /// Document store configuration (admission bound, merge retries).
     pub store: StoreConfig,
+    /// Data directory for the document store's WAL and snapshots.
+    /// `None` (the default) keeps the store purely in-memory.
+    pub data_dir: Option<PathBuf>,
+    /// Fsync policy for the WAL (meaningful only with `data_dir`). A
+    /// `doc_put` is acked only after its record is durable per this
+    /// policy.
+    pub fsync: FsyncPolicy,
+    /// Compact the WAL every this many records (0 disables).
+    pub snapshot_every: u64,
+    /// How long a connection may sit on a *partial* request line before
+    /// the server answers `timeout` and closes it (the slow-loris
+    /// guard). Idle connections with no partial line are never timed
+    /// out. `None` disables the guard.
+    pub read_timeout: Option<Duration>,
+    /// Maximum request-line length; longer lines are answered
+    /// `bad-request` and the connection closed (instead of buffering
+    /// without bound).
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +78,11 @@ impl Default for ServeConfig {
             workers: 4,
             queue_depth: 64,
             default_deadline: Some(Duration::from_millis(100)),
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 1024,
+            read_timeout: Some(Duration::from_secs(10)),
+            max_line_bytes: proto::MAX_LINE_BYTES,
             sched: SchedConfig {
                 // Single-pair checks run on the worker thread itself;
                 // batch fan-out inside one request would oversubscribe
@@ -295,6 +319,21 @@ impl Server {
                 ..cfg.sched
             }))
         };
+        // Recover (or initialize) the durable store before accepting a
+        // single connection: a server that cannot trust its data
+        // directory must not come up at all.
+        let store = match &cfg.data_dir {
+            Some(dir) => Store::open(
+                cfg.store,
+                DurabilityConfig {
+                    dir: dir.clone(),
+                    fsync: cfg.fsync,
+                    snapshot_every: cfg.snapshot_every,
+                },
+            )
+            .map_err(|e| std::io::Error::other(e.to_string()))?,
+            None => Store::new(cfg.store),
+        };
         let shared = Arc::new(Shared {
             queue: Queue::new(cfg.queue_depth),
             scheds: [
@@ -302,7 +341,7 @@ impl Server {
                 mk(Semantics::Tree),
                 mk(Semantics::Value),
             ],
-            store: Store::new(cfg.store),
+            store,
             baseline: cxu_obs::registry().snapshot(),
             cfg,
             start: Instant::now(),
@@ -326,6 +365,12 @@ impl Server {
         ServerHandle {
             shared: Arc::clone(&self.shared),
         }
+    }
+
+    /// What startup recovery found (durable stores only) — the CLI
+    /// prints this before announcing the listening address.
+    pub fn recovery_report(&self) -> Option<cxu_store::RecoveryReport> {
+        self.shared.store.recovery_report()
     }
 
     /// Runs the accept loop until shutdown, then drains and joins every
@@ -377,6 +422,12 @@ impl Server {
         }
         for h in conns {
             let _ = h.join();
+        }
+        // Graceful drain leaves nothing for the next boot to replay:
+        // flush buffered records, then snapshot and reset the log.
+        if shared.store.is_durable() {
+            let _ = shared.store.flush();
+            let _ = shared.store.compact();
         }
         // The CLI disables (and thereby flushes) the trace sink after
         // this returns; the event marks the drain as complete.
@@ -573,12 +624,27 @@ fn process_job(shared: &Shared, job: &Job) -> String {
 /// Serves one connection: resumable line reads under a poll timeout
 /// (partial bytes persist across timeouts), admission per request,
 /// in-order responses.
+/// Counts a request the socket layer itself rejects (oversized line,
+/// stalled partial line): it enters the accounting identity as
+/// accepted + failed, exactly like a request a worker failed.
+fn reject_at_socket(stream: &mut TcpStream, shared: &Shared, code: &str, detail: &str) {
+    shared.accepted.fetch_add(1, Ordering::Relaxed);
+    cxu_obs::counter!("serve.accepted").inc();
+    tally(shared, Outcome::Failed);
+    let resp = proto::render_error(None, code, detail);
+    let _ = write_line(stream, &resp);
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut stream = stream;
     let mut pending: Vec<u8> = Vec::new();
     let mut buf = [0u8; 8 * 1024];
+    // Set while `pending` holds an incomplete line; the slow-loris
+    // guard measures from the line's *first* byte, so trickling one
+    // byte per poll cannot keep a connection alive forever.
+    let mut partial_since: Option<Instant> = None;
     loop {
         match stream.read(&mut buf) {
             Ok(0) => return, // client closed
@@ -591,12 +657,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                         return;
                     }
                 }
-                if pending.len() > proto::MAX_LINE_BYTES {
-                    shared.accepted.fetch_add(1, Ordering::Relaxed);
-                    cxu_obs::counter!("serve.accepted").inc();
-                    tally(shared, Outcome::Failed);
-                    let resp = proto::render_error(None, "bad-request", "request line too long");
-                    let _ = write_line(&mut stream, &resp);
+                if pending.is_empty() {
+                    partial_since = None;
+                } else if partial_since.is_none() {
+                    partial_since = Some(Instant::now());
+                }
+                if pending.len() > shared.cfg.max_line_bytes {
+                    cxu_obs::counter!("serve.oversized_line").inc();
+                    reject_at_socket(&mut stream, shared, "bad-request", {
+                        "request line too long"
+                    });
                     return;
                 }
             }
@@ -607,6 +677,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => return,
+        }
+        if let (Some(since), Some(limit)) = (partial_since, shared.cfg.read_timeout) {
+            if since.elapsed() >= limit {
+                cxu_obs::counter!("serve.read_timeouts").inc();
+                reject_at_socket(&mut stream, shared, "timeout", "request line stalled");
+                return;
+            }
         }
     }
 }

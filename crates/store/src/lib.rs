@@ -18,13 +18,18 @@
 //! closure so callers choose the scheduler, routing, and deadline
 //! discipline.
 
+pub mod recovery;
 pub mod rev;
 pub mod revtree;
+pub mod snapshot;
 pub mod store;
+pub mod wal;
 
+pub use recovery::RecoveryReport;
 pub use rev::{RevId, RevParseError};
 pub use revtree::{RevNode, RevTree};
 pub use store::{
-    ChangeEntry, GetResult, PairCheck, PutOutcome, PutPayload, PutResult, Store, StoreConfig,
-    StoreError,
+    ChangeEntry, DurabilityConfig, GetResult, PairCheck, PutOutcome, PutPayload, PutResult, Store,
+    StoreConfig, StoreError,
 };
+pub use wal::FsyncPolicy;

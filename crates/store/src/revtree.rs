@@ -137,6 +137,12 @@ impl RevTree {
         out
     }
 
+    /// Iterates over every revision and its node, in arbitrary order
+    /// (snapshot serialization sorts; see `recovery`).
+    pub fn iter(&self) -> impl Iterator<Item = (&RevId, &RevNode)> {
+        self.nodes.iter()
+    }
+
     /// The revisions strictly between `ancestor` (exclusive) and
     /// `descendant` (inclusive), oldest first, or `None` when
     /// `ancestor` is not an ancestor of `descendant` (or either id is

@@ -1,0 +1,128 @@
+//! Snapshots: one checksummed frame holding the whole live state.
+//!
+//! Compaction writes the store's entire document map as a single frame
+//! (the WAL's own `[len][checksum][body]` format, so one codec serves
+//! both files) to `snapshot.tmp`, syncs it, renames it over
+//! `snapshot.cxu`, and syncs the directory — the POSIX atomic-replace
+//! dance. Only *then* is the WAL reset. A crash between the two steps
+//! is safe because replaying the (now redundant) log onto the snapshot
+//! is idempotent: revision insertion is a no-op for present ids.
+//!
+//! A snapshot that fails its checksum or does not parse fails loudly on
+//! open. There is no torn-tail leniency here: the rename either
+//! installed a whole file or left the old one; a half-written
+//! `snapshot.cxu` means something other than this code touched it.
+
+use crate::wal::{self, WalCorrupt, WalError};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The snapshot's file name inside a store's data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.cxu";
+
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// Atomically replaces the snapshot with `body` (the JSON rendering of
+/// the live state; see `recovery`).
+pub fn save(dir: &Path, body: &[u8]) -> Result<(), WalError> {
+    let tmp = dir.join(SNAPSHOT_TMP);
+    let dst = dir.join(SNAPSHOT_FILE);
+    let frame = wal::encode_frame(body);
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| WalError::Io(format!("open {}: {e}", tmp.display())))?;
+    f.write_all(&frame)
+        .and_then(|()| f.sync_data())
+        .map_err(|e| WalError::Io(format!("write {}: {e}", tmp.display())))?;
+    drop(f);
+    fs::rename(&tmp, &dst).map_err(|e| {
+        WalError::Io(format!(
+            "rename {} over {}: {e}",
+            tmp.display(),
+            dst.display()
+        ))
+    })?;
+    // Make the rename itself durable: sync the directory entry.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_data();
+    }
+    Ok(())
+}
+
+/// Loads the snapshot body, if one exists. `Ok(None)` when there has
+/// never been a compaction; `Err` when the file exists but cannot be
+/// trusted.
+pub fn load(dir: &Path) -> Result<Option<String>, WalError> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(WalError::Io(format!("open {}: {e}", path.display()))),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| WalError::Io(format!("read {}: {e}", path.display())))?;
+    let corrupt = |reason: String| {
+        WalError::Corrupt(WalCorrupt {
+            offset: 0,
+            reason: format!("snapshot: {reason}"),
+        })
+    };
+    if bytes.len() < wal::FRAME_HEADER_BYTES {
+        return Err(corrupt(format!("only {} bytes", bytes.len())));
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let sum = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+    let body = &bytes[wal::FRAME_HEADER_BYTES..];
+    if body.len() != len {
+        return Err(corrupt(format!(
+            "length {len} but {} body bytes",
+            body.len()
+        )));
+    }
+    if wal::checksum(body) != sum {
+        return Err(corrupt("checksum mismatch".to_owned()));
+    }
+    let text = std::str::from_utf8(body).map_err(|_| corrupt("body is not UTF-8".to_owned()))?;
+    Ok(Some(text.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("cxu-snap-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn save_then_load_roundtrips() {
+        let dir = tmpdir("rt");
+        assert_eq!(load(&dir).unwrap(), None, "no snapshot yet");
+        save(&dir, br#"{"v":1}"#).unwrap();
+        assert_eq!(load(&dir).unwrap().as_deref(), Some(r#"{"v":1}"#));
+        save(&dir, br#"{"v":2}"#).unwrap();
+        assert_eq!(load(&dir).unwrap().as_deref(), Some(r#"{"v":2}"#));
+        assert!(!dir.join(SNAPSHOT_TMP).exists(), "tmp file renamed away");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_snapshot_fails_loudly() {
+        let dir = tmpdir("tamper");
+        save(&dir, br#"{"v":1}"#).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&dir), Err(WalError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -64,8 +64,11 @@
 //! `store.revisions` are gauges set to current levels by
 //! [`Store::set_gauges`].
 
+use crate::recovery::{self, RecoveryReport};
 use crate::rev::RevId;
 use crate::revtree::{RevNode, RevTree};
+use crate::snapshot;
+use crate::wal::{FsyncPolicy, Wal, WalError};
 use cxu_gen::program::Stmt;
 use cxu_gen::wire;
 use cxu_ops::Update;
@@ -73,6 +76,7 @@ use cxu_sched::{Op, PairDecision};
 use cxu_tree::{text, Tree};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -93,6 +97,33 @@ impl Default for StoreConfig {
         StoreConfig {
             max_docs: 100_000,
             merge_retries: 3,
+        }
+    }
+}
+
+/// Where and how a store persists. Absent (via [`Store::new`]) the
+/// store is purely in-memory — the pre-durability behavior.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Data directory holding `wal.cxu` and `snapshot.cxu` (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// When appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Compact (snapshot + WAL reset) once the log holds this many
+    /// records; `0` disables automatic compaction. Bounds recovery
+    /// time by live state plus one snapshot interval of records.
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with the conservative defaults:
+    /// fsync on every append, compaction every 1024 records.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 1024,
         }
     }
 }
@@ -172,6 +203,13 @@ pub enum StoreError {
     Conflict(String),
     /// The store's document admission bound is full.
     TooManyDocs,
+    /// The write-ahead log could not make the commit durable; nothing
+    /// was applied, the request can be retried.
+    Io(String),
+    /// The data directory's log or snapshot cannot be trusted; the
+    /// store refuses to open rather than serve a state that disagrees
+    /// with past acks.
+    Corrupt(String),
 }
 
 impl StoreError {
@@ -182,6 +220,8 @@ impl StoreError {
             StoreError::UnknownRev(_) => "unknown-rev",
             StoreError::Conflict(_) => "conflict",
             StoreError::TooManyDocs => "too-many-docs",
+            StoreError::Io(_) => "io",
+            StoreError::Corrupt(_) => "corrupt",
         }
     }
 }
@@ -193,7 +233,16 @@ impl fmt::Display for StoreError {
             StoreError::UnknownRev(m) => write!(f, "{m}"),
             StoreError::Conflict(m) => write!(f, "{m}"),
             StoreError::TooManyDocs => write!(f, "document limit reached"),
+            StoreError::Io(m) => write!(f, "durability failure: {m}"),
+            StoreError::Corrupt(m) => write!(f, "data directory corrupt: {m}"),
         }
+    }
+}
+
+fn from_wal(e: WalError) -> StoreError {
+    match e {
+        WalError::Io(m) => StoreError::Io(m),
+        WalError::Corrupt(c) => StoreError::Corrupt(c.to_string()),
     }
 }
 
@@ -232,6 +281,10 @@ pub struct ChangeEntry {
 /// `Scheduler::check_pair` under the request's deadline.
 pub type PairCheck<'a> = dyn FnMut(&Op, &Op) -> PairDecision + 'a;
 
+/// One revision row from [`Store::doc_revs`]: `(rev, parent, deleted,
+/// content text)`.
+pub type RevRow = (RevId, Option<RevId>, bool, Option<String>);
+
 struct DocState {
     revs: RevTree,
     /// The document's latest sequence number (its changes-feed slot).
@@ -245,6 +298,13 @@ struct DocState {
     merge_aliases: HashMap<RevId, RevId>,
 }
 
+/// The durable half of a store: the open log plus compaction policy.
+struct Durable {
+    wal: Wal,
+    dir: PathBuf,
+    snapshot_every: u64,
+}
+
 struct Inner {
     docs: HashMap<String, DocState>,
     /// Global commit counter; strictly increases with every commit.
@@ -255,12 +315,16 @@ struct Inner {
     by_seq: BTreeMap<u64, String>,
     /// Total revisions across all documents (gauge bookkeeping).
     revisions: u64,
+    /// `Some` for WAL-backed stores (see [`Store::open`]).
+    durable: Option<Durable>,
 }
 
 /// A concurrent multi-version document store.
 pub struct Store {
     cfg: StoreConfig,
     inner: Mutex<Inner>,
+    /// What recovery found, for stores opened from a data directory.
+    report: Option<RecoveryReport>,
 }
 
 impl Default for Store {
@@ -278,28 +342,78 @@ struct Commit {
 }
 
 impl Inner {
-    fn commit(&mut self, doc_id: &str, rev: RevId, c: Commit) -> u64 {
-        self.seq += 1;
-        let seq = self.seq;
+    /// Mints one revision: logs the outcome (durable per policy),
+    /// *then* mutates memory. On a WAL error nothing is applied — the
+    /// disk can run ahead of memory across a crash (replay is
+    /// idempotent), but memory must never run ahead of the disk, or a
+    /// restart would silently lose an acked write.
+    fn commit(
+        &mut self,
+        doc_id: &str,
+        rev: RevId,
+        c: Commit,
+        result: PutResult,
+        alias: Option<RevId>,
+    ) -> Result<u64, StoreError> {
+        let seq = self.seq + 1;
+        let node = RevNode {
+            parent: c.parent,
+            deleted: c.deleted,
+            content: c.content,
+            op: c.op,
+            seq,
+        };
+        if let Some(d) = &mut self.durable {
+            let body = recovery::record_body(doc_id, &rev, &node, result.name(), alias.as_ref());
+            d.wal.append(body.as_bytes()).map_err(from_wal)?;
+        }
+        self.seq = seq;
         let doc = self.docs.get_mut(doc_id).expect("commit target exists");
         if doc.seq != 0 {
             self.by_seq.remove(&doc.seq);
         }
-        let inserted = doc.revs.insert(
-            rev,
-            RevNode {
-                parent: c.parent,
-                deleted: c.deleted,
-                content: c.content,
-                op: c.op,
-                seq,
-            },
-        );
+        let inserted = doc.revs.insert(rev, node);
         debug_assert!(inserted, "commit is only reached for fresh revisions");
         doc.seq = seq;
+        if let Some(a) = alias {
+            doc.merge_aliases.insert(a, rev);
+        }
         self.by_seq.insert(seq, doc_id.to_owned());
         self.revisions += 1;
-        seq
+        self.maybe_compact();
+        Ok(seq)
+    }
+
+    /// Compacts when the log has grown past the configured bound. A
+    /// failed compaction is counted, not fatal: the put that triggered
+    /// it already committed, and the log simply stays long.
+    fn maybe_compact(&mut self) {
+        let due = self
+            .durable
+            .as_ref()
+            .is_some_and(|d| d.snapshot_every > 0 && d.wal.records() >= d.snapshot_every);
+        if due && self.compact().is_err() {
+            cxu_obs::counter!("store.wal.compact_errors").inc();
+        }
+    }
+
+    /// Writes a snapshot of the live state, then resets the log.
+    /// Ordered so a crash between the two steps leaves a snapshot plus
+    /// a redundant log — and replaying that log is a no-op.
+    fn compact(&mut self) -> Result<(), StoreError> {
+        let Some(d) = &mut self.durable else {
+            return Ok(());
+        };
+        let body = recovery::snapshot_body(
+            self.seq,
+            self.docs
+                .iter()
+                .map(|(id, s)| (id.as_str(), &s.revs, s.seq, &s.merge_aliases)),
+        );
+        snapshot::save(&d.dir, body.as_bytes()).map_err(from_wal)?;
+        d.wal.reset().map_err(from_wal)?;
+        cxu_obs::counter!("store.wal.compactions").inc();
+        Ok(())
     }
 }
 
@@ -319,7 +433,7 @@ fn payload_text(payload: &PutPayload) -> String {
 }
 
 impl Store {
-    /// An empty store.
+    /// An empty in-memory store (no durability).
     pub fn new(cfg: StoreConfig) -> Store {
         Store {
             cfg,
@@ -328,8 +442,109 @@ impl Store {
                 seq: 0,
                 by_seq: BTreeMap::new(),
                 revisions: 0,
+                durable: None,
             }),
+            report: None,
         }
+    }
+
+    /// Opens (or creates) a WAL-backed store rooted at `dcfg.dir`:
+    /// loads the snapshot if one exists, replays the log over it with
+    /// torn-tail truncation, and rebuilds the changes feed. Fails
+    /// loudly on mid-log or snapshot corruption.
+    pub fn open(cfg: StoreConfig, dcfg: DurabilityConfig) -> Result<Store, StoreError> {
+        std::fs::create_dir_all(&dcfg.dir)
+            .map_err(|e| StoreError::Io(format!("create {}: {e}", dcfg.dir.display())))?;
+        cxu_obs::counter!("store.recovery.runs").inc();
+        let snap = snapshot::load(&dcfg.dir).map_err(from_wal)?;
+        let (wal, scan) = Wal::open(&dcfg.dir, dcfg.fsync).map_err(from_wal)?;
+        let recovered = recovery::rebuild(snap.as_deref(), &scan).map_err(from_wal)?;
+        if recovered.report.snapshot_loaded {
+            cxu_obs::counter!("store.recovery.snapshot_loaded").inc();
+        }
+        cxu_obs::counter!("store.recovery.torn_bytes").add(recovered.report.torn_bytes);
+        let mut docs = HashMap::new();
+        let mut by_seq = BTreeMap::new();
+        for (id, d) in recovered.docs {
+            if d.seq != 0 {
+                by_seq.insert(d.seq, id.clone());
+            }
+            docs.insert(
+                id,
+                DocState {
+                    revs: d.revs,
+                    seq: d.seq,
+                    merge_aliases: d.aliases,
+                },
+            );
+        }
+        Ok(Store {
+            cfg,
+            inner: Mutex::new(Inner {
+                docs,
+                seq: recovered.seq,
+                by_seq,
+                revisions: recovered.revisions,
+                durable: Some(Durable {
+                    wal,
+                    dir: dcfg.dir,
+                    snapshot_every: dcfg.snapshot_every,
+                }),
+            }),
+            report: Some(recovered.report),
+        })
+    }
+
+    /// What recovery found, for stores opened with [`Store::open`].
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.report.clone()
+    }
+
+    /// Whether this store writes a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.lock().durable.is_some()
+    }
+
+    /// Forces buffered log records to stable storage (a no-op for
+    /// in-memory stores and under `FsyncPolicy::Always`).
+    pub fn flush(&self) -> Result<(), StoreError> {
+        match &mut self.lock().durable {
+            Some(d) => d.wal.sync().map_err(from_wal),
+            None => Ok(()),
+        }
+    }
+
+    /// Snapshots the live state and resets the log (what graceful
+    /// shutdown calls so the next boot replays nothing).
+    pub fn compact(&self) -> Result<(), StoreError> {
+        self.lock().compact()
+    }
+
+    /// Records currently in the log (0 for in-memory stores).
+    pub fn wal_records(&self) -> u64 {
+        self.lock().durable.as_ref().map_or(0, |d| d.wal.records())
+    }
+
+    /// Every revision of `doc_id` as a [`RevRow`], sorted by id — a
+    /// deterministic fingerprint of the document's whole tree, for
+    /// state-equality checks in tests.
+    pub fn doc_revs(&self, doc_id: &str) -> Option<Vec<RevRow>> {
+        let inner = self.lock();
+        let doc = inner.docs.get(doc_id)?;
+        let mut out: Vec<_> = doc
+            .revs
+            .iter()
+            .map(|(r, n)| {
+                (
+                    *r,
+                    n.parent,
+                    n.deleted,
+                    n.content.as_ref().map(text::to_text),
+                )
+            })
+            .collect();
+        out.sort_by_key(|(r, ..)| *r);
+        Some(out)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -551,13 +766,9 @@ impl Store {
                     content: Some(merged_tree),
                     op: Some(op),
                 },
-            );
-            inner
-                .docs
-                .get_mut(doc_id)
-                .expect("just committed")
-                .merge_aliases
-                .insert(replay, rev);
+                PutResult::Merged,
+                Some(replay),
+            )?;
             let doc = inner.docs.get(doc_id).expect("just committed");
             let w = doc.revs.winner().expect("nonempty");
             return Ok(PutOutcome {
@@ -655,7 +866,8 @@ impl Store {
                 checked_pairs: 0,
             });
         }
-        let seq = inner.commit(
+        let fresh = parent.is_none();
+        let seq = match inner.commit(
             doc_id,
             rev,
             Commit {
@@ -664,7 +876,20 @@ impl Store {
                 content: Some(content),
                 op: None,
             },
-        );
+            PutResult::Created,
+            None,
+        ) {
+            Ok(seq) => seq,
+            Err(e) => {
+                // A failed create must not leave an empty document
+                // behind: every other path assumes known documents
+                // have a winner.
+                if fresh {
+                    inner.docs.remove(doc_id);
+                }
+                return Err(e);
+            }
+        };
         let doc = inner.docs.get(doc_id).expect("just committed");
         let w = doc.revs.winner().expect("nonempty");
         Ok(PutOutcome {
@@ -738,7 +963,9 @@ impl Store {
                 content,
                 op,
             },
-        );
+            result,
+            None,
+        )?;
         let doc = inner.docs.get(doc_id).expect("just committed");
         let w = doc.revs.winner().expect("nonempty");
         Ok(PutOutcome {
@@ -875,6 +1102,17 @@ impl Store {
         drop(inner);
         cxu_obs::gauge!("store.docs").set(docs);
         cxu_obs::gauge!("store.revisions").set(revisions);
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Best-effort final sync: a clean drop should not owe the disk
+        // anything under `Interval`/`Never`.
+        let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
+        if let Some(d) = &mut inner.durable {
+            let _ = d.wal.sync();
+        }
     }
 }
 
@@ -1189,6 +1427,79 @@ mod tests {
             assert_eq!(rest.len(), 1);
             assert_eq!(rest[0].doc, "one");
         });
+    }
+
+    #[test]
+    fn durable_store_recovers_its_exact_state() {
+        let dir = std::env::temp_dir().join(format!("cxu-store-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dcfg = DurabilityConfig {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::Never,
+            snapshot_every: 3, // force a compaction mid-history
+        };
+        let store = Store::open(StoreConfig::default(), dcfg.clone()).unwrap();
+        let (revs, winner, changes, seq) = {
+            with_sched(|check| {
+                let c = store.put("d", None, content("a(b c)"), check).unwrap();
+                store
+                    .put(
+                        "d",
+                        Some(c.rev),
+                        PutPayload::Op(insert_op("a/b", "x")),
+                        check,
+                    )
+                    .unwrap();
+                // Stale base that commutes: exercises the merged/alias
+                // record shape.
+                let m = store
+                    .put(
+                        "d",
+                        Some(c.rev),
+                        PutPayload::Op(insert_op("a/c", "y")),
+                        check,
+                    )
+                    .unwrap();
+                assert_eq!(m.result, PutResult::Merged);
+                let e = store.put("gone", None, content("a(z)"), check).unwrap();
+                store.delete("gone", e.rev).unwrap();
+            });
+            (
+                store.doc_revs("d").unwrap(),
+                store.get("d", None, true).unwrap().rev,
+                store.changes(0, None),
+                store.current_seq(),
+            )
+        };
+        assert!(store.wal_records() < 5, "compaction ran");
+        drop(store);
+
+        let again = Store::open(StoreConfig::default(), dcfg).unwrap();
+        let report = again.recovery_report().unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.seq, seq);
+        assert_eq!(again.doc_revs("d").unwrap(), revs);
+        assert_eq!(again.get("d", None, true).unwrap().rev, winner);
+        assert_eq!(again.changes(0, None), changes);
+        assert_eq!(again.current_seq(), seq);
+        assert!(again.get("gone", None, false).unwrap().deleted);
+
+        // The recovered alias map still answers a merged-put replay
+        // with a noop at the originally minted rev.
+        with_sched(|check| {
+            let c_rev = again.doc_revs("d").unwrap()[0].0;
+            let retry = again
+                .put(
+                    "d",
+                    Some(c_rev),
+                    PutPayload::Op(insert_op("a/c", "y")),
+                    check,
+                )
+                .unwrap();
+            assert_eq!(retry.result, PutResult::Noop);
+        });
+        drop(again);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,518 @@
+//! The write-ahead log: length-prefixed, SipHash-checksummed frames.
+//!
+//! Every state-changing commit appends one frame *before* the in-memory
+//! revision tree mutates, so a crash at any instant leaves the disk at
+//! or ahead of memory — never behind it. A frame is
+//!
+//! ```text
+//! [u32 LE body length][u64 LE checksum][body bytes]
+//! ```
+//!
+//! where the checksum is the low 64 bits of the store's SipHash-2-4-128
+//! core (the same keyed function revision ids use, under a distinct
+//! fixed key) over the body. The body is one JSON object carrying the
+//! ladder's *outcome* — the minted rev, its parent, the payload, the
+//! result bucket — so recovery replays commits verbatim and never
+//! re-runs the detectors.
+//!
+//! # The torn-tail rule
+//!
+//! A crash can tear the **last** frame: the length prefix may promise
+//! more bytes than were flushed, or the body may be half-written so the
+//! checksum fails. [`scan`] discards exactly that suffix (truncation on
+//! the next open makes it physical). Anything else — a checksum
+//! mismatch with more frames after it, a body that is not valid JSON, a
+//! length beyond [`MAX_RECORD_BYTES`] mid-log — is *corruption*, not
+//! tearing, and fails loudly: silently skipping an interior record
+//! would resurrect a store whose revision trees disagree with every ack
+//! the server ever sent.
+//!
+//! # Error discipline
+//!
+//! [`Wal::append`] either makes the whole frame durable-per-policy or
+//! leaves the file exactly as it was: on any write or sync error the
+//! tail is rewound to the pre-append length. If the rewind itself fails
+//! the log is **poisoned** — every later append is refused — because a
+//! file in an unknown state must not accept frames whose offsets we can
+//! no longer trust.
+
+use crate::rev::siphash24_128;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// The log's file name inside a store's data directory.
+pub const WAL_FILE: &str = "wal.cxu";
+
+/// Bytes of frame header: u32 length + u64 checksum.
+pub const FRAME_HEADER_BYTES: usize = 12;
+
+/// Sanity cap on one record body. A length prefix beyond this mid-log
+/// is corruption (no legitimate commit is this large).
+pub const MAX_RECORD_BYTES: usize = 1 << 26;
+
+/// Fixed key for WAL frame checksums. A protocol constant (not a
+/// secret) distinct from the revision-id key, so a frame body can never
+/// masquerade as a revision digest or vice versa.
+const WAL_KEY: (u64, u64) = (0x6378_755f_7761_6c31, 0x6368_6563_6b73_756d);
+
+/// The checksum of one frame body: low 64 bits of SipHash-2-4-128.
+pub fn checksum(body: &[u8]) -> u64 {
+    siphash24_128(WAL_KEY, body) as u64
+}
+
+/// Encodes one frame (header + body) ready to append.
+pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// When appends reach the disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append; an ack implies the record survives
+    /// power loss.
+    Always,
+    /// `fsync` at most once per interval; a crash loses at most the
+    /// last interval's acks (process death alone loses nothing — the
+    /// kernel holds the written pages).
+    Interval(Duration),
+    /// Never `fsync` explicitly; durability rides on the OS cache.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling: `always`, `never`, or `interval` (use
+    /// `--fsync-interval-ms` to size it; this default is 100ms).
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            "interval" => Some(FsyncPolicy::Interval(Duration::from_millis(100))),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling back.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Interval(_) => "interval",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// Mid-log corruption: the log cannot be trusted and recovery refuses
+/// to guess. Carries the byte offset of the bad frame and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalCorrupt {
+    /// Byte offset of the offending frame's header.
+    pub offset: u64,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for WalCorrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wal corrupt at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for WalCorrupt {}
+
+/// What [`scan`] found: the decoded record bodies, where each frame
+/// starts, how much of the file is trustworthy, and how many trailing
+/// bytes were torn.
+#[derive(Clone, Debug, Default)]
+pub struct Scan {
+    /// Record bodies, in log order (raw JSON text; the recovery layer
+    /// parses them).
+    pub records: Vec<String>,
+    /// Byte offset of each record's frame header (parallel to
+    /// `records`). Exposed so tests can truncate a log mid-record.
+    pub offsets: Vec<u64>,
+    /// Length of the valid prefix; the file is truncated here on open.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` discarded by the torn-tail rule.
+    pub torn_bytes: u64,
+}
+
+/// Decodes a log image, applying the torn-tail rule. `Err` means
+/// mid-log corruption (never a torn tail).
+pub fn scan(bytes: &[u8]) -> Result<Scan, WalCorrupt> {
+    let total = bytes.len() as u64;
+    let mut out = Scan::default();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let remaining = bytes.len() - off;
+        if remaining < FRAME_HEADER_BYTES {
+            break; // torn: not even a whole header
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+        let sum = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().expect("8 bytes"));
+        let body_start = off + FRAME_HEADER_BYTES;
+        let Some(frame_end) = body_start.checked_add(len) else {
+            break; // torn: absurd length can only be a half-written tail
+        };
+        if frame_end > bytes.len() {
+            break; // torn: the frame promises bytes that never landed
+        }
+        if len > MAX_RECORD_BYTES {
+            // The full frame *is* present, so this is not a tail being
+            // torn — the length field itself is garbage mid-log.
+            return Err(WalCorrupt {
+                offset: off as u64,
+                reason: format!("record length {len} exceeds the {MAX_RECORD_BYTES}-byte cap"),
+            });
+        }
+        let body = &bytes[body_start..frame_end];
+        if checksum(body) != sum {
+            if frame_end == bytes.len() {
+                break; // torn: the final frame's body was half-flushed
+            }
+            return Err(WalCorrupt {
+                offset: off as u64,
+                reason: "checksum mismatch with records following".to_owned(),
+            });
+        }
+        let text = std::str::from_utf8(body).map_err(|_| WalCorrupt {
+            offset: off as u64,
+            reason: "record body is not UTF-8 despite a valid checksum".to_owned(),
+        })?;
+        out.records.push(text.to_owned());
+        out.offsets.push(off as u64);
+        off = frame_end;
+        out.valid_len = off as u64;
+    }
+    out.torn_bytes = total - out.valid_len;
+    Ok(out)
+}
+
+/// The append-side handle. One per store; lives inside the store lock.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    /// Valid length — every byte below this is a whole, checksummed
+    /// frame (and synced, under `Always`).
+    len: u64,
+    /// Frames currently in the file.
+    records: u64,
+    last_sync: Instant,
+    dirty: bool,
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `dir/wal.cxu`, scans it,
+    /// and truncates any torn tail so the next append starts on a frame
+    /// boundary. Returns the handle plus the scan for replay.
+    pub fn open(dir: &Path, policy: FsyncPolicy) -> Result<(Wal, Scan), WalError> {
+        let path = dir.join(WAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| WalError::Io(format!("open {}: {e}", path.display())))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| WalError::Io(format!("read {}: {e}", path.display())))?;
+        let scan = scan(&bytes).map_err(WalError::Corrupt)?;
+        if scan.torn_bytes > 0 {
+            file.set_len(scan.valid_len)
+                .map_err(|e| WalError::Io(format!("truncate torn tail: {e}")))?;
+        }
+        file.seek(SeekFrom::Start(scan.valid_len))
+            .map_err(|e| WalError::Io(format!("seek {}: {e}", path.display())))?;
+        let wal = Wal {
+            file,
+            path,
+            policy,
+            len: scan.valid_len,
+            records: scan.records.len() as u64,
+            last_sync: Instant::now(),
+            dirty: false,
+            poisoned: false,
+        };
+        Ok((wal, scan))
+    }
+
+    /// Appends one record and makes it durable per policy. On error the
+    /// file is rewound to its pre-append length (or the log poisoned if
+    /// even that fails); the in-memory store must not apply the commit.
+    pub fn append(&mut self, body: &[u8]) -> Result<(), WalError> {
+        if self.poisoned {
+            cxu_obs::counter!("store.wal.append_errors").inc();
+            return Err(WalError::Io(
+                "wal poisoned by an earlier failure".to_owned(),
+            ));
+        }
+        let frame = encode_frame(body);
+        if cxu_runtime::failpoints::fire("store::wal::append") {
+            cxu_obs::counter!("store.wal.append_errors").inc();
+            return Err(WalError::Io("injected append fault".to_owned()));
+        }
+        if cxu_runtime::failpoints::fire("store::wal::short_write") {
+            // Model a crash mid-write: half the frame reaches the disk
+            // and the process can no longer trust the file. The torn
+            // half-frame is exactly what the next open's scan discards.
+            let _ = self.file.write_all(&frame[..frame.len() / 2]);
+            let _ = self.file.flush();
+            self.poisoned = true;
+            cxu_obs::counter!("store.wal.append_errors").inc();
+            return Err(WalError::Io("injected short write".to_owned()));
+        }
+        if let Err(e) = self.file.write_all(&frame) {
+            cxu_obs::counter!("store.wal.append_errors").inc();
+            self.rewind();
+            return Err(WalError::Io(format!("append: {e}")));
+        }
+        self.dirty = true;
+        if let Err(e) = self.maybe_sync() {
+            // The frame is on disk but not durable; acking it would
+            // promise what `Always` cannot deliver. Take it back out.
+            cxu_obs::counter!("store.wal.append_errors").inc();
+            self.rewind();
+            return Err(e);
+        }
+        self.len += frame.len() as u64;
+        self.records += 1;
+        cxu_obs::counter!("store.wal.appended").inc();
+        cxu_obs::counter!("store.wal.bytes").add(frame.len() as u64);
+        Ok(())
+    }
+
+    /// Restores the file to the last known-good length after a failed
+    /// append. Poisons the log when the restore cannot be trusted.
+    fn rewind(&mut self) {
+        let ok = self.file.set_len(self.len).is_ok()
+            && self.file.seek(SeekFrom::Start(self.len)).is_ok();
+        if !ok {
+            self.poisoned = true;
+        }
+    }
+
+    /// Syncs if the policy says this append must (or is due to).
+    fn maybe_sync(&mut self) -> Result<(), WalError> {
+        match self.policy {
+            FsyncPolicy::Always => self.sync(),
+            FsyncPolicy::Interval(every) => {
+                if self.last_sync.elapsed() >= every {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Never => Ok(()),
+        }
+    }
+
+    /// Forces written frames to stable storage.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        if cxu_runtime::failpoints::fire("store::wal::sync") {
+            cxu_obs::counter!("store.wal.sync_errors").inc();
+            return Err(WalError::Io("injected fsync fault".to_owned()));
+        }
+        match self.file.sync_data() {
+            Ok(()) => {
+                self.dirty = false;
+                self.last_sync = Instant::now();
+                cxu_obs::counter!("store.wal.syncs").inc();
+                Ok(())
+            }
+            Err(e) => {
+                cxu_obs::counter!("store.wal.sync_errors").inc();
+                Err(WalError::Io(format!("fsync {}: {e}", self.path.display())))
+            }
+        }
+    }
+
+    /// Empties the log after a snapshot made its records redundant.
+    pub fn reset(&mut self) -> Result<(), WalError> {
+        self.file
+            .set_len(0)
+            .and_then(|()| self.file.seek(SeekFrom::Start(0)).map(|_| ()))
+            .map_err(|e| {
+                self.poisoned = true;
+                WalError::Io(format!("compact {}: {e}", self.path.display()))
+            })?;
+        let _ = self.file.sync_data();
+        cxu_obs::counter!("store.wal.compacted_away").add(self.records);
+        self.len = 0;
+        self.records = 0;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Frames currently in the log (since the last compaction).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Valid bytes currently in the log.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether a failed rewind has poisoned the log.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+/// What can go wrong on the append side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// An I/O failure (real or injected); the put fails, the store
+    /// stays consistent.
+    Io(String),
+    /// Mid-log corruption found while opening.
+    Corrupt(WalCorrupt),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(m) => write!(f, "wal i/o error: {m}"),
+            WalError::Corrupt(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(bodies: &[&str]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for b in bodies {
+            out.extend_from_slice(&encode_frame(b.as_bytes()));
+        }
+        out
+    }
+
+    #[test]
+    fn scan_roundtrips_frames() {
+        let img = frames(&[r#"{"a":1}"#, r#"{"b":2}"#]);
+        let s = scan(&img).unwrap();
+        assert_eq!(s.records, vec![r#"{"a":1}"#, r#"{"b":2}"#]);
+        assert_eq!(s.valid_len, img.len() as u64);
+        assert_eq!(s.torn_bytes, 0);
+        assert_eq!(s.offsets[0], 0);
+        assert_eq!(
+            s.offsets[1],
+            (FRAME_HEADER_BYTES + r#"{"a":1}"#.len()) as u64
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_not_fatal() {
+        let good = frames(&[r#"{"a":1}"#]);
+        let tail = encode_frame(br#"{"b":2}"#);
+        for cut in 1..tail.len() {
+            let mut img = good.clone();
+            img.extend_from_slice(&tail[..cut]);
+            let s = scan(&img).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+            assert_eq!(s.records.len(), 1, "cut {cut}");
+            assert_eq!(s.valid_len, good.len() as u64, "cut {cut}");
+            assert_eq!(s.torn_bytes, cut as u64, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_byte_in_final_frame_is_torn() {
+        let mut img = frames(&[r#"{"a":1}"#, r#"{"b":2}"#]);
+        let last = img.len() - 1;
+        img[last] ^= 0xff;
+        let s = scan(&img).unwrap();
+        assert_eq!(s.records, vec![r#"{"a":1}"#]);
+        assert!(s.torn_bytes > 0);
+    }
+
+    #[test]
+    fn flipped_byte_mid_log_is_corruption() {
+        let img0 = frames(&[r#"{"a":1}"#]);
+        let mut img = frames(&[r#"{"a":1}"#, r#"{"b":2}"#]);
+        img[FRAME_HEADER_BYTES + 2] ^= 0xff; // inside the first body
+        let err = scan(&img).unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert!(err.reason.contains("checksum"), "{err}");
+        drop(img0);
+    }
+
+    #[test]
+    fn absurd_interior_length_is_corruption() {
+        // A full frame whose length field exceeds the cap, followed by
+        // enough bytes that the frame is "present".
+        let mut img = Vec::new();
+        let len = (MAX_RECORD_BYTES + 1) as u32;
+        img.extend_from_slice(&len.to_le_bytes());
+        img.extend_from_slice(&0u64.to_le_bytes());
+        img.resize(FRAME_HEADER_BYTES + MAX_RECORD_BYTES + 1, 0);
+        let err = scan(&img).unwrap_err();
+        assert!(err.reason.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_and_appends_cleanly() {
+        let dir = std::env::temp_dir().join(format!("cxu-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(WAL_FILE);
+        let mut img = frames(&[r#"{"a":1}"#]);
+        img.extend_from_slice(&encode_frame(br#"{"b":2}"#)[..5]); // torn
+        std::fs::write(&path, &img).unwrap();
+
+        let (mut wal, s) = Wal::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.torn_bytes, 5);
+        wal.append(br#"{"c":3}"#).unwrap();
+        assert_eq!(wal.records(), 2);
+        drop(wal);
+
+        let (_, s2) = Wal::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(s2.records, vec![r#"{"a":1}"#, r#"{"c":3}"#]);
+        assert_eq!(s2.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let dir = std::env::temp_dir().join(format!("cxu-wal-reset-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut wal, _) = Wal::open(&dir, FsyncPolicy::Always).unwrap();
+        wal.append(br#"{"a":1}"#).unwrap();
+        wal.append(br#"{"b":2}"#).unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.records(), 0);
+        wal.append(br#"{"c":3}"#).unwrap();
+        drop(wal);
+        let (_, s) = Wal::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(s.records, vec![r#"{"c":3}"#]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_policy_parses_its_spellings() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert!(matches!(
+            FsyncPolicy::parse("interval"),
+            Some(FsyncPolicy::Interval(_))
+        ));
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+        assert_eq!(FsyncPolicy::Always.name(), "always");
+    }
+}

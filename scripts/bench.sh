@@ -16,7 +16,11 @@
 #                        (6 connections, 3 shared documents, stale
 #                        bases on purpose): merge/branch/reject rates
 #                        and put latency, with the changes feed and
-#                        winners validated after the run.
+#                        winners validated after the run. Two runs —
+#                        "in_memory" (no --data-dir) and
+#                        "wal_fsync_always" (checksummed WAL, fsync on
+#                        every commit) — so the durability tax on put
+#                        latency is visible side by side.
 #
 # See EXPERIMENTS.md, "Compiled automata and the batch pre-filter",
 # for how to read the numbers (and which are NP-search-noise-prone).
@@ -51,6 +55,8 @@ rm -f "$serve_log"
 
 echo "==> cxu serve + loadgen --profile store > BENCH_STORE.json" >&2
 serve_log=$(mktemp)
+store_mem=$(mktemp)
+store_wal=$(mktemp)
 ./target/release/cxu serve --addr 127.0.0.1:0 --workers 4 > "$serve_log" 2>&1 &
 serve_pid=$!
 addr=""
@@ -61,9 +67,33 @@ for _ in $(seq 1 50); do
 done
 [ -n "$addr" ] || { echo "server never announced its address" >&2; cat "$serve_log" >&2; exit 1; }
 ./target/release/cxu loadgen --addr "$addr" --connections 6 --docs 3 \
-    --duration-ms 2000 --seed 42 --profile store --validate --out BENCH_STORE.json >&2
+    --duration-ms 2000 --seed 42 --profile store --validate --out "$store_mem" >&2
 kill -TERM "$serve_pid"
 wait "$serve_pid"
 rm -f "$serve_log"
+
+echo "==> same store workload against --data-dir --fsync always" >&2
+serve_log=$(mktemp)
+data_dir=$(mktemp -d)
+./target/release/cxu serve --addr 127.0.0.1:0 --workers 4 \
+    --data-dir "$data_dir" --fsync always > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "durable server never announced its address" >&2; cat "$serve_log" >&2; exit 1; }
+./target/release/cxu loadgen --addr "$addr" --connections 6 --docs 3 \
+    --duration-ms 2000 --seed 42 --profile store --validate --out "$store_wal" >&2
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+rm -rf "$data_dir"
+rm -f "$serve_log"
+
+printf '{"bench": "store", "in_memory": %s, "wal_fsync_always": %s}\n' \
+    "$(cat "$store_mem")" "$(cat "$store_wal")" > BENCH_STORE.json
+rm -f "$store_mem" "$store_wal"
 
 echo "done: BENCH_AUTOMATA.json BENCH_SCHED.json BENCH_SERVE.json BENCH_STORE.json" >&2

@@ -117,6 +117,66 @@ grep -q 'drained after' "$serve_log" \
 wait "$load_pid" || true
 rm -f "$serve_log" "$serve_bench"
 
+echo "==> durable serve smoke (--data-dir: ack, kill -9, restart, re-read)"
+data_dir=$(mktemp -d)
+./target/release/cxu serve --addr 127.0.0.1:0 --workers 2 \
+    --data-dir "$data_dir" --fsync always > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "durable server never announced its address"; cat "$serve_log"; exit 1; }
+# Drive the socket with bash's /dev/tcp: one put, read the ack.
+exec 3<>"/dev/tcp/${addr%:*}/${addr#*:}"
+printf '{"route": "doc_put", "doc": "smoke", "content": "a(b c)", "semantics": "value"}\n' >&3
+IFS= read -r put <&3
+exec 3<&- 3>&-
+echo "$put" | grep -q '"result": "created"' \
+    || { echo "durable put was not acked: $put"; exit 1; }
+rev=$(echo "$put" | grep -oE '"rev": "[^"]+"' | head -1 | cut -d'"' -f4)
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+./target/release/cxu serve --addr 127.0.0.1:0 --workers 2 \
+    --data-dir "$data_dir" --fsync always > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "restarted server never announced its address"; cat "$serve_log"; exit 1; }
+grep -q 'cxu-serve recovered' "$serve_log" \
+    || { echo "restarted server printed no recovery report"; cat "$serve_log"; exit 1; }
+exec 3<>"/dev/tcp/${addr%:*}/${addr#*:}"
+printf '{"route": "doc_get", "doc": "smoke", "rev": "%s"}\n' "$rev" >&3
+IFS= read -r got <&3
+exec 3<&- 3>&-
+echo "$got" | grep -q '"found": true' \
+    || { echo "acked revision $rev lost across kill -9: $got"; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "durable server exited nonzero after SIGTERM"; cat "$serve_log"; exit 1; }
+rm -rf "$data_dir"
+rm -f "$serve_log" "$serve_bench"
+
+echo "==> crash-injection smoke (6 kill -9 cycles, fixed seed)"
+crash_dir=$(mktemp -d)
+crash_out=$(mktemp)
+./target/release/cxu crashtest --data-dir "$crash_dir" --cycles 6 --seed 42 \
+    --out "$crash_out" \
+    || { echo "crash smoke reported durability violations"; cat "$crash_out"; exit 1; }
+grep -q '"ok": true' "$crash_out" \
+    || { echo "crash smoke report not ok"; cat "$crash_out"; exit 1; }
+grep -q '"lost": 0' "$crash_out" \
+    || { echo "crash smoke lost acked writes"; cat "$crash_out"; exit 1; }
+grep -q '"phantoms": 0' "$crash_out" \
+    || { echo "crash smoke surfaced phantom revisions"; cat "$crash_out"; exit 1; }
+rm -rf "$crash_dir"
+rm -f "$crash_out"
+
 echo "==> cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

@@ -1,0 +1,419 @@
+//! Validation of the durability subsystem (`cxu-store`'s WAL,
+//! snapshots, and recovery):
+//!
+//! * **Recovery equivalence** — 200 seeds: a random op sequence runs
+//!   against a WAL-backed store, the process "dies" (the store is
+//!   dropped without compaction) and its log is truncated at a random
+//!   record boundary with a torn fragment of the next record appended;
+//!   the recovered store must equal, document for document and
+//!   revision for revision, an in-memory store that replayed exactly
+//!   the durable prefix of commits. Winners, tombstones, parents,
+//!   content, the changes feed, and the sequence counter all agree.
+//! * **Torn-tail rule** — the appended mid-record fragment is
+//!   discarded and reported, never an error; mid-log corruption (a
+//!   flipped body byte with records following) refuses to open.
+//! * **Snapshot compaction** — with `snapshot_every = 4` the log stays
+//!   bounded, recovery loads the snapshot and replays only the tail,
+//!   and the recovered state still equals the live fingerprint.
+//!
+//! Serialized on one mutex: store metrics are process-global.
+
+use cxu::gen::rng::{Rng, SplitMix64};
+use cxu::gen::trees::{random_tree, TreeParams};
+use cxu::ops::{Insert, Update};
+use cxu::prelude::*;
+use cxu::sched::{Deadline, Op, SchedConfig, Scheduler};
+use cxu::store::wal::WAL_FILE;
+use cxu::store::{
+    DurabilityConfig, FsyncPolicy, PutPayload, PutResult, RevId, Store, StoreConfig, StoreError,
+};
+use cxu::tree::text;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cxu-durval-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tempdir");
+    dir
+}
+
+fn sched_check<'a>(
+    sched: &'a mut Scheduler,
+) -> impl FnMut(&Op, &Op) -> cxu::sched::PairDecision + 'a {
+    let deadline = Deadline::never();
+    move |a: &Op, b: &Op| sched.check_pair(a, b, &deadline)
+}
+
+/// One abstract operation of the random workload. Base revisions are
+/// *indices into the document's known-revision list*, so the same
+/// script replays identically against any store that executes the same
+/// prefix — which is exactly what the equivalence check needs.
+#[derive(Clone, Debug)]
+enum Script {
+    Create {
+        doc: usize,
+        content: Tree,
+    },
+    Put {
+        doc: usize,
+        update: Update,
+        base: usize,
+    },
+    Delete {
+        doc: usize,
+        base: usize,
+    },
+}
+
+fn random_script(rng: &mut SplitMix64, docs: usize, len: usize) -> Vec<Script> {
+    let tparams = TreeParams {
+        nodes: 8,
+        alphabet: 5,
+        ..TreeParams::default()
+    };
+    let mut out = Vec::with_capacity(len);
+    for d in 0..docs {
+        out.push(Script::Create {
+            doc: d,
+            content: random_tree(rng, &tparams),
+        });
+    }
+    let labels = ["a", "b", "c", "d", "e"];
+    for _ in 0..len {
+        let doc = rng.gen_range(0..docs);
+        let base = rng.gen_range(0..64); // resolved mod known-revs at run time
+        if rng.gen_bool(0.12) {
+            out.push(Script::Delete { doc, base });
+        } else {
+            // Small seeded inserts at varying depths: shallow paths hit
+            // the applied rung, stale bases exercise merge vs branch.
+            let path = match rng.gen_range(0..3) {
+                0 => labels[rng.gen_range(0..labels.len())].to_string(),
+                1 => format!(
+                    "{}/{}",
+                    labels[rng.gen_range(0..labels.len())],
+                    labels[rng.gen_range(0..labels.len())]
+                ),
+                _ => format!(
+                    "{}//{}",
+                    labels[rng.gen_range(0..labels.len())],
+                    labels[rng.gen_range(0..labels.len())]
+                ),
+            };
+            let sub = text::parse(labels[rng.gen_range(0..labels.len())]).unwrap();
+            let Ok(pattern) = cxu::pattern::xpath::parse(&path) else {
+                continue;
+            };
+            out.push(Script::Put {
+                doc,
+                update: Update::Insert(Insert::new(pattern, sub)),
+                base,
+            });
+        }
+    }
+    out
+}
+
+/// Executes `script` against `store`, stopping after `max_commits`
+/// successful commits (`None` = run everything). Returns how many
+/// commits actually landed. Known-revision lists grow deterministically
+/// (every minted rev appends), so base selection replays exactly.
+fn run_script(
+    store: &Store,
+    script: &[Script],
+    max_commits: Option<u64>,
+) -> Result<u64, StoreError> {
+    let mut sched = Scheduler::new(SchedConfig {
+        jobs: 1,
+        ..SchedConfig::default()
+    });
+    let mut check = sched_check(&mut sched);
+    let mut known: Vec<Vec<RevId>> = Vec::new();
+    let mut commits = 0u64;
+    for op in script {
+        if let Some(cap) = max_commits {
+            if commits >= cap {
+                break;
+            }
+        }
+        let outcome = match op {
+            Script::Create { doc, content } => {
+                while known.len() <= *doc {
+                    known.push(Vec::new());
+                }
+                store.put(
+                    &format!("doc-{doc}"),
+                    None,
+                    PutPayload::Content(content.clone()),
+                    &mut check,
+                )
+            }
+            Script::Put { doc, update, base } => {
+                let revs = &known[*doc];
+                if revs.is_empty() {
+                    continue;
+                }
+                let base_rev = revs[base % revs.len()];
+                store.put(
+                    &format!("doc-{doc}"),
+                    Some(base_rev),
+                    PutPayload::Op(update.clone()),
+                    &mut check,
+                )
+            }
+            Script::Delete { doc, base } => {
+                let revs = &known[*doc];
+                if revs.is_empty() {
+                    continue;
+                }
+                store.delete(&format!("doc-{doc}"), revs[base % revs.len()])
+            }
+        };
+        match outcome {
+            Ok(o) if o.result != PutResult::Noop => {
+                commits += 1;
+                let doc = match op {
+                    Script::Create { doc, .. }
+                    | Script::Put { doc, .. }
+                    | Script::Delete { doc, .. } => *doc,
+                };
+                known[doc].push(o.rev);
+            }
+            Ok(_) => {} // noop: nothing minted, nothing logged
+            Err(StoreError::Io(_)) | Err(StoreError::Corrupt(_)) => {
+                return outcome.map(|_| 0); // durability failures are test bugs
+            }
+            Err(_) => {} // rejection: an answer, not a commit
+        }
+    }
+    Ok(commits)
+}
+
+/// Full state fingerprint: every document's sorted revision set plus
+/// winner, the changes feed, and the sequence counter.
+#[allow(clippy::type_complexity)]
+fn fingerprint(
+    store: &Store,
+    docs: usize,
+) -> (
+    Vec<Option<Vec<(RevId, Option<RevId>, bool, Option<String>)>>>,
+    Vec<Option<(RevId, bool)>>,
+    Vec<(u64, String, RevId, bool)>,
+    u64,
+) {
+    let revs: Vec<_> = (0..docs)
+        .map(|d| store.doc_revs(&format!("doc-{d}")))
+        .collect();
+    let winners: Vec<_> = (0..docs)
+        .map(|d| {
+            store
+                .get(&format!("doc-{d}"), None, false)
+                .ok()
+                .map(|g| (g.rev, g.deleted))
+        })
+        .collect();
+    let (changes, _) = store.changes(0, None);
+    let feed: Vec<_> = changes
+        .into_iter()
+        .map(|e| (e.seq, e.doc, e.rev, e.deleted))
+        .collect();
+    (revs, winners, feed, store.current_seq())
+}
+
+/// The tentpole property: recovery from a crash-truncated log equals
+/// an in-memory store that executed exactly the durable prefix.
+#[test]
+fn recovered_state_equals_in_memory_prefix_across_200_seeds() {
+    let _g = lock();
+    const DOCS: usize = 3;
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xD0C5_0000 ^ seed);
+        let script = random_script(&mut rng, DOCS, 24);
+        let dir = tempdir(&format!("prefix-{seed}"));
+
+        // Run everything durably, then "crash" (drop without compact).
+        let dcfg = DurabilityConfig {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::Never, // speed; Drop's best-effort sync still runs
+            snapshot_every: 0,         // keep record == commit over the whole log
+        };
+        let store = Store::open(StoreConfig::default(), dcfg.clone()).expect("open fresh");
+        let total_commits = run_script(&store, &script, None).expect("durable run");
+        store.flush().expect("flush before the staged crash");
+        drop(store);
+
+        // Truncate the log at a random record boundary and append a
+        // torn fragment of the next record.
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal_path).expect("read wal");
+        let scan = cxu::store::wal::scan(&bytes).expect("clean log scans");
+        assert_eq!(
+            scan.records.len() as u64,
+            total_commits,
+            "seed {seed}: one WAL record per commit"
+        );
+        let keep = rng.gen_range(0..scan.records.len() + 1) as u64;
+        let cut = if keep == total_commits {
+            bytes.len()
+        } else {
+            scan.offsets[keep as usize] as usize
+        };
+        let mut image = bytes[..cut].to_vec();
+        let mut torn = 0usize;
+        if cut < bytes.len() {
+            // 1..header+body-1 bytes of the next frame: always torn.
+            let next_len = bytes.len().min(cut + 96) - cut;
+            torn = 1 + rng.gen_range(0..next_len.max(2) - 1);
+            image.extend_from_slice(&bytes[cut..cut + torn]);
+        }
+        std::fs::write(&wal_path, &image).expect("write truncated wal");
+
+        // Recover, and build the oracle at the same commit prefix.
+        let recovered = Store::open(StoreConfig::default(), dcfg).expect("recover");
+        let report = recovered.recovery_report().expect("durable stores report");
+        assert_eq!(
+            report.replayed_records, keep,
+            "seed {seed}: replay count is the durable prefix"
+        );
+        assert_eq!(
+            report.torn_bytes, torn as u64,
+            "seed {seed}: the torn fragment is discarded and counted"
+        );
+        let oracle = Store::new(StoreConfig::default());
+        let oracle_commits = run_script(&oracle, &script, Some(keep)).expect("oracle run");
+        assert_eq!(
+            oracle_commits, keep,
+            "seed {seed}: oracle reaches the prefix"
+        );
+
+        assert_eq!(
+            fingerprint(&recovered, DOCS),
+            fingerprint(&oracle, DOCS),
+            "seed {seed}: recovered state diverges from the durable prefix"
+        );
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Mid-log corruption — a flipped byte with valid records following —
+/// must refuse to open, not silently drop a prefix the server acked.
+#[test]
+fn mid_log_corruption_fails_loudly() {
+    let _g = lock();
+    let dir = tempdir("midlog");
+    let dcfg = DurabilityConfig {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 0,
+    };
+    let store = Store::open(StoreConfig::default(), dcfg.clone()).expect("open fresh");
+    let mut rng = SplitMix64::seed_from_u64(99);
+    let script = random_script(&mut rng, 2, 12);
+    let commits = run_script(&store, &script, None).expect("run");
+    assert!(commits >= 3, "need a few records to corrupt the middle");
+    store.flush().expect("flush");
+    drop(store);
+
+    let wal_path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal_path).expect("read wal");
+    let scan = cxu::store::wal::scan(&bytes).expect("clean scan");
+    // Flip one byte inside the FIRST record's body: checksum mismatch
+    // with records following.
+    let target = scan.offsets[0] as usize + 12 + 2;
+    bytes[target] ^= 0x5A;
+    std::fs::write(&wal_path, &bytes).expect("write corrupted wal");
+
+    match Store::open(StoreConfig::default(), dcfg) {
+        Err(StoreError::Corrupt(msg)) => {
+            assert!(
+                msg.contains("checksum"),
+                "corruption reason names the checksum: {msg}"
+            );
+        }
+        Err(other) => panic!("mid-log corruption must refuse to open, got {other:?}"),
+        Ok(_) => panic!("mid-log corruption must refuse to open, but it opened"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Compaction keeps the log bounded and recovery snapshot-first: after
+/// `snapshot_every = 4` the WAL holds only the records since the last
+/// snapshot, and reopening replays just that tail — with the exact
+/// same resulting state.
+#[test]
+fn snapshot_compaction_bounds_the_log_and_recovery() {
+    let _g = lock();
+    const DOCS: usize = 2;
+    let dir = tempdir("compact");
+    let dcfg = DurabilityConfig {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 4,
+    };
+    let store = Store::open(StoreConfig::default(), dcfg.clone()).expect("open fresh");
+    let mut rng = SplitMix64::seed_from_u64(4242);
+    let script = random_script(&mut rng, DOCS, 30);
+    let commits = run_script(&store, &script, None).expect("run");
+    assert!(commits > 8, "workload must cross several compaction points");
+    assert!(
+        store.wal_records() < commits,
+        "compaction must have drained the log at least once \
+         ({} records for {commits} commits)",
+        store.wal_records()
+    );
+    let live = fingerprint(&store, DOCS);
+    let tail = store.wal_records();
+    store.flush().expect("flush");
+    drop(store);
+
+    let recovered = Store::open(StoreConfig::default(), dcfg).expect("recover");
+    let report = recovered.recovery_report().expect("report");
+    assert!(report.snapshot_loaded, "recovery must be snapshot-first");
+    assert_eq!(
+        report.replayed_records, tail,
+        "recovery replays only the post-snapshot tail"
+    );
+    assert_eq!(
+        fingerprint(&recovered, DOCS),
+        live,
+        "snapshot + tail reconstruct the live state exactly"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful shutdown (flush + compact) leaves a log the next boot
+/// replays nothing from — recovery cost is bounded by the snapshot.
+#[test]
+fn graceful_compact_leaves_an_empty_log() {
+    let _g = lock();
+    let dir = tempdir("graceful");
+    let dcfg = DurabilityConfig {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::Always,
+        snapshot_every: 0,
+    };
+    let store = Store::open(StoreConfig::default(), dcfg.clone()).expect("open fresh");
+    let mut rng = SplitMix64::seed_from_u64(7);
+    let script = random_script(&mut rng, 2, 10);
+    run_script(&store, &script, None).expect("run");
+    let live = fingerprint(&store, 2);
+    store.flush().expect("flush");
+    store.compact().expect("compact");
+    assert_eq!(store.wal_records(), 0, "compaction resets the log");
+    drop(store);
+
+    let recovered = Store::open(StoreConfig::default(), dcfg).expect("recover");
+    let report = recovered.recovery_report().expect("report");
+    assert_eq!(report.replayed_records, 0, "nothing to replay");
+    assert!(report.snapshot_loaded);
+    assert_eq!(fingerprint(&recovered, 2), live);
+    let _ = std::fs::remove_dir_all(&dir);
+}

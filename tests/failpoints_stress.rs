@@ -29,10 +29,13 @@ fn base_seed() -> u64 {
         .unwrap_or(1)
 }
 
-/// The single stress test: one `#[test]` because the failpoint plan is
-/// process-global state.
+/// The failpoint plan is process-global state: every test arms and
+/// disarms under this lock.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn scheduler_survives_injected_faults() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // The injected panics are expected and caught; keep them out of the
     // test output — but let genuine assertion failures print normally.
     let default_hook = std::panic::take_hook();
@@ -149,4 +152,107 @@ fn scheduler_survives_injected_faults() {
         total.degraded_deadline > 0,
         "no deadline degradation surfaced: {total:?}"
     );
+}
+
+/// Injected disk faults at the `store::wal::*` sites (append error,
+/// short write, fsync error) must never let the in-memory state run
+/// ahead of the log: a put that reports `Io` changed nothing, a put
+/// that reports success is durable, and reopening the data directory
+/// reconstructs exactly the successful prefix — even when a short
+/// write left a genuinely torn tail behind.
+#[test]
+fn wal_survives_injected_disk_faults() {
+    use cxu::sched::{Deadline, Op};
+    use cxu::store::{DurabilityConfig, FsyncPolicy, PutPayload, Store, StoreConfig, StoreError};
+
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let seed = base_seed() ^ 0xD15C;
+    let dir = std::env::temp_dir().join(format!("cxu-fp-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dcfg = DurabilityConfig {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::Always,
+        snapshot_every: 0, // keep compaction out of the fault path
+    };
+
+    let oracle = Store::new(StoreConfig::default());
+    let mut sched = Scheduler::new(SchedConfig::default());
+    let deadline = Deadline::never();
+    let mut check = |a: &Op, b: &Op| sched.check_pair(a, b, &deadline);
+    let mut oracle_sched = Scheduler::new(SchedConfig::default());
+    let mut oracle_check = |a: &Op, b: &Op| oracle_sched.check_pair(a, b, &deadline);
+
+    failpoints::arm(Plan {
+        seed,
+        panic_per_mille: 0,
+        sleep_per_mille: 0,
+        sleep_ms: 0,
+        exhaust_per_mille: 120, // the wal sites read exhaust as "disk died"
+    });
+
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let tparams = TreeParams {
+        nodes: 6,
+        alphabet: 4,
+        ..TreeParams::default()
+    };
+    // A short write poisons the log for the rest of the incarnation
+    // (every later append refuses, keeping memory and disk in step),
+    // so the workload runs as open → fault → crash cycles: each reopen
+    // clears the poison, truncates any torn tail the short write left,
+    // and must reconstruct exactly the successful prefix so far.
+    let mut io_errors = 0u64;
+    let mut successes = 0u64;
+    for cycle in 0..8 {
+        let durable = Store::open(StoreConfig::default(), dcfg.clone())
+            .unwrap_or_else(|e| panic!("cycle {cycle}: reopen after faults: {e}"));
+        assert_eq!(
+            durable.doc_revs("doc"),
+            oracle.doc_revs("doc"),
+            "cycle {cycle}: recovery equals the successful prefix"
+        );
+        assert_eq!(durable.current_seq(), oracle.current_seq(), "cycle {cycle}");
+        for _ in 0..10 {
+            let base = durable.get("doc", None, false).ok().map(|g| g.rev);
+            let tree = random_tree(&mut rng, &tparams);
+            match durable.put("doc", base, PutPayload::Content(tree.clone()), &mut check) {
+                Ok(out) => {
+                    successes += 1;
+                    let echo = oracle
+                        .put(
+                            "doc",
+                            oracle.get("doc", None, false).ok().map(|g| g.rev),
+                            PutPayload::Content(tree),
+                            &mut oracle_check,
+                        )
+                        .expect("oracle replays the successful put");
+                    assert_eq!(echo.rev, out.rev, "deterministic revision ids");
+                }
+                Err(StoreError::Io(_)) => io_errors += 1, // nothing changed
+                Err(other) => panic!("unexpected rejection under disk faults: {other:?}"),
+            }
+            assert_eq!(
+                durable.current_seq(),
+                oracle.current_seq(),
+                "memory never runs ahead of the log"
+            );
+        }
+        drop(durable); // crash: no flush, no compact
+    }
+    failpoints::disarm();
+
+    assert!(successes >= 10, "some puts must get through ({successes})");
+    assert!(io_errors >= 3, "the 120/1000 plan must bite ({io_errors})");
+
+    let recovered = Store::open(StoreConfig::default(), dcfg).expect("recover after faults");
+    assert_eq!(
+        recovered.doc_revs("doc"),
+        oracle.doc_revs("doc"),
+        "recovered tree equals the successful prefix"
+    );
+    assert_eq!(recovered.current_seq(), oracle.current_seq());
+    let g = recovered.get("doc", None, false).expect("winner");
+    let o = oracle.get("doc", None, false).expect("oracle winner");
+    assert_eq!(g.rev, o.rev, "same winner after recovery");
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -446,3 +446,97 @@ fn compile_cache_hits_and_misses_partition_interns() {
     assert_eq!(d2.counter("automata.compile.miss"), 0, "no new shapes");
     assert_eq!(d2.counter("automata.compile.hit"), ops.len() as u64);
 }
+
+/// Durability accounting: every record the WAL ever accepted is either
+/// compacted away into a snapshot or still live in the log — and a
+/// recovery replays exactly the live tail it was handed. The put
+/// partition identity is unchanged by the WAL being in the loop.
+#[test]
+fn wal_counters_account_for_every_appended_record() {
+    use cxu::store::{DurabilityConfig, FsyncPolicy};
+
+    let _guard = lock();
+    let dir = std::env::temp_dir().join(format!("cxu-obs-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dcfg = DurabilityConfig {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 8, // small enough that the workload compacts
+    };
+    let before = obs::registry().snapshot();
+
+    let store = Store::open(StoreConfig::default(), dcfg.clone()).expect("open durable");
+    let mut sched = Scheduler::new(test_config());
+    let deadline = Deadline::never();
+    let mut check = |a: &Op, b: &Op| sched.check_pair(a, b, &deadline);
+
+    let mut rng = SplitMix64::seed_from_u64(0x0A1_5EED);
+    let tparams = TreeParams {
+        nodes: 8,
+        alphabet: 6,
+        ..TreeParams::default()
+    };
+    let mut puts = 0u64;
+    for d in 0..4usize {
+        let doc = format!("wal-{d}");
+        let tree = random_tree(&mut rng, &tparams);
+        let created = store
+            .put(&doc, None, PutPayload::Content(tree), &mut check)
+            .expect("create");
+        puts += 1;
+        let mut base = created.rev;
+        for _ in 0..6 {
+            let tree = random_tree(&mut rng, &tparams);
+            let r = store
+                .put(&doc, Some(base), PutPayload::Content(tree), &mut check)
+                .expect("replace at winner");
+            puts += 1;
+            base = r.rev;
+        }
+    }
+
+    let mid = obs::registry().snapshot().delta(&before);
+    // Conservation: appended == compacted away + still in the log.
+    assert!(
+        mid.counter("store.wal.compactions") >= 1,
+        "28 commits across snapshot_every=8 must compact\n{mid}"
+    );
+    assert_eq!(
+        mid.counter("store.wal.appended"),
+        mid.counter("store.wal.compacted_away") + store.wal_records(),
+        "every appended record is compacted away or live\n{mid}"
+    );
+    // The put partition is undisturbed by the WAL: same identity,
+    // nothing failed, one bucket tick per put.
+    assert_eq!(mid.counter("store.puts"), puts);
+    assert_eq!(
+        mid.counter("store.puts"),
+        mid.counter("store.put.applied")
+            + mid.counter("store.put.merged")
+            + mid.counter("store.put.branched")
+            + mid.counter("store.put.rejected")
+            + mid.counter("store.put.noop")
+            + mid.counter("store.put.failed"),
+        "put partition holds under durability\n{mid}"
+    );
+    assert_eq!(mid.counter("store.put.failed"), 0);
+    assert_eq!(mid.counter("store.wal.append_errors"), 0);
+
+    // Crash (no compact) and recover: the replay counter moves by
+    // exactly the live tail at the handoff.
+    let tail = store.wal_records();
+    store.flush().expect("flush");
+    drop(store);
+    let handoff = obs::registry().snapshot();
+    let recovered = Store::open(StoreConfig::default(), dcfg).expect("recover");
+    let d = obs::registry().snapshot().delta(&handoff);
+    assert_eq!(
+        d.counter("store.wal.replayed_on_recovery"),
+        tail,
+        "recovery replays exactly the live tail\n{d}"
+    );
+    assert_eq!(d.counter("store.recovery.runs"), 1);
+    assert_eq!(d.counter("store.recovery.torn_bytes"), 0);
+    assert_eq!(recovered.wal_records(), tail, "the tail stays live");
+    let _ = std::fs::remove_dir_all(&dir);
+}

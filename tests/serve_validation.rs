@@ -328,3 +328,141 @@ fn injected_panics_fail_requests_but_not_the_pool() {
     assert_eq!(summary.failed, failed);
     assert!(summary.completed >= 2);
 }
+
+/// (e) An oversized request line is answered `bad-request` and the
+/// connection closed before the line ever reaches the parser — the
+/// server never buffers an attacker-controlled line without bound.
+/// The reject still lands in the accounting identity as a failure.
+#[test]
+fn oversized_request_line_is_rejected_at_the_socket() {
+    let _g = lock();
+    let (addr, _handle, join) = start(ServeConfig {
+        workers: 1,
+        max_line_bytes: 256,
+        ..ServeConfig::default()
+    });
+
+    let mut c = Client::connect(addr);
+    let huge = format!(r#"{{"route": "check", "pad": "{}"}}"#, "x".repeat(4096));
+    c.send(&huge);
+    let v = c.recv();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{v:?}");
+    assert_eq!(v.get("error").and_then(Json::as_str), Some("bad-request"));
+    // The connection is closed behind the rejection.
+    let mut rest = String::new();
+    assert_eq!(c.reader.read_line(&mut rest).unwrap_or(0), 0, "closed");
+
+    // A well-behaved client on a fresh connection is unaffected.
+    let mut ok = Client::connect(addr);
+    let v = ok.roundtrip(&delayed_check(0, 1));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+
+    let v = ok.roundtrip(r#"{"route": "shutdown"}"#);
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    drop(ok);
+    let summary = join.join().unwrap();
+    assert_identity(&summary);
+    assert!(summary.failed >= 1, "the oversized line counts as failed");
+}
+
+/// (f) A slow-loris connection — bytes trickling in with no newline —
+/// is answered `timeout` and closed once the partial line has stalled
+/// past the read timeout. An *idle* connection (no partial line) stays
+/// open indefinitely.
+#[test]
+fn slow_loris_partial_line_times_out_but_idle_does_not() {
+    let _g = lock();
+    let (addr, _handle, join) = start(ServeConfig {
+        workers: 1,
+        read_timeout: Some(Duration::from_millis(150)),
+        ..ServeConfig::default()
+    });
+
+    // Idle longer than the timeout, then speak: still served.
+    let mut idle = Client::connect(addr);
+    std::thread::sleep(Duration::from_millis(400));
+    let v = idle.roundtrip(&delayed_check(0, 7));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+
+    // Trickle half a request and stall: timed out and closed.
+    let mut loris = Client::connect(addr);
+    loris
+        .writer
+        .write_all(br#"{"route": "che"#)
+        .expect("trickle");
+    loris.writer.flush().expect("flush trickle");
+    let t0 = Instant::now();
+    let v = loris.recv();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{v:?}");
+    assert_eq!(v.get("error").and_then(Json::as_str), Some("timeout"));
+    assert!(
+        t0.elapsed() >= Duration::from_millis(100),
+        "the guard waits out the timeout before closing"
+    );
+    let mut rest = String::new();
+    assert_eq!(loris.reader.read_line(&mut rest).unwrap_or(0), 0, "closed");
+
+    let v = idle.roundtrip(r#"{"route": "shutdown"}"#);
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    drop(idle);
+    let summary = join.join().unwrap();
+    assert_identity(&summary);
+    assert!(summary.failed >= 1, "the stalled line counts as failed");
+}
+
+/// (g) A durable server restarted over the same data directory serves
+/// the documents the previous incarnation acked — the socket-level
+/// restart path the crash harness exercises with SIGKILL, here driven
+/// in-process through graceful and non-graceful drops.
+#[test]
+fn durable_server_restart_preserves_acked_documents() {
+    let _g = lock();
+    let dir = std::env::temp_dir().join(format!("cxu-serve-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = || ServeConfig {
+        workers: 2,
+        data_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    let (addr, _handle, join) = start(cfg());
+    let mut c = Client::connect(addr);
+    let v = c.roundtrip(r#"{"route": "doc_put", "doc": "d", "content": "a(b c)"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    let rev1 = v.get("rev").and_then(Json::as_str).unwrap().to_owned();
+    let v = c.roundtrip(&format!(
+        r#"{{"route": "doc_put", "doc": "d", "base_rev": "{rev1}", "content": "a(b c d)"}}"#
+    ));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    let rev2 = v.get("rev").and_then(Json::as_str).unwrap().to_owned();
+    let v = c.roundtrip(r#"{"route": "shutdown"}"#);
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    drop(c);
+    join.join().unwrap();
+
+    // Second incarnation: both acked revisions are readable, the
+    // winner is the later one, and the changes feed has the document.
+    let (addr, _handle, join) = start(cfg());
+    let mut c = Client::connect(addr);
+    for rev in [&rev1, &rev2] {
+        let v = c.roundtrip(&format!(
+            r#"{{"route": "doc_get", "doc": "d", "rev": "{rev}"}}"#
+        ));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+        assert_ne!(v.get("found").and_then(Json::as_bool), Some(false), "{v:?}");
+    }
+    let v = c.roundtrip(r#"{"route": "doc_get", "doc": "d"}"#);
+    assert_eq!(v.get("rev").and_then(Json::as_str), Some(rev2.as_str()));
+    assert_eq!(v.get("content").and_then(Json::as_str), Some("a(b c d)"));
+    let v = c.roundtrip(r#"{"route": "doc_changes"}"#);
+    let results = v.get("results").and_then(Json::as_arr).unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].get("doc").and_then(Json::as_str), Some("d"));
+
+    let v = c.roundtrip(r#"{"route": "shutdown"}"#);
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    drop(c);
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
