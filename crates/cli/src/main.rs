@@ -35,14 +35,15 @@ USAGE:
                [--jobs N] [--semantics S] [--deadline-ms MS]
                [--format text|json|dot] [--metrics text|json]
   cxu dot     (--pattern <xpath> | --doc <D>)
-  cxu serve   [--addr A] [--workers N] [--queue-depth N] [--deadline-ms MS]
-              [--data-dir DIR] [--fsync always|interval|never]
+  cxu serve   [--addr A] [--shards N] [--queue-depth N] [--pipeline-depth N]
+              [--deadline-ms MS] [--data-dir DIR] [--fsync always|interval|never]
               [--fsync-interval-ms MS] [--snapshot-every N]
               [--read-timeout-ms MS] [--max-line-bytes N]
   cxu loadgen --addr A [--connections N] [--duration-ms MS] [--requests N]
               [--seed N] [--profile linear|mixed|store] [--semantics S]
               [--deadline-ms MS] [--delay-ms MS] [--docs N]
-              [--retries N] [--backoff-ms MS]
+              [--retries N] [--backoff-ms MS] [--pipeline W]
+              [--rate RPS] [--sweep R1,R2,…]
               [--validate] [--out FILE]
   cxu crashtest --data-dir DIR [--cycles N] [--editors N] [--docs N] [--seed N]
               [--min-uptime-ms MS] [--max-uptime-ms MS] [--out FILE]
@@ -73,6 +74,21 @@ USAGE:
                     up to N times with jittered exponential backoff
                     starting at --backoff-ms (safe because doc_put
                     replay is idempotent)
+  --shards N        serve runs N shards, each owning a slice of the memo
+                    cache and one worker; requests route to shards by a
+                    deterministic hash of their operations' shapes
+                    (--workers is accepted as an alias)
+  --pipeline-depth N  serve reads at most N pipelined requests per
+                    connection before backpressuring the socket
+  --pipeline W      loadgen keeps W requests in flight per connection
+                    (one batched write per window; closed loop)
+  --rate RPS        loadgen open-loop mode: send on a fixed arrival
+                    schedule at RPS req/s total and report latency both
+                    raw and coordinated-omission-corrected (from each
+                    request's intended arrival time)
+  --sweep R1,R2,…   after the main run, sweep open-loop rate points and
+                    attach a `sweep` array to the JSON report (the
+                    latency-under-load / saturation curve)
   crashtest         SIGKILLs a real `cxu serve --data-dir` child at
                     seeded random points under editor load, restarts it,
                     and fails on any acked-but-lost write, phantom
@@ -88,9 +104,11 @@ EXAMPLES:
   cxu schedule --program batch.cxu --deadline-ms 50 --format json
   cxu schedule --gen-seed 42 --gen-len 60 --metrics json
   echo 'y = read $x//A; insert $x/B, C' | cxu schedule --program -
-  cxu serve --addr 127.0.0.1:7878 --workers 4 --queue-depth 64 --deadline-ms 100
+  cxu serve --addr 127.0.0.1:7878 --shards 4 --queue-depth 64 --deadline-ms 100
   cxu loadgen --addr 127.0.0.1:7878 --connections 8 --duration-ms 1500 \\
               --validate --out BENCH_SERVE.json
+  cxu loadgen --addr 127.0.0.1:7878 --connections 2 --pipeline 64 \\
+              --sweep 20000,50000,100000,200000 --out BENCH_SERVE.json
   cxu loadgen --addr 127.0.0.1:7878 --profile store --docs 4 \\
               --validate --out BENCH_STORE.json
   cxu serve --addr 127.0.0.1:7878 --data-dir ./data --fsync always
@@ -673,12 +691,21 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             .filter(|&n| n >= 64)
             .ok_or_else(|| format!("bad --max-line-bytes '{n}' (want an integer >= 64)"))?;
     }
-    if let Some(w) = args.get("workers") {
+    // --shards is the real name; --workers survives as an alias (every
+    // shard runs exactly one worker).
+    if let Some(w) = args.get("shards").or_else(|| args.get("workers")) {
         cfg.workers = w
             .parse::<usize>()
             .ok()
             .filter(|&w| w >= 1)
-            .ok_or_else(|| format!("bad --workers '{w}' (want a positive integer)"))?;
+            .ok_or_else(|| format!("bad --shards '{w}' (want a positive integer)"))?;
+    }
+    if let Some(p) = args.get("pipeline-depth") {
+        cfg.pipeline_depth = p
+            .parse::<usize>()
+            .ok()
+            .filter(|&p| p >= 1)
+            .ok_or_else(|| format!("bad --pipeline-depth '{p}' (want a positive integer)"))?;
     }
     if let Some(q) = args.get("queue-depth") {
         cfg.queue_depth = q
@@ -815,9 +842,52 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
                 format!("bad --backoff-ms '{ms}' (want a positive number of milliseconds)")
             })?;
     }
+    if let Some(w) = args.get("pipeline") {
+        cfg.pipeline = w
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or_else(|| format!("bad --pipeline '{w}' (want a positive integer)"))?;
+    }
+    if let Some(r) = args.get("rate") {
+        cfg.rate = Some(
+            r.parse::<f64>()
+                .ok()
+                .filter(|&r| r >= 1.0)
+                .ok_or_else(|| format!("bad --rate '{r}' (want requests per second >= 1)"))?,
+        );
+    }
+    let sweep: Vec<f64> = match args.get("sweep") {
+        Some(s) => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&r| r >= 1.0)
+                    .ok_or_else(|| {
+                        format!("bad --sweep '{s}' (want comma-separated rates in req/s)")
+                    })
+            })
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
 
     let report = loadgen::run(&cfg)?;
-    let json = report.to_json();
+    let json = if sweep.is_empty() {
+        report.to_json()
+    } else {
+        // Each sweep point is an independent open-loop run at a fixed
+        // arrival rate; validation stays on the headline run.
+        let mut points = Vec::with_capacity(sweep.len());
+        for &rate in &sweep {
+            let mut pcfg = cfg.clone();
+            pcfg.rate = Some(rate);
+            pcfg.validate = false;
+            points.push(loadgen::run(&pcfg)?);
+        }
+        loadgen::sweep_to_json(&report, &points)
+    };
     let out = if let Some(path) = args.get("out") {
         std::fs::write(path, format!("{json}\n"))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -837,6 +907,15 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
             report.max_us,
             report.checked_pairs,
         );
+        if report.open_loop_rate.is_some() {
+            summary.push_str(&format!(
+                "\ncorrected (from intended arrival): p50 {} us, p99 {} us, max {} us",
+                report.corrected_p50_us, report.corrected_p99_us, report.corrected_max_us
+            ));
+        }
+        if !sweep.is_empty() {
+            summary.push_str(&format!("\nsweep: {} rate point(s) attached", sweep.len()));
+        }
         if report.profile == "store" {
             let s = &report.store;
             summary.push_str(&format!(

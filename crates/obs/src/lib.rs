@@ -7,15 +7,20 @@
 //! fired how often*. This crate is the measurement layer every other
 //! workspace crate reports into:
 //!
-//! * [`metrics`] — a global registry of named [`metrics::Counter`]s
+//! * [`metrics`] — registries of named [`metrics::Counter`]s
 //!   (relaxed atomic u64), [`metrics::Gauge`]s (two-way atomic i64
 //!   levels, e.g. in-flight requests), and [`metrics::Histogram`]s
 //!   (fixed log₂ buckets over u64 samples, typically nanoseconds).
 //!   Counters are always on: an increment is one relaxed atomic add,
 //!   far below the cost of any detector invocation it annotates.
-//!   Registration is lazy and call sites cache their handle through
-//!   the [`counter!`] / [`gauge!`] / [`histogram!`] macros, so the
-//!   registry lock is touched once per site per process.
+//!   Registration is lazy; the [`counter!`] / [`gauge!`] /
+//!   [`histogram!`] macros resolve against the calling thread's
+//!   *current* registry — the process-global one by default, or an
+//!   isolated [`metrics::Registry`] instance after
+//!   [`metrics::bind_thread_registry`] — memoized per thread, so the
+//!   registry lock is touched once per name per thread. Instance
+//!   registries are how two in-process servers keep their metrics
+//!   apart (each binds the threads it spawns).
 //! * [`trace`] — a span/event layer that emits JSONL to a sink when
 //!   enabled. When disabled (the default) every call collapses to a
 //!   single relaxed atomic load; no formatting, no locking, no
@@ -44,5 +49,8 @@
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{registry, Counter, Gauge, Histogram, Snapshot};
+pub use metrics::{
+    bind_thread_registry, registry, thread_registry, unbind_thread_registry, with_registry,
+    Counter, Gauge, Histogram, Registry, Snapshot,
+};
 pub use trace::{span, Span};

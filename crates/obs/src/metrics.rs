@@ -6,7 +6,8 @@
 //! `&'static` references and pay one relaxed atomic op per update. The
 //! registry itself is only locked at registration and snapshot time.
 
-use std::collections::BTreeMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -187,17 +188,47 @@ impl HistogramSnapshot {
     }
 }
 
-/// The global registry of named metrics. Obtain it via [`registry`];
-/// obtain handles via [`crate::counter!`] / [`crate::histogram!`] (which
-/// cache per call site) or [`Registry::counter`] / [`Registry::histogram`].
-#[derive(Default)]
+/// A registry of named metrics. The process-wide default is obtained
+/// via [`registry`]; additional isolated instances (one per in-process
+/// server, say) via [`Registry::leak`]. Handles come from
+/// [`crate::counter!`] / [`crate::gauge!`] / [`crate::histogram!`],
+/// which resolve against the *current thread's* bound registry (see
+/// [`bind_thread_registry`]) so a whole subsystem's metrics can be
+/// redirected without threading a handle through every call site.
 pub struct Registry {
+    id: u64,
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
     gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
 }
 
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(0);
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
 impl Registry {
+    /// A fresh, empty, process-lifetime registry, isolated from the
+    /// global one. Leaked deliberately: instances are created once per
+    /// long-lived component (e.g. per server), not per request.
+    pub fn leak() -> &'static Registry {
+        Box::leak(Box::new(Registry::default()))
+    }
+
+    /// A process-unique identity for this registry instance (used to
+    /// key per-thread handle caches).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// The counter named `name`, registering it on first use. The cell
     /// is leaked deliberately: metrics are a bounded set of named
     /// statics that live for the process.
@@ -219,6 +250,33 @@ impl Registry {
         let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         map.entry(name)
             .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+    }
+
+    /// Like [`Registry::counter`] but for runtime-built names (e.g.
+    /// `serve.shard.3.executed`). The name is leaked on first
+    /// registration; callers are expected to hold the returned handle
+    /// rather than re-resolve per update.
+    pub fn counter_dyn(&self, name: &str) -> &'static Counter {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(c) = map.get(name) {
+            return c;
+        }
+        let name: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        map.insert(name, c);
+        c
+    }
+
+    /// Like [`Registry::gauge`] but for runtime-built names.
+    pub fn gauge_dyn(&self, name: &str) -> &'static Gauge {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(g) = map.get(name) {
+            return g;
+        }
+        let name: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        map.insert(name, g);
+        g
     }
 
     /// A deterministic (name-sorted) copy of every metric's value.
@@ -395,47 +453,144 @@ impl std::fmt::Display for Snapshot {
 
 static REGISTRY: OnceLock<Registry> = OnceLock::new();
 
-/// The process-wide registry.
+/// The process-wide registry (the default target for any thread that
+/// has not been bound to an instance via [`bind_thread_registry`]).
 pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::default)
 }
 
-/// A `&'static Counter` for the given name, registered once and cached
-/// per call site (the registry lock is not touched after the first hit).
-///
-/// The name is evaluated **once** per call site — pass a literal, not a
-/// runtime-varying expression (a varying name would silently keep
-/// resolving to whichever counter the site registered first). Branch on
-/// the dynamic value and give each branch its own `counter!` instead.
+struct HandleCaches {
+    counters: HashMap<(u64, usize), &'static Counter>,
+    gauges: HashMap<(u64, usize), &'static Gauge>,
+    histograms: HashMap<(u64, usize), &'static Histogram>,
+}
+
+thread_local! {
+    static BOUND: Cell<Option<&'static Registry>> = const { Cell::new(None) };
+    static CACHES: RefCell<HandleCaches> = RefCell::new(HandleCaches {
+        counters: HashMap::new(),
+        gauges: HashMap::new(),
+        histograms: HashMap::new(),
+    });
+}
+
+/// Binds the calling thread's metrics to `reg`: every subsequent
+/// [`crate::counter!`] / [`crate::gauge!`] / [`crate::histogram!`] on
+/// this thread resolves against `reg` instead of the global registry.
+/// This is how an in-process server isolates *all* of its metrics
+/// (serve, sched, store layers alike) without threading a handle
+/// through every call site: it binds each thread it spawns.
+pub fn bind_thread_registry(reg: &'static Registry) {
+    let _ = BOUND.try_with(|b| b.set(Some(reg)));
+}
+
+/// Reverts the calling thread to the global registry.
+pub fn unbind_thread_registry() {
+    let _ = BOUND.try_with(|b| b.set(None));
+}
+
+/// The registry metric macros currently resolve against on this
+/// thread: the bound instance if any, else the global one.
+pub fn thread_registry() -> &'static Registry {
+    BOUND
+        .try_with(|b| b.get())
+        .ok()
+        .flatten()
+        .unwrap_or_else(registry)
+}
+
+/// Runs `f` with the calling thread bound to `reg`, restoring the
+/// previous binding afterwards (also on panic).
+pub fn with_registry<R>(reg: &'static Registry, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<&'static Registry>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            let _ = BOUND.try_with(|b| b.set(prev));
+        }
+    }
+    let prev = BOUND.try_with(|b| b.get()).ok().flatten();
+    let _restore = Restore(prev);
+    bind_thread_registry(reg);
+    f()
+}
+
+/// Resolves `name` against the thread's current registry, memoized
+/// per-thread by `(registry id, name pointer)` so the registry lock is
+/// only touched on the first use of a name per thread. Backs
+/// [`crate::counter!`]; prefer the macro.
+#[doc(hidden)]
+pub fn counter_handle(name: &'static str) -> &'static Counter {
+    let reg = thread_registry();
+    let key = (reg.id, name.as_ptr() as usize);
+    CACHES
+        .try_with(|c| {
+            *c.borrow_mut()
+                .counters
+                .entry(key)
+                .or_insert_with(|| reg.counter(name))
+        })
+        .unwrap_or_else(|_| reg.counter(name))
+}
+
+/// See [`counter_handle`]. Backs [`crate::gauge!`].
+#[doc(hidden)]
+pub fn gauge_handle(name: &'static str) -> &'static Gauge {
+    let reg = thread_registry();
+    let key = (reg.id, name.as_ptr() as usize);
+    CACHES
+        .try_with(|c| {
+            *c.borrow_mut()
+                .gauges
+                .entry(key)
+                .or_insert_with(|| reg.gauge(name))
+        })
+        .unwrap_or_else(|_| reg.gauge(name))
+}
+
+/// See [`counter_handle`]. Backs [`crate::histogram!`].
+#[doc(hidden)]
+pub fn histogram_handle(name: &'static str) -> &'static Histogram {
+    let reg = thread_registry();
+    let key = (reg.id, name.as_ptr() as usize);
+    CACHES
+        .try_with(|c| {
+            *c.borrow_mut()
+                .histograms
+                .entry(key)
+                .or_insert_with(|| reg.histogram(name))
+        })
+        .unwrap_or_else(|_| reg.histogram(name))
+}
+
+/// A `&'static Counter` for the given name, resolved against the
+/// calling thread's current registry (see [`bind_thread_registry`])
+/// and cached per thread, so steady-state cost is one thread-local
+/// hash-map hit — the registry lock is only touched on first use of a
+/// name per thread.
 #[macro_export]
 macro_rules! counter {
-    ($name:expr) => {{
-        static __CXU_OBS_C: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
-            ::std::sync::OnceLock::new();
-        *__CXU_OBS_C.get_or_init(|| $crate::metrics::registry().counter($name))
-    }};
+    ($name:expr) => {
+        $crate::metrics::counter_handle($name)
+    };
 }
 
-/// A `&'static Gauge` for the given name, registered once and cached
-/// per call site.
+/// A `&'static Gauge` for the given name, resolved against the calling
+/// thread's current registry and cached per thread.
 #[macro_export]
 macro_rules! gauge {
-    ($name:expr) => {{
-        static __CXU_OBS_G: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
-            ::std::sync::OnceLock::new();
-        *__CXU_OBS_G.get_or_init(|| $crate::metrics::registry().gauge($name))
-    }};
+    ($name:expr) => {
+        $crate::metrics::gauge_handle($name)
+    };
 }
 
-/// A `&'static Histogram` for the given name, registered once and
-/// cached per call site.
+/// A `&'static Histogram` for the given name, resolved against the
+/// calling thread's current registry and cached per thread.
 #[macro_export]
 macro_rules! histogram {
-    ($name:expr) => {{
-        static __CXU_OBS_H: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
-            ::std::sync::OnceLock::new();
-        *__CXU_OBS_H.get_or_init(|| $crate::metrics::registry().histogram($name))
-    }};
+    ($name:expr) => {
+        $crate::metrics::histogram_handle($name)
+    };
 }
 
 #[cfg(test)]
@@ -552,5 +707,73 @@ mod tests {
         registry().counter("test.prefix.b").add(3);
         let s = registry().snapshot();
         assert_eq!(s.counter_sum("test.prefix."), 5);
+    }
+
+    #[test]
+    fn bound_thread_routes_macros_to_instance_registry() {
+        let reg = Registry::leak();
+        crate::counter!("test.metrics.bound").add(10); // global: thread unbound
+        with_registry(reg, || {
+            crate::counter!("test.metrics.bound").add(3);
+            crate::gauge!("test.metrics.bound_gauge").set(7);
+            crate::histogram!("test.metrics.bound_ns").record(42);
+        });
+        let own = reg.snapshot();
+        assert_eq!(own.counter("test.metrics.bound"), 3);
+        assert_eq!(own.gauge("test.metrics.bound_gauge"), 7);
+        assert_eq!(own.histogram("test.metrics.bound_ns").unwrap().count, 1);
+        // The instance's activity never reached the global registry…
+        assert_eq!(registry().snapshot().counter("test.metrics.bound"), 10);
+        // …and after the scope the thread is back on the global one.
+        crate::counter!("test.metrics.bound").inc();
+        assert_eq!(registry().snapshot().counter("test.metrics.bound"), 11);
+        assert_eq!(reg.snapshot().counter("test.metrics.bound"), 3);
+    }
+
+    #[test]
+    fn two_instance_registries_do_not_bleed() {
+        let a = Registry::leak();
+        let b = Registry::leak();
+        assert_ne!(a.id(), b.id());
+        let t1 = std::thread::spawn(move || {
+            bind_thread_registry(a);
+            for _ in 0..5 {
+                crate::counter!("test.metrics.bleed").inc();
+            }
+        });
+        let t2 = std::thread::spawn(move || {
+            bind_thread_registry(b);
+            for _ in 0..9 {
+                crate::counter!("test.metrics.bleed").inc();
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(a.snapshot().counter("test.metrics.bleed"), 5);
+        assert_eq!(b.snapshot().counter("test.metrics.bleed"), 9);
+    }
+
+    #[test]
+    fn with_registry_restores_binding_on_panic() {
+        let reg = Registry::leak();
+        let caught = std::panic::catch_unwind(|| {
+            with_registry(reg, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(std::ptr::eq(thread_registry(), registry()));
+    }
+
+    #[test]
+    fn dyn_names_register_and_dedup_by_content() {
+        let reg = Registry::leak();
+        let name = format!("test.metrics.shard.{}.executed", 3);
+        let c1 = reg.counter_dyn(&name);
+        let c2 = reg.counter_dyn(&name);
+        assert!(std::ptr::eq(c1, c2));
+        c1.add(4);
+        assert_eq!(reg.snapshot().counter("test.metrics.shard.3.executed"), 4);
+        let g = reg.gauge_dyn("test.metrics.shard.3.depth");
+        g.set(2);
+        assert_eq!(reg.snapshot().gauge("test.metrics.shard.3.depth"), 2);
     }
 }

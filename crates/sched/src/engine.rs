@@ -146,6 +146,82 @@ pub struct PairDecision {
     pub cached: bool,
 }
 
+/// The outcome of [`Scheduler::lookup_pair`]: either an answer that was
+/// available under the brief scheduler lock (trivial shape or memo-cache
+/// hit), or a detached [`PairTask`] the caller runs with **no** scheduler
+/// lock held and then feeds back through [`Scheduler::commit_pair`].
+///
+/// This split is what makes the scheduler shardable: a sharded server
+/// keeps lock hold times bounded by the lookup (interning + one hash-map
+/// probe), while detector invocations — including NP-side witness
+/// searches — run outside any lock and may even run on a *different*
+/// shard's worker (work stealing). The commit step serializes cache
+/// writes back on the owning scheduler.
+#[derive(Debug)]
+pub enum PairLookup {
+    /// Decided without running a detector.
+    Ready(PairDecision),
+    /// Cache miss: run the task lock-free, then commit its verdict.
+    Miss(Box<PairTask>),
+}
+
+/// A detached unit of pair-deciding work produced by
+/// [`Scheduler::lookup_pair`] on a cache miss. Owns clones of both
+/// operations, their compiled [`OpInfo`]s, and the scheduler's config,
+/// so it holds no borrow of the scheduler and can be executed on any
+/// thread.
+#[derive(Debug)]
+pub struct PairTask {
+    key: PairKey,
+    a: Op,
+    ia: Option<OpInfo>,
+    b: Op,
+    ib: Option<OpInfo>,
+    cfg: SchedConfig,
+}
+
+impl PairTask {
+    /// The normalized cache key this task's verdict commits under.
+    pub fn key(&self) -> PairKey {
+        self.key
+    }
+
+    /// Decides the pair under `deadline`: sound pre-filter first, then
+    /// the full detector stack. Identical routing, metrics, and
+    /// robustness envelope to the locked [`Scheduler::check_pair`] path;
+    /// no scheduler state is touched.
+    pub fn run(&self, deadline: &Deadline) -> Verdict {
+        let t_pair = std::time::Instant::now();
+        if prefilter_no_conflict(
+            &self.a,
+            self.ia.as_ref(),
+            &self.b,
+            self.ib.as_ref(),
+            self.cfg.semantics,
+        ) {
+            let v = Verdict {
+                conflict: false,
+                detector: Detector::PrefilterNoConflict,
+            };
+            record_route(v);
+            cxu_obs::histogram!("sched.pair_ns").record_since(t_pair);
+            debug_assert!(
+                prefilter_cross_check(&self.a, &self.b, self.cfg.semantics),
+                "prefilter skipped a pair the full detector finds conflicting"
+            );
+            return v;
+        }
+        decide_pair_at(
+            &self.a,
+            self.ia.as_ref(),
+            &self.b,
+            self.ib.as_ref(),
+            &self.cfg,
+            deadline,
+        )
+    }
+}
+
 /// The result of analyzing one batch.
 #[derive(Debug)]
 pub struct BatchResult {
@@ -232,57 +308,82 @@ impl Scheduler {
     /// degradations (expired deadline, panic) are skipped
     /// (`sched.cache.skips`) so a later call retries them.
     pub fn check_pair(&mut self, a: &Op, b: &Op, deadline: &Deadline) -> PairDecision {
+        match self.lookup_pair(a, b) {
+            PairLookup::Ready(d) => d,
+            PairLookup::Miss(task) => {
+                let verdict = self.commit_pair(task.key(), task.run(deadline));
+                PairDecision {
+                    verdict,
+                    cached: false,
+                }
+            }
+        }
+    }
+
+    /// The lock-friendly half of [`Scheduler::check_pair`]: interns both
+    /// operations and probes the memo cache, returning either a ready
+    /// decision or a detached [`PairTask`]. Callers holding this
+    /// scheduler behind a mutex release it before running the task and
+    /// re-take it only for [`Scheduler::commit_pair`], so a slow
+    /// (NP-side) pair never head-of-line-blocks other lookups on the
+    /// same shard.
+    pub fn lookup_pair(&mut self, a: &Op, b: &Op) -> PairLookup {
         let ka = self.interner.intern_op(a);
         let kb = self.interner.intern_op(b);
         // Identical keys commute with themselves; reads never conflict.
         if ka == kb || (!a.is_update() && !b.is_update()) {
-            return PairDecision {
+            return PairLookup::Ready(PairDecision {
                 verdict: Verdict {
                     conflict: false,
                     detector: Detector::Trivial,
                 },
                 cached: false,
-            };
+            });
         }
         let pk = PairKey::new(ka, kb);
         cxu_obs::counter!("sched.cache.lookups").inc();
         if let Some(&verdict) = self.cache.get(&pk) {
             cxu_obs::counter!("sched.cache.hits").inc();
-            return PairDecision {
+            return PairLookup::Ready(PairDecision {
                 verdict,
                 cached: true,
-            };
+            });
         }
         cxu_obs::counter!("sched.cache.misses").inc();
-        let (ia, ib) = (self.interner.info(ka), self.interner.info(kb));
-        let t_pair = std::time::Instant::now();
-        let verdict = if prefilter_no_conflict(a, ia, b, ib, self.cfg.semantics) {
-            let v = Verdict {
-                conflict: false,
-                detector: Detector::PrefilterNoConflict,
-            };
-            record_route(v);
-            cxu_obs::histogram!("sched.pair_ns").record_since(t_pair);
-            debug_assert!(
-                prefilter_cross_check(a, b, self.cfg.semantics),
-                "prefilter skipped a pair the full detector finds conflicting"
-            );
-            v
-        } else {
-            decide_pair_at(a, ia, b, ib, &self.cfg, deadline)
-        };
+        PairLookup::Miss(Box::new(PairTask {
+            key: pk,
+            a: a.clone(),
+            ia: self.interner.info(ka).cloned(),
+            b: b.clone(),
+            ib: self.interner.info(kb).cloned(),
+            cfg: self.cfg,
+        }))
+    }
+
+    /// Feeds a [`PairTask`]'s verdict back into the memo cache and
+    /// returns the cache's authoritative verdict for the pair.
+    ///
+    /// First writer wins: if another worker (or a steal) already
+    /// committed this key, the existing entry is kept and returned —
+    /// the cache can never hold two conflicting verdicts for one pair,
+    /// which is the soundness invariant the work-stealing path relies
+    /// on. Transient degradations (expired deadline, detector panic)
+    /// are never memoized (`sched.cache.skips`), matching
+    /// [`Scheduler::check_pair`]'s discipline, so a later call retries
+    /// them.
+    pub fn commit_pair(&mut self, key: PairKey, verdict: Verdict) -> Verdict {
+        if let Some(&existing) = self.cache.get(&key) {
+            return existing;
+        }
         if matches!(
             verdict.detector,
             Detector::ConservativeDeadline | Detector::ConservativePanic
         ) {
             cxu_obs::counter!("sched.cache.skips").inc();
         } else {
-            self.cache.insert(pk, verdict);
+            self.cache.insert(key, verdict);
         }
-        PairDecision {
-            verdict,
-            cached: false,
-        }
+        verdict
     }
 
     /// Analyzes a batch and schedules it into conflict-free rounds.

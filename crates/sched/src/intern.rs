@@ -143,6 +143,52 @@ pub fn canonical_tree_key(t: &Tree) -> String {
     s
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A deterministic routing hash of one operation's *shape*: FNV-1a over
+/// its kind and canonical pattern/payload serializations.
+///
+/// Deliberately **not** derived from [`PatternId`]/[`TreeId`] (those are
+/// per-interner insertion-order sequence numbers, different on every
+/// shard and every restart) and **not** `std`'s `DefaultHasher` (its
+/// seeding is unspecified). FNV-1a over the canonical strings gives the
+/// property a sharded server needs: the same shape hashes identically
+/// across shards, processes, and restarts, so repeated traffic always
+/// lands on the same warm shard.
+pub fn op_route_hash(op: &Op) -> u64 {
+    let (kind, pattern, payload) = match op {
+        Op::Read(r) => (0u8, r.pattern(), None),
+        Op::Update(Update::Insert(i)) => (1u8, i.pattern(), Some(i.subtree())),
+        Op::Update(Update::Delete(d)) => (2u8, d.pattern(), None),
+    };
+    let mut h = fnv1a(FNV_OFFSET, &[kind]);
+    h = fnv1a(h, canonical_pattern_key(pattern).as_bytes());
+    h = fnv1a(h, &[0xff]); // field separator
+    if let Some(t) = payload {
+        h = fnv1a(h, canonical_tree_key(t).as_bytes());
+    }
+    h
+}
+
+/// Order-independent routing hash of an operation pair: the two
+/// [`op_route_hash`]es are sorted then mixed, so `(a, b)` and `(b, a)`
+/// route to the same shard — matching [`PairKey`]'s normalization of
+/// the memo cache itself.
+pub fn pair_route_hash(a: &Op, b: &Op) -> u64 {
+    let (x, y) = (op_route_hash(a), op_route_hash(b));
+    let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+    fnv1a(fnv1a(FNV_OFFSET, &lo.to_le_bytes()), &hi.to_le_bytes())
+}
+
 /// Per-key compiled form, built **once** at intern time and reused by
 /// every pair the key participates in:
 ///

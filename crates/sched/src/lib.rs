@@ -46,9 +46,9 @@ pub mod validate;
 
 pub use cxu_runtime as runtime;
 pub use cxu_runtime::{CancelToken, Deadline};
-pub use engine::{BatchResult, PairDecision, Scheduler};
+pub use engine::{BatchResult, PairDecision, PairLookup, PairTask, Scheduler};
 pub use graph::{ConflictGraph, Edge};
-pub use intern::OpInfo;
+pub use intern::{op_route_hash, pair_route_hash, OpInfo, PairKey};
 pub use op::{ops_of_program, Op};
 pub use pairwise::{
     analyze_pair, analyze_pair_deadline, analyze_pair_info, prefilter_no_conflict, Detector,

@@ -1,12 +1,27 @@
-//! Seeded closed-loop load generator.
+//! Seeded load generator: closed-loop (optionally pipelined) and
+//! open-loop (fixed arrival rate) modes.
 //!
-//! Replays a generated operation pool against a running server at a
-//! target concurrency: `connections` client threads, each with its own
-//! socket, each sending one `check` request at a time and waiting for
-//! the response (closed loop — offered load adapts to service rate, so
-//! the measured throughput is the sustained one, not an open-loop
-//! fantasy). The pool and the request sequence derive from one seed:
-//! same seed, same workload.
+//! Replays a generated operation pool against a running server. The
+//! default mode is **closed-loop**: `connections` client threads, each
+//! with its own socket, each keeping at most `pipeline` requests in
+//! flight (one batched write per window, responses drained in order) —
+//! offered load adapts to service rate, so the measured throughput is
+//! the sustained one. The pool and the request sequence derive from one
+//! seed: same seed, same workload.
+//!
+//! **Open-loop** mode (`rate`) sends at a fixed arrival schedule
+//! instead: request *k* is due at `t₀ + k/rate` regardless of how the
+//! server is doing, which is how real independent clients behave. Open
+//! loop measures latency two ways and reports both:
+//!
+//! * **corrected** — from the *intended* arrival time. When the server
+//!   (or a backpressured socket) stalls the sender, every request that
+//!   should have been sent during the stall still charges the stall to
+//!   its latency. This is the honest number under load.
+//! * **raw** — from the actual send, the classic closed-loop
+//!   measurement. Comparing the two makes **coordinated omission**
+//!   visible instead of silently flattering the server: a saturated
+//!   server can show a calm raw p99 while the corrected p99 explodes.
 //!
 //! After the run, when `validate` is set, every distinct pair that got
 //! a non-degraded server verdict is re-checked against an in-process
@@ -24,9 +39,11 @@ use cxu_gen::wire;
 use cxu_ops::Semantics;
 use cxu_sched::{ops_of_program, Deadline, Op, SchedConfig, Scheduler};
 use cxu_tree::text;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Workload shape.
@@ -113,6 +130,16 @@ pub struct LoadConfig {
     /// Base backoff before the first retry; attempt `n` waits
     /// `base × 2ⁿ` plus a seeded jitter of up to one base.
     pub backoff_ms: u64,
+    /// Closed-loop pipelining window: requests kept in flight per
+    /// connection (1 = classic request/response lockstep). Each window
+    /// is one buffered write; responses are drained in order. Retries
+    /// apply only at window 1.
+    pub pipeline: usize,
+    /// Open-loop mode: total intended arrival rate in requests/second,
+    /// spread evenly across connections. `None` (default) runs closed
+    /// loop. Open-loop latencies are reported both raw and
+    /// coordinated-omission-corrected.
+    pub rate: Option<f64>,
 }
 
 impl Default for LoadConfig {
@@ -132,6 +159,8 @@ impl Default for LoadConfig {
             docs: 4,
             retries: 0,
             backoff_ms: 25,
+            pipeline: 1,
+            rate: None,
         }
     }
 }
@@ -176,6 +205,19 @@ pub struct LoadReport {
     pub connections: usize,
     /// Echo: profile name.
     pub profile: &'static str,
+    /// Echo: closed-loop pipelining window (1 = lockstep).
+    pub pipeline: usize,
+    /// Open-loop target arrival rate, if the run was open loop.
+    pub open_loop_rate: Option<f64>,
+    /// Open loop only: percentiles measured from the *intended* arrival
+    /// time (coordinated-omission corrected). Zero in closed loop.
+    pub corrected_p50_us: u64,
+    /// Corrected 99th percentile (open loop only).
+    pub corrected_p99_us: u64,
+    /// Corrected worst case (open loop only).
+    pub corrected_max_us: u64,
+    /// Corrected mean (open loop only).
+    pub corrected_mean_us: u64,
 }
 
 /// `doc_put` / `doc_delete` outcome tallies (store profile).
@@ -263,6 +305,15 @@ impl LoadReport {
                 "duration_ms",
                 Json::from(self.elapsed.as_millis().min(u64::MAX as u128) as u64),
             ),
+            ("pipeline", Json::from(self.pipeline.max(1))),
+            (
+                "mode",
+                Json::str(if self.open_loop_rate.is_some() {
+                    "open-loop"
+                } else {
+                    "closed-loop"
+                }),
+            ),
             ("sent", Json::from(self.sent)),
             ("completed", Json::from(self.completed)),
             ("overloaded", Json::from(self.overloaded)),
@@ -282,6 +333,22 @@ impl LoadReport {
             ("checked_pairs", Json::from(self.checked_pairs)),
             ("disagreements", Json::from(self.disagreements)),
         ];
+        if let Some(rate) = self.open_loop_rate {
+            members.push(("target_rate_rps", Json::from(rate)));
+            // The raw `latency_us` above times from the actual send; the
+            // corrected block times from the intended arrival — the gap
+            // between the two is the coordinated omission the raw number
+            // hides.
+            members.push((
+                "latency_corrected_us",
+                Json::obj(vec![
+                    ("p50", Json::from(self.corrected_p50_us)),
+                    ("p99", Json::from(self.corrected_p99_us)),
+                    ("max", Json::from(self.corrected_max_us)),
+                    ("mean", Json::from(self.corrected_mean_us)),
+                ]),
+            ));
+        }
         if self.profile == "store" {
             let s = &self.store;
             let total = s.total();
@@ -315,6 +382,55 @@ impl LoadReport {
     }
 }
 
+/// Renders a `BENCH_SERVE.json` with a saturation sweep attached: the
+/// headline (closed-loop) run's fields plus a `sweep` array, one entry
+/// per open-loop rate point, each reporting throughput, rejections, and
+/// both raw and corrected latency percentiles. Graceful degradation
+/// reads directly off the array: corrected p99 stays flat and
+/// `overloaded` stays at zero up to the knee, and past it the rejection
+/// rate — not the latency of accepted requests — absorbs the overload.
+pub fn sweep_to_json(headline: &LoadReport, points: &[LoadReport]) -> String {
+    let mut members = match Json::parse(&headline.to_json()) {
+        Ok(Json::Obj(m)) => m,
+        _ => Vec::new(),
+    };
+    let pts: Vec<Json> = points
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                (
+                    "target_rate_rps",
+                    Json::from(p.open_loop_rate.unwrap_or(0.0)),
+                ),
+                ("throughput_rps", Json::from(p.throughput_rps())),
+                ("sent", Json::from(p.sent)),
+                ("completed", Json::from(p.completed)),
+                ("overloaded", Json::from(p.overloaded)),
+                ("failed", Json::from(p.failed)),
+                ("rejection_rate", Json::from(p.rejection_rate())),
+                (
+                    "latency_us",
+                    Json::obj(vec![
+                        ("p50", Json::from(p.p50_us)),
+                        ("p99", Json::from(p.p99_us)),
+                        ("max", Json::from(p.max_us)),
+                    ]),
+                ),
+                (
+                    "latency_corrected_us",
+                    Json::obj(vec![
+                        ("p50", Json::from(p.corrected_p50_us)),
+                        ("p99", Json::from(p.corrected_p99_us)),
+                        ("max", Json::from(p.corrected_max_us)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    members.push(("sweep".to_owned(), Json::Arr(pts)));
+    Json::Obj(members).to_string()
+}
+
 fn sem_name(s: Semantics) -> &'static str {
     match s {
         Semantics::Node => "node",
@@ -332,6 +448,8 @@ struct ConnResult {
     failed: u64,
     retries: u64,
     latencies_us: Vec<u64>,
+    /// Open loop only: latencies from the *intended* arrival time.
+    corrected_us: Vec<u64>,
     /// `(i, j, conflict)` for non-degraded `ok` verdicts, by pool index.
     observations: Vec<(usize, usize, bool)>,
     /// Store-profile outcome tallies.
@@ -375,13 +493,18 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     // error instead of `connections` copies of it.
     TcpStream::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
 
+    let rate_per_conn = cfg.rate.map(|r| r.max(1.0) / cfg.connections.max(1) as f64);
     let t0 = Instant::now();
     let end = t0 + cfg.duration;
     let results: Vec<ConnResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.connections.max(1))
             .map(|c| {
                 let op_json = &op_json;
-                scope.spawn(move || connection_loop(cfg, c as u64, op_json, end))
+                scope.spawn(move || match rate_per_conn {
+                    Some(rate) => open_loop_conn(cfg, c as u64, op_json, end, rate),
+                    None if cfg.pipeline > 1 => pipelined_loop(cfg, c as u64, op_json, end),
+                    None => connection_loop(cfg, c as u64, op_json, end),
+                })
             })
             .collect();
         handles
@@ -396,10 +519,13 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         seed: cfg.seed,
         connections: cfg.connections.max(1),
         profile: cfg.profile.name(),
+        pipeline: cfg.pipeline.max(1),
+        open_loop_rate: cfg.rate,
         ..LoadReport::default()
     };
-    let mut latencies: Vec<u64> = Vec::new();
     let mut observations: Vec<(usize, usize, bool)> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut corrected: Vec<u64> = Vec::new();
     for r in results {
         report.sent += r.sent;
         report.completed += r.completed;
@@ -407,17 +533,10 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         report.failed += r.failed;
         report.retries += r.retries;
         latencies.extend(r.latencies_us);
+        corrected.extend(r.corrected_us);
         observations.extend(r.observations);
     }
-    latencies.sort_unstable();
-    report.p50_us = percentile(&latencies, 0.50);
-    report.p99_us = percentile(&latencies, 0.99);
-    report.max_us = latencies.last().copied().unwrap_or(0);
-    report.mean_us = if latencies.is_empty() {
-        0
-    } else {
-        latencies.iter().sum::<u64>() / latencies.len() as u64
-    };
+    fill_latencies(&mut report, latencies, corrected);
 
     if cfg.validate {
         let (checked, disagreements) = validate(&ops, &observations, cfg.semantics);
@@ -425,6 +544,26 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         report.disagreements = disagreements;
     }
     Ok(report)
+}
+
+fn fill_latencies(report: &mut LoadReport, mut raw: Vec<u64>, mut corrected: Vec<u64>) {
+    let mean = |v: &[u64]| {
+        if v.is_empty() {
+            0
+        } else {
+            v.iter().sum::<u64>() / v.len() as u64
+        }
+    };
+    raw.sort_unstable();
+    report.p50_us = percentile(&raw, 0.50);
+    report.p99_us = percentile(&raw, 0.99);
+    report.max_us = raw.last().copied().unwrap_or(0);
+    report.mean_us = mean(&raw);
+    corrected.sort_unstable();
+    report.corrected_p50_us = percentile(&corrected, 0.50);
+    report.corrected_p99_us = percentile(&corrected, 0.99);
+    report.corrected_max_us = corrected.last().copied().unwrap_or(0);
+    report.corrected_mean_us = mean(&corrected);
 }
 
 /// A line-oriented NDJSON client (setup and validation passes of the
@@ -614,6 +753,7 @@ fn run_store(cfg: &LoadConfig) -> Result<LoadReport, String> {
         seed: cfg.seed,
         connections: cfg.connections.max(1),
         profile: cfg.profile.name(),
+        pipeline: 1,
         ..LoadReport::default()
     };
     let mut latencies: Vec<u64> = Vec::new();
@@ -626,15 +766,7 @@ fn run_store(cfg: &LoadConfig) -> Result<LoadReport, String> {
         report.store.add(&r.store);
         latencies.extend(r.latencies_us);
     }
-    latencies.sort_unstable();
-    report.p50_us = percentile(&latencies, 0.50);
-    report.p99_us = percentile(&latencies, 0.99);
-    report.max_us = latencies.last().copied().unwrap_or(0);
-    report.mean_us = if latencies.is_empty() {
-        0
-    } else {
-        latencies.iter().sum::<u64>() / latencies.len() as u64
-    };
+    fill_latencies(&mut report, latencies, Vec::new());
 
     if cfg.validate {
         let (checked, disagreements) = validate_store(cfg, &extras)?;
@@ -957,6 +1089,270 @@ fn connection_loop(cfg: &LoadConfig, conn: u64, op_json: &[String], end: Instant
         }
     }
     out.retries = client.retried;
+    out
+}
+
+/// Renders one seeded `check` request (no trailing newline) into `req`
+/// and returns the chosen distinct pool pair.
+fn render_check_req(
+    req: &mut String,
+    rng: &mut SplitMix64,
+    op_json: &[String],
+    extras: &str,
+    id: u64,
+) -> (usize, usize) {
+    let n = op_json.len();
+    let i = rng.gen_range(0..n);
+    let mut j = rng.gen_range(0..n - 1);
+    if j >= i {
+        j += 1;
+    }
+    req.push_str("{\"route\": \"check\", \"id\": ");
+    req.push_str(&id.to_string());
+    req.push_str(", \"a\": ");
+    req.push_str(&op_json[i]);
+    req.push_str(", \"b\": ");
+    req.push_str(&op_json[j]);
+    req.push_str(extras);
+    req.push('}');
+    (i, j)
+}
+
+/// Tallies one `check` response; returns whether it completed (and so
+/// should contribute a latency sample).
+fn tally_response(out: &mut ConnResult, v: &Json, i: usize, j: usize, validate: bool) -> bool {
+    match v.get("ok").and_then(Json::as_bool) {
+        Some(true) => {
+            out.completed += 1;
+            if validate && v.get("degraded").and_then(Json::as_bool) == Some(false) {
+                if let Some(conflict) = v.get("conflict").and_then(Json::as_bool) {
+                    out.observations.push((i, j, conflict));
+                }
+            }
+            true
+        }
+        _ => {
+            if v.get("error").and_then(Json::as_str) == Some("overloaded") {
+                out.overloaded += 1;
+            } else {
+                out.failed += 1;
+            }
+            false
+        }
+    }
+}
+
+/// Closed-loop pipelined client: one buffered write per window of
+/// `pipeline` requests, then the window's responses drained in order.
+/// One write syscall carries the whole window and the server's event
+/// loop answers warm-cache checks inline, so the per-request syscall
+/// and wakeup overhead — the closed-loop lockstep bottleneck — is
+/// amortized `pipeline`-fold.
+fn pipelined_loop(cfg: &LoadConfig, conn: u64, op_json: &[String], end: Instant) -> ConnResult {
+    let mut out = ConnResult::default();
+    let Ok(writer) = TcpStream::connect(&cfg.addr) else {
+        out.failed += 1;
+        return out;
+    };
+    let _ = writer.set_nodelay(true);
+    let _ = writer.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(rstream) = writer.try_clone() else {
+        out.failed += 1;
+        return out;
+    };
+    let mut writer = writer;
+    let mut reader = BufReader::new(rstream);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let window = cfg.pipeline.max(1) as u64;
+    let extras = request_extras(cfg);
+    let mut batch = String::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut line = String::new();
+    'run: while Instant::now() < end {
+        let room = match cfg.requests_per_conn {
+            Some(cap) => cap.saturating_sub(out.sent).min(window),
+            None => window,
+        };
+        if room == 0 {
+            break;
+        }
+        batch.clear();
+        pairs.clear();
+        for _ in 0..room {
+            let pair = render_check_req(&mut batch, &mut rng, op_json, &extras, out.sent);
+            batch.push('\n');
+            pairs.push(pair);
+            out.sent += 1;
+        }
+        let t_send = Instant::now();
+        if writer.write_all(batch.as_bytes()).is_err() {
+            out.failed += room;
+            break;
+        }
+        for (k, &(i, j)) in pairs.iter().enumerate() {
+            line.clear();
+            let v = match reader.read_line(&mut line) {
+                Ok(n) if n > 0 => Json::parse(line.trim_end()).ok(),
+                _ => None,
+            };
+            let Some(v) = v else {
+                out.failed += room - k as u64;
+                break 'run;
+            };
+            if tally_response(&mut out, &v, i, j, cfg.validate) {
+                out.latencies_us
+                    .push(t_send.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            }
+        }
+    }
+    out
+}
+
+/// Open-loop client: a paced writer sends request *k* at `t₀ + k/rate`
+/// — batching everything already due into one write when it falls
+/// behind — while the connection thread drains responses in order.
+///
+/// This is where the coordinated-omission fix lives: each response's
+/// latency is recorded from its **intended** arrival time (corrected)
+/// *and* from the actual send (raw). Under backpressure the old
+/// closed-loop measurement simply stops sending — the requests that
+/// would have observed the stall are never timed, so the percentiles
+/// only sample the server's good moods. The corrected clock charges the
+/// stall to every request that was due during it.
+fn open_loop_conn(
+    cfg: &LoadConfig,
+    conn: u64,
+    op_json: &[String],
+    end: Instant,
+    rate: f64,
+) -> ConnResult {
+    let mut out = ConnResult::default();
+    let Ok(wstream) = TcpStream::connect(&cfg.addr) else {
+        out.failed += 1;
+        return out;
+    };
+    let _ = wstream.set_nodelay(true);
+    let _ = wstream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = wstream.set_write_timeout(Some(Duration::from_secs(5)));
+    let Ok(rstream) = wstream.try_clone() else {
+        out.failed += 1;
+        return out;
+    };
+    let mut reader = BufReader::new(rstream);
+    // (intended, sent_at, i, j) per in-flight request, FIFO — responses
+    // come back in request order on one connection.
+    let pending: Mutex<VecDeque<(Instant, Instant, usize, usize)>> = Mutex::new(VecDeque::new());
+    let done_sending = AtomicBool::new(false);
+    let mut line = String::new();
+    std::thread::scope(|scope| {
+        let pending = &pending;
+        let done_sending = &done_sending;
+        let writer_handle = scope.spawn(move || {
+            let mut writer = wstream;
+            let mut rng =
+                SplitMix64::seed_from_u64(cfg.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let extras = request_extras(cfg);
+            let interval = 1.0 / rate.max(1e-9);
+            let t0 = Instant::now();
+            let mut k: u64 = 0;
+            let mut sent: u64 = 0;
+            let mut batch = String::new();
+            loop {
+                if cfg.requests_per_conn.is_some_and(|cap| sent >= cap) {
+                    break;
+                }
+                let intended = t0 + Duration::from_secs_f64(k as f64 * interval);
+                if intended >= end {
+                    break;
+                }
+                let now = Instant::now();
+                if intended > now {
+                    std::thread::sleep(intended - now);
+                }
+                // Send everything due by now as one write (catch-up
+                // batching keeps the *schedule* fixed even when the
+                // sender was stalled — the backlog goes out immediately,
+                // it is not rescheduled).
+                batch.clear();
+                let now = Instant::now();
+                let mut metas: Vec<(Instant, usize, usize)> = Vec::new();
+                loop {
+                    let due = t0 + Duration::from_secs_f64(k as f64 * interval);
+                    if due > now || due >= end || metas.len() >= 1024 {
+                        break;
+                    }
+                    if cfg
+                        .requests_per_conn
+                        .is_some_and(|cap| sent + metas.len() as u64 >= cap)
+                    {
+                        break;
+                    }
+                    let (i, j) = render_check_req(&mut batch, &mut rng, op_json, &extras, k);
+                    batch.push('\n');
+                    metas.push((due, i, j));
+                    k += 1;
+                }
+                if metas.is_empty() {
+                    continue;
+                }
+                let send_at = Instant::now();
+                {
+                    let mut q = pending.lock().unwrap_or_else(|e| e.into_inner());
+                    for &(due, i, j) in &metas {
+                        q.push_back((due, send_at, i, j));
+                    }
+                }
+                sent += metas.len() as u64;
+                if writer.write_all(batch.as_bytes()).is_err() {
+                    break;
+                }
+            }
+            done_sending.store(true, Ordering::Release);
+            sent
+        });
+
+        loop {
+            let meta = pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front();
+            let Some((intended, sent_at, i, j)) = meta else {
+                if done_sending.load(Ordering::Acquire)
+                    && pending.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            };
+            line.clear();
+            let v = match reader.read_line(&mut line) {
+                Ok(n) if n > 0 => Json::parse(line.trim_end()).ok(),
+                _ => None,
+            };
+            let Some(v) = v else {
+                let stranded = pending.lock().unwrap_or_else(|e| e.into_inner()).len();
+                out.failed += 1 + stranded as u64;
+                break;
+            };
+            let t_resp = Instant::now();
+            if tally_response(&mut out, &v, i, j, cfg.validate) {
+                out.latencies_us.push(
+                    t_resp
+                        .saturating_duration_since(sent_at)
+                        .as_micros()
+                        .min(u64::MAX as u128) as u64,
+                );
+                out.corrected_us.push(
+                    t_resp
+                        .saturating_duration_since(intended)
+                        .as_micros()
+                        .min(u64::MAX as u128) as u64,
+                );
+            }
+        }
+        out.sent = writer_handle.join().unwrap_or(0);
+    });
     out
 }
 

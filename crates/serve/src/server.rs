@@ -1,31 +1,59 @@
-//! The daemon: bounded-queue worker pool, admission control, graceful
-//! shutdown.
+//! The daemon: a sharded, nonblocking serving core with admission
+//! control, request pipelining, work stealing, and graceful shutdown.
 //!
-//! Thread layout: one acceptor (the caller of [`Server::run`]), one
-//! thread per connection (reads lines, performs admission, writes
-//! responses), and a fixed pool of `workers` detector threads pulling
-//! from one **bounded** queue. Connection threads never run detectors;
-//! worker threads never touch sockets — the queue and per-request
-//! response slots are the only coupling, so a slow pair on one
-//! connection cannot stall another connection's reads.
+//! Thread layout: one acceptor (the caller of [`Server::run`]), a small
+//! set of IO event-loop threads, and one worker thread per shard.
+//! Accepted connections are handed round-robin to the IO loops, which
+//! run **nonblocking** reads (`std::net` + `set_nonblocking`, no
+//! dependencies): each loop pass drains readable bytes, parses complete
+//! NDJSON lines, and flushes buffered responses. A connection may have
+//! many requests in flight (`pipeline_depth`); responses are delivered
+//! strictly in request order because only the owning IO loop writes the
+//! socket, popping per-request response cells FIFO.
 //!
-//! Admission: a `check`/`schedule` request is queued only if the queue
-//! has room; otherwise the client gets `overloaded` on the spot.
-//! `health`, `metrics`, and `shutdown` are answered inline on the
-//! connection thread — a health probe must succeed precisely when the
-//! server is overloaded.
+//! Sharding: every work request is routed to a *home* shard by a
+//! deterministic hash of its operations' canonical shapes (see
+//! [`crate::shard`]). Each shard owns its own schedulers — a slice of
+//! the memo cache — so repeated shapes always hit a warm cache without
+//! any cross-shard locking. The IO loop answers a `check` whose pair is
+//! already memoized *inline* (one brief `try_lock` on the home shard —
+//! no queue round-trip); misses are queued to the home shard, where the
+//! detector runs with **no scheduler lock held**
+//! ([`cxu_sched::PairTask`]) and only the commit re-takes it. Idle
+//! shard workers steal queued jobs from other shards, committing stolen
+//! verdicts back to the home shard's cache, so one NP-side straggler
+//! can't head-of-line-block its shard.
+//!
+//! Admission: a work request is queued only if its home shard's bounded
+//! queue has room; otherwise the client gets `overloaded` on the spot.
+//! `health`, `metrics`, and `shutdown` are answered inline on the IO
+//! thread — a health probe must succeed precisely when the server is
+//! overloaded.
+//!
+//! Metrics isolation: every server owns a private
+//! [`cxu_obs::Registry`], and every thread it spawns binds to it, so
+//! *all* metrics the server's activity produces (serve, sched, store
+//! layers alike) land in that registry. Two servers in one process —
+//! concurrent or sequential — never bleed counters into each other;
+//! the `metrics` route snapshots the server's own registry directly.
+//!
+//! Read-timeout accounting: the slow-loris guard measures how long a
+//! connection has stalled on a *partial* request line, but only while
+//! the server owes that connection nothing — a pipelined client slowly
+//! draining responses (or waiting on in-flight work) is not a stalled
+//! writer and is never misclassified as a `timeout`.
 //!
 //! Shutdown (`shutdown` route, [`ServerHandle::shutdown`], or the CLI's
-//! signal hook): the acceptor stops accepting and closes the queue;
-//! workers drain every already-admitted job; connection threads deliver
-//! those responses, then close. New work arriving during the drain is
-//! answered `shutting-down`.
+//! signal hook): the acceptor stops accepting and closes the shard
+//! queues; workers drain every already-admitted job; IO loops stop
+//! reading, flush every pending response, then close. New work arriving
+//! during the drain is answered `shutting-down`.
 
 use crate::proto::{self, Request, Route};
-use cxu_obs::Snapshot;
-use cxu_ops::Semantics;
+use crate::shard::{Job, PushError, RespCell, ShardSet};
+use cxu_obs::Registry;
 use cxu_runtime::{failpoints, Deadline};
-use cxu_sched::{Op, SchedConfig, Scheduler};
+use cxu_sched::{Op, PairDecision, PairLookup, SchedConfig, Scheduler};
 use cxu_store::{DurabilityConfig, FsyncPolicy, Store, StoreConfig, StoreError};
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
@@ -33,17 +61,25 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Detector worker threads (≥ 1).
+    /// Shard count (≥ 1): each shard owns one worker thread, one
+    /// bounded queue, and its own schedulers (a slice of the memo
+    /// cache). The CLI exposes this as `--shards` (with `--workers`
+    /// kept as an alias).
     pub workers: usize,
-    /// Bounded queue depth; a request arriving when `queue_depth` jobs
-    /// are already waiting is rejected `overloaded` (≥ 1).
+    /// Bounded queue depth *per shard*; a request arriving when its
+    /// home shard already has `queue_depth` jobs waiting is rejected
+    /// `overloaded` (≥ 1).
     pub queue_depth: usize,
+    /// Maximum queued-but-unanswered requests per connection; the IO
+    /// loop stops reading from a connection at this depth until
+    /// responses drain (≥ 1).
+    pub pipeline_depth: usize,
     /// Default per-request deadline (overridable per request with
     /// `deadline_ms`). `None` runs unbounded.
     pub default_deadline: Option<Duration>,
@@ -61,10 +97,12 @@ pub struct ServeConfig {
     pub fsync: FsyncPolicy,
     /// Compact the WAL every this many records (0 disables).
     pub snapshot_every: u64,
-    /// How long a connection may sit on a *partial* request line before
-    /// the server answers `timeout` and closes it (the slow-loris
-    /// guard). Idle connections with no partial line are never timed
-    /// out. `None` disables the guard.
+    /// How long a connection may sit on a *partial* request line — with
+    /// no responses owed to it — before the server answers `timeout`
+    /// and closes it (the slow-loris guard). Idle connections with no
+    /// partial line are never timed out, and neither is a pipelined
+    /// connection the server still owes responses. `None` disables the
+    /// guard.
     pub read_timeout: Option<Duration>,
     /// Maximum request-line length; longer lines are answered
     /// `bad-request` and the connection closed (instead of buffering
@@ -77,6 +115,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 4,
             queue_depth: 64,
+            pipeline_depth: 64,
             default_deadline: Some(Duration::from_millis(100)),
             data_dir: None,
             fsync: FsyncPolicy::Always,
@@ -122,151 +161,19 @@ pub struct ServeSummary {
     pub failed: u64,
 }
 
-/// One admitted unit of work.
-struct Job {
-    req: Request,
-    received: Instant,
-    deadline: Option<Instant>,
-    slot: Arc<Slot>,
-}
-
-/// Where a worker deposits the response for a waiting connection thread.
-struct Slot {
-    resp: Mutex<Option<String>>,
-    cond: Condvar,
-}
-
-impl Slot {
-    fn new() -> Arc<Slot> {
-        Arc::new(Slot {
-            resp: Mutex::new(None),
-            cond: Condvar::new(),
-        })
-    }
-
-    fn fill(&self, s: String) {
-        let mut guard = self.resp.lock().unwrap_or_else(|e| e.into_inner());
-        *guard = Some(s);
-        self.cond.notify_one();
-    }
-
-    fn wait(&self) -> String {
-        let mut guard = self.resp.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if let Some(s) = guard.take() {
-                return s;
-            }
-            guard = self.cond.wait(guard).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-}
-
-enum PushError {
-    Full,
-    Closed,
-}
-
-/// The bounded job queue. `close` flips `closed` and wakes everyone;
-/// `pop` keeps handing out already-admitted jobs until the queue is
-/// empty *and* closed — that is the drain guarantee.
-struct Queue {
-    state: Mutex<QueueState>,
-    cond: Condvar,
-    depth: usize,
-}
-
-struct QueueState {
-    jobs: VecDeque<Job>,
-    closed: bool,
-}
-
-impl Queue {
-    fn new(depth: usize) -> Queue {
-        Queue {
-            state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                closed: false,
-            }),
-            cond: Condvar::new(),
-            depth: depth.max(1),
-        }
-    }
-
-    fn try_push(&self, job: Job) -> Result<(), PushError> {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if st.closed {
-            return Err(PushError::Closed);
-        }
-        if st.jobs.len() >= self.depth {
-            return Err(PushError::Full);
-        }
-        st.jobs.push_back(job);
-        self.cond.notify_one();
-        Ok(())
-    }
-
-    fn pop(&self) -> Option<Job> {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if let Some(job) = st.jobs.pop_front() {
-                return Some(job);
-            }
-            if st.closed {
-                return None;
-            }
-            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-
-    fn close(&self) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        st.closed = true;
-        self.cond.notify_all();
-    }
-
-    fn len(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .jobs
-            .len()
-    }
-}
-
-fn sem_index(s: Semantics) -> usize {
-    match s {
-        Semantics::Node => 0,
-        Semantics::Tree => 1,
-        Semantics::Value => 2,
-    }
-}
-
-/// State shared by the acceptor, connection threads, and workers.
+/// State shared by the acceptor, IO loops, and shard workers.
 struct Shared {
     cfg: ServeConfig,
     start: Instant,
     shutdown: AtomicBool,
-    queue: Queue,
-    /// One scheduler per semantics: the pairwise memo cache is relative
-    /// to the semantics it was computed under, so the three caches must
-    /// not mix. Interners and compiled-chain caches still converge
-    /// because the automata layer's compile cache is process-wide.
-    scheds: [Mutex<Scheduler>; 3],
-    /// The document store behind the `doc_*` routes.
+    shards: ShardSet,
+    /// The document store behind the `doc_*` routes (internally
+    /// synchronized; shared by all shards).
     store: Store,
-    /// Registry snapshot taken at bind time. The metrics route reports
-    /// the delta against it: counters and histograms as this server's
-    /// own activity, gauges as current levels — so a server started
-    /// after another finishes reports only its own counts.
-    ///
-    /// Known limitation: the registry is process-global, so this
-    /// isolation holds for *sequential* servers only. Two servers
-    /// serving concurrently in one process see each other's increments
-    /// in their deltas, and their gauge refreshes race. Exact
-    /// per-server metrics under overlap needs a per-instance registry
-    /// namespace; until then, embedders wanting exact numbers must not
-    /// overlap server lifetimes in a process.
-    baseline: Snapshot,
+    /// This server's private metrics registry. Every thread the server
+    /// spawns binds to it, so serve/sched/store metrics all isolate per
+    /// server even when two servers overlap in one process.
+    registry: &'static Registry,
     connections: AtomicU64,
     accepted: AtomicU64,
     completed: AtomicU64,
@@ -275,10 +182,6 @@ struct Shared {
 }
 
 impl Shared {
-    fn sched_for(&self, sem: Semantics) -> &Mutex<Scheduler> {
-        &self.scheds[sem_index(sem)]
-    }
-
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
     }
@@ -286,6 +189,10 @@ impl Shared {
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
     }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// A handle for requesting graceful shutdown from another thread (the
@@ -313,16 +220,11 @@ impl Server {
     /// ephemeral port) without starting the loops.
     pub fn bind(cfg: ServeConfig, addr: &str) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let mk = |sem: Semantics| {
-            Mutex::new(Scheduler::new(SchedConfig {
-                semantics: sem,
-                ..cfg.sched
-            }))
-        };
+        let registry = Registry::leak();
         // Recover (or initialize) the durable store before accepting a
-        // single connection: a server that cannot trust its data
-        // directory must not come up at all.
-        let store = match &cfg.data_dir {
+        // single connection — under the server's own registry, so
+        // recovery counters are part of this server's metrics.
+        let store = cxu_obs::with_registry(registry, || match &cfg.data_dir {
             Some(dir) => Store::open(
                 cfg.store,
                 DurabilityConfig {
@@ -331,18 +233,14 @@ impl Server {
                     snapshot_every: cfg.snapshot_every,
                 },
             )
-            .map_err(|e| std::io::Error::other(e.to_string()))?,
-            None => Store::new(cfg.store),
-        };
+            .map_err(|e| std::io::Error::other(e.to_string())),
+            None => Ok(Store::new(cfg.store)),
+        })?;
+        let shards = ShardSet::new(cfg.workers, cfg.queue_depth, cfg.sched, registry);
         let shared = Arc::new(Shared {
-            queue: Queue::new(cfg.queue_depth),
-            scheds: [
-                mk(Semantics::Node),
-                mk(Semantics::Tree),
-                mk(Semantics::Value),
-            ],
+            shards,
             store,
-            baseline: cxu_obs::registry().snapshot(),
+            registry,
             cfg,
             start: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -377,78 +275,138 @@ impl Server {
     /// thread the server started. No thread outlives this call.
     pub fn run(self) -> std::io::Result<ServeSummary> {
         let Server { listener, shared } = self;
-        listener.set_nonblocking(true)?;
+        cxu_obs::with_registry(shared.registry, || run_inner(listener, shared))
+    }
+}
 
-        let mut workers = Vec::with_capacity(shared.cfg.workers.max(1));
-        for _ in 0..shared.cfg.workers.max(1) {
-            let shared = Arc::clone(&shared);
-            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+/// How many IO event-loop threads to run: enough to spread readiness
+/// polling across cores, never more than the shard count, capped small
+/// (each loop multiplexes many connections).
+fn io_thread_count(shards: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(shards)
+        .clamp(1, 4)
+}
+
+/// Hands accepted connections from the acceptor to one IO loop.
+struct Injector {
+    streams: Mutex<Vec<TcpStream>>,
+    closed: AtomicBool,
+}
+
+impl Injector {
+    fn new() -> Injector {
+        Injector {
+            streams: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
         }
+    }
 
-        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        while !shared.shutting_down() {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    shared.connections.fetch_add(1, Ordering::Relaxed);
-                    cxu_obs::counter!("serve.connections").inc();
-                    let shared = Arc::clone(&shared);
-                    conns.push(std::thread::spawn(move || {
-                        handle_connection(stream, &shared)
-                    }));
+    fn push(&self, s: TcpStream) {
+        lock(&self.streams).push(s);
+    }
+
+    fn drain(&self) -> Vec<TcpStream> {
+        let mut guard = lock(&self.streams);
+        std::mem::take(&mut *guard)
+    }
+}
+
+fn run_inner(listener: TcpListener, shared: Arc<Shared>) -> std::io::Result<ServeSummary> {
+    listener.set_nonblocking(true)?;
+    let nshards = shared.shards.len();
+
+    let mut workers = Vec::with_capacity(nshards);
+    for me in 0..nshards {
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || {
+            cxu_obs::bind_thread_registry(shared.registry);
+            worker_loop(&shared, me)
+        }));
+    }
+
+    let injectors: Vec<Arc<Injector>> = (0..io_thread_count(nshards))
+        .map(|_| Arc::new(Injector::new()))
+        .collect();
+    let mut io_threads = Vec::with_capacity(injectors.len());
+    for inj in &injectors {
+        let shared = Arc::clone(&shared);
+        let inj = Arc::clone(inj);
+        io_threads.push(std::thread::spawn(move || {
+            cxu_obs::bind_thread_registry(shared.registry);
+            io_loop(&shared, &inj)
+        }));
+    }
+
+    let drain = |shared: &Shared| {
+        for inj in &injectors {
+            inj.closed.store(true, Ordering::Release);
+        }
+        shared.shards.close_all();
+    };
+
+    let mut next_io = 0usize;
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                cxu_obs::counter!("serve.connections").inc();
+                injectors[next_io].push(stream);
+                next_io = (next_io + 1) % injectors.len();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                shared.begin_shutdown();
+                drain(&shared);
+                for h in workers.drain(..).chain(io_threads.drain(..)) {
+                    let _ = h.join();
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    conns.retain(|h| !h.is_finished());
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => {
-                    shared.begin_shutdown();
-                    shared.queue.close();
-                    for h in workers.drain(..).chain(conns.drain(..)) {
-                        let _ = h.join();
-                    }
-                    return Err(e);
-                }
+                return Err(e);
             }
         }
-
-        // Drain: stop accepting (drop the listener), let workers finish
-        // every admitted job, then let connection threads deliver the
-        // responses and notice the flag.
-        drop(listener);
-        shared.queue.close();
-        for h in workers {
-            let _ = h.join();
-        }
-        for h in conns {
-            let _ = h.join();
-        }
-        // Graceful drain leaves nothing for the next boot to replay:
-        // flush buffered records, then snapshot and reset the log.
-        if shared.store.is_durable() {
-            let _ = shared.store.flush();
-            let _ = shared.store.compact();
-        }
-        // The CLI disables (and thereby flushes) the trace sink after
-        // this returns; the event marks the drain as complete.
-        if cxu_obs::trace::enabled() {
-            cxu_obs::trace::event(
-                "serve.shutdown",
-                &[(
-                    "accepted",
-                    (shared.accepted.load(Ordering::Relaxed) as usize).into(),
-                )],
-            );
-        }
-
-        Ok(ServeSummary {
-            connections: shared.connections.load(Ordering::Relaxed),
-            accepted: shared.accepted.load(Ordering::Relaxed),
-            completed: shared.completed.load(Ordering::Relaxed),
-            rejected_overload: shared.rejected.load(Ordering::Relaxed),
-            failed: shared.failed.load(Ordering::Relaxed),
-        })
     }
+
+    // Drain: stop accepting (drop the listener), let workers finish
+    // every admitted job, then let IO loops flush the responses and
+    // close their connections.
+    drop(listener);
+    drain(&shared);
+    for h in workers {
+        let _ = h.join();
+    }
+    for h in io_threads {
+        let _ = h.join();
+    }
+    // Graceful drain leaves nothing for the next boot to replay:
+    // flush buffered records, then snapshot and reset the log.
+    if shared.store.is_durable() {
+        let _ = shared.store.flush();
+        let _ = shared.store.compact();
+    }
+    // The CLI disables (and thereby flushes) the trace sink after
+    // this returns; the event marks the drain as complete.
+    if cxu_obs::trace::enabled() {
+        cxu_obs::trace::event(
+            "serve.shutdown",
+            &[(
+                "accepted",
+                (shared.accepted.load(Ordering::Relaxed) as usize).into(),
+            )],
+        );
+    }
+
+    Ok(ServeSummary {
+        connections: shared.connections.load(Ordering::Relaxed),
+        accepted: shared.accepted.load(Ordering::Relaxed),
+        completed: shared.completed.load(Ordering::Relaxed),
+        rejected_overload: shared.rejected.load(Ordering::Relaxed),
+        failed: shared.failed.load(Ordering::Relaxed),
+    })
 }
 
 /// Counts one request outcome (the accounting identity's right side).
@@ -475,10 +433,21 @@ fn tally(shared: &Shared, o: Outcome) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
+// ---------------------------------------------------------------------
+// Shard workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared, me: usize) {
+    while let Some(job) = shared.shards.next_job(me) {
+        let home = shared.shards.get(job.home);
+        home.executed.inc();
+        if job.home != me {
+            home.stolen.inc();
+        }
         let resp = process_job(shared, &job);
-        job.slot.fill(resp);
+        cxu_obs::gauge!("serve.in_flight").dec();
+        cxu_obs::histogram!("serve.request_ns").record_since(job.received);
+        job.cell.fill(resp);
     }
 }
 
@@ -490,29 +459,48 @@ fn process_job(shared: &Shared, job: &Job) -> String {
         std::thread::sleep(Duration::from_millis(job.req.delay_ms));
     }
     let run = || -> Result<String, String> {
-        if failpoints::fire("serve::request") {
+        if !job.fired && failpoints::fire("serve::request") {
             return Err("injected budget exhaustion".to_owned());
         }
         let deadline = match job.deadline {
             Some(at) => Deadline::at(at),
             None => Deadline::never(),
         };
+        let home = shared.shards.get(job.home);
         match &job.req.route {
             Route::Check { a, b } => {
-                let mut sched = shared
-                    .sched_for(job.req.semantics)
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner());
-                let d = sched.check_pair(a, b, &deadline);
-                drop(sched);
+                let d = if let Some(task) = &job.prepared {
+                    // The IO loop already interned the pair and missed:
+                    // run the detector with no scheduler lock held, then
+                    // commit to the home shard (first writer wins).
+                    let verdict = task.run(&deadline);
+                    let verdict =
+                        lock(home.sched(job.req.semantics)).commit_pair(task.key(), verdict);
+                    PairDecision {
+                        verdict,
+                        cached: false,
+                    }
+                } else {
+                    let mut sched = lock(home.sched(job.req.semantics));
+                    match sched.lookup_pair(a, b) {
+                        PairLookup::Ready(d) => d,
+                        PairLookup::Miss(task) => {
+                            drop(sched);
+                            let verdict = task.run(&deadline);
+                            let verdict = lock(home.sched(job.req.semantics))
+                                .commit_pair(task.key(), verdict);
+                            PairDecision {
+                                verdict,
+                                cached: false,
+                            }
+                        }
+                    }
+                };
                 cxu_obs::histogram!("serve.check_ns").record_since(job.received);
                 Ok(proto::render_check(job.req.id, &d))
             }
             Route::Schedule { ops } => {
-                let mut sched = shared
-                    .sched_for(job.req.semantics)
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner());
+                let mut sched = lock(home.sched(job.req.semantics));
                 // Budget the batch with the request's remaining time as
                 // the per-pair slice — a resource-envelope change, so
                 // the memo cache survives (`Scheduler::set_config`).
@@ -537,15 +525,11 @@ fn process_job(shared: &Shared, job: &Job) -> String {
                 payload,
             } => {
                 // The merge rung consults the routed detectors; each
-                // pair takes the request-semantics scheduler lock for
+                // pair takes the home shard's scheduler lock for
                 // exactly one `check_pair` (the store holds no lock of
                 // its own while this closure runs).
                 let mut check = |a: &Op, b: &Op| {
-                    let mut sched = shared
-                        .sched_for(job.req.semantics)
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner());
-                    sched.check_pair(a, b, &deadline)
+                    lock(home.sched(job.req.semantics)).check_pair(a, b, &deadline)
                 };
                 let out = shared
                     .store
@@ -584,8 +568,8 @@ fn process_job(shared: &Shared, job: &Job) -> String {
                 cxu_obs::histogram!("serve.doc_get_ns").record_since(job.received);
                 Ok(proto::render_doc_changes(job.req.id, &entries, last_seq))
             }
-            // Admin routes are answered inline on the connection thread
-            // and never enter the queue.
+            // Admin routes are answered inline on the IO thread and
+            // never enter a queue.
             Route::Metrics | Route::Health | Route::Shutdown => {
                 Err("admin route reached the worker pool".to_owned())
             }
@@ -621,133 +605,331 @@ fn process_job(shared: &Shared, job: &Job) -> String {
     }
 }
 
-/// Serves one connection: resumable line reads under a poll timeout
-/// (partial bytes persist across timeouts), admission per request,
-/// in-order responses.
-/// Counts a request the socket layer itself rejects (oversized line,
-/// stalled partial line): it enters the accounting identity as
-/// accepted + failed, exactly like a request a worker failed.
-fn reject_at_socket(stream: &mut TcpStream, shared: &Shared, code: &str, detail: &str) {
-    shared.accepted.fetch_add(1, Ordering::Relaxed);
-    cxu_obs::counter!("serve.accepted").inc();
-    tally(shared, Outcome::Failed);
-    let resp = proto::render_error(None, code, detail);
-    let _ = write_line(stream, &resp);
+// ---------------------------------------------------------------------
+// IO event loops
+// ---------------------------------------------------------------------
+
+/// A response owed to a connection, in request order.
+enum Pending {
+    /// Computed inline; ready to flush.
+    Ready(String),
+    /// Admitted to a shard queue; the worker fills the cell.
+    Waiting(Arc<RespCell>),
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut stream = stream;
-    let mut pending: Vec<u8> = Vec::new();
-    let mut buf = [0u8; 8 * 1024];
-    // Set while `pending` holds an incomplete line; the slow-loris
-    // guard measures from the line's *first* byte, so trickling one
-    // byte per poll cannot keep a connection alive forever.
-    let mut partial_since: Option<Instant> = None;
-    loop {
-        match stream.read(&mut buf) {
-            Ok(0) => return, // client closed
-            Ok(n) => {
-                pending.extend_from_slice(&buf[..n]);
-                // Serve every complete line; keep the remainder.
-                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
-                    let line: Vec<u8> = pending.drain(..=pos).collect();
-                    if !serve_line(&line[..pos], &mut stream, shared) {
-                        return;
+/// One nonblocking connection owned by an IO loop.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into a complete line.
+    pending_in: Vec<u8>,
+    /// Responses owed, FIFO in request order.
+    out: VecDeque<Pending>,
+    /// Rendered bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// When the connection entered its current quiet partial-line
+    /// stall (slow-loris clock; see `ServeConfig::read_timeout`).
+    stall_since: Option<Instant>,
+    /// Stop reading (EOF, fatal request, or timeout); flush then close.
+    closing: bool,
+    /// Fully finished; the IO loop drops the connection.
+    done: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            pending_in: Vec::new(),
+            out: VecDeque::new(),
+            wbuf: Vec::new(),
+            stall_since: None,
+            closing: false,
+            done: false,
+        })
+    }
+
+    /// One pass: flush what's ready, read what's there, parse complete
+    /// lines, keep the stall clock honest. Returns true if any progress
+    /// was made (used for the IO loop's idle backoff).
+    fn pump(&mut self, shared: &Shared, buf: &mut [u8], draining: bool) -> bool {
+        if self.done {
+            return false;
+        }
+        let mut progress = false;
+
+        // Move in-order ready responses into the write buffer.
+        loop {
+            match self.out.front() {
+                Some(Pending::Ready(_)) => {
+                    if let Some(Pending::Ready(s)) = self.out.pop_front() {
+                        self.wbuf.extend_from_slice(s.as_bytes());
+                        self.wbuf.push(b'\n');
+                        progress = true;
                     }
                 }
-                if pending.is_empty() {
-                    partial_since = None;
-                } else if partial_since.is_none() {
-                    partial_since = Some(Instant::now());
-                }
-                if pending.len() > shared.cfg.max_line_bytes {
-                    cxu_obs::counter!("serve.oversized_line").inc();
-                    reject_at_socket(&mut stream, shared, "bad-request", {
-                        "request line too long"
-                    });
-                    return;
-                }
+                Some(Pending::Waiting(cell)) => match cell.take() {
+                    Some(s) => {
+                        self.out.pop_front();
+                        self.wbuf.extend_from_slice(s.as_bytes());
+                        self.wbuf.push(b'\n');
+                        progress = true;
+                    }
+                    None => break,
+                },
+                None => break,
             }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shared.shutting_down() {
-                    return;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return,
         }
-        if let (Some(since), Some(limit)) = (partial_since, shared.cfg.read_timeout) {
+
+        // Flush.
+        while !self.wbuf.is_empty() {
+            match self.stream.write(&self.wbuf) {
+                Ok(0) => {
+                    self.done = true;
+                    return true;
+                }
+                Ok(n) => {
+                    self.wbuf.drain(..n);
+                    progress = true;
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.done = true;
+                    return true;
+                }
+            }
+        }
+
+        // Read, unless closing/draining or the pipeline is full. The
+        // `pending_in` bound matters: when the pipeline cap (not a
+        // missing newline) is what stalls parsing, reading further
+        // would grow an unbounded parse backlog — the socket is the
+        // backpressure. The `out.is_empty()` escape keeps one oversized
+        // line (bigger than the read buffer) able to complete.
+        if !self.closing
+            && !draining
+            && self.out.len() < shared.cfg.pipeline_depth.max(1)
+            && self.wbuf.len() < 64 * 1024
+            && (self.out.is_empty() || self.pending_in.len() < buf.len())
+        {
+            match self.stream.read(buf) {
+                Ok(0) => {
+                    self.closing = true;
+                    progress = true;
+                }
+                Ok(n) => {
+                    self.pending_in.extend_from_slice(&buf[..n]);
+                    progress = true;
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.done = true;
+                    return true;
+                }
+            }
+        }
+
+        // Parse complete lines (also while draining: lines already
+        // buffered still get answers — typically `shutting-down`).
+        // Consumed bytes are drained once at the end: a per-line drain
+        // would memmove the whole remaining backlog for every request.
+        let mut consumed = 0usize;
+        while !self.closing && self.out.len() < shared.cfg.pipeline_depth.max(1) {
+            let Some(rel) = self.pending_in[consumed..].iter().position(|&b| b == b'\n') else {
+                break;
+            };
+            if rel > shared.cfg.max_line_bytes {
+                cxu_obs::counter!("serve.oversized_line").inc();
+                self.reject_at_socket(shared, "bad-request", "request line too long");
+                return true;
+            }
+            let line_end = consumed + rel;
+            let outcome = handle_line(shared, &self.pending_in[consumed..line_end]);
+            match outcome {
+                LineOutcome::Ready(resp) => self.out.push_back(Pending::Ready(resp)),
+                LineOutcome::Queued(cell) => self.out.push_back(Pending::Waiting(cell)),
+            }
+            consumed = line_end + 1;
+            progress = true;
+        }
+        if consumed > 0 {
+            self.pending_in.drain(..consumed);
+        }
+        // Only the current *partial line* is bounded by max_line_bytes —
+        // the buffer as a whole may legitimately hold many complete
+        // pipelined lines waiting behind the pipeline-depth cap.
+        let partial_len = self
+            .pending_in
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(self.pending_in.len(), |p| self.pending_in.len() - p - 1);
+        if partial_len > shared.cfg.max_line_bytes {
+            cxu_obs::counter!("serve.oversized_line").inc();
+            self.reject_at_socket(shared, "bad-request", "request line too long");
+            return true;
+        }
+
+        // The slow-loris clock runs only while the server owes this
+        // connection *nothing*: a partial line alongside in-flight
+        // responses (a pipelined client pausing between batches) is not
+        // a stall — the clock starts, with a full budget, once the last
+        // owed byte is flushed.
+        let quiet = self.out.is_empty() && self.wbuf.is_empty();
+        if self.pending_in.is_empty() || !quiet || self.closing || draining {
+            self.stall_since = None;
+        } else if self.stall_since.is_none() {
+            self.stall_since = Some(Instant::now());
+        }
+        if let (Some(since), Some(limit)) = (self.stall_since, shared.cfg.read_timeout) {
             if since.elapsed() >= limit {
                 cxu_obs::counter!("serve.read_timeouts").inc();
-                reject_at_socket(&mut stream, shared, "timeout", "request line stalled");
+                self.reject_at_socket(shared, "timeout", "request line stalled");
+                return true;
+            }
+        }
+
+        if (self.closing || draining) && self.out.is_empty() && self.wbuf.is_empty() {
+            self.done = true;
+            progress = true;
+        }
+        progress
+    }
+
+    /// Counts a request the socket layer itself rejects (oversized
+    /// line, stalled partial line): it enters the accounting identity
+    /// as accepted + failed, exactly like a request a worker failed.
+    fn reject_at_socket(&mut self, shared: &Shared, code: &str, detail: &str) {
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        cxu_obs::counter!("serve.accepted").inc();
+        tally(shared, Outcome::Failed);
+        self.out
+            .push_back(Pending::Ready(proto::render_error(None, code, detail)));
+        self.pending_in.clear();
+        self.stall_since = None;
+        self.closing = true;
+    }
+}
+
+fn io_loop(shared: &Shared, inj: &Injector) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut buf = vec![0u8; 16 * 1024];
+    let mut idle_passes: u32 = 0;
+    loop {
+        let mut progress = false;
+        for stream in inj.drain() {
+            if let Ok(conn) = Conn::new(stream) {
+                conns.push(conn);
+            }
+            progress = true;
+        }
+        let draining = shared.shutting_down();
+        for conn in conns.iter_mut() {
+            progress |= conn.pump(shared, &mut buf, draining);
+        }
+        conns.retain(|c| !c.done);
+        if draining && conns.is_empty() && inj.closed.load(Ordering::Acquire) {
+            let leftovers = inj.drain(); // races with the acceptor's last pushes
+            if leftovers.is_empty() {
                 return;
+            }
+            drop(leftovers);
+            progress = true;
+        }
+        if progress {
+            idle_passes = 0;
+        } else {
+            // Briefly spin-yield (cheap reactivity under load), then
+            // back off to a sleep so an idle server doesn't burn a core.
+            idle_passes = idle_passes.saturating_add(1);
+            if idle_passes < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(500));
             }
         }
     }
 }
 
-fn write_line(stream: &mut TcpStream, resp: &str) -> std::io::Result<()> {
-    let mut out = Vec::with_capacity(resp.len() + 1);
-    out.extend_from_slice(resp.as_bytes());
-    out.push(b'\n');
-    stream.write_all(&out)
+/// What one parsed request line turned into.
+enum LineOutcome {
+    Ready(String),
+    Queued(Arc<RespCell>),
 }
 
-/// Handles one complete request line. Returns false when the connection
-/// should close (write failure).
-fn serve_line(line: &[u8], stream: &mut TcpStream, shared: &Shared) -> bool {
+/// The inline fast path's verdict on a `check` request.
+enum InlineCheck {
+    /// Answered from the home shard's warm cache (or trivially).
+    Answered(String),
+    /// The `serve::request` failpoint fired.
+    Injected(String),
+    /// Cache miss: the detached task goes to the home shard's queue.
+    Miss(Box<cxu_sched::PairTask>),
+    /// The home shard's scheduler was busy; queue without interning.
+    Busy,
+}
+
+/// Handles one complete request line on the IO thread: admin routes and
+/// warm-cache checks inline, everything else through shard admission.
+fn handle_line(shared: &Shared, line: &[u8]) -> LineOutcome {
     let received = Instant::now();
     shared.accepted.fetch_add(1, Ordering::Relaxed);
     cxu_obs::counter!("serve.accepted").inc();
     cxu_obs::gauge!("serve.in_flight").inc();
-    let resp = respond(line, received, shared);
-    cxu_obs::gauge!("serve.in_flight").dec();
-    cxu_obs::histogram!("serve.request_ns").record_since(received);
-    write_line(stream, &resp).is_ok()
-}
-
-fn respond(line: &[u8], received: Instant, shared: &Shared) -> String {
+    let finish = |outcome: Outcome, resp: String| -> LineOutcome {
+        tally(shared, outcome);
+        cxu_obs::gauge!("serve.in_flight").dec();
+        cxu_obs::histogram!("serve.request_ns").record_since(received);
+        LineOutcome::Ready(resp)
+    };
     let text = match std::str::from_utf8(line) {
         Ok(t) => t,
         Err(_) => {
-            tally(shared, Outcome::Failed);
-            return proto::render_error(None, "bad-request", "request line is not UTF-8");
+            return finish(
+                Outcome::Failed,
+                proto::render_error(None, "bad-request", "request line is not UTF-8"),
+            )
         }
     };
     let req = match proto::parse_request(text) {
         Ok(r) => r,
         Err(e) => {
-            tally(shared, Outcome::Failed);
-            return proto::render_error(None, "bad-request", &e);
+            return finish(
+                Outcome::Failed,
+                proto::render_error(None, "bad-request", &e),
+            )
         }
     };
     match &req.route {
-        // Admin routes bypass the queue: they must answer precisely
+        // Admin routes bypass the queues: they must answer precisely
         // when the pool is saturated.
-        Route::Health => {
-            tally(shared, Outcome::Completed);
+        Route::Health => finish(
+            Outcome::Completed,
             proto::render_health(
                 req.id,
                 shared.start.elapsed().as_millis().min(u64::MAX as u128) as u64,
                 cxu_obs::gauge!("serve.in_flight").get(),
-                shared.queue.len(),
+                shared.shards.queued_total(),
                 shared.shutting_down(),
-            )
-        }
+            ),
+        ),
         Route::Metrics => {
             tally(shared, Outcome::Completed);
-            // Counters and histograms report this server's activity
-            // (delta against the bind-time baseline); gauges report
-            // current levels, refreshed for the store just now.
+            cxu_obs::gauge!("serve.in_flight").dec();
+            cxu_obs::histogram!("serve.request_ns").record_since(received);
+            // This server's own registry: counters and histograms are
+            // its activity from birth (no baseline subtraction needed),
+            // gauges are current levels, refreshed for the store just
+            // now. Another server in the same process — even a
+            // concurrent one — contributes nothing here.
             shared.store.set_gauges();
-            let snap = cxu_obs::registry().snapshot().delta(&shared.baseline);
-            proto::render_metrics(req.id, &snap.to_json())
+            let snap = shared.registry.snapshot();
+            LineOutcome::Ready(proto::render_metrics(req.id, &snap.to_json()))
         }
         Route::Shutdown => {
-            tally(shared, Outcome::Completed);
-            let resp = proto::render_shutdown(req.id);
+            let resp = finish(Outcome::Completed, proto::render_shutdown(req.id));
             shared.begin_shutdown();
             resp
         }
@@ -757,30 +939,93 @@ fn respond(line: &[u8], received: Instant, shared: &Shared) -> String {
         | Route::DocGet { .. }
         | Route::DocDelete { .. }
         | Route::DocChanges { .. } => {
-            let deadline_ms = req.deadline_ms.map(Duration::from_millis);
-            let deadline = deadline_ms
+            let deadline = req
+                .deadline_ms
+                .map(Duration::from_millis)
                 .or(shared.cfg.default_deadline)
                 .map(|d| received + d);
-            let slot = Slot::new();
+            let home = shared.shards.route(&req);
+            shared.shards.get(home).routed.inc();
+            let mut fired = false;
+            let mut prepared = None;
+            if matches!(req.route, Route::Check { .. }) && req.delay_ms == 0 {
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    inline_check(shared, &req, home, received)
+                }));
+                match attempt {
+                    Err(_) => {
+                        cxu_obs::counter!("serve.panics").inc();
+                        return finish(
+                            Outcome::Failed,
+                            proto::render_error(req.id, "internal", "request panicked (isolated)"),
+                        );
+                    }
+                    Ok(InlineCheck::Answered(resp)) => return finish(Outcome::Completed, resp),
+                    Ok(InlineCheck::Injected(detail)) => {
+                        return finish(
+                            Outcome::Failed,
+                            proto::render_error(req.id, "internal", &detail),
+                        )
+                    }
+                    Ok(InlineCheck::Miss(task)) => {
+                        fired = true;
+                        prepared = Some(task);
+                    }
+                    Ok(InlineCheck::Busy) => fired = true,
+                }
+            }
+            let cell = RespCell::new();
             let id = req.id;
             let job = Job {
                 req,
                 received,
                 deadline,
-                slot: Arc::clone(&slot),
+                home,
+                fired,
+                prepared,
+                cell: Arc::clone(&cell),
             };
-            match shared.queue.try_push(job) {
-                Ok(()) => slot.wait(), // the worker tallies the outcome
-                Err(PushError::Full) => {
-                    tally(shared, Outcome::RejectedOverload);
-                    proto::render_error(id, "overloaded", "queue full")
-                }
-                Err(PushError::Closed) => {
-                    tally(shared, Outcome::Failed);
-                    proto::render_error(id, "shutting-down", "server is draining")
-                }
+            match shared.shards.get(home).queue.try_push(job) {
+                Ok(()) => LineOutcome::Queued(cell),
+                Err(PushError::Full) => finish(
+                    Outcome::RejectedOverload,
+                    proto::render_error(id, "overloaded", "queue full"),
+                ),
+                Err(PushError::Closed) => finish(
+                    Outcome::Failed,
+                    proto::render_error(id, "shutting-down", "server is draining"),
+                ),
             }
         }
+    }
+}
+
+/// The warm-shard fast path, run on the IO thread: fire the request
+/// failpoint, then try a brief lookup on the home shard. A cache hit
+/// (or trivial pair) renders right here — no queue round-trip, no
+/// worker wakeup. `try_lock` keeps the IO loop wait-free: if the home
+/// shard is mid-batch, the request just queues.
+fn inline_check(shared: &Shared, req: &Request, home: usize, received: Instant) -> InlineCheck {
+    if failpoints::fire("serve::request") {
+        return InlineCheck::Injected("injected budget exhaustion".to_owned());
+    }
+    let Route::Check { a, b } = &req.route else {
+        return InlineCheck::Busy;
+    };
+    let shard = shared.shards.get(home);
+    let mut sched: MutexGuard<'_, Scheduler> = match shard.sched(req.semantics).try_lock() {
+        Ok(g) => g,
+        Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => return InlineCheck::Busy,
+    };
+    match sched.lookup_pair(a, b) {
+        PairLookup::Ready(d) => {
+            drop(sched);
+            shard.inline_hits.inc();
+            cxu_obs::histogram!("serve.check_ns").record_since(received);
+            InlineCheck::Answered(proto::render_check(req.id, &d))
+        }
+        PairLookup::Miss(task) => InlineCheck::Miss(task),
     }
 }
 
@@ -856,5 +1101,43 @@ mod tests {
             summary.accepted,
             summary.completed + summary.rejected_overload + summary.failed
         );
+    }
+
+    #[test]
+    fn repeated_pairs_are_answered_inline_from_the_warm_shard() {
+        let server = Server::bind(ServeConfig::default(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.run().unwrap());
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        let req = |id: u64| {
+            format!(
+                r#"{{"route": "check", "id": {id}, "a": {{"kind": "read", "pattern": "*//C"}}, "b": {{"kind": "insert", "pattern": "*/B", "subtree": "C"}}}}"#
+            )
+        };
+        for id in 0..4 {
+            let v = roundtrip(&mut c, &req(id));
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(v.get("cached").and_then(Json::as_bool), Some(id > 0));
+        }
+        let m = roundtrip(&mut c, r#"{"route": "metrics"}"#);
+        let counters = m.get("metrics").and_then(|m| m.get("counters")).unwrap();
+        let inline: u64 = (0..4)
+            .filter_map(|i| {
+                counters
+                    .get(&format!("serve.shard.{i}.inline_hits"))
+                    .and_then(Json::as_u64)
+            })
+            .sum();
+        assert!(
+            inline >= 3,
+            "repeats should be served inline from the warm shard: {m}"
+        );
+        roundtrip(&mut c, r#"{"route": "shutdown"}"#);
+        drop(c);
+        let summary = t.join().unwrap();
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.completed, summary.accepted);
     }
 }

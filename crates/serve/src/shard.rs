@@ -1,0 +1,291 @@
+//! Sharded scheduler state: per-shard memo caches, bounded job queues,
+//! and the work-stealing pop path.
+//!
+//! Each shard owns one [`Scheduler`] per semantics (a slice of the
+//! process's memo cache) plus one bounded queue. Requests are routed to
+//! a *home* shard by a deterministic hash of their operations' canonical
+//! shapes ([`cxu_sched::pair_route_hash`]), so repeated traffic always
+//! lands on the shard whose cache is warm for it — across connections,
+//! processes, and restarts. Document routes hash the document id
+//! instead, and batch (`schedule`) routes fold their operations' shape
+//! hashes order-independently.
+//!
+//! Stealing: an idle shard worker that finds its own queue empty pops
+//! the oldest job from another shard's queue. The stolen job still
+//! carries its home shard id, and its verdict is committed to the
+//! *home* shard's cache ([`Scheduler::commit_pair`], first writer
+//! wins), so stealing moves CPU work — never cache entries — and the
+//! memo cache can never hold two conflicting verdicts for one pair.
+
+use crate::proto::{Request, Route};
+use cxu_obs::{Counter, Registry};
+use cxu_ops::Semantics;
+use cxu_sched::{op_route_hash, pair_route_hash, PairTask, SchedConfig, Scheduler};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+pub(crate) fn sem_index(s: Semantics) -> usize {
+    match s {
+        Semantics::Node => 0,
+        Semantics::Tree => 1,
+        Semantics::Value => 2,
+    }
+}
+
+/// Where a worker deposits the response for a queued request. The
+/// owning IO loop polls cells in per-connection FIFO order, which is
+/// what keeps pipelined responses in request order.
+pub(crate) struct RespCell {
+    resp: Mutex<Option<String>>,
+}
+
+impl RespCell {
+    pub(crate) fn new() -> Arc<RespCell> {
+        Arc::new(RespCell {
+            resp: Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn fill(&self, s: String) {
+        let mut guard = self.resp.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(s);
+    }
+
+    pub(crate) fn take(&self) -> Option<String> {
+        let mut guard = self.resp.lock().unwrap_or_else(|e| e.into_inner());
+        guard.take()
+    }
+}
+
+/// One admitted unit of work, bound for `home`'s queue (but possibly
+/// executed elsewhere via stealing).
+pub(crate) struct Job {
+    pub req: Request,
+    pub received: Instant,
+    pub deadline: Option<Instant>,
+    /// The shard whose cache owns this request's verdict.
+    pub home: usize,
+    /// Whether the `serve::request` failpoint already fired for this
+    /// request on the IO thread (inline-lookup path) — a worker must
+    /// not fire it a second time.
+    pub fired: bool,
+    /// A detached pair task produced by an inline cache-miss lookup;
+    /// the worker runs it lock-free and commits to `home`.
+    pub prepared: Option<Box<PairTask>>,
+    pub cell: Arc<RespCell>,
+}
+
+pub(crate) enum PushError {
+    Full,
+    Closed,
+}
+
+/// A bounded MPMC queue. `close` flips `closed`; `try_pop` keeps
+/// handing out already-admitted jobs until empty — the drain guarantee.
+pub(crate) struct Queue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    depth: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl Queue {
+    fn new(depth: usize) -> Queue {
+        Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    pub(crate) fn try_push(&self, job: Job) -> Result<(), PushError> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.jobs.len() >= self.depth {
+            return Err(PushError::Full);
+        }
+        st.jobs.push_back(job);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .pop_front()
+    }
+
+    /// Blocks briefly (until a push, close, or the timeout) when empty.
+    /// The timeout bounds how stale an idle worker's view of *other*
+    /// shards' queues can get — it is the steal polling interval.
+    fn wait_brief(&self, timeout: Duration) {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.jobs.is_empty() && !st.closed {
+            let _ = self.cond.wait_timeout(st, timeout);
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        self.cond.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
+    }
+}
+
+/// One shard: a queue, three schedulers (one per semantics — their memo
+/// caches must not mix), and the `serve.shard.<i>.*` counters, resolved
+/// against the owning server's registry at construction.
+pub(crate) struct Shard {
+    pub queue: Queue,
+    scheds: [Mutex<Scheduler>; 3],
+    /// Requests whose home is this shard (inline + queued + rejected).
+    pub routed: &'static Counter,
+    /// Check requests answered on the IO thread from this shard's warm
+    /// cache (no queue round-trip).
+    pub inline_hits: &'static Counter,
+    /// Queued jobs with this home shard completed by any worker.
+    pub executed: &'static Counter,
+    /// Of `executed`, jobs run by a *different* shard's worker.
+    pub stolen: &'static Counter,
+}
+
+impl Shard {
+    pub(crate) fn sched(&self, sem: Semantics) -> &Mutex<Scheduler> {
+        &self.scheds[sem_index(sem)]
+    }
+}
+
+fn fnv_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The set of shards plus deterministic request routing.
+pub(crate) struct ShardSet {
+    shards: Vec<Shard>,
+}
+
+impl ShardSet {
+    pub(crate) fn new(n: usize, queue_depth: usize, base: SchedConfig, reg: &Registry) -> ShardSet {
+        let n = n.max(1);
+        let shards = (0..n)
+            .map(|i| {
+                let mk = |sem: Semantics| {
+                    Mutex::new(Scheduler::new(SchedConfig {
+                        semantics: sem,
+                        ..base
+                    }))
+                };
+                Shard {
+                    queue: Queue::new(queue_depth),
+                    scheds: [
+                        mk(Semantics::Node),
+                        mk(Semantics::Tree),
+                        mk(Semantics::Value),
+                    ],
+                    routed: reg.counter_dyn(&format!("serve.shard.{i}.routed")),
+                    inline_hits: reg.counter_dyn(&format!("serve.shard.{i}.inline_hits")),
+                    executed: reg.counter_dyn(&format!("serve.shard.{i}.executed")),
+                    stolen: reg.counter_dyn(&format!("serve.shard.{i}.stolen")),
+                }
+            })
+            .collect();
+        ShardSet { shards }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn get(&self, i: usize) -> &Shard {
+        &self.shards[i]
+    }
+
+    /// The home shard of a request: pair hash for checks, folded op
+    /// hashes for batches, document-id hash for store routes. Admin
+    /// routes never reach a shard; they report 0 harmlessly.
+    pub(crate) fn route(&self, req: &Request) -> usize {
+        let n = self.shards.len() as u64;
+        let h = match &req.route {
+            Route::Check { a, b } => pair_route_hash(a, b),
+            Route::Schedule { ops } => {
+                // Commutative fold: the same batch in any order lands on
+                // the same shard.
+                ops.iter()
+                    .fold(0u64, |acc, op| acc.wrapping_add(op_route_hash(op)))
+            }
+            Route::DocPut { doc, .. }
+            | Route::DocGet { doc, .. }
+            | Route::DocDelete { doc, .. } => fnv_str(doc),
+            Route::DocChanges { .. } => fnv_str("doc_changes"),
+            Route::Metrics | Route::Health | Route::Shutdown => 0,
+        };
+        (h % n) as usize
+    }
+
+    pub(crate) fn queued_total(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    pub(crate) fn close_all(&self) {
+        for s in &self.shards {
+            s.queue.close();
+        }
+    }
+
+    /// The worker pop path: own queue first; when it is empty, steal
+    /// the oldest job from another shard (scanning from `me + 1` so two
+    /// idle workers don't always raid the same victim). Returns `None`
+    /// only when every queue is closed *and* empty — admitted jobs are
+    /// always drained, even across shards.
+    pub(crate) fn next_job(&self, me: usize) -> Option<Job> {
+        let n = self.shards.len();
+        loop {
+            if let Some(job) = self.shards[me].queue.try_pop() {
+                return Some(job);
+            }
+            for off in 1..n {
+                let victim = (me + off) % n;
+                if let Some(job) = self.shards[victim].queue.try_pop() {
+                    return Some(job);
+                }
+            }
+            if self
+                .shards
+                .iter()
+                .all(|s| s.queue.is_closed() && s.queue.len() == 0)
+            {
+                return None;
+            }
+            self.shards[me].queue.wait_brief(Duration::from_millis(1));
+        }
+    }
+}

@@ -8,10 +8,13 @@
 #   BENCH_SCHED.json     end-to-end scheduler batches, two profiles
 #                        (mixed / linear) at sizes 50..400, with the
 #                        route mix and pair-latency columns.
-#   BENCH_SERVE.json     cxu-serve under a seeded closed-loop load
-#                        (4 workers, 8 connections, linear profile):
-#                        sustained throughput, p50/p99 latency,
-#                        rejection rate, validated verdicts.
+#   BENCH_SERVE.json     cxu-serve under seeded load (4 shards, linear
+#                        profile). Headline: closed-loop pipelined
+#                        clients (2 connections x depth 64), validated
+#                        verdicts. Attached "sweep": open-loop
+#                        fixed-arrival-rate points across and past the
+#                        saturation knee, with coordinated-omission-
+#                        corrected latency next to the raw numbers.
 #   BENCH_STORE.json     the document store under racing editors
 #                        (6 connections, 3 shared documents, stale
 #                        bases on purpose): merge/branch/reject rates
@@ -36,9 +39,9 @@ echo "==> cxu-bench automata > BENCH_AUTOMATA.json" >&2
 echo "==> cxu-bench sched > BENCH_SCHED.json" >&2
 ./target/release/cxu-bench sched > BENCH_SCHED.json
 
-echo "==> cxu serve + loadgen > BENCH_SERVE.json" >&2
+echo "==> cxu serve + loadgen (pipelined headline + saturation sweep) > BENCH_SERVE.json" >&2
 serve_log=$(mktemp)
-./target/release/cxu serve --addr 127.0.0.1:0 --workers 4 > "$serve_log" 2>&1 &
+./target/release/cxu serve --addr 127.0.0.1:0 --shards 4 > "$serve_log" 2>&1 &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 50); do
@@ -47,8 +50,9 @@ for _ in $(seq 1 50); do
     sleep 0.1
 done
 [ -n "$addr" ] || { echo "server never announced its address" >&2; cat "$serve_log" >&2; exit 1; }
-./target/release/cxu loadgen --addr "$addr" --connections 8 --duration-ms 2000 \
-    --seed 42 --profile linear --validate --out BENCH_SERVE.json >&2
+./target/release/cxu loadgen --addr "$addr" --connections 2 --pipeline 64 \
+    --duration-ms 2000 --seed 42 --profile linear --validate \
+    --sweep 40000,80000,120000,160000 --out BENCH_SERVE.json >&2
 kill -TERM "$serve_pid"
 wait "$serve_pid"
 rm -f "$serve_log"

@@ -41,7 +41,7 @@ fi
 echo "==> serve smoke (ephemeral port, seeded loadgen, validated verdicts)"
 serve_log=$(mktemp)
 serve_bench=$(mktemp)
-./target/release/cxu serve --addr 127.0.0.1:0 --workers 4 > "$serve_log" 2>&1 &
+./target/release/cxu serve --addr 127.0.0.1:0 --shards 4 > "$serve_log" 2>&1 &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 50); do
@@ -82,6 +82,34 @@ wait "$serve_pid" || { echo "overloaded server exited nonzero after SIGTERM"; ca
 grep -q 'drained after' "$serve_log" \
     || { echo "overloaded server did not report a clean drain"; cat "$serve_log"; exit 1; }
 rm -f "$serve_log" "$serve_bench"
+
+echo "==> pipelined-client smoke (2 conns x depth 32, validated verdicts)"
+./target/release/cxu serve --addr 127.0.0.1:0 --shards 4 > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never announced its address"; cat "$serve_log"; exit 1; }
+./target/release/cxu loadgen --addr "$addr" --connections 2 --pipeline 32 \
+    --duration-ms 1000 --seed 42 --profile linear --validate --out "$serve_bench" >/dev/null
+grep -q '"pipeline": 32' "$serve_bench" \
+    || { echo "pipelined bench missing its pipeline marker"; cat "$serve_bench"; exit 1; }
+grep -q '"disagreements": 0' "$serve_bench" \
+    || { echo "pipelined loadgen reported verdict disagreements"; cat "$serve_bench"; exit 1; }
+grep -q '"failed": 0' "$serve_bench" \
+    || { echo "pipelined loadgen reported hard failures"; cat "$serve_bench"; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "pipelined server exited nonzero after SIGTERM"; cat "$serve_log"; exit 1; }
+grep -q 'drained after' "$serve_log" \
+    || { echo "pipelined server did not report a clean drain"; cat "$serve_log"; exit 1; }
+rm -f "$serve_log" "$serve_bench"
+
+echo "==> two-servers metrics isolation + pipelined timeout accounting (socket tests)"
+cargo test -q -p cxu --test serve_validation two_concurrent_servers_keep_metrics_isolated
+cargo test -q -p cxu --test serve_validation pipelined
 
 echo "==> store smoke (racing editors on shared docs, validated feed and winners)"
 ./target/release/cxu serve --addr 127.0.0.1:0 --workers 4 > "$serve_log" 2>&1 &

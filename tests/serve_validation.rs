@@ -4,8 +4,10 @@
 //! `--features failpoints`) panic isolation inside the worker pool.
 //!
 //! Every test binds an ephemeral port and serializes on one mutex: the
-//! metrics registry and the failpoint plan are process-global, so
-//! concurrent servers would blur each other's counters and faults.
+//! failpoint plan is process-global, and the timing-sensitive tests
+//! want the machine to themselves. Metrics are *not* process-global —
+//! each server owns a private registry, and the two-concurrent-servers
+//! test below runs both inside one lock hold to prove it.
 
 use cxu::gen::json::Json;
 use cxu::gen::patterns::PatternParams;
@@ -465,4 +467,165 @@ fn durable_server_restart_preserves_acked_documents() {
     drop(c);
     join.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// (h) Two servers in one process keep their metrics apart: traffic on
+/// one never shows up in the other's `metrics` snapshot, even while
+/// both are live and interleaved. (Before per-server registries this
+/// was impossible — the counters were process globals.)
+#[test]
+fn two_concurrent_servers_keep_metrics_isolated() {
+    let _g = lock();
+    let (addr_a, _ha, join_a) = start(ServeConfig::default());
+    let (addr_b, _hb, join_b) = start(ServeConfig::default());
+    let mut a = Client::connect(addr_a);
+    let mut b = Client::connect(addr_b);
+
+    // Interleave: a doc_put on A between two checks on B.
+    let v = b.roundtrip(&delayed_check(0, 1));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    let v = a.roundtrip(r#"{"route": "doc_put", "doc": "iso", "content": "a(b)"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    let v = b.roundtrip(&delayed_check(0, 2));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+
+    let counters_of = |v: &Json| -> Json {
+        v.get("metrics")
+            .and_then(|m| m.get("counters"))
+            .expect("counters")
+            .clone()
+    };
+    let ca = counters_of(&a.roundtrip(r#"{"route": "metrics"}"#));
+    let cb = counters_of(&b.roundtrip(r#"{"route": "metrics"}"#));
+
+    // A saw exactly its own two requests (the put and this metrics
+    // call) and exactly one store put; B saw its two checks plus the
+    // metrics call and *no* puts — A's write did not bleed over.
+    assert_eq!(ca.get("serve.accepted").and_then(Json::as_u64), Some(2));
+    assert_eq!(ca.get("serve.completed").and_then(Json::as_u64), Some(2));
+    assert_eq!(ca.get("store.puts").and_then(Json::as_u64), Some(1));
+    assert_eq!(cb.get("serve.accepted").and_then(Json::as_u64), Some(3));
+    assert_eq!(cb.get("serve.completed").and_then(Json::as_u64), Some(3));
+    assert_eq!(
+        cb.get("store.puts").and_then(Json::as_u64).unwrap_or(0),
+        0,
+        "server B's snapshot contains server A's puts: {cb:?}"
+    );
+
+    // A: put + metrics + shutdown; B: two checks + metrics + shutdown.
+    for (c, join, expect_accepted) in [(&mut a, join_a, 3), (&mut b, join_b, 4)] {
+        let v = c.roundtrip(r#"{"route": "shutdown"}"#);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+        let summary = join.join().unwrap();
+        assert_identity(&summary);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.accepted, expect_accepted);
+    }
+}
+
+/// (i) The read timeout charges *client* stall, not response drain: a
+/// pipelined client that sends a batch of slow requests plus a partial
+/// next line, then pauses to read the responses, must not be
+/// disconnected as a slow-loris — the server owes it output the whole
+/// time. Only once the server is quiet does the partial line's clock
+/// run (and the client finishes it within budget).
+#[test]
+fn pipelined_response_drain_is_not_charged_to_the_read_timeout() {
+    let _g = lock();
+    let (addr, _handle, join) = start(ServeConfig {
+        workers: 1,
+        read_timeout: Some(Duration::from_millis(250)),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr);
+
+    // One write: three 150 ms checks (450 ms of serial work on one
+    // worker — well past the 250 ms read timeout) and the *start* of a
+    // fourth request, no newline.
+    let full: String = delayed_check(150, 3);
+    let (head, tail) = full.split_at(14);
+    let mut batch = String::new();
+    for id in 0..3u64 {
+        batch.push_str(&delayed_check(150, id));
+        batch.push('\n');
+    }
+    batch.push_str(head);
+    c.writer.write_all(batch.as_bytes()).expect("batch write");
+
+    let t0 = Instant::now();
+    for id in 0..3u64 {
+        let v = c.recv();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(id));
+        assert_ne!(
+            v.get("error").and_then(Json::as_str),
+            Some("timeout"),
+            "response drain misclassified as a read timeout: {v:?}"
+        );
+    }
+    let drained = t0.elapsed();
+    assert!(
+        drained >= Duration::from_millis(400),
+        "three serial 150 ms checks finished implausibly fast ({drained:?})"
+    );
+
+    // The connection is now quiet with a 250 ms budget on the partial
+    // line. Pause inside the budget, then finish the request: served.
+    std::thread::sleep(Duration::from_millis(100));
+    let v = c.roundtrip(tail);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
+
+    let v = c.roundtrip(r#"{"route": "shutdown"}"#);
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    drop(c);
+    let summary = join.join().unwrap();
+    assert_identity(&summary);
+    assert_eq!(summary.failed, 0, "nothing may be accounted as timed out");
+    assert_eq!(summary.completed, 5);
+}
+
+/// (j) Pipelining composes with graceful shutdown: a single write
+/// carrying a whole window of checks *and* the shutdown request drains
+/// completely, in request order, before the server closes the
+/// connection.
+#[test]
+fn pipelined_window_drains_in_order_through_shutdown() {
+    let _g = lock();
+    const WINDOW: u64 = 16;
+    let (addr, _handle, join) = start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr);
+
+    let mut batch = String::new();
+    for id in 0..WINDOW {
+        batch.push_str(&delayed_check(5, id));
+        batch.push('\n');
+    }
+    batch.push_str("{\"route\": \"shutdown\"}\n");
+    c.writer.write_all(batch.as_bytes()).expect("batch write");
+
+    for id in 0..WINDOW {
+        let v = c.recv();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+        assert_eq!(
+            v.get("id").and_then(Json::as_u64),
+            Some(id),
+            "pipelined responses must arrive in request order"
+        );
+    }
+    let v = c.recv();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    // After the drain the server closes the connection: clean EOF.
+    let mut line = String::new();
+    assert_eq!(c.reader.read_line(&mut line).expect("eof read"), 0);
+
+    let summary = join.join().unwrap();
+    assert_identity(&summary);
+    assert_eq!(summary.accepted, WINDOW + 1);
+    assert_eq!(summary.completed, WINDOW + 1);
+    assert_eq!(summary.rejected_overload, 0);
+    assert_eq!(summary.failed, 0);
 }
