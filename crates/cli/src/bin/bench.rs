@@ -8,9 +8,10 @@
 //! ```text
 //! cxu-bench automata > BENCH_AUTOMATA.json
 //! cxu-bench sched    > BENCH_SCHED.json
+//! cxu-bench index    > BENCH_INDEX.json
 //! ```
 //!
-//! `scripts/bench.sh` wraps both invocations.
+//! `scripts/bench.sh` wraps all invocations.
 
 use cxu::gen::patterns::{random_pattern, PatternParams};
 use cxu::gen::program::{random_program, ProgramParams};
@@ -23,8 +24,9 @@ fn main() {
     match mode.as_str() {
         "automata" => bench_automata(),
         "sched" => bench_sched(),
+        "index" => bench_index(),
         _ => {
-            eprintln!("usage: cxu-bench <automata|sched>");
+            eprintln!("usage: cxu-bench <automata|sched|index>");
             std::process::exit(2);
         }
     }
@@ -222,5 +224,196 @@ fn bench_sched() {
          \"pattern_nodes\": 4, \"branch_rate\": 0.0, \
          \"np_max_trees\": 2000, \"jobs\": 1}},\n  \
          \"profiles\": [\n{profiles}\n  ]\n}}"
+    );
+}
+
+/// Percentile over a sorted sample set (order statistic, 1-indexed).
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Grows a seeded random tree until its XML serialization reaches
+/// `target_bytes` (within one resize step).
+fn doc_of_size(rng: &mut SplitMix64, target_bytes: usize) -> (cxu::prelude::Tree, String) {
+    use cxu::gen::trees::{random_tree, TreeParams};
+    use cxu::tree::xml;
+    let mut nodes = target_bytes / 16;
+    for _ in 0..4 {
+        let t = random_tree(
+            rng,
+            &TreeParams {
+                nodes,
+                alphabet: 6,
+                ..TreeParams::default()
+            },
+        );
+        let src = xml::to_xml(&t);
+        let ratio = src.len() as f64 / target_bytes as f64;
+        if (0.8..=1.25).contains(&ratio) {
+            return (t, src);
+        }
+        nodes = ((nodes as f64 / ratio) as usize).max(16);
+    }
+    let t = random_tree(
+        rng,
+        &TreeParams {
+            nodes,
+            alphabet: 6,
+            ..TreeParams::default()
+        },
+    );
+    let src = xml::to_xml(&t);
+    (t, src)
+}
+
+/// Document-grounded conflict checking: streaming ingestion throughput,
+/// structural-index build time, and grounded-check latency against the
+/// tree-walk witness baseline (Lemma 1 by replay), on ~1MB and ~8MB
+/// synthetic documents. The grounded and tree-walk answers are compared
+/// on every sample — a disagreement aborts the bench.
+fn bench_index() {
+    use cxu::gen::program::Stmt;
+    use cxu::index::DocIndex;
+    use cxu::ops::{witness, Read, Semantics, Update};
+    use cxu::tree::xml;
+
+    let seed = 0x1DE5_u64;
+    let mut rng = SplitMix64::seed_from_u64(seed);
+
+    // A pattern pool over the tree generator's label alphabet, mixing
+    // linear (chain-path) and branching (table-path) reads.
+    let mut pattern = PatternParams::linear(4);
+    pattern.alphabet = 6;
+    pattern.branch_rate = 0.2;
+    let program = random_program(
+        &mut rng,
+        &ProgramParams {
+            len: 48,
+            update_rate: 0.5,
+            delete_rate: 0.4,
+            pattern,
+        },
+    );
+    let mut reads: Vec<Read> = Vec::new();
+    let mut updates: Vec<Update> = Vec::new();
+    for s in &program.stmts {
+        match s {
+            Stmt::Read(r) => reads.push(r.clone()),
+            Stmt::Update(u) => updates.push(u.clone()),
+        }
+    }
+    assert!(
+        !reads.is_empty() && !updates.is_empty(),
+        "seeded pool must contain both reads and updates"
+    );
+    let pairs: Vec<(usize, usize)> = (0..24)
+        .map(|k| (k % reads.len(), k % updates.len()))
+        .collect();
+    let sem = Semantics::Node;
+
+    let mut docs_json = String::new();
+    // (target MB, grounded reps/pair, walk reps/pair, walk pair cap)
+    for (di, &(mb, greps, wreps, wpairs)) in [(1usize, 8u32, 2u32, 24usize), (8, 4, 1, 8)]
+        .iter()
+        .enumerate()
+    {
+        let (tree, src) = doc_of_size(&mut rng, mb * 1024 * 1024);
+        let bytes = src.len();
+
+        // Streaming parse (tree only) and streaming ingest (tree-free
+        // index build straight off the event reader).
+        let parse_reps = if mb <= 1 { 3 } else { 2 };
+        let t0 = Instant::now();
+        for _ in 0..parse_reps {
+            std::hint::black_box(xml::parse_stream(&src).expect("bench doc parses"));
+        }
+        let parse_s = t0.elapsed().as_secs_f64() / parse_reps as f64;
+        let t0 = Instant::now();
+        for _ in 0..parse_reps {
+            std::hint::black_box(DocIndex::from_xml(&src).expect("bench doc indexes"));
+        }
+        let ingest_s = t0.elapsed().as_secs_f64() / parse_reps as f64;
+        let mbf = bytes as f64 / (1024.0 * 1024.0);
+
+        let t0 = Instant::now();
+        let idx = DocIndex::from_tree(&tree);
+        let build_us = t0.elapsed().as_micros();
+
+        // Grounded checks: every sample individually timed, and every
+        // verdict cross-checked against the witness walk.
+        let mut grounded: Vec<u64> = Vec::new();
+        let mut walk: Vec<u64> = Vec::new();
+        for (k, &(ri, ui)) in pairs.iter().enumerate() {
+            let mut g_verdict = false;
+            for _ in 0..greps {
+                let t0 = Instant::now();
+                g_verdict = cxu::index::detect_grounded(&reads[ri], &updates[ui], &tree, &idx, sem);
+                grounded.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+            if k < wpairs {
+                let mut w_verdict = false;
+                for _ in 0..wreps {
+                    let t0 = Instant::now();
+                    w_verdict =
+                        witness::witnesses_update_conflict(&reads[ri], &updates[ui], &tree, sem);
+                    walk.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                }
+                assert_eq!(
+                    g_verdict, w_verdict,
+                    "grounded check disagrees with the witness walk on pair {k}"
+                );
+            }
+        }
+        grounded.sort_unstable();
+        walk.sort_unstable();
+        let mean = |v: &[u64]| {
+            if v.is_empty() {
+                0
+            } else {
+                v.iter().sum::<u64>() / v.len() as u64
+            }
+        };
+
+        if di > 0 {
+            docs_json.push_str(",\n");
+        }
+        docs_json.push_str(&format!(
+            "    {{\"target_mb\": {mb}, \"xml_bytes\": {bytes}, \"nodes\": {}, \
+             \"postings\": {},\n     \
+             \"parse_stream_mb_per_s\": {:.1}, \"ingest_index_mb_per_s\": {:.1}, \
+             \"index_build_us\": {build_us}, \"index_bytes\": {},\n     \
+             \"grounded_checks\": {}, \"treewalk_checks\": {},\n     \
+             \"grounded_ns\": {{\"p50\": {}, \"p99\": {}, \"mean\": {}}},\n     \
+             \"treewalk_ns\": {{\"p50\": {}, \"p99\": {}, \"mean\": {}}},\n     \
+             \"speedup_p50\": {:.1}}}",
+            idx.len(),
+            idx.postings_len(),
+            mbf / parse_s,
+            mbf / ingest_s,
+            idx.approx_bytes(),
+            grounded.len(),
+            walk.len(),
+            pct(&grounded, 0.50),
+            pct(&grounded, 0.99),
+            mean(&grounded),
+            pct(&walk, 0.50),
+            pct(&walk, 0.99),
+            mean(&walk),
+            pct(&walk, 0.50) as f64 / pct(&grounded, 0.50).max(1) as f64,
+        ));
+    }
+    println!(
+        "{{\n  \"bench\": \"index\",\n  \"seed\": {seed},\n  \
+         \"workload\": {{\"pairs\": {}, \"reads\": {}, \"updates\": {}, \
+         \"pattern_nodes\": 4, \"alphabet\": 6, \"branch_rate\": 0.2, \
+         \"semantics\": \"node\"}},\n  \
+         \"docs\": [\n{docs_json}\n  ]\n}}",
+        pairs.len(),
+        reads.len(),
+        updates.len()
     );
 }

@@ -25,6 +25,7 @@ cxu — conflict detection for XML updates (Raghavachari–Shmueli, EDBT'06)
 USAGE:
   cxu check   --read <xpath> --insert <xpath> --subtree <term> [--semantics S]
   cxu check   --read <xpath> --delete <xpath>                  [--semantics S]
+  cxu check   … --doc <D> [--index]   (grounded: conflict on THIS document)
   cxu detect  … (alias of check)
   cxu witness --read <xpath> --insert <xpath> --subtree <term> --doc <D> [--minimize]
   cxu witness --read <xpath> --delete <xpath>                  --doc <D> [--minimize]
@@ -40,7 +41,7 @@ USAGE:
               [--fsync-interval-ms MS] [--snapshot-every N]
               [--read-timeout-ms MS] [--max-line-bytes N]
   cxu loadgen --addr A [--connections N] [--duration-ms MS] [--requests N]
-              [--seed N] [--profile linear|mixed|store] [--semantics S]
+              [--seed N] [--profile linear|mixed|store|grounded] [--semantics S]
               [--deadline-ms MS] [--delay-ms MS] [--docs N]
               [--retries N] [--backoff-ms MS] [--pipeline W]
               [--rate RPS] [--sweep R1,R2,…]
@@ -65,6 +66,14 @@ USAGE:
                     documents via doc_put (stale bases auto-merge when
                     the detectors prove commutation); --docs sets how
                     many documents the editors share (default 4)
+  --profile grounded  loadgen seeds documents via doc_put and then
+                    streams doc_check requests (document-grounded
+                    conflict checks against the server's cached
+                    structural index); --validate replays every
+                    verdict through the in-process tree walk
+  --index           check --doc answers through the structural index
+                    (preorder spans + label postings) instead of the
+                    recursive tree walk; same verdict, microseconds
   --data-dir DIR    serve persists the store in DIR (checksummed WAL +
                     snapshots) and recovers it on startup; doc_put acks
                     only after the record is durable per --fsync
@@ -96,6 +105,7 @@ USAGE:
 
 EXAMPLES:
   cxu check --read 'x//C' --insert 'x/B' --subtree 'C'
+  cxu check --read 'x//C' --delete 'x/A' --doc inventory.xml --index
   cxu detect --read 'x//C' --insert 'x/B' --subtree 'C' --trace trace.jsonl
   cxu witness --read 'x//C' --insert 'x/B' --subtree 'C' --doc 'x(B)'
   cxu eval --pattern 'inventory/book[.//quantity]' --doc inventory.xml
@@ -118,7 +128,7 @@ EXAMPLES:
 /// Flags that never take a value. Every other flag consumes the next
 /// argument verbatim — even one starting with `--`, so values like a
 /// label literally named `--x` parse correctly.
-const BOOL_FLAGS: &[&str] = &["minimize", "validate"];
+const BOOL_FLAGS: &[&str] = &["minimize", "validate", "index"];
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -234,6 +244,29 @@ fn cmd_check(args: &Args) -> Result<String, String> {
     let read = Read::new(parse_pattern(args.require("read")?)?);
     let update = parse_update(args)?;
     let sem = parse_semantics(args)?;
+    // Document-grounded mode: "does the conflict manifest on THIS
+    // document" (Lemma 1), rather than "could any document witness it".
+    if let Some(doc_src) = args.get("doc") {
+        let doc = parse_doc(doc_src)?;
+        let (conflict, engine) = if args.has("index") {
+            let idx = cxu::index::DocIndex::from_tree(&doc);
+            (
+                cxu::index::detect_grounded(&read, &update, &doc, &idx, sem),
+                "structural index",
+            )
+        } else {
+            (
+                witness::witnesses_update_conflict(&read, &update, &doc, sem),
+                "tree walk",
+            )
+        };
+        return Ok(format!(
+            "{} on this {}-node document ({:?} semantics, grounded check, {engine})",
+            if conflict { "CONFLICT" } else { "independent" },
+            doc.live_count(),
+            sem
+        ));
+    }
     if read.pattern().is_linear() {
         let conflict = detect::read_update_conflict(&read, &update, sem)
             .map_err(|e| format!("detector rejected the pair: {e}"))?;

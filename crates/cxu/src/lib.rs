@@ -56,6 +56,10 @@ pub use cxu_ops as ops;
 /// Conflict detection: PTIME linear algorithms and the NP side.
 pub use cxu_core as core;
 
+/// Structural document index: flat span/postings arrays, index-backed
+/// pattern evaluation, and document-grounded conflict checks.
+pub use cxu_index as index;
+
 /// Workload generators for benchmarks and property tests.
 pub use cxu_gen as gen;
 

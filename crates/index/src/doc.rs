@@ -1,0 +1,380 @@
+//! The structural index: flat preorder arrays over one document.
+//!
+//! A [`DocIndex`] stores, per preorder position `u` (a `u32`):
+//!
+//! * `labels[u]` — the interned label id ([`Symbol::index`]);
+//! * `parent[u]` — the preorder position of `u`'s parent ([`NO_PARENT`]
+//!   for the root);
+//! * `depth[u]` — root has depth 0;
+//! * `end[u]` — the *exclusive* end of `u`'s subtree span: the subtree of
+//!   `u` is exactly the preorder interval `[u, end[u])`, so
+//!   ancestor-or-self is two integer compares
+//!   (`a <= b && b < end[a]`);
+//! * `codes[u]` — an order-invariant structural hash of the subtree at
+//!   `u` (an AHU-style code over sorted child codes), used by
+//!   value-semantics grounded checks;
+//!
+//! plus `postings`: interned label id → sorted list of positions, the
+//! entry point for index-backed pattern evaluation.
+//!
+//! Two builders share one incremental core: [`DocIndex::from_tree`] walks
+//! a parsed [`Tree`] with an explicit stack, and [`DocIndex::from_xml`]
+//! drives the streaming [`XmlReader`] directly — the index is built from
+//! events without ever materializing a `Tree`, so ingestion is bounded by
+//! document *depth* (the open-element stack), not document size.
+
+use cxu_tree::xml::{XmlError, XmlEvent, XmlReader};
+use cxu_tree::{NodeId, Symbol, Tree};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Sentinel parent position for the root.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// A flat structural index over one document. See the module docs for the
+/// array layout.
+#[derive(Clone, Debug)]
+pub struct DocIndex {
+    labels: Vec<u32>,
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+    end: Vec<u32>,
+    codes: Vec<u64>,
+    postings: HashMap<u32, Vec<u32>>,
+    /// Preorder position → `NodeId` in the source tree. Populated by
+    /// `from_tree` (empty for `from_xml`, where no tree exists).
+    node_ids: Vec<NodeId>,
+}
+
+impl DocIndex {
+    /// Indexes a parsed tree (preorder over live nodes, explicit stack).
+    pub fn from_tree(t: &Tree) -> DocIndex {
+        let t0 = Instant::now();
+        let mut b = Builder::with_capacity(t.live_count());
+        enum Item {
+            Enter(NodeId),
+            Exit,
+        }
+        let mut stack = vec![Item::Enter(t.root())];
+        while let Some(item) = stack.pop() {
+            match item {
+                Item::Enter(n) => {
+                    b.open(t.label(n).index());
+                    b.node_ids.push(n);
+                    stack.push(Item::Exit);
+                    for &c in t.children(n).iter().rev() {
+                        stack.push(Item::Enter(c));
+                    }
+                }
+                Item::Exit => b.close(),
+            }
+        }
+        let idx = b.finish();
+        cxu_obs::histogram!("index.build_ns").record_since(t0);
+        idx
+    }
+
+    /// Indexes an XML document by streaming [`XmlReader`] events straight
+    /// into the builder — no `Tree` is materialized. Attribute and text
+    /// events become leaf entries labeled exactly as
+    /// [`cxu_tree::xml::parse_stream`] labels them (`@name=value`,
+    /// `#text=...`), so `from_xml(src)` and
+    /// `from_tree(&parse_stream(src)?)` index identical structures.
+    pub fn from_xml(src: &str) -> Result<DocIndex, XmlError> {
+        let t0 = Instant::now();
+        let mut b = Builder::with_capacity(64);
+        let mut rd = XmlReader::new(src);
+        while let Some(ev) = rd.next_event()? {
+            match ev {
+                XmlEvent::Open(name) => {
+                    b.open(Symbol::intern(name).index());
+                }
+                XmlEvent::Attr { name, value } => {
+                    b.leaf(Symbol::intern(&format!("@{name}={value}")).index());
+                }
+                XmlEvent::Text(text) => {
+                    b.leaf(Symbol::intern(&format!("#text={text}")).index());
+                }
+                XmlEvent::Close => b.close(),
+            }
+        }
+        let idx = b.finish();
+        cxu_obs::counter!("index.ingest_bytes").add(src.len() as u64);
+        cxu_obs::histogram!("index.build_ns").record_since(t0);
+        Ok(idx)
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True iff the index holds no nodes (never the case for a built
+    /// index — documents have a root — but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Interned label id at position `u`.
+    pub fn label(&self, u: u32) -> u32 {
+        self.labels[u as usize]
+    }
+
+    /// Parent position of `u`, `None` for the root.
+    pub fn parent(&self, u: u32) -> Option<u32> {
+        match self.parent[u as usize] {
+            NO_PARENT => None,
+            p => Some(p),
+        }
+    }
+
+    /// Depth of `u` (root is 0).
+    pub fn depth(&self, u: u32) -> u32 {
+        self.depth[u as usize]
+    }
+
+    /// Exclusive end of `u`'s subtree span: the subtree is `[u, end(u))`.
+    pub fn end(&self, u: u32) -> u32 {
+        self.end[u as usize]
+    }
+
+    /// Is `a` equal to `b` or an ancestor of `b`? Two integer compares.
+    pub fn is_ancestor_or_eq(&self, a: u32, b: u32) -> bool {
+        a <= b && b < self.end[a as usize]
+    }
+
+    /// Structural hash of the subtree at `u` (order-invariant: equal
+    /// unordered subtrees hash equal).
+    pub fn code(&self, u: u32) -> u64 {
+        self.codes[u as usize]
+    }
+
+    /// Sorted positions of nodes labeled with interned id `sym` (empty if
+    /// the label does not occur).
+    pub fn postings(&self, sym: u32) -> &[u32] {
+        self.postings.get(&sym).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct labels with a posting list.
+    pub fn postings_len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The `NodeId` in the source tree at preorder position `u`; `None`
+    /// when the index was built by `from_xml` (no tree exists).
+    pub fn node_at(&self, u: u32) -> Option<NodeId> {
+        self.node_ids.get(u as usize).copied()
+    }
+
+    /// Preorder position of tree node `n`, if this index was built with
+    /// `from_tree`. Linear scan — intended for tests and diagnostics.
+    pub fn pos_of(&self, n: NodeId) -> Option<u32> {
+        self.node_ids.iter().position(|&m| m == n).map(|i| i as u32)
+    }
+
+    /// Approximate resident size of the flat arrays and postings, in
+    /// bytes. Feeds the `index.bytes` counter.
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.len();
+        // labels + parent + depth + end (u32 each) + codes (u64)
+        let arrays = n * (4 * 4 + 8);
+        let ids = self.node_ids.len() * 4;
+        let postings: usize = self.postings.values().map(|v| 4 + v.len() * 4).sum();
+        arrays + ids + postings
+    }
+}
+
+/// Incremental builder shared by the tree walk and the event stream: call
+/// `open` on element start (and `leaf` for attribute/text leaves), `close`
+/// on element end; `finish` derives postings and structural codes.
+struct Builder {
+    labels: Vec<u32>,
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+    end: Vec<u32>,
+    node_ids: Vec<NodeId>,
+    open: Vec<u32>,
+}
+
+impl Builder {
+    fn with_capacity(n: usize) -> Builder {
+        Builder {
+            labels: Vec::with_capacity(n),
+            parent: Vec::with_capacity(n),
+            depth: Vec::with_capacity(n),
+            end: vec![],
+            node_ids: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+
+    fn open(&mut self, label_id: u32) -> u32 {
+        let pos = u32::try_from(self.labels.len()).expect("document index overflow (> u32 nodes)");
+        self.labels.push(label_id);
+        self.parent
+            .push(self.open.last().copied().unwrap_or(NO_PARENT));
+        self.depth.push(self.open.len() as u32);
+        self.open.push(pos);
+        pos
+    }
+
+    fn leaf(&mut self, label_id: u32) {
+        self.open(label_id);
+        self.close();
+    }
+
+    fn close(&mut self) {
+        let pos = self.open.pop().expect("close without open");
+        // `end` is grown lazily: positions close in arbitrary order, so
+        // size it once the position is known.
+        if self.end.len() <= pos as usize {
+            self.end.resize(self.labels.len(), 0);
+        }
+        self.end[pos as usize] = self.labels.len() as u32;
+    }
+
+    fn finish(mut self) -> DocIndex {
+        assert!(
+            self.open.is_empty(),
+            "unbalanced open/close in index builder"
+        );
+        let n = self.labels.len();
+        self.end.resize(n, 0);
+
+        // Postings: one pass in preorder keeps each list sorted.
+        let mut postings: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (pos, &l) in self.labels.iter().enumerate() {
+            postings.entry(l).or_default().push(pos as u32);
+        }
+
+        // Structural codes, children-first: descending preorder position
+        // visits every child before its parent; children of `u` are
+        // enumerated with the first-child/next-sibling span chain
+        // (`c = u+1; c = end[c]`).
+        let mut codes = vec![0u64; n];
+        let mut kids: Vec<u64> = Vec::new();
+        for u in (0..n).rev() {
+            kids.clear();
+            let mut c = u + 1;
+            let e = self.end[u] as usize;
+            while c < e {
+                kids.push(codes[c]);
+                c = self.end[c] as usize;
+            }
+            kids.sort_unstable();
+            codes[u] = ahu_hash(self.labels[u], &kids);
+        }
+
+        let idx = DocIndex {
+            labels: self.labels,
+            parent: self.parent,
+            depth: self.depth,
+            end: self.end,
+            codes,
+            postings,
+            node_ids: self.node_ids,
+        };
+        cxu_obs::counter!("index.builds").inc();
+        cxu_obs::counter!("index.nodes").add(n as u64);
+        cxu_obs::counter!("index.postings").add(idx.postings.len() as u64);
+        cxu_obs::counter!("index.bytes").add(idx.approx_bytes() as u64);
+        idx
+    }
+}
+
+/// AHU-style structural hash: a function of the node label and the
+/// *sorted* child codes, so equal unordered subtrees hash equal. Uses the
+/// splitmix64 finalizer for mixing; collisions are possible in principle
+/// but 64-bit-rare, and the grounded value check only compares code sets
+/// derived from the same document family.
+pub(crate) fn ahu_hash(label: u32, sorted_kids: &[u64]) -> u64 {
+    let mut h = mix(0x9E37_79B9_7F4A_7C15 ^ (label as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    for &k in sorted_kids {
+        h = mix(h.wrapping_add(0xA076_1D64_78BD_642F) ^ k);
+    }
+    h ^ (sorted_kids.len() as u64).wrapping_mul(0x8BB8_4B93_962E_ACC9)
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_tree::text;
+
+    #[test]
+    fn spans_and_parents_match_the_tree() {
+        let t = text::parse("a(b(d e) c)").unwrap();
+        let idx = DocIndex::from_tree(&t);
+        assert_eq!(idx.len(), 5);
+        // Preorder: a b d e c
+        let id = |s: &str| cxu_tree::Symbol::intern(s).index();
+        assert_eq!(idx.label(0), id("a"));
+        assert_eq!(idx.label(1), id("b"));
+        assert_eq!(idx.label(2), id("d"));
+        assert_eq!(idx.label(3), id("e"));
+        assert_eq!(idx.label(4), id("c"));
+        assert_eq!(idx.end(0), 5);
+        assert_eq!(idx.end(1), 4);
+        assert_eq!(idx.end(2), 3);
+        assert_eq!(idx.parent(0), None);
+        assert_eq!(idx.parent(1), Some(0));
+        assert_eq!(idx.parent(2), Some(1));
+        assert_eq!(idx.parent(4), Some(0));
+        assert_eq!(idx.depth(0), 0);
+        assert_eq!(idx.depth(2), 2);
+        assert!(idx.is_ancestor_or_eq(0, 4));
+        assert!(idx.is_ancestor_or_eq(1, 3));
+        assert!(!idx.is_ancestor_or_eq(1, 4));
+        assert!(!idx.is_ancestor_or_eq(2, 3));
+    }
+
+    #[test]
+    fn postings_are_sorted_per_label() {
+        let t = text::parse("a(b(a) b a)").unwrap();
+        let idx = DocIndex::from_tree(&t);
+        let a = cxu_tree::Symbol::intern("a").index();
+        let b = cxu_tree::Symbol::intern("b").index();
+        assert_eq!(idx.postings(a), &[0, 2, 4]);
+        assert_eq!(idx.postings(b), &[1, 3]);
+        assert_eq!(
+            idx.postings(cxu_tree::Symbol::intern("zzz-absent").index()),
+            &[] as &[u32]
+        );
+    }
+
+    #[test]
+    fn codes_are_order_invariant_and_structure_sensitive() {
+        let t1 = text::parse("a(b c)").unwrap();
+        let t2 = text::parse("a(c b)").unwrap();
+        let t3 = text::parse("a(b b)").unwrap();
+        let c1 = DocIndex::from_tree(&t1).code(0);
+        let c2 = DocIndex::from_tree(&t2).code(0);
+        let c3 = DocIndex::from_tree(&t3).code(0);
+        assert_eq!(c1, c2, "sibling order must not matter");
+        assert_ne!(c1, c3, "different child multisets must differ");
+        // Nesting matters: a(b(c)) vs a(b c).
+        let t4 = text::parse("a(b(c))").unwrap();
+        assert_ne!(DocIndex::from_tree(&t4).code(0), c1);
+    }
+
+    #[test]
+    fn from_xml_matches_from_tree_of_parse_stream() {
+        let src = r#"<inv note="x"><item>widget</item><item count="2"/></inv>"#;
+        let t = cxu_tree::xml::parse_stream(src).unwrap();
+        let a = DocIndex::from_xml(src).unwrap();
+        let b = DocIndex::from_tree(&t);
+        assert_eq!(a.len(), b.len());
+        for u in 0..a.len() as u32 {
+            assert_eq!(a.label(u), b.label(u), "label at {u}");
+            assert_eq!(a.parent(u), b.parent(u), "parent at {u}");
+            assert_eq!(a.end(u), b.end(u), "end at {u}");
+            assert_eq!(a.depth(u), b.depth(u), "depth at {u}");
+            assert_eq!(a.code(u), b.code(u), "code at {u}");
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Document-grounded conflict detection (Lemma 1 against the index).
+//!
+//! [`detect_grounded`] answers the same question as
+//! [`cxu_ops::witness::witnesses_update_conflict`] — *does this concrete
+//! document witness a conflict between read `R` and update `U` under the
+//! given semantics?* — but decides it with postings intersections and
+//! span containment over a prebuilt [`DocIndex`] instead of cloning the
+//! tree, applying the update, and re-walking it.
+//!
+//! Per update kind:
+//!
+//! * **Delete.** The deleted region is the union of the *outermost*
+//!   deletion-point spans (nested points are removed by the outer
+//!   deletion). `R` over the deleted tree equals `R` over the original
+//!   with those spans **masked** — spans are descendant-closed and
+//!   pattern matching is monotone, so masking is exact. Node semantics
+//!   compares the masked result set to the original; tree semantics also
+//!   asks whether any surviving result node's span contains a
+//!   modification site (the parent of an outermost point); value
+//!   semantics recomputes structural codes for the proper ancestors of
+//!   the deleted spans and compares deduplicated code sets.
+//! * **Insert.** The update grafts a copy of `X` at every point. `R` over
+//!   the result is evaluated with the **augment**: a constraint edge may
+//!   also be satisfied through a copy of `X` grafted at a point
+//!   (conjunctive subpatterns decompose per child, so admitting each edge
+//!   independently is exact). A conflict additionally arises when the
+//!   output node itself can map *into* a copy — detected by checking, for
+//!   each pattern node on the root→output path, whether its parent is
+//!   feasible at (or above) an insertion point while the remainder of the
+//!   path embeds in `X`. Insert+value needs isomorphism codes of fresh
+//!   copies interleaved with the base document; that one combination
+//!   falls back to the tree-walk witness check (`index.eval.fallback`).
+
+use crate::doc::{ahu_hash, DocIndex};
+use crate::eval::{self, in_spans, Augment, Tables};
+use cxu_ops::witness::witnesses_update_conflict;
+use cxu_ops::{Read, Semantics, Update};
+use cxu_pattern::{Axis, Pattern};
+use cxu_tree::Tree;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Does `doc` witness a conflict between `read` and `update` under `sem`?
+///
+/// `idx` must be the index of `doc` (see [`DocIndex::from_tree`]); `doc`
+/// itself is only consulted on the insert+value fallback path.
+pub fn detect_grounded(
+    read: &Read,
+    update: &Update,
+    doc: &Tree,
+    idx: &DocIndex,
+    sem: Semantics,
+) -> bool {
+    let t0 = Instant::now();
+    cxu_obs::counter!("index.grounded_checks").inc();
+    let out = detect_inner(read, update, doc, idx, sem);
+    cxu_obs::histogram!("index.grounded_ns").record_since(t0);
+    out
+}
+
+fn detect_inner(read: &Read, update: &Update, doc: &Tree, idx: &DocIndex, sem: Semantics) -> bool {
+    let points = eval::eval(update.pattern(), idx);
+    if points.is_empty() {
+        // The update is a no-op on this document: no semantics conflicts.
+        return false;
+    }
+    let before = eval::eval(read.pattern(), idx);
+    match update {
+        Update::Delete(_) => {
+            // Outermost deleted spans: points are sorted preorder, so a
+            // point inside the running span is nested and dropped.
+            let mut spans: Vec<(u32, u32)> = Vec::new();
+            for &q in &points {
+                if spans.last().map_or(true, |&(_, e)| q >= e) {
+                    spans.push((q, idx.end(q)));
+                }
+            }
+            let after = eval::eval_masked(read.pattern(), idx, &spans);
+            let node_diff = before != after;
+            match sem {
+                Semantics::Node => node_diff,
+                Semantics::Tree => {
+                    node_diff || {
+                        // Modification sites are the parents of the
+                        // outermost points; a surviving result node is
+                        // "touched" iff its span contains a site.
+                        let mut sites: Vec<u32> = spans
+                            .iter()
+                            .map(|&(q, _)| idx.parent(q).expect("deletion point is never the root"))
+                            .collect();
+                        sites.sort_unstable();
+                        sites.dedup();
+                        after.iter().any(|&u| has_in_range(&sites, u, idx.end(u)))
+                    }
+                }
+                Semantics::Value => {
+                    let new_codes = recompute_masked_codes(idx, &spans);
+                    let mut cb: Vec<u64> = before.iter().map(|&u| idx.code(u)).collect();
+                    let mut ca: Vec<u64> = after
+                        .iter()
+                        .map(|&u| new_codes.get(&u).copied().unwrap_or_else(|| idx.code(u)))
+                        .collect();
+                    cb.sort_unstable();
+                    cb.dedup();
+                    ca.sort_unstable();
+                    ca.dedup();
+                    cb != ca
+                }
+            }
+        }
+        Update::Insert(ins) => match sem {
+            Semantics::Node | Semantics::Tree => {
+                let aug = eval::build_augment(read.pattern(), ins.subtree(), points.clone());
+                let tables = eval::eval_tables(read.pattern(), idx, &[], Some(&aug));
+                let node_diff = tables.result != before
+                    || output_reaches_copy(read.pattern(), idx, &aug, &tables);
+                match sem {
+                    Semantics::Node => node_diff,
+                    Semantics::Tree => {
+                        // Every insertion point is a modification site.
+                        node_diff || before.iter().any(|&u| has_in_range(&points, u, idx.end(u)))
+                    }
+                    Semantics::Value => unreachable!(),
+                }
+            }
+            Semantics::Value => {
+                // Value semantics on insert compares isomorphism classes of
+                // result subtrees that interleave fresh copies with base
+                // nodes; fall back to the tree-walk witness check.
+                cxu_obs::counter!("index.eval.fallback").inc();
+                witnesses_update_conflict(read, update, doc, sem)
+            }
+        },
+    }
+}
+
+/// Binary search: does `sorted` contain an element in `[lo, hi)`?
+fn has_in_range(sorted: &[u32], lo: u32, hi: u32) -> bool {
+    let i = sorted.partition_point(|&x| x < lo);
+    i < sorted.len() && sorted[i] < hi
+}
+
+/// Can some embedding of `p` (with the augment's insertions applied) map
+/// the output node *inside* an inserted copy of `X`? True iff for some
+/// node `m` on the root→output path with parent `pm`:
+///
+/// * `m`'s incoming axis is `/`, `pm` is feasible at an insertion point
+///   `q`, and `SUBP(m)` embeds at `X`'s root (the copy root is `q`'s
+///   child); or
+/// * `m`'s incoming axis is `//`, `pm` is feasible at a node whose span
+///   contains an insertion point, and `SUBP(m)` embeds anywhere in `X`.
+fn output_reaches_copy(p: &Pattern, idx: &DocIndex, aug: &Augment, tables: &Tables) -> bool {
+    let path = p
+        .path(p.root(), p.output())
+        .expect("output is reachable from the root");
+    for &m in &path[1..] {
+        let (pm, axis) = p.parent(m).expect("non-root node on path has a parent");
+        let feas_pm = &tables.feas[pm.index()];
+        match axis {
+            Axis::Child => {
+                if aug.x_root[m.index()] && aug.points.iter().any(|&q| feas_pm.get(q)) {
+                    return true;
+                }
+            }
+            Axis::Descendant => {
+                if aug.x_any[m.index()]
+                    && feas_pm
+                        .iter()
+                        .any(|u| has_in_range(&aug.points, u, idx.end(u)))
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Structural codes after masking `spans` out of the document, for every
+/// node whose code changes — exactly the proper ancestors of the span
+/// starts. Returns position → new code; untouched nodes keep `idx.code`.
+fn recompute_masked_codes(idx: &DocIndex, spans: &[(u32, u32)]) -> HashMap<u32, u64> {
+    // Collect affected ancestors (early-stop: a marked node's ancestors
+    // are already collected).
+    let mut affected: Vec<u32> = Vec::new();
+    let mut marked = std::collections::HashSet::new();
+    for &(q, _) in spans {
+        let mut a = idx.parent(q);
+        while let Some(v) = a {
+            if !marked.insert(v) {
+                break;
+            }
+            affected.push(v);
+            a = idx.parent(v);
+        }
+    }
+    // Children before parents: descending preorder position.
+    affected.sort_unstable_by(|a, b| b.cmp(a));
+    let mut out: HashMap<u32, u64> = HashMap::new();
+    let mut kids: Vec<u64> = Vec::new();
+    for &u in &affected {
+        kids.clear();
+        let mut c = u + 1;
+        let e = idx.end(u);
+        while c < e {
+            if !is_span_start(spans, c) {
+                debug_assert!(!in_spans(spans, c), "surviving child inside a masked span");
+                kids.push(out.get(&c).copied().unwrap_or_else(|| idx.code(c)));
+            }
+            c = idx.end(c);
+        }
+        kids.sort_unstable();
+        out.insert(u, ahu_hash(idx.label(u), &kids));
+    }
+    out
+}
+
+fn is_span_start(spans: &[(u32, u32)], u: u32) -> bool {
+    spans.binary_search_by_key(&u, |&(s, _)| s).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_ops::{Delete, Insert};
+    use cxu_pattern::xpath;
+    use cxu_tree::text;
+
+    fn check_all(read: &str, update: Update, doc: &str) {
+        let r = Read::new(xpath::parse(read).unwrap());
+        let t = text::parse(doc).unwrap();
+        let idx = DocIndex::from_tree(&t);
+        for sem in Semantics::ALL {
+            let walked = witnesses_update_conflict(&r, &update, &t, sem);
+            let grounded = detect_grounded(&r, &update, &t, &idx, sem);
+            assert_eq!(
+                grounded, walked,
+                "read {read} vs {update:?} on {doc} under {sem:?}"
+            );
+        }
+    }
+
+    fn ins(p: &str, x: &str) -> Update {
+        Update::Insert(Insert::new(
+            xpath::parse(p).unwrap(),
+            text::parse(x).unwrap(),
+        ))
+    }
+
+    fn del(p: &str) -> Update {
+        Update::Delete(Delete::new(xpath::parse(p).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn paper_example_insert_conflict() {
+        // §1: reading x//C conflicts with inserting C under B children.
+        check_all("x//C", ins("x/B", "C"), "x(B)");
+        check_all("x//C", ins("x/B", "C"), "x(B(C) B)");
+        check_all("x//C", ins("x/B", "D"), "x(B)");
+    }
+
+    #[test]
+    fn delete_conflicts_across_semantics() {
+        check_all("a//c", del("a/b"), "a(b(c) d(c))");
+        check_all("a//c", del("a/d"), "a(b(c) d(e))");
+        check_all("a/b", del("a/b/c"), "a(b(c) b)");
+        check_all("a", del("a//c"), "a(b(c(c)))");
+    }
+
+    #[test]
+    fn value_semantics_sees_sibling_replacements() {
+        // Deleting one of two isomorphic siblings leaves the *set* of
+        // result values unchanged — node conflict but no value conflict.
+        check_all("a/b", del("a/b[x]"), "a(b(x) b(x))");
+        check_all("a", del("a/b"), "a(b b)");
+    }
+
+    #[test]
+    fn insert_into_result_subtree_is_tree_conflict() {
+        check_all("a/b", ins("a/b", "z"), "a(b)");
+        check_all("a/b", ins("a//c", "z"), "a(b(c))");
+        check_all("a/b", ins("a/d", "z"), "a(b d)");
+    }
+
+    #[test]
+    fn branching_reads_with_augmented_predicates() {
+        // Insert satisfies a [] predicate without changing the output set
+        // membership — the read gains a match through the copy.
+        check_all("a/b[c]/d", ins("a/b", "c"), "a(b(d))");
+        check_all("a/b[c]", ins("a/b", "c"), "a(b(d) b(c))");
+        check_all("a/*[c]", ins("a/b", "c(e)"), "a(b(d))");
+    }
+
+    #[test]
+    fn output_mapping_into_copy_is_detected() {
+        // The read's output can map inside the inserted copy itself.
+        check_all("a//z", ins("a/b", "y(z)"), "a(b)");
+        check_all("a/b/z", ins("a/b", "z"), "a(b)");
+        check_all("a//z", ins("a//c", "w(z(q))"), "a(b(c(d)))");
+    }
+
+    #[test]
+    fn noop_update_never_conflicts() {
+        check_all("a//b", ins("a/nope", "b"), "a(b)");
+        check_all("a//b", del("a/nope"), "a(b)");
+    }
+}

@@ -1,0 +1,32 @@
+//! # cxu-index — structural document index + grounded conflict checks
+//!
+//! The document-free detectors (`cxu-core`, `cxu-sched`) answer *"can
+//! these operations conflict on **some** tree?"*. This crate answers the
+//! grounded question — *"do they conflict on **this** document?"* (Lemma
+//! 1) — at document sizes where cloning and re-walking trees is too slow.
+//!
+//! Three layers:
+//!
+//! * [`DocIndex`] — flat preorder arrays (labels, parent, depth, subtree
+//!   spans, structural codes) plus label → position postings. Built from
+//!   a parsed [`cxu_tree::Tree`] or streamed straight from XML events
+//!   ([`DocIndex::from_xml`]) without materializing a tree.
+//! * [`eval::eval`] — index-backed pattern evaluation: linear patterns
+//!   run as compiled bitset chains over root-to-node label paths;
+//!   branching patterns evaluate bottom-up over postings and span joins.
+//! * [`detect_grounded`] — the witness check decided against the index:
+//!   deletes mask spans, inserts augment constraint edges with
+//!   embeddings into the inserted tree; only insert+value falls back to
+//!   the tree walk.
+//!
+//! Metrics: `index.{builds, nodes, postings, bytes, ingest_bytes}`
+//! counters and the `index.build_ns` histogram from the builder;
+//! `index.eval.{chain, postings, fallback}` strategy counters;
+//! `index.grounded_checks` / `index.grounded_ns` per grounded check.
+
+pub mod doc;
+pub mod eval;
+pub mod grounded;
+
+pub use doc::{DocIndex, NO_PARENT};
+pub use grounded::detect_grounded;

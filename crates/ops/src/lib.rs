@@ -50,4 +50,14 @@ pub enum Semantics {
 impl Semantics {
     /// All three semantics, for exhaustive test sweeps.
     pub const ALL: [Semantics; 3] = [Semantics::Node, Semantics::Tree, Semantics::Value];
+
+    /// The wire name (`node | tree | value`), matching the protocol's
+    /// `semantics` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            Semantics::Node => "node",
+            Semantics::Tree => "tree",
+            Semantics::Value => "value",
+        }
+    }
 }

@@ -1,0 +1,75 @@
+//! Microbench for `pattern::eval` scratch reuse (PR 9 satellite).
+//!
+//! Runs `eval` and `matches` in a tight loop over a mid-sized tree and a
+//! mix of linear/branching patterns — the shape of the hot loop inside
+//! the pairwise detectors — and reports ns/op. Compare release-mode runs
+//! before and after the scratch-buffer change:
+//!
+//! ```text
+//! cargo run --release -p cxu-pattern --example eval_churn
+//! ```
+
+use cxu_pattern::{eval, xpath, Pattern};
+use cxu_tree::{text, Tree};
+use std::time::Instant;
+
+fn build_tree(nodes: usize) -> Tree {
+    // Deterministic mixed-shape tree: l0(l1(l2(l0 ...)) l1 ...).
+    let mut t = Tree::new("l0");
+    let mut spine = t.root();
+    let mut ids = vec![t.root()];
+    for i in 1..nodes {
+        let label = format!("l{}", i % 5);
+        if i % 3 == 0 {
+            spine = t.build_child(spine, label.as_str());
+            ids.push(spine);
+        } else {
+            let at = ids[(i * 7919) % ids.len()];
+            ids.push(t.build_child(at, label.as_str()));
+        }
+    }
+    t
+}
+
+fn main() {
+    let t = build_tree(2000);
+    let pats: Vec<Pattern> = [
+        "l0//l4",
+        "l0/l1/l2",
+        "l0[l1]//l3",
+        "l0[l1/l2][l3]//l4",
+        "l0//*",
+        "l0/*[l2]/l0",
+    ]
+    .iter()
+    .map(|s| xpath::parse(s).unwrap())
+    .collect();
+
+    // Warmup + sanity.
+    let mut hits = 0usize;
+    for p in &pats {
+        hits += eval::eval(p, &t).len();
+    }
+    let _ = text::parse("a").unwrap();
+
+    const ITERS: usize = 2000;
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for _ in 0..ITERS {
+        for p in &pats {
+            total += eval::eval(p, &t).len();
+            total += usize::from(eval::matches(p, &t));
+        }
+    }
+    let dt = t0.elapsed();
+    let ops = ITERS * pats.len() * 2;
+    println!(
+        "tree=2000 nodes, {} patterns, {} ops in {:?} ({} ns/op, warmup hits {}, total {})",
+        pats.len(),
+        ops,
+        dt,
+        dt.as_nanos() as usize / ops,
+        hits,
+        total
+    );
+}

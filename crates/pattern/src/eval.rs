@@ -16,168 +16,187 @@
 //! constraints, branch satisfiability decomposes per child, so the two
 //! passes are exact (cross-validated against [`crate::embed::eval_naive`]
 //! in tests and property tests).
+//!
+//! The row buffers (one `Vec<bool>` per pattern node, each `slot_count`
+//! wide) dominated allocation on the detector hot path — every
+//! `eval`/`matches` call allocated `O(|p|)` fresh vectors. They now live
+//! in a thread-local [`Scratch`] pool reused across calls (the same
+//! treatment PR 4 gave `Nfa::accepts`); rows are resized and cleared in
+//! place, and the top-down pass reads the parent row directly from the
+//! pool instead of copying it.
 
-use crate::{Axis, PNodeId, Pattern};
+use crate::{Axis, Pattern};
 use cxu_tree::{NodeId, Tree};
+use std::cell::RefCell;
 
-/// Dense node-set bitmaps, one per pattern node, indexed by arena slot.
-struct Table {
-    bits: Vec<Vec<bool>>,
+/// Reusable per-thread evaluation state: candidate and feasibility rows
+/// (indexed by pattern-node arena index, each `slot_count` wide), the two
+/// single-row buffers of the axis passes, and the live-node list.
+#[derive(Default)]
+struct Scratch {
+    cand: Vec<Vec<bool>>,
+    feas: Vec<Vec<bool>>,
+    axis: Vec<bool>,
+    live: Vec<NodeId>,
 }
 
-impl Table {
-    fn new(p: &Pattern, t: &Tree) -> Table {
-        Table {
-            bits: vec![vec![false; t.slot_count()]; p.len()],
-        }
-    }
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
 
-    fn row(&self, n: PNodeId) -> &[bool] {
-        &self.bits[n.index()]
+/// Grows `rows` to `count` rows and resets each to `false × slots`,
+/// keeping allocated capacity.
+fn reset_rows(rows: &mut Vec<Vec<bool>>, count: usize, slots: usize) {
+    if rows.len() < count {
+        rows.resize_with(count, Vec::new);
     }
-
-    fn row_mut(&mut self, n: PNodeId) -> &mut Vec<bool> {
-        &mut self.bits[n.index()]
+    for row in rows[..count].iter_mut() {
+        row.clear();
+        row.resize(slots, false);
     }
 }
 
-/// Computes the bottom-up candidate sets. `cand(n)` holds `u` iff the
-/// subpattern rooted at `n` embeds into `t` with `n ↦ u` (no root
-/// anchoring). Exposed because the conflict algorithms reuse it to answer
-/// "does this suffix embed into X (or a subtree of X)?" (Lemma 6).
-fn candidates(p: &Pattern, t: &Tree) -> Table {
-    let live: Vec<NodeId> = t.nodes().collect();
-    // Tree postorder: reverse preorder works for "children before parents"
-    // only if we reverse a preorder where parents precede children, which
-    // `t.nodes()` guarantees.
-    let tree_post: Vec<NodeId> = {
-        let mut v = live.clone();
-        v.reverse();
-        v
-    };
+/// Computes the bottom-up candidate sets into `s.cand`. `cand(n)` holds
+/// `u` iff the subpattern rooted at `n` embeds into `t` with `n ↦ u` (no
+/// root anchoring) — the conflict algorithms reuse this to answer "does
+/// this suffix embed into X (or a subtree of X)?" (Lemma 6). Also fills
+/// `s.live` with the tree's preorder.
+fn candidates(p: &Pattern, t: &Tree, s: &mut Scratch) {
+    s.live.clear();
+    s.live.extend(t.nodes());
+    let slots = t.slot_count();
+    reset_rows(&mut s.cand, p.len(), slots);
 
-    let mut table = Table::new(p, t);
     for n in p.postorder() {
+        // Take the row out of the pool so child rows stay borrowable.
+        let mut row = std::mem::take(&mut s.cand[n.index()]);
         // Label screen.
-        let mut row = vec![false; t.slot_count()];
         match p.label(n) {
             Some(required) => {
-                for &u in &live {
+                for &u in &s.live {
                     row[u.index()] = t.label(u) == required;
                 }
             }
             None => {
-                for &u in &live {
+                for &u in &s.live {
                     row[u.index()] = true;
                 }
             }
         }
         // Edge constraints, one pattern child at a time.
         for &c in p.children(n) {
+            let ok = &mut s.axis;
+            ok.clear();
+            ok.resize(slots, false);
+            let child_row = &s.cand[c.index()];
             match p.axis(c).expect("pattern child has an axis") {
                 Axis::Child => {
                     // ok[u] = some tree child of u is in cand[c]
-                    let child_row = table.row(c);
-                    let mut ok = vec![false; t.slot_count()];
-                    for &u in &live {
+                    for &u in &s.live {
                         if child_row[u.index()] {
                             if let Some(par) = t.parent(u) {
                                 ok[par.index()] = true;
                             }
                         }
                     }
-                    for &u in &live {
-                        row[u.index()] &= ok[u.index()];
-                    }
                 }
                 Axis::Descendant => {
                     // ok[u] = some proper descendant of u is in cand[c]:
-                    // one pass over the tree postorder.
-                    let child_row = table.row(c);
-                    let mut has_desc = vec![false; t.slot_count()];
-                    for &u in &tree_post {
+                    // one pass over the tree postorder (reversed preorder —
+                    // `t.nodes()` puts parents before children).
+                    for &u in s.live.iter().rev() {
                         let mut any = false;
                         for &v in t.children(u) {
-                            if child_row[v.index()] || has_desc[v.index()] {
+                            if child_row[v.index()] || ok[v.index()] {
                                 any = true;
                                 break;
                             }
                         }
-                        has_desc[u.index()] = any;
-                    }
-                    for &u in &live {
-                        row[u.index()] &= has_desc[u.index()];
+                        ok[u.index()] = any;
                     }
                 }
             }
+            for &u in &s.live {
+                row[u.index()] &= ok[u.index()];
+            }
         }
-        *table.row_mut(n) = row;
+        s.cand[n.index()] = row;
     }
-    table
 }
 
 /// `⟦p⟧(t)`: the set of images of the output node over all embeddings.
 /// Sorted and deduplicated.
 pub fn eval(p: &Pattern, t: &Tree) -> Vec<NodeId> {
-    let cand = candidates(p, t);
-    if !cand.row(p.root())[t.root().index()] {
-        return Vec::new();
-    }
-    let live: Vec<NodeId> = t.nodes().collect();
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        candidates(p, t, s);
+        if !s.cand[p.root().index()][t.root().index()] {
+            return Vec::new();
+        }
+        let slots = t.slot_count();
 
-    // Top-down feasibility.
-    let mut feas = Table::new(p, t);
-    feas.row_mut(p.root())[t.root().index()] = true;
-    let preorder: Vec<PNodeId> = {
-        let mut po = p.postorder();
-        po.reverse();
-        po
-    };
-    for &n in &preorder {
-        let Some((parent, axis)) = p.parent(n) else {
-            continue;
-        };
-        let parent_row: Vec<bool> = feas.row(parent).to_vec();
-        let cand_row = cand.row(n);
-        let mut row = vec![false; t.slot_count()];
-        match axis {
-            Axis::Child => {
-                for &u in &live {
-                    if cand_row[u.index()] {
-                        if let Some(par) = t.parent(u) {
-                            row[u.index()] = parent_row[par.index()];
+        // Top-down feasibility.
+        reset_rows(&mut s.feas, p.len(), slots);
+        s.feas[p.root().index()][t.root().index()] = true;
+        let mut preorder = p.postorder();
+        preorder.reverse();
+        for &n in &preorder {
+            let Some((parent, axis)) = p.parent(n) else {
+                continue;
+            };
+            let mut row = std::mem::take(&mut s.feas[n.index()]);
+            let parent_row = &s.feas[parent.index()];
+            let cand_row = &s.cand[n.index()];
+            match axis {
+                Axis::Child => {
+                    for &u in &s.live {
+                        if cand_row[u.index()] {
+                            if let Some(par) = t.parent(u) {
+                                row[u.index()] = parent_row[par.index()];
+                            }
                         }
                     }
                 }
-            }
-            Axis::Descendant => {
-                // anc_ok[u] = some proper ancestor of u is feasible for
-                // `parent`: one pass down the tree preorder.
-                let mut anc_ok = vec![false; t.slot_count()];
-                for &u in &live {
-                    if let Some(par) = t.parent(u) {
-                        anc_ok[u.index()] = parent_row[par.index()] || anc_ok[par.index()];
+                Axis::Descendant => {
+                    // anc_ok[u] = some proper ancestor of u is feasible for
+                    // `parent`: one pass down the tree preorder.
+                    let anc_ok = &mut s.axis;
+                    anc_ok.clear();
+                    anc_ok.resize(slots, false);
+                    for &u in &s.live {
+                        if let Some(par) = t.parent(u) {
+                            anc_ok[u.index()] = parent_row[par.index()] || anc_ok[par.index()];
+                        }
+                    }
+                    for &u in &s.live {
+                        row[u.index()] = cand_row[u.index()] && anc_ok[u.index()];
                     }
                 }
-                for &u in &live {
-                    row[u.index()] = cand_row[u.index()] && anc_ok[u.index()];
-                }
             }
+            s.feas[n.index()] = row;
         }
-        *feas.row_mut(n) = row;
-    }
 
-    let out_row = feas.row(p.output());
-    let mut result: Vec<NodeId> = live.into_iter().filter(|u| out_row[u.index()]).collect();
-    result.sort_unstable();
-    result
+        let out_row = &s.feas[p.output().index()];
+        let mut result: Vec<NodeId> = s
+            .live
+            .iter()
+            .copied()
+            .filter(|u| out_row[u.index()])
+            .collect();
+        result.sort_unstable();
+        result
+    })
 }
 
 /// Does any embedding of `p` into `t` exist? (Root anchored at the tree
 /// root, as always.) Cheaper than `!eval(p, t).is_empty()` — skips the
 /// top-down pass.
 pub fn matches(p: &Pattern, t: &Tree) -> bool {
-    candidates(p, t).row(p.root())[t.root().index()]
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        candidates(p, t, s);
+        s.cand[p.root().index()][t.root().index()]
+    })
 }
 
 /// Can the subpattern-with-root semantics embed `p` with **its root
@@ -186,14 +205,21 @@ pub fn matches(p: &Pattern, t: &Tree) -> bool {
 /// `X`" anchors at `ROOT(X)`; "…or some subtree of `X`" anchors anywhere.
 pub fn can_embed_at(p: &Pattern, t: &Tree, anchor: NodeId) -> bool {
     assert!(t.is_alive(anchor), "anchor must be alive");
-    candidates(p, t).row(p.root())[anchor.index()]
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        candidates(p, t, s);
+        s.cand[p.root().index()][anchor.index()]
+    })
 }
 
 /// All nodes where `p` can embed with its root anchored there.
 pub fn embed_anchors(p: &Pattern, t: &Tree) -> Vec<NodeId> {
-    let cand = candidates(p, t);
-    let row = cand.row(p.root());
-    t.nodes().filter(|u| row[u.index()]).collect()
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        candidates(p, t, s);
+        let row = &s.cand[p.root().index()];
+        t.nodes().filter(|u| row[u.index()]).collect()
+    })
 }
 
 #[cfg(test)]

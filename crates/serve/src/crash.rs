@@ -1,6 +1,6 @@
 //! Kill-9 crash-injection harness for the durable document store.
 //!
-//! The headline durability claim (DESIGN.md §9) is *prefix
+//! The headline durability claim (DESIGN.md §8) is *prefix
 //! consistency*: after a crash, the recovered store is exactly the
 //! state at some prefix of the WAL that includes **every write the
 //! server acknowledged** — acked revisions survive, nothing the log

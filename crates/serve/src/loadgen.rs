@@ -59,6 +59,10 @@ pub enum LoadProfile {
     /// with (deliberately) stale base revisions — the document-store
     /// profile. Measures auto-merge vs. branch vs. reject rates.
     Store,
+    /// Closed-loop `doc_check` traffic against static shared documents:
+    /// read/update pairs judged by the document-grounded detector over
+    /// the store's cached structural index — the index-serving profile.
+    Grounded,
 }
 
 impl LoadProfile {
@@ -68,6 +72,7 @@ impl LoadProfile {
             LoadProfile::Linear => "linear",
             LoadProfile::Mixed => "mixed",
             LoadProfile::Store => "store",
+            LoadProfile::Grounded => "grounded",
         }
     }
 
@@ -77,7 +82,10 @@ impl LoadProfile {
             "linear" => Ok(LoadProfile::Linear),
             "mixed" => Ok(LoadProfile::Mixed),
             "store" => Ok(LoadProfile::Store),
-            other => Err(format!("unknown profile {other:?} (linear|mixed|store)")),
+            "grounded" => Ok(LoadProfile::Grounded),
+            other => Err(format!(
+                "unknown profile {other:?} (linear|mixed|store|grounded)"
+            )),
         }
     }
 
@@ -89,6 +97,9 @@ impl LoadProfile {
             // the exact PTIME detectors while still exercising the
             // conservative-verdict-must-branch rung now and then.
             LoadProfile::Store => 0.15,
+            // Enough branching reads to exercise the index's table
+            // (postings-join) path alongside the linear chain path.
+            LoadProfile::Grounded => 0.2,
         }
     }
 }
@@ -292,10 +303,10 @@ impl LoadReport {
         let mut members = vec![
             (
                 "bench",
-                Json::str(if self.profile == "store" {
-                    "store"
-                } else {
-                    "serve"
+                Json::str(match self.profile {
+                    "store" => "store",
+                    "grounded" => "grounded",
+                    _ => "serve",
                 }),
             ),
             ("profile", Json::str(self.profile)),
@@ -468,6 +479,9 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     if cfg.profile == LoadProfile::Store {
         return run_store(cfg);
+    }
+    if cfg.profile == LoadProfile::Grounded {
+        return run_grounded(cfg);
     }
     // The pool is generated once from the seed; each connection derives
     // its own request stream from seed ⊕ connection index.
@@ -895,6 +909,212 @@ fn store_editor_loop(
                             out.failed += 1;
                             break;
                         }
+                    }
+                }
+            }
+            _ => {
+                if v.get("error").and_then(Json::as_str) == Some("overloaded") {
+                    out.overloaded += 1;
+                } else {
+                    out.failed += 1;
+                }
+            }
+        }
+    }
+    out.retries = client.retried;
+    out
+}
+
+/// The grounded profile: a setup pass creates `cfg.docs` shared
+/// documents, then `connections` closed-loop clients fire `doc_check`
+/// requests — seeded read/update pairs judged against the stored
+/// document's structural index. The documents are never mutated, so
+/// after the first check per document every request is served from the
+/// store's warm index cache; this profile measures exactly the
+/// index-grounded serving path.
+///
+/// With `validate`, every distinct `(doc, read, update)` verdict is
+/// re-checked against the in-process Lemma 1 witness walk on the same
+/// tree. Grounded answers are exact (never degraded), so *any*
+/// disagreement is a correctness failure.
+fn run_grounded(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    use cxu_gen::program::Stmt;
+
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
+    let mut pattern = PatternParams::linear(4);
+    pattern.alphabet = 6;
+    pattern.branch_rate = cfg.profile.branch_rate();
+    let params = ProgramParams {
+        len: cfg.pool_len.max(8),
+        update_rate: 0.5,
+        delete_rate: 0.4,
+        pattern,
+    };
+    let program = random_program(&mut rng, &params);
+    let mut reads: Vec<(cxu_ops::Read, String)> = Vec::new();
+    let mut updates: Vec<(cxu_ops::Update, String)> = Vec::new();
+    for s in &program.stmts {
+        let json = wire::stmt_to_json(s).to_string();
+        match s {
+            Stmt::Read(r) => reads.push((r.clone(), json)),
+            Stmt::Update(u) => updates.push((u.clone(), json)),
+        }
+    }
+    if reads.is_empty() || updates.is_empty() {
+        return Err("grounded pool generated no reads or no updates; raise the pool size".into());
+    }
+
+    let extras = request_extras(cfg);
+    let docs = cfg.docs.max(1);
+
+    // Setup pass: create the shared documents. Trees share the pattern
+    // pool's alphabet so reads and updates actually select something.
+    let tparams = TreeParams {
+        nodes: 40,
+        alphabet: 6,
+        ..TreeParams::default()
+    };
+    let mut setup = LineClient::connect(&cfg.addr)?;
+    let mut trees: Vec<cxu_tree::Tree> = Vec::with_capacity(docs);
+    for d in 0..docs {
+        let tree = random_tree(&mut rng, &tparams);
+        let content = text::to_text(&tree);
+        let v = setup.roundtrip(&format!(
+            "{{\"route\": \"doc_put\", \"doc\": \"doc-{d}\", \"content\": \"{content}\"{extras}}}"
+        ))?;
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("setup put for doc-{d} failed: {v}"));
+        }
+        trees.push(tree);
+    }
+
+    let t0 = Instant::now();
+    let end = t0 + cfg.duration;
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections.max(1))
+            .map(|c| {
+                let reads = &reads;
+                let updates = &updates;
+                scope.spawn(move || grounded_check_loop(cfg, c as u64, reads, updates, docs, end))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut report = LoadReport {
+        elapsed,
+        seed: cfg.seed,
+        connections: cfg.connections.max(1),
+        profile: cfg.profile.name(),
+        pipeline: 1,
+        ..LoadReport::default()
+    };
+    let mut observations: Vec<(usize, usize, bool)> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    for r in results {
+        report.sent += r.sent;
+        report.completed += r.completed;
+        report.overloaded += r.overloaded;
+        report.failed += r.failed;
+        report.retries += r.retries;
+        latencies.extend(r.latencies_us);
+        observations.extend(r.observations);
+    }
+    fill_latencies(&mut report, latencies, Vec::new());
+
+    if cfg.validate {
+        // Observations encode (doc, read) in the first index; decode
+        // and re-derive every distinct verdict with the witness walk.
+        let mut by_key: HashMap<(usize, usize), bool> = HashMap::new();
+        let mut disagreements = 0usize;
+        for &(dr, ui, conflict) in &observations {
+            if let Some(&earlier) = by_key.get(&(dr, ui)) {
+                if earlier != conflict {
+                    disagreements += 1; // self-contradiction across repeats
+                }
+                continue;
+            }
+            by_key.insert((dr, ui), conflict);
+        }
+        for (&(dr, ui), &server_conflict) in &by_key {
+            let (d, ri) = (dr / reads.len(), dr % reads.len());
+            let expect = cxu_ops::witness::witnesses_update_conflict(
+                &reads[ri].0,
+                &updates[ui].0,
+                &trees[d],
+                cfg.semantics,
+            );
+            if expect != server_conflict {
+                disagreements += 1;
+            }
+        }
+        report.checked_pairs = by_key.len();
+        report.disagreements = disagreements;
+    }
+    Ok(report)
+}
+
+/// One grounded-profile client: fire `doc_check` requests for random
+/// (document, read, update) triples, tallying verdicts. Observations
+/// pack `(doc * reads.len() + read, update)` into the shared
+/// `(i, j, conflict)` shape.
+fn grounded_check_loop(
+    cfg: &LoadConfig,
+    conn: u64,
+    reads: &[(cxu_ops::Read, String)],
+    updates: &[(cxu_ops::Update, String)],
+    docs: usize,
+    end: Instant,
+) -> ConnResult {
+    let mut out = ConnResult::default();
+    let Ok(mut client) = RetryClient::connect(cfg) else {
+        out.failed += 1;
+        return out;
+    };
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let extras = request_extras(cfg);
+    let mut req = String::new();
+    while Instant::now() < end {
+        if let Some(cap) = cfg.requests_per_conn {
+            if out.sent >= cap {
+                break;
+            }
+        }
+        let d = rng.gen_range(0..docs);
+        let ri = rng.gen_range(0..reads.len());
+        let ui = rng.gen_range(0..updates.len());
+        req.clear();
+        req.push_str("{\"route\": \"doc_check\", \"id\": ");
+        req.push_str(&out.sent.to_string());
+        req.push_str(", \"doc\": \"doc-");
+        req.push_str(&d.to_string());
+        req.push_str("\", \"read\": ");
+        req.push_str(&reads[ri].1);
+        req.push_str(", \"update\": ");
+        req.push_str(&updates[ui].1);
+        req.push_str(&extras);
+        req.push('}');
+        let t_req = Instant::now();
+        out.sent += 1;
+        let v = match client.roundtrip(&req, &mut rng, &mut out.sent) {
+            Ok(v) => v,
+            Err(_) => {
+                out.failed += 1;
+                break;
+            }
+        };
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => {
+                out.completed += 1;
+                out.latencies_us
+                    .push(t_req.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                if cfg.validate {
+                    if let Some(conflict) = v.get("conflict").and_then(Json::as_bool) {
+                        out.observations.push((d * reads.len() + ri, ui, conflict));
                     }
                 }
             }
@@ -1398,7 +1618,12 @@ mod tests {
 
     #[test]
     fn profile_names_roundtrip() {
-        for p in [LoadProfile::Linear, LoadProfile::Mixed] {
+        for p in [
+            LoadProfile::Linear,
+            LoadProfile::Mixed,
+            LoadProfile::Store,
+            LoadProfile::Grounded,
+        ] {
             assert_eq!(LoadProfile::from_name(p.name()).unwrap(), p);
         }
         assert!(LoadProfile::from_name("warp").is_err());

@@ -13,6 +13,9 @@
 //! {"route": "doc_get", "doc": "d1", "conflicts": true}
 //! {"route": "doc_delete", "doc": "d1", "rev": "2-cdef..."}
 //! {"route": "doc_changes", "since": 0, "limit": 100}
+//! {"route": "doc_check", "doc": "d1", "semantics": "node",
+//!  "read": {"kind": "read", "pattern": "a//c"},
+//!  "update": {"kind": "insert", "pattern": "a/b", "subtree": "c"}}
 //! {"route": "metrics"}
 //! {"route": "health"}
 //! {"route": "shutdown"}
@@ -35,8 +38,9 @@
 //! form).
 
 use cxu_gen::json::Json;
+use cxu_gen::program::Stmt;
 use cxu_gen::wire;
-use cxu_ops::Semantics;
+use cxu_ops::{Read, Semantics, Update};
 use cxu_sched::{Op, PairDecision, SchedStats};
 use cxu_store::{ChangeEntry, GetResult, PutOutcome, PutPayload, RevId, StoreError};
 use cxu_tree::text;
@@ -94,6 +98,19 @@ pub enum Route {
         /// Page-size cap.
         limit: Option<usize>,
     },
+    /// Document-grounded conflict check: does the *stored document*
+    /// witness a conflict between `read` and `update` (Lemma 1),
+    /// answered from the store's cached structural index?
+    DocCheck {
+        /// Document id.
+        doc: String,
+        /// Specific revision, or the winner when absent.
+        rev: Option<RevId>,
+        /// The read side.
+        read: Box<Read>,
+        /// The update side.
+        update: Box<Update>,
+    },
     /// Metrics snapshot.
     Metrics,
     /// Liveness probe.
@@ -112,6 +129,7 @@ impl Route {
             Route::DocGet { .. } => "doc_get",
             Route::DocDelete { .. } => "doc_delete",
             Route::DocChanges { .. } => "doc_changes",
+            Route::DocCheck { .. } => "doc_check",
             Route::Metrics => "metrics",
             Route::Health => "health",
             Route::Shutdown => "shutdown",
@@ -250,12 +268,39 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .and_then(Json::as_u64)
                 .map(|l| l.min(usize::MAX as u64) as usize),
         },
+        "doc_check" => {
+            let doc = parse_doc(&v)?;
+            let rev = parse_rev(&v, "rev")?;
+            let r = v
+                .get("read")
+                .ok_or("doc_check request is missing field 'read'")?;
+            let read = match wire::stmt_from_json(r).map_err(|e| format!("field 'read': {e}"))? {
+                Stmt::Read(r) => r,
+                Stmt::Update(_) => return Err("field 'read' must be a read op".to_owned()),
+            };
+            let u = v
+                .get("update")
+                .ok_or("doc_check request is missing field 'update'")?;
+            let update =
+                match wire::stmt_from_json(u).map_err(|e| format!("field 'update': {e}"))? {
+                    Stmt::Update(u) => u,
+                    Stmt::Read(_) => {
+                        return Err("field 'update' must be an insert or delete".to_owned())
+                    }
+                };
+            Route::DocCheck {
+                doc,
+                rev,
+                read: Box::new(read),
+                update: Box::new(update),
+            }
+        }
         "metrics" => Route::Metrics,
         "health" => Route::Health,
         "shutdown" => Route::Shutdown,
         other => {
             return Err(format!(
-                "unknown route {other:?} (check|schedule|doc_put|doc_get|doc_delete|doc_changes|metrics|health|shutdown)"
+                "unknown route {other:?} (check|schedule|doc_put|doc_get|doc_delete|doc_changes|doc_check|metrics|health|shutdown)"
             ))
         }
     };
@@ -395,6 +440,26 @@ pub fn render_doc_not_found(id: Option<u64>, doc: &str, err: &StoreError) -> Str
     Json::Obj(members).to_string()
 }
 
+/// Renders a `doc_check` response: a document-grounded conflict
+/// verdict for one read/update pair against the indexed revision.
+pub fn render_doc_check(
+    id: Option<u64>,
+    doc: &str,
+    rev: &RevId,
+    semantics: Semantics,
+    conflict: bool,
+    nodes: usize,
+) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str("doc_check")));
+    members.push(("doc".to_owned(), Json::str(doc)));
+    members.push(("rev".to_owned(), Json::str(rev.to_string())));
+    members.push(("semantics".to_owned(), Json::str(semantics.name())));
+    members.push(("conflict".to_owned(), Json::Bool(conflict)));
+    members.push(("nodes".to_owned(), Json::from(nodes)));
+    Json::Obj(members).to_string()
+}
+
 /// Renders a `doc_changes` page.
 pub fn render_doc_changes(id: Option<u64>, entries: &[ChangeEntry], last_seq: u64) -> String {
     let mut members = base(id, true);
@@ -505,6 +570,58 @@ mod tests {
         ] {
             assert!(parse_request(bad).is_err(), "{bad} should be rejected");
         }
+    }
+
+    #[test]
+    fn parses_doc_check_request() {
+        let line = r#"{"route": "doc_check", "doc": "d1", "semantics": "node",
+                       "read": {"kind": "read", "pattern": "a//c"},
+                       "update": {"kind": "insert", "pattern": "a/b", "subtree": "c"}}"#;
+        let req = parse_request(&line.replace('\n', " ")).unwrap();
+        assert_eq!(req.semantics, Semantics::Node);
+        match req.route {
+            Route::DocCheck {
+                doc, rev, update, ..
+            } => {
+                assert_eq!(doc, "d1");
+                assert!(rev.is_none());
+                assert!(matches!(*update, Update::Insert(_)));
+            }
+            other => panic!("wrong route {other:?}"),
+        }
+
+        // Sides are role-checked: an update in 'read' (or a read in
+        // 'update') is a bad request, not a silently reinterpreted one.
+        for bad in [
+            r#"{"route": "doc_check", "doc": "d1",
+                "read": {"kind": "delete", "pattern": "a/b"},
+                "update": {"kind": "insert", "pattern": "a/b", "subtree": "c"}}"#,
+            r#"{"route": "doc_check", "doc": "d1",
+                "read": {"kind": "read", "pattern": "a//c"},
+                "update": {"kind": "read", "pattern": "a/b"}}"#,
+            r#"{"route": "doc_check", "doc": "d1",
+                "read": {"kind": "read", "pattern": "a//c"}}"#,
+            r#"{"route": "doc_check",
+                "read": {"kind": "read", "pattern": "a//c"},
+                "update": {"kind": "delete", "pattern": "a/b"}}"#,
+        ] {
+            let line = bad.replace('\n', " ");
+            assert!(parse_request(&line).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn renders_doc_check_response() {
+        let rev: RevId = "1-00000000000000000000000000000000".parse().unwrap();
+        let resp = render_doc_check(Some(4), "d1", &rev, Semantics::Tree, true, 17);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("route").and_then(Json::as_str), Some("doc_check"));
+        assert_eq!(v.get("doc").and_then(Json::as_str), Some("d1"));
+        assert_eq!(v.get("semantics").and_then(Json::as_str), Some("tree"));
+        assert_eq!(v.get("conflict").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("nodes").and_then(Json::as_u64), Some(17));
+        assert!(!resp.contains('\n'));
     }
 
     #[test]

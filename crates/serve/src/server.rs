@@ -568,6 +568,40 @@ fn process_job(shared: &Shared, job: &Job) -> String {
                 cxu_obs::histogram!("serve.doc_get_ns").record_since(job.received);
                 Ok(proto::render_doc_changes(job.req.id, &entries, last_seq))
             }
+            Route::DocCheck {
+                doc,
+                rev,
+                read,
+                update,
+            } => {
+                // Grounded check: answer from the stored document's
+                // structural index (cached per winner revision, built on
+                // first use). The index is immutable once built, so the
+                // detector runs with no store lock held.
+                let out = shared.store.indexed(doc, *rev);
+                let resp = match out {
+                    Ok(idoc) => {
+                        let conflict = cxu_index::detect_grounded(
+                            read,
+                            update,
+                            &idoc.tree,
+                            &idoc.index,
+                            job.req.semantics,
+                        );
+                        proto::render_doc_check(
+                            job.req.id,
+                            doc,
+                            &idoc.rev,
+                            job.req.semantics,
+                            conflict,
+                            idoc.index.len(),
+                        )
+                    }
+                    Err(e) => proto::render_doc_rejected(job.req.id, "doc_check", doc, &e),
+                };
+                cxu_obs::histogram!("serve.doc_check_ns").record_since(job.received);
+                Ok(resp)
+            }
             // Admin routes are answered inline on the IO thread and
             // never enter a queue.
             Route::Metrics | Route::Health | Route::Shutdown => {
@@ -938,7 +972,8 @@ fn handle_line(shared: &Shared, line: &[u8]) -> LineOutcome {
         | Route::DocPut { .. }
         | Route::DocGet { .. }
         | Route::DocDelete { .. }
-        | Route::DocChanges { .. } => {
+        | Route::DocChanges { .. }
+        | Route::DocCheck { .. } => {
             let deadline = req
                 .deadline_ms
                 .map(Duration::from_millis)

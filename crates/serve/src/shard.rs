@@ -244,7 +244,8 @@ impl ShardSet {
             }
             Route::DocPut { doc, .. }
             | Route::DocGet { doc, .. }
-            | Route::DocDelete { doc, .. } => fnv_str(doc),
+            | Route::DocDelete { doc, .. }
+            | Route::DocCheck { doc, .. } => fnv_str(doc),
             Route::DocChanges { .. } => fnv_str("doc_changes"),
             Route::Metrics | Route::Health | Route::Shutdown => 0,
         };

@@ -29,7 +29,7 @@ pub use recovery::RecoveryReport;
 pub use rev::{RevId, RevParseError};
 pub use revtree::{RevNode, RevTree};
 pub use store::{
-    ChangeEntry, DurabilityConfig, GetResult, PairCheck, PutOutcome, PutPayload, PutResult, Store,
-    StoreConfig, StoreError,
+    ChangeEntry, DurabilityConfig, GetResult, IndexedDoc, PairCheck, PutOutcome, PutPayload,
+    PutResult, Store, StoreConfig, StoreError,
 };
 pub use wal::FsyncPolicy;

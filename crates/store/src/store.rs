@@ -71,13 +71,14 @@ use crate::snapshot;
 use crate::wal::{FsyncPolicy, Wal, WalError};
 use cxu_gen::program::Stmt;
 use cxu_gen::wire;
+use cxu_index::DocIndex;
 use cxu_ops::Update;
 use cxu_sched::{Op, PairDecision};
 use cxu_tree::{text, Tree};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Store configuration.
@@ -305,8 +306,25 @@ struct Durable {
     snapshot_every: u64,
 }
 
+/// A revision's content together with its structural index, shared with
+/// every grounded check that reads it (see [`Store::indexed`]).
+#[derive(Debug)]
+pub struct IndexedDoc {
+    /// The revision the snapshot was taken at.
+    pub rev: RevId,
+    /// The revision's content.
+    pub tree: Tree,
+    /// Its structural index.
+    pub index: DocIndex,
+}
+
 struct Inner {
     docs: HashMap<String, DocState>,
+    /// One indexed snapshot per document, valid only while `rev` is
+    /// still the winner. Invalidated at the single commit point
+    /// ([`Inner::commit`]), so every put — applied, merged, branched,
+    /// or recovered replay — drops the stale entry.
+    index_cache: HashMap<String, Arc<IndexedDoc>>,
     /// Global commit counter; strictly increases with every commit.
     seq: u64,
     /// Sequence → document, one entry per document (a new commit moves
@@ -368,6 +386,7 @@ impl Inner {
             d.wal.append(body.as_bytes()).map_err(from_wal)?;
         }
         self.seq = seq;
+        self.index_cache.remove(doc_id);
         let doc = self.docs.get_mut(doc_id).expect("commit target exists");
         if doc.seq != 0 {
             self.by_seq.remove(&doc.seq);
@@ -439,6 +458,7 @@ impl Store {
             cfg,
             inner: Mutex::new(Inner {
                 docs: HashMap::new(),
+                index_cache: HashMap::new(),
                 seq: 0,
                 by_seq: BTreeMap::new(),
                 revisions: 0,
@@ -482,6 +502,7 @@ impl Store {
             cfg,
             inner: Mutex::new(Inner {
                 docs,
+                index_cache: HashMap::new(),
                 seq: recovered.seq,
                 by_seq,
                 revisions: recovered.revisions,
@@ -1042,6 +1063,73 @@ impl Store {
         Ok(out)
     }
 
+    /// The content of `doc_id` at `rev` (the winner when `None`) together
+    /// with its structural index, for document-grounded conflict checks.
+    ///
+    /// The winner's index is cached per document and shared via `Arc`;
+    /// any commit to the document invalidates the entry, so a hit is
+    /// always the *current* winner at the moment of the lookup. Indexing
+    /// runs **outside** the store lock — a multi-MB build never stalls
+    /// puts — and the built entry is only cached after re-checking that
+    /// the winner did not move meanwhile. Tombstones are an error:
+    /// grounded checks need a live document.
+    pub fn indexed(&self, doc_id: &str, rev: Option<RevId>) -> Result<Arc<IndexedDoc>, StoreError> {
+        let t0 = Instant::now();
+        let (target, content, is_winner) = {
+            let inner = self.lock();
+            let doc = inner
+                .docs
+                .get(doc_id)
+                .ok_or_else(|| StoreError::NotFound(doc_id.to_owned()))?;
+            let winner = doc.revs.winner().expect("known documents are nonempty");
+            let target = match rev {
+                Some(r) => {
+                    if !doc.revs.contains(&r) {
+                        return Err(StoreError::UnknownRev(format!(
+                            "document {doc_id:?} has no revision {r}"
+                        )));
+                    }
+                    r
+                }
+                None => winner,
+            };
+            if target == winner {
+                if let Some(cached) = inner.index_cache.get(doc_id) {
+                    if cached.rev == target {
+                        cxu_obs::counter!("index.cache.hits").inc();
+                        return Ok(Arc::clone(cached));
+                    }
+                }
+            }
+            let node = doc.revs.get(&target).expect("checked above");
+            let Some(content) = node.content.clone() else {
+                return Err(StoreError::Conflict(format!(
+                    "document {doc_id:?} revision {target} is a tombstone; \
+                     grounded checks need a live document"
+                )));
+            };
+            (target, content, target == winner)
+        };
+        cxu_obs::counter!("index.cache.misses").inc();
+        let built = Arc::new(IndexedDoc {
+            rev: target,
+            index: DocIndex::from_tree(&content),
+            tree: content,
+        });
+        if is_winner {
+            let mut inner = self.lock();
+            if let Some(doc) = inner.docs.get(doc_id) {
+                if doc.revs.winner() == Some(target) {
+                    inner
+                        .index_cache
+                        .insert(doc_id.to_owned(), Arc::clone(&built));
+                }
+            }
+        }
+        cxu_obs::histogram!("store.index_ns").record_since(t0);
+        Ok(built)
+    }
+
     /// The changes feed: every document whose latest commit is after
     /// `since`, ordered by sequence. Returns the entries and the cursor
     /// to resume from — the last entry's sequence when `limit`
@@ -1527,5 +1615,65 @@ mod tests {
         store.set_gauges();
         let snap2 = cxu_obs::registry().snapshot();
         assert!(snap.gauge("store.docs") >= 2 || snap2.gauge("store.docs") >= 2);
+    }
+
+    #[test]
+    fn indexed_caches_winner_and_invalidates_on_put() {
+        let store = Store::default();
+        with_sched(|check| {
+            let c = store.put("d", None, content("a(b c)"), check).unwrap();
+
+            // First read builds; second read must share the same snapshot.
+            let i1 = store.indexed("d", None).unwrap();
+            assert_eq!(i1.rev, c.rev);
+            assert_eq!(i1.index.len(), 3);
+            let i2 = store.indexed("d", None).unwrap();
+            assert!(Arc::ptr_eq(&i1, &i2), "second read must hit the cache");
+
+            // A put moves the winner and must invalidate the entry.
+            let up = store
+                .put(
+                    "d",
+                    Some(c.rev),
+                    PutPayload::Op(insert_op("a/b", "x")),
+                    check,
+                )
+                .unwrap();
+            let i3 = store.indexed("d", None).unwrap();
+            assert_eq!(i3.rev, up.rev);
+            assert!(!Arc::ptr_eq(&i1, &i3));
+            assert_eq!(i3.index.len(), 4);
+            assert!(iso::isomorphic(
+                &i3.tree,
+                &text::parse("a(b(x) c)").unwrap()
+            ));
+
+            // Pinned old revisions build ad hoc and never poison the
+            // winner cache.
+            let old = store.indexed("d", Some(c.rev)).unwrap();
+            assert_eq!(old.rev, c.rev);
+            assert_eq!(old.index.len(), 3);
+            let i4 = store.indexed("d", None).unwrap();
+            assert_eq!(i4.rev, up.rev);
+        });
+    }
+
+    #[test]
+    fn indexed_rejects_tombstones_and_unknowns() {
+        let store = Store::default();
+        with_sched(|check| {
+            assert!(matches!(
+                store.indexed("nope", None),
+                Err(StoreError::NotFound(_))
+            ));
+            let c = store.put("d", None, content("a"), check).unwrap();
+            store
+                .put("d", Some(c.rev), PutPayload::Tombstone, check)
+                .unwrap();
+            assert!(matches!(
+                store.indexed("d", None),
+                Err(StoreError::Conflict(_))
+            ));
+        });
     }
 }

@@ -24,6 +24,12 @@
 #                        "wal_fsync_always" (checksummed WAL, fsync on
 #                        every commit) — so the durability tax on put
 #                        latency is visible side by side.
+#   BENCH_INDEX.json     streaming ingestion + structural index: XML
+#                        parse and index-build MB/s at 1 MB and 8 MB,
+#                        then document-grounded conflict checks through
+#                        the index vs the recursive tree walk (every
+#                        sampled verdict cross-checked; speedup_p50 is
+#                        the headline, gated >= 10x at 1 MB).
 #
 # See EXPERIMENTS.md, "Compiled automata and the batch pre-filter",
 # for how to read the numbers (and which are NP-search-noise-prone).
@@ -38,6 +44,9 @@ echo "==> cxu-bench automata > BENCH_AUTOMATA.json" >&2
 
 echo "==> cxu-bench sched > BENCH_SCHED.json" >&2
 ./target/release/cxu-bench sched > BENCH_SCHED.json
+
+echo "==> cxu-bench index > BENCH_INDEX.json" >&2
+./target/release/cxu-bench index > BENCH_INDEX.json
 
 echo "==> cxu serve + loadgen (pipelined headline + saturation sweep) > BENCH_SERVE.json" >&2
 serve_log=$(mktemp)
@@ -100,4 +109,4 @@ printf '{"bench": "store", "in_memory": %s, "wal_fsync_always": %s}\n' \
     "$(cat "$store_mem")" "$(cat "$store_wal")" > BENCH_STORE.json
 rm -f "$store_mem" "$store_wal"
 
-echo "done: BENCH_AUTOMATA.json BENCH_SCHED.json BENCH_SERVE.json BENCH_STORE.json" >&2
+echo "done: BENCH_AUTOMATA.json BENCH_SCHED.json BENCH_INDEX.json BENCH_SERVE.json BENCH_STORE.json" >&2

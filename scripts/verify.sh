@@ -145,6 +145,41 @@ grep -q 'drained after' "$serve_log" \
 wait "$load_pid" || true
 rm -f "$serve_log" "$serve_bench"
 
+echo "==> grounded smoke (doc_check via the structural index, validated verdicts)"
+./target/release/cxu serve --addr 127.0.0.1:0 --shards 4 > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never announced its address"; cat "$serve_log"; exit 1; }
+# --validate replays every served doc_check verdict through the
+# in-process Lemma 1 tree walk after the run.
+./target/release/cxu loadgen --addr "$addr" --connections 4 --docs 4 \
+    --duration-ms 1200 --seed 9 --profile grounded --validate --out "$serve_bench" >/dev/null
+grep -q '"bench": "grounded"' "$serve_bench" \
+    || { echo "grounded bench missing its marker"; cat "$serve_bench"; exit 1; }
+grep -q '"disagreements": 0' "$serve_bench" \
+    || { echo "grounded validation found index-vs-walk disagreements"; cat "$serve_bench"; exit 1; }
+grep -q '"failed": 0' "$serve_bench" \
+    || { echo "grounded loadgen reported hard failures"; cat "$serve_bench"; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "grounded server exited nonzero after SIGTERM"; cat "$serve_log"; exit 1; }
+grep -q 'drained after' "$serve_log" \
+    || { echo "grounded server did not report a clean drain"; cat "$serve_log"; exit 1; }
+rm -f "$serve_log" "$serve_bench"
+# The same engine in one process: index and tree walk must agree.
+idx_verdict=$(./target/release/cxu check --read 'x//C' --delete 'x/A' \
+    --doc 'x(B(C E) A(B C))' --index)
+walk_verdict=$(./target/release/cxu check --read 'x//C' --delete 'x/A' \
+    --doc 'x(B(C E) A(B C))')
+echo "$idx_verdict" | grep -q 'CONFLICT' \
+    || { echo "grounded CLI (index) missed the conflict: $idx_verdict"; exit 1; }
+echo "$walk_verdict" | grep -q 'CONFLICT' \
+    || { echo "grounded CLI (walk) missed the conflict: $walk_verdict"; exit 1; }
+
 echo "==> durable serve smoke (--data-dir: ack, kill -9, restart, re-read)"
 data_dir=$(mktemp -d)
 ./target/release/cxu serve --addr 127.0.0.1:0 --workers 2 \

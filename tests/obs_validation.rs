@@ -540,3 +540,186 @@ fn wal_counters_account_for_every_appended_record() {
     assert_eq!(recovered.wal_records(), tail, "the tail stays live");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The structural-index accounting contract (DESIGN.md § Structural
+/// index): every build — tree-walk or streaming — ticks `index.builds`
+/// and records one `index.build_ns` sample; `index.nodes`, `.postings`
+/// and `.bytes` accumulate the built indexes' real sizes;
+/// `index.ingest_bytes` moves only on the streaming (`from_xml`) path,
+/// by exactly the source length. Every grounded check is one
+/// `index.grounded_checks` tick and one `index.grounded_ns` sample,
+/// with the Insert+Value tree-walk fallback bounded by the checks.
+#[test]
+fn index_counters_account_for_builds_and_grounded_checks() {
+    use cxu::index::{detect_grounded, DocIndex};
+    use cxu::prelude::*;
+    use cxu::tree::xml;
+
+    let _guard = lock();
+    let mut rng = SplitMix64::seed_from_u64(0x1D1);
+    let tparams = TreeParams {
+        nodes: 60,
+        alphabet: 6,
+        ..TreeParams::default()
+    };
+
+    let before = obs::registry().snapshot();
+    let mut builds = 0u64;
+    let mut nodes = 0u64;
+    let mut postings = 0u64;
+    let mut bytes = 0u64;
+    let mut docs = Vec::new();
+    for _ in 0..4 {
+        let t = random_tree(&mut rng, &tparams);
+        let idx = DocIndex::from_tree(&t);
+        builds += 1;
+        nodes += idx.len() as u64;
+        postings += idx.postings_len() as u64;
+        bytes += idx.approx_bytes() as u64;
+        docs.push((t, idx));
+    }
+    // The streaming path indexes the identical structure and is the
+    // only one that moves the ingest byte counter.
+    let src = xml::to_xml(&docs[0].0);
+    let sidx = DocIndex::from_xml(&src).expect("round-tripped XML is well-formed");
+    builds += 1;
+    nodes += sidx.len() as u64;
+    postings += sidx.postings_len() as u64;
+    bytes += sidx.approx_bytes() as u64;
+    assert_eq!(sidx.len(), docs[0].1.len(), "same structure, same index");
+
+    let d = obs::registry().snapshot().delta(&before);
+    assert_eq!(d.counter("index.builds"), builds);
+    assert_eq!(d.counter("index.nodes"), nodes);
+    assert_eq!(d.counter("index.postings"), postings);
+    assert_eq!(d.counter("index.bytes"), bytes);
+    assert_eq!(d.counter("index.ingest_bytes"), src.len() as u64);
+    let h = d.histogram("index.build_ns").expect("build histogram");
+    assert_eq!(h.count, builds, "one latency sample per build");
+
+    // Grounded checks over a seeded read/update pool: one tick and one
+    // latency sample per check, fallback bounded by the checks.
+    let mid = obs::registry().snapshot();
+    let program = random_program(
+        &mut rng,
+        &ProgramParams {
+            len: 24,
+            update_rate: 0.5,
+            delete_rate: 0.4,
+            pattern: PatternParams {
+                nodes: 4,
+                alphabet: 6,
+                branch_rate: 0.2,
+                ..PatternParams::default()
+            },
+        },
+    );
+    let mut reads = Vec::new();
+    let mut updates = Vec::new();
+    for s in program.stmts {
+        match s {
+            Stmt::Read(r) => reads.push(r),
+            Stmt::Update(u) => updates.push(u),
+        }
+    }
+    assert!(!reads.is_empty() && !updates.is_empty());
+    let mut checks = 0u64;
+    for (t, idx) in &docs {
+        for (k, r) in reads.iter().enumerate() {
+            let u = &updates[k % updates.len()];
+            for sem in Semantics::ALL {
+                detect_grounded(r, u, t, idx, sem);
+                checks += 1;
+            }
+        }
+    }
+    let d = obs::registry().snapshot().delta(&mid);
+    assert_eq!(d.counter("index.grounded_checks"), checks);
+    let h = d
+        .histogram("index.grounded_ns")
+        .expect("grounded histogram");
+    assert_eq!(h.count, checks, "one latency sample per grounded check");
+    assert!(
+        d.counter("index.eval.fallback") <= checks,
+        "the Insert+Value fallback is a subset of the checks\n{d}"
+    );
+    assert_eq!(d.counter("index.builds"), 0, "checks never rebuild");
+}
+
+/// The store-side index cache contract: every `Store::indexed` lookup
+/// that produces an answer is exactly one cache hit or one miss, every
+/// miss is exactly one index build and one `store.index_ns` sample,
+/// and a commit to the document invalidates the winner's entry.
+#[test]
+fn index_cache_hits_and_misses_partition_indexed_lookups() {
+    let _guard = lock();
+    let store = Store::new(StoreConfig::default());
+    let mut sched = Scheduler::new(test_config());
+    let deadline = Deadline::never();
+    let mut check = |a: &Op, b: &Op| sched.check_pair(a, b, &deadline);
+
+    let mut rng = SplitMix64::seed_from_u64(0x1D2);
+    let tparams = TreeParams {
+        nodes: 20,
+        alphabet: 6,
+        ..TreeParams::default()
+    };
+    let t0 = random_tree(&mut rng, &tparams);
+    let created = store
+        .put("idx-doc", None, PutPayload::Content(t0), &mut check)
+        .expect("create");
+
+    let before = obs::registry().snapshot();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+
+    // First winner lookup builds and caches; repeats are pure hits.
+    let first = store.indexed("idx-doc", None).expect("winner");
+    misses += 1;
+    for _ in 0..3 {
+        let again = store.indexed("idx-doc", None).expect("winner");
+        hits += 1;
+        assert!(
+            std::sync::Arc::ptr_eq(&first, &again),
+            "hits share the cached Arc"
+        );
+    }
+
+    // A commit moves the winner: the cached entry is stale, the next
+    // lookup misses and rebuilds at the new revision.
+    let t1 = random_tree(&mut rng, &tparams);
+    let moved = store
+        .put(
+            "idx-doc",
+            Some(created.rev),
+            PutPayload::Content(t1),
+            &mut check,
+        )
+        .expect("replace at winner");
+    let rebuilt = store.indexed("idx-doc", None).expect("new winner");
+    misses += 1;
+    assert_eq!(rebuilt.rev, moved.rev, "cache serves the current winner");
+
+    // Pinning a non-winner revision always bypasses the cache.
+    let old = store
+        .indexed("idx-doc", Some(created.rev))
+        .expect("pinned revision");
+    misses += 1;
+    assert_eq!(old.rev, created.rev);
+
+    // Error paths answer without touching the accounting.
+    assert!(store.indexed("no-such-doc", None).is_err());
+    let bogus = "9-0123456789abcdef0123456789abcdef".parse().unwrap();
+    assert!(store.indexed("idx-doc", Some(bogus)).is_err());
+
+    let d = obs::registry().snapshot().delta(&before);
+    assert_eq!(d.counter("index.cache.hits"), hits);
+    assert_eq!(d.counter("index.cache.misses"), misses);
+    assert_eq!(
+        d.counter("index.builds"),
+        misses,
+        "every miss is exactly one build, every hit none\n{d}"
+    );
+    let h = d.histogram("store.index_ns").expect("indexed histogram");
+    assert_eq!(h.count, misses, "the build path is the timed path");
+}

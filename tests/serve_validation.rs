@@ -629,3 +629,130 @@ fn pipelined_window_drains_in_order_through_shutdown() {
     assert_eq!(summary.rejected_overload, 0);
     assert_eq!(summary.failed, 0);
 }
+
+/// (k) The grounded `doc_check` route end to end: every verdict the
+/// server hands out over the socket agrees with the in-process Lemma 1
+/// witness check on the same stored document, across all three
+/// semantics; a missing document is a rejection (not an error); and
+/// repeated checks against the same winner reuse the cached index.
+#[test]
+fn doc_check_answers_grounded_verdicts_over_the_socket() {
+    use cxu::gen::program::Stmt;
+
+    let _g = lock();
+    let (addr, _handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(addr);
+
+    // The paper's §1 document, plus enough structure for delete cases.
+    let content = "x(B(C E) A(B C))";
+    let v = c.roundtrip(&format!(
+        r#"{{"route": "doc_put", "doc": "g", "content": "{content}"}}"#
+    ));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    let rev = v.get("rev").and_then(Json::as_str).unwrap().to_owned();
+    let doc = cxu::tree::text::parse(content).unwrap();
+
+    let pairs = [
+        // The §1 motivating pair: the insert creates a new x//C match.
+        (
+            r#"{"kind": "read", "pattern": "x//C"}"#,
+            r#"{"kind": "insert", "pattern": "x/B", "subtree": "C"}"#,
+        ),
+        // Insert elsewhere: no new match for the read.
+        (
+            r#"{"kind": "read", "pattern": "x/B"}"#,
+            r#"{"kind": "insert", "pattern": "x/A", "subtree": "D"}"#,
+        ),
+        // Insert below a returned node: tree/value-only conflict.
+        (
+            r#"{"kind": "read", "pattern": "x/B"}"#,
+            r#"{"kind": "insert", "pattern": "x/B", "subtree": "F"}"#,
+        ),
+        // Delete a subtree the read matches inside.
+        (
+            r#"{"kind": "read", "pattern": "x//C"}"#,
+            r#"{"kind": "delete", "pattern": "x/A"}"#,
+        ),
+        // Delete something the read never sees... except by value.
+        (
+            r#"{"kind": "read", "pattern": "x/B/E"}"#,
+            r#"{"kind": "delete", "pattern": "x/A/C"}"#,
+        ),
+        // Branching read pattern (table path, not the chain path).
+        (
+            r#"{"kind": "read", "pattern": "x/B[C]"}"#,
+            r#"{"kind": "delete", "pattern": "x/B/C"}"#,
+        ),
+    ];
+    for sem in Semantics::ALL {
+        for (r, u) in &pairs {
+            let read = match wire::stmt_from_json(&Json::parse(r).unwrap()).unwrap() {
+                Stmt::Read(read) => read,
+                other => panic!("not a read: {other:?}"),
+            };
+            let update = match wire::stmt_from_json(&Json::parse(u).unwrap()).unwrap() {
+                Stmt::Update(update) => update,
+                other => panic!("not an update: {other:?}"),
+            };
+            let expect = cxu::ops::witness::witnesses_update_conflict(&read, &update, &doc, sem);
+            let v = c.roundtrip(&format!(
+                r#"{{"route": "doc_check", "doc": "g", "semantics": "{}", "read": {r}, "update": {u}}}"#,
+                sem.name()
+            ));
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+            assert_eq!(v.get("rev").and_then(Json::as_str), Some(rev.as_str()));
+            assert_eq!(
+                v.get("conflict").and_then(Json::as_bool),
+                Some(expect),
+                "socket verdict disagrees with the witness check \
+                 for {r} vs {u} under {sem:?}: {v:?}"
+            );
+            assert_eq!(
+                v.get("nodes").and_then(Json::as_u64),
+                Some(doc.live_count() as u64),
+                "{v:?}"
+            );
+        }
+    }
+
+    // A missing document is an answer about state, not a failure.
+    let v = c.roundtrip(
+        r#"{"route": "doc_check", "doc": "nope",
+            "read": {"kind": "read", "pattern": "a//b"},
+            "update": {"kind": "delete", "pattern": "a/b"}}"#
+            .replace('\n', " ")
+            .as_str(),
+    );
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v:?}");
+    assert_eq!(v.get("result").and_then(Json::as_str), Some("rejected"));
+
+    // The index was built once and then served warm from the cache.
+    let m = c.roundtrip(r#"{"route": "metrics"}"#);
+    let counters = m.get("metrics").and_then(|m| m.get("counters")).unwrap();
+    let misses = counters
+        .get("index.cache.misses")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let hits = counters
+        .get("index.cache.hits")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let grounded = counters
+        .get("index.grounded_checks")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert_eq!(misses, 1, "one cold build for the winner: {m}");
+    assert_eq!(
+        hits + misses,
+        (pairs.len() * Semantics::ALL.len()) as u64,
+        "every check hit the cache after the first: {m}"
+    );
+    assert_eq!(grounded, hits + misses, "every check was index-grounded");
+
+    let v = c.roundtrip(r#"{"route": "shutdown"}"#);
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("draining"));
+    drop(c);
+    let summary = join.join().unwrap();
+    assert_identity(&summary);
+    assert_eq!(summary.failed, 0);
+}
