@@ -41,12 +41,14 @@ USAGE:
               [--fsync-interval-ms MS] [--snapshot-every N]
               [--read-timeout-ms MS] [--max-line-bytes N]
   cxu loadgen --addr A [--connections N] [--duration-ms MS] [--requests N]
-              [--seed N] [--profile linear|mixed|store|grounded] [--semantics S]
-              [--deadline-ms MS] [--delay-ms MS] [--docs N]
+              [--seed N] [--profile linear|mixed|store|grounded|txn]
+              [--semantics S] [--deadline-ms MS] [--delay-ms MS] [--docs N]
               [--retries N] [--backoff-ms MS] [--pipeline W]
               [--rate RPS] [--sweep R1,R2,…]
               [--validate] [--out FILE]
-  cxu crashtest --data-dir DIR [--cycles N] [--editors N] [--docs N] [--seed N]
+  cxu txn     --file <file|-> (--addr A | [--data-dir DIR]) [--semantics S]
+  cxu crashtest --data-dir DIR [--cycles N] [--editors N] [--txn-editors N]
+              [--docs N] [--seed N]
               [--min-uptime-ms MS] [--max-uptime-ms MS] [--out FILE]
               [--server-bin PATH]
 
@@ -71,6 +73,20 @@ USAGE:
                     conflict checks against the server's cached
                     structural index); --validate replays every
                     verdict through the in-process tree walk
+  --profile txn     loadgen races atomic multi-op transactions (the
+                    one-shot txn route) over shared documents, guarded
+                    at each editor's last-seen winners; reports commit /
+                    conflict / retry rates, and --validate probes every
+                    acked transaction's revision set for all-or-nothing
+                    visibility
+  cxu txn           applies one transaction program — a JSON object with
+                    \"guards\" ([{doc, rev}]) and \"ops\" ([{doc, op}]) —
+                    read from --file (or stdin via -). With --addr it is
+                    sent to a live server; otherwise it commits against
+                    an in-process store (--data-dir for a durable one)
+  --txn-editors N   crashtest also races N transaction editors; acked
+                    transactions are checked for all-or-nothing survival
+                    across every kill (txn_partial must stay 0)
   --index           check --doc answers through the structural index
                     (preorder spans + label postings) instead of the
                     recursive tree walk; same verdict, microseconds
@@ -122,6 +138,11 @@ EXAMPLES:
   cxu loadgen --addr 127.0.0.1:7878 --profile store --docs 4 \\
               --validate --out BENCH_STORE.json
   cxu serve --addr 127.0.0.1:7878 --data-dir ./data --fsync always
+  cxu loadgen --addr 127.0.0.1:7878 --profile txn --docs 3 \\
+              --validate --out BENCH_TXN.json
+  echo '{\"guards\": [{\"doc\": \"d\", \"rev\": \"1-ab\"}], \
+\"ops\": [{\"doc\": \"d\", \"op\": {\"kind\": \"insert\", \"pattern\": \"d/a\", \"subtree\": \"x\"}}]}' \\
+              | cxu txn --file - --addr 127.0.0.1:7878
   cxu crashtest --data-dir ./crashdata --cycles 100 --seed 42 --out CRASH.json
 ";
 
@@ -957,6 +978,14 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
                 s.created, s.applied, s.merged, s.branched, s.rejected, s.noop
             ));
         }
+        if report.profile == "txn" {
+            let t = &report.txn;
+            summary.push_str(&format!(
+                "\ntxn: applied {} | replayed {} | conflicted {} | rejected {} \
+                 | conflict retries {}",
+                t.applied, t.replayed, t.conflicted, t.rejected, t.conflict_retries
+            ));
+        }
         summary
     } else {
         json
@@ -968,6 +997,158 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
         ));
     }
     Ok(out)
+}
+
+/// Renders a server `txn` response for humans; wire errors and losses
+/// become CLI failures so scripts can branch on the exit code.
+fn render_txn_answer(resp: &cxu::gen::json::Json) -> Result<String, String> {
+    use cxu::gen::json::Json;
+    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("server refused the transaction: {resp}"));
+    }
+    match resp.get("result").and_then(Json::as_str) {
+        Some("applied") => {
+            let replayed = resp.get("replayed").and_then(Json::as_bool) == Some(true);
+            let mut out = String::from(if replayed {
+                "applied (idempotent replay of an earlier commit):"
+            } else {
+                "applied:"
+            });
+            for row in resp.get("revs").and_then(Json::as_arr).unwrap_or(&[]) {
+                out.push_str(&format!(
+                    "\n  {} @ {}",
+                    row.get("doc").and_then(Json::as_str).unwrap_or("?"),
+                    row.get("rev").and_then(Json::as_str).unwrap_or("?"),
+                ));
+            }
+            if let Some(seq) = resp.get("seq").and_then(Json::as_u64) {
+                out.push_str(&format!("\nseq {seq}"));
+            }
+            if let Some(n) = resp.get("checked_pairs").and_then(Json::as_u64) {
+                out.push_str(&format!(", {n} detector pair(s) checked"));
+            }
+            Ok(out)
+        }
+        Some(other) => {
+            let retryable = resp.get("retryable").and_then(Json::as_bool) == Some(true);
+            let detail = resp
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or("no detail");
+            Err(format!(
+                "transaction {other}{}: {detail}",
+                if retryable {
+                    " (retryable — refresh the guards and resubmit)"
+                } else {
+                    ""
+                }
+            ))
+        }
+        None => Err(format!("malformed server response: {resp}")),
+    }
+}
+
+fn cmd_txn(args: &Args) -> Result<String, String> {
+    use cxu::gen::json::Json;
+
+    let spec = args.require("file")?;
+    let src = if spec == "-" {
+        read_stdin()?
+    } else {
+        std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?
+    };
+    let v = Json::parse(src.trim()).map_err(|e| format!("bad transaction JSON: {e}"))?;
+
+    // Live server: wrap the program as a one-shot `txn` request and
+    // send it over the socket — the same commit path the load
+    // generator and the crash harness exercise.
+    if let Some(addr) = args.get("addr") {
+        let Json::Obj(mut members) = v else {
+            return Err("transaction must be a JSON object with \"guards\" and \"ops\"".into());
+        };
+        members.retain(|(k, _)| k != "route" && k != "semantics");
+        members.insert(0, ("route".to_owned(), Json::str("txn")));
+        if args.get("semantics").is_some() {
+            let sem = match parse_semantics(args)? {
+                Semantics::Node => "node",
+                Semantics::Tree => "tree",
+                Semantics::Value => "value",
+            };
+            members.push(("semantics".to_owned(), Json::str(sem)));
+        }
+        let req = Json::Obj(members).to_string();
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let stream =
+            std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?;
+        writer
+            .write_all(req.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("write: {e}"))?;
+        let mut line = String::new();
+        BufReader::new(stream)
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        let resp = Json::parse(line.trim_end()).map_err(|e| format!("bad response line: {e}"))?;
+        return render_txn_answer(&resp);
+    }
+
+    // In-process: apply the transaction directly to a store opened
+    // from --data-dir (durable, WAL-committed as one frame) or to an
+    // ephemeral empty store without it.
+    use cxu::sched::{Deadline, SchedConfig, Scheduler};
+    use cxu::store::{DurabilityConfig, Store, StoreConfig};
+
+    let wire_txn =
+        cxu::gen::wire::txn_from_json(&v).map_err(|e| format!("bad transaction: {e}"))?;
+    if wire_txn.ops.is_empty() {
+        return Err("transaction has no ops".into());
+    }
+    let txn = cxu::txn::Txn::from_wire(&wire_txn).map_err(|e| format!("bad transaction: {e}"))?;
+    let store = match args.get("data-dir") {
+        Some(dir) => Store::open(StoreConfig::default(), DurabilityConfig::new(dir))
+            .map_err(|e| format!("cannot open store in {dir}: {e}"))?,
+        None => Store::new(StoreConfig::default()),
+    };
+    let semantics = if args.get("semantics").is_some() {
+        parse_semantics(args)?
+    } else {
+        Semantics::Value
+    };
+    let mut sched = Scheduler::new(SchedConfig {
+        semantics,
+        jobs: 1,
+        ..SchedConfig::default()
+    });
+    let deadline = Deadline::never();
+    let mut check = |a: &cxu::sched::Op, b: &cxu::sched::Op| sched.check_pair(a, b, &deadline);
+    match txn.apply(&store, &mut check) {
+        Ok(out) => {
+            let mut s = String::from(if out.replayed {
+                "applied (idempotent replay of an earlier commit):"
+            } else {
+                "applied:"
+            });
+            for (doc, rev) in &out.revs {
+                s.push_str(&format!("\n  {doc} @ {rev}"));
+            }
+            s.push_str(&format!(
+                "\nseq {}, {} detector pair(s) checked",
+                out.seq, out.checked_pairs
+            ));
+            Ok(s)
+        }
+        Err(e) => Err(format!(
+            "transaction {}: {e}",
+            if e.retryable() {
+                "conflicted (retryable — refresh the guards and resubmit)"
+            } else {
+                "rejected"
+            }
+        )),
+    }
 }
 
 fn cmd_crashtest(args: &Args) -> Result<String, String> {
@@ -992,6 +1173,11 @@ fn cmd_crashtest(args: &Args) -> Result<String, String> {
             .ok()
             .filter(|&n| n >= 1)
             .ok_or_else(|| format!("bad --editors '{n}' (want a positive integer)"))?;
+    }
+    if let Some(n) = args.get("txn-editors") {
+        cfg.txn_editors = n
+            .parse::<usize>()
+            .map_err(|_| format!("bad --txn-editors '{n}' (want a thread count; 0 disables)"))?;
     }
     if let Some(n) = args.get("docs") {
         cfg.docs = n
@@ -1028,20 +1214,23 @@ fn cmd_crashtest(args: &Args) -> Result<String, String> {
     }
     let summary = format!(
         "{} cycle(s): acked {} (minted {}) | checked {} | lost {} | phantoms {} \
-         | torn recoveries {} | replayed {} record(s), final seq {}",
+         | txns {} (partial {}) | torn recoveries {} | replayed {} record(s), final seq {}",
         report.cycles,
         report.acked,
         report.minted,
         report.checked,
         report.lost,
         report.phantoms,
+        report.txn_acked,
+        report.txn_partial,
         report.torn_recoveries,
         report.replayed_records,
         report.recovered_seq,
     );
     if report.ok() {
         Ok(format!(
-            "{summary}\ndurability holds: every acked write survived"
+            "{summary}\ndurability holds: every acked write survived, \
+             every acked transaction survived whole"
         ))
     } else {
         Err(format!(
@@ -1070,6 +1259,7 @@ fn run() -> Result<String, String> {
         "schedule" => cmd_schedule(&args),
         "serve" => cmd_serve(&args),
         "loadgen" => cmd_loadgen(&args),
+        "txn" => cmd_txn(&args),
         "crashtest" => cmd_crashtest(&args),
         "dot" => cmd_dot(&args),
         "help" | "--help" | "-h" => Ok(USAGE.into()),

@@ -75,6 +75,11 @@ pub use cxu_sched as sched;
 /// auto-merge backed by the pairwise detectors.
 pub use cxu_store as store;
 
+/// Transaction programs: atomic multi-op updates with snapshot-read
+/// guards, transaction-pair conflict analysis, and the serial-
+/// equivalence oracle.
+pub use cxu_txn as txn;
+
 /// The serving layer: NDJSON-over-TCP conflict-detection daemon with
 /// bounded-queue admission control, plus the seeded load generator.
 pub use cxu_serve as serve;

@@ -130,6 +130,97 @@ pub fn program_from_json(v: &Json) -> Result<Program, WireError> {
     Ok(Program { stmts })
 }
 
+/// A transaction program at wire granularity: revision ids stay
+/// strings (this crate has no revision type — the store parses them),
+/// guards assert observed winners, ops apply in order.
+///
+/// ```json
+/// {"guards": [{"doc": "d1", "rev": "1-89ab..."}],
+///  "ops": [{"doc": "d1", "op": {"kind": "insert", "pattern": "a/b", "subtree": "x"}},
+///          {"doc": "d2", "op": {"kind": "delete", "pattern": "a/c"}}]}
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TxnWire {
+    /// `(doc, rev)` snapshot-read guards.
+    pub guards: Vec<(String, String)>,
+    /// `(doc, update)` writes, in program order.
+    pub ops: Vec<(String, Update)>,
+}
+
+/// Encodes a transaction program as a wire-schema object.
+pub fn txn_to_json(t: &TxnWire) -> Json {
+    let guards: Vec<Json> = t
+        .guards
+        .iter()
+        .map(|(doc, rev)| {
+            Json::obj(vec![
+                ("doc", Json::str(doc.clone())),
+                ("rev", Json::str(rev.clone())),
+            ])
+        })
+        .collect();
+    let ops: Vec<Json> = t
+        .ops
+        .iter()
+        .map(|(doc, op)| {
+            Json::obj(vec![
+                ("doc", Json::str(doc.clone())),
+                ("op", update_to_json(op)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("guards", Json::Arr(guards)), ("ops", Json::Arr(ops))])
+}
+
+/// Decodes a wire-schema object back into a transaction program.
+/// `guards` may be absent (no snapshot assertions); `ops` is required.
+pub fn txn_from_json(v: &Json) -> Result<TxnWire, WireError> {
+    let mut guards = Vec::new();
+    if let Some(g) = v.get("guards") {
+        let items = g
+            .as_arr()
+            .ok_or_else(|| werr("txn field 'guards' must be an array"))?;
+        for (i, item) in items.iter().enumerate() {
+            let doc = item
+                .get("doc")
+                .and_then(Json::as_str)
+                .ok_or_else(|| werr(format!("guard {i}: missing string field 'doc'")))?;
+            let rev = item
+                .get("rev")
+                .and_then(Json::as_str)
+                .ok_or_else(|| werr(format!("guard {i}: missing string field 'rev'")))?;
+            guards.push((doc.to_owned(), rev.to_owned()));
+        }
+    }
+    let items = v
+        .get("ops")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| werr("txn is missing array field 'ops'"))?;
+    let mut ops = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let doc = item
+            .get("doc")
+            .and_then(Json::as_str)
+            .ok_or_else(|| werr(format!("txn op {i}: missing string field 'doc'")))?;
+        let op = item
+            .get("op")
+            .ok_or_else(|| werr(format!("txn op {i}: missing field 'op'")))?;
+        let op = update_from_json(op).map_err(|e| werr(format!("txn op {i}: {}", e.0)))?;
+        ops.push((doc.to_owned(), op));
+    }
+    Ok(TxnWire { guards, ops })
+}
+
+/// Structural equivalence of transactions at wire granularity: equal
+/// guards, pointwise equal docs, structurally equivalent updates.
+pub fn txn_eq(a: &TxnWire, b: &TxnWire) -> bool {
+    a.guards == b.guards
+        && a.ops.len() == b.ops.len()
+        && a.ops.iter().zip(b.ops.iter()).all(|((da, ua), (db, ub))| {
+            da == db && stmt_eq(&Stmt::Update(ua.clone()), &Stmt::Update(ub.clone()))
+        })
+}
+
 /// Structural equivalence of statements at wire granularity: same kind,
 /// structurally equal patterns, isomorphic inserted subtrees.
 pub fn stmt_eq(a: &Stmt, b: &Stmt) -> bool {
@@ -159,7 +250,7 @@ mod tests {
     use super::*;
     use crate::patterns::PatternParams;
     use crate::program::{random_program, ProgramParams};
-    use crate::rng::SplitMix64;
+    use crate::rng::{Rng, SplitMix64};
 
     fn roundtrip(p: &Program) {
         let encoded = program_to_json(p).to_string();
@@ -202,6 +293,76 @@ mod tests {
         let first = &enc.as_arr().unwrap()[0];
         assert_eq!(first.get("kind").and_then(Json::as_str), Some("read"));
         assert!(first.get("pattern").is_some());
+    }
+
+    /// Property: `txn_from_json(txn_to_json(t))` is equivalent to `t`
+    /// on seeded random transaction programs, across linear and
+    /// branching pattern shapes.
+    #[test]
+    fn seeded_txns_roundtrip() {
+        for seed in [1u64, 7, 42, 1234, 0xC0FFEE, 20260808] {
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            for branch_rate in [0.0, 0.35] {
+                let mut pattern = PatternParams::linear(4);
+                pattern.branch_rate = branch_rate;
+                pattern.alphabet = 6;
+                let params = ProgramParams {
+                    len: 12,
+                    update_rate: 1.0, // txn writes are updates only
+                    delete_rate: 0.3,
+                    pattern,
+                };
+                let program = random_program(&mut rng, &params);
+                let n_guards = (rng.next_u64() % 3) as usize;
+                let txn = TxnWire {
+                    guards: (0..n_guards)
+                        .map(|i| {
+                            (
+                                format!("doc-{}", rng.next_u64() % 4),
+                                format!("{}-{:032x}", i + 1, rng.next_u64()),
+                            )
+                        })
+                        .collect(),
+                    ops: program
+                        .stmts
+                        .into_iter()
+                        .filter_map(|s| match s {
+                            Stmt::Update(u) => Some(u),
+                            Stmt::Read(_) => None,
+                        })
+                        .enumerate()
+                        .map(|(i, u)| (format!("doc-{}", i % 3), u))
+                        .collect(),
+                };
+                let encoded = txn_to_json(&txn).to_string();
+                let decoded =
+                    txn_from_json(&Json::parse(&encoded).expect("writer output parses")).unwrap();
+                assert!(
+                    txn_eq(&txn, &decoded),
+                    "txn wire roundtrip changed the program: {encoded}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn txn_decode_rejects_malformed_programs() {
+        for bad in [
+            r#"{}"#,                                                                // missing ops
+            r#"{"ops": 7}"#, // ops not an array
+            r#"{"ops": [{"op": {"kind": "delete", "pattern": "a/b"}}]}"#, // op missing doc
+            r#"{"ops": [{"doc": "d"}]}"#, // missing op
+            r#"{"ops": [{"doc": "d", "op": {"kind": "read", "pattern": "a/b"}}]}"#, // read as write
+            r#"{"guards": [{"doc": "d"}], "ops": []}"#, // guard missing rev
+            r#"{"guards": 3, "ops": []}"#, // guards not an array
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(txn_from_json(&v).is_err(), "{bad} should be rejected");
+        }
+        // Guards are optional; an empty program decodes (the store
+        // rejects empty writes, not the codec).
+        let ok = txn_from_json(&Json::parse(r#"{"ops": []}"#).unwrap()).unwrap();
+        assert!(ok.guards.is_empty() && ok.ops.is_empty());
     }
 
     #[test]

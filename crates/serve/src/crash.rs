@@ -60,6 +60,12 @@ pub struct CrashConfig {
     pub cycles: u32,
     /// Concurrent editor threads per cycle.
     pub editors: usize,
+    /// Concurrent transaction-editor threads per cycle: each races
+    /// atomic multi-op `txn` requests (1–[`TXN_EDITOR_MAX_OPS`] writes
+    /// over 1–2 documents) against the same shared documents the plain
+    /// editors mutate. Acked transactions are ledgered as *sets* so
+    /// recovery can be checked for all-or-nothing survival.
+    pub txn_editors: usize,
     /// Shared documents the editors race over.
     pub docs: usize,
     /// Seed for uptimes, editor streams, and the op pool.
@@ -78,6 +84,7 @@ impl CrashConfig {
             data_dir,
             cycles: 100,
             editors: 4,
+            txn_editors: 2,
             docs: 3,
             seed: 0,
             min_uptime_ms: 40,
@@ -111,13 +118,21 @@ pub struct CrashReport {
     pub replayed_records: u64,
     /// Recoveries that truncated a torn tail (crash hit mid-append).
     pub torn_recoveries: u64,
+    /// Acknowledged transactions in the ledger (each a set of minted
+    /// revisions that must survive recovery together).
+    pub txn_acked: u64,
+    /// Acked transactions found *partially* surviving a recovery —
+    /// some revisions readable, some gone. Must be 0: the WAL commits
+    /// a transaction as one checksummed frame, so a torn tail drops
+    /// the whole frame or none of it.
+    pub txn_partial: u64,
 }
 
 impl CrashReport {
     /// The durability verdict: no acked write lost, no phantom
-    /// revision, no consistency violation.
+    /// revision, no torn transaction, no consistency violation.
     pub fn ok(&self) -> bool {
-        self.lost == 0 && self.phantoms == 0 && self.violations.is_empty()
+        self.lost == 0 && self.phantoms == 0 && self.txn_partial == 0 && self.violations.is_empty()
     }
 
     /// Machine-readable report (the CI artifact).
@@ -143,6 +158,8 @@ impl CrashReport {
             ("recovered_seq", Json::from(self.recovered_seq)),
             ("replayed_records", Json::from(self.replayed_records)),
             ("torn_recoveries", Json::from(self.torn_recoveries)),
+            ("txn_acked", Json::from(self.txn_acked)),
+            ("txn_partial", Json::from(self.txn_partial)),
         ])
     }
 }
@@ -158,6 +175,17 @@ struct Acked {
     minted: bool,
     seq: u64,
 }
+
+/// Most writes one txn-editor transaction carries. Feeds the phantom
+/// bound: a crash strands at most one durable-but-unacked transaction
+/// per txn editor, and that transaction mints at most this many
+/// revisions.
+pub const TXN_EDITOR_MAX_OPS: u64 = 3;
+
+/// One acked transaction: the `(doc, rev)` set the server committed
+/// atomically. Recovery must preserve it all-or-nothing (and, since
+/// every member is also in the per-revision ledger, in practice all).
+type TxnSet = Vec<(String, String)>;
 
 /// A server child whose stdout has been parsed up to the readiness
 /// line. Dropping it SIGKILLs the process (the harness's whole point
@@ -263,6 +291,7 @@ fn push_violation(report: &mut CrashReport, msg: String) {
 fn validate_recovery(
     addr: &str,
     ledger: &[Acked],
+    txn_ledger: &[TxnSet],
     kills_so_far: u64,
     cfg: &CrashConfig,
     recovery: Option<&Json>,
@@ -275,6 +304,7 @@ fn validate_recovery(
         .iter()
         .map(|a| (a.doc.as_str(), a.rev.as_str()))
         .collect();
+    let mut survived: HashSet<(&str, &str)> = HashSet::new();
     for (doc, rev) in &distinct {
         let v = client.roundtrip(&format!(
             "{{\"route\": \"doc_get\", \"doc\": \"{doc}\", \"rev\": \"{rev}\"}}"
@@ -282,9 +312,35 @@ fn validate_recovery(
         report.checked += 1;
         let found = v.get("ok").and_then(Json::as_bool) == Some(true)
             && v.get("found").and_then(Json::as_bool) != Some(false);
-        if !found {
+        if found {
+            survived.insert((doc, rev));
+        } else {
             report.lost += 1;
             push_violation(report, format!("acked {doc}@{rev} lost after recovery"));
+        }
+    }
+
+    // 1b. Transaction atomicity: every acked transaction's revision set
+    // survives together. Each member is also an acked revision, so a
+    // missing member already counts as `lost`; a *mixed* set — some
+    // members readable, some gone — is additionally a torn transaction,
+    // which the single-WAL-frame commit makes impossible by design.
+    for set in txn_ledger {
+        report.checked += 1;
+        let found = set
+            .iter()
+            .filter(|(doc, rev)| survived.contains(&(doc.as_str(), rev.as_str())))
+            .count();
+        if found != 0 && found != set.len() {
+            report.txn_partial += 1;
+            push_violation(
+                report,
+                format!(
+                    "txn over {:?} recovered torn: {found} of {} revisions survive",
+                    set.iter().map(|(d, _)| d.as_str()).collect::<Vec<_>>(),
+                    set.len()
+                ),
+            );
         }
     }
 
@@ -303,7 +359,11 @@ fn validate_recovery(
             report.torn_recoveries += 1;
         }
         let minted: u64 = ledger.iter().filter(|a| a.minted).count() as u64;
-        let bound = minted + cfg.editors as u64 * kills_so_far;
+        // Each kill strands at most one in-flight commit per plain
+        // editor (one revision) and one in-flight transaction per txn
+        // editor (up to TXN_EDITOR_MAX_OPS revisions).
+        let stranded_per_kill = cfg.editors as u64 + cfg.txn_editors as u64 * TXN_EDITOR_MAX_OPS;
+        let bound = minted + stranded_per_kill * kills_so_far;
         report.checked += 1;
         if revisions > bound {
             report.phantoms += revisions - bound;
@@ -461,6 +521,159 @@ fn editor_loop(
     acked
 }
 
+/// One transaction-editor thread: races atomic multi-op `txn`
+/// requests (1–[`TXN_EDITOR_MAX_OPS`] update writes over one or two
+/// shared documents, guarded at the winners this editor last saw)
+/// until the stop flag or the socket dies under it. Returns the
+/// per-revision acks for the shared ledger plus the acked revision
+/// *sets*, one per committed transaction, for the atomicity check.
+fn txn_editor_loop(
+    addr: &str,
+    seed: u64,
+    docs: usize,
+    op_json: &[String],
+    stop: &AtomicBool,
+) -> (Vec<Acked>, Vec<TxnSet>) {
+    let mut acked = Vec::new();
+    let mut txns: Vec<TxnSet> = Vec::new();
+    let Ok(mut client) = LineClient::connect(addr) else {
+        return (acked, txns);
+    };
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let n = op_json.len();
+    // Like the plain editors: start blind, fetch winners lazily, and
+    // tolerate races (a plain editor may tombstone a document under
+    // us — the txn is rejected and the refresh below resurrects).
+    let mut revs: Vec<Option<String>> = vec![None; docs];
+    while !stop.load(Ordering::Relaxed) {
+        let d1 = rng.gen_range(0..docs);
+        if revs[d1].is_none() {
+            let Ok(v) = client.roundtrip(&format!(
+                "{{\"route\": \"doc_get\", \"doc\": \"doc-{d1}\"}}"
+            )) else {
+                break;
+            };
+            match v.get("rev").and_then(Json::as_str) {
+                Some(rev) if v.get("deleted").and_then(Json::as_bool) != Some(true) => {
+                    revs[d1] = Some(rev.to_owned());
+                }
+                _ => {
+                    // Deleted or never created: resurrect, ledgered.
+                    let Ok(r) = client.roundtrip(&format!(
+                        "{{\"route\": \"doc_put\", \"doc\": \"doc-{d1}\", \"content\": \"r{seed}(a b)\"}}"
+                    )) else {
+                        break;
+                    };
+                    if r.get("ok").and_then(Json::as_bool) == Some(true) {
+                        if let (Some(rev), Some(res)) = (
+                            r.get("rev").and_then(Json::as_str),
+                            r.get("result").and_then(Json::as_str),
+                        ) {
+                            if res != "rejected" {
+                                acked.push(Acked {
+                                    doc: format!("doc-{d1}"),
+                                    rev: rev.to_owned(),
+                                    minted: res != "noop",
+                                    seq: r.get("seq").and_then(Json::as_u64).unwrap_or(0),
+                                });
+                                revs[d1] = Some(rev.to_owned());
+                            }
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        let d2 = if docs > 1 && rng.gen_bool(0.5) {
+            let mut d = rng.gen_range(0..docs - 1);
+            if d >= d1 {
+                d += 1;
+            }
+            Some(d).filter(|&d| revs[d].is_some())
+        } else {
+            None
+        };
+        let n_ops = 1 + rng.gen_range(0..TXN_EDITOR_MAX_OPS as usize);
+        let mut req = String::from("{\"route\": \"txn\", \"guards\": [");
+        for (k, d) in std::iter::once(d1).chain(d2).enumerate() {
+            if k > 0 {
+                req.push_str(", ");
+            }
+            req.push_str(&format!(
+                "{{\"doc\": \"doc-{d}\", \"rev\": \"{}\"}}",
+                revs[d].as_deref().unwrap_or("")
+            ));
+        }
+        req.push_str("], \"ops\": [");
+        for k in 0..n_ops {
+            if k > 0 {
+                req.push_str(", ");
+            }
+            let d = match d2 {
+                Some(d2) if k % 2 == 1 => d2,
+                _ => d1,
+            };
+            req.push_str(&format!(
+                "{{\"doc\": \"doc-{d}\", \"op\": {}}}",
+                op_json[rng.gen_range(0..n)]
+            ));
+        }
+        req.push_str("], \"semantics\": \"value\"}");
+        let Ok(v) = client.roundtrip(&req) else {
+            break; // the kill landed
+        };
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            continue; // overloaded — just retry another draw
+        }
+        match v.get("result").and_then(Json::as_str) {
+            Some("applied") => {
+                let seq = v.get("seq").and_then(Json::as_u64).unwrap_or(0);
+                let minted = v.get("replayed").and_then(Json::as_bool) != Some(true);
+                let mut set: TxnSet = Vec::new();
+                for row in v.get("revs").and_then(Json::as_arr).unwrap_or(&[]) {
+                    let doc = row
+                        .get("doc")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_owned();
+                    let rev = row
+                        .get("rev")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_owned();
+                    acked.push(Acked {
+                        doc: doc.clone(),
+                        rev: rev.clone(),
+                        minted,
+                        seq,
+                    });
+                    if let Some(idx) = doc
+                        .strip_prefix("doc-")
+                        .and_then(|s| s.parse::<usize>().ok())
+                    {
+                        if idx < docs {
+                            revs[idx] = Some(rev.clone());
+                        }
+                    }
+                    set.push((doc, rev));
+                }
+                if !set.is_empty() {
+                    txns.push(set);
+                }
+            }
+            _ => {
+                // Conflict or rejection: drop the stale views so the
+                // next draw refreshes (and resurrects if need be).
+                revs[d1] = None;
+                if let Some(d2) = d2 {
+                    revs[d2] = None;
+                }
+            }
+        }
+    }
+    (acked, txns)
+}
+
 /// Runs the full harness. `Err` is an environmental failure (cannot
 /// spawn or reach the server); durability verdicts live in the
 /// returned report.
@@ -488,6 +701,7 @@ pub fn run(cfg: &CrashConfig) -> Result<CrashReport, String> {
 
     let mut report = CrashReport::default();
     let mut ledger: Vec<Acked> = Vec::new();
+    let mut txn_ledger: Vec<TxnSet> = Vec::new();
 
     for cycle in 0..cfg.cycles {
         let server = spawn_server(cfg)?;
@@ -516,6 +730,7 @@ pub fn run(cfg: &CrashConfig) -> Result<CrashReport, String> {
             validate_recovery(
                 &server.addr,
                 &ledger,
+                &txn_ledger,
                 u64::from(cycle),
                 cfg,
                 server.recovery.as_ref(),
@@ -529,28 +744,54 @@ pub fn run(cfg: &CrashConfig) -> Result<CrashReport, String> {
             cfg.min_uptime_ms
                 + rng.gen_range(0..(cfg.max_uptime_ms - cfg.min_uptime_ms).max(1) as usize) as u64,
         );
-        let cycle_acks: Vec<Vec<Acked>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..cfg.editors.max(1))
-                .map(|e| {
-                    let addr = server.addr.clone();
-                    let stop = Arc::clone(&stop);
-                    let op_json = &op_json;
-                    let seed = cfg.seed
+        #[allow(clippy::type_complexity)]
+        let (cycle_acks, cycle_txns): (Vec<Vec<Acked>>, Vec<(Vec<Acked>, Vec<TxnSet>)>) =
+            std::thread::scope(|scope| {
+                let editor_seed = |e: u64| {
+                    cfg.seed
                         ^ u64::from(cycle).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        ^ (e as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
-                    scope.spawn(move || editor_loop(&addr, seed, cfg.docs, op_json, &stop))
-                })
-                .collect();
-            std::thread::sleep(uptime);
-            drop(server); // SIGKILL, mid-load
-            stop.store(true, Ordering::Relaxed);
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_default())
-                .collect()
-        });
+                        ^ e.wrapping_mul(0xD1B5_4A32_D192_ED03)
+                };
+                let handles: Vec<_> = (0..cfg.editors.max(1))
+                    .map(|e| {
+                        let addr = server.addr.clone();
+                        let stop = Arc::clone(&stop);
+                        let op_json = &op_json;
+                        let seed = editor_seed(e as u64);
+                        scope.spawn(move || editor_loop(&addr, seed, cfg.docs, op_json, &stop))
+                    })
+                    .collect();
+                // Txn editors race the same documents; their seeds are
+                // offset past the plain editors' range.
+                let txn_handles: Vec<_> = (0..cfg.txn_editors)
+                    .map(|e| {
+                        let addr = server.addr.clone();
+                        let stop = Arc::clone(&stop);
+                        let op_json = &op_json;
+                        let seed = editor_seed((cfg.editors + e) as u64);
+                        scope.spawn(move || txn_editor_loop(&addr, seed, cfg.docs, op_json, &stop))
+                    })
+                    .collect();
+                std::thread::sleep(uptime);
+                drop(server); // SIGKILL, mid-load
+                stop.store(true, Ordering::Relaxed);
+                (
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or_default())
+                        .collect(),
+                    txn_handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or_default())
+                        .collect(),
+                )
+            });
         for acks in cycle_acks {
             ledger.extend(acks);
+        }
+        for (acks, txns) in cycle_txns {
+            ledger.extend(acks);
+            txn_ledger.extend(txns);
         }
         report.cycles = cycle + 1;
     }
@@ -560,6 +801,7 @@ pub fn run(cfg: &CrashConfig) -> Result<CrashReport, String> {
     validate_recovery(
         &server.addr,
         &ledger,
+        &txn_ledger,
         u64::from(cfg.cycles),
         cfg,
         server.recovery.as_ref(),
@@ -569,6 +811,7 @@ pub fn run(cfg: &CrashConfig) -> Result<CrashReport, String> {
     let _ = client.roundtrip("{\"route\": \"shutdown\"}");
 
     report.acked = ledger.len() as u64;
+    report.txn_acked = txn_ledger.len() as u64;
     report.minted = ledger
         .iter()
         .filter(|a| a.minted)

@@ -63,6 +63,13 @@ pub enum LoadProfile {
     /// read/update pairs judged by the document-grounded detector over
     /// the store's cached structural index — the index-serving profile.
     Grounded,
+    /// Concurrent editors racing atomic multi-op transactions (the
+    /// one-shot `txn` route) against shared documents, guarding at
+    /// their last-seen winners — the transaction profile. Measures
+    /// commit / conflict / retry rates and latency; with `validate`,
+    /// replays every acked transaction's revisions against the store
+    /// for all-or-nothing visibility.
+    Txn,
 }
 
 impl LoadProfile {
@@ -73,6 +80,7 @@ impl LoadProfile {
             LoadProfile::Mixed => "mixed",
             LoadProfile::Store => "store",
             LoadProfile::Grounded => "grounded",
+            LoadProfile::Txn => "txn",
         }
     }
 
@@ -83,8 +91,9 @@ impl LoadProfile {
             "mixed" => Ok(LoadProfile::Mixed),
             "store" => Ok(LoadProfile::Store),
             "grounded" => Ok(LoadProfile::Grounded),
+            "txn" => Ok(LoadProfile::Txn),
             other => Err(format!(
-                "unknown profile {other:?} (linear|mixed|store|grounded)"
+                "unknown profile {other:?} (linear|mixed|store|grounded|txn)"
             )),
         }
     }
@@ -100,6 +109,9 @@ impl LoadProfile {
             // Enough branching reads to exercise the index's table
             // (postings-join) path alongside the linear chain path.
             LoadProfile::Grounded => 0.2,
+            // Same rationale as the store profile: mostly-exact merge
+            // and cross-pair checks, with occasional conservative ones.
+            LoadProfile::Txn => 0.15,
         }
     }
 }
@@ -210,6 +222,8 @@ pub struct LoadReport {
     /// Store profile: `doc_put` outcomes by result, as reported by the
     /// server (`created` counts resurrections too).
     pub store: StoreTallies,
+    /// Txn profile: one-shot transaction outcomes by result.
+    pub txn: TxnTallies,
     /// Echo of the run parameters.
     pub seed: u64,
     /// Echo: connections used.
@@ -275,6 +289,39 @@ impl StoreTallies {
     }
 }
 
+/// One-shot `txn` outcome tallies (txn profile).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxnTallies {
+    /// `result: "applied"` with `replayed: false` — first-attempt commits.
+    pub applied: u64,
+    /// `result: "applied"` with `replayed: true` — idempotent replays of
+    /// transactions whose first attempt actually committed.
+    pub replayed: u64,
+    /// `result: "conflict"` — retryable optimistic-concurrency losses
+    /// (stale guards that do not commute with the winning edits, or an
+    /// admission-time clash with an in-flight transaction).
+    pub conflicted: u64,
+    /// `result: "rejected"` — non-retryable refusals.
+    pub rejected: u64,
+    /// Conflict-driven resubmissions: each one refreshed its guards
+    /// from the server's winners and sent the same program again.
+    pub conflict_retries: u64,
+}
+
+impl TxnTallies {
+    fn total(&self) -> u64 {
+        self.applied + self.replayed + self.conflicted + self.rejected
+    }
+
+    fn add(&mut self, other: &TxnTallies) {
+        self.applied += other.applied;
+        self.replayed += other.replayed;
+        self.conflicted += other.conflicted;
+        self.rejected += other.rejected;
+        self.conflict_retries += other.conflict_retries;
+    }
+}
+
 impl LoadReport {
     /// Completed requests per second of elapsed time.
     pub fn throughput_rps(&self) -> f64 {
@@ -306,6 +353,7 @@ impl LoadReport {
                 Json::str(match self.profile {
                     "store" => "store",
                     "grounded" => "grounded",
+                    "txn" => "txn",
                     _ => "serve",
                 }),
             ),
@@ -380,6 +428,28 @@ impl LoadReport {
                     ("merge_rate", Json::from(rate(s.merged, stale))),
                     ("branch_rate", Json::from(rate(s.branched, stale))),
                     ("reject_rate", Json::from(rate(s.rejected, total))),
+                ]),
+            ));
+        }
+        if self.profile == "txn" {
+            let t = &self.txn;
+            let total = t.total();
+            let decided = t.applied + t.conflicted;
+            let rate = |n: u64, d: u64| if d > 0 { n as f64 / d as f64 } else { 0.0 };
+            members.push((
+                "txn",
+                Json::obj(vec![
+                    ("txns", Json::from(total)),
+                    ("applied", Json::from(t.applied)),
+                    ("replayed", Json::from(t.replayed)),
+                    ("conflicted", Json::from(t.conflicted)),
+                    ("rejected", Json::from(t.rejected)),
+                    ("conflict_retries", Json::from(t.conflict_retries)),
+                    // Of the first-attempt commit/conflict decisions, how
+                    // many the optimistic path admitted outright.
+                    ("commit_rate", Json::from(rate(t.applied, decided))),
+                    ("conflict_rate", Json::from(rate(t.conflicted, decided))),
+                    ("retry_rate", Json::from(rate(t.conflict_retries, total))),
                 ]),
             ));
         }
@@ -465,6 +535,11 @@ struct ConnResult {
     observations: Vec<(usize, usize, bool)>,
     /// Store-profile outcome tallies.
     store: StoreTallies,
+    /// Txn-profile outcome tallies.
+    txn: TxnTallies,
+    /// Txn profile with `validate`: the `(doc, rev)` sets the server
+    /// acked as applied, one entry per committed transaction.
+    acked_txns: Vec<Vec<(String, String)>>,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -482,6 +557,9 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     }
     if cfg.profile == LoadProfile::Grounded {
         return run_grounded(cfg);
+    }
+    if cfg.profile == LoadProfile::Txn {
+        return run_txn(cfg);
     }
     // The pool is generated once from the seed; each connection derives
     // its own request stream from seed ⊕ connection index.
@@ -1247,6 +1325,361 @@ fn validate_store(cfg: &LoadConfig, extras: &str) -> Result<(usize, usize), Stri
     Ok((checked, bad))
 }
 
+/// The txn-profile run: seeded concurrent editors racing atomic
+/// multi-op transactions (the one-shot `txn` route) against `cfg.docs`
+/// shared documents, guarding every touched document at the winner the
+/// editor last saw. Under concurrency those guards are naturally stale,
+/// which is exactly the workload the commutativity-aware optimistic
+/// admission exists for: commuting transactions interleave and commit,
+/// conflicting ones lose retryably and resubmit with refreshed guards.
+fn run_txn(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
+    let mut pattern = PatternParams::linear(4);
+    pattern.alphabet = 6;
+    pattern.branch_rate = cfg.profile.branch_rate();
+    let params = ProgramParams {
+        len: cfg.pool_len.max(2),
+        // Update-only: transaction writes reject reads at the parser.
+        update_rate: 1.0,
+        delete_rate: 0.3,
+        pattern,
+    };
+    let program = random_program(&mut rng, &params);
+    let op_json: Vec<String> = program
+        .stmts
+        .iter()
+        .map(|s| wire::stmt_to_json(s).to_string())
+        .collect();
+
+    let extras = request_extras(cfg);
+    let docs = cfg.docs.max(1);
+
+    // Setup pass: create the shared documents, collecting their initial
+    // revisions (the editors' first guards).
+    let tparams = TreeParams {
+        nodes: 12,
+        alphabet: 6,
+        ..TreeParams::default()
+    };
+    let mut setup = LineClient::connect(&cfg.addr)?;
+    let mut init_revs: Vec<String> = Vec::with_capacity(docs);
+    for d in 0..docs {
+        let content = text::to_text(&random_tree(&mut rng, &tparams));
+        let v = setup.roundtrip(&format!(
+            "{{\"route\": \"doc_put\", \"doc\": \"doc-{d}\", \"content\": \"{content}\"{extras}}}"
+        ))?;
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("setup put for doc-{d} failed: {v}"));
+        }
+        let rev = v
+            .get("rev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("setup put for doc-{d} returned no rev"))?;
+        init_revs.push(rev.to_owned());
+    }
+
+    let t0 = Instant::now();
+    let end = t0 + cfg.duration;
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections.max(1))
+            .map(|c| {
+                let op_json = &op_json;
+                let init_revs = &init_revs;
+                scope.spawn(move || txn_editor_loop(cfg, c as u64, op_json, init_revs, end))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut report = LoadReport {
+        elapsed,
+        seed: cfg.seed,
+        connections: cfg.connections.max(1),
+        profile: cfg.profile.name(),
+        pipeline: 1,
+        ..LoadReport::default()
+    };
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut acked: Vec<Vec<(String, String)>> = Vec::new();
+    for r in results {
+        report.sent += r.sent;
+        report.completed += r.completed;
+        report.overloaded += r.overloaded;
+        report.failed += r.failed;
+        report.retries += r.retries;
+        report.txn.add(&r.txn);
+        latencies.extend(r.latencies_us);
+        acked.extend(r.acked_txns);
+    }
+    fill_latencies(&mut report, latencies, Vec::new());
+
+    if cfg.validate {
+        let (checked, disagreements) = validate_txn(cfg, &extras, &acked)?;
+        report.checked_pairs = checked;
+        report.disagreements = disagreements;
+    }
+    Ok(report)
+}
+
+/// One txn-profile editor: build a transaction of 1–3 update writes
+/// over 1–2 shared documents, guard every touched document at the
+/// winner this editor last saw, and send it as a one-shot `txn`
+/// request. Applied answers advance the local winner view from the
+/// acked revisions; retryable conflicts refresh the view from the
+/// server and resubmit the same program (bounded attempts, tallied as
+/// `conflict_retries`).
+fn txn_editor_loop(
+    cfg: &LoadConfig,
+    conn: u64,
+    op_json: &[String],
+    init_revs: &[String],
+    end: Instant,
+) -> ConnResult {
+    let mut out = ConnResult::default();
+    let Ok(mut client) = RetryClient::connect(cfg) else {
+        out.failed += 1;
+        return out;
+    };
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let extras = request_extras(cfg);
+    let docs = init_revs.len();
+    let mut revs: Vec<String> = init_revs.to_vec();
+    let n = op_json.len();
+    let mut req = String::new();
+    'run: while Instant::now() < end {
+        if let Some(cap) = cfg.requests_per_conn {
+            if out.sent >= cap {
+                break;
+            }
+        }
+        // Pick the program once; conflict retries resend it verbatim
+        // (with fresh guards), which is the documented retry story.
+        let d1 = rng.gen_range(0..docs);
+        let span = if docs > 1 && rng.gen_bool(0.5) { 2 } else { 1 };
+        let d2 = if span == 2 {
+            let mut d = rng.gen_range(0..docs - 1);
+            if d >= d1 {
+                d += 1;
+            }
+            d
+        } else {
+            d1
+        };
+        let n_ops = 1 + rng.gen_range(0..3);
+        let writes: Vec<(usize, usize)> = (0..n_ops)
+            .map(|k| {
+                let doc = if span == 2 && k % 2 == 1 { d2 } else { d1 };
+                (doc, rng.gen_range(0..n))
+            })
+            .collect();
+        let mut touched: Vec<usize> = vec![d1];
+        if span == 2 {
+            touched.push(d2);
+        }
+
+        // Bounded optimistic retry: first attempt plus up to two
+        // guard-refreshing resubmissions after retryable conflicts.
+        for attempt in 0..3u32 {
+            req.clear();
+            req.push_str("{\"route\": \"txn\", \"guards\": [");
+            for (k, &d) in touched.iter().enumerate() {
+                if k > 0 {
+                    req.push_str(", ");
+                }
+                req.push_str("{\"doc\": \"doc-");
+                req.push_str(&d.to_string());
+                req.push_str("\", \"rev\": \"");
+                req.push_str(&revs[d]);
+                req.push_str("\"}");
+            }
+            req.push_str("], \"ops\": [");
+            for (k, &(d, op)) in writes.iter().enumerate() {
+                if k > 0 {
+                    req.push_str(", ");
+                }
+                req.push_str("{\"doc\": \"doc-");
+                req.push_str(&d.to_string());
+                req.push_str("\", \"op\": ");
+                req.push_str(&op_json[op]);
+                req.push('}');
+            }
+            req.push(']');
+            req.push_str(&extras);
+            req.push('}');
+            let t_req = Instant::now();
+            out.sent += 1;
+            if attempt > 0 {
+                out.txn.conflict_retries += 1;
+            }
+            let v = match client.roundtrip(&req, &mut rng, &mut out.sent) {
+                Ok(v) => v,
+                Err(_) => {
+                    out.failed += 1;
+                    break 'run;
+                }
+            };
+            if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                if v.get("error").and_then(Json::as_str) == Some("overloaded") {
+                    out.overloaded += 1;
+                } else {
+                    out.failed += 1;
+                }
+                break;
+            }
+            out.completed += 1;
+            out.latencies_us
+                .push(t_req.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            match v.get("result").and_then(Json::as_str) {
+                Some("applied") => {
+                    if v.get("replayed").and_then(Json::as_bool) == Some(true) {
+                        out.txn.replayed += 1;
+                    } else {
+                        out.txn.applied += 1;
+                    }
+                    let mut minted: Vec<(String, String)> = Vec::new();
+                    if let Some(rows) = v.get("revs").and_then(Json::as_arr) {
+                        for row in rows {
+                            let doc = row.get("doc").and_then(Json::as_str).unwrap_or("");
+                            let rev = row.get("rev").and_then(Json::as_str).unwrap_or("");
+                            // The last acked revision per document is
+                            // the new winner this editor observed.
+                            if let Some(idx) = doc
+                                .strip_prefix("doc-")
+                                .and_then(|s| s.parse::<usize>().ok())
+                            {
+                                if idx < docs {
+                                    revs[idx] = rev.to_owned();
+                                }
+                            }
+                            minted.push((doc.to_owned(), rev.to_owned()));
+                        }
+                    }
+                    if cfg.validate && !minted.is_empty() {
+                        out.acked_txns.push(minted);
+                    }
+                    break;
+                }
+                Some("conflict") => {
+                    out.txn.conflicted += 1;
+                    // Refresh every touched document's winner before the
+                    // resubmission (or before the next fresh program when
+                    // the retry budget is spent).
+                    for &d in &touched {
+                        out.sent += 1;
+                        let refresh =
+                            format!("{{\"route\": \"doc_get\", \"doc\": \"doc-{d}\"{extras}}}");
+                        match client.roundtrip(&refresh, &mut rng, &mut out.sent) {
+                            Ok(r) => {
+                                out.completed += 1;
+                                if let Some(w) = r.get("rev").and_then(Json::as_str) {
+                                    revs[d] = w.to_owned();
+                                }
+                            }
+                            Err(_) => {
+                                out.failed += 1;
+                                break 'run;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    out.txn.rejected += 1;
+                    break;
+                }
+            }
+        }
+    }
+    out.retries = client.retried;
+    out
+}
+
+/// The txn profile's `--validate` pass: replay the changes feed for the
+/// usual consistency checks (monotone seqs, one row per document, every
+/// row naming the live winner), then probe every revision of every
+/// acked transaction with an explicit-rev `doc_get` — all-or-nothing
+/// visibility means every acked set is fully present; a transaction
+/// with some revisions durable and some missing is a torn commit.
+/// Returns `(checks, disagreements)`.
+fn validate_txn(
+    cfg: &LoadConfig,
+    extras: &str,
+    acked: &[Vec<(String, String)>],
+) -> Result<(usize, usize), String> {
+    let mut client = LineClient::connect(&cfg.addr)?;
+    let mut checked = 0usize;
+    let mut bad = 0usize;
+
+    let full = client.roundtrip(&format!("{{\"route\": \"doc_changes\"{extras}}}"))?;
+    let entries = full
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("doc_changes returned no results array")?
+        .to_vec();
+    let seq_of = |e: &Json| e.get("seq").and_then(Json::as_u64).unwrap_or(0);
+
+    checked += 1;
+    if !entries.windows(2).all(|w| seq_of(&w[0]) < seq_of(&w[1])) {
+        bad += 1;
+    }
+    checked += 1;
+    let mut seen = std::collections::HashSet::new();
+    if !entries
+        .iter()
+        .all(|e| seen.insert(e.get("doc").and_then(Json::as_str).unwrap_or("").to_owned()))
+    {
+        bad += 1;
+    }
+    for e in &entries {
+        let doc = e.get("doc").and_then(Json::as_str).unwrap_or("");
+        let g = client.roundtrip(&format!(
+            "{{\"route\": \"doc_get\", \"doc\": \"{doc}\"{extras}}}"
+        ))?;
+        checked += 1;
+        if g.get("found").and_then(Json::as_bool) != Some(true)
+            || g.get("rev").and_then(Json::as_str) != e.get("rev").and_then(Json::as_str)
+        {
+            bad += 1;
+        }
+    }
+
+    // All-or-nothing: every revision the server acked inside one
+    // transaction must be individually readable. Probe each (doc, rev)
+    // once — transactions often re-ack a shared revision on replay.
+    let mut present: HashMap<(String, String), bool> = HashMap::new();
+    for txn in acked {
+        checked += 1;
+        let mut found = 0usize;
+        for (doc, rev) in txn {
+            let key = (doc.clone(), rev.clone());
+            let ok = match present.get(&key) {
+                Some(&ok) => ok,
+                None => {
+                    let g = client.roundtrip(&format!(
+                        "{{\"route\": \"doc_get\", \"doc\": \"{doc}\", \"rev\": \"{rev}\"{extras}}}"
+                    ))?;
+                    let ok = g.get("found").and_then(Json::as_bool) == Some(true);
+                    present.insert(key, ok);
+                    ok
+                }
+            };
+            if ok {
+                found += 1;
+            }
+        }
+        // A fully-missing set is a lost commit; a mixed set is a torn
+        // one. Both violate atomic visibility.
+        if found != txn.len() {
+            bad += 1;
+        }
+    }
+
+    Ok((checked, bad))
+}
+
 /// One client thread: connect, fire `check` requests for random
 /// distinct pool pairs, tally responses.
 fn connection_loop(cfg: &LoadConfig, conn: u64, op_json: &[String], end: Instant) -> ConnResult {
@@ -1623,6 +2056,7 @@ mod tests {
             LoadProfile::Mixed,
             LoadProfile::Store,
             LoadProfile::Grounded,
+            LoadProfile::Txn,
         ] {
             assert_eq!(LoadProfile::from_name(p.name()).unwrap(), p);
         }
@@ -1661,6 +2095,35 @@ mod tests {
         assert_eq!(v.get("rejection_rate").and_then(Json::as_f64), Some(0.2));
         let lat = v.get("latency_us").unwrap();
         assert_eq!(lat.get("p99").and_then(Json::as_u64), Some(900));
+    }
+
+    #[test]
+    fn txn_report_json_shape() {
+        let report = LoadReport {
+            sent: 12,
+            completed: 10,
+            elapsed: Duration::from_secs(1),
+            seed: 7,
+            connections: 2,
+            profile: "txn",
+            txn: TxnTallies {
+                applied: 6,
+                replayed: 1,
+                conflicted: 2,
+                rejected: 1,
+                conflict_retries: 2,
+            },
+            ..LoadReport::default()
+        };
+        let v = Json::parse(&report.to_json()).unwrap();
+        assert_eq!(v.get("bench").and_then(Json::as_str), Some("txn"));
+        let t = v.get("txn").unwrap();
+        assert_eq!(t.get("txns").and_then(Json::as_u64), Some(10));
+        assert_eq!(t.get("replayed").and_then(Json::as_u64), Some(1));
+        assert_eq!(t.get("conflict_retries").and_then(Json::as_u64), Some(2));
+        // 6 applied of 8 first-attempt commit/conflict decisions.
+        assert_eq!(t.get("commit_rate").and_then(Json::as_f64), Some(0.75));
+        assert_eq!(t.get("conflict_rate").and_then(Json::as_f64), Some(0.25));
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! {"route": "doc_check", "doc": "d1", "semantics": "node",
 //!  "read": {"kind": "read", "pattern": "a//c"},
 //!  "update": {"kind": "insert", "pattern": "a/b", "subtree": "c"}}
+//! {"route": "txn", "guards": [{"doc": "d1", "rev": "1-89ab..."}],
+//!  "ops": [{"doc": "d1", "op": {"kind": "insert", "pattern": "a/b", "subtree": "x"}},
+//!          {"doc": "d2", "op": {"kind": "delete", "pattern": "a/c"}}]}
+//! {"route": "txn_begin"}
+//! {"route": "txn_submit", "guards": [...], "ops": [...]}
+//! {"route": "txn_commit"}
 //! {"route": "metrics"}
 //! {"route": "health"}
 //! {"route": "shutdown"}
@@ -43,7 +49,9 @@ use cxu_gen::wire;
 use cxu_ops::{Read, Semantics, Update};
 use cxu_sched::{Op, PairDecision, SchedStats};
 use cxu_store::{ChangeEntry, GetResult, PutOutcome, PutPayload, RevId, StoreError};
+use cxu_store::{TxnError, TxnOutcome};
 use cxu_tree::text;
+use cxu_txn::Txn;
 
 /// Maximum accepted request line, in bytes. Defends the parser against
 /// a client streaming an unbounded line.
@@ -111,6 +119,22 @@ pub enum Route {
         /// The update side.
         update: Box<Update>,
     },
+    /// Atomically commit a multi-op transaction program (one-shot form;
+    /// also what a `txn_commit` turns into once its fragments are
+    /// assembled).
+    Txn {
+        /// The parsed program: guards plus ordered writes.
+        txn: Box<Txn>,
+    },
+    /// Open a per-connection transaction accumulator.
+    TxnBegin,
+    /// Append guards/ops to the open accumulator.
+    TxnSubmit {
+        /// The fragment: both fields optional, at least one present.
+        frag: Box<wire::TxnWire>,
+    },
+    /// Commit the open accumulator as one atomic transaction.
+    TxnCommit,
     /// Metrics snapshot.
     Metrics,
     /// Liveness probe.
@@ -130,6 +154,10 @@ impl Route {
             Route::DocDelete { .. } => "doc_delete",
             Route::DocChanges { .. } => "doc_changes",
             Route::DocCheck { .. } => "doc_check",
+            Route::Txn { .. } => "txn",
+            Route::TxnBegin => "txn_begin",
+            Route::TxnSubmit { .. } => "txn_submit",
+            Route::TxnCommit => "txn_commit",
             Route::Metrics => "metrics",
             Route::Health => "health",
             Route::Shutdown => "shutdown",
@@ -295,12 +323,41 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 update: Box::new(update),
             }
         }
+        "txn" => {
+            let w = wire::txn_from_json(&v).map_err(|e| e.to_string())?;
+            if w.ops.is_empty() {
+                return Err("txn requires at least one op".to_owned());
+            }
+            let txn =
+                Txn::from_wire(&w).map_err(|e| e.to_string())?;
+            Route::Txn { txn: Box::new(txn) }
+        }
+        "txn_begin" => Route::TxnBegin,
+        "txn_submit" => {
+            if v.get("guards").is_none() && v.get("ops").is_none() {
+                return Err("txn_submit requires 'guards' or 'ops'".to_owned());
+            }
+            // Reuse the wire codec with absent fields defaulted: a
+            // fragment may carry guards alone, ops alone, or both.
+            let padded = Json::obj(vec![
+                (
+                    "guards",
+                    v.get("guards").cloned().unwrap_or(Json::Arr(Vec::new())),
+                ),
+                ("ops", v.get("ops").cloned().unwrap_or(Json::Arr(Vec::new()))),
+            ]);
+            let frag = wire::txn_from_json(&padded).map_err(|e| e.to_string())?;
+            Route::TxnSubmit {
+                frag: Box::new(frag),
+            }
+        }
+        "txn_commit" => Route::TxnCommit,
         "metrics" => Route::Metrics,
         "health" => Route::Health,
         "shutdown" => Route::Shutdown,
         other => {
             return Err(format!(
-                "unknown route {other:?} (check|schedule|doc_put|doc_get|doc_delete|doc_changes|doc_check|metrics|health|shutdown)"
+                "unknown route {other:?} (check|schedule|doc_put|doc_get|doc_delete|doc_changes|doc_check|txn|txn_begin|txn_submit|txn_commit|metrics|health|shutdown)"
             ))
         }
     };
@@ -481,6 +538,70 @@ pub fn render_doc_changes(id: Option<u64>, entries: &[ChangeEntry], last_seq: u6
         ),
     ));
     members.push(("last_seq".to_owned(), Json::from(last_seq)));
+    Json::Obj(members).to_string()
+}
+
+/// Renders a committed transaction: every minted revision in program
+/// order, the post-commit sequence number, and whether the commit was
+/// an idempotent replay of an earlier ack.
+pub fn render_txn_applied(id: Option<u64>, out: &TxnOutcome) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str("txn")));
+    members.push(("result".to_owned(), Json::str("applied")));
+    members.push((
+        "revs".to_owned(),
+        Json::Arr(
+            out.revs
+                .iter()
+                .map(|(doc, rev)| {
+                    Json::obj(vec![
+                        ("doc", Json::str(doc.clone())),
+                        ("rev", Json::str(rev.to_string())),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    members.push(("seq".to_owned(), Json::from(out.seq)));
+    members.push(("checked_pairs".to_owned(), Json::from(out.checked_pairs)));
+    members.push(("replayed".to_owned(), Json::Bool(out.replayed)));
+    Json::Obj(members).to_string()
+}
+
+/// Renders a transaction that did not commit. Like store rejections,
+/// these are *answers*: `ok` stays true. Optimistic-concurrency losses
+/// come back as `result: "conflict"` with `retryable: true` — the
+/// client re-reads, re-guards, and resubmits; terminal rejections
+/// (unknown document, bad guard revision, oversized program) come back
+/// as `result: "rejected"` with `retryable: false`.
+pub fn render_txn_denied(id: Option<u64>, err: &TxnError) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str("txn")));
+    members.push((
+        "result".to_owned(),
+        Json::str(if err.retryable() {
+            "conflict"
+        } else {
+            "rejected"
+        }),
+    ));
+    members.push(("reason".to_owned(), Json::str(err.code())));
+    members.push(("retryable".to_owned(), Json::Bool(err.retryable())));
+    if let TxnError::Conflict { doc, .. } = err {
+        members.push(("doc".to_owned(), Json::str(doc.clone())));
+    }
+    members.push(("detail".to_owned(), Json::str(err.to_string())));
+    Json::Obj(members).to_string()
+}
+
+/// Renders the `txn_begin` / `txn_submit` accumulator acknowledgements
+/// (`status: "open"` with the current fragment totals).
+pub fn render_txn_pending(id: Option<u64>, route: &str, guards: usize, ops: usize) -> String {
+    let mut members = base(id, true);
+    members.push(("route".to_owned(), Json::str(route)));
+    members.push(("status".to_owned(), Json::str("open")));
+    members.push(("guards".to_owned(), Json::from(guards)));
+    members.push(("ops".to_owned(), Json::from(ops)));
     Json::Obj(members).to_string()
 }
 

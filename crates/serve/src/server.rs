@@ -51,10 +51,12 @@
 
 use crate::proto::{self, Request, Route};
 use crate::shard::{Job, PushError, RespCell, ShardSet};
+use cxu_gen::wire::TxnWire;
 use cxu_obs::Registry;
 use cxu_runtime::{failpoints, Deadline};
 use cxu_sched::{Op, PairDecision, PairLookup, SchedConfig, Scheduler};
-use cxu_store::{DurabilityConfig, FsyncPolicy, Store, StoreConfig, StoreError};
+use cxu_store::{DurabilityConfig, FsyncPolicy, Store, StoreConfig, StoreError, TxnError};
+use cxu_txn::Txn;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -162,6 +164,11 @@ pub struct ServeSummary {
 }
 
 /// State shared by the acceptor, IO loops, and shard workers.
+/// An in-flight transaction under optimistic admission: the token the
+/// committing job holds, plus its ops keyed by document for cross-pair
+/// analysis against arrivals.
+type InflightTxn = (u64, Vec<(String, Op)>);
+
 struct Shared {
     cfg: ServeConfig,
     start: Instant,
@@ -174,6 +181,15 @@ struct Shared {
     /// spawns binds to it, so serve/sched/store metrics all isolate per
     /// server even when two servers overlap in one process.
     registry: &'static Registry,
+    /// Transactions currently applying, as `(token, sched ops)`.
+    /// Optimistic admission analyzes an arriving transaction against
+    /// every entry (under this lock, so admission is serialized and
+    /// deterministic) and answers `result: "conflict"` without touching
+    /// the store when any cross pair conflicts. Correctness does not
+    /// depend on this — the store's guard checks are the authority —
+    /// but it turns a doomed commit into an immediate retryable answer.
+    txn_inflight: Mutex<Vec<InflightTxn>>,
+    txn_tokens: AtomicU64,
     connections: AtomicU64,
     accepted: AtomicU64,
     completed: AtomicU64,
@@ -241,6 +257,8 @@ impl Server {
             shards,
             store,
             registry,
+            txn_inflight: Mutex::new(Vec::new()),
+            txn_tokens: AtomicU64::new(0),
             cfg,
             start: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -602,11 +620,20 @@ fn process_job(shared: &Shared, job: &Job) -> String {
                 cxu_obs::histogram!("serve.doc_check_ns").record_since(job.received);
                 Ok(resp)
             }
-            // Admin routes are answered inline on the IO thread and
-            // never enter a queue.
-            Route::Metrics | Route::Health | Route::Shutdown => {
-                Err("admin route reached the worker pool".to_owned())
+            Route::Txn { txn } => {
+                let resp = apply_txn_job(shared, job, txn, home, &deadline);
+                cxu_obs::histogram!("serve.txn_ns").record_since(job.received);
+                Ok(resp)
             }
+            // Admin routes are answered inline on the IO thread (and
+            // the txn accumulator routes on their connection) — none of
+            // them ever enters a queue.
+            Route::TxnBegin
+            | Route::TxnSubmit { .. }
+            | Route::TxnCommit
+            | Route::Metrics
+            | Route::Health
+            | Route::Shutdown => Err("admin route reached the worker pool".to_owned()),
         }
     };
     let result = catch_unwind(AssertUnwindSafe(run)).unwrap_or_else(|_| {
@@ -633,9 +660,77 @@ fn process_job(shared: &Shared, job: &Job) -> String {
                 cxu_obs::counter!("store.puts").inc();
                 cxu_obs::counter!("store.put.failed").inc();
             }
+            // Same discipline for the transaction partition:
+            // `txn.commits == applied + conflicted + rejected + failed`,
+            // and `failed` is owned by this panic path (the store never
+            // tallies an unwound commit).
+            if matches!(job.req.route, Route::Txn { .. }) {
+                cxu_obs::counter!("txn.commits").inc();
+                cxu_obs::counter!("txn.failed").inc();
+            }
             tally(shared, Outcome::Failed);
             proto::render_error(job.req.id, "internal", &detail)
         }
+    }
+}
+
+/// Commits one transaction job: optimistic admission against the
+/// in-flight registry, then the store's atomic multi-op commit.
+fn apply_txn_job(
+    shared: &Shared,
+    job: &Job,
+    txn: &Txn,
+    shard: &crate::shard::Shard,
+    deadline: &Deadline,
+) -> String {
+    let ops = txn.sched_ops();
+    let token = {
+        let mut inflight = lock(&shared.txn_inflight);
+        for (_, theirs) in inflight.iter() {
+            // Transaction-pair analysis through the home shard's warm
+            // cache; the registry lock is held, so two conflicting
+            // transactions can never both pass this gate.
+            let rep = lock(shard.sched(job.req.semantics)).analyze_txn_pair(&ops, theirs, deadline);
+            if rep.conflict {
+                drop(inflight);
+                cxu_obs::counter!("txn.commits").inc();
+                cxu_obs::counter!("txn.conflicted").inc();
+                let err = TxnError::Conflict {
+                    doc: txn.writes[0].doc.clone(),
+                    detail: if rep.conservative {
+                        "commutation with an in-flight transaction could not be \
+                         proved within budget; retry after it completes"
+                            .to_owned()
+                    } else {
+                        "conflicts with an in-flight transaction; retry after it \
+                         completes"
+                            .to_owned()
+                    },
+                };
+                return proto::render_txn_denied(job.req.id, &err);
+            }
+        }
+        let token = shared.txn_tokens.fetch_add(1, Ordering::Relaxed);
+        inflight.push((token, ops));
+        token
+    };
+    // Unregister on every exit — including an unwinding detector panic —
+    // so a dead transaction can't wedge admission forever.
+    struct Unregister<'a> {
+        shared: &'a Shared,
+        token: u64,
+    }
+    impl Drop for Unregister<'_> {
+        fn drop(&mut self) {
+            lock(&self.shared.txn_inflight).retain(|(t, _)| *t != self.token);
+        }
+    }
+    let _guard = Unregister { shared, token };
+    let mut check =
+        |a: &Op, b: &Op| lock(shard.sched(job.req.semantics)).check_pair(a, b, deadline);
+    match shared.store.apply_txn(&txn.guards, &txn.writes, &mut check) {
+        Ok(out) => proto::render_txn_applied(job.req.id, &out),
+        Err(e) => proto::render_txn_denied(job.req.id, &e),
     }
 }
 
@@ -660,6 +755,11 @@ struct Conn {
     out: VecDeque<Pending>,
     /// Rendered bytes not yet accepted by the socket.
     wbuf: Vec<u8>,
+    /// The open `txn_begin`/`txn_submit` accumulator, if any. Purely
+    /// per-connection state: a connection that closes mid-transaction
+    /// leaves nothing behind (nothing reaches the store before
+    /// `txn_commit`).
+    txn_acc: Option<TxnWire>,
     /// When the connection entered its current quiet partial-line
     /// stall (slow-loris clock; see `ServeConfig::read_timeout`).
     stall_since: Option<Instant>,
@@ -678,6 +778,7 @@ impl Conn {
             pending_in: Vec::new(),
             out: VecDeque::new(),
             wbuf: Vec::new(),
+            txn_acc: None,
             stall_since: None,
             closing: false,
             done: false,
@@ -781,7 +882,11 @@ impl Conn {
                 return true;
             }
             let line_end = consumed + rel;
-            let outcome = handle_line(shared, &self.pending_in[consumed..line_end]);
+            let outcome = handle_line(
+                shared,
+                &self.pending_in[consumed..line_end],
+                &mut self.txn_acc,
+            );
             match outcome {
                 LineOutcome::Ready(resp) => self.out.push_back(Pending::Ready(resp)),
                 LineOutcome::Queued(cell) => self.out.push_back(Pending::Waiting(cell)),
@@ -905,9 +1010,10 @@ enum InlineCheck {
     Busy,
 }
 
-/// Handles one complete request line on the IO thread: admin routes and
-/// warm-cache checks inline, everything else through shard admission.
-fn handle_line(shared: &Shared, line: &[u8]) -> LineOutcome {
+/// Handles one complete request line on the IO thread: admin routes,
+/// the connection's transaction accumulator, and warm-cache checks
+/// inline; everything else through shard admission.
+fn handle_line(shared: &Shared, line: &[u8], txn_acc: &mut Option<TxnWire>) -> LineOutcome {
     let received = Instant::now();
     shared.accepted.fetch_add(1, Ordering::Relaxed);
     cxu_obs::counter!("serve.accepted").inc();
@@ -927,7 +1033,7 @@ fn handle_line(shared: &Shared, line: &[u8]) -> LineOutcome {
             )
         }
     };
-    let req = match proto::parse_request(text) {
+    let mut req = match proto::parse_request(text) {
         Ok(r) => r,
         Err(e) => {
             return finish(
@@ -936,6 +1042,75 @@ fn handle_line(shared: &Shared, line: &[u8]) -> LineOutcome {
             )
         }
     };
+    // The accumulator routes run right here on the connection's state:
+    // `txn_begin`/`txn_submit` answer inline, and a valid `txn_commit`
+    // rewrites itself into a one-shot `txn` before dispatch.
+    if matches!(req.route, Route::TxnBegin) {
+        return if txn_acc.is_some() {
+            finish(
+                Outcome::Failed,
+                proto::render_error(
+                    req.id,
+                    "bad-request",
+                    "a transaction is already open on this connection",
+                ),
+            )
+        } else {
+            *txn_acc = Some(TxnWire::default());
+            finish(
+                Outcome::Completed,
+                proto::render_txn_pending(req.id, "txn_begin", 0, 0),
+            )
+        };
+    }
+    if let Route::TxnSubmit { frag } = &req.route {
+        return match txn_acc.as_mut() {
+            None => finish(
+                Outcome::Failed,
+                proto::render_error(req.id, "bad-request", "txn_submit without txn_begin"),
+            ),
+            Some(acc) => {
+                acc.guards.extend(frag.guards.iter().cloned());
+                acc.ops.extend(frag.ops.iter().cloned());
+                finish(
+                    Outcome::Completed,
+                    proto::render_txn_pending(
+                        req.id,
+                        "txn_submit",
+                        acc.guards.len(),
+                        acc.ops.len(),
+                    ),
+                )
+            }
+        };
+    }
+    if matches!(req.route, Route::TxnCommit) {
+        // Commit consumes the accumulator whether or not it converts —
+        // a malformed transaction leaves the connection clean.
+        match txn_acc.take() {
+            None => {
+                return finish(
+                    Outcome::Failed,
+                    proto::render_error(req.id, "bad-request", "txn_commit without txn_begin"),
+                )
+            }
+            Some(w) if w.ops.is_empty() => {
+                return finish(
+                    Outcome::Failed,
+                    proto::render_error(req.id, "bad-request", "transaction has no ops"),
+                )
+            }
+            Some(w) => match Txn::from_wire(&w) {
+                Err(e) => {
+                    return finish(
+                        Outcome::Failed,
+                        proto::render_error(req.id, "bad-request", &e.to_string()),
+                    )
+                }
+                Ok(t) => req.route = Route::Txn { txn: Box::new(t) },
+            },
+        }
+    }
     match &req.route {
         // Admin routes bypass the queues: they must answer precisely
         // when the pool is saturated.
@@ -967,13 +1142,20 @@ fn handle_line(shared: &Shared, line: &[u8]) -> LineOutcome {
             shared.begin_shutdown();
             resp
         }
+        // The accumulator routes were consumed above; reaching dispatch
+        // with one would be a bug in this function.
+        Route::TxnBegin | Route::TxnSubmit { .. } | Route::TxnCommit => finish(
+            Outcome::Failed,
+            proto::render_error(req.id, "internal", "txn accumulator route reached dispatch"),
+        ),
         Route::Check { .. }
         | Route::Schedule { .. }
         | Route::DocPut { .. }
         | Route::DocGet { .. }
         | Route::DocDelete { .. }
         | Route::DocChanges { .. }
-        | Route::DocCheck { .. } => {
+        | Route::DocCheck { .. }
+        | Route::Txn { .. } => {
             let deadline = req
                 .deadline_ms
                 .map(Duration::from_millis)
@@ -1136,6 +1318,105 @@ mod tests {
             summary.accepted,
             summary.completed + summary.rejected_overload + summary.failed
         );
+    }
+
+    #[test]
+    fn txn_routes_commit_atomically_and_lose_retryably() {
+        let server = Server::bind(ServeConfig::default(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.run().unwrap());
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        let put = |c: &mut TcpStream, doc: &str, content: &str| -> String {
+            let v = roundtrip(
+                c,
+                &format!(r#"{{"route": "doc_put", "doc": "{doc}", "content": "{content}"}}"#),
+            );
+            assert_eq!(v.get("result").and_then(Json::as_str), Some("created"));
+            v.get("rev").and_then(Json::as_str).unwrap().to_owned()
+        };
+        let r1 = put(&mut c, "d1", "a(b c)");
+        let r2 = put(&mut c, "d2", "a(x)");
+
+        // One-shot txn: two documents, both guarded, all-or-nothing.
+        let txn = format!(
+            r#"{{"route": "txn", "id": 5,
+                "guards": [{{"doc": "d1", "rev": "{r1}"}}, {{"doc": "d2", "rev": "{r2}"}}],
+                "ops": [
+                  {{"doc": "d1", "op": {{"kind": "insert", "pattern": "a/b", "subtree": "x"}}}},
+                  {{"doc": "d2", "op": {{"kind": "delete", "pattern": "a/x"}}}}]}}"#
+        )
+        .replace('\n', " ");
+        let v = roundtrip(&mut c, &txn);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+        assert_eq!(v.get("result").and_then(Json::as_str), Some("applied"));
+        assert_eq!(v.get("replayed").and_then(Json::as_bool), Some(false));
+        let revs = v.get("revs").and_then(Json::as_arr).unwrap();
+        assert_eq!(revs.len(), 2);
+        let g = roundtrip(&mut c, r#"{"route": "doc_get", "doc": "d1"}"#);
+        assert_eq!(
+            g.get("content").and_then(Json::as_str),
+            Some("a(b(x) c)"),
+            "{g}"
+        );
+
+        // A verbatim retry of a fully-guarded transaction is an
+        // idempotent replay: the original revisions come back.
+        let v2 = roundtrip(&mut c, &txn);
+        assert_eq!(v2.get("result").and_then(Json::as_str), Some("applied"));
+        assert_eq!(
+            v2.get("replayed").and_then(Json::as_bool),
+            Some(true),
+            "{v2}"
+        );
+        assert_eq!(v2.get("revs").map(Json::to_string), revs_json(&v));
+
+        // A stale guard whose chain does NOT commute with the program
+        // loses retryably: delete a/b conflicts with the intervening
+        // insert under a/b.
+        let stale = format!(
+            r#"{{"route": "txn", "guards": [{{"doc": "d1", "rev": "{r1}"}}],
+                "ops": [{{"doc": "d1", "op": {{"kind": "delete", "pattern": "a/b"}}}}]}}"#
+        )
+        .replace('\n', " ");
+        let v = roundtrip(&mut c, &stale);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+        assert_eq!(v.get("result").and_then(Json::as_str), Some("conflict"));
+        assert_eq!(v.get("retryable").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("reason").and_then(Json::as_str), Some("txn-conflict"));
+
+        // The accumulator form: begin, submit fragments, commit.
+        let v = roundtrip(&mut c, r#"{"route": "txn_begin"}"#);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("open"));
+        let v = roundtrip(
+            &mut c,
+            r#"{"route": "txn_submit",
+                "ops": [{"doc": "d2", "op": {"kind": "insert", "pattern": "a", "subtree": "y"}}]}"#
+                .replace('\n', " ")
+                .as_str(),
+        );
+        assert_eq!(v.get("ops").and_then(Json::as_u64), Some(1));
+        let v = roundtrip(&mut c, r#"{"route": "txn_commit"}"#);
+        assert_eq!(
+            v.get("result").and_then(Json::as_str),
+            Some("applied"),
+            "{v}"
+        );
+
+        // Commit without an open transaction is a client error, and the
+        // connection keeps serving.
+        let v = roundtrip(&mut c, r#"{"route": "txn_commit"}"#);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("bad-request"));
+
+        roundtrip(&mut c, r#"{"route": "shutdown"}"#);
+        drop(c);
+        t.join().unwrap();
+    }
+
+    fn revs_json(v: &Json) -> Option<String> {
+        v.get("revs").map(Json::to_string)
     }
 
     #[test]

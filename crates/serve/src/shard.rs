@@ -246,7 +246,11 @@ impl ShardSet {
             | Route::DocGet { doc, .. }
             | Route::DocDelete { doc, .. }
             | Route::DocCheck { doc, .. } => fnv_str(doc),
+            // A transaction routes like its first written document, so
+            // single-doc transactions share their document's warm shard.
+            Route::Txn { txn } => fnv_str(&txn.writes[0].doc),
             Route::DocChanges { .. } => fnv_str("doc_changes"),
+            Route::TxnBegin | Route::TxnSubmit { .. } | Route::TxnCommit => 0,
             Route::Metrics | Route::Health | Route::Shutdown => 0,
         };
         (h % n) as usize

@@ -30,6 +30,7 @@ pub use rev::{RevId, RevParseError};
 pub use revtree::{RevNode, RevTree};
 pub use store::{
     ChangeEntry, DurabilityConfig, GetResult, IndexedDoc, PairCheck, PutOutcome, PutPayload,
-    PutResult, Store, StoreConfig, StoreError,
+    PutResult, Store, StoreConfig, StoreError, TxnError, TxnGuard, TxnOutcome, TxnWrite,
+    MAX_TXN_OPS,
 };
 pub use wal::FsyncPolicy;

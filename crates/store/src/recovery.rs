@@ -137,6 +137,23 @@ fn node_from_json(v: &Json) -> Result<(RevId, RevNode), WalError> {
     ))
 }
 
+/// Renders one commit's WAL record as a JSON value (the body of a
+/// standalone frame, or one element of a transaction frame).
+pub(crate) fn record_json(
+    doc_id: &str,
+    rev: &RevId,
+    node: &RevNode,
+    result: &'static str,
+    alias: Option<&RevId>,
+) -> Json {
+    let mut fields = vec![("doc", Json::str(doc_id)), ("result", Json::str(result))];
+    fields.extend(node_fields(rev, node));
+    if let Some(a) = alias {
+        fields.push(("alias", Json::str(a.to_string())));
+    }
+    Json::obj(fields)
+}
+
 /// Renders one commit's WAL record body.
 pub(crate) fn record_body(
     doc_id: &str,
@@ -145,12 +162,16 @@ pub(crate) fn record_body(
     result: &'static str,
     alias: Option<&RevId>,
 ) -> String {
-    let mut fields = vec![("doc", Json::str(doc_id)), ("result", Json::str(result))];
-    fields.extend(node_fields(rev, node));
-    if let Some(a) = alias {
-        fields.push(("alias", Json::str(a.to_string())));
-    }
-    Json::obj(fields).to_string()
+    record_json(doc_id, rev, node, result, alias).to_string()
+}
+
+/// Renders a transaction frame: every commit of one atomic transaction
+/// inside a single checksummed WAL record. Atomicity falls out of the
+/// framing — the frame has one checksum, so the torn-tail rule keeps
+/// either the whole transaction or none of it; a partial transaction
+/// cannot survive a crash.
+pub(crate) fn txn_body(records: Vec<Json>) -> String {
+    Json::obj(vec![("txn", Json::Arr(records))]).to_string()
 }
 
 /// Renders the snapshot body for the given live state. Documents and
@@ -190,6 +211,42 @@ pub(crate) fn snapshot_body<'a>(
         ("docs", Json::Arr(docs_json)),
     ])
     .to_string()
+}
+
+/// Replays one commit record (a standalone frame's body, or one element
+/// of a transaction frame) into the recovered state.
+fn apply_record(
+    v: &Json,
+    docs: &mut HashMap<String, RecoveredDoc>,
+    seq: &mut u64,
+    revisions: &mut u64,
+) -> Result<(), WalError> {
+    let doc_id = v
+        .get("doc")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt("wal record missing doc".to_owned()))?;
+    let (rev, node) = node_from_json(v)?;
+    let node_seq = node.seq;
+    let doc = docs
+        .entry(doc_id.to_owned())
+        .or_insert_with(|| RecoveredDoc {
+            revs: RevTree::new(),
+            seq: 0,
+            aliases: HashMap::new(),
+        });
+    if doc.revs.insert(rev, node) {
+        *revisions += 1;
+    }
+    doc.seq = doc.seq.max(node_seq);
+    *seq = (*seq).max(node_seq);
+    if let Some(a) = v.get("alias") {
+        let from = a
+            .as_str()
+            .and_then(|s| RevId::from_str(s).ok())
+            .ok_or_else(|| corrupt("wal record alias".to_owned()))?;
+        doc.aliases.insert(from, rev);
+    }
+    Ok(())
 }
 
 /// Rebuilds the store's state from an optional snapshot body plus the
@@ -254,31 +311,21 @@ pub(crate) fn rebuild(snapshot: Option<&str>, scan: &Scan) -> Result<Recovered, 
     let mut replayed = 0u64;
     for body in &scan.records {
         let v = Json::parse(body).map_err(|e| corrupt(format!("wal record: {e}")))?;
-        let doc_id = v
-            .get("doc")
-            .and_then(Json::as_str)
-            .ok_or_else(|| corrupt("wal record missing doc".to_owned()))?;
-        let (rev, node) = node_from_json(&v)?;
-        let node_seq = node.seq;
-        let doc = docs
-            .entry(doc_id.to_owned())
-            .or_insert_with(|| RecoveredDoc {
-                revs: RevTree::new(),
-                seq: 0,
-                aliases: HashMap::new(),
-            });
-        if doc.revs.insert(rev, node) {
-            revisions += 1;
+        if let Some(inner) = v.get("txn") {
+            // A transaction frame: replay every inner commit, in the
+            // order the transaction staged them. The frame counts once
+            // toward `replayed_records` — one append, one replay — so
+            // the WAL accounting identities keep holding.
+            let inner = inner
+                .as_arr()
+                .ok_or_else(|| corrupt("wal txn frame is not an array".to_owned()))?;
+            for record in inner {
+                apply_record(record, &mut docs, &mut seq, &mut revisions)?;
+            }
+            replayed += 1;
+            continue;
         }
-        doc.seq = doc.seq.max(node_seq);
-        seq = seq.max(node_seq);
-        if let Some(a) = v.get("alias") {
-            let from = a
-                .as_str()
-                .and_then(|s| RevId::from_str(s).ok())
-                .ok_or_else(|| corrupt("wal record alias".to_owned()))?;
-            doc.aliases.insert(from, rev);
-        }
+        apply_record(&v, &mut docs, &mut seq, &mut revisions)?;
         replayed += 1;
     }
     cxu_obs::counter!("store.wal.replayed_on_recovery").add(replayed);
@@ -419,6 +466,74 @@ mod tests {
         let b1 = snapshot_body(1, vec![("d", &t1, 1u64, &a)].into_iter());
         let b2 = snapshot_body(1, vec![("d", &t1, 1u64, &a)].into_iter());
         assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn txn_frames_replay_every_inner_commit_but_count_once() {
+        let r1 = RevId::derive(None, "content\0a(b)", false);
+        let r2 = RevId::derive(None, "content\0x(y)", false);
+        let c1 = RevId::derive(Some(&r1), "update\0u1", false);
+        let c2 = RevId::derive(Some(&r2), "update\0u2", false);
+        let records = vec![
+            record_body(
+                "d1",
+                &r1,
+                &node(None, false, Some("a(b)"), 1),
+                "created",
+                None,
+            ),
+            record_body(
+                "d2",
+                &r2,
+                &node(None, false, Some("x(y)"), 2),
+                "created",
+                None,
+            ),
+            txn_body(vec![
+                record_json(
+                    "d1",
+                    &c1,
+                    &node(Some(r1), false, Some("a(b c)"), 3),
+                    "applied",
+                    None,
+                ),
+                record_json(
+                    "d2",
+                    &c2,
+                    &node(Some(r2), false, Some("x(y z)"), 4),
+                    "applied",
+                    Some(&r1),
+                ),
+            ]),
+        ];
+        let scan = Scan {
+            records,
+            offsets: vec![0, 0, 0],
+            valid_len: 0,
+            torn_bytes: 0,
+        };
+        let r = rebuild(None, &scan).unwrap();
+        assert_eq!(r.seq, 4);
+        assert_eq!(r.revisions, 4);
+        assert_eq!(r.report.replayed_records, 3, "one frame, one replay");
+        assert_eq!(r.docs["d1"].revs.winner(), Some(c1));
+        assert_eq!(r.docs["d2"].revs.winner(), Some(c2));
+        assert_eq!(r.docs["d1"].seq, 3);
+        assert_eq!(r.docs["d2"].seq, 4);
+        assert_eq!(
+            r.docs["d2"].aliases.get(&r1),
+            Some(&c2),
+            "inner aliases restore"
+        );
+
+        // A malformed frame fails loudly, like any other record.
+        let scan = Scan {
+            records: vec![r#"{"txn": 7}"#.to_owned()],
+            offsets: vec![0],
+            valid_len: 0,
+            torn_bytes: 0,
+        };
+        assert!(rebuild(None, &scan).is_err());
     }
 
     #[test]

@@ -282,6 +282,104 @@ pub struct ChangeEntry {
 /// `Scheduler::check_pair` under the request's deadline.
 pub type PairCheck<'a> = dyn FnMut(&Op, &Op) -> PairDecision + 'a;
 
+/// Admission bound on operations per transaction: bounds the staged
+/// state and the single WAL frame a transaction becomes.
+pub const MAX_TXN_OPS: usize = 256;
+
+/// One write of a transaction: an update operation against a named
+/// document. Transactions edit *existing, live* documents — creation
+/// and deletion stay single-op puts, because a whole-document write
+/// commutes with nothing and gains nothing from transaction machinery.
+#[derive(Clone, Debug)]
+pub struct TxnWrite {
+    /// Document id.
+    pub doc: String,
+    /// The operation, applied in transaction order.
+    pub op: Update,
+}
+
+/// A snapshot-read guard: the transaction observed `rev` as a
+/// document's winner and asks the store to hold it to that
+/// observation. For a *written* document a stale guard may still
+/// commit — when every operation that landed since provably commutes
+/// with the transaction's own ops on it (the merge rung's criterion,
+/// lifted to op sets). For a *read-only* document the guard demands
+/// the winner still be exactly `rev`: there is no op of ours to
+/// commute with, so any movement invalidates the read.
+#[derive(Clone, Debug)]
+pub struct TxnGuard {
+    /// Document id.
+    pub doc: String,
+    /// The winner the transaction read its snapshot at.
+    pub rev: RevId,
+}
+
+/// A committed (or replayed) transaction.
+#[derive(Clone, Debug)]
+pub struct TxnOutcome {
+    /// One minted revision per write, in transaction order.
+    pub revs: Vec<(String, RevId)>,
+    /// The store's sequence after the commit (the last write's slot;
+    /// unchanged for replays).
+    pub seq: u64,
+    /// Detector pairs consulted across all guard chains.
+    pub checked_pairs: usize,
+    /// True when the transaction was recognized as an idempotent
+    /// retry of an already-committed transaction: `revs` holds the
+    /// originally minted revisions and nothing new was committed.
+    pub replayed: bool,
+}
+
+/// Why a transaction did not commit. Nothing was applied either way —
+/// a transaction's effects are all-or-nothing by construction.
+#[derive(Clone, Debug)]
+pub enum TxnError {
+    /// Optimistic concurrency lost: a guard went stale and the
+    /// intervening operations could not be *proved* to commute with
+    /// the transaction's own (genuine conflicts and conservative
+    /// verdicts alike — the same soundness discipline as the merge
+    /// rung: never commit on a guess). Retryable: re-read, re-guard,
+    /// resubmit.
+    Conflict {
+        /// The document whose guard failed.
+        doc: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The request is malformed or contradicts document state (unknown
+    /// document or revision, tombstoned target, empty program).
+    /// Resubmitting the identical transaction cannot succeed.
+    Rejected(StoreError),
+}
+
+impl TxnError {
+    /// The wire `reason` code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            TxnError::Conflict { .. } => "txn-conflict",
+            TxnError::Rejected(e) => e.code(),
+        }
+    }
+
+    /// Whether resubmitting after a fresh read can succeed.
+    pub fn retryable(&self) -> bool {
+        matches!(self, TxnError::Conflict { .. })
+    }
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Conflict { doc, detail } => {
+                write!(f, "transaction conflict on {doc:?}: {detail}")
+            }
+            TxnError::Rejected(e) => write!(f, "transaction rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
 /// One revision row from [`Store::doc_revs`]: `(rev, parent, deleted,
 /// content text)`.
 pub type RevRow = (RevId, Option<RevId>, bool, Option<String>);
@@ -443,12 +541,17 @@ impl Inner {
 fn payload_text(payload: &PutPayload) -> String {
     match payload {
         PutPayload::Content(t) => format!("content\0{}", text::to_text(t)),
-        PutPayload::Op(u) => {
-            let stmt = Stmt::Update(u.clone());
-            format!("update\0{}", wire::stmt_to_json(&stmt))
-        }
+        PutPayload::Op(u) => op_payload_text(u),
         PutPayload::Tombstone => "tombstone".to_owned(),
     }
+}
+
+/// The operation payload's canonical text (shared by single-op puts
+/// and transaction writes, so the same edit at the same parent mints
+/// the same revision id through either path).
+fn op_payload_text(u: &Update) -> String {
+    let stmt = Stmt::Update(u.clone());
+    format!("update\0{}", wire::stmt_to_json(&stmt))
 }
 
 impl Store {
@@ -617,6 +720,378 @@ impl Store {
                 PutResult::Branched => cxu_obs::counter!("store.put.branched").inc(),
             },
             Err(_) => cxu_obs::counter!("store.put.rejected").inc(),
+        }
+    }
+
+    /// Applies a transaction atomically: every write commits — all
+    /// revisions minted, logged as a **single** checksummed WAL frame,
+    /// visible in one changes-feed step per document — or nothing
+    /// changes at all.
+    ///
+    /// Admission is optimistic, the merge rung's criterion lifted to
+    /// transactions: a guard whose revision is no longer the winner
+    /// does not fail outright — the operations that landed in between
+    /// are checked pairwise against the transaction's own ops on that
+    /// document, and only when *every* pair is an exact, non-degraded
+    /// no-conflict does the transaction replay on the current winner.
+    /// Any genuine conflict, any conservative verdict, or a read-only
+    /// guard whose winner moved at all, turns into a retryable
+    /// [`TxnError::Conflict`]. Transactions never branch: a branch of
+    /// half a program would not be a serializable unit.
+    ///
+    /// Same-document writes chain — the second op applies to the
+    /// first's result — and detector calls run with the store
+    /// unlocked, re-verifying winner stability before committing
+    /// (bounded by `merge_retries`, like the put ladder).
+    ///
+    /// Retries are idempotent when **every written document carries a
+    /// guard**: each write's client-view revision id (derived by
+    /// chaining from the guard) is recorded as a replay alias, so
+    /// resubmitting an already-committed transaction resolves to a
+    /// no-op at the originally minted revisions. Unguarded writes
+    /// anchor at whatever the winner happens to be, which a retry
+    /// cannot reproduce — clients that retry must guard.
+    pub fn apply_txn(
+        &self,
+        guards: &[TxnGuard],
+        writes: &[TxnWrite],
+        check: &mut PairCheck<'_>,
+    ) -> Result<TxnOutcome, TxnError> {
+        let t0 = Instant::now();
+        let out = self.apply_txn_inner(guards, writes, check);
+        // `txn.commits` partitions exactly like `store.puts`:
+        // `txn.commits == txn.applied + txn.conflicted + txn.rejected
+        // + txn.failed`, where `failed` belongs to the serving layer
+        // (a transaction that dies before the store can answer).
+        cxu_obs::counter!("txn.commits").inc();
+        cxu_obs::counter!("txn.ops").add(writes.len() as u64);
+        match &out {
+            Ok(_) => cxu_obs::counter!("txn.applied").inc(),
+            Err(TxnError::Conflict { .. }) => cxu_obs::counter!("txn.conflicted").inc(),
+            Err(TxnError::Rejected(_)) => cxu_obs::counter!("txn.rejected").inc(),
+        }
+        cxu_obs::histogram!("store.txn_ns").record_since(t0);
+        out
+    }
+
+    fn apply_txn_inner(
+        &self,
+        guards: &[TxnGuard],
+        writes: &[TxnWrite],
+        check: &mut PairCheck<'_>,
+    ) -> Result<TxnOutcome, TxnError> {
+        let reject = |e: StoreError| TxnError::Rejected(e);
+        if writes.is_empty() {
+            return Err(reject(StoreError::Conflict(
+                "transaction has no writes".to_owned(),
+            )));
+        }
+        if writes.len() > MAX_TXN_OPS {
+            return Err(reject(StoreError::Conflict(format!(
+                "transaction has {} writes; the limit is {MAX_TXN_OPS}",
+                writes.len()
+            ))));
+        }
+        let mut guard_of: HashMap<&str, RevId> = HashMap::new();
+        for g in guards {
+            if guard_of.insert(g.doc.as_str(), g.rev).is_some() {
+                return Err(reject(StoreError::Conflict(format!(
+                    "duplicate guard for document {:?}",
+                    g.doc
+                ))));
+            }
+        }
+        // Written documents in first-touch order (small sets; a scan
+        // beats hashing).
+        let mut write_docs: Vec<&str> = Vec::new();
+        for w in writes {
+            if !write_docs.contains(&w.doc.as_str()) {
+                write_docs.push(&w.doc);
+            }
+        }
+        let all_guarded = write_docs.iter().all(|d| guard_of.contains_key(d));
+        let payload_strs: Vec<String> = writes.iter().map(|w| op_payload_text(&w.op)).collect();
+
+        struct DocPlan {
+            winner: RevId,
+            tree: Tree,
+            /// Ops between a stale guard and the winner (empty when the
+            /// guard is current or absent).
+            chain: Vec<Update>,
+        }
+
+        let mut attempts = 0usize;
+        let mut checked_total = 0usize;
+        'retry: loop {
+            // Phase 1 — validate and snapshot under the lock.
+            let mut inner = self.lock();
+            for g in guards {
+                let doc = inner
+                    .docs
+                    .get(&g.doc)
+                    .ok_or_else(|| reject(StoreError::NotFound(g.doc.clone())))?;
+                if !doc.revs.contains(&g.rev) {
+                    return Err(reject(StoreError::UnknownRev(format!(
+                        "document {:?} has no revision {}",
+                        g.doc, g.rev
+                    ))));
+                }
+            }
+            let mut plans: HashMap<&str, DocPlan> = HashMap::new();
+            for &d in &write_docs {
+                let doc = inner
+                    .docs
+                    .get(d)
+                    .ok_or_else(|| reject(StoreError::NotFound(d.to_owned())))?;
+                let winner = doc.revs.winner().expect("known documents are nonempty");
+                let wnode = doc.revs.get(&winner).expect("winner exists");
+                if wnode.deleted {
+                    return Err(reject(StoreError::Conflict(format!(
+                        "document {d:?} is deleted; transactions edit live documents"
+                    ))));
+                }
+                let chain = match guard_of.get(d) {
+                    Some(g) if *g != winner => match Self::plan_chain(&doc.revs, g, &winner) {
+                        Some(ops) => ops,
+                        None => {
+                            return Err(TxnError::Conflict {
+                                doc: d.to_owned(),
+                                detail: format!("guard {g} cannot linearize to winner {winner}"),
+                            })
+                        }
+                    },
+                    _ => Vec::new(),
+                };
+                plans.insert(
+                    d,
+                    DocPlan {
+                        winner,
+                        tree: wnode.content.clone().expect("live winners carry content"),
+                        chain,
+                    },
+                );
+            }
+            // Read-only guards demand an unmoved winner.
+            for g in guards {
+                if plans.contains_key(g.doc.as_str()) {
+                    continue;
+                }
+                let doc = inner.docs.get(&g.doc).expect("validated above");
+                let winner = doc.revs.winner().expect("known documents are nonempty");
+                if winner != g.rev {
+                    return Err(TxnError::Conflict {
+                        doc: g.doc.clone(),
+                        detail: format!("read guard at {} but the winner is {winner}", g.rev),
+                    });
+                }
+            }
+
+            // Client-view replay anchors: the id each write would mint
+            // if committed directly at its guard, chained per document.
+            // Deterministic in the client's inputs alone (for guarded
+            // documents), so a retry derives the same anchors.
+            let mut anchor_tip: HashMap<&str, RevId> = write_docs
+                .iter()
+                .map(|&d| (d, guard_of.get(d).copied().unwrap_or(plans[d].winner)))
+                .collect();
+            let mut anchors = Vec::with_capacity(writes.len());
+            for (w, p) in writes.iter().zip(&payload_strs) {
+                let tip = anchor_tip.get_mut(w.doc.as_str()).expect("planned above");
+                let a = RevId::derive(Some(tip), p, false);
+                *tip = a;
+                anchors.push(a);
+            }
+            if all_guarded {
+                let mut resolved = Vec::with_capacity(writes.len());
+                for (w, a) in writes.iter().zip(&anchors) {
+                    let doc = inner.docs.get(&w.doc).expect("planned above");
+                    let prior = if doc.revs.contains(a) {
+                        Some(*a)
+                    } else {
+                        doc.merge_aliases.get(a).copied()
+                    };
+                    match prior {
+                        Some(r) => resolved.push((w.doc.clone(), r)),
+                        None => {
+                            resolved.clear();
+                            break;
+                        }
+                    }
+                }
+                if resolved.len() == writes.len() {
+                    // Every write already committed: an idempotent
+                    // retry of the whole transaction.
+                    return Ok(TxnOutcome {
+                        revs: resolved,
+                        seq: inner.seq,
+                        checked_pairs: checked_total,
+                        replayed: true,
+                    });
+                }
+            }
+
+            // Phase 2 — prove stale guards commute, detectors outside
+            // the lock. Each intervening op must commute with *every*
+            // transaction op on that document.
+            let mut to_check: Vec<(&str, Op, Op)> = Vec::new();
+            for &d in &write_docs {
+                for iv in &plans[d].chain {
+                    for w in writes.iter().filter(|w| w.doc == d) {
+                        to_check.push((d, Op::Update(iv.clone()), Op::Update(w.op.clone())));
+                    }
+                }
+            }
+            if !to_check.is_empty() {
+                let snap: Vec<(String, RevId)> = plans
+                    .iter()
+                    .map(|(d, p)| (d.to_string(), p.winner))
+                    .chain(
+                        guards
+                            .iter()
+                            .filter(|g| !plans.contains_key(g.doc.as_str()))
+                            .map(|g| (g.doc.clone(), g.rev)),
+                    )
+                    .collect();
+                drop(inner);
+                let round_start = checked_total;
+                let mut conflict: Option<(&str, bool)> = None;
+                for (d, a, b) in &to_check {
+                    let dec = check(a, b);
+                    checked_total += 1;
+                    if dec.verdict.conflict || dec.verdict.detector.is_conservative() {
+                        conflict = Some((*d, dec.verdict.detector.is_conservative()));
+                        break;
+                    }
+                }
+                cxu_obs::counter!("txn.pair.checked").add((checked_total - round_start) as u64);
+                if let Some((d, conservative)) = conflict {
+                    cxu_obs::counter!("txn.pair.conflicts").inc();
+                    return Err(TxnError::Conflict {
+                        doc: d.to_owned(),
+                        detail: if conservative {
+                            "an intervening operation could not be proved to commute \
+                             (degraded verdict)"
+                                .to_owned()
+                        } else {
+                            "an intervening operation conflicts with the transaction".to_owned()
+                        },
+                    });
+                }
+                inner = self.lock();
+                for (d, rev) in &snap {
+                    let moved = match inner.docs.get(d) {
+                        Some(doc) => doc.revs.winner() != Some(*rev),
+                        None => true,
+                    };
+                    if moved {
+                        if attempts < self.cfg.merge_retries {
+                            attempts += 1;
+                            cxu_obs::counter!("txn.retries").inc();
+                            drop(inner);
+                            continue 'retry;
+                        }
+                        return Err(TxnError::Conflict {
+                            doc: d.clone(),
+                            detail: "the winner kept moving during validation".to_owned(),
+                        });
+                    }
+                }
+            }
+
+            // Phase 3 — stage and commit atomically, lock held, every
+            // winner exactly as planned. Same-document writes chain.
+            let mut minted: Vec<(String, RevId)> = Vec::with_capacity(writes.len());
+            let mut records: Vec<cxu_gen::json::Json> = Vec::with_capacity(writes.len());
+            let mut staged: Vec<(String, RevId, RevNode, Option<RevId>)> =
+                Vec::with_capacity(writes.len());
+            let mut tips: HashMap<&str, (RevId, Tree)> = plans
+                .iter()
+                .map(|(&d, p)| (d, (p.winner, p.tree.clone())))
+                .collect();
+            let base_seq = inner.seq;
+            for (i, (w, pstr)) in writes.iter().zip(&payload_strs).enumerate() {
+                let (parent, tree) = tips.get_mut(w.doc.as_str()).expect("planned above");
+                let rev = RevId::derive(Some(&*parent), pstr, false);
+                if inner
+                    .docs
+                    .get(&w.doc)
+                    .is_some_and(|doc| doc.revs.contains(&rev))
+                {
+                    // An identical edit at the same parent raced in
+                    // while unlocked. Reusing it would weld half this
+                    // transaction to someone else's commit; hand the
+                    // race back instead.
+                    return Err(TxnError::Conflict {
+                        doc: w.doc.clone(),
+                        detail: format!("revision {rev} already exists; identical edit raced in"),
+                    });
+                }
+                let (new_tree, _) = w.op.apply_to_copy(tree);
+                let seq = base_seq + i as u64 + 1;
+                let node = RevNode {
+                    parent: Some(*parent),
+                    deleted: false,
+                    content: Some(new_tree.clone()),
+                    op: Some(w.op.clone()),
+                    seq,
+                };
+                let alias = (anchors[i] != rev).then_some(anchors[i]);
+                records.push(recovery::record_json(
+                    &w.doc,
+                    &rev,
+                    &node,
+                    "applied",
+                    alias.as_ref(),
+                ));
+                minted.push((w.doc.clone(), rev));
+                staged.push((w.doc.clone(), rev, node, alias));
+                *parent = rev;
+                *tree = new_tree;
+            }
+            // One frame, one checksum: the WAL either holds the whole
+            // transaction or none of it. Log first, mutate after — as
+            // everywhere, memory must never run ahead of the disk.
+            if let Some(d) = &mut inner.durable {
+                let body = recovery::txn_body(records);
+                d.wal
+                    .append(body.as_bytes())
+                    .map_err(|e| reject(from_wal(e)))?;
+            }
+            inner.seq = base_seq + writes.len() as u64;
+            for &d in &write_docs {
+                // Exactly one invalidation per document, however many
+                // generations this transaction advanced it.
+                inner.index_cache.remove(d);
+            }
+            let mut slots: Vec<(String, u64, u64)> = Vec::with_capacity(write_docs.len());
+            for (doc_id, rev, node, alias) in staged {
+                let node_seq = node.seq;
+                let doc = inner.docs.get_mut(&doc_id).expect("planned above");
+                let inserted = doc.revs.insert(rev, node);
+                debug_assert!(inserted, "staging is only reached for fresh revisions");
+                if let Some(a) = alias {
+                    doc.merge_aliases.insert(a, rev);
+                }
+                match slots.iter_mut().find(|(d, ..)| *d == doc_id) {
+                    Some(slot) => slot.2 = node_seq,
+                    None => slots.push((doc_id, doc.seq, node_seq)),
+                }
+            }
+            inner.revisions += writes.len() as u64;
+            for (doc_id, old_seq, new_seq) in slots {
+                if old_seq != 0 {
+                    inner.by_seq.remove(&old_seq);
+                }
+                inner.docs.get_mut(&doc_id).expect("planned above").seq = new_seq;
+                inner.by_seq.insert(new_seq, doc_id);
+            }
+            inner.maybe_compact();
+            return Ok(TxnOutcome {
+                revs: minted,
+                seq: inner.seq,
+                checked_pairs: checked_total,
+                replayed: false,
+            });
         }
     }
 
@@ -814,20 +1289,30 @@ impl Store {
         winner: &RevId,
         _op: &Update,
     ) -> Option<(Vec<Update>, Tree)> {
-        let base_node = revs.get(base)?;
-        if base_node.deleted {
-            return None;
-        }
         let winner_node = revs.get(winner)?;
         if winner_node.deleted {
             return None;
         }
-        let chain = revs.chain(base, winner)?;
-        let mut intervening = Vec::with_capacity(chain.len());
-        for r in &chain {
-            intervening.push(revs.get(r)?.op.clone()?);
-        }
+        let intervening = Self::plan_chain(revs, base, winner)?;
         Some((intervening, winner_node.content.clone()?))
+    }
+
+    /// The operations on the chain from `base` (exclusive) to `winner`
+    /// (inclusive), oldest first — what a stale base must commute with.
+    /// `None` when the chain cannot linearize: base deleted, base not
+    /// an ancestor of the winner (sibling branches), or an intervening
+    /// revision without a replayable op.
+    fn plan_chain(revs: &RevTree, base: &RevId, winner: &RevId) -> Option<Vec<Update>> {
+        let base_node = revs.get(base)?;
+        if base_node.deleted {
+            return None;
+        }
+        let chain = revs.chain(base, winner)?;
+        let mut ops = Vec::with_capacity(chain.len());
+        for r in &chain {
+            ops.push(revs.get(r)?.op.clone()?);
+        }
+        Some(ops)
     }
 
     fn create(
@@ -1655,6 +2140,408 @@ mod tests {
             assert_eq!(old.index.len(), 3);
             let i4 = store.indexed("d", None).unwrap();
             assert_eq!(i4.rev, up.rev);
+        });
+    }
+
+    fn guard(doc: &str, rev: RevId) -> TxnGuard {
+        TxnGuard {
+            doc: doc.to_owned(),
+            rev,
+        }
+    }
+
+    fn write(doc: &str, op: Update) -> TxnWrite {
+        TxnWrite {
+            doc: doc.to_owned(),
+            op,
+        }
+    }
+
+    #[test]
+    fn txn_commits_all_writes_atomically_across_documents() {
+        let store = Store::default();
+        with_sched(|check| {
+            let c1 = store.put("d1", None, content("a(b c)"), check).unwrap();
+            let c2 = store.put("d2", None, content("x(y z)"), check).unwrap();
+            let seq0 = store.current_seq();
+
+            let out = store
+                .apply_txn(
+                    &[guard("d1", c1.rev), guard("d2", c2.rev)],
+                    &[
+                        write("d1", insert_op("a/b", "p")),
+                        write("d2", insert_op("x/y", "q")),
+                        write("d1", insert_op("a/c", "r")),
+                    ],
+                    check,
+                )
+                .unwrap();
+            assert!(!out.replayed);
+            assert_eq!(out.revs.len(), 3);
+            assert_eq!(out.seq, seq0 + 3);
+            assert_eq!(out.checked_pairs, 0, "fresh guards need no detectors");
+
+            // Same-document writes chained: d1 advanced two generations.
+            let g1 = store.get("d1", None, true).unwrap();
+            assert_eq!(g1.rev.generation, 3);
+            assert!(g1.conflicts.is_empty());
+            assert!(iso::isomorphic(
+                g1.content.as_ref().unwrap(),
+                &text::parse("a(b(p) c(r))").unwrap()
+            ));
+            let g2 = store.get("d2", None, true).unwrap();
+            assert!(iso::isomorphic(
+                g2.content.as_ref().unwrap(),
+                &text::parse("x(y(q) z)").unwrap()
+            ));
+
+            // One changes-feed row per document, at the final seqs.
+            let (entries, _) = store.changes(seq0, None);
+            assert_eq!(entries.len(), 2);
+            assert_eq!(entries[0].doc, "d2");
+            assert_eq!(entries[0].seq, seq0 + 2);
+            assert_eq!(entries[1].doc, "d1");
+            assert_eq!(entries[1].seq, seq0 + 3);
+        });
+    }
+
+    #[test]
+    fn txn_with_stale_guard_commits_when_chain_commutes_and_conflicts_otherwise() {
+        let store = Store::default();
+        with_sched(|check| {
+            let c = store.put("d", None, content("a(b c e)"), check).unwrap();
+            // Another editor lands first.
+            store
+                .put(
+                    "d",
+                    Some(c.rev),
+                    PutPayload::Op(insert_op("a/b", "x")),
+                    check,
+                )
+                .unwrap();
+
+            // Commuting transaction: edits under a/c and a/e only.
+            let out = store
+                .apply_txn(
+                    &[guard("d", c.rev)],
+                    &[
+                        write("d", insert_op("a/c", "y")),
+                        write("d", insert_op("a/e", "z")),
+                    ],
+                    check,
+                )
+                .unwrap();
+            assert!(out.checked_pairs >= 2, "chain op × both txn ops");
+            let g = store.get("d", None, true).unwrap();
+            assert!(g.conflicts.is_empty(), "no branching, single head");
+            assert!(iso::isomorphic(
+                g.content.as_ref().unwrap(),
+                &text::parse("a(b(x) c(y) e(z))").unwrap()
+            ));
+
+            // Conflicting transaction: deleting a/b collides with the
+            // intervening insert under a/b. Nothing may land — not even
+            // the commuting first write.
+            let before = store.doc_revs("d").unwrap();
+            let err = store
+                .apply_txn(
+                    &[guard("d", c.rev)],
+                    &[
+                        write("d", insert_op("a/e", "w")),
+                        write("d", delete_op("a/b")),
+                    ],
+                    check,
+                )
+                .unwrap_err();
+            assert!(matches!(err, TxnError::Conflict { .. }));
+            assert!(err.retryable());
+            assert_eq!(err.code(), "txn-conflict");
+            assert_eq!(store.doc_revs("d").unwrap(), before, "all-or-nothing");
+        });
+    }
+
+    #[test]
+    fn txn_read_only_guard_demands_unmoved_winner() {
+        let store = Store::default();
+        with_sched(|check| {
+            let c1 = store.put("d1", None, content("a(b)"), check).unwrap();
+            let c2 = store.put("d2", None, content("x(y)"), check).unwrap();
+
+            // Guarding d2 read-only while it is unmoved: fine.
+            store
+                .apply_txn(
+                    &[guard("d1", c1.rev), guard("d2", c2.rev)],
+                    &[write("d1", insert_op("a/b", "p"))],
+                    check,
+                )
+                .unwrap();
+
+            // d2 moves; the same read guard now fails, even though the
+            // write on d1 would commute.
+            let u2 = store
+                .put(
+                    "d2",
+                    Some(c2.rev),
+                    PutPayload::Op(insert_op("x/y", "q")),
+                    check,
+                )
+                .unwrap();
+            let err = store
+                .apply_txn(
+                    &[guard("d1", c1.rev), guard("d2", c2.rev)],
+                    &[write("d1", insert_op("a/b", "s"))],
+                    check,
+                )
+                .unwrap_err();
+            assert!(matches!(err, TxnError::Conflict { ref doc, .. } if doc == "d2"));
+
+            // Re-guarding at the current winner succeeds.
+            store
+                .apply_txn(
+                    &[guard("d1", c1.rev), guard("d2", u2.rev)],
+                    &[write("d1", insert_op("a/b", "s"))],
+                    check,
+                )
+                .unwrap();
+        });
+    }
+
+    #[test]
+    fn txn_retry_is_a_noop_at_the_original_revisions() {
+        let store = Store::default();
+        with_sched(|check| {
+            let c1 = store.put("d1", None, content("a(b c)"), check).unwrap();
+            let c2 = store.put("d2", None, content("x(y)"), check).unwrap();
+            let guards = [guard("d1", c1.rev), guard("d2", c2.rev)];
+            let writes = [
+                write("d1", insert_op("a/b", "p")),
+                write("d1", insert_op("a/c", "q")),
+                write("d2", insert_op("x/y", "r")),
+            ];
+            let first = store.apply_txn(&guards, &writes, check).unwrap();
+            let seq = store.current_seq();
+
+            // The ack was lost; the client resubmits verbatim.
+            let retry = store.apply_txn(&guards, &writes, check).unwrap();
+            assert!(retry.replayed);
+            assert_eq!(retry.revs, first.revs, "originally minted revisions");
+            assert_eq!(store.current_seq(), seq, "nothing committed");
+            let g = store.get("d1", None, false).unwrap();
+            assert!(
+                iso::isomorphic(
+                    g.content.as_ref().unwrap(),
+                    &text::parse("a(b(p) c(q))").unwrap()
+                ),
+                "edits applied exactly once"
+            );
+        });
+    }
+
+    #[test]
+    fn txn_retry_replays_even_after_the_winner_moves_on() {
+        // The anchors live in the tree/alias map forever, so a replay
+        // is detected even when later commits buried the transaction.
+        let store = Store::default();
+        with_sched(|check| {
+            let c = store.put("d", None, content("a(b c)"), check).unwrap();
+            let guards = [guard("d", c.rev)];
+            let writes = [write("d", insert_op("a/b", "p"))];
+            let first = store.apply_txn(&guards, &writes, check).unwrap();
+            store
+                .put(
+                    "d",
+                    Some(first.revs[0].1),
+                    PutPayload::Op(insert_op("a/c", "z")),
+                    check,
+                )
+                .unwrap();
+            let retry = store.apply_txn(&guards, &writes, check).unwrap();
+            assert!(retry.replayed);
+            assert_eq!(retry.revs, first.revs);
+        });
+    }
+
+    #[test]
+    fn txn_stale_guard_retry_lands_on_the_alias_map() {
+        // A transaction committed through a stale-but-commuting guard
+        // mints revs from the winner, not the guard; the retry resolves
+        // through the per-write aliases.
+        let store = Store::default();
+        with_sched(|check| {
+            let c = store.put("d", None, content("a(b c e)"), check).unwrap();
+            store
+                .put(
+                    "d",
+                    Some(c.rev),
+                    PutPayload::Op(insert_op("a/b", "x")),
+                    check,
+                )
+                .unwrap();
+            let guards = [guard("d", c.rev)];
+            let writes = [
+                write("d", insert_op("a/c", "y")),
+                write("d", insert_op("a/e", "z")),
+            ];
+            let first = store.apply_txn(&guards, &writes, check).unwrap();
+            assert!(!first.replayed);
+            let seq = store.current_seq();
+            let retry = store.apply_txn(&guards, &writes, check).unwrap();
+            assert!(retry.replayed);
+            assert_eq!(retry.revs, first.revs);
+            assert_eq!(store.current_seq(), seq);
+        });
+    }
+
+    #[test]
+    fn txn_rejections_name_their_reason() {
+        let store = Store::default();
+        with_sched(|check| {
+            let c = store.put("d", None, content("a(b)"), check).unwrap();
+
+            let e = store.apply_txn(&[], &[], check).unwrap_err();
+            assert!(matches!(e, TxnError::Rejected(_)));
+            assert!(!e.retryable());
+
+            let e = store
+                .apply_txn(&[], &[write("missing", insert_op("a/b", "x"))], check)
+                .unwrap_err();
+            assert_eq!(e.code(), "not-found");
+
+            let bogus = RevId {
+                generation: 9,
+                hash: 0xdead,
+            };
+            let e = store
+                .apply_txn(
+                    &[guard("d", bogus)],
+                    &[write("d", insert_op("a/b", "x"))],
+                    check,
+                )
+                .unwrap_err();
+            assert_eq!(e.code(), "unknown-rev");
+
+            let e = store
+                .apply_txn(
+                    &[guard("d", c.rev), guard("d", c.rev)],
+                    &[write("d", insert_op("a/b", "x"))],
+                    check,
+                )
+                .unwrap_err();
+            assert_eq!(e.code(), "conflict");
+
+            let del = store.delete("d", c.rev).unwrap();
+            let e = store
+                .apply_txn(
+                    &[guard("d", del.rev)],
+                    &[write("d", insert_op("a/b", "x"))],
+                    check,
+                )
+                .unwrap_err();
+            assert_eq!(e.code(), "conflict", "tombstoned target");
+        });
+    }
+
+    #[test]
+    fn durable_txn_recovers_atomically() {
+        let dir = std::env::temp_dir().join(format!("cxu-store-txn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dcfg = DurabilityConfig {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::Never,
+            snapshot_every: 0, // keep every frame in the log
+        };
+        let store = Store::open(StoreConfig::default(), dcfg.clone()).unwrap();
+        let (revs, state, guards, writes) = {
+            let mut out = None;
+            with_sched(|check| {
+                let c1 = store.put("d1", None, content("a(b c)"), check).unwrap();
+                let c2 = store.put("d2", None, content("x(y)"), check).unwrap();
+                let guards = vec![guard("d1", c1.rev), guard("d2", c2.rev)];
+                let writes = vec![
+                    write("d1", insert_op("a/b", "p")),
+                    write("d2", insert_op("x/y", "q")),
+                    write("d1", insert_op("a/c", "r")),
+                ];
+                let o = store.apply_txn(&guards, &writes, check).unwrap();
+                out = Some((o, guards, writes));
+            });
+            let (o, guards, writes) = out.unwrap();
+            (
+                o.revs,
+                (
+                    store.doc_revs("d1").unwrap(),
+                    store.doc_revs("d2").unwrap(),
+                    store.changes(0, None),
+                    store.current_seq(),
+                ),
+                guards,
+                writes,
+            )
+        };
+        // 2 creates + 1 txn frame.
+        assert_eq!(store.wal_records(), 3, "the whole txn is one frame");
+        drop(store);
+
+        let again = Store::open(StoreConfig::default(), dcfg).unwrap();
+        let report = again.recovery_report().unwrap();
+        assert_eq!(report.replayed_records, 3);
+        assert_eq!(again.doc_revs("d1").unwrap(), state.0);
+        assert_eq!(again.doc_revs("d2").unwrap(), state.1);
+        assert_eq!(again.changes(0, None), state.2);
+        assert_eq!(again.current_seq(), state.3);
+
+        // The recovered alias/tree state still answers a verbatim
+        // retry with a replay at the original revisions.
+        with_sched(|check| {
+            let retry = again.apply_txn(&guards, &writes, check).unwrap();
+            assert!(retry.replayed);
+            assert_eq!(retry.revs, revs);
+        });
+        drop(again);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn txn_multi_generation_commit_invalidates_index_cache_once() {
+        // Regression (satellite): one transaction advancing a document
+        // several generations must invalidate the per-winner index
+        // cache exactly once and rebuild against the *final* winner.
+        let store = Store::default();
+        with_sched(|check| {
+            let c = store.put("d", None, content("a(b c e)"), check).unwrap();
+            let warm = store.indexed("d", None).unwrap();
+            assert_eq!(warm.rev, c.rev);
+
+            let out = store
+                .apply_txn(
+                    &[guard("d", c.rev)],
+                    &[
+                        write("d", insert_op("a/b", "p")),
+                        write("d", insert_op("a/c", "q")),
+                        write("d", insert_op("a/e", "r")),
+                    ],
+                    check,
+                )
+                .unwrap();
+            let final_rev = out.revs.last().unwrap().1;
+
+            // One lookup after a three-generation commit: the cache
+            // entry is gone (not a stale intermediate) and the rebuild
+            // lands on the *final* winner.
+            let rebuilt = store.indexed("d", None).unwrap();
+            assert!(!Arc::ptr_eq(&warm, &rebuilt), "stale entry was dropped");
+            assert_eq!(rebuilt.rev, final_rev);
+            assert_eq!(rebuilt.index.len(), 7);
+            assert!(iso::isomorphic(
+                &rebuilt.tree,
+                &text::parse("a(b(p) c(q) e(r))").unwrap()
+            ));
+
+            // And the rebuilt entry is cached: a second read shares it.
+            // (The exact one-miss counter pin lives in
+            // tests/obs_validation.rs, where the registry is serialized.)
+            let hit = store.indexed("d", None).unwrap();
+            assert!(Arc::ptr_eq(&rebuilt, &hit));
         });
     }
 

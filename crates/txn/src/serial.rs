@@ -1,0 +1,170 @@
+//! Observational serial-equivalence oracle.
+//!
+//! The store admits concurrent transactions whenever every cross pair
+//! commutes (or, with stale guards, when the intervening chain
+//! commutes). The *claim* behind that admission rule is global: the
+//! interleaved outcome must be indistinguishable from running the
+//! committed transactions one at a time in *some* order. This module is
+//! the direct, brute-force check of that claim — fold each permutation
+//! of the committed programs over the initial documents with pure
+//! [`Update::apply_to_copy`] and compare the results tree-by-tree under
+//! isomorphism. The validation harness replays ≥1000 seeded mixes
+//! through it; the oracle shares no code with the admission path, so an
+//! unsound detector or a staging bug cannot hide from it.
+
+use crate::Txn;
+use cxu_tree::{iso, Tree};
+use std::collections::HashMap;
+
+/// Hard cap on the permutation search: `MAX_ORACLE_TXNS!` folds is the
+/// worst case, so mixes are kept small (the harness uses 3–5).
+pub const MAX_ORACLE_TXNS: usize = 8;
+
+/// Folds `order` serially over copies of `initial`: each transaction's
+/// writes apply in program order, each against the latest state of its
+/// document. Documents never touched pass through unchanged.
+pub fn apply_serial(initial: &HashMap<String, Tree>, order: &[&Txn]) -> HashMap<String, Tree> {
+    let mut state: HashMap<String, Tree> = initial.clone();
+    for t in order {
+        for w in &t.writes {
+            let cur = state
+                .get(&w.doc)
+                .unwrap_or_else(|| panic!("serial oracle: unknown document {:?}", w.doc));
+            let (next, _) = w.op.apply_to_copy(cur);
+            state.insert(w.doc.clone(), next);
+        }
+    }
+    state
+}
+
+/// Whether `observed` equals `expected` document-by-document under tree
+/// isomorphism (same key set, isomorphic trees).
+pub fn states_match(observed: &HashMap<String, Tree>, expected: &HashMap<String, Tree>) -> bool {
+    observed.len() == expected.len()
+        && observed
+            .iter()
+            .all(|(doc, t)| expected.get(doc).is_some_and(|e| iso::isomorphic(t, e)))
+}
+
+/// Searches for a serial order of `committed` that reproduces
+/// `observed` from `initial`. Returns the witnessing permutation (as
+/// indices into `committed`), or `None` if no serial order matches —
+/// i.e. the interleaving the store admitted was *not* serializable.
+///
+/// Panics if `committed` exceeds [`MAX_ORACLE_TXNS`]; the factorial
+/// search is only meant for harness-sized mixes.
+pub fn serial_witness(
+    initial: &HashMap<String, Tree>,
+    committed: &[Txn],
+    observed: &HashMap<String, Tree>,
+) -> Option<Vec<usize>> {
+    assert!(
+        committed.len() <= MAX_ORACLE_TXNS,
+        "serial oracle capped at {MAX_ORACLE_TXNS} transactions, got {}",
+        committed.len()
+    );
+    let mut perm: Vec<usize> = (0..committed.len()).collect();
+    // Heap's algorithm, iterative form: visits every permutation once.
+    let n = perm.len();
+    let mut c = vec![0usize; n];
+    let check = |perm: &[usize]| {
+        let order: Vec<&Txn> = perm.iter().map(|&i| &committed[i]).collect();
+        states_match(observed, &apply_serial(initial, &order))
+    };
+    if check(&perm) {
+        return Some(perm);
+    }
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            if check(&perm) {
+                return Some(perm);
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxu_ops::{Delete, Insert, Update};
+    use cxu_pattern::xpath;
+    use cxu_tree::text;
+
+    fn ins(pattern: &str, subtree: &str) -> Update {
+        Update::Insert(Insert::new(
+            xpath::parse(pattern).unwrap(),
+            text::parse(subtree).unwrap(),
+        ))
+    }
+
+    fn state(pairs: &[(&str, &str)]) -> HashMap<String, Tree> {
+        pairs
+            .iter()
+            .map(|(d, t)| ((*d).to_owned(), text::parse(t).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn commuting_interleavings_have_a_witness() {
+        let initial = state(&[("d", "a(b c)")]);
+        let t1 = Txn::new().write("d", ins("a/b", "x"));
+        let t2 = Txn::new().write("d", ins("a/c", "y"));
+        // Either interleaved outcome is the same tree; any order works.
+        let observed = state(&[("d", "a(b(x) c(y))")]);
+        let w = serial_witness(&initial, &[t1, t2], &observed);
+        assert!(w.is_some());
+    }
+
+    #[test]
+    fn order_sensitive_outcomes_pick_the_right_permutation() {
+        let initial = state(&[("d", "a(b)")]);
+        // t1 deletes a/b/x (no-op before t2 runs); t2 inserts x under b.
+        let t1 = Txn::new().write(
+            "d",
+            Update::Delete(Delete::new(xpath::parse("a/b/x").unwrap()).unwrap()),
+        );
+        let t2 = Txn::new().write("d", ins("a/b", "x"));
+        // Outcome "a(b)" is serial order [t2, t1]; "a(b(x))" is [t1, t2].
+        let gone = state(&[("d", "a(b)")]);
+        let kept = state(&[("d", "a(b(x))")]);
+        let w1 = serial_witness(&initial, &[t1.clone(), t2.clone()], &gone).unwrap();
+        assert_eq!(w1, vec![1, 0]);
+        let w2 = serial_witness(&initial, &[t1, t2], &kept).unwrap();
+        assert_eq!(w2, vec![0, 1]);
+    }
+
+    #[test]
+    fn non_serializable_outcomes_have_no_witness() {
+        let initial = state(&[("d", "a(b)")]);
+        let t1 = Txn::new().write("d", ins("a/b", "x"));
+        // No serial order of [t1] alone yields "a(b(x x))".
+        let observed = state(&[("d", "a(b(x x))")]);
+        assert!(serial_witness(&initial, &[t1], &observed).is_none());
+    }
+
+    #[test]
+    fn multi_document_folds_track_each_document() {
+        let initial = state(&[("d1", "a(b)"), ("d2", "a(c)")]);
+        let t = Txn::new()
+            .write("d1", ins("a/b", "x"))
+            .write("d2", ins("a/c", "y"))
+            .write("d1", ins("a/b", "z"));
+        let observed = state(&[("d1", "a(b(x z))"), ("d2", "a(c(y))")]);
+        assert!(serial_witness(&initial, &[t], &observed).is_some());
+        // A missing document in the observed state is a mismatch.
+        let partial = state(&[("d1", "a(b(x z))")]);
+        assert!(serial_witness(&initial, &[], &partial).is_none());
+    }
+}

@@ -30,6 +30,12 @@
 #                        the index vs the recursive tree walk (every
 #                        sampled verdict cross-checked; speedup_p50 is
 #                        the headline, gated >= 10x at 1 MB).
+#   BENCH_TXN.json       atomic multi-op transactions under racing
+#                        mixes (6 connections, 3 shared documents,
+#                        guards pinned stale on purpose): commit /
+#                        conflict / retry rates and txn latency, with
+#                        all-or-nothing visibility of every acked
+#                        commit validated after the run.
 #
 # See EXPERIMENTS.md, "Compiled automata and the batch pre-filter",
 # for how to read the numbers (and which are NP-search-noise-prone).
@@ -109,4 +115,21 @@ printf '{"bench": "store", "in_memory": %s, "wal_fsync_always": %s}\n' \
     "$(cat "$store_mem")" "$(cat "$store_wal")" > BENCH_STORE.json
 rm -f "$store_mem" "$store_wal"
 
-echo "done: BENCH_AUTOMATA.json BENCH_SCHED.json BENCH_INDEX.json BENCH_SERVE.json BENCH_STORE.json" >&2
+echo "==> cxu serve + loadgen --profile txn > BENCH_TXN.json" >&2
+serve_log=$(mktemp)
+./target/release/cxu serve --addr 127.0.0.1:0 --shards 4 > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "txn server never announced its address" >&2; cat "$serve_log" >&2; exit 1; }
+./target/release/cxu loadgen --addr "$addr" --connections 6 --docs 3 \
+    --duration-ms 2000 --seed 42 --profile txn --validate --out BENCH_TXN.json >&2
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+rm -f "$serve_log"
+
+echo "done: BENCH_AUTOMATA.json BENCH_SCHED.json BENCH_INDEX.json BENCH_SERVE.json BENCH_STORE.json BENCH_TXN.json" >&2

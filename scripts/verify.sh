@@ -225,11 +225,53 @@ wait "$serve_pid" || { echo "durable server exited nonzero after SIGTERM"; cat "
 rm -rf "$data_dir"
 rm -f "$serve_log" "$serve_bench"
 
-echo "==> crash-injection smoke (6 kill -9 cycles, fixed seed)"
+echo "==> txn smoke (racing transactions, all-or-nothing validation)"
+./target/release/cxu serve --addr 127.0.0.1:0 --shards 4 > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "txn server never announced its address"; cat "$serve_log"; exit 1; }
+# --validate probes every acked transaction's revision set after the
+# run: all members visible or none (a torn set is a disagreement),
+# plus the changes-feed and winner cross-checks.
+./target/release/cxu loadgen --addr "$addr" --connections 4 --docs 3 \
+    --duration-ms 1200 --seed 7 --profile txn --validate --out "$serve_bench" >/dev/null
+grep -q '"bench": "txn"' "$serve_bench" \
+    || { echo "txn bench missing its marker"; cat "$serve_bench"; exit 1; }
+grep -q '"disagreements": 0' "$serve_bench" \
+    || { echo "txn validation found torn or lost transactions"; cat "$serve_bench"; exit 1; }
+grep -qE '"applied": [1-9]' "$serve_bench" \
+    || { echo "txn bench committed no transactions"; cat "$serve_bench"; exit 1; }
+grep -q '"failed": 0' "$serve_bench" \
+    || { echo "txn loadgen reported hard failures"; cat "$serve_bench"; exit 1; }
+# The one-shot CLI against the same server: create a document over
+# the socket, then commit a guarded two-op program atomically.
+exec 3<>"/dev/tcp/${addr%:*}/${addr#*:}"
+printf '{"route": "doc_put", "doc": "txn-smoke", "content": "a(b c)"}\n' >&3
+IFS= read -r put <&3
+exec 3<&- 3>&-
+rev=$(echo "$put" | grep -oE '"rev": "[^"]+"' | head -1 | cut -d'"' -f4)
+[ -n "$rev" ] || { echo "txn smoke setup put failed: $put"; exit 1; }
+txn_out=$(printf '{"guards": [{"doc": "txn-smoke", "rev": "%s"}], "ops": [{"doc": "txn-smoke", "op": {"kind": "insert", "pattern": "a/b", "subtree": "x"}}, {"doc": "txn-smoke", "op": {"kind": "insert", "pattern": "a/c", "subtree": "y"}}]}\n' "$rev" \
+    | ./target/release/cxu txn --file - --addr "$addr" 2>&1) \
+    || { echo "cxu txn failed: $txn_out"; exit 1; }
+echo "$txn_out" | grep -qi 'applied' \
+    || { echo "cxu txn did not apply: $txn_out"; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "txn server exited nonzero after SIGTERM"; cat "$serve_log"; exit 1; }
+grep -q 'drained after' "$serve_log" \
+    || { echo "txn server did not report a clean drain"; cat "$serve_log"; exit 1; }
+rm -f "$serve_log" "$serve_bench"
+
+echo "==> crash-injection smoke (6 kill -9 cycles, fixed seed, txn editors)"
 crash_dir=$(mktemp -d)
 crash_out=$(mktemp)
 ./target/release/cxu crashtest --data-dir "$crash_dir" --cycles 6 --seed 42 \
-    --out "$crash_out" \
+    --txn-editors 2 --out "$crash_out" \
     || { echo "crash smoke reported durability violations"; cat "$crash_out"; exit 1; }
 grep -q '"ok": true' "$crash_out" \
     || { echo "crash smoke report not ok"; cat "$crash_out"; exit 1; }
@@ -237,6 +279,8 @@ grep -q '"lost": 0' "$crash_out" \
     || { echo "crash smoke lost acked writes"; cat "$crash_out"; exit 1; }
 grep -q '"phantoms": 0' "$crash_out" \
     || { echo "crash smoke surfaced phantom revisions"; cat "$crash_out"; exit 1; }
+grep -q '"txn_partial": 0' "$crash_out" \
+    || { echo "crash smoke recovered a torn transaction"; cat "$crash_out"; exit 1; }
 rm -rf "$crash_dir"
 rm -f "$crash_out"
 

@@ -723,3 +723,196 @@ fn index_cache_hits_and_misses_partition_indexed_lookups() {
     let h = d.histogram("store.index_ns").expect("indexed histogram");
     assert_eq!(h.count, misses, "the build path is the timed path");
 }
+
+/// The transaction accounting contract (DESIGN.md § Transactions):
+/// every commit attempt lands in exactly one verdict bucket —
+/// `txn.commits == txn.applied + txn.conflicted + txn.rejected +
+/// txn.failed` — with `failed` owned by the serving layer (an attempt
+/// that dies before an answer exists), so in-process it stays zero.
+/// `txn.ops` moves by the submitted write count, `store.txn_ns` takes
+/// one sample per commit attempt, the pair counters are backed by the
+/// applied outcomes' own `checked_pairs`, and a multi-generation
+/// commit invalidates the document's index-cache entry exactly once.
+#[test]
+fn txn_counters_partition_the_commits() {
+    use cxu::pattern::xpath;
+    use cxu::prelude::{Delete, Insert, Update};
+    use cxu::store::{TxnError, TxnGuard, TxnWrite};
+    use cxu::tree::text;
+
+    let _guard = lock();
+    let store = Store::new(StoreConfig::default());
+    let mut sched = Scheduler::new(test_config());
+    let deadline = Deadline::never();
+    let mut check = |a: &Op, b: &Op| sched.check_pair(a, b, &deadline);
+
+    let ins = |pattern: &str, subtree: &str| {
+        Update::Insert(Insert::new(
+            xpath::parse(pattern).unwrap(),
+            text::parse(subtree).unwrap(),
+        ))
+    };
+    let del = |pattern: &str| Update::Delete(Delete::new(xpath::parse(pattern).unwrap()).unwrap());
+    let guard = |doc: &str, rev| TxnGuard {
+        doc: doc.to_owned(),
+        rev,
+    };
+    let write = |doc: &str, op: Update| TxnWrite {
+        doc: doc.to_owned(),
+        op,
+    };
+
+    let r0 = store
+        .put(
+            "tx-a",
+            None,
+            PutPayload::Content(text::parse("a(b c e)").unwrap()),
+            &mut check,
+        )
+        .expect("create tx-a")
+        .rev;
+    let s0 = store
+        .put(
+            "tx-b",
+            None,
+            PutPayload::Content(text::parse("l(m)").unwrap()),
+            &mut check,
+        )
+        .expect("create tx-b")
+        .rev;
+
+    // Warm the index cache on the winner, so the multi-generation
+    // commit below can pin its invalidation cost exactly.
+    let warm = store.indexed("tx-a", None).expect("warm winner index");
+    assert_eq!(warm.rev, r0);
+
+    let before = obs::registry().snapshot();
+    let mut commits = 0u64;
+    let mut applied = 0u64;
+    let mut conflicted = 0u64;
+    let mut rejected = 0u64;
+    let mut ops = 0u64;
+    let mut applied_pairs = 0u64;
+
+    // Applied: a fresh-guarded three-generation commit over tx-a plus
+    // one write on tx-b. Invalidation drops tx-a's warm cache entry
+    // but must not itself count as a miss.
+    let out = store
+        .apply_txn(
+            &[guard("tx-a", r0), guard("tx-b", s0)],
+            &[
+                write("tx-a", ins("a/b", "p")),
+                write("tx-a", ins("a/c", "q")),
+                write("tx-b", ins("l/m", "n")),
+            ],
+            &mut check,
+        )
+        .expect("fresh-guarded txn commits");
+    commits += 1;
+    applied += 1;
+    ops += 3;
+    applied_pairs += out.checked_pairs as u64;
+    assert!(!out.replayed);
+    let mid = obs::registry().snapshot().delta(&before);
+    assert_eq!(
+        mid.counter("index.cache.misses"),
+        0,
+        "invalidation is not a miss\n{mid}"
+    );
+
+    // The exact one-miss pin promised by the store's invalidation
+    // test: one lookup after the commit rebuilds at the final winner
+    // (one miss, one build), and a repeat is a pure hit.
+    let rebuilt = store.indexed("tx-a", None).expect("rebuild winner");
+    assert_eq!(
+        rebuilt.rev, out.revs[1].1,
+        "rebuild lands on the final winner"
+    );
+    let again = store.indexed("tx-a", None).expect("cached winner");
+    assert!(std::sync::Arc::ptr_eq(&rebuilt, &again));
+    let mid = obs::registry().snapshot().delta(&before);
+    assert_eq!(mid.counter("index.cache.misses"), 1, "exactly one rebuild");
+    assert_eq!(mid.counter("index.cache.hits"), 1);
+    assert_eq!(mid.counter("index.builds"), 1);
+
+    // Conflicted: someone deletes a/b, then a txn guarded at the old
+    // winner tries to insert under it — provably non-commuting.
+    let out = store
+        .apply_txn(
+            &[guard("tx-a", rebuilt.rev)],
+            &[write("tx-a", del("a/b"))],
+            &mut check,
+        )
+        .expect("delete txn commits");
+    commits += 1;
+    applied += 1;
+    ops += 1;
+    applied_pairs += out.checked_pairs as u64;
+    let r = store.apply_txn(
+        &[guard("tx-a", rebuilt.rev)],
+        &[write("tx-a", ins("a/b", "z"))],
+        &mut check,
+    );
+    commits += 1;
+    ops += 1;
+    match r {
+        Err(TxnError::Conflict { ref doc, .. }) => {
+            assert_eq!(doc, "tx-a");
+            assert!(r.unwrap_err().retryable());
+            conflicted += 1;
+        }
+        other => panic!("stale non-commuting guard must conflict, got {other:?}"),
+    }
+
+    // Rejected: an empty program, and a guard on an unknown revision —
+    // both terminal, neither retryable.
+    let r = store.apply_txn(&[guard("tx-b", s0)], &[], &mut check);
+    commits += 1;
+    assert!(matches!(r, Err(TxnError::Rejected(_))), "{r:?}");
+    assert!(!r.unwrap_err().retryable());
+    rejected += 1;
+    let bogus = "9-0123456789abcdef0123456789abcdef".parse().unwrap();
+    let r = store.apply_txn(
+        &[guard("tx-b", bogus)],
+        &[write("tx-b", ins("l/m", "o"))],
+        &mut check,
+    );
+    commits += 1;
+    ops += 1;
+    assert!(matches!(r, Err(TxnError::Rejected(_))), "{r:?}");
+    rejected += 1;
+
+    let d = obs::registry().snapshot().delta(&before);
+    assert_eq!(d.counter("txn.commits"), commits);
+    assert_eq!(
+        d.counter("txn.commits"),
+        d.counter("txn.applied")
+            + d.counter("txn.conflicted")
+            + d.counter("txn.rejected")
+            + d.counter("txn.failed"),
+        "verdict buckets partition the commit attempts\n{d}"
+    );
+    assert_eq!(d.counter("txn.applied"), applied);
+    assert_eq!(d.counter("txn.conflicted"), conflicted);
+    assert_eq!(d.counter("txn.rejected"), rejected);
+    assert_eq!(d.counter("txn.failed"), 0, "failed is serve-owned");
+    assert_eq!(d.counter("txn.ops"), ops);
+    assert_eq!(
+        d.counter("txn.retries"),
+        0,
+        "no competing writer, no OCC retry rounds"
+    );
+
+    // Pair accounting: the applied outcomes report their own detector
+    // work; the conflicted attempt checked at least one pair and found
+    // at least one conflict on top of that.
+    assert!(
+        d.counter("txn.pair.checked") >= applied_pairs,
+        "outcome checked_pairs bound the pair counter\n{d}"
+    );
+    assert!(d.counter("txn.pair.conflicts") >= 1, "{d}");
+
+    // One latency sample per commit attempt, answered or refused.
+    let h = d.histogram("store.txn_ns").expect("txn histogram");
+    assert_eq!(h.count, commits);
+}

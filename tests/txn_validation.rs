@@ -1,0 +1,441 @@
+//! Headline validation for `cxu-txn`: atomic multi-op transactions
+//! with commutativity-aware optimistic concurrency control.
+//!
+//! Two suites:
+//!
+//! 1. **Serial equivalence** — 1000 seeded random transaction mixes.
+//!    Each mix builds a few documents, a handful of transactions (1–4
+//!    update writes over 1–2 documents, every written document guarded
+//!    at its *initial* winner), and applies them in a seeded random
+//!    order through [`Store::apply_txn`]. Stale guards either prove
+//!    exact commutation and chain, or lose retryably — nothing is ever
+//!    half-applied. The oracle then searches for a *serial witness*:
+//!    some permutation of the committed transactions whose pure
+//!    sequential fold ([`cxu::txn::serial`]) reproduces the observed
+//!    final winners up to isomorphism. Observational serial
+//!    equivalence is the paper's correctness bar for admitting
+//!    concurrent updates: the detectors may only interleave what some
+//!    serial order could also have produced.
+//!
+//! 2. **Socket suite** — the `txn` routes end to end over real
+//!    sockets: atomic multi-document visibility against the changes
+//!    feed, deterministic conflict rejection for a provably
+//!    non-commuting stale guard, the `txn_begin`/`txn_submit`/
+//!    `txn_commit` accumulator, and the drain guarantee for an
+//!    in-flight transaction during graceful shutdown.
+
+use cxu::gen::json::Json;
+use cxu::gen::patterns::PatternParams;
+use cxu::gen::program::{random_program, ProgramParams, Stmt};
+use cxu::gen::rng::{Rng, SplitMix64};
+use cxu::gen::trees::{random_tree, TreeParams};
+use cxu::prelude::{Tree, Update};
+use cxu::sched::{Deadline, Op, SchedConfig, Scheduler};
+use cxu::serve::{ServeConfig, ServeSummary, Server, ServerHandle};
+use cxu::store::{PutPayload, RevId, Store, StoreConfig};
+use cxu::txn::serial::{serial_witness, MAX_ORACLE_TXNS};
+use cxu::txn::Txn;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Socket tests serialize: each binds its own port with a private
+/// metrics registry, but the timing-sensitive drain test wants the
+/// machine to itself.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------
+// Suite 1: seeded serial-equivalence mixes.
+// ---------------------------------------------------------------------
+
+const MIXES: u64 = 1000;
+
+/// A seeded pool of update statements sharing one label alphabet.
+fn update_pool(rng: &mut SplitMix64, len: usize) -> Vec<Update> {
+    let mut pattern = PatternParams::linear(4);
+    pattern.alphabet = 6;
+    pattern.branch_rate = 0.1;
+    let params = ProgramParams {
+        len,
+        update_rate: 1.0,
+        delete_rate: 0.3,
+        pattern,
+    };
+    random_program(rng, &params)
+        .stmts
+        .into_iter()
+        .filter_map(|s| match s {
+            Stmt::Update(u) => Some(u),
+            Stmt::Read(_) => None,
+        })
+        .collect()
+}
+
+/// One mix: build, race, and check. Returns a violation description,
+/// or `None` when the observed outcome has a serial witness.
+fn run_mix(seed: u64) -> Option<String> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let pool = update_pool(&mut rng, 14);
+    if pool.is_empty() {
+        return None; // degenerate pool; nothing to race
+    }
+
+    // Documents with their initial winners.
+    let store = Store::new(StoreConfig::default());
+    let mut sched = Scheduler::new(SchedConfig {
+        jobs: 1,
+        np_max_trees: 300,
+        ..SchedConfig::default()
+    });
+    let deadline = Deadline::never();
+    let mut check = |a: &Op, b: &Op| sched.check_pair(a, b, &deadline);
+    let n_docs = 2 + rng.gen_range(0..3);
+    let tparams = TreeParams {
+        nodes: 10,
+        alphabet: 6,
+        ..TreeParams::default()
+    };
+    let mut initial: HashMap<String, Tree> = HashMap::new();
+    let mut init_revs: Vec<RevId> = Vec::new();
+    for d in 0..n_docs {
+        let tree = random_tree(&mut rng, &tparams);
+        let c = store
+            .put(
+                &format!("doc-{d}"),
+                None,
+                PutPayload::Content(tree.clone()),
+                &mut check,
+            )
+            .expect("setup put");
+        initial.insert(format!("doc-{d}"), tree);
+        init_revs.push(c.rev);
+    }
+
+    // Transactions guarding every written document at its initial
+    // winner — maximally stale once anything else has committed.
+    let n_txns = 3 + rng.gen_range(0..3);
+    assert!(n_txns <= MAX_ORACLE_TXNS);
+    let mut txns: Vec<Txn> = Vec::new();
+    for _ in 0..n_txns {
+        let d1 = rng.gen_range(0..n_docs);
+        let d2 = if n_docs > 1 && rng.gen_bool(0.4) {
+            let mut d = rng.gen_range(0..n_docs - 1);
+            if d >= d1 {
+                d += 1;
+            }
+            Some(d)
+        } else {
+            None
+        };
+        let mut t = Txn::new().guard(format!("doc-{d1}"), init_revs[d1]);
+        if let Some(d2) = d2 {
+            t = t.guard(format!("doc-{d2}"), init_revs[d2]);
+        }
+        let n_ops = 1 + rng.gen_range(0..4);
+        for k in 0..n_ops {
+            let d = match d2 {
+                Some(d2) if k % 2 == 1 => d2,
+                _ => d1,
+            };
+            let op = pool[rng.gen_range(0..pool.len())].clone();
+            t = t.write(format!("doc-{d}"), op);
+        }
+        txns.push(t);
+    }
+
+    // Race: apply in a seeded random order; conflicts and rejections
+    // drop out (they are all-or-nothing by construction).
+    let mut order: Vec<usize> = (0..n_txns).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..i + 1));
+    }
+    let mut committed: Vec<Txn> = Vec::new();
+    for &i in &order {
+        if txns[i].apply(&store, &mut check).is_ok() {
+            committed.push(txns[i].clone());
+        }
+    }
+
+    // Observe the final winners.
+    let mut observed: HashMap<String, Tree> = HashMap::new();
+    for d in 0..n_docs {
+        let g = store
+            .get(&format!("doc-{d}"), None, false)
+            .expect("winner read");
+        match g.content {
+            Some(tree) => {
+                observed.insert(format!("doc-{d}"), tree);
+            }
+            None => return Some(format!("seed {seed}: doc-{d} winner is a tombstone")),
+        }
+    }
+
+    if serial_witness(&initial, &committed, &observed).is_none() {
+        return Some(format!(
+            "seed {seed}: no serial order of the {} committed txn(s) \
+             reproduces the observed winners",
+            committed.len()
+        ));
+    }
+    None
+}
+
+/// The headline suite: 1000 seeded mixes, zero serializability
+/// violations tolerated.
+#[test]
+fn seeded_txn_mixes_are_observationally_serial() {
+    let mut committed_total = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+    for mix in 0..MIXES {
+        let seed = 0xC0FF_EE00 ^ mix.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if let Some(v) = run_mix(seed) {
+            violations.push(v);
+        } else {
+            committed_total += 1;
+        }
+        if violations.len() >= 5 {
+            break; // enough to diagnose; don't spam
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "serial-equivalence violations in {}/{} mixes:\n  {}",
+        violations.len(),
+        MIXES,
+        violations.join("\n  ")
+    );
+    assert!(committed_total as u64 == MIXES);
+}
+
+// ---------------------------------------------------------------------
+// Suite 2: the txn routes over real sockets.
+// ---------------------------------------------------------------------
+
+fn start(
+    cfg: ServeConfig,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<ServeSummary>,
+) {
+    let server = Server::bind(cfg, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server closed the connection mid-exchange");
+        Json::parse(line.trim_end()).expect("response is JSON")
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn put_doc(c: &mut Client, doc: &str, content: &str) -> String {
+    let v = c.roundtrip(&format!(
+        r#"{{"route": "doc_put", "doc": "{doc}", "content": "{content}"}}"#
+    ));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    v.get("rev").and_then(Json::as_str).unwrap().to_owned()
+}
+
+/// Atomic multi-document visibility: after a two-document transaction
+/// commits, both documents' winners are the acked revisions, the
+/// changes feed names exactly those winners, and the transaction's
+/// sequence numbers are contiguous (nothing else interleaved inside
+/// the commit).
+#[test]
+fn committed_txn_is_atomically_visible() {
+    let _g = lock();
+    let (addr, _handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(addr);
+    let r1 = put_doc(&mut c, "inv", "inv(book toy)");
+    let r2 = put_doc(&mut c, "log", "log(head)");
+
+    let v = c.roundtrip(&format!(
+        r#"{{"route": "txn", "guards": [{{"doc": "inv", "rev": "{r1}"}}, {{"doc": "log", "rev": "{r2}"}}], "ops": [{{"doc": "inv", "op": {{"kind": "insert", "pattern": "inv/book", "subtree": "sold"}}}}, {{"doc": "log", "op": {{"kind": "insert", "pattern": "log/head", "subtree": "entry"}}}}]}}"#
+    ));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    assert_eq!(v.get("result").and_then(Json::as_str), Some("applied"));
+    let revs = v.get("revs").and_then(Json::as_arr).unwrap();
+    assert_eq!(revs.len(), 2);
+    let seq = v.get("seq").and_then(Json::as_u64).unwrap();
+
+    // Both winners are exactly the acked revisions.
+    let mut acked: HashMap<String, String> = HashMap::new();
+    for row in revs {
+        acked.insert(
+            row.get("doc").and_then(Json::as_str).unwrap().to_owned(),
+            row.get("rev").and_then(Json::as_str).unwrap().to_owned(),
+        );
+    }
+    let mut feed_seqs: Vec<u64> = Vec::new();
+    let changes = c.roundtrip(r#"{"route": "doc_changes"}"#);
+    for e in changes.get("results").and_then(Json::as_arr).unwrap() {
+        let doc = e.get("doc").and_then(Json::as_str).unwrap();
+        let g = c.roundtrip(&format!(r#"{{"route": "doc_get", "doc": "{doc}"}}"#));
+        assert_eq!(
+            g.get("rev").and_then(Json::as_str),
+            acked.get(doc).map(String::as_str),
+            "winner of {doc} is not the acked txn revision"
+        );
+        assert_eq!(
+            e.get("rev").and_then(Json::as_str),
+            acked.get(doc).map(String::as_str),
+            "changes feed row for {doc} does not name the acked revision"
+        );
+        feed_seqs.push(e.get("seq").and_then(Json::as_u64).unwrap());
+    }
+    // The two writes took the last two feed slots, ending at `seq`.
+    feed_seqs.sort_unstable();
+    assert_eq!(feed_seqs, vec![seq - 1, seq]);
+
+    c.roundtrip(r#"{"route": "shutdown"}"#);
+    join.join().unwrap();
+}
+
+/// Deterministic conflict rejection: a transaction guarded at a
+/// revision whose superseding edits provably do NOT commute with the
+/// transaction's ops loses retryably — and the same program with a
+/// refreshed guard and a commuting op goes through.
+#[test]
+fn stale_noncommuting_guard_loses_retryably() {
+    let _g = lock();
+    let (addr, _handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(addr);
+    let r0 = put_doc(&mut c, "d", "a(b(x) c)");
+
+    // Someone else deletes a/b out from under the guard.
+    let del = c.roundtrip(&format!(
+        r#"{{"route": "txn", "guards": [{{"doc": "d", "rev": "{r0}"}}], "ops": [{{"doc": "d", "op": {{"kind": "delete", "pattern": "a/b"}}}}]}}"#
+    ));
+    assert_eq!(del.get("result").and_then(Json::as_str), Some("applied"));
+
+    // Inserting under a/b cannot commute with deleting a/b: conflict,
+    // retryable, nothing applied.
+    let stale = c.roundtrip(&format!(
+        r#"{{"route": "txn", "guards": [{{"doc": "d", "rev": "{r0}"}}], "ops": [{{"doc": "d", "op": {{"kind": "insert", "pattern": "a/b", "subtree": "y"}}}}]}}"#
+    ));
+    assert_eq!(stale.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(stale.get("result").and_then(Json::as_str), Some("conflict"));
+    assert_eq!(stale.get("retryable").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        stale.get("reason").and_then(Json::as_str),
+        Some("txn-conflict")
+    );
+
+    // The retry story: refresh the guard, switch to a commuting op.
+    let g = c.roundtrip(r#"{"route": "doc_get", "doc": "d"}"#);
+    let winner = g.get("rev").and_then(Json::as_str).unwrap();
+    let retry = c.roundtrip(&format!(
+        r#"{{"route": "txn", "guards": [{{"doc": "d", "rev": "{winner}"}}], "ops": [{{"doc": "d", "op": {{"kind": "insert", "pattern": "a/c", "subtree": "y"}}}}]}}"#
+    ));
+    assert_eq!(retry.get("result").and_then(Json::as_str), Some("applied"));
+
+    c.roundtrip(r#"{"route": "shutdown"}"#);
+    join.join().unwrap();
+}
+
+/// The per-connection accumulator builds the same commit the one-shot
+/// route makes, and a consumed (failed) accumulator leaves the
+/// connection clean for the next transaction.
+#[test]
+fn txn_accumulator_builds_and_commits() {
+    let _g = lock();
+    let (addr, _handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(addr);
+    let r0 = put_doc(&mut c, "d", "a(b c)");
+
+    let begin = c.roundtrip(r#"{"route": "txn_begin"}"#);
+    assert_eq!(begin.get("status").and_then(Json::as_str), Some("open"));
+    let sub = c.roundtrip(&format!(
+        r#"{{"route": "txn_submit", "guards": [{{"doc": "d", "rev": "{r0}"}}], "ops": [{{"doc": "d", "op": {{"kind": "insert", "pattern": "a/b", "subtree": "x"}}}}]}}"#
+    ));
+    assert_eq!(sub.get("ops").and_then(Json::as_u64), Some(1));
+    let sub2 = c.roundtrip(
+        r#"{"route": "txn_submit", "ops": [{"doc": "d", "op": {"kind": "insert", "pattern": "a/c", "subtree": "y"}}]}"#,
+    );
+    assert_eq!(sub2.get("ops").and_then(Json::as_u64), Some(2));
+    let commit = c.roundtrip(r#"{"route": "txn_commit"}"#);
+    assert_eq!(
+        commit.get("result").and_then(Json::as_str),
+        Some("applied"),
+        "{commit}"
+    );
+    assert_eq!(
+        commit.get("revs").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(2)
+    );
+
+    // A commit with no open transaction is a clean request error.
+    let orphan = c.roundtrip(r#"{"route": "txn_commit"}"#);
+    assert_eq!(orphan.get("ok").and_then(Json::as_bool), Some(false));
+    // And the connection still serves.
+    let g = c.roundtrip(r#"{"route": "doc_get", "doc": "d"}"#);
+    assert_eq!(g.get("found").and_then(Json::as_bool), Some(true));
+
+    c.roundtrip(r#"{"route": "shutdown"}"#);
+    join.join().unwrap();
+}
+
+/// The drain guarantee extends to transactions: a `txn` in flight when
+/// graceful shutdown starts is still answered (and committed) before
+/// the socket closes.
+#[test]
+fn inflight_txn_survives_graceful_shutdown() {
+    let _g = lock();
+    let (addr, handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(addr);
+    let r0 = put_doc(&mut c, "d", "a(b c)");
+
+    c.send(&format!(
+        r#"{{"route": "txn", "delay_ms": 150, "guards": [{{"doc": "d", "rev": "{r0}"}}], "ops": [{{"doc": "d", "op": {{"kind": "insert", "pattern": "a/b", "subtree": "x"}}}}]}}"#
+    ));
+    std::thread::sleep(Duration::from_millis(40));
+    handle.shutdown();
+    let v = c.recv();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    assert_eq!(v.get("result").and_then(Json::as_str), Some("applied"));
+
+    let summary = join.join().unwrap();
+    assert_eq!(
+        summary.accepted,
+        summary.completed + summary.rejected_overload + summary.failed
+    );
+}
